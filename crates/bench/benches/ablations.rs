@@ -1,0 +1,94 @@
+//! Ablation benches for the design choices §7 ("Lessons Learned") calls out:
+//! block-formation aggressiveness, per-block dispatch cost, predictor
+//! sizing, and spatial instruction placement. Each configuration's simulated
+//! cycle count is printed once so the sweep's *shape* is visible alongside
+//! Criterion's wall-clock numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trips_bench::MEM;
+use trips_compiler::placement::{place_block_with, PlacementPolicy};
+use trips_compiler::{compile, CompileOptions};
+use trips_sim::TripsConfig;
+
+fn build(name: &str, opts: &CompileOptions) -> trips_compiler::CompiledProgram {
+    let w = trips_workloads::by_name(name).unwrap();
+    let p = (w.build)(trips_workloads::Scale::Test);
+    compile(&p, opts).unwrap()
+}
+
+/// Block-size cap sweep: how much does aggressive block formation buy?
+fn ablate_block_cap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_block_cap");
+    for cap in [8u32, 24, 64] {
+        let mut opts = CompileOptions::o2();
+        opts.region_cap = cap;
+        let comp = build("autocor", &opts);
+        let cyc = trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM).unwrap().stats.cycles;
+        eprintln!("[ablation] block cap {cap}: {cyc} cycles");
+        g.bench_function(format!("cap_{cap}"), |b| {
+            b.iter(|| trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM).unwrap().stats.cycles)
+        });
+    }
+    g.finish();
+}
+
+/// Dispatch-interval sweep (the ideal-machine study's dispatch-cost axis).
+fn ablate_dispatch_cost(c: &mut Criterion) {
+    let comp = build("fft", &CompileOptions::o1());
+    let mut g = c.benchmark_group("ablation_dispatch");
+    for di in [1u64, 8, 16] {
+        let cfg = TripsConfig { dispatch_interval: di, ..TripsConfig::prototype() };
+        let cyc = trips_sim::simulate(&comp, &cfg, MEM).unwrap().stats.cycles;
+        eprintln!("[ablation] dispatch interval {di}: {cyc} cycles");
+        g.bench_function(format!("interval_{di}"), |b| {
+            b.iter(|| trips_sim::simulate(&comp, &cfg, MEM).unwrap().stats.cycles)
+        });
+    }
+    g.finish();
+}
+
+/// Prototype vs "lessons learned" predictor sizing (Figure 7's H vs I).
+fn ablate_predictor(c: &mut Criterion) {
+    let comp = build("gzip", &CompileOptions::o1());
+    let mut g = c.benchmark_group("ablation_predictor");
+    for (label, cfg) in [("prototype", TripsConfig::prototype()), ("improved", TripsConfig::improved_predictor())] {
+        let s = trips_sim::simulate(&comp, &cfg, MEM).unwrap().stats;
+        eprintln!(
+            "[ablation] predictor {label}: {} cycles, {} mispredicts",
+            s.cycles,
+            s.predictor.mispredicts()
+        );
+        g.bench_function(label, |b| {
+            b.iter(|| trips_sim::simulate(&comp, &cfg, MEM).unwrap().stats.predictor.mispredicts())
+        });
+    }
+    g.finish();
+}
+
+/// Placement policy: SPS-like vs row-major vs scatter (the §7 lesson that
+/// operand-network traffic dominates).
+fn ablate_placement(c: &mut Criterion) {
+    let base = build("conv", &CompileOptions::o1());
+    let mut g = c.benchmark_group("ablation_placement");
+    for policy in [PlacementPolicy::Sps, PlacementPolicy::RowMajor, PlacementPolicy::Scatter] {
+        let mut comp = base.clone();
+        comp.placements = comp.trips.blocks.iter().map(|b| place_block_with(b, policy)).collect();
+        let s = trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM).unwrap().stats;
+        eprintln!(
+            "[ablation] placement {policy:?}: {} cycles, {:.2} avg hops",
+            s.cycles,
+            s.opn.avg_hops()
+        );
+        g.bench_function(format!("{policy:?}"), |b| {
+            b.iter(|| trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM).unwrap().stats.cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = ablate_block_cap, ablate_dispatch_cost, ablate_predictor, ablate_placement,
+);
+criterion_main!(ablations);

@@ -1,0 +1,149 @@
+//! One bench per table/figure: regenerates the measurement at Test scale so
+//! Criterion can iterate quickly; the full tables come from the `repro`
+//! binary. Each bench exercises the exact code path of its experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trips_bench::{compiled, cycles, MEM};
+use trips_sim::TripsConfig;
+use trips_workloads::Scale;
+
+fn bench_fig3_block_composition(c: &mut Criterion) {
+    let w = trips_workloads::by_name("a2time").unwrap();
+    c.bench_function("fig3_block_composition/a2time", |b| {
+        b.iter(|| trips_experiments::measure_isa(&w, Scale::Test, false).trips.avg_block_size())
+    });
+}
+
+fn bench_fig4_inst_overhead(c: &mut Criterion) {
+    let w = trips_workloads::by_name("conven").unwrap();
+    c.bench_function("fig4_inst_overhead/conven", |b| {
+        b.iter(|| {
+            let m = trips_experiments::measure_isa(&w, Scale::Test, false);
+            m.trips.fetched as f64 / m.risc.insts.max(1) as f64
+        })
+    });
+}
+
+fn bench_fig5_storage(c: &mut Criterion) {
+    let w = trips_workloads::by_name("fbital").unwrap();
+    c.bench_function("fig5_storage/fbital", |b| {
+        b.iter(|| {
+            let m = trips_experiments::measure_isa(&w, Scale::Test, false);
+            m.trips.memory_accesses() as f64 / m.risc.memory_accesses().max(1) as f64
+        })
+    });
+}
+
+fn bench_fig6_window(c: &mut Criterion) {
+    let comp = compiled("autocor", false);
+    c.bench_function("fig6_window/autocor", |b| {
+        b.iter(|| {
+            trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM).unwrap().stats.avg_window_insts()
+        })
+    });
+}
+
+fn bench_fig7_predictors(c: &mut Criterion) {
+    let comp = compiled("gzip", false);
+    c.bench_function("fig7_predictors/gzip", |b| {
+        b.iter(|| {
+            trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM).unwrap().stats.predictor.mispredicts()
+        })
+    });
+}
+
+fn bench_fig8_feeds_speeds(c: &mut Criterion) {
+    let comp = compiled("vadd", true);
+    c.bench_function("fig8_feeds_speeds/vadd_hand", |b| {
+        b.iter(|| {
+            let s = trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM).unwrap().stats;
+            (s.l1_bytes, s.opn.avg_hops())
+        })
+    });
+}
+
+fn bench_fig9_ipc(c: &mut Criterion) {
+    let comp = compiled("fft", false);
+    c.bench_function("fig9_ipc/fft", |b| {
+        b.iter(|| trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM).unwrap().stats.ipc_executed())
+    });
+}
+
+fn bench_fig10_ideal(c: &mut Criterion) {
+    let comp = compiled("matrix", false);
+    c.bench_function("fig10_ideal/matrix", |b| {
+        b.iter(|| trips_ideal::analyze(&comp, trips_ideal::IdealConfig::window_1k(), MEM).unwrap().ipc)
+    });
+}
+
+fn bench_fig11_simple(c: &mut Criterion) {
+    let w = trips_workloads::by_name("8b10b").unwrap();
+    c.bench_function("fig11_simple/8b10b", |b| {
+        b.iter(|| {
+            let p = trips_experiments::measure_perf(&w, Scale::Test, false);
+            p.core2_gcc.cycles as f64 / p.trips_c.cycles.max(1) as f64
+        })
+    });
+}
+
+fn bench_fig12_spec(c: &mut Criterion) {
+    let w = trips_workloads::by_name("mcf").unwrap();
+    c.bench_function("fig12_spec/mcf", |b| {
+        b.iter(|| {
+            let p = trips_experiments::measure_perf(&w, Scale::Test, false);
+            p.core2_gcc.cycles as f64 / p.trips_c.cycles.max(1) as f64
+        })
+    });
+}
+
+fn bench_table3_counters(c: &mut Criterion) {
+    let comp = compiled("crafty", false);
+    c.bench_function("table3_counters/crafty", |b| {
+        b.iter(|| {
+            let s = trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM).unwrap().stats;
+            s.per_kilo_useful(s.icache_misses)
+        })
+    });
+}
+
+fn bench_code_size(c: &mut Criterion) {
+    let comp = compiled("ospf", false);
+    c.bench_function("code_size/ospf", |b| {
+        b.iter(|| {
+            comp.trips
+                .blocks
+                .iter()
+                .map(trips_isa::encode::encode_block)
+                .map(|v| v.len())
+                .sum::<usize>()
+        })
+    });
+}
+
+fn bench_cycle_sim_throughput(c: &mut Criterion) {
+    // End-to-end simulator throughput on the largest Test workload.
+    let comp = compiled("ct", true);
+    c.bench_function("sim_throughput/ct_hand", |b| {
+        b.iter(|| cycles(&comp, &TripsConfig::prototype()))
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_fig3_block_composition,
+        bench_fig4_inst_overhead,
+        bench_fig5_storage,
+        bench_fig6_window,
+        bench_fig7_predictors,
+        bench_fig8_feeds_speeds,
+        bench_fig9_ipc,
+        bench_fig10_ideal,
+        bench_fig11_simple,
+        bench_fig12_spec,
+        bench_table3_counters,
+        bench_code_size,
+        bench_cycle_sim_throughput,
+);
+criterion_main!(figures);

@@ -1,0 +1,40 @@
+//! # trips-bench
+//!
+//! Criterion benchmark harness. Each bench group regenerates one of the
+//! paper's tables/figures (at reduced scale, so Criterion can iterate), and
+//! the `ablations` group quantifies the design choices DESIGN.md calls out:
+//! block-formation caps, dispatch cost, predictor sizing and instruction
+//! placement policy.
+//!
+//! Run with `cargo bench -p trips-bench`. The full-scale tables are printed
+//! by `cargo run --release -p trips-experiments --bin repro -- all`.
+
+use trips_compiler::{compile, CompileOptions, CompiledProgram};
+use trips_sim::TripsConfig;
+
+/// Memory size used by all bench simulations.
+pub const MEM: usize = 1 << 22;
+
+/// Compiles a named workload at Test scale.
+pub fn compiled(name: &str, hand: bool) -> CompiledProgram {
+    let w = trips_workloads::by_name(name).unwrap_or_else(|| panic!("workload {name}"));
+    let p = if hand { w.build_hand(trips_workloads::Scale::Test) } else { (w.build)(trips_workloads::Scale::Test) };
+    let opts = if hand { CompileOptions::hand() } else { CompileOptions::o1() };
+    compile(&p, &opts).expect("compiles")
+}
+
+/// Simulated cycle count on the prototype configuration.
+pub fn cycles(c: &CompiledProgram, cfg: &TripsConfig) -> u64 {
+    trips_sim::simulate(c, cfg, MEM).expect("simulates").stats.cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_work() {
+        let c = compiled("vadd", false);
+        assert!(cycles(&c, &TripsConfig::prototype()) > 0);
+    }
+}

@@ -1,0 +1,1028 @@
+//! Dataflow emission: hyperblocks → TRIPS blocks.
+//!
+//! Converts each [`crate::hir::HBlock`] into a legal TRIPS block:
+//!
+//! * block inputs become header **read** instructions, outputs become
+//!   **write** instructions;
+//! * within the block, values flow producer→consumer through explicit
+//!   targets; values with more than two consumers get **mov fanout trees**
+//!   (the overhead §4.1 quantifies);
+//! * predicated execution follows the guard chains: each instruction is
+//!   predicated on the innermost guard condition, whose own computation is
+//!   predicated on the previous level — so off-path instructions never
+//!   receive their predicate and simply don't fire ("fetched not executed");
+//! * conditionally-assigned values are completed with **compensating
+//!   predicated movs** so that every register write receives exactly one
+//!   value on every path, and conditional stores are paired with **null**
+//!   tokens at every guard level so every store ID resolves on every path —
+//!   the output-completeness rule of the block-atomic model.
+
+use crate::hir::{Event, Guard, HBlock, HExit, HFunc};
+use crate::homes::{Home, Homes};
+use crate::options::CompileOptions;
+use crate::CompileError;
+use std::collections::HashMap;
+use trips_isa::block::{BInst, Block, ExitTarget, Target, TargetSlot};
+use trips_isa::{abi, limits, TOpcode};
+use trips_ir::cfg::Cfg;
+use trips_ir::{FloatCc, Function, Inst, IntCc, MemWidth, Opcode as IrOp, Operand, Vreg};
+
+/// A producer inside a proto-block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    Read(usize),
+    Node(usize),
+}
+
+/// A value: one or more producers of which exactly one delivers per block
+/// execution (multi-producer values arise from predicate merges).
+#[derive(Debug, Clone, PartialEq)]
+struct Value {
+    prods: Vec<Src>,
+}
+
+impl Value {
+    fn one(s: Src) -> Value {
+        Value { prods: vec![s] }
+    }
+}
+
+/// Proto-target (indices not yet bounded to u8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PTarget {
+    Inst(usize, TargetSlot),
+    Write(usize),
+}
+
+#[derive(Debug, Clone)]
+struct PNode {
+    op: TOpcode,
+    pred: Option<bool>,
+    imm: i64,
+    lsid: Option<u8>,
+    exit: Option<u8>,
+    targets: Vec<PTarget>,
+}
+
+#[derive(Debug, Clone)]
+struct PRead {
+    reg: u8,
+    targets: Vec<PTarget>,
+}
+
+/// One guard level during emission: condition vreg, polarity, and the value
+/// that delivers the condition exactly when the enclosing prefix matched.
+#[derive(Debug, Clone)]
+struct GuardLevel {
+    cond: Vreg,
+    pol: bool,
+    source: Value,
+}
+
+struct ExitRecord {
+    /// Predication source for this exit's one-hot condition (innermost
+    /// guard level), if any.
+    pred: Option<(Value, bool)>,
+    /// Environment snapshot for every register-written vreg.
+    snapshots: HashMap<Vreg, Value>,
+}
+
+/// Emits all hyperblocks of one function. Exit targets are *local* block
+/// indices (and callee ids are function ids); the caller patches them to
+/// global indices.
+///
+/// # Errors
+/// [`CompileError::BlockTooLarge`] when any block exceeds the ISA limits
+/// (the pipeline retries with a smaller formation cap).
+pub fn emit_function(
+    f: &Function,
+    hf: &HFunc,
+    homes: &Homes,
+    opts: &CompileOptions,
+) -> Result<Vec<Block>, CompileError> {
+    let cfg = Cfg::compute(f);
+    let lv = trips_ir::liveness::compute(f, &cfg);
+    let mut out = Vec::with_capacity(hf.blocks.len());
+    for hb in &hf.blocks {
+        let mut em = Emitter {
+            f,
+            hf,
+            homes,
+            lv: &lv,
+            hb,
+            nodes: Vec::new(),
+            reads: Vec::new(),
+            writes: Vec::new(),
+            exits: Vec::new(),
+            store_mask: 0,
+            next_lsid: 0,
+            env: HashMap::new(),
+            raw_info: HashMap::new(),
+            read_cache: HashMap::new(),
+            const_cache: HashMap::new(),
+            sp_src: None,
+            guards: Vec::new(),
+            exit_records: Vec::new(),
+            written: Vec::new(),
+        };
+        out.push(em.emit(opts)?);
+    }
+    Ok(out)
+}
+
+struct Emitter<'a> {
+    f: &'a Function,
+    hf: &'a HFunc,
+    homes: &'a Homes,
+    lv: &'a trips_ir::liveness::Liveness,
+    hb: &'a HBlock,
+    nodes: Vec<PNode>,
+    reads: Vec<PRead>,
+    writes: Vec<u8>,
+    exits: Vec<ExitTarget>,
+    store_mask: u32,
+    next_lsid: u32,
+    env: HashMap<Vreg, Value>,
+    /// For each vreg: the raw (uncompensated) producer of its last def and
+    /// the guard chain under which it was defined. Guard predication must
+    /// use this raw producer (which fires only on-path) rather than the
+    /// compensated env value (which always delivers).
+    raw_info: HashMap<Vreg, (Option<Src>, Vec<(Vreg, bool)>)>,
+    read_cache: HashMap<u8, usize>,
+    const_cache: HashMap<i64, Src>,
+    sp_src: Option<Src>,
+    guards: Vec<GuardLevel>,
+    exit_records: Vec<ExitRecord>,
+    written: Vec<(Vreg, u8)>,
+}
+
+impl<'a> Emitter<'a> {
+    fn node(&mut self, op: TOpcode) -> usize {
+        self.nodes.push(PNode { op, pred: None, imm: 0, lsid: None, exit: None, targets: Vec::new() });
+        self.nodes.len() - 1
+    }
+
+    fn connect_src(&mut self, s: Src, n: usize, slot: TargetSlot) {
+        let t = PTarget::Inst(n, slot);
+        match s {
+            Src::Read(r) => self.reads[r].targets.push(t),
+            Src::Node(m) => self.nodes[m].targets.push(t),
+        }
+    }
+
+    fn connect(&mut self, v: &Value, n: usize, slot: TargetSlot) {
+        for &p in &v.prods {
+            self.connect_src(p, n, slot);
+        }
+    }
+
+    fn connect_write(&mut self, v: &Value, w: usize) {
+        for &p in &v.prods {
+            let t = PTarget::Write(w);
+            match p {
+                Src::Read(r) => self.reads[r].targets.push(t),
+                Src::Node(m) => self.nodes[m].targets.push(t),
+            }
+        }
+    }
+
+    fn read_reg(&mut self, reg: u8) -> Src {
+        if let Some(&r) = self.read_cache.get(&reg) {
+            return Src::Read(r);
+        }
+        self.reads.push(PRead { reg, targets: Vec::new() });
+        let idx = self.reads.len() - 1;
+        self.read_cache.insert(reg, idx);
+        Src::Read(idx)
+    }
+
+    fn add_write(&mut self, reg: u8) -> usize {
+        self.writes.push(reg);
+        self.writes.len() - 1
+    }
+
+    /// Materializes a constant (movi, or movi+app chain for wide values).
+    fn const_src(&mut self, v: i64) -> Src {
+        if let Some(&s) = self.const_cache.get(&v) {
+            return s;
+        }
+        let fits = |x: i64, bits: u32| x >= -(1i64 << (bits - 1)) && x < (1i64 << (bits - 1));
+        let mut chunks = 1;
+        while chunks < 5 && !fits(v, 14 * chunks) {
+            chunks += 1;
+        }
+        let top = v >> (14 * (chunks - 1));
+        let n0 = self.node(TOpcode::Movi);
+        self.nodes[n0].imm = top;
+        let mut cur = n0;
+        for k in (0..chunks - 1).rev() {
+            let chunk = (v >> (14 * k)) & 0x3fff;
+            let n = self.node(TOpcode::App);
+            self.nodes[n].imm = chunk;
+            self.connect_src(Src::Node(cur), n, TargetSlot::Op0);
+            cur = n;
+        }
+        let s = Src::Node(cur);
+        self.const_cache.insert(v, s);
+        s
+    }
+
+    fn alloc_lsid(&mut self) -> Result<u8, CompileError> {
+        if self.next_lsid as usize >= limits::MAX_LSIDS {
+            return Err(self.overflow("load/store IDs"));
+        }
+        let l = self.next_lsid as u8;
+        self.next_lsid += 1;
+        Ok(l)
+    }
+
+    fn overflow(&self, what: &str) -> CompileError {
+        CompileError::BlockTooLarge { func: self.hf.name.clone(), what: format!("{} ({})", what, self.hb.name) }
+    }
+
+    /// Stack-pointer value (entry blocks use the post-adjustment value).
+    fn sp(&mut self) -> Src {
+        if let Some(s) = self.sp_src {
+            return s;
+        }
+        let raw = self.read_reg(abi::SP_REG);
+        let s = if self.hb.is_func_entry && self.homes.frame_total > 0 {
+            let adj = self.node(TOpcode::Addi);
+            self.nodes[adj].imm = -(self.homes.frame_total as i64);
+            self.connect_src(raw, adj, TargetSlot::Op0);
+            Src::Node(adj)
+        } else {
+            raw
+        };
+        self.sp_src = Some(s);
+        s
+    }
+
+    /// Current value of `v`, materializing its home (register read or frame
+    /// load) on first use.
+    fn use_val(&mut self, v: Vreg) -> Result<Value, CompileError> {
+        if let Some(val) = self.env.get(&v) {
+            return Ok(val.clone());
+        }
+        // Entry block: parameters arrive in the argument registers.
+        let val = if self.hb.is_func_entry && v.0 < self.f.param_count {
+            Value::one(self.read_reg(abi::ARG_BASE + v.0 as u8))
+        } else {
+            match self.homes.home[v.index()] {
+                Home::Reg(r) => Value::one(self.read_reg(r)),
+                Home::Frame(off) => {
+                    let sp = self.sp();
+                    let abs = self.homes.slot_offset(Home::Frame(off)) as i64;
+                    let (base, imm) = self.mem_base(Value::one(sp), abs)?;
+                    let n = self.node(TOpcode::Ld);
+                    self.nodes[n].imm = imm;
+                    self.nodes[n].lsid = Some(self.alloc_lsid()?);
+                    self.connect(&base, n, TargetSlot::Op0);
+                    Value::one(Src::Node(n))
+                }
+            }
+        };
+        self.env.insert(v, val.clone());
+        self.raw_info.insert(v, (Some(val.prods[0]), Vec::new()));
+        Ok(val)
+    }
+
+    fn ov(&mut self, op: Operand) -> Result<Value, CompileError> {
+        match op {
+            Operand::Reg(v) => self.use_val(v),
+            Operand::Imm(i) => Ok(Value::one(self.const_src(i))),
+        }
+    }
+
+    /// Applies the current innermost guard to a node (predication).
+    fn apply_guard(&mut self, n: usize) {
+        if let Some(level) = self.guards.last() {
+            self.nodes[n].pred = Some(level.pol);
+            let src = level.source.clone();
+            self.connect(&src, n, TargetSlot::Pred);
+        }
+    }
+
+    /// Records a definition of `v` by `new_prods` at the current guard
+    /// depth, inserting compensating movs so the resulting value delivers
+    /// exactly once per block execution.
+    fn def(&mut self, v: Vreg, new_prods: Vec<Src>) -> Result<(), CompileError> {
+        let depth = self.guards.len();
+        let chain: Vec<(Vreg, bool)> = self.guards.iter().map(|l| (l.cond, l.pol)).collect();
+        let raw = if new_prods.len() == 1 { Some(new_prods[0]) } else { None };
+        if depth == 0 {
+            self.env.insert(v, Value { prods: new_prods });
+            self.raw_info.insert(v, (raw, chain));
+            return Ok(());
+        }
+        let old = self.use_val(v)?;
+        let mut prods = new_prods;
+        for k in 0..depth {
+            let level = self.guards[k].clone();
+            let m = self.node(TOpcode::Mov);
+            self.nodes[m].pred = Some(!level.pol);
+            self.connect(&level.source, m, TargetSlot::Pred);
+            self.connect(&old, m, TargetSlot::Op0);
+            prods.push(Src::Node(m));
+        }
+        self.env.insert(v, Value { prods });
+        self.raw_info.insert(v, (raw, chain));
+        Ok(())
+    }
+
+    /// Synchronizes the guard stack with an event's guard chain.
+    fn sync_guard(&mut self, g: &Guard) -> Result<(), CompileError> {
+        // Longest common prefix.
+        let mut common = 0;
+        while common < self.guards.len()
+            && common < g.len()
+            && self.guards[common].cond == g[common].0
+            && self.guards[common].pol == g[common].1
+        {
+            common += 1;
+        }
+        self.guards.truncate(common);
+        for k in common..g.len() {
+            let (cond, pol) = g[k];
+            let source = self.guard_source(cond, k)?;
+            self.guards.push(GuardLevel { cond, pol, source });
+        }
+        Ok(())
+    }
+
+    /// The value delivering guard condition `cond` exactly when the prefix
+    /// of `depth` outer levels matched.
+    fn guard_source(&mut self, cond: Vreg, depth: usize) -> Result<Value, CompileError> {
+        let prefix: Vec<(Vreg, bool)> = self.guards[..depth].iter().map(|l| (l.cond, l.pol)).collect();
+        if depth == 0 {
+            // With no prefix every execution is on-path; the (complete) env
+            // value is exactly the sequential value.
+            return self.use_val(cond);
+        }
+        if let Some((Some(raw), chain)) = self.raw_info.get(&cond).cloned() {
+            if chain == prefix {
+                // Defined exactly under this prefix: the raw producer fires
+                // iff the prefix matched, carrying the right value.
+                return Ok(Value::one(raw));
+            }
+        }
+        // Otherwise gate the (always-delivering) env value through a mov
+        // predicated on the enclosing level.
+        let env_val = self.use_val(cond)?;
+        let outer = self.guards[depth - 1].clone();
+        let m = self.node(TOpcode::Mov);
+        self.nodes[m].pred = Some(outer.pol);
+        self.connect(&outer.source, m, TargetSlot::Pred);
+        self.connect(&env_val, m, TargetSlot::Op0);
+        Ok(Value::one(Src::Node(m)))
+    }
+
+    /// Computes `(base value, 9-bit offset)` addressing for memory ops.
+    fn mem_base(&mut self, base: Value, off: i64) -> Result<(Value, i64), CompileError> {
+        if (-256..256).contains(&off) {
+            return Ok((base, off));
+        }
+        if (-8192..8192).contains(&off) {
+            let n = self.node(TOpcode::Addi);
+            self.nodes[n].imm = off;
+            self.connect(&base, n, TargetSlot::Op0);
+            return Ok((Value::one(Src::Node(n)), 0));
+        }
+        let c = self.const_src(off);
+        let n = self.node(TOpcode::Add);
+        self.connect(&base, n, TargetSlot::Op0);
+        self.connect_src(c, n, TargetSlot::Op1);
+        Ok((Value::one(Src::Node(n)), 0))
+    }
+
+    /// Emits a store with output-completeness nulls along the guard chain.
+    fn emit_store(&mut self, w: MemWidth, addr: Value, off: i64, val: Value) -> Result<(), CompileError> {
+        let lsid = self.alloc_lsid()?;
+        self.store_mask |= 1 << lsid;
+        let (base, imm) = self.mem_base(addr, off)?;
+        let op = match w {
+            MemWidth::B => TOpcode::Sb,
+            MemWidth::H => TOpcode::Sh,
+            MemWidth::W => TOpcode::Sw,
+            MemWidth::D => TOpcode::Sd,
+        };
+        let st = self.node(op);
+        self.nodes[st].imm = imm;
+        self.nodes[st].lsid = Some(lsid);
+        self.connect(&base, st, TargetSlot::Op0);
+        self.connect(&val, st, TargetSlot::Op1);
+        self.apply_guard(st);
+        // One null per guard level: fires when that level is the first
+        // mismatch, so the LSID resolves on every path.
+        for k in 0..self.guards.len() {
+            let level = self.guards[k].clone();
+            let nl = self.node(TOpcode::Null);
+            self.nodes[nl].pred = Some(!level.pol);
+            self.nodes[nl].lsid = Some(lsid);
+            self.connect(&level.source, nl, TargetSlot::Pred);
+        }
+        Ok(())
+    }
+
+    /// Emits write-through for a frame-homed vreg definition.
+    fn write_through(&mut self, v: Vreg, val: Value) -> Result<(), CompileError> {
+        if let Home::Frame(off) = self.homes.home[v.index()] {
+            let sp = self.sp();
+            let abs = self.homes.slot_offset(Home::Frame(off)) as i64;
+            self.emit_store(MemWidth::D, Value::one(sp), abs, val)?;
+        }
+        Ok(())
+    }
+
+    fn emit(&mut self, opts: &CompileOptions) -> Result<Block, CompileError> {
+        let _ = opts;
+        // Determine the register-write plan up front.
+        let mut defined: Vec<Vreg> = Vec::new();
+        for ev in &self.hb.events {
+            if let Event::Inst { inst, .. } = ev {
+                if let Some(d) = inst.dst() {
+                    if !defined.contains(&d) {
+                        defined.push(d);
+                    }
+                }
+            }
+        }
+        if self.hb.is_func_entry {
+            for p in 0..self.f.param_count {
+                if !defined.contains(&Vreg(p)) {
+                    defined.push(Vreg(p));
+                }
+            }
+        }
+        if let Some(v) = self.hb.incoming_rv {
+            if !defined.contains(&v) {
+                defined.push(v);
+            }
+        }
+        // Live out of the region = live into any exit-target seed.
+        let mut exit_seeds: Vec<trips_ir::BlockId> = Vec::new();
+        for ev in &self.hb.events {
+            if let Event::Exit { exit, .. } = ev {
+                match exit {
+                    HExit::Jump { target } => exit_seeds.push(self.hf.blocks[*target].seed),
+                    HExit::Call { cont, .. } => exit_seeds.push(self.hf.blocks[*cont].seed),
+                    HExit::Ret { .. } => {}
+                }
+            }
+        }
+        let live_out = |v: Vreg, lv: &trips_ir::liveness::Liveness| {
+            exit_seeds.iter().any(|s| lv.live_in[s.index()][v.index()])
+        };
+        self.written = defined
+            .iter()
+            .filter_map(|&v| match self.homes.home[v.index()] {
+                Home::Reg(r) if live_out(v, self.lv) => Some((v, r)),
+                _ => None,
+            })
+            .collect();
+
+        // Entry-block setup: SP adjustment, frame-homed parameters.
+        if self.hb.is_func_entry && self.homes.frame_total > 0 {
+            let _ = self.sp();
+        }
+        if self.hb.is_func_entry {
+            for p in 0..self.f.param_count {
+                let v = Vreg(p);
+                if matches!(self.homes.home[v.index()], Home::Frame(_)) {
+                    let val = Value::one(self.read_reg(abi::ARG_BASE + p as u8));
+                    self.env.insert(v, val.clone());
+                    self.raw_info.insert(v, (Some(val.prods[0]), Vec::new()));
+                    self.write_through(v, val)?;
+                }
+            }
+        }
+        // Call-continuation: bind the return value.
+        if let Some(v) = self.hb.incoming_rv {
+            let val = Value::one(self.read_reg(abi::RV_REG));
+            self.env.insert(v, val.clone());
+            self.raw_info.insert(v, (Some(val.prods[0]), Vec::new()));
+            self.write_through(v, val)?;
+        }
+
+        let mut has_ret = false;
+        let events: Vec<Event> = self.hb.events.clone();
+        for ev in &events {
+            match ev {
+                Event::Inst { inst, guard } => {
+                    self.sync_guard(guard)?;
+                    self.emit_inst(inst)?;
+                }
+                Event::Exit { exit, guard } => {
+                    self.sync_guard(guard)?;
+                    has_ret |= matches!(exit, HExit::Ret { .. });
+                    self.emit_exit(exit)?;
+                }
+            }
+        }
+
+        // Final SP write.
+        if self.hb.is_func_entry && self.homes.frame_total > 0 && !has_ret {
+            let w = self.add_write(abi::SP_REG);
+            let sp = self.sp();
+            self.connect_write(&Value::one(sp), w);
+        }
+
+        // Register writes with per-exit merge movs where needed.
+        let written = self.written.clone();
+        for (v, reg) in written {
+            let w = self.add_write(reg);
+            let all_same = self
+                .exit_records
+                .iter()
+                .map(|r| r.snapshots.get(&v))
+                .collect::<Vec<_>>()
+                .windows(2)
+                .all(|p| p[0] == p[1]);
+            if self.exit_records.len() == 1 || all_same {
+                let val = self.exit_records[0]
+                    .snapshots
+                    .get(&v)
+                    .cloned()
+                    .ok_or_else(|| CompileError::Internal(format!("missing snapshot for {v}")))?;
+                self.connect_write(&val, w);
+            } else {
+                for i in 0..self.exit_records.len() {
+                    let val = self.exit_records[i]
+                        .snapshots
+                        .get(&v)
+                        .cloned()
+                        .ok_or_else(|| CompileError::Internal(format!("missing snapshot for {v}")))?;
+                    let pred = self.exit_records[i].pred.clone();
+                    let m = self.node(TOpcode::Mov);
+                    if let Some((src, pol)) = pred {
+                        self.nodes[m].pred = Some(pol);
+                        self.connect(&src, m, TargetSlot::Pred);
+                    }
+                    self.connect(&val, m, TargetSlot::Op0);
+                    self.nodes[m].targets.push(PTarget::Write(w));
+                }
+            }
+        }
+
+        self.build()
+    }
+
+    fn snapshot_exit(&mut self, pred: Option<(Value, bool)>) -> Result<(), CompileError> {
+        let mut snapshots = HashMap::new();
+        let written = self.written.clone();
+        for (v, _) in written {
+            let val = self.use_val(v)?;
+            snapshots.insert(v, val);
+        }
+        self.exit_records.push(ExitRecord { pred, snapshots });
+        Ok(())
+    }
+
+    fn emit_exit(&mut self, exit: &HExit) -> Result<(), CompileError> {
+        if self.exits.len() >= limits::MAX_EXITS {
+            return Err(self.overflow("exits"));
+        }
+        let exit_idx = self.exits.len() as u8;
+        let pred = self.guards.last().map(|l| (l.source.clone(), l.pol));
+        match exit {
+            HExit::Jump { target } => {
+                self.exits.push(ExitTarget::Block(*target as u32));
+                let b = self.node(TOpcode::Bro);
+                self.nodes[b].exit = Some(exit_idx);
+                self.apply_guard(b);
+            }
+            HExit::Call { func, args, dst: _, cont } => {
+                self.exits.push(ExitTarget::Call { callee: func.0, cont: *cont as u32 });
+                // Stage arguments into the ABI argument registers.
+                if args.len() > abi::MAX_ARGS {
+                    return Err(CompileError::Unsupported(format!(
+                        "call with {} arguments in {}",
+                        args.len(),
+                        self.hf.name
+                    )));
+                }
+                for (i, a) in args.iter().enumerate() {
+                    let val = self.ov(*a)?;
+                    let w = self.add_write(abi::ARG_BASE + i as u8);
+                    self.connect_write(&val, w);
+                }
+                let b = self.node(TOpcode::Callo);
+                self.nodes[b].exit = Some(exit_idx);
+                self.apply_guard(b);
+            }
+            HExit::Ret { val } => {
+                self.exits.push(ExitTarget::Ret);
+                if let Some(vop) = val {
+                    let v = self.ov(*vop)?;
+                    let w = self.add_write(abi::RV_REG);
+                    self.connect_write(&v, w);
+                }
+                // Restore SP (skip when this block also allocated the frame:
+                // net effect is zero and the committed SP never changes).
+                if self.homes.frame_total > 0 && !self.hb.is_func_entry {
+                    let sp = self.sp();
+                    let n = self.node(TOpcode::Addi);
+                    self.nodes[n].imm = self.homes.frame_total as i64;
+                    self.connect_src(sp, n, TargetSlot::Op0);
+                    let w = self.add_write(abi::SP_REG);
+                    self.connect_write(&Value::one(Src::Node(n)), w);
+                }
+                let b = self.node(TOpcode::Ret);
+                self.nodes[b].exit = Some(exit_idx);
+                self.apply_guard(b);
+            }
+        }
+        self.snapshot_exit(pred)
+    }
+
+    fn emit_inst(&mut self, inst: &Inst) -> Result<(), CompileError> {
+        match inst {
+            Inst::Iconst { dst, imm } => {
+                // Under a guard, constants must still fire only on-path so
+                // the compensation movs stay one-hot: route through a
+                // predicated mov.
+                let c = self.const_src(*imm);
+                let prod = if self.guards.is_empty() {
+                    c
+                } else {
+                    let m = self.node(TOpcode::Mov);
+                    self.connect_src(c, m, TargetSlot::Op0);
+                    self.apply_guard(m);
+                    Src::Node(m)
+                };
+                self.def_and_write_through(*dst, vec![prod])?;
+            }
+            Inst::Fconst { dst, imm } => {
+                let c = self.const_src(imm.to_bits() as i64);
+                let prod = if self.guards.is_empty() {
+                    c
+                } else {
+                    let m = self.node(TOpcode::Mov);
+                    self.connect_src(c, m, TargetSlot::Op0);
+                    self.apply_guard(m);
+                    Src::Node(m)
+                };
+                self.def_and_write_through(*dst, vec![prod])?;
+            }
+            Inst::Ibin { op, dst, a, b } => {
+                let n = self.emit_ibin(*op, *a, *b)?;
+                self.def_and_write_through(*dst, vec![Src::Node(n)])?;
+            }
+            Inst::Iun { op, dst, a } => {
+                let top = match op {
+                    IrOp::Not => TOpcode::Not,
+                    IrOp::Neg => TOpcode::Neg,
+                    IrOp::Sextb => TOpcode::Sextb,
+                    IrOp::Sexth => TOpcode::Sexth,
+                    IrOp::Sextw => TOpcode::Sextw,
+                    IrOp::Zextw => TOpcode::Zextw,
+                    IrOp::F2i => TOpcode::Fd2i,
+                    other => return Err(CompileError::Internal(format!("bad unary {other}"))),
+                };
+                let av = self.ov(*a)?;
+                let n = self.node(top);
+                self.connect(&av, n, TargetSlot::Op0);
+                self.apply_guard(n);
+                self.def_and_write_through(*dst, vec![Src::Node(n)])?;
+            }
+            Inst::Icmp { cc, dst, a, b } => {
+                let n = self.emit_icmp(*cc, *a, *b)?;
+                self.def_and_write_through(*dst, vec![Src::Node(n)])?;
+            }
+            Inst::Fbin { op, dst, a, b } => {
+                let top = match op {
+                    IrOp::Fadd => TOpcode::Fadd,
+                    IrOp::Fsub => TOpcode::Fsub,
+                    IrOp::Fmul => TOpcode::Fmul,
+                    IrOp::Fdiv => TOpcode::Fdiv,
+                    other => return Err(CompileError::Internal(format!("bad fbin {other}"))),
+                };
+                let av = self.ov(*a)?;
+                let bv = self.ov(*b)?;
+                let n = self.node(top);
+                self.connect(&av, n, TargetSlot::Op0);
+                self.connect(&bv, n, TargetSlot::Op1);
+                self.apply_guard(n);
+                self.def_and_write_through(*dst, vec![Src::Node(n)])?;
+            }
+            Inst::Fun { op, dst, a } => {
+                let top = match op {
+                    IrOp::Fneg => TOpcode::Fneg,
+                    IrOp::Fabs => TOpcode::Fabs,
+                    IrOp::Fsqrt => TOpcode::Fsqrt,
+                    IrOp::I2f => TOpcode::Fi2d,
+                    other => return Err(CompileError::Internal(format!("bad fun {other}"))),
+                };
+                let av = self.ov(*a)?;
+                let n = self.node(top);
+                self.connect(&av, n, TargetSlot::Op0);
+                self.apply_guard(n);
+                self.def_and_write_through(*dst, vec![Src::Node(n)])?;
+            }
+            Inst::Fcmp { cc, dst, a, b } => {
+                let (top, a, b, negate) = match cc {
+                    FloatCc::Eq => (TOpcode::Feq, *a, *b, false),
+                    FloatCc::Ne => (TOpcode::Feq, *a, *b, true),
+                    FloatCc::Lt => (TOpcode::Flt, *a, *b, false),
+                    FloatCc::Le => (TOpcode::Fle, *a, *b, false),
+                    FloatCc::Gt => (TOpcode::Flt, *b, *a, false),
+                    FloatCc::Ge => (TOpcode::Fle, *b, *a, false),
+                };
+                let av = self.ov(a)?;
+                let bv = self.ov(b)?;
+                let n = self.node(top);
+                self.connect(&av, n, TargetSlot::Op0);
+                self.connect(&bv, n, TargetSlot::Op1);
+                self.apply_guard(n);
+                let fin = if negate {
+                    let t = self.node(TOpcode::Teqi);
+                    self.nodes[t].imm = 0;
+                    self.connect_src(Src::Node(n), t, TargetSlot::Op0);
+                    t
+                } else {
+                    n
+                };
+                self.def_and_write_through(*dst, vec![Src::Node(fin)])?;
+            }
+            Inst::Select { dst, cond, if_true, if_false } => {
+                let cv = self.ov(*cond)?;
+                // Under a guard, gate the condition so the select movs fire
+                // only on-path.
+                let gate = if self.guards.is_empty() {
+                    cv
+                } else {
+                    let m = self.node(TOpcode::Mov);
+                    self.connect(&cv, m, TargetSlot::Op0);
+                    self.apply_guard(m);
+                    Value::one(Src::Node(m))
+                };
+                let tv = self.ov(*if_true)?;
+                let fv = self.ov(*if_false)?;
+                let mt = self.node(TOpcode::Mov);
+                self.nodes[mt].pred = Some(true);
+                self.connect(&gate, mt, TargetSlot::Pred);
+                self.connect(&tv, mt, TargetSlot::Op0);
+                let mf = self.node(TOpcode::Mov);
+                self.nodes[mf].pred = Some(false);
+                self.connect(&gate, mf, TargetSlot::Pred);
+                self.connect(&fv, mf, TargetSlot::Op0);
+                self.def_and_write_through(*dst, vec![Src::Node(mt), Src::Node(mf)])?;
+            }
+            Inst::Load { w, signed, dst, addr, off } => {
+                let av = self.ov(*addr)?;
+                let (base, imm) = self.mem_base(av, *off as i64)?;
+                let op = match (w, signed) {
+                    (MemWidth::B, false) => TOpcode::Lb,
+                    (MemWidth::B, true) => TOpcode::Lbs,
+                    (MemWidth::H, false) => TOpcode::Lh,
+                    (MemWidth::H, true) => TOpcode::Lhs,
+                    (MemWidth::W, false) => TOpcode::Lw,
+                    (MemWidth::W, true) => TOpcode::Lws,
+                    (MemWidth::D, _) => TOpcode::Ld,
+                };
+                let n = self.node(op);
+                self.nodes[n].imm = imm;
+                self.nodes[n].lsid = Some(self.alloc_lsid()?);
+                self.connect(&base, n, TargetSlot::Op0);
+                self.apply_guard(n);
+                self.def_and_write_through(*dst, vec![Src::Node(n)])?;
+            }
+            Inst::Store { w, src, addr, off } => {
+                let sv = self.ov(*src)?;
+                let av = self.ov(*addr)?;
+                self.emit_store(*w, av, *off as i64, sv)?;
+            }
+            Inst::FrameAddr { dst, off } => {
+                let sp = self.sp();
+                let n = self.node(TOpcode::Addi);
+                self.nodes[n].imm = *off as i64;
+                self.connect_src(sp, n, TargetSlot::Op0);
+                self.apply_guard(n);
+                self.def_and_write_through(*dst, vec![Src::Node(n)])?;
+            }
+            Inst::Call { .. } => {
+                return Err(CompileError::Internal("call instruction survived split_calls".into()));
+            }
+        }
+        Ok(())
+    }
+
+    fn def_and_write_through(&mut self, v: Vreg, prods: Vec<Src>) -> Result<(), CompileError> {
+        self.def(v, prods)?;
+        if matches!(self.homes.home[v.index()], Home::Frame(_)) {
+            // Write-through with the *raw* producers so the store is
+            // predicated correctly; env holds the compensated value.
+            let val = self.use_val(v)?;
+            self.write_through(v, val)?;
+        }
+        Ok(())
+    }
+
+    fn emit_ibin(&mut self, op: IrOp, a: Operand, b: Operand) -> Result<usize, CompileError> {
+        // Remainders have no direct opcode: expand to div/mul/sub.
+        if matches!(op, IrOp::Rem | IrOp::Urem) {
+            let divop = if op == IrOp::Rem { TOpcode::Div } else { TOpcode::Udiv };
+            let av = self.ov(a)?;
+            let bv = self.ov(b)?;
+            let q = self.node(divop);
+            self.connect(&av, q, TargetSlot::Op0);
+            self.connect(&bv, q, TargetSlot::Op1);
+            self.apply_guard(q);
+            let m = self.node(TOpcode::Mul);
+            self.connect_src(Src::Node(q), m, TargetSlot::Op0);
+            self.connect(&bv, m, TargetSlot::Op1);
+            let r = self.node(TOpcode::Sub);
+            self.connect(&av, r, TargetSlot::Op0);
+            self.connect_src(Src::Node(m), r, TargetSlot::Op1);
+            return Ok(r);
+        }
+        // Prefer immediate forms.
+        let (a, b) = match (a, b) {
+            (Operand::Imm(ia), Operand::Reg(_)) if op.is_commutative() => (b, Operand::Imm(ia)),
+            other => other,
+        };
+        let iform = |x: i64| -> Option<(TOpcode, i64)> {
+            if !(-8192..8192).contains(&x) {
+                return None;
+            }
+            match op {
+                IrOp::Add => Some((TOpcode::Addi, x)),
+                IrOp::Sub if x != -8192 => Some((TOpcode::Addi, -x)),
+                IrOp::Mul => Some((TOpcode::Muli, x)),
+                IrOp::And => Some((TOpcode::Andi, x)),
+                IrOp::Or => Some((TOpcode::Ori, x)),
+                IrOp::Xor => Some((TOpcode::Xori, x)),
+                IrOp::Shl => Some((TOpcode::Shli, x)),
+                IrOp::Shr => Some((TOpcode::Shri, x)),
+                IrOp::Sra => Some((TOpcode::Srai, x)),
+                _ => None,
+            }
+        };
+        if let Operand::Imm(x) = b {
+            if let Some((top, imm)) = iform(x) {
+                let av = self.ov(a)?;
+                let n = self.node(top);
+                self.nodes[n].imm = imm;
+                self.connect(&av, n, TargetSlot::Op0);
+                self.apply_guard(n);
+                return Ok(n);
+            }
+        }
+        let top = match op {
+            IrOp::Add => TOpcode::Add,
+            IrOp::Sub => TOpcode::Sub,
+            IrOp::Mul => TOpcode::Mul,
+            IrOp::Div => TOpcode::Div,
+            IrOp::Udiv => TOpcode::Udiv,
+            IrOp::And => TOpcode::And,
+            IrOp::Or => TOpcode::Or,
+            IrOp::Xor => TOpcode::Xor,
+            IrOp::Shl => TOpcode::Shl,
+            IrOp::Shr => TOpcode::Shr,
+            IrOp::Sra => TOpcode::Sra,
+            other => return Err(CompileError::Internal(format!("bad ibin {other}"))),
+        };
+        let av = self.ov(a)?;
+        let bv = self.ov(b)?;
+        let n = self.node(top);
+        self.connect(&av, n, TargetSlot::Op0);
+        self.connect(&bv, n, TargetSlot::Op1);
+        self.apply_guard(n);
+        Ok(n)
+    }
+
+    fn emit_icmp(&mut self, cc: IntCc, a: Operand, b: Operand) -> Result<usize, CompileError> {
+        let (top, a, b) = match cc {
+            IntCc::Eq => (TOpcode::Teq, a, b),
+            IntCc::Ne => (TOpcode::Tne, a, b),
+            IntCc::Lt => (TOpcode::Tlt, a, b),
+            IntCc::Le => (TOpcode::Tle, a, b),
+            IntCc::Gt => (TOpcode::Tlt, b, a),
+            IntCc::Ge => (TOpcode::Tle, b, a),
+            IntCc::Ult => (TOpcode::Tult, a, b),
+            IntCc::Ule => (TOpcode::Tule, a, b),
+            IntCc::Ugt => (TOpcode::Tult, b, a),
+            IntCc::Uge => (TOpcode::Tule, b, a),
+        };
+        // Immediate forms for the common cases.
+        if let Operand::Imm(x) = b {
+            if (-8192..8192).contains(&x) {
+                let imop = match top {
+                    TOpcode::Teq => Some(TOpcode::Teqi),
+                    TOpcode::Tlt => Some(TOpcode::Tlti),
+                    _ => None,
+                };
+                if let Some(iop) = imop {
+                    let av = self.ov(a)?;
+                    let n = self.node(iop);
+                    self.nodes[n].imm = x;
+                    self.connect(&av, n, TargetSlot::Op0);
+                    self.apply_guard(n);
+                    return Ok(n);
+                }
+            }
+        }
+        let av = self.ov(a)?;
+        let bv = self.ov(b)?;
+        let n = self.node(top);
+        self.connect(&av, n, TargetSlot::Op0);
+        self.connect(&bv, n, TargetSlot::Op1);
+        self.apply_guard(n);
+        Ok(n)
+    }
+
+    /// Reduces a target list to `cap` entries by combining targets pairwise
+    /// into mov instructions, FIFO — producing a balanced fanout tree.
+    fn fanout_tree(&mut self, targets: Vec<PTarget>, cap: usize) -> Vec<PTarget> {
+        let mut q: std::collections::VecDeque<PTarget> = targets.into();
+        while q.len() > cap {
+            let a = q.pop_front().expect("len > cap >= 1");
+            let b = q.pop_front().expect("len > cap >= 1");
+            let m = self.nodes.len();
+            self.nodes.push(PNode {
+                op: TOpcode::Mov,
+                pred: None,
+                imm: 0,
+                lsid: None,
+                exit: None,
+                targets: vec![a, b],
+            });
+            q.push_back(PTarget::Inst(m, TargetSlot::Op0));
+        }
+        q.into()
+    }
+
+    /// Legalizes fanout (mov trees for >2 targets) and assembles the final
+    /// block through the checked builder.
+    fn build(&mut self) -> Result<Block, CompileError> {
+        // Fanout legalization: producers whose format encodes fewer targets
+        // than they have consumers route through a *balanced* tree of mov
+        // instructions (depth log2(k)), exactly the replication overhead
+        // Figure 1 of the paper illustrates.
+        let mut r = 0;
+        while r < self.reads.len() {
+            if self.reads[r].targets.len() > 2 {
+                let targets = std::mem::take(&mut self.reads[r].targets);
+                self.reads[r].targets = self.fanout_tree(targets, 2);
+            }
+            r += 1;
+        }
+        let mut i = 0;
+        while i < self.nodes.len() {
+            let cap = self.nodes[i].op.max_targets().max(1);
+            if self.nodes[i].targets.len() > cap {
+                let targets = std::mem::take(&mut self.nodes[i].targets);
+                self.nodes[i].targets = self.fanout_tree(targets, cap);
+            }
+            i += 1;
+        }
+        if self.nodes.len() > limits::MAX_INSTS {
+            return Err(self.overflow(&format!("{} instructions", self.nodes.len())));
+        }
+        if self.reads.len() > limits::MAX_READS {
+            return Err(self.overflow(&format!("{} reads", self.reads.len())));
+        }
+        if self.writes.len() > limits::MAX_WRITES {
+            return Err(self.overflow(&format!("{} writes", self.writes.len())));
+        }
+
+        let mut bb = trips_isa::BlockBuilder::new(self.hb.name.clone());
+        for rd in &self.reads {
+            bb.add_read(rd.reg).map_err(|e| CompileError::Internal(e.to_string()))?;
+        }
+        for w in &self.writes {
+            bb.add_write(*w).map_err(|e| CompileError::Internal(e.to_string()))?;
+        }
+        for _ in 0..self.next_lsid {
+            bb.alloc_lsid().map_err(|e| CompileError::Internal(e.to_string()))?;
+        }
+        for n in &self.nodes {
+            let mut inst = BInst::new(n.op);
+            inst.pred = n.pred;
+            inst.imm = n.imm as i32;
+            inst.lsid = n.lsid;
+            inst.exit = n.exit;
+            bb.add_inst(inst).map_err(|e| CompileError::Internal(format!("{}: {e}", self.hb.name)))?;
+        }
+        for e in &self.exits {
+            bb.add_exit(*e).map_err(|e| CompileError::Internal(e.to_string()))?;
+        }
+        let to_target = |t: &PTarget| match t {
+            PTarget::Inst(i, s) => Target::Inst { idx: *i as u8, slot: *s },
+            PTarget::Write(w) => Target::Write(*w as u8),
+        };
+        for (ri, rd) in self.reads.iter().enumerate() {
+            for t in &rd.targets {
+                bb.add_read_target(ri as u8, to_target(t));
+            }
+        }
+        for (ni, n) in self.nodes.iter().enumerate() {
+            for t in &n.targets {
+                bb.add_target(ni as u8, to_target(t));
+            }
+        }
+        let mut blk = bb.finish();
+        blk.store_mask = self.store_mask;
+        Ok(blk)
+    }
+}

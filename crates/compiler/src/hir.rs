@@ -1,0 +1,538 @@
+//! Hyperblock formation.
+//!
+//! Groups IR basic blocks into *regions*, each of which becomes one TRIPS
+//! block. A region is grown greedily from a seed block (paper §2's block
+//! formation):
+//!
+//! * **merge** — an unconditional successor whose only predecessors are
+//!   already in the region is absorbed;
+//! * **if-conversion** — a diamond (`if/else`) or triangle (`if`) whose
+//!   arms are small, single-predecessor, call-free blocks is absorbed with
+//!   the arms predicated on the branch condition;
+//! * **superblock continuation** — past a conditional branch, the likelier
+//!   side continues inside the region under an extended *guard chain* while
+//!   the other side becomes a block exit.
+//!
+//! The result is a list of [`HBlock`]s whose events (guarded instructions
+//! and exits) the emitter converts to dataflow form. Guard chains are
+//! one-hot by construction: each event's guard is the full path condition
+//! from the region entry, so exits partition the paths.
+
+use crate::options::CompileOptions;
+use std::collections::HashMap;
+use trips_ir::cfg::Cfg;
+use trips_ir::{BlockId, Function, Inst, Operand, Terminator, Vreg};
+
+/// Maximum guard-chain depth (bounds the store-null chains the emitter must
+/// produce and keeps exit counts within the 8-exit ISA limit).
+pub const MAX_GUARD_DEPTH: usize = 4;
+
+/// A path condition: conjunction of `(cond-vreg, polarity)` terms, outermost
+/// first. Each term's condition value is computed under the prefix before
+/// it, giving the dataflow chain property the emitter relies on.
+pub type Guard = Vec<(Vreg, bool)>;
+
+/// An exit from a hyperblock.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HExit {
+    /// Jump to another hyperblock of the same function.
+    Jump {
+        /// Local hyperblock index.
+        target: usize,
+    },
+    /// Call a function; resume at `cont` when it returns.
+    Call {
+        /// Callee function.
+        func: trips_ir::FuncId,
+        /// Argument operands (evaluated in the calling block).
+        args: Vec<Operand>,
+        /// Vreg receiving the return value (bound in `cont`).
+        dst: Option<Vreg>,
+        /// Local hyperblock index to resume at.
+        cont: usize,
+    },
+    /// Return from the function.
+    Ret {
+        /// Returned operand.
+        val: Option<Operand>,
+    },
+}
+
+/// One event in a hyperblock, in sequential-semantics order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// An IR instruction, executed when `guard` matches.
+    Inst {
+        /// The instruction.
+        inst: Inst,
+        /// Path condition.
+        guard: Guard,
+    },
+    /// A block exit, taken when `guard` matches.
+    Exit {
+        /// The exit.
+        exit: HExit,
+        /// Path condition (one-hot across all exits).
+        guard: Guard,
+    },
+}
+
+/// A hyperblock.
+#[derive(Debug, Clone)]
+pub struct HBlock {
+    /// Diagnostic name (`func$bbN`).
+    pub name: String,
+    /// Seed IR block.
+    pub seed: BlockId,
+    /// Ordered guarded events.
+    pub events: Vec<Event>,
+    /// True for the function's entry hyperblock (receives arguments,
+    /// allocates the frame).
+    pub is_func_entry: bool,
+    /// `Some(v)` when this block is the continuation of a call whose result
+    /// lands in `v` (read from the return-value register).
+    pub incoming_rv: Option<Vreg>,
+}
+
+/// All hyperblocks of one function. The entry hyperblock is index 0.
+#[derive(Debug, Clone)]
+pub struct HFunc {
+    /// Function name.
+    pub name: String,
+    /// Hyperblocks.
+    pub blocks: Vec<HBlock>,
+}
+
+/// Forms hyperblocks for `f` with a region budget of `cap` IR instructions.
+pub fn form(f: &Function, fid: trips_ir::FuncId, cap: u32, opts: &CompileOptions) -> HFunc {
+    let cfg = Cfg::compute(f);
+    let nb = f.blocks.len();
+    let mut assigned: Vec<Option<usize>> = vec![None; nb];
+
+    // cont block -> vreg receiving the call result.
+    let mut cont_rv: HashMap<BlockId, Vreg> = HashMap::new();
+    for (_, bb) in f.iter_blocks() {
+        if let (Some(Inst::Call { dst: Some(d), .. }), Terminator::Jump(t)) = (bb.insts.last(), &bb.term) {
+            cont_rv.insert(*t, *d);
+        }
+    }
+
+    // Pass 1: pick seeds and grow regions, recording which IR blocks each
+    // region covers (so exits can later be resolved to region indices).
+    struct Draft {
+        seed: BlockId,
+        events: Vec<DraftEvent>,
+    }
+    enum DraftEvent {
+        Inst { inst: Inst, guard: Guard },
+        ExitJump { target: BlockId, guard: Guard },
+        ExitCall { func: trips_ir::FuncId, args: Vec<Operand>, dst: Option<Vreg>, cont: BlockId, guard: Guard },
+        ExitRet { val: Option<Operand>, guard: Guard },
+    }
+
+    let mut drafts: Vec<Draft> = Vec::new();
+    for &seed in &cfg.rpo {
+        if assigned[seed.index()].is_some() {
+            continue;
+        }
+        let region_idx = drafts.len();
+        assigned[seed.index()] = Some(region_idx);
+        let mut events = Vec::new();
+        let mut budget = cap as i64;
+        let mut guard: Guard = Vec::new();
+        let mut cur = seed;
+
+        let cost_of = |b: BlockId| f.blocks[b.index()].insts.len() as i64 + 4;
+        // Whether block `c` may be merged into the current region.
+        let mergeable = |c: BlockId,
+                         assigned: &Vec<Option<usize>>,
+                         guard: &Guard,
+                         budget: i64,
+                         region_idx: usize| {
+            if c == seed || assigned[c.index()].is_some() {
+                return false;
+            }
+            if !cfg.preds[c.index()].iter().all(|p| assigned[p.index()] == Some(region_idx)) {
+                return false;
+            }
+            if budget < cost_of(c) {
+                return false;
+            }
+            let bb = &f.blocks[c.index()];
+            let is_call = matches!(bb.insts.last(), Some(Inst::Call { .. }));
+            let is_ret = matches!(bb.term, Terminator::Ret(_));
+            if (is_call || is_ret) && !guard.is_empty() {
+                return false;
+            }
+            true
+        };
+
+        'walk: loop {
+            budget -= cost_of(cur);
+            let bb = &f.blocks[cur.index()];
+            // Call block: absorb the prefix, close with a Call exit.
+            if let Some(Inst::Call { dst, func, args }) = bb.insts.last() {
+                for inst in &bb.insts[..bb.insts.len() - 1] {
+                    events.push(DraftEvent::Inst { inst: inst.clone(), guard: guard.clone() });
+                }
+                let Terminator::Jump(cont) = bb.term else {
+                    unreachable!("split_calls guarantees call blocks end in jumps")
+                };
+                events.push(DraftEvent::ExitCall {
+                    func: *func,
+                    args: args.clone(),
+                    dst: *dst,
+                    cont,
+                    guard: guard.clone(),
+                });
+                break 'walk;
+            }
+            for inst in &bb.insts {
+                events.push(DraftEvent::Inst { inst: inst.clone(), guard: guard.clone() });
+            }
+            match bb.term.clone() {
+                Terminator::Ret(val) => {
+                    events.push(DraftEvent::ExitRet { val, guard: guard.clone() });
+                    break 'walk;
+                }
+                Terminator::Jump(t) => {
+                    if mergeable(t, &assigned, &guard, budget, region_idx) && !cont_rv.contains_key(&t) {
+                        assigned[t.index()] = Some(region_idx);
+                        cur = t;
+                        continue 'walk;
+                    }
+                    events.push(DraftEvent::ExitJump { target: t, guard: guard.clone() });
+                    break 'walk;
+                }
+                Terminator::Branch { cond, t, f: fl } => {
+                    let cvreg = match cond {
+                        Operand::Reg(v) => v,
+                        Operand::Imm(_) => {
+                            // Constant branch survived folding (O0): emit as
+                            // one-sided exit.
+                            let target = if cond.as_imm().unwrap() != 0 { t } else { fl };
+                            events.push(DraftEvent::ExitJump { target, guard: guard.clone() });
+                            break 'walk;
+                        }
+                    };
+                    let depth_ok = guard.len() < MAX_GUARD_DEPTH;
+                    // Diamond / triangle if-conversion.
+                    if opts.if_convert && depth_ok && t != fl {
+                        if let Some((arm_t, arm_f, join)) =
+                            match_diamond(f, &cfg, cur, t, fl, opts, &assigned, region_idx)
+                        {
+                            let arms_cost: i64 = arm_t.map(cost_of).unwrap_or(0) + arm_f.map(cost_of).unwrap_or(0);
+                            if budget >= arms_cost {
+                                budget -= arms_cost;
+                                if let Some(a) = arm_t {
+                                    assigned[a.index()] = Some(region_idx);
+                                    let mut g = guard.clone();
+                                    g.push((cvreg, true));
+                                    for inst in &f.blocks[a.index()].insts {
+                                        events.push(DraftEvent::Inst { inst: inst.clone(), guard: g.clone() });
+                                    }
+                                }
+                                if let Some(a) = arm_f {
+                                    assigned[a.index()] = Some(region_idx);
+                                    let mut g = guard.clone();
+                                    g.push((cvreg, false));
+                                    for inst in &f.blocks[a.index()].insts {
+                                        events.push(DraftEvent::Inst { inst: inst.clone(), guard: g.clone() });
+                                    }
+                                }
+                                if mergeable(join, &assigned, &guard, budget, region_idx)
+                                    && !cont_rv.contains_key(&join)
+                                {
+                                    assigned[join.index()] = Some(region_idx);
+                                    cur = join;
+                                    continue 'walk;
+                                }
+                                events.push(DraftEvent::ExitJump { target: join, guard: guard.clone() });
+                                break 'walk;
+                            }
+                        }
+                    }
+                    // Superblock continuation: keep going on one side.
+                    if opts.superblock && depth_ok {
+                        let mut gt = guard.clone();
+                        gt.push((cvreg, true));
+                        let mut gf = guard.clone();
+                        gf.push((cvreg, false));
+                        // Prefer continuing on the fall-through (false) side.
+                        if mergeable(fl, &assigned, &gf, budget, region_idx) && !cont_rv.contains_key(&fl) {
+                            events.push(DraftEvent::ExitJump { target: t, guard: gt });
+                            assigned[fl.index()] = Some(region_idx);
+                            guard = gf;
+                            cur = fl;
+                            continue 'walk;
+                        }
+                        if mergeable(t, &assigned, &gt, budget, region_idx) && !cont_rv.contains_key(&t) {
+                            events.push(DraftEvent::ExitJump { target: fl, guard: gf });
+                            assigned[t.index()] = Some(region_idx);
+                            guard = gt;
+                            cur = t;
+                            continue 'walk;
+                        }
+                    }
+                    // Plain two-exit close.
+                    let mut gt = guard.clone();
+                    gt.push((cvreg, true));
+                    let mut gf = guard.clone();
+                    gf.push((cvreg, false));
+                    events.push(DraftEvent::ExitJump { target: t, guard: gt });
+                    events.push(DraftEvent::ExitJump { target: fl, guard: gf });
+                    break 'walk;
+                }
+            }
+        }
+        drafts.push(Draft { seed, events });
+    }
+
+    // Pass 2: resolve exit targets to region indices.
+    let region_of: HashMap<BlockId, usize> = drafts.iter().enumerate().map(|(i, d)| (d.seed, i)).collect();
+    let resolve = |b: BlockId| -> usize {
+        *region_of.get(&b).unwrap_or_else(|| panic!("exit target {b} is not a region seed"))
+    };
+    let mut blocks = Vec::with_capacity(drafts.len());
+    for (i, d) in drafts.iter().enumerate() {
+        let events = d
+            .events
+            .iter()
+            .map(|e| match e {
+                DraftEvent::Inst { inst, guard } => Event::Inst { inst: inst.clone(), guard: guard.clone() },
+                DraftEvent::ExitJump { target, guard } => {
+                    Event::Exit { exit: HExit::Jump { target: resolve(*target) }, guard: guard.clone() }
+                }
+                DraftEvent::ExitCall { func, args, dst, cont, guard } => Event::Exit {
+                    exit: HExit::Call { func: *func, args: args.clone(), dst: *dst, cont: resolve(*cont) },
+                    guard: guard.clone(),
+                },
+                DraftEvent::ExitRet { val, guard } => {
+                    Event::Exit { exit: HExit::Ret { val: *val }, guard: guard.clone() }
+                }
+            })
+            .collect();
+        blocks.push(HBlock {
+            name: format!("{}${}", f.name, d.seed),
+            seed: d.seed,
+            events,
+            is_func_entry: i == 0 && d.seed == BlockId(0),
+            incoming_rv: cont_rv.get(&d.seed).copied(),
+        });
+    }
+    let _ = fid;
+    HFunc { name: f.name.clone(), blocks }
+}
+
+/// Matches a diamond (`cur → {t, f} → join`) or triangle (`cur → t → f`,
+/// `cur → f`). Returns `(then_arm, else_arm, join)`; arms are `None` for the
+/// empty side of a triangle.
+#[allow(clippy::too_many_arguments)]
+fn match_diamond(
+    f: &Function,
+    cfg: &Cfg,
+    cur: BlockId,
+    t: BlockId,
+    fl: BlockId,
+    opts: &CompileOptions,
+    assigned: &[Option<usize>],
+    _region: usize,
+) -> Option<(Option<BlockId>, Option<BlockId>, BlockId)> {
+    let arm_ok = |a: BlockId| {
+        assigned[a.index()].is_none()
+            && cfg.preds[a.index()].len() == 1
+            && cfg.preds[a.index()][0] == cur
+            && f.blocks[a.index()].insts.len() <= opts.max_arm_insts as usize
+            && !f.blocks[a.index()].insts.iter().any(|i| matches!(i, Inst::Call { .. }))
+            && matches!(f.blocks[a.index()].term, Terminator::Jump(_))
+    };
+    let jump_target = |a: BlockId| match f.blocks[a.index()].term {
+        Terminator::Jump(j) => Some(j),
+        _ => None,
+    };
+    // Full diamond.
+    if arm_ok(t) && arm_ok(fl) {
+        let jt = jump_target(t)?;
+        let jf = jump_target(fl)?;
+        if jt == jf && jt != t && jt != fl && jt != cur {
+            return Some((Some(t), Some(fl), jt));
+        }
+    }
+    // Triangle with a then-arm: cur → t → fl and cur → fl.
+    if arm_ok(t) && jump_target(t) == Some(fl) && fl != cur {
+        return Some((Some(t), None, fl));
+    }
+    // Triangle with an else-arm: cur → fl → t and cur → t.
+    if arm_ok(fl) && jump_target(fl) == Some(t) && t != cur {
+        return Some((None, Some(fl), t));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_ir::{IntCc, ProgramBuilder};
+
+    fn form_main(p: &trips_ir::Program, opts: &CompileOptions) -> HFunc {
+        let (fid, f) = p.func_by_name("main").expect("main exists");
+        form(f, fid, opts.region_cap, opts)
+    }
+
+    #[test]
+    fn diamond_collapses_to_one_block() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 1);
+        let e = f.entry();
+        let t = f.block();
+        let fl = f.block();
+        let j = f.block();
+        f.switch_to(e);
+        let c = f.icmp(IntCc::Gt, f.param(0), 0i64);
+        f.branch(c, t, fl);
+        f.switch_to(t);
+        f.iconst(1);
+        f.jump(j);
+        f.switch_to(fl);
+        f.iconst(2);
+        f.jump(j);
+        f.switch_to(j);
+        f.ret(None);
+        f.finish();
+        let p = pb.finish("main").unwrap();
+        let hf = form_main(&p, &CompileOptions::o1());
+        assert_eq!(hf.blocks.len(), 1, "diamond+join should form one hyperblock");
+        // Events must contain guarded instructions from both arms.
+        let guards: Vec<usize> = hf.blocks[0]
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Inst { guard, .. } => Some(guard.len()),
+                _ => None,
+            })
+            .collect();
+        assert!(guards.contains(&1), "arm instructions should be guarded");
+    }
+
+    #[test]
+    fn o0_keeps_blocks_separate() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 1);
+        let e = f.entry();
+        let t = f.block();
+        let fl = f.block();
+        let j = f.block();
+        f.switch_to(e);
+        let c = f.icmp(IntCc::Gt, f.param(0), 0i64);
+        f.branch(c, t, fl);
+        f.switch_to(t);
+        f.jump(j);
+        f.switch_to(fl);
+        f.jump(j);
+        f.switch_to(j);
+        f.ret(None);
+        f.finish();
+        let p = pb.finish("main").unwrap();
+        let hf = form_main(&p, &CompileOptions::o0());
+        assert_eq!(hf.blocks.len(), 4);
+    }
+
+    #[test]
+    fn self_loop_forms_own_region_with_backedge_exit() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 1);
+        let e = f.entry();
+        let l = f.block();
+        let done = f.block();
+        f.switch_to(e);
+        let i = f.iconst(0);
+        f.jump(l);
+        f.switch_to(l);
+        f.ibin_to(trips_ir::Opcode::Add, i, i, 1i64);
+        let c = f.icmp(IntCc::Lt, i, f.param(0));
+        f.branch(c, l, done);
+        f.switch_to(done);
+        f.ret(None);
+        f.finish();
+        let p = pb.finish("main").unwrap();
+        let hf = form_main(&p, &CompileOptions::o1());
+        // entry region, loop region, done region
+        assert_eq!(hf.blocks.len(), 3);
+        let loop_block = &hf.blocks[1];
+        let exits: Vec<_> = loop_block
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Exit { exit: HExit::Jump { target }, .. } => Some(*target),
+                _ => None,
+            })
+            .collect();
+        assert!(exits.contains(&1), "loop back edge must exit to itself");
+    }
+
+    #[test]
+    fn call_blocks_get_call_exits_and_cont_rv() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.declare("g", 1);
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        f.switch_to(e);
+        let r = f.call(g, &[Operand::imm(3)]);
+        let r2 = f.add(r, 1i64);
+        f.ret(Some(Operand::reg(r2)));
+        f.finish();
+        let mut gf = pb.func("g", 1);
+        let e2 = gf.entry();
+        gf.switch_to(e2);
+        gf.ret(Some(Operand::reg(gf.param(0))));
+        gf.finish();
+        let mut p = pb.finish("main").unwrap();
+        let mid = p.func_by_name("main").unwrap().0.index();
+        crate::opt::split_calls(&mut p.funcs[mid]);
+        let hf = form_main(&p, &CompileOptions::o1());
+        assert_eq!(hf.blocks.len(), 2);
+        assert!(hf.blocks[0]
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Exit { exit: HExit::Call { .. }, .. })));
+        assert_eq!(hf.blocks[1].incoming_rv, Some(r));
+    }
+
+    #[test]
+    fn guard_depth_bounded() {
+        // A chain of conditional branches deeper than MAX_GUARD_DEPTH.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 1);
+        let e = f.entry();
+        f.switch_to(e);
+        let mut blocks = vec![];
+        for _ in 0..8 {
+            blocks.push(f.block());
+        }
+        let exit_b = f.block();
+        let c = f.icmp(IntCc::Gt, f.param(0), 0i64);
+        f.branch(c, exit_b, blocks[0]);
+        for k in 0..8 {
+            f.switch_to(blocks[k]);
+            let c = f.icmp(IntCc::Gt, f.param(0), k as i64);
+            if k + 1 < 8 {
+                f.branch(c, exit_b, blocks[k + 1]);
+            } else {
+                f.branch(c, exit_b, exit_b);
+            }
+        }
+        f.switch_to(exit_b);
+        f.ret(None);
+        f.finish();
+        let p = pb.finish("main").unwrap();
+        let hf = form_main(&p, &CompileOptions::o2());
+        for hb in &hf.blocks {
+            for ev in &hb.events {
+                let g = match ev {
+                    Event::Inst { guard, .. } | Event::Exit { guard, .. } => guard,
+                };
+                assert!(g.len() <= MAX_GUARD_DEPTH + 1, "guard too deep: {}", g.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Register-home assignment for values crossing TRIPS block boundaries.
+//!
+//! Inside a TRIPS block values flow directly between instructions; only
+//! values live across block boundaries need architectural storage. With 128
+//! registers (vs the RISC baseline's 32) almost everything fits — the
+//! source of the paper's §4.3 finding that TRIPS needs half the memory
+//! accesses. Values live across a *call* go to frame slots instead (a
+//! caller-saves discipline; the callee is free to use every temp register).
+
+use trips_isa::abi;
+use trips_ir::cfg::Cfg;
+use trips_ir::{Function, Inst, Vreg};
+
+/// Where a vreg's value lives between blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Home {
+    /// An architectural register.
+    Reg(u8),
+    /// A frame slot at this byte offset past the function's IR frame area.
+    Frame(u32),
+}
+
+/// Home assignment for one function.
+#[derive(Debug, Clone)]
+pub struct Homes {
+    /// Per-vreg home.
+    pub home: Vec<Home>,
+    /// Total frame bytes: IR frame area + slots.
+    pub frame_total: u32,
+    /// Bytes of the IR frame area (slot offsets start here).
+    pub ir_frame: u32,
+}
+
+impl Homes {
+    /// Absolute frame offset of a [`Home::Frame`] slot.
+    pub fn slot_offset(&self, h: Home) -> u32 {
+        match h {
+            Home::Frame(off) => self.ir_frame + off,
+            Home::Reg(_) => panic!("not a frame home"),
+        }
+    }
+}
+
+/// Assigns homes: call-crossing values to frame slots, the rest to
+/// architectural registers `TEMP_BASE..128`, overflowing to frame slots.
+pub fn assign(f: &Function) -> Homes {
+    let cfg = Cfg::compute(f);
+    let lv = trips_ir::liveness::compute(f, &cfg);
+    let nv = f.vreg_count as usize;
+
+    // A vreg crosses a call if it is live out of a call-terminated block
+    // (calls are block-terminal after `opt::split_calls`), except the call's
+    // own destination.
+    let mut crosses_call = vec![false; nv];
+    for (bid, bb) in f.iter_blocks() {
+        if let Some(Inst::Call { dst, .. }) = bb.insts.last() {
+            for v in 0..nv {
+                if lv.live_out[bid.index()][v] && Some(Vreg(v as u32)) != *dst {
+                    crosses_call[v] = true;
+                }
+            }
+        }
+    }
+
+    let mut home = Vec::with_capacity(nv);
+    let mut next_reg = abi::TEMP_BASE;
+    let mut next_slot = 0u32;
+    for v in 0..nv {
+        if crosses_call[v] {
+            home.push(Home::Frame(next_slot));
+            next_slot += 8;
+        } else if (next_reg as usize) < trips_isa::limits::NUM_REGS {
+            home.push(Home::Reg(next_reg));
+            next_reg += 1;
+        } else {
+            home.push(Home::Frame(next_slot));
+            next_slot += 8;
+        }
+    }
+    let ir_frame = f.frame_size;
+    let frame_total = (ir_frame + next_slot + 15) & !15;
+    Homes { home, frame_total, ir_frame }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_ir::{Operand, ProgramBuilder};
+
+    #[test]
+    fn call_crossing_values_go_to_frame() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare("g", 0);
+        let mut fb = pb.func("main", 0);
+        let e = fb.entry();
+        fb.switch_to(e);
+        let x = fb.iconst(5); // live across the call
+        let y = fb.call(callee, &[]);
+        let z = fb.add(x, y);
+        fb.ret(Some(Operand::reg(z)));
+        fb.finish();
+        let mut g = pb.func("g", 0);
+        let e2 = g.entry();
+        g.switch_to(e2);
+        g.ret(Some(Operand::imm(1)));
+        g.finish();
+        let mut p = pb.finish("main").unwrap();
+        let mid = p.func_by_name("main").unwrap().0.index();
+        crate::opt::split_calls(&mut p.funcs[mid]);
+        let f = &p.funcs[mid];
+        let h = assign(f);
+        assert!(matches!(h.home[x.index()], Home::Frame(_)), "x must live in the frame across the call");
+        assert!(matches!(h.home[y.index()], Home::Reg(_)), "call result itself is not call-crossing");
+        assert!(h.frame_total >= 8);
+    }
+
+    #[test]
+    fn register_overflow_spills() {
+        // More simultaneously live cross-block vregs than registers.
+        let mut pb = ProgramBuilder::new();
+        let mut fb = pb.func("main", 0);
+        let e = fb.entry();
+        let b2 = fb.block();
+        fb.switch_to(e);
+        let vals: Vec<_> = (0..130).map(|i| fb.iconst(i)).collect();
+        fb.jump(b2);
+        fb.switch_to(b2);
+        let mut acc = fb.iconst(0);
+        for v in &vals {
+            acc = fb.add(acc, *v);
+        }
+        fb.ret(Some(Operand::reg(acc)));
+        fb.finish();
+        let p = pb.finish("main").unwrap();
+        let h = assign(&p.funcs[0]);
+        let frames = h.home.iter().filter(|h| matches!(h, Home::Frame(_))).count();
+        assert!(frames > 0, "must overflow to frame slots");
+    }
+
+    #[test]
+    fn slot_offsets_account_for_ir_frame() {
+        let mut pb = ProgramBuilder::new();
+        let mut fb = pb.func("main", 0);
+        let off = fb.frame_alloc(32, 8);
+        let e = fb.entry();
+        fb.switch_to(e);
+        let a = fb.frame_addr(off);
+        fb.ret(Some(Operand::reg(a)));
+        fb.finish();
+        let p = pb.finish("main").unwrap();
+        let h = assign(&p.funcs[0]);
+        assert_eq!(h.ir_frame, 32);
+        assert_eq!(h.slot_offset(Home::Frame(0)), 32);
+    }
+}

@@ -1,0 +1,157 @@
+//! # trips-compiler
+//!
+//! The TRIPS compiler of the reproduction: lowers [`trips_ir`] programs to
+//! TRIPS EDGE blocks ([`trips_isa`]), performing the two jobs the paper
+//! highlights as new compiler obligations (§2):
+//!
+//! 1. **Block formation** — aggregating basic blocks into large TRIPS blocks
+//!    using predication (if-conversion of diamonds and triangles), guarded
+//!    superblock continuation past conditional exits, counted-loop
+//!    unrolling, and block merging — all under the prototype's structural
+//!    limits (≤128 instructions, ≤32 load/store IDs, ≤32 reads/writes, ≤8
+//!    exits, output-completeness on every predicate path).
+//! 2. **Instruction placement** — assigning each instruction to one of the
+//!    16 execution tiles to expose concurrency while minimizing operand
+//!    network distance (a greedy spatial-path-scheduling heuristic after
+//!    Coons et al. [2]).
+//!
+//! The pipeline: IR optimizations ([`opt`]) → register-home assignment
+//! ([`homes`]) → hyperblock formation ([`hir`]) → dataflow emission
+//! ([`emit`]) → placement ([`placement`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use trips_ir::{ProgramBuilder, Operand};
+//! use trips_compiler::{compile, CompileOptions};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let mut f = pb.func("main", 0);
+//! let e = f.entry();
+//! f.switch_to(e);
+//! let a = f.iconst(40);
+//! let b = f.add(a, Operand::imm(2));
+//! f.ret(Some(Operand::reg(b)));
+//! f.finish();
+//! let program = pb.finish("main").expect("valid IR");
+//!
+//! let compiled = compile(&program, &CompileOptions::o1()).expect("compiles");
+//! let out = trips_isa::run_program(&compiled.trips, &program, 1 << 20).expect("runs");
+//! assert_eq!(out.return_value, 42);
+//! ```
+
+pub mod emit;
+pub mod hir;
+pub mod homes;
+pub mod opt;
+pub mod options;
+pub mod placement;
+
+pub use options::{CompileOptions, OptLevel};
+
+use std::error::Error;
+use std::fmt;
+use trips_isa::TripsProgram;
+
+/// Compiler failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A hyperblock could not be made to fit the block limits even at the
+    /// smallest formation cap.
+    BlockTooLarge {
+        /// Function being compiled.
+        func: String,
+        /// Description of the exhausted resource.
+        what: String,
+    },
+    /// Unsupported IR shape (e.g. too many call arguments for the ABI).
+    Unsupported(String),
+    /// Internal invariant violation (verifier rejected emitted code).
+    Internal(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::BlockTooLarge { func, what } => {
+                write!(f, "in {func}: hyperblock exceeds TRIPS limits: {what}")
+            }
+            CompileError::Unsupported(s) => write!(f, "unsupported IR: {s}"),
+            CompileError::Internal(s) => write!(f, "internal compiler error: {s}"),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+/// A compiled TRIPS program plus spatial placement metadata.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The TRIPS blocks.
+    pub trips: TripsProgram,
+    /// Per block, per compute instruction: the execution tile (0..16) chosen
+    /// by the placement pass.
+    pub placements: Vec<Vec<u8>>,
+    /// The optimized IR the blocks were generated from (for running the
+    /// reference interpreter on exactly what was compiled).
+    pub opt_ir: trips_ir::Program,
+}
+
+/// Compiles an IR program to TRIPS blocks.
+///
+/// # Errors
+/// See [`CompileError`].
+pub fn compile(program: &trips_ir::Program, opts: &CompileOptions) -> Result<CompiledProgram, CompileError> {
+    let mut ir = program.clone();
+    opt::optimize(&mut ir, opts);
+    trips_ir::verify::verify_program(&ir).map_err(CompileError::Internal)?;
+
+    // Per function: form hyperblocks and emit, retrying with smaller region
+    // caps whenever a block overflows the ISA limits.
+    let mut per_func: Vec<Vec<trips_isa::Block>> = Vec::with_capacity(ir.funcs.len());
+    for (fid, f) in ir.iter_funcs() {
+        let homes = homes::assign(f);
+        let mut cap = opts.region_cap.max(1);
+        let emitted = loop {
+            let fsplit = opt::split_large(f, cap.max(4) as usize);
+            let hf = hir::form(&fsplit, fid, cap, opts);
+            match emit::emit_function(&fsplit, &hf, &homes, opts) {
+                Ok(bs) => break bs,
+                Err(CompileError::BlockTooLarge { .. }) if cap > 2 => cap /= 2,
+                Err(e) => return Err(e),
+            }
+        };
+        per_func.push(emitted);
+    }
+
+    // Lay out all blocks contiguously and patch local exit indices.
+    let mut bases = Vec::with_capacity(per_func.len());
+    let mut base = 0u32;
+    for bs in &per_func {
+        bases.push(base);
+        base += bs.len() as u32;
+    }
+    let mut blocks = Vec::with_capacity(base as usize);
+    for (fi, bs) in per_func.into_iter().enumerate() {
+        let fbase = bases[fi];
+        for mut b in bs {
+            for e in &mut b.exits {
+                match e {
+                    trips_isa::ExitTarget::Block(t) => *t += fbase,
+                    trips_isa::ExitTarget::Call { callee, cont } => {
+                        *callee = bases[*callee as usize];
+                        *cont += fbase;
+                    }
+                    trips_isa::ExitTarget::Ret => {}
+                }
+            }
+            blocks.push(b);
+        }
+    }
+
+    let entry = bases[ir.entry.index()];
+    let trips = TripsProgram { blocks, entry };
+    trips_isa::verify::verify_program(&trips).map_err(CompileError::Internal)?;
+    let placements = trips.blocks.iter().map(|b| placement::place_block(b, opts)).collect();
+    Ok(CompiledProgram { trips, placements, opt_ir: ir })
+}

@@ -1,0 +1,850 @@
+//! Machine-independent IR optimizations.
+//!
+//! The subset of the TRIPS compiler's scalar pipeline that matters for the
+//! paper's figures: constant folding, copy propagation, dead-code
+//! elimination, local common-subexpression elimination, counted-loop
+//! unrolling (the block-filling workhorse) and tree-height reduction (the
+//! TRIPS-specific reassociation pass called out in §2).
+//!
+//! All passes are semantics-preserving on the reference interpreter; the
+//! backend equivalence tests run interpreter/RISC/TRIPS on the *optimized*
+//! IR and demand identical results. Floating-point expressions are never
+//! reassociated.
+
+use crate::options::{CompileOptions, OptLevel};
+use std::collections::HashMap;
+use trips_ir::{BasicBlock, Function, Inst, IntCc, Opcode, Operand, Program, Terminator, Vreg};
+
+/// Runs the optimization pipeline in place.
+pub fn optimize(p: &mut Program, opts: &CompileOptions) {
+    for f in &mut p.funcs {
+        split_calls(f);
+        if opts.level == OptLevel::O0 {
+            continue;
+        }
+        for _ in 0..3 {
+            fold_and_propagate(f);
+            dce(f);
+        }
+        local_cse(f);
+        dce(f);
+        if opts.unroll > 1 {
+            unroll_counted_loops(f, opts.unroll, opts.fp_reassoc);
+            fold_and_propagate(f);
+            dce(f);
+        }
+        if opts.tree_height_reduction {
+            tree_height_reduction(f, opts.fp_reassoc);
+            dce(f);
+        }
+    }
+}
+
+/// Canonicalizes every call to be the final instruction of its block
+/// (TRIPS blocks end at calls; the RISC backend is indifferent).
+pub fn split_calls(f: &mut Function) {
+    let mut b = 0;
+    while b < f.blocks.len() {
+        let call_pos = f.blocks[b].insts.iter().position(|i| matches!(i, Inst::Call { .. }));
+        match call_pos {
+            Some(k) if k + 1 < f.blocks[b].insts.len() || !matches!(f.blocks[b].term, Terminator::Jump(_)) => {
+                let rest = f.blocks[b].insts.split_off(k + 1);
+                let term = std::mem::replace(&mut f.blocks[b].term, Terminator::Ret(None));
+                let new_id = trips_ir::BlockId(f.blocks.len() as u32);
+                f.blocks.push(BasicBlock { insts: rest, term });
+                f.blocks[b].term = Terminator::Jump(new_id);
+                // Re-scan the same block in case it held multiple calls
+                // (the first split leaves at most the one call).
+                b += 1;
+            }
+            _ => b += 1,
+        }
+    }
+}
+
+/// Splits straight-line blocks larger than `max_insts`, preserving the
+/// call-last invariant. Returns a transformed copy.
+pub fn split_large(f: &Function, max_insts: usize) -> Function {
+    let mut f = f.clone();
+    let mut b = 0;
+    while b < f.blocks.len() {
+        if f.blocks[b].insts.len() > max_insts {
+            // Do not split between a call and the block end.
+            let cut = max_insts.min(f.blocks[b].insts.len() - 1);
+            let rest = f.blocks[b].insts.split_off(cut);
+            let term = std::mem::replace(&mut f.blocks[b].term, Terminator::Ret(None));
+            let new_id = trips_ir::BlockId(f.blocks.len() as u32);
+            f.blocks.push(BasicBlock { insts: rest, term });
+            f.blocks[b].term = Terminator::Jump(new_id);
+        }
+        b += 1;
+    }
+    f
+}
+
+/// Local constant folding + copy/constant propagation (within blocks).
+pub fn fold_and_propagate(f: &mut Function) {
+    for bb in &mut f.blocks {
+        // vreg -> known operand (constant or alias), valid at current point.
+        let mut env: HashMap<Vreg, Operand> = HashMap::new();
+        // vreg -> (base, offset): the value is base + offset, used to
+        // collapse chained constant increments (`i=i+1; i=i+1; …`) into
+        // independent adds from one base — induction-variable
+        // simplification, which keeps the unrolled loop-carried chain at
+        // one add instead of `factor` serial adds.
+        let mut offsets: HashMap<Vreg, (Vreg, i64)> = HashMap::new();
+        let kill = |env: &mut HashMap<Vreg, Operand>, offsets: &mut HashMap<Vreg, (Vreg, i64)>, d: Vreg| {
+            env.remove(&d);
+            env.retain(|_, v| *v != Operand::Reg(d));
+            offsets.remove(&d);
+            offsets.retain(|_, (b, _)| *b != d);
+        };
+        for inst in &mut bb.insts {
+            // Propagate into operands.
+            inst.map_uses(|op| match op {
+                Operand::Reg(v) => env.get(&v).copied().unwrap_or(op),
+                imm => imm,
+            });
+            // Rebase chained constant adds.
+            if let Inst::Ibin { op: Opcode::Add, dst, a: Operand::Reg(a), b: Operand::Imm(c) } = inst {
+                if let Some(&(base, c0)) = offsets.get(a) {
+                    if base != *dst || base == *a {
+                        *a = base;
+                        *c += c0;
+                    }
+                }
+            }
+            // Fold.
+            let folded: Option<Inst> = match inst {
+                Inst::Ibin { op, dst, a: Operand::Imm(a), b: Operand::Imm(b) } => {
+                    trips_ir::interp::eval_ibin(*op, *a as u64, *b as u64)
+                        .ok()
+                        .map(|v| Inst::Iconst { dst: *dst, imm: v as i64 })
+                }
+                Inst::Icmp { cc, dst, a: Operand::Imm(a), b: Operand::Imm(b) } => {
+                    Some(Inst::Iconst { dst: *dst, imm: cc.eval(*a as u64, *b as u64) as i64 })
+                }
+                Inst::Iun { op, dst, a: Operand::Imm(a) } => {
+                    Some(Inst::Iconst { dst: *dst, imm: trips_ir::interp::eval_iun(*op, *a as u64) as i64 })
+                }
+                Inst::Select { dst, cond: Operand::Imm(c), if_true, if_false } => {
+                    let v = if *c != 0 { *if_true } else { *if_false };
+                    Some(Inst::Ibin { op: Opcode::Add, dst: *dst, a: v, b: Operand::Imm(0) })
+                }
+                // Algebraic identities.
+                Inst::Ibin { op: Opcode::Mul, dst, a: _, b: Operand::Imm(0) } => {
+                    Some(Inst::Iconst { dst: *dst, imm: 0 })
+                }
+                Inst::Ibin { op: Opcode::Mul, dst, a, b: Operand::Imm(1) } => {
+                    Some(Inst::Ibin { op: Opcode::Add, dst: *dst, a: *a, b: Operand::Imm(0) })
+                }
+                _ => None,
+            };
+            if let Some(fi) = folded {
+                *inst = fi;
+            }
+            // Update environment.
+            if let Some(d) = inst.dst() {
+                kill(&mut env, &mut offsets, d);
+                match inst {
+                    Inst::Iconst { imm, .. } => {
+                        env.insert(d, Operand::Imm(*imm));
+                    }
+                    // Copy: add d, x, 0
+                    Inst::Ibin { op: Opcode::Add, a, b: Operand::Imm(0), .. } => {
+                        let a = *a;
+                        if a != Operand::Reg(d) {
+                            env.insert(d, a);
+                        }
+                    }
+                    _ => {}
+                }
+                if let Inst::Ibin { op: Opcode::Add, a: Operand::Reg(a), b: Operand::Imm(c), .. } = inst {
+                    if *a != d {
+                        offsets.insert(d, (*a, *c));
+                    }
+                }
+            }
+        }
+        bb.term.map_uses(|op| match op {
+            Operand::Reg(v) => env.get(&v).copied().unwrap_or(op),
+            imm => imm,
+        });
+        // Fold constant branches into jumps.
+        if let Terminator::Branch { cond: Operand::Imm(c), t, f: fl } = bb.term {
+            bb.term = Terminator::Jump(if c != 0 { t } else { fl });
+        }
+    }
+}
+
+/// Global textual dead-code elimination: removes pure instructions whose
+/// destination is never read anywhere.
+pub fn dce(f: &mut Function) {
+    loop {
+        let mut used = vec![false; f.vreg_count as usize];
+        for bb in &f.blocks {
+            for inst in &bb.insts {
+                inst.for_each_use_reg(|v| used[v.index()] = true);
+            }
+            bb.term.for_each_use_reg(|v| used[v.index()] = true);
+        }
+        let mut removed = 0;
+        for bb in &mut f.blocks {
+            let before = bb.insts.len();
+            bb.insts.retain(|i| {
+                i.has_side_effects() || i.is_load() || i.dst().map(|d| used[d.index()]).unwrap_or(true)
+            });
+            removed += before - bb.insts.len();
+        }
+        if removed == 0 {
+            break;
+        }
+    }
+}
+
+/// Local common-subexpression elimination over pure integer/float ops.
+pub fn local_cse(f: &mut Function) {
+    #[derive(PartialEq, Eq, Hash, Clone)]
+    enum Key {
+        Ibin(Opcode, Operand, Operand),
+        Icmp(IntCc, Operand, Operand),
+        Iun(Opcode, Operand),
+    }
+    for bb in &mut f.blocks {
+        let mut avail: HashMap<Key, Vreg> = HashMap::new();
+        for inst in &mut bb.insts {
+            let key = match inst {
+                Inst::Ibin { op, a, b, .. } if !matches!(op, Opcode::Div | Opcode::Udiv | Opcode::Rem | Opcode::Urem) => {
+                    // Normalize commutative operand order.
+                    let (a, b) = if op.is_commutative() && format!("{a}") > format!("{b}") { (*b, *a) } else { (*a, *b) };
+                    Some(Key::Ibin(*op, a, b))
+                }
+                Inst::Icmp { cc, a, b, .. } => Some(Key::Icmp(*cc, *a, *b)),
+                Inst::Iun { op, a, .. } => Some(Key::Iun(*op, *a)),
+                _ => None,
+            };
+            if let (Some(k), Some(d)) = (key.clone(), inst.dst()) {
+                let hit = avail.get(&k).copied();
+                // Kill expressions involving the redefined register first,
+                // then record the new availability.
+                avail.retain(|kk, v| {
+                    *v != d
+                        && match kk {
+                            Key::Ibin(_, a, b) | Key::Icmp(_, a, b) => {
+                                *a != Operand::Reg(d) && *b != Operand::Reg(d)
+                            }
+                            Key::Iun(_, a) => *a != Operand::Reg(d),
+                        }
+                });
+                match hit {
+                    Some(prev) if prev != d => {
+                        *inst = Inst::Ibin { op: Opcode::Add, dst: d, a: Operand::Reg(prev), b: Operand::Imm(0) };
+                    }
+                    Some(_) => {}
+                    None => {
+                        avail.insert(k, d);
+                    }
+                }
+            } else if let Some(d) = inst.dst() {
+                avail.retain(|kk, v| {
+                    *v != d
+                        && match kk {
+                            Key::Ibin(_, a, b) | Key::Icmp(_, a, b) => {
+                                *a != Operand::Reg(d) && *b != Operand::Reg(d)
+                            }
+                            Key::Iun(_, a) => *a != Operand::Reg(d),
+                        }
+                });
+            }
+        }
+    }
+}
+
+/// Strip-mined unrolling of counted self-loops.
+///
+/// Recognizes the canonical shape emitted by the workload builders:
+///
+/// ```text
+/// L:  <body>            (contains exactly one `i = i + 1`)
+///     c = icmp.lt i, n
+///     branch c, L, exit
+/// ```
+///
+/// and rewrites it into a preheader test plus an unrolled block running
+/// `factor` iterations unconditionally, falling back to the original block
+/// for the remainder — so the unrolled body is straight-line code that
+/// fills a TRIPS block without predication.
+pub fn unroll_counted_loops(f: &mut Function, factor: u32, fp_reassoc: bool) {
+    if factor < 2 {
+        return;
+    }
+    let nblocks = f.blocks.len();
+    for b in 0..nblocks {
+        let Some((ivar, bound, cond)) = match_counted_loop(f, b) else { continue };
+        let body: Vec<Inst> = f.blocks[b].insts.clone();
+        let Terminator::Branch { t, f: exit, .. } = f.blocks[b].term.clone() else { continue };
+        if t.index() != b {
+            continue;
+        }
+        // Resource-aware factor: the unrolled body must still fit a TRIPS
+        // block (128 instructions, 32 load/store IDs) with room for the
+        // dataflow overheads, or block formation will fall back to small
+        // blocks and lose the benefit.
+        let mem_ops = body.iter().filter(|i| i.is_load() || i.is_store()).count().max(1);
+        let mut factor = factor;
+        while factor > 1 && (mem_ops * factor as usize > 24 || body.len() * factor as usize > 90) {
+            factor /= 2;
+        }
+        if factor < 2 {
+            continue;
+        }
+        // Reduction-variable expansion: an accumulator `acc = op(acc, x)`
+        // read nowhere else in the body gets one partial accumulator per
+        // unrolled copy (loop-carried!), combined at the loop exit. This is
+        // what breaks the serial inter-iteration dependence chain and lets
+        // the 1024-instruction window overlap iterations.
+        let reductions = find_reductions(&body, ivar, cond, fp_reassoc);
+        let mut partials: Vec<(Vreg, Vec<Vreg>, Opcode, bool)> = Vec::new();
+        for &(acc, op, is_float) in &reductions {
+            let copies: Vec<Vreg> = (1..factor).map(|_| f.new_vreg()).collect();
+            partials.push((acc, copies, op, is_float));
+        }
+
+        // Induction rebasing: when the `i += 1` is not followed by other
+        // uses of `i` in the body, later copies address through fresh
+        // `t_u = i + u` temps computed directly from the base — one add of
+        // loop-carried depth per block instead of `factor` serial adds.
+        let inc_pos = body.iter().position(|inst| {
+            matches!(inst, Inst::Ibin { op: Opcode::Add, dst, a: Operand::Reg(a), b: Operand::Imm(1) }
+                if *dst == ivar && *a == ivar)
+        });
+        let rebase_ok = inc_pos
+            .map(|p| {
+                body[p + 1..].iter().all(|inst| {
+                    if inst.dst() == Some(cond) {
+                        return true;
+                    }
+                    let mut uses_ivar = false;
+                    inst.for_each_use_reg(|v| uses_ivar |= v == ivar);
+                    !uses_ivar
+                })
+            })
+            .unwrap_or(false);
+        let iv_temps: Vec<Vreg> = if rebase_ok { (1..factor).map(|_| f.new_vreg()).collect() } else { Vec::new() };
+
+        // Unrolled block: `factor` copies of the body minus the compare.
+        let mut un = Vec::new();
+        for u in 0..factor {
+            if rebase_ok && u > 0 {
+                un.push(Inst::Ibin {
+                    op: Opcode::Add,
+                    dst: iv_temps[(u - 1) as usize],
+                    a: Operand::Reg(ivar),
+                    b: Operand::Imm(u as i64),
+                });
+            }
+            for i in &body {
+                if i.dst() == Some(cond) {
+                    continue;
+                }
+                let mut inst = i.clone();
+                if rebase_ok {
+                    // Drop the per-copy increment; one combined add follows
+                    // the copies.
+                    if matches!(&inst, Inst::Ibin { op: Opcode::Add, dst, a: Operand::Reg(a), b: Operand::Imm(1) }
+                        if *dst == ivar && *a == ivar)
+                    {
+                        continue;
+                    }
+                    if u > 0 {
+                        let t = iv_temps[(u - 1) as usize];
+                        inst.map_uses(|op| if op == Operand::Reg(ivar) { Operand::Reg(t) } else { op });
+                    }
+                }
+                if u > 0 {
+                    // Rename reduction accumulators in later copies.
+                    for (acc, copies, _, _) in &partials {
+                        let r = copies[(u - 1) as usize];
+                        match &mut inst {
+                            Inst::Ibin { dst, a, .. } | Inst::Fbin { dst, a, .. }
+                                if *dst == *acc && *a == Operand::Reg(*acc) =>
+                            {
+                                *dst = r;
+                                *a = Operand::Reg(r);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                un.push(inst);
+            }
+        }
+        if rebase_ok {
+            un.push(Inst::Ibin { op: Opcode::Add, dst: ivar, a: Operand::Reg(ivar), b: Operand::Imm(factor as i64) });
+        }
+        // Re-test: continue unrolled while i <= n - factor, i.e. i < n-factor+1.
+        let margin = f.new_vreg();
+        let c2 = f.new_vreg();
+        let bound_minus = Inst::Ibin {
+            op: Opcode::Sub,
+            dst: margin,
+            a: bound,
+            b: Operand::Imm(factor as i64 - 1),
+        };
+        un.push(bound_minus.clone());
+        un.push(Inst::Icmp { cc: IntCc::Lt, dst: c2, a: Operand::Reg(ivar), b: Operand::Reg(margin) });
+        // After an unrolled round: another full round, the remainder loop
+        // (only if iterations remain -- the original loop is do-while), or
+        // straight to the exit.
+        let un_id = trips_ir::BlockId(f.blocks.len() as u32);
+        let check_id = trips_ir::BlockId(f.blocks.len() as u32 + 1);
+        f.blocks.push(BasicBlock {
+            insts: un,
+            term: Terminator::Branch { cond: Operand::Reg(c2), t: un_id, f: check_id },
+        });
+        let c3 = f.new_vreg();
+        let mut check_insts: Vec<Inst> = Vec::new();
+        for (acc, copies, op, is_float) in &partials {
+            for r in copies {
+                check_insts.push(if *is_float {
+                    Inst::Fbin { op: *op, dst: *acc, a: Operand::Reg(*acc), b: Operand::Reg(*r) }
+                } else {
+                    Inst::Ibin { op: *op, dst: *acc, a: Operand::Reg(*acc), b: Operand::Reg(*r) }
+                });
+            }
+        }
+        check_insts.push(Inst::Icmp { cc: IntCc::Lt, dst: c3, a: Operand::Reg(ivar), b: bound });
+        f.blocks.push(BasicBlock {
+            insts: check_insts,
+            term: Terminator::Branch { cond: Operand::Reg(c3), t: trips_ir::BlockId(b as u32), f: exit },
+        });
+        // Preheader: all edges into L (other than the back edge) get checked.
+        let pre_id = trips_ir::BlockId(f.blocks.len() as u32);
+        let margin0 = f.new_vreg();
+        let c0 = f.new_vreg();
+        let mut pre_insts: Vec<Inst> = Vec::new();
+        for (_, copies, op, is_float) in &partials {
+            for r in copies {
+                pre_insts.push(identity_init(*op, *r, *is_float));
+            }
+        }
+        pre_insts.push(Inst::Ibin { op: Opcode::Sub, dst: margin0, a: bound, b: Operand::Imm(factor as i64 - 1) });
+        pre_insts.push(Inst::Icmp { cc: IntCc::Lt, dst: c0, a: Operand::Reg(ivar), b: Operand::Reg(margin0) });
+        f.blocks.push(BasicBlock {
+            insts: pre_insts,
+            term: Terminator::Branch { cond: Operand::Reg(c0), t: un_id, f: trips_ir::BlockId(b as u32) },
+        });
+        // Redirect original entries into L to the preheader.
+        for (ob, bb) in f.blocks.iter_mut().enumerate() {
+            if ob == b || ob == un_id.index() || ob == check_id.index() || ob == pre_id.index() {
+                continue;
+            }
+            let redirect = |bid: &mut trips_ir::BlockId| {
+                if bid.index() == b {
+                    *bid = pre_id;
+                }
+            };
+            match &mut bb.term {
+                Terminator::Jump(t) => redirect(t),
+                Terminator::Branch { t, f: fl, .. } => {
+                    redirect(t);
+                    redirect(fl);
+                }
+                Terminator::Ret(_) => {}
+            }
+        }
+    }
+}
+
+/// Finds reduction accumulators in a loop body: vregs with exactly one
+/// write, of the form `acc = op(acc, x)`, read nowhere else.
+fn find_reductions(body: &[Inst], ivar: Vreg, cond: Vreg, fp: bool) -> Vec<(Vreg, Opcode, bool)> {
+    let mut out = Vec::new();
+    for inst in body {
+        let Some((op, acc, is_float, x)) = chain_step(inst, fp) else { continue };
+        if acc == ivar || acc == cond || x == Operand::Reg(acc) {
+            continue;
+        }
+        // acc must be written once and read exactly once (by this inst).
+        let mut writes = 0;
+        let mut reads = 0;
+        for other in body {
+            if other.dst() == Some(acc) {
+                writes += 1;
+            }
+            other.for_each_use_reg(|v| {
+                if v == acc {
+                    reads += 1;
+                }
+            });
+        }
+        if writes == 1 && reads == 1 {
+            out.push((acc, op, is_float));
+        }
+    }
+    out
+}
+
+/// `r = identity(op)` initialization for a partial accumulator.
+fn identity_init(op: Opcode, r: Vreg, is_float: bool) -> Inst {
+    if is_float {
+        let v = match op {
+            Opcode::Fmul => 1.0f64,
+            _ => 0.0,
+        };
+        Inst::Fconst { dst: r, imm: v }
+    } else {
+        let v = match op {
+            Opcode::Mul => 1i64,
+            Opcode::And => -1,
+            _ => 0,
+        };
+        Inst::Iconst { dst: r, imm: v }
+    }
+}
+
+/// Matches the counted self-loop pattern; returns (induction var, bound
+/// operand, condition vreg).
+fn match_counted_loop(f: &Function, b: usize) -> Option<(Vreg, Operand, Vreg)> {
+    let bb = &f.blocks[b];
+    let Terminator::Branch { cond: Operand::Reg(c), t, .. } = bb.term else { return None };
+    if t.index() != b {
+        return None;
+    }
+    // Condition must be the last instruction: c = icmp.lt i, bound.
+    let last = bb.insts.last()?;
+    let (ivar, bound) = match last {
+        Inst::Icmp { cc: IntCc::Lt, dst, a: Operand::Reg(i), b } if *dst == c => (*i, *b),
+        _ => return None,
+    };
+    // Exactly one increment of ivar by 1; no other defs of ivar, c, or bound;
+    // no calls or frame addressing (keeps the transform trivially sound).
+    let mut incs = 0;
+    for inst in &bb.insts {
+        if matches!(inst, Inst::Call { .. } | Inst::FrameAddr { .. }) {
+            return None;
+        }
+        match inst {
+            Inst::Ibin { op: Opcode::Add, dst, a: Operand::Reg(x), b: Operand::Imm(1) }
+                if *dst == ivar && *x == ivar =>
+            {
+                incs += 1;
+            }
+            _ => {
+                if inst.dst() == Some(ivar) {
+                    return None;
+                }
+            }
+        }
+        if inst.dst() == Some(c) && !std::ptr::eq(inst, last) {
+            return None;
+        }
+        if let Operand::Reg(bv) = bound {
+            if inst.dst() == Some(bv) {
+                return None;
+            }
+        }
+    }
+    if incs != 1 {
+        return None;
+    }
+    Some((ivar, bound, c))
+}
+
+/// Tree-height reduction (§2's TRIPS-specific reassociation pass).
+///
+/// Rewrites serial reduction chains `acc = acc ⊕ x1; …; acc = acc ⊕ xk`
+/// (with arbitrary non-`acc` instructions interleaved, as unrolled loop
+/// bodies produce) into four rotating partial sums combined pairwise at the
+/// end — cutting the dependence height from `k` to `k/4 + 2` and exposing
+/// the ILP the wide TRIPS core needs. Integer reductions are always
+/// eligible; floating-point reductions only under
+/// [`CompileOptions::fp_reassoc`] (fast-math semantics, like the paper's
+/// research compiler).
+pub fn tree_height_reduction(f: &mut Function, fp: bool) {
+    const K: usize = 4;
+    let nblocks = f.blocks.len();
+    for b in 0..nblocks {
+        let mut i = 0;
+        'outer: while i < f.blocks[b].insts.len() {
+            // A chain head: acc = op(acc, x).
+            let head = chain_step(&f.blocks[b].insts[i], fp);
+            let Some((op, acc, is_float, _)) = head else {
+                i += 1;
+                continue;
+            };
+            // Collect the chain: later steps with the same (op, acc);
+            // intervening instructions must neither read nor write acc.
+            let mut steps = vec![i];
+            let mut j = i + 1;
+            while j < f.blocks[b].insts.len() {
+                let inst = &f.blocks[b].insts[j];
+                match chain_step(inst, fp) {
+                    Some((o2, a2, f2, _)) if o2 == op && a2 == acc && f2 == is_float => {
+                        steps.push(j);
+                        j += 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+                let mut touches = inst.dst() == Some(acc);
+                inst.for_each_use_reg(|v| touches |= v == acc);
+                if touches {
+                    break;
+                }
+                j += 1;
+            }
+            if steps.len() < 3 {
+                i += 1;
+                continue 'outer;
+            }
+            // Rewrite in place with K rotating partials.
+            let partials: Vec<Vreg> = (0..K.min(steps.len())).map(|_| f.new_vreg()).collect();
+            for (jj, &pos) in steps.iter().enumerate() {
+                let m = jj % partials.len();
+                let x = chain_step(&f.blocks[b].insts[pos], fp).expect("still a step").3;
+                let inst = &mut f.blocks[b].insts[pos];
+                *inst = if jj == 0 {
+                    // Fold the incoming acc into partial 0.
+                    mk_red(op, partials[0], Operand::Reg(acc), x, is_float)
+                } else if jj < partials.len() {
+                    // First use of this partial: initialize it (bit copy).
+                    Inst::Ibin { op: Opcode::Add, dst: partials[m], a: x, b: Operand::Imm(0) }
+                } else {
+                    mk_red(op, partials[m], Operand::Reg(partials[m]), x, is_float)
+                };
+            }
+            // Combine the partials pairwise after the last step.
+            let mut combine: Vec<Inst> = Vec::new();
+            let mut layer: Vec<Operand> = partials.iter().map(|&p| Operand::Reg(p)).collect();
+            while layer.len() > 2 {
+                let mut next = Vec::new();
+                for pair in layer.chunks(2) {
+                    if pair.len() == 2 {
+                        let t = f.new_vreg();
+                        combine.push(mk_red(op, t, pair[0], pair[1], is_float));
+                        next.push(Operand::Reg(t));
+                    } else {
+                        next.push(pair[0]);
+                    }
+                }
+                layer = next;
+            }
+            let fin = if layer.len() == 2 {
+                mk_red(op, acc, layer[0], layer[1], is_float)
+            } else {
+                Inst::Ibin { op: Opcode::Add, dst: acc, a: layer[0], b: Operand::Imm(0) }
+            };
+            combine.push(fin);
+            let insert_at = steps[steps.len() - 1] + 1;
+            let ncomb = combine.len();
+            f.blocks[b].insts.splice(insert_at..insert_at, combine);
+            i = insert_at + ncomb;
+        }
+    }
+}
+
+/// Matches `acc = op(acc, x)`; returns `(op, acc, is_float, x)`.
+fn chain_step(inst: &Inst, fp: bool) -> Option<(Opcode, Vreg, bool, Operand)> {
+    match inst {
+        Inst::Ibin { op, dst, a: Operand::Reg(a), b }
+            if a == dst
+                && *b != Operand::Reg(*dst)
+                && matches!(op, Opcode::Add | Opcode::Mul | Opcode::And | Opcode::Or | Opcode::Xor) =>
+        {
+            Some((*op, *dst, false, *b))
+        }
+        Inst::Fbin { op, dst, a: Operand::Reg(a), b }
+            if fp && a == dst && *b != Operand::Reg(*dst) && matches!(op, Opcode::Fadd | Opcode::Fmul) =>
+        {
+            Some((*op, *dst, true, *b))
+        }
+        _ => None,
+    }
+}
+
+fn mk_red(op: Opcode, dst: Vreg, a: Operand, b: Operand, is_float: bool) -> Inst {
+    if is_float {
+        Inst::Fbin { op, dst, a, b }
+    } else {
+        Inst::Ibin { op, dst, a, b }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_ir::{interp, ProgramBuilder};
+
+    fn run_both(orig: &Program, opts: &CompileOptions) -> (u64, u64) {
+        let golden = interp::run(orig, 1 << 20).unwrap().return_value;
+        let mut optd = orig.clone();
+        optimize(&mut optd, opts);
+        trips_ir::verify::verify_program(&optd).expect("optimized IR verifies");
+        let after = interp::run(&optd, 1 << 20).unwrap().return_value;
+        (golden, after)
+    }
+
+    fn sum_program(n: i64) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        let body = f.block();
+        let done = f.block();
+        f.switch_to(e);
+        let acc = f.iconst(0);
+        let i = f.iconst(0);
+        f.jump(body);
+        f.switch_to(body);
+        f.ibin_to(Opcode::Add, acc, acc, i);
+        f.ibin_to(Opcode::Add, i, i, 1i64);
+        let c = f.icmp(IntCc::Lt, i, n);
+        f.branch(c, body, done);
+        f.switch_to(done);
+        f.ret(Some(Operand::reg(acc)));
+        f.finish();
+        pb.finish("main").unwrap()
+    }
+
+    #[test]
+    fn unrolling_preserves_semantics() {
+        for n in [0i64, 1, 2, 3, 7, 8, 9, 100, 101] {
+            let p = sum_program(n);
+            for opts in [CompileOptions::o1(), CompileOptions::o2(), CompileOptions::hand()] {
+                let (g, a) = run_both(&p, &opts);
+                assert_eq!(g, a, "n={n} level={:?}", opts.level);
+            }
+        }
+    }
+
+    #[test]
+    fn unroll_actually_fires() {
+        let mut p = sum_program(100);
+        let before = p.funcs[0].blocks.len();
+        optimize(&mut p, &CompileOptions::o2());
+        assert!(p.funcs[0].blocks.len() > before, "unroll should add blocks");
+        // Dynamic block count must drop: unrolled body executes fewer blocks.
+        let stats = interp::run(&p, 1 << 20).unwrap().stats;
+        let stats0 = interp::run(&sum_program(100), 1 << 20).unwrap().stats;
+        assert!(stats.blocks < stats0.blocks, "{} !< {}", stats.blocks, stats0.blocks);
+    }
+
+    #[test]
+    fn constant_folding_folds() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        f.switch_to(e);
+        let a = f.iconst(6);
+        let b = f.iconst(7);
+        let c = f.mul(a, b);
+        f.ret(Some(Operand::reg(c)));
+        f.finish();
+        let mut p = pb.finish("main").unwrap();
+        optimize(&mut p, &CompileOptions::o1());
+        // After folding + DCE only the constant and (possibly) a copy remain.
+        assert!(p.funcs[0].blocks[0].insts.len() <= 2);
+        assert_eq!(interp::run(&p, 1 << 20).unwrap().return_value, 42);
+    }
+
+    #[test]
+    fn cse_removes_duplicate_expression() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 2);
+        let e = f.entry();
+        f.switch_to(e);
+        let x = f.add(f.param(0), f.param(1));
+        let y = f.add(f.param(0), f.param(1));
+        let z = f.add(x, y);
+        f.ret(Some(Operand::reg(z)));
+        f.finish();
+        let mut p = pb.finish("main").unwrap();
+        local_cse(&mut p.funcs[0]);
+        fold_and_propagate(&mut p.funcs[0]);
+        dce(&mut p.funcs[0]);
+        let adds = p.funcs[0].blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Ibin { op: Opcode::Add, b, .. } if *b != Operand::Imm(0)))
+            .count();
+        assert!(adds <= 2, "duplicate add should be eliminated: {:?}", p.funcs[0].blocks[0].insts);
+    }
+
+    #[test]
+    fn split_calls_makes_calls_terminal() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.declare("g", 0);
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        f.switch_to(e);
+        let a = f.call(g, &[]);
+        let b = f.call(g, &[]);
+        let c = f.add(a, b);
+        f.ret(Some(Operand::reg(c)));
+        f.finish();
+        let mut gf = pb.func("g", 0);
+        let e2 = gf.entry();
+        gf.switch_to(e2);
+        gf.ret(Some(Operand::imm(5)));
+        gf.finish();
+        let mut p = pb.finish("main").unwrap();
+        let golden = interp::run(&p, 1 << 20).unwrap().return_value;
+        split_calls(&mut p.funcs[0]);
+        trips_ir::verify::verify_program(&p).unwrap();
+        for bb in &p.funcs[0].blocks {
+            for (i, inst) in bb.insts.iter().enumerate() {
+                if matches!(inst, Inst::Call { .. }) {
+                    assert_eq!(i, bb.insts.len() - 1, "call must be last");
+                    assert!(matches!(bb.term, Terminator::Jump(_)));
+                }
+            }
+        }
+        assert_eq!(interp::run(&p, 1 << 20).unwrap().return_value, golden);
+    }
+
+    #[test]
+    fn thr_rebalances_and_preserves_value() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        f.switch_to(e);
+        let acc = f.iconst(1);
+        for k in 2..=8i64 {
+            f.ibin_to(Opcode::Add, acc, acc, k);
+        }
+        f.ret(Some(Operand::reg(acc)));
+        f.finish();
+        let mut p = pb.finish("main").unwrap();
+        let golden = interp::run(&p, 1 << 20).unwrap().return_value;
+        tree_height_reduction(&mut p.funcs[0], false);
+        trips_ir::verify::verify_program(&p).unwrap();
+        assert_eq!(interp::run(&p, 1 << 20).unwrap().return_value, golden);
+        assert_eq!(golden, 36);
+    }
+
+    #[test]
+    fn split_large_bounds_block_size() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        f.switch_to(e);
+        let mut v = f.iconst(0);
+        for _ in 0..100 {
+            v = f.add(v, 1i64);
+        }
+        f.ret(Some(Operand::reg(v)));
+        f.finish();
+        let p = pb.finish("main").unwrap();
+        let split = split_large(&p.funcs[0], 16);
+        for bb in &split.blocks {
+            assert!(bb.insts.len() <= 16);
+        }
+        // Semantics preserved.
+        let mut p2 = p.clone();
+        p2.funcs[0] = split;
+        assert_eq!(
+            interp::run(&p2, 1 << 20).unwrap().return_value,
+            interp::run(&p, 1 << 20).unwrap().return_value
+        );
+    }
+}

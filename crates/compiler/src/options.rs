@@ -1,0 +1,140 @@
+//! Compilation options and optimization-level presets.
+
+use serde::{Deserialize, Serialize};
+
+/// Optimization level presets.
+///
+/// `O1` approximates gcc-quality scalar optimization; `O2` approximates the
+/// more aggressive icc (the paper uses the gcc/icc pair to bracket compiler
+/// quality on the reference platforms); `Hand` models the paper's
+/// hand-optimized TRIPS code: maximal unrolling and block filling, which the
+/// authors describe as "largely mechanical" transformations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OptLevel {
+    /// No optimization; one TRIPS block per IR basic block.
+    O0,
+    /// Standard scalar opts + if-conversion + unroll ×2 (gcc-like).
+    O1,
+    /// Adds tree-height reduction and unroll ×4 (icc-like).
+    O2,
+    /// Hand-optimized mode: unroll ×8, largest block formation.
+    Hand,
+}
+
+/// All knobs controlling compilation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompileOptions {
+    /// Preset this configuration was derived from.
+    pub level: OptLevel,
+    /// Unroll factor for counted loops (1 = off).
+    pub unroll: u32,
+    /// If-convert diamonds/triangles into predicated code.
+    pub if_convert: bool,
+    /// Continue hyperblocks past conditional exits (superblock formation).
+    pub superblock: bool,
+    /// Apply tree-height reduction to integer reduction chains.
+    pub tree_height_reduction: bool,
+    /// Reassociate floating-point reductions too (the research compiler's
+    /// tree-height reduction; changes FP rounding like `-ffast-math`).
+    pub fp_reassoc: bool,
+    /// Initial region-formation budget in IR instructions per hyperblock
+    /// (the emitter retries with smaller caps on overflow).
+    pub region_cap: u32,
+    /// Maximum IR instructions in an if-converted arm.
+    pub max_arm_insts: u32,
+}
+
+impl CompileOptions {
+    /// No optimization.
+    pub fn o0() -> CompileOptions {
+        CompileOptions {
+            level: OptLevel::O0,
+            unroll: 1,
+            if_convert: false,
+            superblock: false,
+            tree_height_reduction: false,
+            fp_reassoc: false,
+            region_cap: 1,
+            max_arm_insts: 0,
+        }
+    }
+
+    /// gcc-like preset.
+    pub fn o1() -> CompileOptions {
+        CompileOptions {
+            level: OptLevel::O1,
+            unroll: 2,
+            if_convert: true,
+            superblock: true,
+            tree_height_reduction: false,
+            fp_reassoc: false,
+            region_cap: 48,
+            max_arm_insts: 16,
+        }
+    }
+
+    /// icc-like preset.
+    pub fn o2() -> CompileOptions {
+        CompileOptions {
+            level: OptLevel::O2,
+            unroll: 4,
+            if_convert: true,
+            superblock: true,
+            tree_height_reduction: true,
+            fp_reassoc: true,
+            region_cap: 96,
+            max_arm_insts: 24,
+        }
+    }
+
+    /// Hand-optimized preset (paper's `H` bars).
+    pub fn hand() -> CompileOptions {
+        CompileOptions {
+            level: OptLevel::Hand,
+            unroll: 8,
+            if_convert: true,
+            superblock: true,
+            tree_height_reduction: true,
+            fp_reassoc: true,
+            region_cap: 96,
+            max_arm_insts: 32,
+        }
+    }
+
+    /// The preset for a named level.
+    pub fn for_level(level: OptLevel) -> CompileOptions {
+        match level {
+            OptLevel::O0 => Self::o0(),
+            OptLevel::O1 => Self::o1(),
+            OptLevel::O2 => Self::o2(),
+            OptLevel::Hand => Self::hand(),
+        }
+    }
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        Self::o1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_in_aggressiveness() {
+        assert!(CompileOptions::o0().unroll <= CompileOptions::o1().unroll);
+        assert!(CompileOptions::o1().unroll <= CompileOptions::o2().unroll);
+        assert!(CompileOptions::o2().unroll <= CompileOptions::hand().unroll);
+        assert!(!CompileOptions::o0().if_convert);
+        assert!(CompileOptions::hand().if_convert);
+    }
+
+    #[test]
+    fn for_level_roundtrip() {
+        for l in [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::Hand] {
+            assert_eq!(CompileOptions::for_level(l).level, l);
+        }
+    }
+}

@@ -1,0 +1,452 @@
+//! End-to-end equivalence: every torture program must produce identical
+//! results on the IR reference interpreter and on the TRIPS functional
+//! simulator, at every optimization level — the core correctness contract
+//! of the compiler.
+
+use trips_compiler::{compile, CompileOptions};
+use trips_ir::{IntCc, MemWidth, Opcode, Operand, Program, ProgramBuilder};
+
+fn check_all_levels(p: &Program, name: &str) {
+    let golden = trips_ir::interp::run(p, 1 << 20).expect("ir interp");
+    for opts in [CompileOptions::o0(), CompileOptions::o1(), CompileOptions::o2(), CompileOptions::hand()] {
+        let compiled = compile(p, &opts).unwrap_or_else(|e| panic!("{name} @ {:?}: {e}", opts.level));
+        // Run the optimized IR too: optimizations must preserve semantics
+        // bit-exactly unless FP reassociation is licensed (O2/Hand model the
+        // research compiler's fast-math-style tree-height reduction).
+        let opt_golden = trips_ir::interp::run(&compiled.opt_ir, 1 << 20).expect("opt ir interp");
+        if !opts.fp_reassoc {
+            assert_eq!(
+                golden.return_value, opt_golden.return_value,
+                "{name} @ {:?}: optimizer changed the result",
+                opts.level
+            );
+        }
+        // The machine must always agree exactly with the IR it was
+        // compiled from.
+        let out = trips_isa::run_program(&compiled.trips, &compiled.opt_ir, 1 << 20)
+            .unwrap_or_else(|e| panic!("{name} @ {:?}: TRIPS exec failed: {e}", opts.level));
+        assert_eq!(
+            opt_golden.return_value, out.return_value,
+            "{name} @ {:?}: TRIPS disagrees with the interpreter",
+            opts.level
+        );
+    }
+}
+
+#[test]
+fn straightline_arith() {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    let a = f.iconst(1234);
+    let b = f.mul(a, 17i64);
+    let c = f.sub(b, 99i64);
+    let d = f.xor(c, a);
+    let g = f.sra(d, 2i64);
+    let h = f.div(g, 3i64);
+    f.ret(Some(Operand::reg(h)));
+    f.finish();
+    check_all_levels(&pb.finish("main").unwrap(), "straightline_arith");
+}
+
+#[test]
+fn wide_constants() {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    let a = f.iconst(0x1234_5678_9abc_def0u64 as i64);
+    let b = f.iconst(-0x7654_3210_fedc_b_i64);
+    let c = f.xor(a, b);
+    f.ret(Some(Operand::reg(c)));
+    f.finish();
+    check_all_levels(&pb.finish("main").unwrap(), "wide_constants");
+}
+
+#[test]
+fn diamond_both_polarities() {
+    for x in [-5i64, 0, 7] {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        let t = f.block();
+        let fl = f.block();
+        let j = f.block();
+        f.switch_to(e);
+        let v = f.vreg();
+        let xv = f.iconst(x);
+        let c = f.icmp(IntCc::Gt, xv, 0i64);
+        f.branch(c, t, fl);
+        f.switch_to(t);
+        f.set(v, 111i64);
+        f.jump(j);
+        f.switch_to(fl);
+        f.set(v, 222i64);
+        f.jump(j);
+        f.switch_to(j);
+        let r = f.add(v, 1i64);
+        f.ret(Some(Operand::reg(r)));
+        f.finish();
+        check_all_levels(&pb.finish("main").unwrap(), &format!("diamond x={x}"));
+    }
+}
+
+#[test]
+fn triangle_with_store() {
+    for x in [0i64, 5] {
+        let mut pb = ProgramBuilder::new();
+        let buf = pb.data_mut().alloc_i64s("buf", &[10, 20]);
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        let t = f.block();
+        let j = f.block();
+        f.switch_to(e);
+        let xv = f.iconst(x);
+        let c = f.icmp(IntCc::Gt, xv, 0i64);
+        f.branch(c, t, j);
+        f.switch_to(t);
+        let addr = f.iconst(buf as i64);
+        f.store_i64(777i64, addr, 0);
+        f.jump(j);
+        f.switch_to(j);
+        let addr2 = f.iconst(buf as i64);
+        let v0 = f.load_i64(addr2, 0);
+        let v1 = f.load_i64(addr2, 8);
+        let s = f.add(v0, v1);
+        f.ret(Some(Operand::reg(s)));
+        f.finish();
+        check_all_levels(&pb.finish("main").unwrap(), &format!("triangle_store x={x}"));
+    }
+}
+
+#[test]
+fn loops_sum_and_nested() {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    let outer = f.block();
+    let inner = f.block();
+    let inner_done = f.block();
+    let done = f.block();
+    f.switch_to(e);
+    let acc = f.iconst(0);
+    let i = f.iconst(0);
+    f.jump(outer);
+    f.switch_to(outer);
+    let j = f.iconst(0);
+    f.jump(inner);
+    f.switch_to(inner);
+    let prod = f.mul(i, j);
+    f.ibin_to(Opcode::Add, acc, acc, prod);
+    f.ibin_to(Opcode::Add, j, j, 1i64);
+    let cj = f.icmp(IntCc::Lt, j, 7i64);
+    f.branch(cj, inner, inner_done);
+    f.switch_to(inner_done);
+    f.ibin_to(Opcode::Add, i, i, 1i64);
+    let ci = f.icmp(IntCc::Lt, i, 13i64);
+    f.branch(ci, outer, done);
+    f.switch_to(done);
+    f.ret(Some(Operand::reg(acc)));
+    f.finish();
+    check_all_levels(&pb.finish("main").unwrap(), "nested_loops");
+}
+
+#[test]
+fn memory_kernel_with_all_widths() {
+    let mut pb = ProgramBuilder::new();
+    let buf = pb.data_mut().alloc_bytes("buf", &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16]);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    let a = f.iconst(buf as i64);
+    let b1 = f.load(MemWidth::B, false, a, 0);
+    let b2 = f.load(MemWidth::B, true, a, 1);
+    let h1 = f.load(MemWidth::H, false, a, 2);
+    let w1 = f.load(MemWidth::W, true, a, 4);
+    let d1 = f.load(MemWidth::D, false, a, 8);
+    f.store(MemWidth::H, 0xbeefi64, a, 0);
+    let h2 = f.load(MemWidth::H, false, a, 0);
+    let s1 = f.add(b1, b2);
+    let s2 = f.add(h1, w1);
+    let s3 = f.add(d1, h2);
+    let s4 = f.add(s1, s2);
+    let r = f.add(s3, s4);
+    f.ret(Some(Operand::reg(r)));
+    f.finish();
+    check_all_levels(&pb.finish("main").unwrap(), "memory_widths");
+}
+
+#[test]
+fn calls_and_recursion() {
+    let mut pb = ProgramBuilder::new();
+    let fib = pb.declare("fib", 1);
+    let mut f = pb.func("fib", 1);
+    let e = f.entry();
+    let rec = f.block();
+    let base = f.block();
+    f.switch_to(e);
+    let n = f.param(0);
+    let c = f.icmp(IntCc::Le, n, 1i64);
+    f.branch(c, base, rec);
+    f.switch_to(base);
+    f.ret(Some(Operand::reg(n)));
+    f.switch_to(rec);
+    let n1 = f.sub(n, 1i64);
+    let n2 = f.sub(n, 2i64);
+    let a = f.call(fib, &[Operand::reg(n1)]);
+    let b = f.call(fib, &[Operand::reg(n2)]);
+    let s = f.add(a, b);
+    f.ret(Some(Operand::reg(s)));
+    f.finish();
+    let mut m = pb.func("main", 0);
+    let e = m.entry();
+    m.switch_to(e);
+    let r = m.call(fib, &[Operand::imm(12)]);
+    m.ret(Some(Operand::reg(r)));
+    m.finish();
+    check_all_levels(&pb.finish("main").unwrap(), "fib_recursion"); // fib(12)=144
+}
+
+#[test]
+fn frames_and_locals() {
+    let mut pb = ProgramBuilder::new();
+    let g = pb.declare("g", 1);
+    let mut f = pb.func("g", 1);
+    let slot = f.frame_alloc(16, 8);
+    let e = f.entry();
+    f.switch_to(e);
+    let fa = f.frame_addr(slot);
+    f.store_i64(f.param(0), fa, 0);
+    let doubled = f.shl(f.param(0), 1i64);
+    f.store_i64(doubled, fa, 8);
+    let v0 = f.load_i64(fa, 0);
+    let v1 = f.load_i64(fa, 8);
+    let s = f.add(v0, v1);
+    f.ret(Some(Operand::reg(s)));
+    f.finish();
+    let mut m = pb.func("main", 0);
+    let e = m.entry();
+    m.switch_to(e);
+    let a = m.call(g, &[Operand::imm(30)]);
+    let b = m.call(g, &[Operand::imm(4)]);
+    let r = m.add(a, b);
+    m.ret(Some(Operand::reg(r)));
+    m.finish();
+    check_all_levels(&pb.finish("main").unwrap(), "frames"); // 90 + 12 = 102
+}
+
+#[test]
+fn select_and_predication() {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    let body = f.block();
+    let done = f.block();
+    f.switch_to(e);
+    let acc = f.iconst(0);
+    let i = f.iconst(0);
+    f.jump(body);
+    f.switch_to(body);
+    let odd = f.and(i, 1i64);
+    let v = f.select(odd, i, Operand::imm(0));
+    f.ibin_to(Opcode::Add, acc, acc, v);
+    f.ibin_to(Opcode::Add, i, i, 1i64);
+    let c = f.icmp(IntCc::Lt, i, 20i64);
+    f.branch(c, body, done);
+    f.switch_to(done);
+    f.ret(Some(Operand::reg(acc)));
+    f.finish();
+    check_all_levels(&pb.finish("main").unwrap(), "select"); // 1+3+...+19 = 100
+}
+
+#[test]
+fn floating_point_kernel() {
+    let mut pb = ProgramBuilder::new();
+    let data = pb.data_mut().alloc_f64s("x", &[1.5, 2.25, -3.0, 4.75, 0.5, 8.0, -2.5, 1.0]);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    let body = f.block();
+    let done = f.block();
+    f.switch_to(e);
+    let acc = f.fconst(0.0);
+    let i = f.iconst(0);
+    f.jump(body);
+    f.switch_to(body);
+    let off = f.shl(i, 3i64);
+    let base = f.iconst(data as i64);
+    let addr = f.add(base, off);
+    let x = f.load_f64(addr, 0);
+    let sq = f.fmul(x, x);
+    f.fbin_to(Opcode::Fadd, acc, acc, sq);
+    f.ibin_to(Opcode::Add, i, i, 1i64);
+    let c = f.icmp(IntCc::Lt, i, 8i64);
+    f.branch(c, body, done);
+    f.switch_to(done);
+    let r = f.iun(Opcode::F2i, acc);
+    f.ret(Some(Operand::reg(r)));
+    f.finish();
+    check_all_levels(&pb.finish("main").unwrap(), "fp_kernel");
+}
+
+#[test]
+fn deep_branch_chain() {
+    // Exercises superblock guard chains and per-exit write merges.
+    for x in 0..6i64 {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 1);
+        let e = f.entry();
+        let b1 = f.block();
+        let b2 = f.block();
+        let b3 = f.block();
+        let out = f.block();
+        f.switch_to(e);
+        let r = f.iconst(0);
+        let n = f.param(0);
+        let c0 = f.icmp(IntCc::Eq, n, 0i64);
+        f.branch(c0, out, b1);
+        f.switch_to(b1);
+        f.set(r, 10i64);
+        let c1 = f.icmp(IntCc::Eq, n, 1i64);
+        f.branch(c1, out, b2);
+        f.switch_to(b2);
+        f.set(r, 20i64);
+        let c2 = f.icmp(IntCc::Eq, n, 2i64);
+        f.branch(c2, out, b3);
+        f.switch_to(b3);
+        let dbl = f.mul(n, n);
+        f.set(r, dbl);
+        f.jump(out);
+        f.switch_to(out);
+        let fin = f.add(r, 1000i64);
+        f.ret(Some(Operand::reg(fin)));
+        f.finish();
+
+        let mut main = pb.func("wrap", 0);
+        let _ = &mut main;
+        drop(main);
+        let p = {
+            let mut pb2 = ProgramBuilder::new();
+            // rebuild with main calling with the constant x
+            let mut f2 = pb2.func("chain", 1);
+            let e = f2.entry();
+            let b1 = f2.block();
+            let b2 = f2.block();
+            let b3 = f2.block();
+            let out = f2.block();
+            f2.switch_to(e);
+            let r = f2.iconst(0);
+            let n = f2.param(0);
+            let c0 = f2.icmp(IntCc::Eq, n, 0i64);
+            f2.branch(c0, out, b1);
+            f2.switch_to(b1);
+            f2.set(r, 10i64);
+            let c1 = f2.icmp(IntCc::Eq, n, 1i64);
+            f2.branch(c1, out, b2);
+            f2.switch_to(b2);
+            f2.set(r, 20i64);
+            let c2 = f2.icmp(IntCc::Eq, n, 2i64);
+            f2.branch(c2, out, b3);
+            f2.switch_to(b3);
+            let dbl = f2.mul(n, n);
+            f2.set(r, dbl);
+            f2.jump(out);
+            f2.switch_to(out);
+            let fin = f2.add(r, 1000i64);
+            f2.ret(Some(Operand::reg(fin)));
+            let chain = f2.id();
+            f2.finish();
+            let mut m = pb2.func("main", 0);
+            let e = m.entry();
+            m.switch_to(e);
+            let v = m.call(chain, &[Operand::imm(x)]);
+            m.ret(Some(Operand::reg(v)));
+            m.finish();
+            pb2.finish("main").unwrap()
+        };
+        check_all_levels(&p, &format!("deep_chain x={x}"));
+    }
+}
+
+#[test]
+fn conditional_store_in_loop() {
+    // Stores under predication inside an unrolled loop: the null-token
+    // machinery must keep every LSID resolved on every path.
+    let mut pb = ProgramBuilder::new();
+    let buf = pb.data_mut().alloc_i64s("buf", &[0; 32]);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    let body = f.block();
+    let st = f.block();
+    let cont = f.block();
+    let done = f.block();
+    f.switch_to(e);
+    let i = f.iconst(0);
+    f.jump(body);
+    f.switch_to(body);
+    let odd = f.and(i, 1i64);
+    f.branch(odd, st, cont);
+    f.switch_to(st);
+    let off = f.shl(i, 3i64);
+    let base = f.iconst(buf as i64);
+    let addr = f.add(base, off);
+    f.store_i64(i, addr, 0);
+    f.jump(cont);
+    f.switch_to(cont);
+    f.ibin_to(Opcode::Add, i, i, 1i64);
+    let c = f.icmp(IntCc::Lt, i, 32i64);
+    f.branch(c, body, done);
+    f.switch_to(done);
+    let base2 = f.iconst(buf as i64);
+    let acc = f.iconst(0);
+    let j = f.iconst(0);
+    let sum_loop = f.block();
+    let sum_done = f.block();
+    f.jump(sum_loop);
+    f.switch_to(sum_loop);
+    let off2 = f.shl(j, 3i64);
+    let a2 = f.add(base2, off2);
+    let v = f.load_i64(a2, 0);
+    f.ibin_to(Opcode::Add, acc, acc, v);
+    f.ibin_to(Opcode::Add, j, j, 1i64);
+    let c2 = f.icmp(IntCc::Lt, j, 32i64);
+    f.branch(c2, sum_loop, sum_done);
+    f.switch_to(sum_done);
+    f.ret(Some(Operand::reg(acc)));
+    f.finish();
+    check_all_levels(&pb.finish("main").unwrap(), "cond_store"); // 1+3+...+31 = 256
+}
+
+#[test]
+fn memory_checksums_match() {
+    // Beyond return values: the final memory image must match.
+    let mut pb = ProgramBuilder::new();
+    let buf = pb.data_mut().alloc_i64s("buf", &[0; 64]);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    let body = f.block();
+    let done = f.block();
+    f.switch_to(e);
+    let i = f.iconst(0);
+    f.jump(body);
+    f.switch_to(body);
+    let off = f.shl(i, 3i64);
+    let base = f.iconst(buf as i64);
+    let addr = f.add(base, off);
+    let sq = f.mul(i, i);
+    f.store_i64(sq, addr, 0);
+    f.ibin_to(Opcode::Add, i, i, 1i64);
+    let c = f.icmp(IntCc::Lt, i, 64i64);
+    f.branch(c, body, done);
+    f.switch_to(done);
+    f.ret(None);
+    f.finish();
+    let p = pb.finish("main").unwrap();
+    let golden = trips_ir::interp::run(&p, 1 << 20).unwrap();
+    let gsum = golden.memory.checksum(buf, 64 * 8);
+    for opts in [CompileOptions::o0(), CompileOptions::o1(), CompileOptions::o2(), CompileOptions::hand()] {
+        let compiled = compile(&p, &opts).unwrap();
+        let out = trips_isa::run_program(&compiled.trips, &compiled.opt_ir, 1 << 20).unwrap();
+        assert_eq!(out.memory.checksum(buf, 64 * 8), gsum, "@{:?}", opts.level);
+    }
+}

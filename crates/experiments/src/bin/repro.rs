@@ -1,0 +1,32 @@
+//! Experiment driver: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro all            # every experiment at reference scale
+//! repro fig9           # one experiment
+//! repro --quick all    # tiny inputs (CI-speed smoke run)
+//! ```
+
+use std::env;
+
+fn main() {
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
+    let what = args.first().map(String::as_str).unwrap_or("all");
+
+    let names: Vec<&str> = if what == "all" {
+        trips_experiments::EXPERIMENTS.to_vec()
+    } else {
+        vec![what]
+    };
+    for name in names {
+        eprintln!("[repro] running {name} ...");
+        match trips_experiments::run_experiment(name, quick) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

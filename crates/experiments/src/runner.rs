@@ -1,0 +1,195 @@
+//! Shared measurement plumbing.
+
+use trips_compiler::{compile, CompileOptions, CompiledProgram};
+use trips_isa::IsaStats;
+use trips_ooo::OooStats;
+use trips_risc::RiscStats;
+use trips_sim::{SimStats, TripsConfig};
+use trips_workloads::{Scale, Workload};
+
+/// Memory size for all measurement runs.
+pub const MEM: usize = 1 << 22;
+/// Dynamic block budget for functional runs.
+pub const FUNC_BUDGET: u64 = 3_000_000;
+/// Dynamic block budget for cycle-level runs.
+pub const SIM_BUDGET: u64 = 1_000_000;
+/// Dynamic instruction budget for RISC/OoO runs.
+pub const RISC_BUDGET: u64 = 400_000_000;
+
+/// ISA-level comparison data for one workload (Figures 3–5, §4.4).
+#[derive(Debug, Clone)]
+pub struct IsaMeasurement {
+    /// Workload name.
+    pub name: String,
+    /// TRIPS functional statistics.
+    pub trips: IsaStats,
+    /// RISC (PowerPC-like) baseline statistics on equivalently optimized IR.
+    pub risc: RiscStats,
+    /// The compiled TRIPS program (for code-size accounting).
+    pub compiled: CompiledProgram,
+}
+
+/// Compiles a workload for TRIPS ("compiled" or "hand" flavour).
+pub fn compile_workload(w: &Workload, scale: Scale, hand: bool) -> CompiledProgram {
+    let program = if hand { w.build_hand(scale) } else { (w.build)(scale) };
+    // The TRIPS compiler preset: gcc-quality scalar optimization plus the
+    // aggressive block formation (unrolling + tree-height reduction) the
+    // paper's compiler performs.
+    let opts = if hand { CompileOptions::hand() } else { CompileOptions::o2() };
+    compile(&program, &opts).unwrap_or_else(|e| panic!("{}: {e}", w.name))
+}
+
+/// The gcc-like optimization preset for the reference machines: full scalar
+/// optimization but no loop unrolling (gcc -O2 does not unroll by default).
+pub fn gcc_preset() -> CompileOptions {
+    CompileOptions { unroll: 1, ..CompileOptions::o1() }
+}
+
+/// The icc-like preset: unrolling and reassociation (icc -O3 flavour).
+pub fn icc_preset() -> CompileOptions {
+    CompileOptions::o2()
+}
+
+/// The RISC baseline: the same program through the same scalar optimizer
+/// (gcc-quality preset) and the RISC code generator.
+pub fn risc_baseline(w: &Workload, scale: Scale) -> (trips_risc::RProgram, trips_ir::Program) {
+    let mut program = (w.build)(scale);
+    trips_compiler::opt::optimize(&mut program, &gcc_preset());
+    let rp = trips_risc::compile_program(&program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    (rp, program)
+}
+
+/// Measures ISA-level statistics (functional, untimed).
+pub fn measure_isa(w: &Workload, scale: Scale, hand: bool) -> IsaMeasurement {
+    let compiled = compile_workload(w, scale, hand);
+    let out = trips_isa::interp::run_program_with(&compiled.trips, &compiled.opt_ir, MEM, FUNC_BUDGET)
+        .unwrap_or_else(|e| panic!("{} (trips): {e}", w.name));
+    let (rp, rir) = risc_baseline(w, scale);
+    let risc = trips_risc::run(&rp, &rir, MEM, RISC_BUDGET)
+        .unwrap_or_else(|e| panic!("{} (risc): {e}", w.name));
+    // Results can differ in FP rounding (the TRIPS preset reassociates FP
+    // reductions); integer workloads must agree exactly.
+    let _ = &out;
+    IsaMeasurement { name: w.name.to_string(), trips: out.stats, risc: risc.stats, compiled }
+}
+
+/// Cycle-level comparison data for one workload (Figures 6, 9, 11, 12,
+/// Table 3).
+#[derive(Debug, Clone)]
+pub struct PerfMeasurement {
+    /// Workload name.
+    pub name: String,
+    /// TRIPS prototype, compiled code.
+    pub trips_c: SimStats,
+    /// TRIPS prototype, hand-optimized code (simple benchmarks only).
+    pub trips_h: Option<SimStats>,
+    /// Core 2 running gcc-quality code.
+    pub core2_gcc: OooStats,
+    /// Core 2 running icc-quality code.
+    pub core2_icc: OooStats,
+    /// Pentium 4, gcc.
+    pub p4_gcc: OooStats,
+    /// Pentium III, gcc.
+    pub p3_gcc: OooStats,
+}
+
+fn ooo_run(w: &Workload, scale: Scale, level: CompileOptions, cfg: &trips_ooo::OooConfig) -> OooStats {
+    let mut program = (w.build)(scale);
+    trips_compiler::opt::optimize(&mut program, &level);
+    let rp = trips_risc::compile_program(&program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    trips_ooo::run_timed(&rp, &program, cfg, MEM, RISC_BUDGET)
+        .unwrap_or_else(|e| panic!("{} ({}): {e}", w.name, cfg.name))
+        .stats
+}
+
+/// Simulates a compiled program on the TRIPS prototype configuration.
+pub fn trips_cycles(compiled: &CompiledProgram) -> SimStats {
+    trips_sim::timing::simulate_with_budget(compiled, &TripsConfig::prototype(), MEM, SIM_BUDGET)
+        .map(|r| r.stats)
+        .unwrap_or_else(|e| panic!("sim: {e}"))
+}
+
+/// Measures the full cross-platform performance comparison.
+pub fn measure_perf(w: &Workload, scale: Scale, include_hand: bool) -> PerfMeasurement {
+    let cc = compile_workload(w, scale, false);
+    let trips_c = trips_cycles(&cc);
+    let trips_h = if include_hand {
+        let ch = compile_workload(w, scale, true);
+        Some(trips_cycles(&ch))
+    } else {
+        None
+    };
+    PerfMeasurement {
+        name: w.name.to_string(),
+        trips_c,
+        trips_h,
+        core2_gcc: ooo_run(w, scale, gcc_preset(), &trips_ooo::core2()),
+        core2_icc: ooo_run(w, scale, icc_preset(), &trips_ooo::core2()),
+        p4_gcc: ooo_run(w, scale, gcc_preset(), &trips_ooo::pentium4()),
+        p3_gcc: ooo_run(w, scale, gcc_preset(), &trips_ooo::pentium3()),
+    }
+}
+
+/// Geometric mean.
+pub fn geomean(vals: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log = 0.0;
+    let mut n = 0usize;
+    for v in vals {
+        if v > 0.0 {
+            log += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log / n as f64).exp()
+    }
+}
+
+/// Arithmetic mean.
+pub fn mean(vals: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in vals {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_workloads::by_name;
+
+    #[test]
+    fn isa_measurement_smoke() {
+        let w = by_name("vadd").unwrap();
+        let m = measure_isa(&w, Scale::Test, false);
+        assert!(m.trips.fetched > 0);
+        assert!(m.risc.insts > 0);
+        // TRIPS fetches more (predication/moves), but touches memory less.
+        assert!(m.trips.memory_accesses() <= m.risc.memory_accesses() * 2);
+    }
+
+    #[test]
+    fn perf_measurement_smoke() {
+        let w = by_name("autocor").unwrap();
+        let p = measure_perf(&w, Scale::Test, true);
+        assert!(p.trips_c.cycles > 0);
+        assert!(p.trips_h.as_ref().unwrap().cycles > 0);
+        assert!(p.core2_gcc.cycles > 0);
+    }
+
+    #[test]
+    fn means() {
+        assert!((geomean([1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert!((mean([1.0, 3.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+    }
+}

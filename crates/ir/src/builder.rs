@@ -1,0 +1,530 @@
+//! Ergonomic construction of IR programs.
+//!
+//! Workloads build programs through [`ProgramBuilder`] / [`FuncBuilder`]
+//! rather than assembling [`crate::Function`] structs by hand; the builder
+//! maintains block/terminator discipline and allocates virtual registers.
+
+use crate::function::{BasicBlock, BlockId, Function, Terminator};
+use crate::inst::{Inst, Opcode};
+use crate::program::{DataBuilder, FuncId, Program};
+use crate::types::{FloatCc, IntCc, MemWidth, Operand, Vreg};
+use crate::verify;
+use std::collections::HashMap;
+
+/// Builds a [`Program`] incrementally.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    funcs: Vec<Option<Function>>,
+    names: HashMap<String, FuncId>,
+    data: DataBuilder,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty program builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Access to the static data segment builder.
+    pub fn data_mut(&mut self) -> &mut DataBuilder {
+        &mut self.data
+    }
+
+    /// Read access to the static data segment builder.
+    pub fn data(&self) -> &DataBuilder {
+        &self.data
+    }
+
+    /// Declares a function signature without a body, returning its id.
+    ///
+    /// Use for forward references (e.g. mutual recursion); the body must be
+    /// supplied later via [`ProgramBuilder::func`].
+    pub fn declare(&mut self, name: &str, param_count: u32) -> FuncId {
+        if let Some(&id) = self.names.get(name) {
+            return id;
+        }
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(None);
+        self.names.insert(name.to_string(), id);
+        // Remember the parameter count by storing a stub function.
+        self.funcs[id.index()] = None;
+        let _ = param_count;
+        id
+    }
+
+    /// Starts building a function body. If `name` was previously declared the
+    /// same id is used.
+    ///
+    /// # Panics
+    /// Panics if a body for `name` has already been finished.
+    pub fn func(&mut self, name: &str, param_count: u32) -> FuncBuilder<'_> {
+        let id = self.declare(name, param_count);
+        assert!(self.funcs[id.index()].is_none(), "function {name} already has a body");
+        let func = Function {
+            name: name.to_string(),
+            param_count,
+            vreg_count: param_count,
+            frame_size: 0,
+            blocks: Vec::new(),
+        };
+        FuncBuilder { pb: self, id, func, cur: None, sealed: false }
+    }
+
+    /// Looks up the id of a declared or defined function.
+    pub fn func_id(&self, name: &str) -> Option<FuncId> {
+        self.names.get(name).copied()
+    }
+
+    /// Finishes the program, setting the entry point and verifying the
+    /// result.
+    ///
+    /// # Errors
+    /// Returns a description of the first verification failure: a declared
+    /// but undefined function, a missing entry point, or malformed IR.
+    pub fn finish(self, entry: &str) -> Result<Program, String> {
+        let entry = *self.names.get(entry).ok_or_else(|| format!("entry function {entry} not defined"))?;
+        let mut funcs = Vec::with_capacity(self.funcs.len());
+        for (i, f) in self.funcs.into_iter().enumerate() {
+            match f {
+                Some(f) => funcs.push(f),
+                None => {
+                    let name = self
+                        .names
+                        .iter()
+                        .find(|(_, id)| id.index() == i)
+                        .map(|(n, _)| n.clone())
+                        .unwrap_or_default();
+                    return Err(format!("function {name} declared but never defined"));
+                }
+            }
+        }
+        let program = Program { funcs, entry, data: self.data };
+        verify::verify_program(&program)?;
+        Ok(program)
+    }
+}
+
+/// Builds one function. Obtained from [`ProgramBuilder::func`]; call
+/// [`FuncBuilder::finish`] to commit the body.
+#[derive(Debug)]
+pub struct FuncBuilder<'a> {
+    pb: &'a mut ProgramBuilder,
+    id: FuncId,
+    func: Function,
+    cur: Option<BlockId>,
+    sealed: bool,
+}
+
+impl<'a> FuncBuilder<'a> {
+    /// The id this function will have in the finished program.
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    /// The `i`-th parameter's virtual register.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn param(&self, i: u32) -> Vreg {
+        assert!(i < self.func.param_count, "parameter index out of range");
+        Vreg(i)
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn vreg(&mut self) -> Vreg {
+        self.func.new_vreg()
+    }
+
+    /// Reserves `bytes` of frame storage, returning its frame offset.
+    pub fn frame_alloc(&mut self, bytes: u32, align: u32) -> u32 {
+        assert!(align.is_power_of_two());
+        let off = (self.func.frame_size + align - 1) & !(align - 1);
+        self.func.frame_size = off + bytes;
+        off
+    }
+
+    /// Returns the entry block, creating it if needed.
+    pub fn entry(&mut self) -> BlockId {
+        if self.func.blocks.is_empty() {
+            self.func.blocks.push(BasicBlock::new());
+        }
+        BlockId(0)
+    }
+
+    /// Creates a new (empty, unreachable until jumped to) block.
+    pub fn block(&mut self) -> BlockId {
+        self.entry();
+        let id = BlockId(self.func.blocks.len() as u32);
+        self.func.blocks.push(BasicBlock::new());
+        id
+    }
+
+    /// Makes `bb` the insertion point for subsequent instructions.
+    pub fn switch_to(&mut self, bb: BlockId) {
+        assert!(bb.index() < self.func.blocks.len(), "unknown block {bb}");
+        self.cur = Some(bb);
+        self.sealed = false;
+    }
+
+    fn cur_block(&mut self) -> &mut BasicBlock {
+        assert!(!self.sealed, "current block already has a terminator");
+        let cur = self.cur.expect("no current block; call switch_to first");
+        &mut self.func.blocks[cur.index()]
+    }
+
+    /// Appends a raw instruction to the current block.
+    pub fn emit(&mut self, inst: Inst) {
+        self.cur_block().insts.push(inst);
+    }
+
+    // ---- value-producing helpers -------------------------------------------------
+
+    /// Materializes an integer constant.
+    pub fn iconst(&mut self, imm: i64) -> Vreg {
+        let dst = self.vreg();
+        self.emit(Inst::Iconst { dst, imm });
+        dst
+    }
+
+    /// Materializes a float constant.
+    pub fn fconst(&mut self, imm: f64) -> Vreg {
+        let dst = self.vreg();
+        self.emit(Inst::Fconst { dst, imm });
+        dst
+    }
+
+    /// Emits an integer binary operation into a fresh register.
+    pub fn ibin(&mut self, op: Opcode, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        debug_assert!(op.is_ibin());
+        let dst = self.vreg();
+        self.emit(Inst::Ibin { op, dst, a: a.into(), b: b.into() });
+        dst
+    }
+
+    /// Emits an integer binary operation into an existing register
+    /// (re-assignment; the idiom for loop counters).
+    pub fn ibin_to(&mut self, op: Opcode, dst: Vreg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        debug_assert!(op.is_ibin());
+        self.emit(Inst::Ibin { op, dst, a: a.into(), b: b.into() });
+    }
+
+    /// `dst = src` — copy/assignment (lowered as `add dst, src, #0`).
+    pub fn set(&mut self, dst: Vreg, src: impl Into<Operand>) {
+        self.emit(Inst::Ibin { op: Opcode::Add, dst, a: src.into(), b: Operand::Imm(0) });
+    }
+
+    /// Integer add into a fresh register.
+    pub fn add(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.ibin(Opcode::Add, a, b)
+    }
+
+    /// Integer subtract into a fresh register.
+    pub fn sub(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.ibin(Opcode::Sub, a, b)
+    }
+
+    /// Integer multiply into a fresh register.
+    pub fn mul(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.ibin(Opcode::Mul, a, b)
+    }
+
+    /// Signed divide into a fresh register.
+    pub fn div(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.ibin(Opcode::Div, a, b)
+    }
+
+    /// Signed remainder into a fresh register.
+    pub fn rem(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.ibin(Opcode::Rem, a, b)
+    }
+
+    /// Bitwise and into a fresh register.
+    pub fn and(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.ibin(Opcode::And, a, b)
+    }
+
+    /// Bitwise or into a fresh register.
+    pub fn or(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.ibin(Opcode::Or, a, b)
+    }
+
+    /// Bitwise xor into a fresh register.
+    pub fn xor(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.ibin(Opcode::Xor, a, b)
+    }
+
+    /// Shift left into a fresh register.
+    pub fn shl(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.ibin(Opcode::Shl, a, b)
+    }
+
+    /// Logical shift right into a fresh register.
+    pub fn shr(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.ibin(Opcode::Shr, a, b)
+    }
+
+    /// Arithmetic shift right into a fresh register.
+    pub fn sra(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.ibin(Opcode::Sra, a, b)
+    }
+
+    /// Emits an integer unary operation into a fresh register.
+    pub fn iun(&mut self, op: Opcode, a: impl Into<Operand>) -> Vreg {
+        debug_assert!(op.is_iun());
+        let dst = self.vreg();
+        self.emit(Inst::Iun { op, dst, a: a.into() });
+        dst
+    }
+
+    /// Integer comparison into a fresh register (0/1).
+    pub fn icmp(&mut self, cc: IntCc, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        let dst = self.vreg();
+        self.emit(Inst::Icmp { cc, dst, a: a.into(), b: b.into() });
+        dst
+    }
+
+    /// Emits a float binary operation into a fresh register.
+    pub fn fbin(&mut self, op: Opcode, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        debug_assert!(op.is_fbin());
+        let dst = self.vreg();
+        self.emit(Inst::Fbin { op, dst, a: a.into(), b: b.into() });
+        dst
+    }
+
+    /// Emits a float binary operation into an existing register.
+    pub fn fbin_to(&mut self, op: Opcode, dst: Vreg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        debug_assert!(op.is_fbin());
+        self.emit(Inst::Fbin { op, dst, a: a.into(), b: b.into() });
+    }
+
+    /// Float add into a fresh register.
+    pub fn fadd(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.fbin(Opcode::Fadd, a, b)
+    }
+
+    /// Float subtract into a fresh register.
+    pub fn fsub(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.fbin(Opcode::Fsub, a, b)
+    }
+
+    /// Float multiply into a fresh register.
+    pub fn fmul(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.fbin(Opcode::Fmul, a, b)
+    }
+
+    /// Float divide into a fresh register.
+    pub fn fdiv(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.fbin(Opcode::Fdiv, a, b)
+    }
+
+    /// Emits a float unary operation into a fresh register.
+    pub fn fun(&mut self, op: Opcode, a: impl Into<Operand>) -> Vreg {
+        debug_assert!(op.is_fun());
+        let dst = self.vreg();
+        self.emit(Inst::Fun { op, dst, a: a.into() });
+        dst
+    }
+
+    /// Float comparison into a fresh register (0/1).
+    pub fn fcmp(&mut self, cc: FloatCc, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        let dst = self.vreg();
+        self.emit(Inst::Fcmp { cc, dst, a: a.into(), b: b.into() });
+        dst
+    }
+
+    /// Conditional select into a fresh register.
+    pub fn select(&mut self, cond: impl Into<Operand>, t: impl Into<Operand>, f: impl Into<Operand>) -> Vreg {
+        let dst = self.vreg();
+        self.emit(Inst::Select { dst, cond: cond.into(), if_true: t.into(), if_false: f.into() });
+        dst
+    }
+
+    /// Generic load into a fresh register.
+    pub fn load(&mut self, w: MemWidth, signed: bool, addr: impl Into<Operand>, off: i32) -> Vreg {
+        let dst = self.vreg();
+        self.emit(Inst::Load { w, signed, dst, addr: addr.into(), off });
+        dst
+    }
+
+    /// 64-bit load.
+    pub fn load_i64(&mut self, addr: impl Into<Operand>, off: i32) -> Vreg {
+        self.load(MemWidth::D, true, addr, off)
+    }
+
+    /// Sign-extending 32-bit load.
+    pub fn load_i32(&mut self, addr: impl Into<Operand>, off: i32) -> Vreg {
+        self.load(MemWidth::W, true, addr, off)
+    }
+
+    /// Zero-extending 8-bit load.
+    pub fn load_u8(&mut self, addr: impl Into<Operand>, off: i32) -> Vreg {
+        self.load(MemWidth::B, false, addr, off)
+    }
+
+    /// Zero-extending 16-bit load.
+    pub fn load_u16(&mut self, addr: impl Into<Operand>, off: i32) -> Vreg {
+        self.load(MemWidth::H, false, addr, off)
+    }
+
+    /// 64-bit float load (raw bits).
+    pub fn load_f64(&mut self, addr: impl Into<Operand>, off: i32) -> Vreg {
+        self.load(MemWidth::D, false, addr, off)
+    }
+
+    /// Generic store.
+    pub fn store(&mut self, w: MemWidth, src: impl Into<Operand>, addr: impl Into<Operand>, off: i32) {
+        self.emit(Inst::Store { w, src: src.into(), addr: addr.into(), off });
+    }
+
+    /// 64-bit store.
+    pub fn store_i64(&mut self, src: impl Into<Operand>, addr: impl Into<Operand>, off: i32) {
+        self.store(MemWidth::D, src, addr, off)
+    }
+
+    /// 32-bit store.
+    pub fn store_i32(&mut self, src: impl Into<Operand>, addr: impl Into<Operand>, off: i32) {
+        self.store(MemWidth::W, src, addr, off)
+    }
+
+    /// 8-bit store.
+    pub fn store_i8(&mut self, src: impl Into<Operand>, addr: impl Into<Operand>, off: i32) {
+        self.store(MemWidth::B, src, addr, off)
+    }
+
+    /// 64-bit float store (raw bits).
+    pub fn store_f64(&mut self, src: impl Into<Operand>, addr: impl Into<Operand>, off: i32) {
+        self.store(MemWidth::D, src, addr, off)
+    }
+
+    /// Address of a frame slot, into a fresh register.
+    pub fn frame_addr(&mut self, off: u32) -> Vreg {
+        let dst = self.vreg();
+        self.emit(Inst::FrameAddr { dst, off });
+        dst
+    }
+
+    /// Direct call returning a value.
+    pub fn call(&mut self, func: FuncId, args: &[Operand]) -> Vreg {
+        let dst = self.vreg();
+        self.emit(Inst::Call { dst: Some(dst), func, args: args.to_vec() });
+        dst
+    }
+
+    /// Direct call discarding any return value.
+    pub fn call_void(&mut self, func: FuncId, args: &[Operand]) {
+        self.emit(Inst::Call { dst: None, func, args: args.to_vec() });
+    }
+
+    // ---- terminators -------------------------------------------------------------
+
+    fn terminate(&mut self, term: Terminator) {
+        let b = self.cur_block();
+        b.term = term;
+        self.sealed = true;
+    }
+
+    /// Ends the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.terminate(Terminator::Jump(target));
+    }
+
+    /// Ends the current block with a conditional branch (`cond != 0` → `t`).
+    pub fn branch(&mut self, cond: impl Into<Operand>, t: BlockId, f: BlockId) {
+        self.terminate(Terminator::Branch { cond: cond.into(), t, f });
+    }
+
+    /// Ends the current block with a return.
+    pub fn ret(&mut self, val: Option<Operand>) {
+        self.terminate(Terminator::Ret(val));
+    }
+
+    /// Commits the function body into the program builder.
+    ///
+    /// # Panics
+    /// Panics if the function has no blocks.
+    pub fn finish(self) {
+        assert!(!self.func.blocks.is_empty(), "function {} has no blocks", self.func.name);
+        self.pb.funcs[self.id.index()] = Some(self.func);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_loop() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("sum", 1);
+        let entry = f.entry();
+        let body = f.block();
+        let done = f.block();
+        let n = f.param(0);
+
+        f.switch_to(entry);
+        let acc = f.iconst(0);
+        let i = f.iconst(0);
+        f.jump(body);
+
+        f.switch_to(body);
+        f.ibin_to(Opcode::Add, acc, acc, i);
+        f.ibin_to(Opcode::Add, i, i, 1i64);
+        let c = f.icmp(IntCc::Lt, i, n);
+        f.branch(c, body, done);
+
+        f.switch_to(done);
+        f.ret(Some(Operand::reg(acc)));
+        f.finish();
+
+        let mut pb2 = pb;
+        let mut m = pb2.func("main", 0);
+        let e = m.entry();
+        m.switch_to(e);
+        let sum_id = m.pb_func_id("sum");
+        let r = m.call(sum_id, &[Operand::imm(5)]);
+        m.ret(Some(Operand::reg(r)));
+        m.finish();
+
+        let p = pb2.finish("main").unwrap();
+        assert_eq!(p.funcs.len(), 2);
+    }
+
+    impl<'a> FuncBuilder<'a> {
+        fn pb_func_id(&self, name: &str) -> FuncId {
+            self.pb.func_id(name).unwrap()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a terminator")]
+    fn emitting_after_terminator_panics() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("t", 0);
+        let e = f.entry();
+        f.switch_to(e);
+        f.ret(None);
+        f.iconst(1); // must panic
+    }
+
+    #[test]
+    fn undefined_function_is_error() {
+        let mut pb = ProgramBuilder::new();
+        pb.declare("missing", 0);
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        f.switch_to(e);
+        f.ret(None);
+        f.finish();
+        assert!(pb.finish("main").is_err());
+    }
+
+    #[test]
+    fn frame_alloc_aligns() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("t", 0);
+        let a = f.frame_alloc(3, 1);
+        let b = f.frame_alloc(8, 8);
+        assert_eq!(a, 0);
+        assert_eq!(b, 8);
+    }
+}

@@ -1,0 +1,259 @@
+//! Control-flow-graph analyses: predecessors, reverse postorder, dominators
+//! and natural loops. Used by the optimizer and both backends.
+
+use crate::function::{BlockId, Function};
+
+/// Predecessor/successor tables and traversal orders for one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Predecessors of each block.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Successors of each block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Blocks in reverse postorder from the entry (unreachable blocks absent).
+    pub rpo: Vec<BlockId>,
+    /// Position of each block in `rpo` (`usize::MAX` if unreachable).
+    pub rpo_pos: Vec<usize>,
+}
+
+impl Cfg {
+    /// Computes the CFG tables for `f`.
+    pub fn compute(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for (id, bb) in f.iter_blocks() {
+            for s in bb.term.successors() {
+                succs[id.index()].push(s);
+                preds[s.index()].push(id);
+            }
+        }
+        // Iterative postorder DFS from the entry.
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        visited[0] = true;
+        while let Some((b, i)) = stack.pop() {
+            if i < succs[b.index()].len() {
+                stack.push((b, i + 1));
+                let s = succs[b.index()][i];
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+            }
+        }
+        post.reverse();
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (i, b) in post.iter().enumerate() {
+            rpo_pos[b.index()] = i;
+        }
+        Cfg { preds, succs, rpo: post, rpo_pos }
+    }
+
+    /// True if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_pos[b.index()] != usize::MAX
+    }
+}
+
+/// Immediate-dominator tree (Cooper–Harvey–Kennedy algorithm).
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// `idom[b]` is the immediate dominator of `b` (entry's idom is itself).
+    /// Unreachable blocks map to `None`.
+    pub idom: Vec<Option<BlockId>>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree for a function given its CFG.
+    pub fn compute(cfg: &Cfg) -> DomTree {
+        let n = cfg.preds.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if cfg.rpo.is_empty() {
+            return DomTree { idom };
+        }
+        let entry = cfg.rpo[0];
+        idom[entry.index()] = Some(entry);
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId, pos: &[usize]| -> BlockId {
+            while a != b {
+                while pos[a.index()] > pos[b.index()] {
+                    a = idom[a.index()].expect("processed");
+                }
+                while pos[b.index()] > pos[a.index()] {
+                    b = idom[b.index()].expect("processed");
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p, &cfg.rpo_pos),
+                    });
+                }
+                if new_idom != idom[b.index()] && new_idom.is_some() {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        DomTree { idom }
+    }
+
+    /// True if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, mut b: BlockId) -> bool {
+        loop {
+            if a == b {
+                return true;
+            }
+            match self.idom[b.index()] {
+                Some(i) if i != b => b = i,
+                _ => return false,
+            }
+        }
+    }
+}
+
+/// A natural loop discovered from a back edge.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header.
+    pub header: BlockId,
+    /// All blocks in the loop body (including the header).
+    pub body: Vec<BlockId>,
+    /// The back-edge sources (latches).
+    pub latches: Vec<BlockId>,
+}
+
+/// Finds all natural loops of `f` (back edges `t -> h` where `h` dominates
+/// `t`); loops sharing a header are merged.
+pub fn find_loops(cfg: &Cfg, dom: &DomTree) -> Vec<NaturalLoop> {
+    let mut loops: Vec<NaturalLoop> = Vec::new();
+    for &b in &cfg.rpo {
+        for &s in &cfg.succs[b.index()] {
+            if dom.dominates(s, b) {
+                // Back edge b -> s. Collect the natural loop.
+                let header = s;
+                if let Some(l) = loops.iter_mut().find(|l| l.header == header) {
+                    if !l.latches.contains(&b) {
+                        l.latches.push(b);
+                        grow_loop(cfg, header, b, &mut l.body);
+                    }
+                    continue;
+                }
+                let mut body = vec![header];
+                grow_loop(cfg, header, b, &mut body);
+                loops.push(NaturalLoop { header, body, latches: vec![b] });
+            }
+        }
+    }
+    loops
+}
+
+fn grow_loop(cfg: &Cfg, header: BlockId, latch: BlockId, body: &mut Vec<BlockId>) {
+    let mut work = vec![latch];
+    while let Some(b) = work.pop() {
+        if b == header || body.contains(&b) {
+            continue;
+        }
+        body.push(b);
+        for &p in &cfg.preds[b.index()] {
+            work.push(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::types::{IntCc, Operand};
+
+    fn diamond_function() -> Function {
+        // entry -> (t | f) -> join -> ret
+        let mut pb = ProgramBuilder::new();
+        let mut fb = pb.func("d", 1);
+        let e = fb.entry();
+        let t = fb.block();
+        let f = fb.block();
+        let j = fb.block();
+        fb.switch_to(e);
+        let c = fb.icmp(IntCc::Gt, fb.param(0), 0i64);
+        fb.branch(c, t, f);
+        fb.switch_to(t);
+        fb.jump(j);
+        fb.switch_to(f);
+        fb.jump(j);
+        fb.switch_to(j);
+        fb.ret(Some(Operand::imm(0)));
+        fb.finish();
+        pb.finish("d").unwrap().funcs.remove(0)
+    }
+
+    #[test]
+    fn diamond_cfg_and_doms() {
+        let f = diamond_function();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.succs[0], vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds[3], vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        let dom = DomTree::compute(&cfg);
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert_eq!(dom.idom[3], Some(BlockId(0)));
+    }
+
+    #[test]
+    fn loop_detection() {
+        let mut pb = ProgramBuilder::new();
+        let mut fb = pb.func("l", 1);
+        let e = fb.entry();
+        let body = fb.block();
+        let exit = fb.block();
+        fb.switch_to(e);
+        fb.jump(body);
+        fb.switch_to(body);
+        let c = fb.icmp(IntCc::Lt, fb.param(0), 10i64);
+        fb.branch(c, body, exit);
+        fb.switch_to(exit);
+        fb.ret(None);
+        fb.finish();
+        let f = pb.finish("l").unwrap().funcs.remove(0);
+
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&cfg);
+        let loops = find_loops(&cfg, &dom);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, BlockId(1));
+        assert_eq!(loops[0].latches, vec![BlockId(1)]);
+        assert_eq!(loops[0].body, vec![BlockId(1)]);
+    }
+
+    #[test]
+    fn unreachable_block_not_in_rpo() {
+        let mut pb = ProgramBuilder::new();
+        let mut fb = pb.func("u", 0);
+        let e = fb.entry();
+        let dead = fb.block();
+        fb.switch_to(e);
+        fb.ret(None);
+        fb.switch_to(dead);
+        fb.ret(None);
+        fb.finish();
+        let f = pb.finish("u").unwrap().funcs.remove(0);
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.rpo.len(), 1);
+        assert!(!cfg.is_reachable(BlockId(1)));
+    }
+}

@@ -1,0 +1,214 @@
+//! Functions, basic blocks and terminators.
+
+use crate::inst::Inst;
+use crate::types::{Operand, Vreg};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a basic block within one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Index usable for dense side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Control transfer at the end of a basic block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch: to `t` when `cond != 0`, else to `f`.
+    Branch { cond: Operand, t: BlockId, f: BlockId },
+    /// Return from the function, optionally with a value.
+    Ret(Option<Operand>),
+}
+
+impl Terminator {
+    /// Successor blocks in order (taken first for branches).
+    pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let (a, b) = match self {
+            Terminator::Jump(t) => (Some(*t), None),
+            Terminator::Branch { t, f, .. } => (Some(*t), Some(*f)),
+            Terminator::Ret(_) => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+
+    /// Visits every register read by the terminator.
+    pub fn for_each_use_reg(&self, mut f: impl FnMut(Vreg)) {
+        match self {
+            Terminator::Branch { cond: Operand::Reg(v), .. } => f(*v),
+            Terminator::Ret(Some(Operand::Reg(v))) => f(*v),
+            _ => {}
+        }
+    }
+
+    /// Rewrites the operands read by the terminator.
+    pub fn map_uses(&mut self, mut f: impl FnMut(Operand) -> Operand) {
+        match self {
+            Terminator::Branch { cond, .. } => *cond = f(*cond),
+            Terminator::Ret(Some(v)) => *v = f(*v),
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump(t) => write!(f, "jump {t}"),
+            Terminator::Branch { cond, t, f: fl } => write!(f, "branch {cond}, {t}, {fl}"),
+            Terminator::Ret(Some(v)) => write!(f, "ret {v}"),
+            Terminator::Ret(None) => write!(f, "ret"),
+        }
+    }
+}
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// Straight-line body.
+    pub insts: Vec<Inst>,
+    /// Control transfer out of the block.
+    pub term: Terminator,
+}
+
+impl BasicBlock {
+    /// An empty block ending in `ret` (placeholder during construction).
+    pub fn new() -> Self {
+        BasicBlock { insts: Vec::new(), term: Terminator::Ret(None) }
+    }
+}
+
+impl Default for BasicBlock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A function: a CFG of basic blocks over a set of virtual registers.
+///
+/// Parameters arrive in `Vreg(0) .. Vreg(param_count)`. `frame_size` bytes of
+/// per-activation storage are addressable via [`Inst::FrameAddr`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Symbolic name (unique within a program).
+    pub name: String,
+    /// Number of parameters (occupying the first virtual registers).
+    pub param_count: u32,
+    /// Total number of virtual registers in use.
+    pub vreg_count: u32,
+    /// Bytes of per-activation frame storage.
+    pub frame_size: u32,
+    /// Basic blocks; `BlockId(0)` is the entry.
+    pub blocks: Vec<BasicBlock>,
+}
+
+impl Function {
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Accesses a block.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BasicBlock {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Iterates over `(BlockId, &BasicBlock)` pairs.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn new_vreg(&mut self) -> Vreg {
+        let v = Vreg(self.vreg_count);
+        self.vreg_count += 1;
+        v
+    }
+
+    /// Total static instruction count (excluding terminators).
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "func {}({} params, {} vregs, frame {}):", self.name, self.param_count, self.vreg_count, self.frame_size)?;
+        for (id, bb) in self.iter_blocks() {
+            writeln!(f, "{id}:")?;
+            for i in &bb.insts {
+                writeln!(f, "  {i}")?;
+            }
+            writeln!(f, "  {}", bb.term)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Operand;
+
+    #[test]
+    fn successors_of_terminators() {
+        let j = Terminator::Jump(BlockId(3));
+        assert_eq!(j.successors().collect::<Vec<_>>(), vec![BlockId(3)]);
+        let b = Terminator::Branch { cond: Operand::imm(1), t: BlockId(1), f: BlockId(2) };
+        assert_eq!(b.successors().collect::<Vec<_>>(), vec![BlockId(1), BlockId(2)]);
+        let r = Terminator::Ret(None);
+        assert_eq!(r.successors().count(), 0);
+    }
+
+    #[test]
+    fn new_vreg_monotonic() {
+        let mut f = Function {
+            name: "t".into(),
+            param_count: 0,
+            vreg_count: 2,
+            frame_size: 0,
+            blocks: vec![BasicBlock::new()],
+        };
+        assert_eq!(f.new_vreg(), Vreg(2));
+        assert_eq!(f.new_vreg(), Vreg(3));
+        assert_eq!(f.vreg_count, 4);
+    }
+
+    #[test]
+    fn display_contains_blocks() {
+        let f = Function {
+            name: "t".into(),
+            param_count: 0,
+            vreg_count: 0,
+            frame_size: 0,
+            blocks: vec![BasicBlock::new()],
+        };
+        let s = f.to_string();
+        assert!(s.contains("bb0:"));
+        assert!(s.contains("ret"));
+    }
+}

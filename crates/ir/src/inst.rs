@@ -1,0 +1,409 @@
+//! IR instructions: a compact three-address instruction set.
+
+use crate::program::FuncId;
+use crate::types::{FloatCc, IntCc, MemWidth, Operand, Vreg};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A non-terminator IR instruction.
+///
+/// Every instruction that produces a value writes exactly one virtual
+/// register. Instructions are deliberately close to what both a RISC ISA and
+/// the TRIPS EDGE ISA can express with one or two machine operations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Inst {
+    /// `dst = imm` — materialize a 64-bit integer constant.
+    Iconst { dst: Vreg, imm: i64 },
+    /// `dst = imm` — materialize an `f64` constant (stored as raw bits).
+    Fconst { dst: Vreg, imm: f64 },
+    /// `dst = op(a, b)` — integer binary arithmetic/logic.
+    Ibin { op: Opcode, dst: Vreg, a: Operand, b: Operand },
+    /// `dst = op(a)` — integer unary operation.
+    Iun { op: Opcode, dst: Vreg, a: Operand },
+    /// `dst = (a cc b) ? 1 : 0` — integer comparison.
+    Icmp { cc: IntCc, dst: Vreg, a: Operand, b: Operand },
+    /// `dst = op(a, b)` — floating-point binary arithmetic.
+    Fbin { op: Opcode, dst: Vreg, a: Operand, b: Operand },
+    /// `dst = op(a)` — floating-point unary operation.
+    Fun { op: Opcode, dst: Vreg, a: Operand },
+    /// `dst = (a cc b) ? 1 : 0` — floating-point comparison.
+    Fcmp { cc: FloatCc, dst: Vreg, a: Operand, b: Operand },
+    /// `dst = cond != 0 ? if_true : if_false` — conditional select.
+    Select { dst: Vreg, cond: Operand, if_true: Operand, if_false: Operand },
+    /// `dst = zext/sext(mem[addr + off])` — load (sign- or zero-extended).
+    Load { w: MemWidth, signed: bool, dst: Vreg, addr: Operand, off: i32 },
+    /// `mem[addr + off] = trunc(src)` — store.
+    Store { w: MemWidth, src: Operand, addr: Operand, off: i32 },
+    /// `dst = frame_base + off` — address of a slot in this function's frame.
+    FrameAddr { dst: Vreg, off: u32 },
+    /// `dst? = call func(args...)` — direct call.
+    Call { dst: Option<Vreg>, func: FuncId, args: Vec<Operand> },
+}
+
+/// Operation selector for [`Inst::Ibin`], [`Inst::Iun`], [`Inst::Fbin`] and
+/// [`Inst::Fun`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Opcode {
+    /// Integer add.
+    Add,
+    /// Integer subtract.
+    Sub,
+    /// Integer multiply (low 64 bits).
+    Mul,
+    /// Signed integer divide (traps on divide-by-zero at interpretation).
+    Div,
+    /// Unsigned integer divide.
+    Udiv,
+    /// Signed remainder.
+    Rem,
+    /// Unsigned remainder.
+    Urem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (shift amount masked to 6 bits).
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sra,
+    /// Bitwise not (unary).
+    Not,
+    /// Integer negate (unary).
+    Neg,
+    /// Sign-extend low 8 bits (unary).
+    Sextb,
+    /// Sign-extend low 16 bits (unary).
+    Sexth,
+    /// Sign-extend low 32 bits (unary).
+    Sextw,
+    /// Zero-extend low 32 bits (unary).
+    Zextw,
+    /// Float add.
+    Fadd,
+    /// Float subtract.
+    Fsub,
+    /// Float multiply.
+    Fmul,
+    /// Float divide.
+    Fdiv,
+    /// Float negate (unary).
+    Fneg,
+    /// Float absolute value (unary).
+    Fabs,
+    /// Float square root (unary).
+    Fsqrt,
+    /// Convert signed integer to float (unary).
+    I2f,
+    /// Convert float to signed integer, truncating (unary).
+    F2i,
+}
+
+impl Opcode {
+    /// True for opcodes valid in [`Inst::Ibin`].
+    pub fn is_ibin(self) -> bool {
+        matches!(
+            self,
+            Opcode::Add
+                | Opcode::Sub
+                | Opcode::Mul
+                | Opcode::Div
+                | Opcode::Udiv
+                | Opcode::Rem
+                | Opcode::Urem
+                | Opcode::And
+                | Opcode::Or
+                | Opcode::Xor
+                | Opcode::Shl
+                | Opcode::Shr
+                | Opcode::Sra
+        )
+    }
+
+    /// True for opcodes valid in [`Inst::Iun`].
+    pub fn is_iun(self) -> bool {
+        matches!(
+            self,
+            Opcode::Not | Opcode::Neg | Opcode::Sextb | Opcode::Sexth | Opcode::Sextw | Opcode::Zextw | Opcode::F2i
+        )
+    }
+
+    /// True for opcodes valid in [`Inst::Fbin`].
+    pub fn is_fbin(self) -> bool {
+        matches!(self, Opcode::Fadd | Opcode::Fsub | Opcode::Fmul | Opcode::Fdiv)
+    }
+
+    /// True for opcodes valid in [`Inst::Fun`].
+    pub fn is_fun(self) -> bool {
+        matches!(self, Opcode::Fneg | Opcode::Fabs | Opcode::Fsqrt | Opcode::I2f)
+    }
+
+    /// True for commutative binary operations.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            Opcode::Add | Opcode::Mul | Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Fadd | Opcode::Fmul
+        )
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::Mul => "mul",
+            Opcode::Div => "div",
+            Opcode::Udiv => "udiv",
+            Opcode::Rem => "rem",
+            Opcode::Urem => "urem",
+            Opcode::And => "and",
+            Opcode::Or => "or",
+            Opcode::Xor => "xor",
+            Opcode::Shl => "shl",
+            Opcode::Shr => "shr",
+            Opcode::Sra => "sra",
+            Opcode::Not => "not",
+            Opcode::Neg => "neg",
+            Opcode::Sextb => "sextb",
+            Opcode::Sexth => "sexth",
+            Opcode::Sextw => "sextw",
+            Opcode::Zextw => "zextw",
+            Opcode::Fadd => "fadd",
+            Opcode::Fsub => "fsub",
+            Opcode::Fmul => "fmul",
+            Opcode::Fdiv => "fdiv",
+            Opcode::Fneg => "fneg",
+            Opcode::Fabs => "fabs",
+            Opcode::Fsqrt => "fsqrt",
+            Opcode::I2f => "i2f",
+            Opcode::F2i => "f2i",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Inst {
+    /// The virtual register this instruction writes, if any.
+    pub fn dst(&self) -> Option<Vreg> {
+        match self {
+            Inst::Iconst { dst, .. }
+            | Inst::Fconst { dst, .. }
+            | Inst::Ibin { dst, .. }
+            | Inst::Iun { dst, .. }
+            | Inst::Icmp { dst, .. }
+            | Inst::Fbin { dst, .. }
+            | Inst::Fun { dst, .. }
+            | Inst::Fcmp { dst, .. }
+            | Inst::Select { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::FrameAddr { dst, .. } => Some(*dst),
+            Inst::Store { .. } => None,
+            Inst::Call { dst, .. } => *dst,
+        }
+    }
+
+    /// Visits every operand read by this instruction.
+    pub fn for_each_use(&self, mut f: impl FnMut(Operand)) {
+        match self {
+            Inst::Iconst { .. } | Inst::Fconst { .. } | Inst::FrameAddr { .. } => {}
+            Inst::Ibin { a, b, .. } | Inst::Icmp { a, b, .. } | Inst::Fbin { a, b, .. } | Inst::Fcmp { a, b, .. } => {
+                f(*a);
+                f(*b);
+            }
+            Inst::Iun { a, .. } | Inst::Fun { a, .. } => f(*a),
+            Inst::Select { cond, if_true, if_false, .. } => {
+                f(*cond);
+                f(*if_true);
+                f(*if_false);
+            }
+            Inst::Load { addr, .. } => f(*addr),
+            Inst::Store { src, addr, .. } => {
+                f(*src);
+                f(*addr);
+            }
+            Inst::Call { args, .. } => {
+                for a in args {
+                    f(*a);
+                }
+            }
+        }
+    }
+
+    /// Visits every register read by this instruction.
+    pub fn for_each_use_reg(&self, mut f: impl FnMut(Vreg)) {
+        self.for_each_use(|op| {
+            if let Operand::Reg(v) = op {
+                f(v)
+            }
+        });
+    }
+
+    /// Rewrites every operand through `f` (used by copy propagation).
+    pub fn map_uses(&mut self, mut f: impl FnMut(Operand) -> Operand) {
+        match self {
+            Inst::Iconst { .. } | Inst::Fconst { .. } | Inst::FrameAddr { .. } => {}
+            Inst::Ibin { a, b, .. } | Inst::Icmp { a, b, .. } | Inst::Fbin { a, b, .. } | Inst::Fcmp { a, b, .. } => {
+                *a = f(*a);
+                *b = f(*b);
+            }
+            Inst::Iun { a, .. } | Inst::Fun { a, .. } => *a = f(*a),
+            Inst::Select { cond, if_true, if_false, .. } => {
+                *cond = f(*cond);
+                *if_true = f(*if_true);
+                *if_false = f(*if_false);
+            }
+            Inst::Load { addr, .. } => *addr = f(*addr),
+            Inst::Store { src, addr, .. } => {
+                *src = f(*src);
+                *addr = f(*addr);
+            }
+            Inst::Call { args, .. } => {
+                for a in args.iter_mut() {
+                    *a = f(*a);
+                }
+            }
+        }
+    }
+
+    /// True if the instruction touches memory or has other side effects and
+    /// therefore must not be eliminated or reordered freely.
+    pub fn has_side_effects(&self) -> bool {
+        matches!(self, Inst::Store { .. } | Inst::Call { .. })
+    }
+
+    /// True if the instruction reads memory.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Inst::Load { .. })
+    }
+
+    /// True if the instruction writes memory.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::Store { .. })
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Iconst { dst, imm } => write!(f, "{dst} = iconst {imm}"),
+            Inst::Fconst { dst, imm } => write!(f, "{dst} = fconst {imm}"),
+            Inst::Ibin { op, dst, a, b } => write!(f, "{dst} = {op} {a}, {b}"),
+            Inst::Iun { op, dst, a } => write!(f, "{dst} = {op} {a}"),
+            Inst::Icmp { cc, dst, a, b } => write!(f, "{dst} = icmp.{cc} {a}, {b}"),
+            Inst::Fbin { op, dst, a, b } => write!(f, "{dst} = {op} {a}, {b}"),
+            Inst::Fun { op, dst, a } => write!(f, "{dst} = {op} {a}"),
+            Inst::Fcmp { cc, dst, a, b } => write!(f, "{dst} = fcmp.{cc} {a}, {b}"),
+            Inst::Select { dst, cond, if_true, if_false } => {
+                write!(f, "{dst} = select {cond}, {if_true}, {if_false}")
+            }
+            Inst::Load { w, signed, dst, addr, off } => {
+                write!(f, "{dst} = load.{w}{} {addr}+{off}", if *signed { "s" } else { "" })
+            }
+            Inst::Store { w, src, addr, off } => write!(f, "store.{w} {src}, {addr}+{off}"),
+            Inst::FrameAddr { dst, off } => write!(f, "{dst} = frame+{off}"),
+            Inst::Call { dst, func, args } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} = call f{}(", func.0)?;
+                } else {
+                    write!(f, "call f{}(", func.0)?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dst_and_uses() {
+        let i = Inst::Ibin { op: Opcode::Add, dst: Vreg(2), a: Operand::reg(Vreg(0)), b: Operand::imm(4) };
+        assert_eq!(i.dst(), Some(Vreg(2)));
+        let mut uses = vec![];
+        i.for_each_use_reg(|v| uses.push(v));
+        assert_eq!(uses, vec![Vreg(0)]);
+    }
+
+    #[test]
+    fn store_has_no_dst_and_side_effects() {
+        let s = Inst::Store { w: MemWidth::W, src: Operand::imm(1), addr: Operand::reg(Vreg(0)), off: 0 };
+        assert_eq!(s.dst(), None);
+        assert!(s.has_side_effects());
+        assert!(s.is_store());
+        assert!(!s.is_load());
+    }
+
+    #[test]
+    fn map_uses_rewrites_all_operands() {
+        let mut i = Inst::Select {
+            dst: Vreg(5),
+            cond: Operand::reg(Vreg(1)),
+            if_true: Operand::reg(Vreg(2)),
+            if_false: Operand::reg(Vreg(3)),
+        };
+        i.map_uses(|op| match op {
+            Operand::Reg(v) => Operand::Reg(Vreg(v.0 + 10)),
+            imm => imm,
+        });
+        let mut uses = vec![];
+        i.for_each_use_reg(|v| uses.push(v.0));
+        assert_eq!(uses, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn opcode_classes_are_disjoint() {
+        let all = [
+            Opcode::Add,
+            Opcode::Sub,
+            Opcode::Mul,
+            Opcode::Div,
+            Opcode::Udiv,
+            Opcode::Rem,
+            Opcode::Urem,
+            Opcode::And,
+            Opcode::Or,
+            Opcode::Xor,
+            Opcode::Shl,
+            Opcode::Shr,
+            Opcode::Sra,
+            Opcode::Not,
+            Opcode::Neg,
+            Opcode::Sextb,
+            Opcode::Sexth,
+            Opcode::Sextw,
+            Opcode::Zextw,
+            Opcode::Fadd,
+            Opcode::Fsub,
+            Opcode::Fmul,
+            Opcode::Fdiv,
+            Opcode::Fneg,
+            Opcode::Fabs,
+            Opcode::Fsqrt,
+            Opcode::I2f,
+            Opcode::F2i,
+        ];
+        for op in all {
+            let classes =
+                [op.is_ibin(), op.is_iun(), op.is_fbin(), op.is_fun()].iter().filter(|&&x| x).count();
+            assert_eq!(classes, 1, "{op} must belong to exactly one class");
+        }
+    }
+
+    #[test]
+    fn display_smoke() {
+        let i = Inst::Load { w: MemWidth::W, signed: true, dst: Vreg(1), addr: Operand::reg(Vreg(0)), off: 8 };
+        assert_eq!(i.to_string(), "v1 = load.ws v0+8");
+    }
+}

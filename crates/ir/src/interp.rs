@@ -1,0 +1,680 @@
+//! Reference interpreter for IR programs.
+//!
+//! This is the "golden" executor: the TRIPS functional simulator, the RISC
+//! functional simulator and the cycle-level simulator must all agree with it
+//! on every workload (asserted by integration tests). It also produces
+//! branch-event traces used by the standalone branch-predictor study
+//! (paper Figure 7).
+
+use crate::function::{BlockId, Terminator};
+use crate::inst::{Inst, Opcode};
+use crate::program::{FuncId, Program, DATA_BASE};
+use crate::types::{MemWidth, Operand, Vreg};
+use std::error::Error;
+use std::fmt;
+
+/// Default simulated memory size (16 MiB).
+pub const DEFAULT_MEM_SIZE: usize = 16 << 20;
+
+/// Default dynamic-instruction budget before [`InterpError::StepLimit`].
+pub const DEFAULT_STEP_LIMIT: u64 = 2_000_000_000;
+
+/// Interpreter failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// A memory access fell outside simulated memory (or below the mapped
+    /// base, e.g. a null-pointer dereference).
+    OutOfBounds {
+        /// The faulting byte address.
+        addr: u64,
+    },
+    /// Integer division by zero.
+    DivByZero,
+    /// The dynamic instruction budget was exhausted.
+    StepLimit,
+    /// The call stack exceeded the recursion limit.
+    CallDepth,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::OutOfBounds { addr } => write!(f, "memory access out of bounds at {addr:#x}"),
+            InterpError::DivByZero => write!(f, "integer division by zero"),
+            InterpError::StepLimit => write!(f, "dynamic instruction budget exhausted"),
+            InterpError::CallDepth => write!(f, "call stack too deep"),
+        }
+    }
+}
+
+impl Error for InterpError {}
+
+/// Dynamic execution statistics gathered by the interpreter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterpStats {
+    /// Total dynamic instructions (excluding terminators).
+    pub insts: u64,
+    /// Dynamic loads.
+    pub loads: u64,
+    /// Dynamic stores.
+    pub stores: u64,
+    /// Dynamic arithmetic/logic/compare/select instructions.
+    pub arith: u64,
+    /// Dynamic calls.
+    pub calls: u64,
+    /// Dynamic taken control transfers (jumps, branches, calls, returns).
+    pub control: u64,
+    /// Dynamic conditional branches executed.
+    pub cond_branches: u64,
+    /// Dynamic basic blocks executed.
+    pub blocks: u64,
+}
+
+/// A control-flow event, for consumers that model branch prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchEvent {
+    /// Function containing the branch.
+    pub func: FuncId,
+    /// Block ending in the branch.
+    pub block: BlockId,
+    /// Kind of control transfer.
+    pub kind: BranchKind,
+    /// Whether a conditional branch was taken (always true otherwise).
+    pub taken: bool,
+    /// Destination block (same function) for jumps/branches.
+    pub target: Option<BlockId>,
+}
+
+/// Kind of control transfer for [`BranchEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchKind {
+    /// Conditional two-way branch.
+    Cond,
+    /// Unconditional jump.
+    Jump,
+    /// Direct call.
+    Call,
+    /// Function return.
+    Ret,
+}
+
+/// Successful execution result.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Value returned by the entry function (0 if it returned nothing).
+    pub return_value: u64,
+    /// Dynamic statistics.
+    pub stats: InterpStats,
+    /// Final memory image (for checksum validation by tests).
+    pub memory: Memory,
+}
+
+/// Flat byte-addressable simulated memory.
+///
+/// Address 0 up to [`DATA_BASE`] is unmapped; the stack occupies the top of
+/// the address space and grows downward.
+#[derive(Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Memory({} bytes)", self.bytes.len())
+    }
+}
+
+impl Memory {
+    /// Creates a memory of `size` bytes initialized with the program's data
+    /// image.
+    pub fn new(program: &Program, size: usize) -> Memory {
+        let mut bytes = vec![0u8; size];
+        let img = program.data.image();
+        let base = DATA_BASE as usize;
+        assert!(base + img.len() <= size, "data image does not fit in memory");
+        bytes[base..base + img.len()].copy_from_slice(img);
+        Memory { bytes }
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn check(&self, addr: u64, len: u64) -> Result<usize, InterpError> {
+        if addr < DATA_BASE || addr.saturating_add(len) > self.bytes.len() as u64 {
+            return Err(InterpError::OutOfBounds { addr });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Loads `w.bytes()` bytes, zero- or sign-extended to 64 bits.
+    ///
+    /// # Errors
+    /// Returns [`InterpError::OutOfBounds`] for unmapped addresses.
+    pub fn load(&self, addr: u64, w: MemWidth, signed: bool) -> Result<u64, InterpError> {
+        let i = self.check(addr, w.bytes())?;
+        let raw: u64 = match w {
+            MemWidth::B => self.bytes[i] as u64,
+            MemWidth::H => u16::from_le_bytes(self.bytes[i..i + 2].try_into().unwrap()) as u64,
+            MemWidth::W => u32::from_le_bytes(self.bytes[i..i + 4].try_into().unwrap()) as u64,
+            MemWidth::D => u64::from_le_bytes(self.bytes[i..i + 8].try_into().unwrap()),
+        };
+        Ok(if signed {
+            match w {
+                MemWidth::B => raw as u8 as i8 as i64 as u64,
+                MemWidth::H => raw as u16 as i16 as i64 as u64,
+                MemWidth::W => raw as u32 as i32 as i64 as u64,
+                MemWidth::D => raw,
+            }
+        } else {
+            raw
+        })
+    }
+
+    /// Stores the low `w.bytes()` bytes of `val`.
+    ///
+    /// # Errors
+    /// Returns [`InterpError::OutOfBounds`] for unmapped addresses.
+    pub fn store(&mut self, addr: u64, w: MemWidth, val: u64) -> Result<(), InterpError> {
+        let i = self.check(addr, w.bytes())?;
+        match w {
+            MemWidth::B => self.bytes[i] = val as u8,
+            MemWidth::H => self.bytes[i..i + 2].copy_from_slice(&(val as u16).to_le_bytes()),
+            MemWidth::W => self.bytes[i..i + 4].copy_from_slice(&(val as u32).to_le_bytes()),
+            MemWidth::D => self.bytes[i..i + 8].copy_from_slice(&val.to_le_bytes()),
+        }
+        Ok(())
+    }
+
+    /// Convenience: checksum of a byte range (FNV-1a), used by workload
+    /// output validation.
+    pub fn checksum(&self, addr: u64, len: u64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let start = addr as usize;
+        for &b in &self.bytes[start..start + len as usize] {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Options for [`run_with`].
+pub struct RunConfig<'a> {
+    /// Simulated memory size in bytes.
+    pub mem_size: usize,
+    /// Dynamic instruction budget.
+    pub step_limit: u64,
+    /// Optional observer of control-flow events.
+    pub branch_hook: Option<&'a mut dyn FnMut(BranchEvent)>,
+}
+
+impl Default for RunConfig<'_> {
+    fn default() -> Self {
+        RunConfig { mem_size: DEFAULT_MEM_SIZE, step_limit: DEFAULT_STEP_LIMIT, branch_hook: None }
+    }
+}
+
+impl fmt::Debug for RunConfig<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunConfig")
+            .field("mem_size", &self.mem_size)
+            .field("step_limit", &self.step_limit)
+            .field("branch_hook", &self.branch_hook.is_some())
+            .finish()
+    }
+}
+
+/// Runs `program` from its entry with a memory of `mem_size` bytes.
+///
+/// # Errors
+/// Propagates any [`InterpError`] raised during execution.
+pub fn run(program: &Program, mem_size: usize) -> Result<Outcome, InterpError> {
+    run_with(program, RunConfig { mem_size, ..RunConfig::default() })
+}
+
+/// Runs `program` with full configuration.
+///
+/// # Errors
+/// Propagates any [`InterpError`] raised during execution.
+pub fn run_with(program: &Program, mut cfg: RunConfig<'_>) -> Result<Outcome, InterpError> {
+    let mut mem = Memory::new(program, cfg.mem_size);
+    let mut stats = InterpStats::default();
+    // The frame stack occupies the top of memory, growing down.
+    let mut frame_top = mem.size() as u64;
+    let ret = {
+        let mut interp = Interp {
+            program,
+            mem: &mut mem,
+            stats: &mut stats,
+            steps_left: cfg.step_limit,
+            hook: match cfg.branch_hook {
+                Some(ref mut h) => Some(&mut **h),
+                None => None,
+            },
+        };
+        interp.call(program.entry, &[], &mut frame_top, 0)?
+    };
+    Ok(Outcome { return_value: ret, stats, memory: mem })
+}
+
+const MAX_CALL_DEPTH: u32 = 2048;
+
+struct Interp<'a> {
+    program: &'a Program,
+    mem: &'a mut Memory,
+    stats: &'a mut InterpStats,
+    steps_left: u64,
+    hook: Option<&'a mut dyn FnMut(BranchEvent)>,
+}
+
+impl Interp<'_> {
+    fn call(&mut self, fid: FuncId, args: &[u64], frame_top: &mut u64, depth: u32) -> Result<u64, InterpError> {
+        if depth >= MAX_CALL_DEPTH {
+            return Err(InterpError::CallDepth);
+        }
+        let f = self.program.func(fid);
+        let mut regs = vec![0u64; f.vreg_count as usize];
+        regs[..args.len()].copy_from_slice(args);
+        let frame_base = {
+            let size = (f.frame_size as u64 + 15) & !15;
+            if *frame_top < DATA_BASE + size {
+                return Err(InterpError::OutOfBounds { addr: *frame_top });
+            }
+            *frame_top -= size;
+            *frame_top
+        };
+        let saved_top = frame_base + ((f.frame_size as u64 + 15) & !15);
+
+        let mut bb = BlockId(0);
+        loop {
+            self.stats.blocks += 1;
+            let block = f.block(bb);
+            for inst in &block.insts {
+                if self.steps_left == 0 {
+                    return Err(InterpError::StepLimit);
+                }
+                self.steps_left -= 1;
+                self.stats.insts += 1;
+                self.exec_inst(inst, f.name.as_str(), fid, &mut regs, frame_base, frame_top, depth)?;
+            }
+            match &block.term {
+                Terminator::Jump(t) => {
+                    self.stats.control += 1;
+                    self.emit_event(fid, bb, BranchKind::Jump, true, Some(*t));
+                    bb = *t;
+                }
+                Terminator::Branch { cond, t, f: fl } => {
+                    self.stats.control += 1;
+                    self.stats.cond_branches += 1;
+                    let c = self.read_op(*cond, &regs) != 0;
+                    let target = if c { *t } else { *fl };
+                    self.emit_event(fid, bb, BranchKind::Cond, c, Some(target));
+                    bb = target;
+                }
+                Terminator::Ret(v) => {
+                    self.stats.control += 1;
+                    self.emit_event(fid, bb, BranchKind::Ret, true, None);
+                    let rv = v.map(|o| self.read_op(o, &regs)).unwrap_or(0);
+                    *frame_top = saved_top;
+                    return Ok(rv);
+                }
+            }
+        }
+    }
+
+    fn emit_event(&mut self, func: FuncId, block: BlockId, kind: BranchKind, taken: bool, target: Option<BlockId>) {
+        if let Some(h) = self.hook.as_deref_mut() {
+            h(BranchEvent { func, block, kind, taken, target });
+        }
+    }
+
+    #[inline]
+    fn read_op(&self, op: Operand, regs: &[u64]) -> u64 {
+        match op {
+            Operand::Reg(v) => regs[v.index()],
+            Operand::Imm(i) => i as u64,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_inst(
+        &mut self,
+        inst: &Inst,
+        _fname: &str,
+        fid: FuncId,
+        regs: &mut Vec<u64>,
+        frame_base: u64,
+        frame_top: &mut u64,
+        depth: u32,
+    ) -> Result<(), InterpError> {
+        let set = |regs: &mut Vec<u64>, d: Vreg, v: u64| regs[d.index()] = v;
+        match inst {
+            Inst::Iconst { dst, imm } => {
+                self.stats.arith += 1;
+                set(regs, *dst, *imm as u64);
+            }
+            Inst::Fconst { dst, imm } => {
+                self.stats.arith += 1;
+                set(regs, *dst, imm.to_bits());
+            }
+            Inst::Ibin { op, dst, a, b } => {
+                self.stats.arith += 1;
+                let a = self.read_op(*a, regs);
+                let b = self.read_op(*b, regs);
+                let r = eval_ibin(*op, a, b)?;
+                set(regs, *dst, r);
+            }
+            Inst::Iun { op, dst, a } => {
+                self.stats.arith += 1;
+                let a = self.read_op(*a, regs);
+                set(regs, *dst, eval_iun(*op, a));
+            }
+            Inst::Icmp { cc, dst, a, b } => {
+                self.stats.arith += 1;
+                let a = self.read_op(*a, regs);
+                let b = self.read_op(*b, regs);
+                set(regs, *dst, cc.eval(a, b) as u64);
+            }
+            Inst::Fbin { op, dst, a, b } => {
+                self.stats.arith += 1;
+                let a = f64::from_bits(self.read_op(*a, regs));
+                let b = f64::from_bits(self.read_op(*b, regs));
+                let r = match op {
+                    Opcode::Fadd => a + b,
+                    Opcode::Fsub => a - b,
+                    Opcode::Fmul => a * b,
+                    Opcode::Fdiv => a / b,
+                    _ => unreachable!("non-fbin opcode"),
+                };
+                set(regs, *dst, r.to_bits());
+            }
+            Inst::Fun { op, dst, a } => {
+                self.stats.arith += 1;
+                let raw = self.read_op(*a, regs);
+                let r = match op {
+                    Opcode::Fneg => (-f64::from_bits(raw)).to_bits(),
+                    Opcode::Fabs => f64::from_bits(raw).abs().to_bits(),
+                    Opcode::Fsqrt => f64::from_bits(raw).sqrt().to_bits(),
+                    Opcode::I2f => ((raw as i64) as f64).to_bits(),
+                    _ => unreachable!("non-fun opcode"),
+                };
+                set(regs, *dst, r);
+            }
+            Inst::Fcmp { cc, dst, a, b } => {
+                self.stats.arith += 1;
+                let a = f64::from_bits(self.read_op(*a, regs));
+                let b = f64::from_bits(self.read_op(*b, regs));
+                set(regs, *dst, cc.eval(a, b) as u64);
+            }
+            Inst::Select { dst, cond, if_true, if_false } => {
+                self.stats.arith += 1;
+                let c = self.read_op(*cond, regs) != 0;
+                let v = if c { self.read_op(*if_true, regs) } else { self.read_op(*if_false, regs) };
+                set(regs, *dst, v);
+            }
+            Inst::Load { w, signed, dst, addr, off } => {
+                self.stats.loads += 1;
+                let a = self.read_op(*addr, regs).wrapping_add(*off as i64 as u64);
+                let v = self.mem.load(a, *w, *signed)?;
+                set(regs, *dst, v);
+            }
+            Inst::Store { w, src, addr, off } => {
+                self.stats.stores += 1;
+                let a = self.read_op(*addr, regs).wrapping_add(*off as i64 as u64);
+                let v = self.read_op(*src, regs);
+                self.mem.store(a, *w, v)?;
+            }
+            Inst::FrameAddr { dst, off } => {
+                self.stats.arith += 1;
+                set(regs, *dst, frame_base + *off as u64);
+            }
+            Inst::Call { dst, func, args } => {
+                self.stats.calls += 1;
+                self.stats.control += 1;
+                let argv: Vec<u64> = args.iter().map(|a| self.read_op(*a, regs)).collect();
+                self.emit_event(fid, BlockId(u32::MAX), BranchKind::Call, true, None);
+                let r = self.call(*func, &argv, frame_top, depth + 1)?;
+                if let Some(d) = dst {
+                    set(regs, *d, r);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates an integer binary opcode on raw 64-bit values.
+///
+/// # Errors
+/// Returns [`InterpError::DivByZero`] for division/remainder by zero.
+pub fn eval_ibin(op: Opcode, a: u64, b: u64) -> Result<u64, InterpError> {
+    let (sa, sb) = (a as i64, b as i64);
+    Ok(match op {
+        Opcode::Add => a.wrapping_add(b),
+        Opcode::Sub => a.wrapping_sub(b),
+        Opcode::Mul => a.wrapping_mul(b),
+        Opcode::Div => {
+            if sb == 0 {
+                return Err(InterpError::DivByZero);
+            }
+            sa.wrapping_div(sb) as u64
+        }
+        Opcode::Udiv => {
+            if b == 0 {
+                return Err(InterpError::DivByZero);
+            }
+            a / b
+        }
+        Opcode::Rem => {
+            if sb == 0 {
+                return Err(InterpError::DivByZero);
+            }
+            sa.wrapping_rem(sb) as u64
+        }
+        Opcode::Urem => {
+            if b == 0 {
+                return Err(InterpError::DivByZero);
+            }
+            a % b
+        }
+        Opcode::And => a & b,
+        Opcode::Or => a | b,
+        Opcode::Xor => a ^ b,
+        Opcode::Shl => a.wrapping_shl(b as u32 & 63),
+        Opcode::Shr => a.wrapping_shr(b as u32 & 63),
+        Opcode::Sra => (sa.wrapping_shr(b as u32 & 63)) as u64,
+        _ => unreachable!("non-ibin opcode {op}"),
+    })
+}
+
+/// Evaluates an integer unary opcode on a raw 64-bit value.
+pub fn eval_iun(op: Opcode, a: u64) -> u64 {
+    match op {
+        Opcode::Not => !a,
+        Opcode::Neg => (a as i64).wrapping_neg() as u64,
+        Opcode::Sextb => a as u8 as i8 as i64 as u64,
+        Opcode::Sexth => a as u16 as i16 as i64 as u64,
+        Opcode::Sextw => a as u32 as i32 as i64 as u64,
+        Opcode::Zextw => a as u32 as u64,
+        Opcode::F2i => f64::from_bits(a) as i64 as u64,
+        _ => unreachable!("non-iun opcode {op}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::types::IntCc;
+
+    fn sum_program(n: i64) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        let body = f.block();
+        let done = f.block();
+        f.switch_to(e);
+        let acc = f.iconst(0);
+        let i = f.iconst(0);
+        f.jump(body);
+        f.switch_to(body);
+        f.ibin_to(Opcode::Add, acc, acc, i);
+        f.ibin_to(Opcode::Add, i, i, 1i64);
+        let c = f.icmp(IntCc::Lt, i, n);
+        f.branch(c, body, done);
+        f.switch_to(done);
+        f.ret(Some(Operand::reg(acc)));
+        f.finish();
+        pb.finish("main").unwrap()
+    }
+
+    #[test]
+    fn sum_loop_executes() {
+        let p = sum_program(10);
+        let o = run(&p, 1 << 20).unwrap();
+        assert_eq!(o.return_value, 45);
+        assert_eq!(o.stats.cond_branches, 10);
+        assert!(o.stats.insts > 20);
+    }
+
+    #[test]
+    fn memory_bounds_enforced() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        f.switch_to(e);
+        let a = f.iconst(0); // address 0 is unmapped
+        let v = f.load_i64(a, 0);
+        f.ret(Some(Operand::reg(v)));
+        f.finish();
+        let p = pb.finish("main").unwrap();
+        assert_eq!(run(&p, 1 << 20).unwrap_err(), InterpError::OutOfBounds { addr: 0 });
+    }
+
+    #[test]
+    fn div_by_zero_reported() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        f.switch_to(e);
+        let v = f.div(1i64, 0i64);
+        f.ret(Some(Operand::reg(v)));
+        f.finish();
+        let p = pb.finish("main").unwrap();
+        assert_eq!(run(&p, 1 << 20).unwrap_err(), InterpError::DivByZero);
+    }
+
+    #[test]
+    fn recursion_with_frames() {
+        // fact(n) with a frame slot holding n across the recursive call.
+        let mut pb = ProgramBuilder::new();
+        let fact = pb.declare("fact", 1);
+        let mut f = pb.func("fact", 1);
+        let slot = f.frame_alloc(8, 8);
+        let e = f.entry();
+        let rec = f.block();
+        let base = f.block();
+        f.switch_to(e);
+        let n = f.param(0);
+        let fa = f.frame_addr(slot);
+        f.store_i64(n, fa, 0);
+        let c = f.icmp(IntCc::Le, n, 1i64);
+        f.branch(c, base, rec);
+        f.switch_to(base);
+        f.ret(Some(Operand::imm(1)));
+        f.switch_to(rec);
+        let nm1 = f.sub(n, 1i64);
+        let sub = f.call(fact, &[Operand::reg(nm1)]);
+        let fa2 = f.frame_addr(slot);
+        let saved = f.load_i64(fa2, 0);
+        let r = f.mul(saved, sub);
+        f.ret(Some(Operand::reg(r)));
+        f.finish();
+
+        let mut m = pb.func("main", 0);
+        let e = m.entry();
+        m.switch_to(e);
+        let fid = m.id();
+        let _ = fid;
+        let r = m.call(fact, &[Operand::imm(10)]);
+        m.ret(Some(Operand::reg(r)));
+        m.finish();
+        let p = pb.finish("main").unwrap();
+        let o = run(&p, 1 << 20).unwrap();
+        assert_eq!(o.return_value, 3_628_800);
+        assert_eq!(o.stats.calls, 10);
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loop() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        let l = f.block();
+        f.switch_to(e);
+        f.jump(l);
+        f.switch_to(l);
+        f.iconst(1);
+        f.jump(l);
+        f.finish();
+        let p = pb.finish("main").unwrap();
+        let err = run_with(&p, RunConfig { step_limit: 1000, ..RunConfig::default() }).unwrap_err();
+        assert_eq!(err, InterpError::StepLimit);
+    }
+
+    #[test]
+    fn branch_hook_sees_events() {
+        let p = sum_program(3);
+        let mut conds = 0;
+        let mut taken = 0;
+        {
+            let mut hook = |e: BranchEvent| {
+                if e.kind == BranchKind::Cond {
+                    conds += 1;
+                    if e.taken {
+                        taken += 1;
+                    }
+                }
+            };
+            run_with(&p, RunConfig { branch_hook: Some(&mut hook), ..RunConfig::default() }).unwrap();
+        }
+        assert_eq!(conds, 3);
+        assert_eq!(taken, 2);
+    }
+
+    #[test]
+    fn memory_checksum_stable() {
+        let mut pb = ProgramBuilder::new();
+        let addr = pb.data_mut().alloc_i64s("x", &[1, 2, 3]);
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        f.switch_to(e);
+        f.ret(None);
+        f.finish();
+        let p = pb.finish("main").unwrap();
+        let o1 = run(&p, 1 << 20).unwrap();
+        let o2 = run(&p, 1 << 20).unwrap();
+        assert_eq!(o1.memory.checksum(addr, 24), o2.memory.checksum(addr, 24));
+    }
+
+    #[test]
+    fn widths_sign_and_zero_extend() {
+        let mut pb = ProgramBuilder::new();
+        let addr = pb.data_mut().alloc_bytes("b", &[0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0]);
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        f.switch_to(e);
+        let a = f.iconst(addr as i64);
+        let s = f.load(MemWidth::B, true, a, 0);
+        let z = f.load(MemWidth::B, false, a, 0);
+        let r = f.add(s, z);
+        f.ret(Some(Operand::reg(r)));
+        f.finish();
+        let p = pb.finish("main").unwrap();
+        let o = run(&p, 1 << 20).unwrap();
+        // -1 + 255 = 254
+        assert_eq!(o.return_value, 254);
+    }
+}

@@ -1,0 +1,105 @@
+//! Virtual-register liveness analysis (shared by both backends).
+
+use crate::cfg::Cfg;
+use crate::function::Function;
+
+/// Per-block live-in/live-out bitsets over virtual registers.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// `live_in[b][v]` — vreg `v` live at entry to block `b`.
+    pub live_in: Vec<Vec<bool>>,
+    /// `live_out[b][v]` — vreg `v` live at exit of block `b`.
+    pub live_out: Vec<Vec<bool>>,
+}
+
+/// Computes liveness for `f` by backward dataflow to a fixpoint.
+pub fn compute(f: &Function, cfg: &Cfg) -> Liveness {
+    let nv = f.vreg_count as usize;
+    let nb = f.blocks.len();
+    let mut use_b = vec![vec![false; nv]; nb];
+    let mut def_b = vec![vec![false; nv]; nb];
+    for (bid, bb) in f.iter_blocks() {
+        let b = bid.index();
+        for inst in &bb.insts {
+            inst.for_each_use_reg(|v| {
+                if !def_b[b][v.index()] {
+                    use_b[b][v.index()] = true;
+                }
+            });
+            if let Some(d) = inst.dst() {
+                def_b[b][d.index()] = true;
+            }
+        }
+        bb.term.for_each_use_reg(|v| {
+            if !def_b[b][v.index()] {
+                use_b[b][v.index()] = true;
+            }
+        });
+    }
+    let mut live_in = vec![vec![false; nv]; nb];
+    let mut live_out = vec![vec![false; nv]; nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &bid in cfg.rpo.iter().rev() {
+            let b = bid.index();
+            let mut out = vec![false; nv];
+            for &s in &cfg.succs[b] {
+                for v in 0..nv {
+                    out[v] |= live_in[s.index()][v];
+                }
+            }
+            let mut inn = use_b[b].clone();
+            for v in 0..nv {
+                if out[v] && !def_b[b][v] {
+                    inn[v] = true;
+                }
+            }
+            if out != live_out[b] || inn != live_in[b] {
+                live_out[b] = out;
+                live_in[b] = inn;
+                changed = true;
+            }
+        }
+    }
+    Liveness { live_in, live_out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::types::{IntCc, Operand};
+
+    #[test]
+    fn loop_carried_value_live_through_loop() {
+        let mut pb = ProgramBuilder::new();
+        let mut fb = pb.func("t", 1);
+        let e = fb.entry();
+        let body = fb.block();
+        let done = fb.block();
+        fb.switch_to(e);
+        let acc = fb.iconst(0);
+        let i = fb.iconst(0);
+        fb.jump(body);
+        fb.switch_to(body);
+        fb.ibin_to(crate::Opcode::Add, acc, acc, i);
+        fb.ibin_to(crate::Opcode::Add, i, i, 1i64);
+        let c = fb.icmp(IntCc::Lt, i, fb.param(0));
+        fb.branch(c, body, done);
+        fb.switch_to(done);
+        fb.ret(Some(Operand::reg(acc)));
+        fb.finish();
+        let p = pb.finish("t").unwrap();
+        let f = &p.funcs[0];
+        let cfg = Cfg::compute(f);
+        let l = compute(f, &cfg);
+        // acc is live into the loop body and into done.
+        assert!(l.live_in[1][acc.index()]);
+        assert!(l.live_in[2][acc.index()]);
+        // the comparison result is dead outside the body.
+        assert!(!l.live_in[2][c.index()]);
+        // param 0 is live into the body (used by the compare).
+        assert!(l.live_in[1][0]);
+    }
+}

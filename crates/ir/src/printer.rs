@@ -1,0 +1,96 @@
+//! Textual dumps of IR programs, with per-function summaries.
+//!
+//! [`crate::Program`] and friends already implement [`std::fmt::Display`];
+//! this module adds a summary view used by the experiment harness and by
+//! debugging tools.
+
+use crate::program::Program;
+use std::fmt::Write as _;
+
+/// One function's static profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncSummary {
+    /// Function name.
+    pub name: String,
+    /// Basic-block count.
+    pub blocks: usize,
+    /// Static instruction count (excluding terminators).
+    pub insts: usize,
+    /// Static loads.
+    pub loads: usize,
+    /// Static stores.
+    pub stores: usize,
+    /// Static calls.
+    pub calls: usize,
+}
+
+/// Computes per-function static summaries.
+pub fn summarize(p: &Program) -> Vec<FuncSummary> {
+    p.funcs
+        .iter()
+        .map(|f| {
+            let mut s = FuncSummary {
+                name: f.name.clone(),
+                blocks: f.blocks.len(),
+                insts: 0,
+                loads: 0,
+                stores: 0,
+                calls: 0,
+            };
+            for bb in &f.blocks {
+                s.insts += bb.insts.len();
+                for i in &bb.insts {
+                    if i.is_load() {
+                        s.loads += 1;
+                    }
+                    if i.is_store() {
+                        s.stores += 1;
+                    }
+                    if matches!(i, crate::inst::Inst::Call { .. }) {
+                        s.calls += 1;
+                    }
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+/// Renders a one-line-per-function summary table.
+pub fn summary_table(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<24} {:>7} {:>7} {:>6} {:>6} {:>5}", "function", "blocks", "insts", "loads", "stores", "calls");
+    for s in summarize(p) {
+        let _ = writeln!(out, "{:<24} {:>7} {:>7} {:>6} {:>6} {:>5}", s.name, s.blocks, s.insts, s.loads, s.stores, s.calls);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::types::Operand;
+
+    #[test]
+    fn summary_counts() {
+        let mut pb = ProgramBuilder::new();
+        let addr = pb.data_mut().alloc_i64s("x", &[5]);
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        f.switch_to(e);
+        let a = f.iconst(addr as i64);
+        let v = f.load_i64(a, 0);
+        f.store_i64(v, a, 0);
+        f.ret(Some(Operand::reg(v)));
+        f.finish();
+        let p = pb.finish("main").unwrap();
+        let s = summarize(&p);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].loads, 1);
+        assert_eq!(s[0].stores, 1);
+        assert_eq!(s[0].insts, 3);
+        let table = summary_table(&p);
+        assert!(table.contains("main"));
+    }
+}

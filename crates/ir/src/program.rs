@@ -1,0 +1,212 @@
+//! Whole programs: functions plus a static data image.
+
+use crate::function::Function;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a function within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// Index usable for dense side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Base address of the static data segment in the simulated address space.
+///
+/// Address 0 is kept unmapped so that null-pointer-style bugs in workloads
+/// trap in the interpreter instead of silently reading data.
+pub const DATA_BASE: u64 = 0x1000;
+
+/// Builder for the static data segment.
+///
+/// Workloads allocate named, aligned regions and optionally initialize them;
+/// the resulting image is copied into simulated memory before execution.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DataBuilder {
+    bytes: Vec<u8>,
+    symbols: HashMap<String, u64>,
+}
+
+impl DataBuilder {
+    /// Creates an empty data segment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn align_to(&mut self, align: u64) {
+        debug_assert!(align.is_power_of_two());
+        while (DATA_BASE + self.bytes.len() as u64) % align != 0 {
+            self.bytes.push(0);
+        }
+    }
+
+    /// Allocates `size` zeroed bytes with the given alignment and returns the
+    /// absolute address. The name is recorded for debugging/lookup.
+    ///
+    /// # Panics
+    /// Panics if `align` is not a power of two or the name is reused.
+    pub fn alloc_zeroed(&mut self, name: &str, size: u64, align: u64) -> u64 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.align_to(align);
+        let addr = DATA_BASE + self.bytes.len() as u64;
+        self.bytes.resize(self.bytes.len() + size as usize, 0);
+        let prev = self.symbols.insert(name.to_string(), addr);
+        assert!(prev.is_none(), "duplicate data symbol {name}");
+        addr
+    }
+
+    /// Allocates and initializes a region of `i64` values.
+    pub fn alloc_i64s(&mut self, name: &str, values: &[i64]) -> u64 {
+        let addr = self.alloc_zeroed(name, values.len() as u64 * 8, 8);
+        for (i, v) in values.iter().enumerate() {
+            let off = (addr - DATA_BASE) as usize + i * 8;
+            self.bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        }
+        addr
+    }
+
+    /// Allocates and initializes a region of `i32` values.
+    pub fn alloc_i32s(&mut self, name: &str, values: &[i32]) -> u64 {
+        let addr = self.alloc_zeroed(name, values.len() as u64 * 4, 8);
+        for (i, v) in values.iter().enumerate() {
+            let off = (addr - DATA_BASE) as usize + i * 4;
+            self.bytes[off..off + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        addr
+    }
+
+    /// Allocates and initializes a byte region.
+    pub fn alloc_bytes(&mut self, name: &str, values: &[u8]) -> u64 {
+        let addr = self.alloc_zeroed(name, values.len() as u64, 8);
+        let off = (addr - DATA_BASE) as usize;
+        self.bytes[off..off + values.len()].copy_from_slice(values);
+        addr
+    }
+
+    /// Allocates and initializes a region of `f64` values.
+    pub fn alloc_f64s(&mut self, name: &str, values: &[f64]) -> u64 {
+        let addr = self.alloc_zeroed(name, values.len() as u64 * 8, 8);
+        for (i, v) in values.iter().enumerate() {
+            let off = (addr - DATA_BASE) as usize + i * 8;
+            self.bytes[off..off + 8].copy_from_slice(&v.to_bits().to_le_bytes());
+        }
+        addr
+    }
+
+    /// Looks up a previously allocated symbol.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// The raw initialized image (starting at [`DATA_BASE`]).
+    pub fn image(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Size of the data segment in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when no data has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// A complete IR program: functions, an entry point, and a data image.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Program {
+    /// All functions; indexed by [`FuncId`].
+    pub funcs: Vec<Function>,
+    /// The entry function (conventionally `main`).
+    pub entry: FuncId,
+    /// The static data segment.
+    pub data: DataBuilder,
+}
+
+impl Program {
+    /// Accesses a function.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.index()]
+    }
+
+    /// Finds a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<(FuncId, &Function)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Iterates over `(FuncId, &Function)` pairs.
+    pub fn iter_funcs(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.funcs.iter().enumerate().map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Total static instruction count across all functions.
+    pub fn inst_count(&self) -> usize {
+        self.funcs.iter().map(|f| f.inst_count()).sum()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (id, func) in self.iter_funcs() {
+            if id == self.entry {
+                writeln!(f, "; entry")?;
+            }
+            write!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_builder_alignment_and_symbols() {
+        let mut d = DataBuilder::new();
+        let a = d.alloc_bytes("a", &[1, 2, 3]);
+        let b = d.alloc_i64s("b", &[7, -1]);
+        assert_eq!(a, DATA_BASE);
+        assert_eq!(b % 8, 0);
+        assert!(b >= a + 3);
+        assert_eq!(d.symbol("a"), Some(a));
+        assert_eq!(d.symbol("b"), Some(b));
+        assert_eq!(d.symbol("c"), None);
+        // Check b's contents in the image.
+        let off = (b - DATA_BASE) as usize;
+        assert_eq!(i64::from_le_bytes(d.image()[off..off + 8].try_into().unwrap()), 7);
+        assert_eq!(i64::from_le_bytes(d.image()[off + 8..off + 16].try_into().unwrap()), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate data symbol")]
+    fn duplicate_symbol_panics() {
+        let mut d = DataBuilder::new();
+        d.alloc_zeroed("x", 1, 1);
+        d.alloc_zeroed("x", 1, 1);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut d = DataBuilder::new();
+        let a = d.alloc_f64s("f", &[1.5, -2.25]);
+        let off = (a - DATA_BASE) as usize;
+        let bits = u64::from_le_bytes(d.image()[off..off + 8].try_into().unwrap());
+        assert_eq!(f64::from_bits(bits), 1.5);
+    }
+}

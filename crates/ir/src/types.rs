@@ -1,0 +1,353 @@
+//! Core value kinds shared by the whole IR: virtual registers, operands,
+//! memory widths and comparison condition codes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A virtual register.
+///
+/// Virtual registers are mutable storage locations local to one function
+/// (this IR is deliberately *not* SSA; backend-local renaming recovers
+/// dataflow form where needed). Values are 64-bit; floating-point values are
+/// stored as their IEEE-754 bit patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Vreg(pub u32);
+
+impl Vreg {
+    /// Index usable for dense side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Vreg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A right-hand-side operand: either a virtual register or a small integer
+/// immediate.
+///
+/// Immediates keep workload code compact and let both backends exercise their
+/// immediate-folding paths (the paper notes TRIPS prototype inefficiencies in
+/// constant generation; see [`crate::inst::Opcode::Iconst`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// Read the current value of a virtual register.
+    Reg(Vreg),
+    /// A 64-bit signed immediate.
+    Imm(i64),
+}
+
+impl Operand {
+    /// Shorthand constructor for a register operand.
+    #[inline]
+    pub fn reg(v: Vreg) -> Self {
+        Operand::Reg(v)
+    }
+
+    /// Shorthand constructor for an immediate operand.
+    #[inline]
+    pub fn imm(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+
+    /// Returns the register if this operand is one.
+    #[inline]
+    pub fn as_reg(self) -> Option<Vreg> {
+        match self {
+            Operand::Reg(v) => Some(v),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    /// Returns the immediate if this operand is one.
+    #[inline]
+    pub fn as_imm(self) -> Option<i64> {
+        match self {
+            Operand::Reg(_) => None,
+            Operand::Imm(i) => Some(i),
+        }
+    }
+}
+
+impl From<Vreg> for Operand {
+    fn from(v: Vreg) -> Self {
+        Operand::Reg(v)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(v) => write!(f, "{v}"),
+            Operand::Imm(i) => write!(f, "#{i}"),
+        }
+    }
+}
+
+/// Width of a memory access.
+///
+/// All loads widen to 64 bits (zero- or sign-extended per the opcode); all
+/// stores truncate. `D` (doubleword) is also used for `f64` traffic, which
+/// moves as raw bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemWidth {
+    /// 1 byte.
+    B,
+    /// 2 bytes.
+    H,
+    /// 4 bytes.
+    W,
+    /// 8 bytes.
+    D,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B => 1,
+            MemWidth::H => 2,
+            MemWidth::W => 4,
+            MemWidth::D => 8,
+        }
+    }
+}
+
+impl fmt::Display for MemWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemWidth::B => "b",
+            MemWidth::H => "h",
+            MemWidth::W => "w",
+            MemWidth::D => "d",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Integer comparison condition codes (signed unless prefixed with `U`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntCc {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ult,
+    /// Unsigned less-or-equal.
+    Ule,
+    /// Unsigned greater-than.
+    Ugt,
+    /// Unsigned greater-or-equal.
+    Uge,
+}
+
+impl IntCc {
+    /// Evaluates the comparison on raw 64-bit values.
+    #[inline]
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        let (sa, sb) = (a as i64, b as i64);
+        match self {
+            IntCc::Eq => a == b,
+            IntCc::Ne => a != b,
+            IntCc::Lt => sa < sb,
+            IntCc::Le => sa <= sb,
+            IntCc::Gt => sa > sb,
+            IntCc::Ge => sa >= sb,
+            IntCc::Ult => a < b,
+            IntCc::Ule => a <= b,
+            IntCc::Ugt => a > b,
+            IntCc::Uge => a >= b,
+        }
+    }
+
+    /// The condition with operands swapped (`a cc b` == `b cc.swapped() a`).
+    pub fn swapped(self) -> IntCc {
+        match self {
+            IntCc::Eq => IntCc::Eq,
+            IntCc::Ne => IntCc::Ne,
+            IntCc::Lt => IntCc::Gt,
+            IntCc::Le => IntCc::Ge,
+            IntCc::Gt => IntCc::Lt,
+            IntCc::Ge => IntCc::Le,
+            IntCc::Ult => IntCc::Ugt,
+            IntCc::Ule => IntCc::Uge,
+            IntCc::Ugt => IntCc::Ult,
+            IntCc::Uge => IntCc::Ule,
+        }
+    }
+
+    /// The logically negated condition (`!(a cc b)` == `a cc.inverse() b`).
+    pub fn inverse(self) -> IntCc {
+        match self {
+            IntCc::Eq => IntCc::Ne,
+            IntCc::Ne => IntCc::Eq,
+            IntCc::Lt => IntCc::Ge,
+            IntCc::Le => IntCc::Gt,
+            IntCc::Gt => IntCc::Le,
+            IntCc::Ge => IntCc::Lt,
+            IntCc::Ult => IntCc::Uge,
+            IntCc::Ule => IntCc::Ugt,
+            IntCc::Ugt => IntCc::Ule,
+            IntCc::Uge => IntCc::Ult,
+        }
+    }
+}
+
+impl fmt::Display for IntCc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IntCc::Eq => "eq",
+            IntCc::Ne => "ne",
+            IntCc::Lt => "lt",
+            IntCc::Le => "le",
+            IntCc::Gt => "gt",
+            IntCc::Ge => "ge",
+            IntCc::Ult => "ult",
+            IntCc::Ule => "ule",
+            IntCc::Ugt => "ugt",
+            IntCc::Uge => "uge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Floating-point comparison condition codes (ordered comparisons; any NaN
+/// operand yields `false`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FloatCc {
+    /// Equal.
+    Eq,
+    /// Not equal (note: true when unordered, matching `!=` semantics).
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+}
+
+impl FloatCc {
+    /// Evaluates the comparison.
+    #[inline]
+    pub fn eval(self, a: f64, b: f64) -> bool {
+        match self {
+            FloatCc::Eq => a == b,
+            FloatCc::Ne => a != b,
+            FloatCc::Lt => a < b,
+            FloatCc::Le => a <= b,
+            FloatCc::Gt => a > b,
+            FloatCc::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for FloatCc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FloatCc::Eq => "feq",
+            FloatCc::Ne => "fne",
+            FloatCc::Lt => "flt",
+            FloatCc::Le => "fle",
+            FloatCc::Gt => "fgt",
+            FloatCc::Ge => "fge",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intcc_eval_signed_vs_unsigned() {
+        let neg1 = (-1i64) as u64;
+        assert!(IntCc::Lt.eval(neg1, 0));
+        assert!(!IntCc::Ult.eval(neg1, 0));
+        assert!(IntCc::Ugt.eval(neg1, 0));
+        assert!(IntCc::Ge.eval(5, 5));
+        assert!(IntCc::Ule.eval(5, 5));
+    }
+
+    #[test]
+    fn intcc_inverse_is_logical_negation() {
+        let cases = [
+            IntCc::Eq,
+            IntCc::Ne,
+            IntCc::Lt,
+            IntCc::Le,
+            IntCc::Gt,
+            IntCc::Ge,
+            IntCc::Ult,
+            IntCc::Ule,
+            IntCc::Ugt,
+            IntCc::Uge,
+        ];
+        let vals: [u64; 4] = [0, 1, u64::MAX, 1 << 63];
+        for cc in cases {
+            for &a in &vals {
+                for &b in &vals {
+                    assert_eq!(cc.eval(a, b), !cc.inverse().eval(a, b), "{cc} {a} {b}");
+                    assert_eq!(cc.eval(a, b), cc.swapped().eval(b, a), "{cc} {a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn floatcc_nan_behaviour() {
+        assert!(!FloatCc::Eq.eval(f64::NAN, f64::NAN));
+        assert!(FloatCc::Ne.eval(f64::NAN, 1.0));
+        assert!(!FloatCc::Lt.eval(f64::NAN, 1.0));
+    }
+
+    #[test]
+    fn memwidth_bytes() {
+        assert_eq!(MemWidth::B.bytes(), 1);
+        assert_eq!(MemWidth::H.bytes(), 2);
+        assert_eq!(MemWidth::W.bytes(), 4);
+        assert_eq!(MemWidth::D.bytes(), 8);
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let v = Vreg(3);
+        assert_eq!(Operand::from(v), Operand::Reg(v));
+        assert_eq!(Operand::from(7i64), Operand::Imm(7));
+        assert_eq!(Operand::reg(v).as_reg(), Some(v));
+        assert_eq!(Operand::imm(7).as_imm(), Some(7));
+        assert_eq!(Operand::imm(7).as_reg(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Vreg(4).to_string(), "v4");
+        assert_eq!(Operand::imm(-2).to_string(), "#-2");
+        assert_eq!(MemWidth::W.to_string(), "w");
+        assert_eq!(IntCc::Ult.to_string(), "ult");
+        assert_eq!(FloatCc::Ge.to_string(), "fge");
+    }
+}

@@ -1,0 +1,305 @@
+//! IR verifier: structural well-formedness checks run by
+//! [`crate::ProgramBuilder::finish`] and re-run by backends before lowering.
+
+use crate::cfg::Cfg;
+use crate::function::{Function, Terminator};
+use crate::inst::Inst;
+use crate::program::Program;
+use crate::types::{Operand, Vreg};
+
+/// Verifies a whole program.
+///
+/// # Errors
+/// Returns a message describing the first problem found: out-of-range
+/// registers, blocks, or function references; use of a register on a path
+/// where it is never assigned; or calls with the wrong arity.
+pub fn verify_program(p: &Program) -> Result<(), String> {
+    if p.entry.index() >= p.funcs.len() {
+        return Err("entry function id out of range".into());
+    }
+    for (id, f) in p.iter_funcs() {
+        verify_function(p, f).map_err(|e| format!("in function {} (f{}): {e}", f.name, id.0))?;
+    }
+    Ok(())
+}
+
+/// Verifies a single function against its containing program.
+///
+/// # Errors
+/// See [`verify_program`].
+pub fn verify_function(p: &Program, f: &Function) -> Result<(), String> {
+    if f.blocks.is_empty() {
+        return Err("function has no blocks".into());
+    }
+    if f.param_count > f.vreg_count {
+        return Err("param_count exceeds vreg_count".into());
+    }
+    let nblocks = f.blocks.len() as u32;
+    let check_reg = |v: Vreg| -> Result<(), String> {
+        if v.0 >= f.vreg_count {
+            Err(format!("register {v} out of range (vreg_count={})", f.vreg_count))
+        } else {
+            Ok(())
+        }
+    };
+    let check_op = |o: Operand| match o {
+        Operand::Reg(v) => check_reg(v),
+        Operand::Imm(_) => Ok(()),
+    };
+
+    for (bid, bb) in f.iter_blocks() {
+        for inst in &bb.insts {
+            let mut err = None;
+            inst.for_each_use(|o| {
+                if err.is_none() {
+                    err = check_op(o).err();
+                }
+            });
+            if let Some(e) = err {
+                return Err(format!("{bid}: {inst}: {e}"));
+            }
+            if let Some(d) = inst.dst() {
+                check_reg(d).map_err(|e| format!("{bid}: {inst}: {e}"))?;
+            }
+            match inst {
+                Inst::Call { func, args, .. } => {
+                    let callee =
+                        p.funcs.get(func.index()).ok_or_else(|| format!("{bid}: call to unknown function f{}", func.0))?;
+                    if args.len() != callee.param_count as usize {
+                        return Err(format!(
+                            "{bid}: call to {} with {} args, expected {}",
+                            callee.name,
+                            args.len(),
+                            callee.param_count
+                        ));
+                    }
+                }
+                Inst::FrameAddr { off, .. } => {
+                    if *off >= f.frame_size && f.frame_size > 0 || (f.frame_size == 0 && *off > 0) {
+                        return Err(format!("{bid}: frame offset {off} outside frame of {} bytes", f.frame_size));
+                    }
+                }
+                _ => {}
+            }
+        }
+        match &bb.term {
+            Terminator::Jump(t) => {
+                if t.0 >= nblocks {
+                    return Err(format!("{bid}: jump to unknown block {t}"));
+                }
+            }
+            Terminator::Branch { cond, t, f: fl } => {
+                check_op(*cond).map_err(|e| format!("{bid}: branch: {e}"))?;
+                if t.0 >= nblocks || fl.0 >= nblocks {
+                    return Err(format!("{bid}: branch to unknown block"));
+                }
+            }
+            Terminator::Ret(Some(v)) => check_op(*v).map_err(|e| format!("{bid}: ret: {e}"))?,
+            Terminator::Ret(None) => {}
+        }
+    }
+
+    verify_definite_assignment(f)?;
+    Ok(())
+}
+
+/// Forward may-be-unassigned analysis: flags a register that can be read
+/// before any assignment on some path from the entry. Parameters count as
+/// assigned on entry.
+fn verify_definite_assignment(f: &Function) -> Result<(), String> {
+    let cfg = Cfg::compute(f);
+    let nv = f.vreg_count as usize;
+    // assigned_out[b] = set of vregs definitely assigned at exit of b.
+    // Iterate to fixpoint over the reachable blocks in RPO; meet = intersection.
+    let full = vec![true; nv];
+    let mut assigned_out: Vec<Option<Vec<bool>>> = vec![None; f.blocks.len()];
+    let entry_in: Vec<bool> = (0..nv).map(|i| (i as u32) < f.param_count).collect();
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &cfg.rpo {
+            let mut in_set = if b.0 == 0 {
+                entry_in.clone()
+            } else {
+                let mut acc: Option<Vec<bool>> = None;
+                for &p in &cfg.preds[b.index()] {
+                    let pout = assigned_out[p.index()].clone().unwrap_or_else(|| full.clone());
+                    acc = Some(match acc {
+                        None => pout,
+                        Some(mut a) => {
+                            for i in 0..nv {
+                                a[i] &= pout[i];
+                            }
+                            a
+                        }
+                    });
+                }
+                acc.unwrap_or_else(|| entry_in.clone())
+            };
+            for inst in &f.blocks[b.index()].insts {
+                let mut bad = None;
+                inst.for_each_use_reg(|v| {
+                    if bad.is_none() && !in_set[v.index()] {
+                        bad = Some(v);
+                    }
+                });
+                if let Some(v) = bad {
+                    return Err(format!("{b}: {inst}: {v} may be used before assignment"));
+                }
+                if let Some(d) = inst.dst() {
+                    in_set[d.index()] = true;
+                }
+            }
+            let mut bad = None;
+            f.blocks[b.index()].term.for_each_use_reg(|v| {
+                if bad.is_none() && !in_set[v.index()] {
+                    bad = Some(v);
+                }
+            });
+            if let Some(v) = bad {
+                return Err(format!("{b}: terminator: {v} may be used before assignment"));
+            }
+            if assigned_out[b.index()].as_ref() != Some(&in_set) {
+                assigned_out[b.index()] = Some(in_set);
+                changed = true;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::function::{BasicBlock, BlockId};
+    use crate::inst::Opcode;
+    use crate::program::{DataBuilder, FuncId};
+    use crate::types::IntCc;
+
+    #[test]
+    fn valid_program_passes() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        f.switch_to(e);
+        let a = f.iconst(1);
+        let b = f.add(a, 2i64);
+        f.ret(Some(Operand::reg(b)));
+        f.finish();
+        assert!(pb.finish("main").is_ok());
+    }
+
+    #[test]
+    fn out_of_range_register_caught() {
+        let f = Function {
+            name: "bad".into(),
+            param_count: 0,
+            vreg_count: 1,
+            frame_size: 0,
+            blocks: vec![BasicBlock {
+                insts: vec![Inst::Ibin {
+                    op: Opcode::Add,
+                    dst: Vreg(0),
+                    a: Operand::reg(Vreg(9)),
+                    b: Operand::imm(0),
+                }],
+                term: Terminator::Ret(None),
+            }],
+        };
+        let p = Program { funcs: vec![f], entry: FuncId(0), data: DataBuilder::new() };
+        let err = verify_program(&p).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn use_before_assignment_caught() {
+        // entry branches; v assigned only on one side, then used at join.
+        let mut pb = ProgramBuilder::new();
+        let mut fb = pb.func("m", 1);
+        let e = fb.entry();
+        let t = fb.block();
+        let j = fb.block();
+        fb.switch_to(e);
+        let v = fb.vreg();
+        let c = fb.icmp(IntCc::Gt, fb.param(0), 0i64);
+        fb.branch(c, t, j);
+        fb.switch_to(t);
+        fb.set(v, 1i64);
+        fb.jump(j);
+        fb.switch_to(j);
+        let u = fb.add(v, 1i64);
+        fb.ret(Some(Operand::reg(u)));
+        fb.finish();
+        let err = pb.finish("m").unwrap_err();
+        assert!(err.contains("used before assignment"), "{err}");
+    }
+
+    #[test]
+    fn assignment_on_both_paths_ok() {
+        let mut pb = ProgramBuilder::new();
+        let mut fb = pb.func("m", 1);
+        let e = fb.entry();
+        let t = fb.block();
+        let f2 = fb.block();
+        let j = fb.block();
+        fb.switch_to(e);
+        let v = fb.vreg();
+        let c = fb.icmp(IntCc::Gt, fb.param(0), 0i64);
+        fb.branch(c, t, f2);
+        fb.switch_to(t);
+        fb.set(v, 1i64);
+        fb.jump(j);
+        fb.switch_to(f2);
+        fb.set(v, 2i64);
+        fb.jump(j);
+        fb.switch_to(j);
+        fb.ret(Some(Operand::reg(v)));
+        fb.finish();
+        assert!(pb.finish("m").is_ok());
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare("callee", 2);
+        let mut fb = pb.func("main", 0);
+        let e = fb.entry();
+        fb.switch_to(e);
+        fb.call_void(callee, &[Operand::imm(1)]); // wrong arity
+        fb.ret(None);
+        fb.finish();
+        let mut fb = pb.func("callee", 2);
+        let e = fb.entry();
+        fb.switch_to(e);
+        fb.ret(None);
+        fb.finish();
+        let err = pb.finish("main").unwrap_err();
+        assert!(err.contains("expected 2"), "{err}");
+    }
+
+    #[test]
+    fn loop_carried_value_is_ok() {
+        // A value assigned before a loop and updated inside it must verify.
+        let mut pb = ProgramBuilder::new();
+        let mut fb = pb.func("m", 1);
+        let e = fb.entry();
+        let body = fb.block();
+        let done = fb.block();
+        fb.switch_to(e);
+        let acc = fb.iconst(0);
+        let i = fb.iconst(0);
+        fb.jump(body);
+        fb.switch_to(body);
+        fb.ibin_to(Opcode::Add, acc, acc, i);
+        fb.ibin_to(Opcode::Add, i, i, 1i64);
+        let c = fb.icmp(IntCc::Lt, i, fb.param(0));
+        fb.branch(c, body, done);
+        fb.switch_to(done);
+        fb.ret(Some(Operand::reg(acc)));
+        fb.finish();
+        assert!(pb.finish("m").is_ok());
+        let _ = BlockId(0);
+    }
+}

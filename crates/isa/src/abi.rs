@@ -1,0 +1,51 @@
+//! Software calling conventions for TRIPS programs produced by the
+//! reproduction compiler.
+//!
+//! The prototype proxied real ABI concerns (syscalls, varargs) to an
+//! off-chip host; this reproduction needs only a minimal convention shared
+//! by the compiler, the functional interpreter and the cycle simulator.
+
+/// Stack-pointer register. Frames grow downward; each function's entry block
+/// decrements it by the frame size and every return path restores it.
+pub const SP_REG: u8 = 1;
+
+/// Return-value register.
+pub const RV_REG: u8 = 3;
+
+/// First argument register; arguments `i` occupy `ARG_BASE + i`.
+pub const ARG_BASE: u8 = 4;
+
+/// Maximum register-passed arguments.
+pub const MAX_ARGS: usize = 8;
+
+/// First register available for compiler temporaries (values live across
+/// block boundaries).
+pub const TEMP_BASE: u8 = 16;
+
+/// Register bank of an architectural register (4 banks of 32; paper §4.3).
+pub const fn bank_of(reg: u8) -> u8 {
+    reg / 32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argument_registers_do_not_collide_with_specials() {
+        for i in 0..MAX_ARGS as u8 {
+            let r = ARG_BASE + i;
+            assert_ne!(r, SP_REG);
+            assert_ne!(r, RV_REG);
+            assert!(r < TEMP_BASE);
+        }
+    }
+
+    #[test]
+    fn banks() {
+        assert_eq!(bank_of(0), 0);
+        assert_eq!(bank_of(31), 0);
+        assert_eq!(bank_of(32), 1);
+        assert_eq!(bank_of(127), 3);
+    }
+}

@@ -1,0 +1,313 @@
+//! The TRIPS block data model: instructions, targets, header read/write
+//! instructions, exits, and whole programs.
+
+use crate::limits;
+use crate::opcode::TOpcode;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Operand slot of a consumer instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TargetSlot {
+    /// Left (first) operand.
+    Op0,
+    /// Right (second) operand.
+    Op1,
+    /// Predicate operand.
+    Pred,
+}
+
+impl TargetSlot {
+    /// 2-bit encoding.
+    pub fn code(self) -> u8 {
+        match self {
+            TargetSlot::Op0 => 0,
+            TargetSlot::Op1 => 1,
+            TargetSlot::Pred => 2,
+        }
+    }
+
+    /// Inverse of [`TargetSlot::code`].
+    pub fn from_code(c: u8) -> Option<TargetSlot> {
+        match c {
+            0 => Some(TargetSlot::Op0),
+            1 => Some(TargetSlot::Op1),
+            2 => Some(TargetSlot::Pred),
+            _ => None,
+        }
+    }
+}
+
+/// Destination of a produced value: another instruction's operand slot, or a
+/// register-write instruction in the block header.
+///
+/// This *is* the EDGE idea: no destination registers inside a block, only
+/// direct producer→consumer arcs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Target {
+    /// Deliver to compute instruction `idx`'s `slot`.
+    Inst {
+        /// Index into [`Block::insts`] (0..128).
+        idx: u8,
+        /// Which operand slot receives the value.
+        slot: TargetSlot,
+    },
+    /// Deliver to register-write instruction `idx` in the header.
+    Write(u8),
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Inst { idx, slot } => {
+                let s = match slot {
+                    TargetSlot::Op0 => "0",
+                    TargetSlot::Op1 => "1",
+                    TargetSlot::Pred => "p",
+                };
+                write!(f, "N[{idx},{s}]")
+            }
+            Target::Write(w) => write!(f, "W[{w}]"),
+        }
+    }
+}
+
+/// Where a block exit transfers control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExitTarget {
+    /// Jump to another block of the program.
+    Block(u32),
+    /// Call: transfer to `callee`, and on the callee's `Ret`, resume at
+    /// `cont`.
+    Call {
+        /// Entry block of the callee.
+        callee: u32,
+        /// Block to resume at after return.
+        cont: u32,
+    },
+    /// Return from the current activation.
+    Ret,
+}
+
+/// A compute instruction inside a block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BInst {
+    /// Operation.
+    pub op: TOpcode,
+    /// `Some(polarity)` if predicated: executes only when the predicate
+    /// operand arrives and its truth matches `polarity`.
+    pub pred: Option<bool>,
+    /// Immediate field (sign-extended 14-bit for I/C formats, 9-bit offset
+    /// for loads/stores). Must be zero when the format has no immediate.
+    pub imm: i32,
+    /// Load/store ID establishing sequential memory order within the block.
+    pub lsid: Option<u8>,
+    /// Exit index for branch instructions.
+    pub exit: Option<u8>,
+    /// Up to two destinations for the produced value.
+    pub targets: Vec<Target>,
+}
+
+impl BInst {
+    /// Creates an un-predicated instruction with no targets.
+    pub fn new(op: TOpcode) -> BInst {
+        BInst { op, pred: None, imm: 0, lsid: None, exit: None, targets: Vec::new() }
+    }
+}
+
+impl fmt::Display for BInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pred {
+            Some(true) => write!(f, "{}_t", self.op)?,
+            Some(false) => write!(f, "{}_f", self.op)?,
+            None => write!(f, "{}", self.op)?,
+        }
+        if self.op.has_imm() {
+            write!(f, " #{}", self.imm)?;
+        }
+        if let Some(l) = self.lsid {
+            write!(f, " L[{l}]")?;
+        }
+        if let Some(e) = self.exit {
+            write!(f, " E[{e}]")?;
+        }
+        for t in &self.targets {
+            write!(f, " {t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A register-read instruction in the block header.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadInst {
+    /// Architectural register (0..128).
+    pub reg: u8,
+    /// Up to two consumers of the value.
+    pub targets: Vec<Target>,
+}
+
+/// A register-write instruction in the block header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteInst {
+    /// Architectural register (0..128).
+    pub reg: u8,
+}
+
+/// One TRIPS block.
+///
+/// Construct through [`crate::BlockBuilder`], which enforces the prototype
+/// limits, then validate with [`crate::verify::verify_block`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Diagnostic name (e.g. `main$bb3_h0`).
+    pub name: String,
+    /// Header register reads (≤32).
+    pub reads: Vec<ReadInst>,
+    /// Header register writes (≤32).
+    pub writes: Vec<WriteInst>,
+    /// Compute instructions (≤128).
+    pub insts: Vec<BInst>,
+    /// Exits indexed by branch `exit` fields (≤8).
+    pub exits: Vec<ExitTarget>,
+    /// Bit `i` set when LSID `i` is a store output of this block.
+    pub store_mask: u32,
+}
+
+impl Block {
+    /// Number of store outputs the hardware waits for before commit.
+    pub fn store_count(&self) -> u32 {
+        self.store_mask.count_ones()
+    }
+
+    /// The compressed instruction-chunk capacity for this block: the
+    /// smallest of 32/64/96/128 that holds all compute instructions
+    /// (§4.4: blocks are compressed in memory and L2 to 32, 64, 96 or 128
+    /// instructions).
+    pub fn chunk_capacity(&self) -> usize {
+        let n = self.insts.len();
+        match n {
+            0..=32 => 32,
+            33..=64 => 64,
+            65..=96 => 96,
+            _ => 128,
+        }
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "block {} (store_mask={:#x}):", self.name, self.store_mask)?;
+        for (i, r) in self.reads.iter().enumerate() {
+            write!(f, "  R[{i}] read G[{}]", r.reg)?;
+            for t in &r.targets {
+                write!(f, " {t}")?;
+            }
+            writeln!(f)?;
+        }
+        for (i, inst) in self.insts.iter().enumerate() {
+            writeln!(f, "  N[{i}] {inst}")?;
+        }
+        for (i, w) in self.writes.iter().enumerate() {
+            writeln!(f, "  W[{i}] write G[{}]", w.reg)?;
+        }
+        for (i, e) in self.exits.iter().enumerate() {
+            writeln!(f, "  E[{i}] -> {e:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete TRIPS program: blocks plus the entry block index.
+///
+/// Blocks reference each other by index through [`ExitTarget`]. The data
+/// segment travels with the originating [`trips_ir::Program`]; the
+/// functional interpreter takes both.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TripsProgram {
+    /// All blocks.
+    pub blocks: Vec<Block>,
+    /// Entry block index.
+    pub entry: u32,
+}
+
+impl TripsProgram {
+    /// Total compute instructions across all blocks (static).
+    pub fn static_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Looks up a block by name (diagnostics).
+    pub fn block_by_name(&self, name: &str) -> Option<(u32, &Block)> {
+        self.blocks.iter().enumerate().find(|(_, b)| b.name == name).map(|(i, b)| (i as u32, b))
+    }
+}
+
+/// Validates that a target index is representable given the limits.
+pub fn target_in_range(t: Target) -> bool {
+    match t {
+        Target::Inst { idx, .. } => (idx as usize) < limits::MAX_INSTS,
+        Target::Write(w) => (w as usize) < limits::MAX_WRITES,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_capacity_steps() {
+        let mut b = Block {
+            name: "t".into(),
+            reads: vec![],
+            writes: vec![],
+            insts: vec![],
+            exits: vec![],
+            store_mask: 0,
+        };
+        assert_eq!(b.chunk_capacity(), 32);
+        b.insts = vec![BInst::new(TOpcode::Add); 33];
+        assert_eq!(b.chunk_capacity(), 64);
+        b.insts = vec![BInst::new(TOpcode::Add); 96];
+        assert_eq!(b.chunk_capacity(), 96);
+        b.insts = vec![BInst::new(TOpcode::Add); 97];
+        assert_eq!(b.chunk_capacity(), 128);
+    }
+
+    #[test]
+    fn store_count_from_mask() {
+        let b = Block {
+            name: "t".into(),
+            reads: vec![],
+            writes: vec![],
+            insts: vec![],
+            exits: vec![],
+            store_mask: 0b1011,
+        };
+        assert_eq!(b.store_count(), 3);
+    }
+
+    #[test]
+    fn target_display() {
+        let t = Target::Inst { idx: 5, slot: TargetSlot::Pred };
+        assert_eq!(t.to_string(), "N[5,p]");
+        assert_eq!(Target::Write(3).to_string(), "W[3]");
+    }
+
+    #[test]
+    fn slot_codes_roundtrip() {
+        for s in [TargetSlot::Op0, TargetSlot::Op1, TargetSlot::Pred] {
+            assert_eq!(TargetSlot::from_code(s.code()), Some(s));
+        }
+        assert_eq!(TargetSlot::from_code(3), None);
+    }
+
+    #[test]
+    fn inst_display_with_pred_and_imm() {
+        let mut i = BInst::new(TOpcode::Addi);
+        i.imm = 4;
+        i.pred = Some(false);
+        i.targets.push(Target::Write(0));
+        assert_eq!(i.to_string(), "addi_f #4 W[0]");
+    }
+}

@@ -1,0 +1,332 @@
+//! Checked construction of TRIPS blocks.
+//!
+//! [`BlockBuilder`] is the only sanctioned way to assemble a [`Block`]: every
+//! `add_*` call enforces the prototype limits as it goes, so compiler passes
+//! discover resource exhaustion (full block, out of LSIDs, …) at the point
+//! where they can re-plan, rather than from a failed verifier afterwards.
+
+use crate::block::{BInst, Block, ExitTarget, ReadInst, Target, WriteInst};
+use crate::limits;
+use crate::opcode::TOpcode;
+use std::error::Error;
+use std::fmt;
+
+/// Why a block could not accept another element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The 128-instruction budget is exhausted.
+    InstsFull,
+    /// The 32-read budget is exhausted.
+    ReadsFull,
+    /// The 32-write budget is exhausted.
+    WritesFull,
+    /// The 32-LSID budget is exhausted.
+    LsidsFull,
+    /// The 8-exit budget is exhausted.
+    ExitsFull,
+    /// An immediate does not fit the instruction format.
+    ImmTooWide {
+        /// Offending value.
+        imm: i32,
+        /// Field width in bits.
+        bits: u8,
+    },
+    /// Register number ≥ 128.
+    BadReg(u8),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::InstsFull => write!(f, "block already has {} instructions", limits::MAX_INSTS),
+            BuildError::ReadsFull => write!(f, "block already has {} reads", limits::MAX_READS),
+            BuildError::WritesFull => write!(f, "block already has {} writes", limits::MAX_WRITES),
+            BuildError::LsidsFull => write!(f, "block already uses {} load/store ids", limits::MAX_LSIDS),
+            BuildError::ExitsFull => write!(f, "block already has {} exits", limits::MAX_EXITS),
+            BuildError::ImmTooWide { imm, bits } => write!(f, "immediate {imm} does not fit in {bits} bits"),
+            BuildError::BadReg(r) => write!(f, "register {r} out of range"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Immediate field width (bits) for I/C-format instructions.
+pub const IMM_BITS: u8 = 14;
+/// Offset field width (bits) for load/store instructions.
+pub const MEM_OFF_BITS: u8 = 9;
+
+fn fits_signed(v: i32, bits: u8) -> bool {
+    let min = -(1i32 << (bits - 1));
+    let max = (1i32 << (bits - 1)) - 1;
+    v >= min && v <= max
+}
+
+/// Incrementally assembles one [`Block`].
+#[derive(Debug, Clone)]
+pub struct BlockBuilder {
+    block: Block,
+    next_lsid: u8,
+}
+
+impl BlockBuilder {
+    /// Starts an empty block with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> BlockBuilder {
+        BlockBuilder {
+            block: Block {
+                name: name.into(),
+                reads: Vec::new(),
+                writes: Vec::new(),
+                insts: Vec::new(),
+                exits: Vec::new(),
+                store_mask: 0,
+            },
+            next_lsid: 0,
+        }
+    }
+
+    /// Instructions added so far.
+    pub fn inst_count(&self) -> usize {
+        self.block.insts.len()
+    }
+
+    /// Remaining instruction slots.
+    pub fn insts_left(&self) -> usize {
+        limits::MAX_INSTS - self.block.insts.len()
+    }
+
+    /// Remaining load/store IDs.
+    pub fn lsids_left(&self) -> usize {
+        limits::MAX_LSIDS - self.next_lsid as usize
+    }
+
+    /// Remaining read slots.
+    pub fn reads_left(&self) -> usize {
+        limits::MAX_READS - self.block.reads.len()
+    }
+
+    /// Remaining write slots.
+    pub fn writes_left(&self) -> usize {
+        limits::MAX_WRITES - self.block.writes.len()
+    }
+
+    /// Remaining exits.
+    pub fn exits_left(&self) -> usize {
+        limits::MAX_EXITS - self.block.exits.len()
+    }
+
+    /// Adds a register-read instruction, returning its index.
+    ///
+    /// # Errors
+    /// [`BuildError::ReadsFull`] / [`BuildError::BadReg`].
+    pub fn add_read(&mut self, reg: u8) -> Result<u8, BuildError> {
+        if self.block.reads.len() >= limits::MAX_READS {
+            return Err(BuildError::ReadsFull);
+        }
+        if reg as usize >= limits::NUM_REGS {
+            return Err(BuildError::BadReg(reg));
+        }
+        self.block.reads.push(ReadInst { reg, targets: Vec::new() });
+        Ok((self.block.reads.len() - 1) as u8)
+    }
+
+    /// Adds a register-write instruction, returning its index.
+    ///
+    /// # Errors
+    /// [`BuildError::WritesFull`] / [`BuildError::BadReg`].
+    pub fn add_write(&mut self, reg: u8) -> Result<u8, BuildError> {
+        if self.block.writes.len() >= limits::MAX_WRITES {
+            return Err(BuildError::WritesFull);
+        }
+        if reg as usize >= limits::NUM_REGS {
+            return Err(BuildError::BadReg(reg));
+        }
+        self.block.writes.push(WriteInst { reg });
+        Ok((self.block.writes.len() - 1) as u8)
+    }
+
+    /// Adds a compute instruction, returning its index.
+    ///
+    /// # Errors
+    /// [`BuildError::InstsFull`], or [`BuildError::ImmTooWide`] when the
+    /// immediate exceeds its format field.
+    pub fn add_inst(&mut self, inst: BInst) -> Result<u8, BuildError> {
+        if self.block.insts.len() >= limits::MAX_INSTS {
+            return Err(BuildError::InstsFull);
+        }
+        if inst.op == TOpcode::App {
+            // App appends an *unsigned* 14-bit chunk.
+            if inst.imm < 0 || inst.imm >= (1 << IMM_BITS) {
+                return Err(BuildError::ImmTooWide { imm: inst.imm, bits: IMM_BITS });
+            }
+        } else if inst.op.has_imm() {
+            let bits = if inst.op.is_load() || inst.op.is_store() { MEM_OFF_BITS } else { IMM_BITS };
+            if !fits_signed(inst.imm, bits) {
+                return Err(BuildError::ImmTooWide { imm: inst.imm, bits });
+            }
+        } else {
+            debug_assert_eq!(inst.imm, 0, "imm on non-immediate opcode {}", inst.op);
+        }
+        self.block.insts.push(inst);
+        Ok((self.block.insts.len() - 1) as u8)
+    }
+
+    /// Allocates the next load/store ID (program order = allocation order).
+    ///
+    /// # Errors
+    /// [`BuildError::LsidsFull`].
+    pub fn alloc_lsid(&mut self) -> Result<u8, BuildError> {
+        if self.next_lsid as usize >= limits::MAX_LSIDS {
+            return Err(BuildError::LsidsFull);
+        }
+        let id = self.next_lsid;
+        self.next_lsid += 1;
+        Ok(id)
+    }
+
+    /// Marks LSID `lsid` as a store output of the block.
+    pub fn mark_store(&mut self, lsid: u8) {
+        debug_assert!((lsid as usize) < limits::MAX_LSIDS);
+        self.block.store_mask |= 1 << lsid;
+    }
+
+    /// Adds a block exit, returning its index.
+    ///
+    /// # Errors
+    /// [`BuildError::ExitsFull`].
+    pub fn add_exit(&mut self, target: ExitTarget) -> Result<u8, BuildError> {
+        if self.block.exits.len() >= limits::MAX_EXITS {
+            return Err(BuildError::ExitsFull);
+        }
+        self.block.exits.push(target);
+        Ok((self.block.exits.len() - 1) as u8)
+    }
+
+    /// Appends a target to instruction `idx` (must have a free target slot).
+    ///
+    /// # Panics
+    /// Panics if the instruction already has
+    /// [`limits::MAX_TARGETS`] targets — callers are responsible for fanout
+    /// via `mov` trees (that constraint is the point of the paper's move
+    /// overhead discussion).
+    pub fn add_target(&mut self, idx: u8, t: Target) {
+        let inst = &mut self.block.insts[idx as usize];
+        let cap = inst.op.max_targets();
+        assert!(
+            inst.targets.len() < cap,
+            "instruction {idx} ({}) already has {} of {cap} targets; insert a mov",
+            inst.op,
+            inst.targets.len()
+        );
+        inst.targets.push(t);
+    }
+
+    /// Appends a target to read instruction `idx`.
+    ///
+    /// # Panics
+    /// Panics when the read already has two targets (same rule as
+    /// [`BlockBuilder::add_target`]).
+    pub fn add_read_target(&mut self, idx: u8, t: Target) {
+        let read = &mut self.block.reads[idx as usize];
+        assert!(read.targets.len() < limits::MAX_TARGETS, "read {idx} already has 2 targets; insert a mov");
+        read.targets.push(t);
+    }
+
+    /// Number of free target slots on instruction `idx`.
+    pub fn target_slots_left(&self, idx: u8) -> usize {
+        let inst = &self.block.insts[idx as usize];
+        inst.op.max_targets() - inst.targets.len()
+    }
+
+    /// Finishes the block.
+    pub fn finish(self) -> Block {
+        self.block
+    }
+}
+
+/// Convenience constructor for compute instructions.
+pub fn inst(op: TOpcode) -> BInst {
+    BInst::new(op)
+}
+
+/// Convenience constructor for an immediate-form instruction.
+pub fn inst_imm(op: TOpcode, imm: i32) -> BInst {
+    let mut i = BInst::new(op);
+    i.imm = imm;
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits_enforced() {
+        let mut b = BlockBuilder::new("t");
+        for _ in 0..limits::MAX_INSTS {
+            b.add_inst(inst(TOpcode::Add)).unwrap();
+        }
+        assert_eq!(b.add_inst(inst(TOpcode::Add)), Err(BuildError::InstsFull));
+        for i in 0..limits::MAX_READS {
+            b.add_read(i as u8).unwrap();
+        }
+        assert_eq!(b.add_read(0), Err(BuildError::ReadsFull));
+        for i in 0..limits::MAX_WRITES {
+            b.add_write(i as u8).unwrap();
+        }
+        assert_eq!(b.add_write(0), Err(BuildError::WritesFull));
+        for _ in 0..limits::MAX_LSIDS {
+            b.alloc_lsid().unwrap();
+        }
+        assert_eq!(b.alloc_lsid(), Err(BuildError::LsidsFull));
+        for _ in 0..limits::MAX_EXITS {
+            b.add_exit(ExitTarget::Ret).unwrap();
+        }
+        assert_eq!(b.add_exit(ExitTarget::Ret), Err(BuildError::ExitsFull));
+    }
+
+    #[test]
+    fn imm_width_checked() {
+        let mut b = BlockBuilder::new("t");
+        assert!(b.add_inst(inst_imm(TOpcode::Addi, 8191)).is_ok());
+        assert_eq!(
+            b.add_inst(inst_imm(TOpcode::Addi, 8192)),
+            Err(BuildError::ImmTooWide { imm: 8192, bits: IMM_BITS })
+        );
+        assert!(b.add_inst(inst_imm(TOpcode::Ld, 255)).is_ok());
+        assert_eq!(
+            b.add_inst(inst_imm(TOpcode::Ld, 256)),
+            Err(BuildError::ImmTooWide { imm: 256, bits: MEM_OFF_BITS })
+        );
+        assert!(b.add_inst(inst_imm(TOpcode::Ld, -256)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "insert a mov")]
+    fn third_target_panics() {
+        let mut b = BlockBuilder::new("t");
+        let i = b.add_inst(inst(TOpcode::Add)).unwrap();
+        b.add_target(i, Target::Write(0));
+        b.add_target(i, Target::Write(1));
+        b.add_target(i, Target::Write(2));
+    }
+
+    #[test]
+    fn store_mask_accumulates() {
+        let mut b = BlockBuilder::new("t");
+        let l0 = b.alloc_lsid().unwrap();
+        let l1 = b.alloc_lsid().unwrap();
+        b.mark_store(l0);
+        b.mark_store(l1);
+        let blk = b.finish();
+        assert_eq!(blk.store_mask, 0b11);
+        assert_eq!(blk.store_count(), 2);
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        let mut b = BlockBuilder::new("t");
+        assert_eq!(b.add_read(128), Err(BuildError::BadReg(128)));
+        assert_eq!(b.add_write(200), Err(BuildError::BadReg(200)));
+    }
+}

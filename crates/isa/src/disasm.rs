@@ -1,0 +1,225 @@
+//! Disassembly of encoded TRIPS blocks.
+//!
+//! The inverse of [`crate::encode`]: parses a compressed binary block image
+//! (128-byte header + 32/64/96/128 instruction words) back into a partial
+//! [`Block`] and renders TRIPS-style assembly listings. The header's packed
+//! read-instruction *target* fields are not recoverable byte-exactly (the
+//! hardware packs them into 22-bit fields; our byte-aligned header keeps
+//! only the register numbers — see `encode.rs`), so the decoded block
+//! carries reads without targets; everything else round-trips.
+
+use crate::block::{Block, ReadInst, WriteInst};
+use crate::encode::{decode_inst, HEADER_BYTES};
+use std::fmt::Write as _;
+
+/// A decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisasmError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for DisasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "disassembly failed at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for DisasmError {}
+
+/// Decodes a compressed binary block image produced by
+/// [`crate::encode::encode_block`].
+///
+/// Returns the block with reads (register numbers only), writes, store
+/// mask, exits count (targets are program-level metadata and not part of
+/// the image), and all compute instructions. NOP padding words are skipped.
+///
+/// # Errors
+/// [`DisasmError`] on truncated images or undecodable instruction words.
+pub fn decode_block(bytes: &[u8], name: &str) -> Result<Block, DisasmError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(DisasmError { offset: bytes.len(), message: "image smaller than the 128-byte header".into() });
+    }
+    let store_mask = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    let ninsts = bytes[4] as usize;
+    let nreads = bytes[5] as usize;
+    let nwrites = bytes[6] as usize;
+    let nexits = bytes[7] as usize;
+    if nreads > crate::limits::MAX_READS || nwrites > crate::limits::MAX_WRITES {
+        return Err(DisasmError { offset: 5, message: format!("header counts out of range ({nreads} reads, {nwrites} writes)") });
+    }
+
+    // Reads: 3 bytes each starting at offset 16; bit 7 of the low byte marks
+    // a valid entry.
+    let mut reads = Vec::new();
+    for i in 0..nreads {
+        let off = 16 + i * 3;
+        if off + 3 > HEADER_BYTES {
+            break;
+        }
+        let b0 = bytes[off];
+        if b0 & 0x80 != 0 {
+            reads.push(ReadInst { reg: b0 & 0x7f, targets: Vec::new() });
+        }
+    }
+    // Writes: 1 byte each after the 32 read slots.
+    let wbase = 16 + crate::limits::MAX_READS * 3;
+    let mut writes = Vec::new();
+    for i in 0..nwrites {
+        let off = wbase + i;
+        if off >= HEADER_BYTES {
+            break;
+        }
+        let b = bytes[off];
+        if b & 0x80 != 0 {
+            writes.push(WriteInst { reg: b & 0x7f });
+        }
+    }
+
+    // Instruction words.
+    let mut insts = Vec::new();
+    let words = &bytes[HEADER_BYTES..];
+    for (i, w) in words.chunks_exact(4).enumerate() {
+        let word = u32::from_le_bytes(w.try_into().expect("4 bytes"));
+        if word == u32::MAX {
+            continue; // NOP padding
+        }
+        if insts.len() >= ninsts {
+            break;
+        }
+        let inst = decode_inst(word)
+            .map_err(|e| DisasmError { offset: HEADER_BYTES + i * 4, message: e })?;
+        insts.push(inst);
+    }
+    if insts.len() != ninsts {
+        return Err(DisasmError {
+            offset: bytes.len(),
+            message: format!("header promises {ninsts} instructions, image holds {}", insts.len()),
+        });
+    }
+
+    Ok(Block { name: name.to_string(), reads, writes, insts, exits: Vec::with_capacity(nexits), store_mask })
+}
+
+/// Renders a block as a TRIPS-style assembly listing.
+pub fn listing(b: &Block) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".block {}", b.name);
+    let _ = writeln!(out, "  .storemask {:#010x}", b.store_mask);
+    for (i, r) in b.reads.iter().enumerate() {
+        let mut line = format!("  R[{i:2}]  read  G[{}]", r.reg);
+        for t in &r.targets {
+            line.push(' ');
+            line.push_str(&t.to_string());
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    for (i, inst) in b.insts.iter().enumerate() {
+        let _ = writeln!(out, "  N[{i:3}] {inst}");
+    }
+    for (i, w) in b.writes.iter().enumerate() {
+        let _ = writeln!(out, "  W[{i:2}]  write G[{}]", w.reg);
+    }
+    for (i, e) in b.exits.iter().enumerate() {
+        let _ = writeln!(out, "  E[{i}]   {e:?}");
+    }
+    out
+}
+
+/// Renders a whole program listing.
+pub fn program_listing(p: &crate::TripsProgram) -> String {
+    let mut out = String::new();
+    for (i, b) in p.blocks.iter().enumerate() {
+        if i as u32 == p.entry {
+            out.push_str("; entry\n");
+        }
+        out.push_str(&listing(b));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{inst, inst_imm, BlockBuilder};
+    use crate::block::{ExitTarget, Target, TargetSlot};
+    use crate::encode::encode_block;
+    use crate::TOpcode;
+
+    fn sample_block() -> Block {
+        let mut b = BlockBuilder::new("sample");
+        let r = b.add_read(17).unwrap();
+        let c = b.add_inst(inst_imm(TOpcode::Movi, 5)).unwrap();
+        let add = b.add_inst(inst(TOpcode::Add)).unwrap();
+        let w = b.add_write(3).unwrap();
+        b.add_read_target(r, Target::Inst { idx: add, slot: TargetSlot::Op0 });
+        b.add_target(c, Target::Inst { idx: add, slot: TargetSlot::Op1 });
+        b.add_target(add, Target::Write(w));
+        let lsid = b.alloc_lsid().unwrap();
+        b.mark_store(lsid);
+        let mut st = inst_imm(TOpcode::Sd, 8);
+        st.lsid = Some(lsid);
+        let st_i = b.add_inst(st).unwrap();
+        let c2 = b.add_inst(inst_imm(TOpcode::Movi, 4096)).unwrap();
+        b.add_target(c2, Target::Inst { idx: st_i, slot: TargetSlot::Op0 });
+        let c3 = b.add_inst(inst_imm(TOpcode::Movi, 9)).unwrap();
+        b.add_target(c3, Target::Inst { idx: st_i, slot: TargetSlot::Op1 });
+        let mut ret = inst(TOpcode::Ret);
+        ret.exit = Some(0);
+        b.add_inst(ret).unwrap();
+        b.add_exit(ExitTarget::Ret).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_through_binary() {
+        let blk = sample_block();
+        let bytes = encode_block(&blk);
+        let dec = decode_block(&bytes, "sample").expect("decodes");
+        assert_eq!(dec.store_mask, blk.store_mask);
+        assert_eq!(dec.insts, blk.insts);
+        assert_eq!(dec.writes, blk.writes);
+        assert_eq!(dec.reads.len(), blk.reads.len());
+        assert_eq!(dec.reads[0].reg, 17);
+    }
+
+    #[test]
+    fn truncated_image_rejected() {
+        let e = decode_block(&[0u8; 64], "t").unwrap_err();
+        assert!(e.message.contains("header"));
+    }
+
+    #[test]
+    fn listing_contains_everything() {
+        let blk = sample_block();
+        let s = listing(&blk);
+        assert!(s.contains(".block sample"));
+        assert!(s.contains("read  G[17]"));
+        assert!(s.contains("write G[3]"));
+        assert!(s.contains("movi"));
+        assert!(s.contains("sd"));
+        assert!(s.contains("L[0]"));
+    }
+
+    #[test]
+    fn every_compiled_workload_block_decodes() {
+        // Cross-crate smoke: any block the encoder accepts must decode.
+        for n in [1usize, 17, 64, 127] {
+            let mut b = BlockBuilder::new(format!("n{n}"));
+            for k in 0..n {
+                b.add_inst(inst_imm(TOpcode::Movi, (k % 100) as i32)).unwrap();
+            }
+            let mut ret = inst(TOpcode::Ret);
+            ret.exit = Some(0);
+            b.add_inst(ret).unwrap();
+            b.add_exit(ExitTarget::Ret).unwrap();
+            let blk = b.finish();
+            let bytes = encode_block(&blk);
+            let dec = decode_block(&bytes, &blk.name).expect("decodes");
+            assert_eq!(dec.insts.len(), blk.insts.len());
+        }
+    }
+}

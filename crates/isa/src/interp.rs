@@ -1,0 +1,1069 @@
+//! Functional (untimed) dataflow interpreter for TRIPS programs.
+//!
+//! Executes blocks exactly as the hardware's dataflow semantics dictate —
+//! operands flow along target arcs, predicated instructions fire only on
+//! matching polarity, loads respect LSID order against earlier stores, and a
+//! block completes only when all register writes and all masked stores have
+//! been produced and exactly one exit has fired. Because it tracks which
+//! fired instructions actually fed block outputs, it classifies every
+//! fetched instruction into the paper's Figure 3 categories.
+
+use crate::abi;
+use crate::block::{BInst, Block, ExitTarget, Target, TargetSlot, TripsProgram};
+use crate::opcode::TOpcode;
+use crate::stats::{CompositionKind, IsaStats};
+use trips_ir::interp::{InterpError, Memory};
+use trips_ir::program::Program;
+use trips_ir::types::MemWidth;
+use trips_ir::Opcode as IrOp;
+
+use std::error::Error;
+use std::fmt;
+
+/// Execution failures of the TRIPS functional interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TripsExecError {
+    /// A block reached quiescence without producing all outputs — a compiler
+    /// bug (violated output-completeness).
+    IncompleteBlock {
+        /// Offending block name.
+        block: String,
+        /// Human-readable description of what was missing.
+        missing: String,
+    },
+    /// Two values arrived at the same operand slot in one block execution.
+    DoubleDelivery {
+        /// Offending block name.
+        block: String,
+        /// Consumer description.
+        at: String,
+    },
+    /// More than one exit branch fired.
+    MultipleExits {
+        /// Offending block name.
+        block: String,
+    },
+    /// A memory access faulted.
+    Mem(InterpError),
+    /// The dynamic block budget was exhausted.
+    StepLimit,
+    /// The program referenced a block out of range or was malformed.
+    BadProgram(String),
+}
+
+impl fmt::Display for TripsExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TripsExecError::IncompleteBlock { block, missing } => {
+                write!(f, "block {block} quiesced without completing: {missing}")
+            }
+            TripsExecError::DoubleDelivery { block, at } => {
+                write!(f, "double operand delivery in block {block} at {at}")
+            }
+            TripsExecError::MultipleExits { block } => write!(f, "multiple exits fired in block {block}"),
+            TripsExecError::Mem(e) => write!(f, "memory fault: {e}"),
+            TripsExecError::StepLimit => write!(f, "block execution budget exhausted"),
+            TripsExecError::BadProgram(s) => write!(f, "malformed program: {s}"),
+        }
+    }
+}
+
+impl Error for TripsExecError {}
+
+impl From<InterpError> for TripsExecError {
+    fn from(e: InterpError) -> Self {
+        TripsExecError::Mem(e)
+    }
+}
+
+/// A value flowing on the operand network: 64 raw bits plus a null tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Val {
+    bits: u64,
+    null: bool,
+}
+
+impl Val {
+    fn v(bits: u64) -> Val {
+        Val { bits, null: false }
+    }
+    const NULL: Val = Val { bits: 0, null: true };
+    fn truthy(self) -> bool {
+        self.bits != 0
+    }
+}
+
+/// Result of a successful TRIPS program run.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Value in the ABI return register when the top-level activation
+    /// returned.
+    pub return_value: u64,
+    /// ISA-level statistics.
+    pub stats: IsaStats,
+    /// Final memory (checksum validation).
+    pub memory: Memory,
+}
+
+/// Identifies a producer of a value within a block (for dead/used analyses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Producer {
+    Read(u8),
+    Inst(u8),
+}
+
+/// A value source, as reported in execution traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceSrc {
+    /// Header read instruction index.
+    Read(u8),
+    /// Compute instruction index.
+    Inst(u8),
+}
+
+/// A memory access performed by a fired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceMem {
+    /// Byte address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub bytes: u8,
+    /// True for stores.
+    pub is_store: bool,
+}
+
+/// One fired instruction in a block execution, in fire order.
+#[derive(Debug, Clone)]
+pub struct TraceInst {
+    /// Index into [`Block::insts`].
+    pub idx: u8,
+    /// Producers that delivered this instruction's operands (including the
+    /// predicate operand).
+    pub srcs: Vec<TraceSrc>,
+    /// Memory access, if any.
+    pub mem: Option<TraceMem>,
+}
+
+/// Dynamic dataflow trace of one block execution, consumed by the
+/// cycle-level timing model (`trips-sim`).
+#[derive(Debug, Clone, Default)]
+pub struct BlockTrace {
+    /// Fired instructions in fire order.
+    pub fired: Vec<TraceInst>,
+    /// Producer of each header write's value (`None` when nulled).
+    pub write_srcs: Vec<Option<TraceSrc>>,
+    /// The exit that fired.
+    pub exit: u8,
+}
+
+impl From<Producer> for TraceSrc {
+    fn from(p: Producer) -> TraceSrc {
+        match p {
+            Producer::Read(r) => TraceSrc::Read(r),
+            Producer::Inst(i) => TraceSrc::Inst(i),
+        }
+    }
+}
+
+/// Runs `tp` to completion against the data image of `ir` (the program it
+/// was compiled from), with `mem_size` bytes of memory.
+///
+/// # Errors
+/// Any [`TripsExecError`]; notably [`TripsExecError::IncompleteBlock`] flags
+/// compiler output that violates block-atomic output requirements.
+pub fn run_program(tp: &TripsProgram, ir: &Program, mem_size: usize) -> Result<ExecOutcome, TripsExecError> {
+    run_program_with(tp, ir, mem_size, u64::MAX)
+}
+
+/// [`run_program`] with an explicit dynamic block budget.
+///
+/// # Errors
+/// See [`run_program`]; additionally [`TripsExecError::StepLimit`] when the
+/// budget runs out.
+pub fn run_program_with(
+    tp: &TripsProgram,
+    ir: &Program,
+    mem_size: usize,
+    max_blocks: u64,
+) -> Result<ExecOutcome, TripsExecError> {
+    run_program_traced(tp, ir, mem_size, max_blocks, |_, _| {})
+}
+
+/// Runs a program, invoking `on_block` with the dataflow trace of every
+/// dynamic block execution (in program order). This is the execution oracle
+/// driving the cycle-level simulator.
+///
+/// # Errors
+/// See [`run_program_with`].
+pub fn run_program_traced(
+    tp: &TripsProgram,
+    ir: &Program,
+    mem_size: usize,
+    max_blocks: u64,
+    mut on_block: impl FnMut(u32, &BlockTrace),
+) -> Result<ExecOutcome, TripsExecError> {
+    let mut mem = Memory::new(ir, mem_size);
+    let mut regs = [0u64; crate::limits::NUM_REGS];
+    regs[abi::SP_REG as usize] = mem.size() as u64;
+    let mut stats = IsaStats::default();
+    let mut call_stack: Vec<u32> = Vec::new();
+    let mut cur = tp.entry;
+    let mut budget = max_blocks;
+
+    loop {
+        if budget == 0 {
+            return Err(TripsExecError::StepLimit);
+        }
+        budget -= 1;
+        let block = tp
+            .blocks
+            .get(cur as usize)
+            .ok_or_else(|| TripsExecError::BadProgram(format!("block index {cur} out of range")))?;
+        stats.blocks_touched.insert(cur);
+        let mut trace = BlockTrace::default();
+        let exec = execute_block(block, &mut regs, &mut mem, &mut stats, &mut trace)?;
+        on_block(cur, &trace);
+        match exec {
+            ExitTarget::Block(b) => cur = b,
+            ExitTarget::Call { callee, cont } => {
+                call_stack.push(cont);
+                cur = callee;
+            }
+            ExitTarget::Ret => match call_stack.pop() {
+                Some(cont) => cur = cont,
+                None => {
+                    return Ok(ExecOutcome { return_value: regs[abi::RV_REG as usize], stats, memory: mem });
+                }
+            },
+        }
+    }
+}
+
+/// Per-slot delivery record for one block execution.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slots {
+    op: [Option<Val>; 2],
+    op_from: [Option<Producer>; 2],
+    pred: Option<Val>,
+    pred_from: Option<Producer>,
+}
+
+fn execute_block(
+    block: &Block,
+    regs: &mut [u64; crate::limits::NUM_REGS],
+    mem: &mut Memory,
+    stats: &mut IsaStats,
+    trace: &mut BlockTrace,
+) -> Result<ExitTarget, TripsExecError> {
+    let n = block.insts.len();
+    let mut slots: Vec<Slots> = vec![Slots::default(); n];
+    let mut fired = vec![false; n];
+    let mut dead = vec![false; n];
+    let mut produced: Vec<Option<Val>> = vec![None; n];
+    // Pending memory operations: loads that fired dataflow-wise but wait for
+    // LSID order. Store completion state per LSID.
+    let mut lsid_done = vec![false; crate::limits::MAX_LSIDS];
+    let mut write_vals: Vec<Option<(Val, Option<Producer>)>> = vec![None; block.writes.len()];
+    let mut exit_taken: Option<u8> = None;
+
+    // Producer map: which producers target each (inst, slot).
+    let mut producers: Vec<[Vec<Producer>; 3]> = vec![[Vec::new(), Vec::new(), Vec::new()]; n];
+    let record = |producers: &mut Vec<[Vec<Producer>; 3]>, t: &Target, p: Producer| {
+        if let Target::Inst { idx, slot } = t {
+            producers[*idx as usize][slot.code() as usize].push(p);
+        }
+    };
+    for (ri, r) in block.reads.iter().enumerate() {
+        for t in &r.targets {
+            record(&mut producers, t, Producer::Read(ri as u8));
+        }
+    }
+    for (ii, inst) in block.insts.iter().enumerate() {
+        for t in &inst.targets {
+            record(&mut producers, t, Producer::Inst(ii as u8));
+        }
+    }
+
+    let mut ready: Vec<u8> = Vec::new();
+    let mut waiting_mem: Vec<u8> = Vec::new();
+
+    // Check readiness of instruction `i` after a delivery.
+    let is_ready = |i: usize, slots: &[Slots], block: &Block| -> bool {
+        let inst = &block.insts[i];
+        let need = inst.op.num_operands();
+        for s in 0..need {
+            if slots[i].op[s].is_none() {
+                return false;
+            }
+        }
+        if let Some(pol) = inst.pred {
+            match slots[i].pred {
+                Some(p) => {
+                    if p.truthy() != pol {
+                        return false; // mismatched: handled as dead elsewhere
+                    }
+                }
+                None => return false,
+            }
+        }
+        true
+    };
+
+    // Deliver `val` from `from` to target `t`.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver(
+        block: &Block,
+        t: &Target,
+        val: Val,
+        from: Producer,
+        slots: &mut [Slots],
+        write_vals: &mut [Option<(Val, Option<Producer>)>],
+        stats: &mut IsaStats,
+        fired: &[bool],
+        ready: &mut Vec<u8>,
+        dead: &mut [bool],
+    ) -> Result<(), TripsExecError> {
+        match t {
+            Target::Inst { idx, slot } => {
+                let i = *idx as usize;
+                if matches!(from, Producer::Inst(_)) {
+                    stats.et_et_operands += 1;
+                } else {
+                    stats.read_operands += 1;
+                }
+                let s = &mut slots[i];
+                match slot {
+                    TargetSlot::Op0 | TargetSlot::Op1 => {
+                        let k = slot.code() as usize;
+                        if s.op[k].is_some() {
+                            return Err(TripsExecError::DoubleDelivery {
+                                block: block.name.clone(),
+                                at: format!("N[{i},{k}]"),
+                            });
+                        }
+                        s.op[k] = Some(val);
+                        s.op_from[k] = Some(from);
+                    }
+                    TargetSlot::Pred => {
+                        if s.pred.is_some() {
+                            return Err(TripsExecError::DoubleDelivery {
+                                block: block.name.clone(),
+                                at: format!("N[{i},p]"),
+                            });
+                        }
+                        s.pred = Some(val);
+                        s.pred_from = Some(from);
+                        // A mismatched predicate kills the instruction.
+                        if let Some(pol) = block.insts[i].pred {
+                            if val.truthy() != pol {
+                                dead[i] = true;
+                            }
+                        }
+                    }
+                }
+                if !fired[i] && !dead[i] {
+                    ready.push(i as u8); // re-checked before firing
+                }
+                Ok(())
+            }
+            Target::Write(w) => {
+                stats.write_operands += 1;
+                let wi = *w as usize;
+                if write_vals[wi].is_some() {
+                    return Err(TripsExecError::DoubleDelivery { block: block.name.clone(), at: format!("W[{wi}]") });
+                }
+                write_vals[wi] = Some((val, Some(from)));
+                Ok(())
+            }
+        }
+    }
+
+    // Header reads inject register values.
+    stats.reads_fetched += block.reads.len() as u64;
+    for (ri, r) in block.reads.iter().enumerate() {
+        let val = Val::v(regs[r.reg as usize]);
+        for t in &r.targets {
+            deliver(block, t, val, Producer::Read(ri as u8), &mut slots, &mut write_vals, stats, &fired, &mut ready, &mut dead)?;
+        }
+    }
+    // Zero-operand unpredicated instructions are ready immediately;
+    // predicated ones wait for their predicate.
+    for (i, inst) in block.insts.iter().enumerate() {
+        if inst.op.num_operands() == 0 && inst.pred.is_none() {
+            ready.push(i as u8);
+        }
+    }
+
+    let mut speculative_store_buffer: Vec<(u8, u64, MemWidth, u64)> = Vec::new(); // (lsid, addr, width, bits)
+
+    loop {
+        // Fire everything currently ready.
+        while let Some(i8idx) = ready.pop() {
+            let i = i8idx as usize;
+            if fired[i] || dead[i] || !is_ready(i, &slots, block) {
+                continue;
+            }
+            let inst = &block.insts[i];
+            // Loads must wait for all earlier-LSID stores to resolve.
+            if inst.op.is_load() {
+                let lsid = inst.lsid.expect("load has lsid");
+                let blocked = (0..lsid).any(|l| ((block.store_mask >> l) & 1) == 1 && !lsid_done[l as usize]);
+                if blocked {
+                    waiting_mem.push(i as u8);
+                    continue;
+                }
+            }
+            fired[i] = true;
+            stats.executed += 1;
+            {
+                let s = &slots[i];
+                let mut srcs: Vec<TraceSrc> = Vec::new();
+                for k in 0..inst.op.num_operands() {
+                    if let Some(p) = s.op_from[k] {
+                        srcs.push(p.into());
+                    }
+                }
+                if let Some(p) = s.pred_from {
+                    srcs.push(p.into());
+                }
+                let mem_acc = if inst.op.is_load() || inst.op.is_store() {
+                    let a = s.op[0].unwrap_or(Val::v(0));
+                    if a.null || (inst.op.is_store() && s.op[1].map(|v| v.null).unwrap_or(false)) {
+                        None
+                    } else {
+                        let addr = a.bits.wrapping_add(inst.imm as i64 as u64);
+                        let bytes = match inst.op {
+                            TOpcode::Lb | TOpcode::Lbs | TOpcode::Sb => 1,
+                            TOpcode::Lh | TOpcode::Lhs | TOpcode::Sh => 2,
+                            TOpcode::Lw | TOpcode::Lws | TOpcode::Sw => 4,
+                            _ => 8,
+                        };
+                        Some(TraceMem { addr, bytes, is_store: inst.op.is_store() })
+                    }
+                } else {
+                    None
+                };
+                trace.fired.push(TraceInst { idx: i as u8, srcs, mem: mem_acc });
+            }
+            let val = fire_inst(block, i, inst, &slots, mem, &mut lsid_done, &mut speculative_store_buffer, &mut exit_taken, stats)?;
+            produced[i] = val;
+            if let Some(v) = val {
+                for t in &inst.targets {
+                    deliver(block, t, v, Producer::Inst(i as u8), &mut slots, &mut write_vals, stats, &fired, &mut ready, &mut dead)?;
+                }
+            }
+            // A completed store may unblock waiting loads.
+            if inst.op.is_store() || inst.op == TOpcode::Null {
+                let mut still = Vec::new();
+                for &w in &waiting_mem {
+                    ready.push(w);
+                    let _ = &still;
+                }
+                waiting_mem.clear();
+                std::mem::swap(&mut waiting_mem, &mut still);
+            }
+        }
+
+        // Quiescent: extend the dead set (instructions that can never fire)
+        // and see whether that unblocks waiting loads.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                if fired[i] || dead[i] {
+                    continue;
+                }
+                let inst = &block.insts[i];
+                let mut doomed = false;
+                // Mismatched predicate already marked at delivery; here:
+                // any needed slot with all producers dead is unfillable.
+                for s in 0..inst.op.num_operands() {
+                    if slots[i].op[s].is_none() {
+                        let ps = &producers[i][s];
+                        if ps.iter().all(|p| match p {
+                            Producer::Read(_) => false, // reads always fire
+                            Producer::Inst(j) => dead[*j as usize] || (fired[*j as usize] && produced[*j as usize].is_none()),
+                        }) {
+                            doomed = true;
+                        }
+                    }
+                }
+                if inst.pred.is_some() && slots[i].pred.is_none() {
+                    let ps = &producers[i][TargetSlot::Pred.code() as usize];
+                    if ps.iter().all(|p| match p {
+                        Producer::Read(_) => false,
+                        Producer::Inst(j) => dead[*j as usize] || (fired[*j as usize] && produced[*j as usize].is_none()),
+                    }) {
+                        doomed = true;
+                    }
+                }
+                if doomed {
+                    dead[i] = true;
+                    changed = true;
+                }
+            }
+            // Dead stores release LSID ordering.
+            for i in 0..n {
+                if dead[i] && (block.insts[i].op.is_store()) {
+                    if let Some(l) = block.insts[i].lsid {
+                        if !lsid_done[l as usize] {
+                            lsid_done[l as usize] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Retry waiting loads.
+        let mut progress = false;
+        let mut still = Vec::new();
+        for &w in &waiting_mem {
+            let lsid = block.insts[w as usize].lsid.expect("load has lsid");
+            let blocked = (0..lsid).any(|l| ((block.store_mask >> l) & 1) == 1 && !lsid_done[l as usize]);
+            if blocked {
+                still.push(w);
+            } else {
+                ready.push(w);
+                progress = true;
+            }
+        }
+        waiting_mem = still;
+        if !progress && ready.is_empty() {
+            break;
+        }
+    }
+
+    // Completion checks.
+    for (wi, wv) in write_vals.iter().enumerate() {
+        if wv.is_none() {
+            return Err(TripsExecError::IncompleteBlock {
+                block: block.name.clone(),
+                missing: format!("write W[{wi}] (reg {}) never received a value", block.writes[wi].reg),
+            });
+        }
+    }
+    for l in 0..crate::limits::MAX_LSIDS {
+        if ((block.store_mask >> l) & 1) == 1 && !lsid_done[l] {
+            return Err(TripsExecError::IncompleteBlock {
+                block: block.name.clone(),
+                missing: format!("store LSID {l} never produced"),
+            });
+        }
+    }
+    let exit = match exit_taken {
+        Some(e) => e,
+        None => {
+            return Err(TripsExecError::IncompleteBlock {
+                block: block.name.clone(),
+                missing: "no exit branch fired".into(),
+            })
+        }
+    };
+
+    // ---- backward used-marking from block outputs ------------------------------
+    let mut used = vec![false; n];
+    let mut work: Vec<Producer> = Vec::new();
+    for wv in write_vals.iter().flatten() {
+        if let (_, Some(p)) = wv {
+            work.push(*p);
+        }
+    }
+    for (i, inst) in block.insts.iter().enumerate() {
+        if fired[i] && (inst.op.is_store() || inst.op.is_branch()) {
+            // Stores and the fired branch are outputs themselves: their
+            // operand and predicate sources are used.
+            mark_sources(i, &slots, &mut work);
+            used[i] = true;
+        }
+        if fired[i] && inst.op == TOpcode::Null {
+            // Null tokens satisfy outputs; their predicate chain is used.
+            mark_sources(i, &slots, &mut work);
+            used[i] = true;
+        }
+    }
+    while let Some(p) = work.pop() {
+        if let Producer::Inst(j) = p {
+            let j = j as usize;
+            if !used[j] {
+                used[j] = true;
+                mark_sources(j, &slots, &mut work);
+            }
+        }
+    }
+
+    // ---- composition accounting -------------------------------------------------
+    stats.blocks_executed += 1;
+    stats.fetched += n as u64;
+    stats.exits_taken += 1;
+    for (i, inst) in block.insts.iter().enumerate() {
+        let kind = if !fired[i] {
+            stats.fetched_not_executed += 1;
+            CompositionKind::FetchedNotExecuted
+        } else if !used[i] {
+            stats.executed_not_used += 1;
+            CompositionKind::ExecutedNotUsed
+        } else {
+            match inst.op {
+                TOpcode::Mov => {
+                    stats.moves_executed += 1;
+                    CompositionKind::Moves
+                }
+                TOpcode::Null => {
+                    stats.nulls_executed += 1;
+                    CompositionKind::NullTokens
+                }
+                op if op.is_test() => {
+                    stats.useful += 1;
+                    CompositionKind::Tests
+                }
+                op if op.is_load() || op.is_store() => {
+                    stats.useful += 1;
+                    CompositionKind::Memory
+                }
+                op if op.is_branch() => {
+                    stats.useful += 1;
+                    CompositionKind::ControlFlow
+                }
+                _ => {
+                    stats.useful += 1;
+                    CompositionKind::Arithmetic
+                }
+            }
+        };
+        stats.composition.bump(kind);
+    }
+
+    // ---- commit -----------------------------------------------------------------
+    for (addr, w, bits) in speculative_store_buffer.iter().map(|&(_, a, w, b)| (a, w, b)) {
+        mem.store(addr, w, bits)?;
+        stats.stores_committed += 1;
+    }
+    for (wi, wv) in write_vals.iter().enumerate() {
+        let (val, _) = wv.expect("checked above");
+        if !val.null {
+            regs[block.writes[wi].reg as usize] = val.bits;
+            stats.writes_committed += 1;
+        }
+    }
+
+    trace.exit = exit;
+    trace.write_srcs = write_vals
+        .iter()
+        .map(|wv| match wv {
+            Some((val, Some(p))) if !val.null => Some(TraceSrc::from(*p)),
+            _ => None,
+        })
+        .collect();
+
+    block
+        .exits
+        .get(exit as usize)
+        .copied()
+        .ok_or_else(|| TripsExecError::BadProgram(format!("block {} exit {exit} out of range", block.name)))
+}
+
+fn mark_sources(i: usize, slots: &[Slots], work: &mut Vec<Producer>) {
+    for k in 0..2 {
+        if let Some(p) = slots[i].op_from[k] {
+            work.push(p);
+        }
+    }
+    if let Some(p) = slots[i].pred_from {
+        work.push(p);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fire_inst(
+    block: &Block,
+    _i: usize,
+    inst: &BInst,
+    slots: &[Slots],
+    mem: &mut Memory,
+    lsid_done: &mut [bool],
+    store_buf: &mut Vec<(u8, u64, MemWidth, u64)>,
+    exit_taken: &mut Option<u8>,
+    stats: &mut IsaStats,
+) -> Result<Option<Val>, TripsExecError> {
+    use TOpcode::*;
+    let s = &slots[_i];
+    let a = s.op[0].unwrap_or(Val::v(0));
+    let b = s.op[1].unwrap_or(Val::v(0));
+    // A null operand flowing into a store nullifies it; into anything else
+    // it is a compiler bug surfaced as BadProgram.
+    if (a.null || b.null) && !inst.op.is_store() {
+        return Err(TripsExecError::BadProgram(format!(
+            "null token reached non-store {} in block {}",
+            inst.op, block.name
+        )));
+    }
+    let imm = inst.imm as i64;
+    let ib = |op: IrOp, x: Val, y: Val| -> Result<Val, TripsExecError> {
+        Ok(Val::v(trips_ir::interp::eval_ibin(op, x.bits, y.bits).map_err(TripsExecError::Mem)?))
+    };
+    let fa = f64::from_bits(a.bits);
+    let fb = f64::from_bits(b.bits);
+
+    let out: Option<Val> = match inst.op {
+        Movi => Some(Val::v(imm as u64)),
+        App => Some(Val::v(((a.bits << 14) as i64 | (imm & 0x3fff)) as u64)),
+        Mov => Some(a),
+        Null => {
+            // A null with an LSID is a nulled store: it satisfies the store
+            // mask without touching memory (paper §2's "null ... passed
+            // through the st" token, folded into one instruction).
+            if let Some(l) = inst.lsid {
+                lsid_done[l as usize] = true;
+            }
+            Some(Val::NULL)
+        }
+        Add => Some(ib(IrOp::Add, a, b)?),
+        Sub => Some(ib(IrOp::Sub, a, b)?),
+        Mul => Some(ib(IrOp::Mul, a, b)?),
+        Div => Some(ib(IrOp::Div, a, b)?),
+        Udiv => Some(ib(IrOp::Udiv, a, b)?),
+        And => Some(ib(IrOp::And, a, b)?),
+        Or => Some(ib(IrOp::Or, a, b)?),
+        Xor => Some(ib(IrOp::Xor, a, b)?),
+        Shl => Some(ib(IrOp::Shl, a, b)?),
+        Shr => Some(ib(IrOp::Shr, a, b)?),
+        Sra => Some(ib(IrOp::Sra, a, b)?),
+        Addi => Some(Val::v(a.bits.wrapping_add(imm as u64))),
+        Muli => Some(Val::v(a.bits.wrapping_mul(imm as u64))),
+        Andi => Some(Val::v(a.bits & imm as u64)),
+        Ori => Some(Val::v(a.bits | imm as u64)),
+        Xori => Some(Val::v(a.bits ^ imm as u64)),
+        Shli => Some(Val::v(a.bits.wrapping_shl(imm as u32 & 63))),
+        Shri => Some(Val::v(a.bits.wrapping_shr(imm as u32 & 63))),
+        Srai => Some(Val::v(((a.bits as i64).wrapping_shr(imm as u32 & 63)) as u64)),
+        Not => Some(Val::v(!a.bits)),
+        Neg => Some(Val::v((a.bits as i64).wrapping_neg() as u64)),
+        Sextb => Some(Val::v(a.bits as u8 as i8 as i64 as u64)),
+        Sexth => Some(Val::v(a.bits as u16 as i16 as i64 as u64)),
+        Sextw => Some(Val::v(a.bits as u32 as i32 as i64 as u64)),
+        Zextw => Some(Val::v(a.bits as u32 as u64)),
+        Teq => Some(Val::v((a.bits == b.bits) as u64)),
+        Tne => Some(Val::v((a.bits != b.bits) as u64)),
+        Tlt => Some(Val::v(((a.bits as i64) < (b.bits as i64)) as u64)),
+        Tle => Some(Val::v(((a.bits as i64) <= (b.bits as i64)) as u64)),
+        Tult => Some(Val::v((a.bits < b.bits) as u64)),
+        Tule => Some(Val::v((a.bits <= b.bits) as u64)),
+        Teqi => Some(Val::v((a.bits == imm as u64) as u64)),
+        Tlti => Some(Val::v(((a.bits as i64) < imm) as u64)),
+        Fadd => Some(Val::v((fa + fb).to_bits())),
+        Fsub => Some(Val::v((fa - fb).to_bits())),
+        Fmul => Some(Val::v((fa * fb).to_bits())),
+        Fdiv => Some(Val::v((fa / fb).to_bits())),
+        Fneg => Some(Val::v((-fa).to_bits())),
+        Fabs => Some(Val::v(fa.abs().to_bits())),
+        Fsqrt => Some(Val::v(fa.sqrt().to_bits())),
+        Fi2d => Some(Val::v(((a.bits as i64) as f64).to_bits())),
+        Fd2i => Some(Val::v((fa as i64) as u64)),
+        Feq => Some(Val::v((fa == fb) as u64)),
+        Flt => Some(Val::v((fa < fb) as u64)),
+        Fle => Some(Val::v((fa <= fb) as u64)),
+        Lb | Lbs | Lh | Lhs | Lw | Lws | Ld => {
+            let addr = a.bits.wrapping_add(imm as u64);
+            let (w, signed) = match inst.op {
+                Lb => (MemWidth::B, false),
+                Lbs => (MemWidth::B, true),
+                Lh => (MemWidth::H, false),
+                Lhs => (MemWidth::H, true),
+                Lw => (MemWidth::W, false),
+                Lws => (MemWidth::W, true),
+                Ld => (MemWidth::D, false),
+                _ => unreachable!(),
+            };
+            // Read through the block's pending store buffer for sequential
+            // semantics (earlier LSIDs have already resolved).
+            let mut v = mem.load(addr, w, signed)?;
+            let my_lsid = inst.lsid.expect("load has lsid");
+            for &(slsid, saddr, sw, sbits) in store_buf.iter() {
+                if slsid < my_lsid && ranges_overlap(saddr, sw, addr, w) {
+                    if saddr == addr && sw == w {
+                        v = extract(sbits, w, signed);
+                    } else {
+                        // Partial overlap: apply the store to a scratch copy.
+                        let mut tmp = mem.clone();
+                        for &(l2, a2, w2, b2) in store_buf.iter() {
+                            if l2 < my_lsid {
+                                tmp.store(a2, w2, b2)?;
+                            }
+                        }
+                        v = tmp.load(addr, w, signed)?;
+                        break;
+                    }
+                }
+            }
+            stats.loads_executed += 1;
+            Some(Val::v(v))
+        }
+        Sb | Sh | Sw | Sd => {
+            let lsid = inst.lsid.expect("store has lsid");
+            if a.null || b.null {
+                // Nulled store: output produced, memory untouched.
+                lsid_done[lsid as usize] = true;
+                None
+            } else {
+                let addr = a.bits.wrapping_add(imm as u64);
+                let w = match inst.op {
+                    Sb => MemWidth::B,
+                    Sh => MemWidth::H,
+                    Sw => MemWidth::W,
+                    _ => MemWidth::D,
+                };
+                // Keep the buffer LSID-sorted: stores fire in dataflow order,
+                // but sequential memory semantics (and the final commit) are
+                // defined by LSID order.
+                let pos = store_buf.partition_point(|&(l2, _, _, _)| l2 < lsid);
+                store_buf.insert(pos, (lsid, addr, w, b.bits));
+                lsid_done[lsid as usize] = true;
+                None
+            }
+        }
+        Bro | Callo | Ret => {
+            if exit_taken.is_some() {
+                return Err(TripsExecError::MultipleExits { block: block.name.clone() });
+            }
+            *exit_taken = Some(inst.exit.expect("branch has exit"));
+            None
+        }
+    };
+    Ok(out)
+}
+
+fn extract(bits: u64, w: MemWidth, signed: bool) -> u64 {
+    match (w, signed) {
+        (MemWidth::B, false) => bits as u8 as u64,
+        (MemWidth::B, true) => bits as u8 as i8 as i64 as u64,
+        (MemWidth::H, false) => bits as u16 as u64,
+        (MemWidth::H, true) => bits as u16 as i16 as i64 as u64,
+        (MemWidth::W, false) => bits as u32 as u64,
+        (MemWidth::W, true) => bits as u32 as i32 as i64 as u64,
+        (MemWidth::D, _) => bits,
+    }
+}
+
+fn ranges_overlap(a1: u64, w1: MemWidth, a2: u64, w2: MemWidth) -> bool {
+    a1 < a2 + w2.bytes() && a2 < a1 + w1.bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{inst, inst_imm, BlockBuilder};
+    use crate::{ExitTarget, Target, TargetSlot};
+    use trips_ir::ProgramBuilder;
+
+    fn empty_ir() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        f.switch_to(e);
+        f.ret(None);
+        f.finish();
+        pb.finish("main").unwrap()
+    }
+
+    /// Single block: rv = 40 + 2, then ret.
+    #[test]
+    fn add_block_executes() {
+        let mut b = BlockBuilder::new("b0");
+        let c40 = b.add_inst(inst_imm(TOpcode::Movi, 40)).unwrap();
+        let add = b.add_inst(inst_imm(TOpcode::Addi, 2)).unwrap();
+        let w = b.add_write(crate::abi::RV_REG).unwrap();
+        b.add_target(c40, Target::Inst { idx: add, slot: TargetSlot::Op0 });
+        b.add_target(add, Target::Write(w));
+        let mut ret = inst(TOpcode::Ret);
+        ret.exit = Some(0);
+        b.add_inst(ret).unwrap();
+        b.add_exit(ExitTarget::Ret).unwrap();
+        let tp = TripsProgram { blocks: vec![b.finish()], entry: 0 };
+        let ir = empty_ir();
+        let out = run_program(&tp, &ir, 1 << 20).unwrap();
+        assert_eq!(out.return_value, 42);
+        assert_eq!(out.stats.blocks_executed, 1);
+        assert_eq!(out.stats.executed, 3);
+        assert_eq!(out.stats.writes_committed, 1);
+    }
+
+    /// Predication: both arms execute speculatively; only matching arm's
+    /// value reaches the write.
+    #[test]
+    fn predicated_arms_select_output() {
+        let mut b = BlockBuilder::new("b0");
+        let c1 = b.add_inst(inst_imm(TOpcode::Movi, 1)).unwrap(); // predicate = true
+        let fan = b.add_inst(inst(TOpcode::Mov)).unwrap(); // movi encodes one target
+        let t_arm = b.add_inst(inst_imm(TOpcode::Movi, 111)).unwrap();
+        let f_arm = b.add_inst(inst_imm(TOpcode::Movi, 222)).unwrap();
+        let mut mt = inst(TOpcode::Mov);
+        mt.pred = Some(true);
+        let mov_t = b.add_inst(mt).unwrap();
+        let mut mf = inst(TOpcode::Mov);
+        mf.pred = Some(false);
+        let mov_f = b.add_inst(mf).unwrap();
+        let w = b.add_write(crate::abi::RV_REG).unwrap();
+        b.add_target(c1, Target::Inst { idx: fan, slot: TargetSlot::Op0 });
+        b.add_target(fan, Target::Inst { idx: mov_t, slot: TargetSlot::Pred });
+        b.add_target(fan, Target::Inst { idx: mov_f, slot: TargetSlot::Pred });
+        b.add_target(t_arm, Target::Inst { idx: mov_t, slot: TargetSlot::Op0 });
+        b.add_target(f_arm, Target::Inst { idx: mov_f, slot: TargetSlot::Op0 });
+        b.add_target(mov_t, Target::Write(w));
+        b.add_target(mov_f, Target::Write(w));
+        let mut ret = inst(TOpcode::Ret);
+        ret.exit = Some(0);
+        b.add_inst(ret).unwrap();
+        b.add_exit(ExitTarget::Ret).unwrap();
+        let tp = TripsProgram { blocks: vec![b.finish()], entry: 0 };
+        let out = run_program(&tp, &empty_ir(), 1 << 20).unwrap();
+        assert_eq!(out.return_value, 111);
+        // mov_f was fetched but not executed (pred mismatch).
+        assert_eq!(out.stats.fetched_not_executed, 1);
+        let _ = f_arm;
+        // f_arm executed but its consumer died -> executed-not-used.
+        assert_eq!(out.stats.executed_not_used, 1);
+    }
+
+    /// Null store satisfies the store mask without touching memory.
+    #[test]
+    fn null_store_completes_block() {
+        let mut pb = ProgramBuilder::new();
+        let addr = pb.data_mut().alloc_i64s("x", &[7]);
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        f.switch_to(e);
+        f.ret(None);
+        f.finish();
+        let ir = pb.finish("main").unwrap();
+
+        let mut b = BlockBuilder::new("b0");
+        let c0 = b.add_inst(inst_imm(TOpcode::Movi, 0)).unwrap(); // predicate = false
+        let fan = b.add_inst(inst(TOpcode::Mov)).unwrap();
+        let lsid = b.alloc_lsid().unwrap();
+        b.mark_store(lsid);
+        let mut st = inst_imm(TOpcode::Sd, 0);
+        st.lsid = Some(lsid);
+        st.pred = Some(true); // store only on true path (never here)
+        let addr_c = b.add_inst(inst_imm(TOpcode::Movi, addr as i32)).unwrap();
+        let val_c = b.add_inst(inst_imm(TOpcode::Movi, 99)).unwrap();
+        let st_i = b.add_inst(st).unwrap();
+        let mut nl = inst(TOpcode::Null);
+        nl.pred = Some(false);
+        let null_i = b.add_inst(nl).unwrap();
+        b.add_target(c0, Target::Inst { idx: fan, slot: TargetSlot::Op0 });
+        b.add_target(fan, Target::Inst { idx: st_i, slot: TargetSlot::Pred });
+        b.add_target(fan, Target::Inst { idx: null_i, slot: TargetSlot::Pred });
+        b.add_target(addr_c, Target::Inst { idx: st_i, slot: TargetSlot::Op0 });
+        b.add_target(val_c, Target::Inst { idx: st_i, slot: TargetSlot::Op1 });
+        // Null token routed to the store's operand would conflict; instead
+        // nulled stores are modelled by the null firing with the same LSID.
+        let mut ret = inst(TOpcode::Ret);
+        ret.exit = Some(0);
+        b.add_inst(ret).unwrap();
+        b.add_exit(ExitTarget::Ret).unwrap();
+        // Give the null the store's LSID so it satisfies the mask.
+        let mut blk = b.finish();
+        blk.insts[null_i as usize].lsid = Some(lsid);
+        // Route the null to nothing; it satisfies LSID by firing.
+        let tp = TripsProgram { blocks: vec![blk], entry: 0 };
+        let out = run_program(&tp, &ir, 1 << 20);
+        // The store is predicated-off; the null must mark the LSID done.
+        // (The interpreter treats a fired Null with an LSID as a null store.)
+        match out {
+            Ok(o) => {
+                // memory unchanged
+                let m = o.memory;
+                assert_eq!(m.load(addr, MemWidth::D, false).unwrap(), 7);
+            }
+            Err(e) => panic!("block should complete: {e}"),
+        }
+    }
+
+    /// Store→load forwarding within a block respects LSID order.
+    #[test]
+    fn store_load_forwarding() {
+        let mut pb = ProgramBuilder::new();
+        let addr = pb.data_mut().alloc_i64s("x", &[1]);
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        f.switch_to(e);
+        f.ret(None);
+        f.finish();
+        let ir = pb.finish("main").unwrap();
+
+        let mut b = BlockBuilder::new("b0");
+        let a_c = b.add_inst(inst_imm(TOpcode::Movi, addr as i32)).unwrap();
+        let a_fan = b.add_inst(inst(TOpcode::Mov)).unwrap();
+        let v_c = b.add_inst(inst_imm(TOpcode::Movi, 55)).unwrap();
+        let l0 = b.alloc_lsid().unwrap();
+        b.mark_store(l0);
+        let mut st = inst_imm(TOpcode::Sd, 0);
+        st.lsid = Some(l0);
+        let st_i = b.add_inst(st).unwrap();
+        let l1 = b.alloc_lsid().unwrap();
+        let mut ld = inst_imm(TOpcode::Ld, 0);
+        ld.lsid = Some(l1);
+        let ld_i = b.add_inst(ld).unwrap();
+        let w = b.add_write(crate::abi::RV_REG).unwrap();
+        b.add_target(a_c, Target::Inst { idx: a_fan, slot: TargetSlot::Op0 });
+        b.add_target(a_fan, Target::Inst { idx: st_i, slot: TargetSlot::Op0 });
+        b.add_target(v_c, Target::Inst { idx: st_i, slot: TargetSlot::Op1 });
+        // need addr for the load too: second target via the fanout mov
+        b.add_target(a_fan, Target::Inst { idx: ld_i, slot: TargetSlot::Op0 });
+        b.add_target(ld_i, Target::Write(w));
+        let mut ret = inst(TOpcode::Ret);
+        ret.exit = Some(0);
+        b.add_inst(ret).unwrap();
+        b.add_exit(ExitTarget::Ret).unwrap();
+        let tp = TripsProgram { blocks: vec![b.finish()], entry: 0 };
+        let out = run_program(&tp, &ir, 1 << 20).unwrap();
+        assert_eq!(out.return_value, 55);
+        // Committed store visible in memory afterwards.
+        assert_eq!(out.memory.load(addr, MemWidth::D, false).unwrap(), 55);
+    }
+
+    /// A block that never produces a write must raise IncompleteBlock.
+    #[test]
+    fn incomplete_block_detected() {
+        let mut b = BlockBuilder::new("b0");
+        let _w = b.add_write(crate::abi::RV_REG).unwrap();
+        let mut ret = inst(TOpcode::Ret);
+        ret.exit = Some(0);
+        b.add_inst(ret).unwrap();
+        b.add_exit(ExitTarget::Ret).unwrap();
+        let tp = TripsProgram { blocks: vec![b.finish()], entry: 0 };
+        let err = run_program(&tp, &empty_ir(), 1 << 20).unwrap_err();
+        assert!(matches!(err, TripsExecError::IncompleteBlock { .. }), "{err}");
+    }
+
+    /// Calls push continuations; rets pop them.
+    #[test]
+    fn call_and_return_flow() {
+        // block0: call -> block1, cont block2 ; block1: rv=5, ret ; block2: ret
+        let mut b0 = BlockBuilder::new("b0");
+        let mut call = inst(TOpcode::Callo);
+        call.exit = Some(0);
+        b0.add_inst(call).unwrap();
+        b0.add_exit(ExitTarget::Call { callee: 1, cont: 2 }).unwrap();
+
+        let mut b1 = BlockBuilder::new("b1");
+        let c = b1.add_inst(inst_imm(TOpcode::Movi, 5)).unwrap();
+        let w = b1.add_write(crate::abi::RV_REG).unwrap();
+        b1.add_target(c, Target::Write(w));
+        let mut ret = inst(TOpcode::Ret);
+        ret.exit = Some(0);
+        b1.add_inst(ret).unwrap();
+        b1.add_exit(ExitTarget::Ret).unwrap();
+
+        let mut b2 = BlockBuilder::new("b2");
+        let mut ret2 = inst(TOpcode::Ret);
+        ret2.exit = Some(0);
+        b2.add_inst(ret2).unwrap();
+        b2.add_exit(ExitTarget::Ret).unwrap();
+
+        let tp = TripsProgram { blocks: vec![b0.finish(), b1.finish(), b2.finish()], entry: 0 };
+        let out = run_program(&tp, &empty_ir(), 1 << 20).unwrap();
+        assert_eq!(out.return_value, 5);
+        assert_eq!(out.stats.blocks_executed, 3);
+    }
+}

@@ -1,0 +1,68 @@
+//! # trips-isa
+//!
+//! The TRIPS instantiation of an EDGE (Explicit Data Graph Execution) ISA,
+//! as described in §2 of *An Evaluation of the TRIPS Computer System*
+//! (ASPLOS 2009).
+//!
+//! The defining features modelled here:
+//!
+//! * **Block-atomic execution** — programs are sequences of blocks of up to
+//!   128 dataflow instructions, each logically fetched, executed, and
+//!   committed as a unit ([`Block`]).
+//! * **Direct instruction communication** — instructions encode *targets*
+//!   (consumer instruction slots) instead of destination registers
+//!   ([`Target`]); values cross block boundaries only through the
+//!   128-register file (read/write instructions in the block header) and
+//!   memory.
+//! * **Predication** — any instruction can be predicated on a true or false
+//!   predicate operand; the block must produce all of its outputs (register
+//!   writes and stores) on every predicate path, using `null` tokens for
+//!   stores that do not happen.
+//! * **Limits of the prototype** — ≤128 compute instructions, ≤32 register
+//!   reads, ≤32 register writes, ≤32 load/store IDs, ≤8 block exits
+//!   ([`limits`]).
+//!
+//! The crate provides the block data model, a checked [`BlockBuilder`],
+//! a structural verifier, a binary encoder matching the prototype's
+//! 128-byte header + 32/64/96/128-instruction compressed formats, and a
+//! functional (untimed) dataflow interpreter that doubles as the ISA-level
+//! statistics collector used by the paper's Figures 3–5.
+
+pub mod abi;
+pub mod block;
+pub mod build;
+pub mod disasm;
+pub mod encode;
+pub mod interp;
+pub mod opcode;
+pub mod stats;
+pub mod verify;
+
+pub use block::{BInst, Block, ExitTarget, ReadInst, Target, TargetSlot, TripsProgram, WriteInst};
+pub use build::{BlockBuilder, BuildError};
+pub use interp::{run_program, ExecOutcome, TripsExecError};
+pub use opcode::{OpCategory, TOpcode};
+pub use stats::{CompositionKind, IsaStats};
+
+/// Architectural limits of the TRIPS prototype block format.
+pub mod limits {
+    /// Maximum compute instructions per block.
+    pub const MAX_INSTS: usize = 128;
+    /// Maximum register read instructions per block (block header).
+    pub const MAX_READS: usize = 32;
+    /// Maximum register write instructions per block (block header).
+    pub const MAX_WRITES: usize = 32;
+    /// Maximum distinct load/store IDs per block.
+    pub const MAX_LSIDS: usize = 32;
+    /// Maximum block exits (the exit predictor chooses among these).
+    pub const MAX_EXITS: usize = 8;
+    /// Number of architectural registers (4 banks × 32).
+    pub const NUM_REGS: usize = 128;
+    /// Register banks in the prototype.
+    pub const REG_BANKS: usize = 4;
+    /// Maximum targets encodable per instruction.
+    pub const MAX_TARGETS: usize = 2;
+    /// Maximum simultaneously executing blocks (1 non-speculative + 7
+    /// speculative) giving the 1024-instruction window.
+    pub const MAX_BLOCKS_IN_FLIGHT: usize = 8;
+}

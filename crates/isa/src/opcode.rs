@@ -1,0 +1,291 @@
+//! TRIPS opcodes and their static properties.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A TRIPS instruction opcode.
+///
+/// The set mirrors the prototype's RISC-style compute operations plus the
+/// EDGE-specific dataflow helpers: `Mov` (operand fanout), `Null` (store/
+/// write tokens for untaken predicate paths), test instructions producing
+/// predicates, and block-exit branches.
+///
+/// Immediate-form arithmetic (`Addi`, …) is distinguished because the
+/// prototype's fixed 32-bit encoding gives immediates a dedicated format and
+/// because wide constants must be materialized through `Movi`/`App` chains —
+/// the constant-generation overhead §4.2 of the paper calls out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variants follow the naming of the TRIPS manual
+pub enum TOpcode {
+    // Constant generation (C format).
+    /// Materialize a sign-extended 14-bit immediate.
+    Movi,
+    /// `dst = (src << 14) | imm14` — append 14 immediate bits (constant chains).
+    App,
+    // Dataflow helpers.
+    /// Copy the operand to up to two targets (fanout).
+    Mov,
+    /// Produce a null token (satisfies a store or write output without
+    /// performing it).
+    Null,
+    // Integer arithmetic, G format (two register operands).
+    Add, Sub, Mul, Div, Udiv, And, Or, Xor, Shl, Shr, Sra,
+    // Integer arithmetic, I format (one register operand + imm14).
+    Addi, Muli, Andi, Ori, Xori, Shli, Shri, Srai,
+    // Unary.
+    Not, Neg, Sextb, Sexth, Sextw, Zextw,
+    // Tests (produce 0/1 predicates), G format.
+    Teq, Tne, Tlt, Tle, Tult, Tule,
+    // Tests, I format.
+    Teqi, Tlti,
+    // Floating point (operands are f64 bit patterns).
+    Fadd, Fsub, Fmul, Fdiv, Fneg, Fabs, Fsqrt, Fi2d, Fd2i,
+    Feq, Flt, Fle,
+    // Memory (L/S formats carry an LSID and a 9-bit offset).
+    /// Load byte, zero-extend.
+    Lb,
+    /// Load byte, sign-extend.
+    Lbs,
+    /// Load halfword, zero-extend.
+    Lh,
+    /// Load halfword, sign-extend.
+    Lhs,
+    /// Load word, zero-extend.
+    Lw,
+    /// Load word, sign-extend.
+    Lws,
+    /// Load doubleword.
+    Ld,
+    /// Store byte.
+    Sb,
+    /// Store halfword.
+    Sh,
+    /// Store word.
+    Sw,
+    /// Store doubleword.
+    Sd,
+    // Control (B format): branch to a block exit.
+    /// Branch (to the exit named by the instruction), optionally predicated.
+    Bro,
+    /// Call: branch to a callee block, recording the continuation exit.
+    Callo,
+    /// Return from the current function activation.
+    Ret,
+}
+
+/// Coarse categories used by the paper's Figure 3 block-composition plot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpCategory {
+    /// Loads and stores.
+    Memory,
+    /// Branches, calls, returns.
+    ControlFlow,
+    /// Adds, multiplies, floating point, extends, constants.
+    Arithmetic,
+    /// Fanout moves (EDGE dataflow overhead).
+    Move,
+    /// Test instructions feeding predicates and branches.
+    Test,
+    /// Null tokens (EDGE output-completeness overhead).
+    NullToken,
+}
+
+impl TOpcode {
+    /// Number of dataflow operands the instruction waits for (excluding the
+    /// optional predicate operand).
+    pub fn num_operands(self) -> usize {
+        use TOpcode::*;
+        match self {
+            Movi | Null => 0,
+            App | Mov | Addi | Muli | Andi | Ori | Xori | Shli | Shri | Srai | Not | Neg | Sextb | Sexth
+            | Sextw | Zextw | Teqi | Tlti | Fneg | Fabs | Fsqrt | Fi2d | Fd2i | Lb | Lbs | Lh | Lhs | Lw
+            | Lws | Ld => 1,
+            Add | Sub | Mul | Div | Udiv | And | Or | Xor | Shl | Shr | Sra | Teq | Tne | Tlt | Tle | Tult
+            | Tule | Fadd | Fsub | Fmul | Fdiv | Feq | Flt | Fle | Sb | Sh | Sw | Sd => 2,
+            Bro | Ret => 0,
+            Callo => 0,
+        }
+    }
+
+    /// True for load opcodes.
+    pub fn is_load(self) -> bool {
+        use TOpcode::*;
+        matches!(self, Lb | Lbs | Lh | Lhs | Lw | Lws | Ld)
+    }
+
+    /// True for store opcodes.
+    pub fn is_store(self) -> bool {
+        use TOpcode::*;
+        matches!(self, Sb | Sh | Sw | Sd)
+    }
+
+    /// True for branch/call/return opcodes.
+    pub fn is_branch(self) -> bool {
+        use TOpcode::*;
+        matches!(self, Bro | Callo | Ret)
+    }
+
+    /// True for test (predicate/branch-condition producing) opcodes.
+    pub fn is_test(self) -> bool {
+        use TOpcode::*;
+        matches!(self, Teq | Tne | Tlt | Tle | Tult | Tule | Teqi | Tlti | Feq | Flt | Fle)
+    }
+
+    /// True for floating-point opcodes (for FU latency modelling).
+    pub fn is_fp(self) -> bool {
+        use TOpcode::*;
+        matches!(self, Fadd | Fsub | Fmul | Fdiv | Fneg | Fabs | Fsqrt | Fi2d | Fd2i | Feq | Flt | Fle)
+    }
+
+    /// Maximum encodable targets: G-format instructions carry two 10-bit
+    /// target fields; immediate, load and constant formats have room for
+    /// one; stores and branches produce no value.
+    pub fn max_targets(self) -> usize {
+        use TOpcode::*;
+        if self.is_branch() || self.is_store() {
+            0
+        } else if self.has_imm() || matches!(self, Movi | App | Null) {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// True when the I/L/S/C format immediate field is meaningful.
+    pub fn has_imm(self) -> bool {
+        use TOpcode::*;
+        matches!(
+            self,
+            Movi | App
+                | Addi | Muli | Andi | Ori | Xori | Shli | Shri | Srai
+                | Teqi | Tlti
+                | Lb | Lbs | Lh | Lhs | Lw | Lws | Ld | Sb | Sh | Sw | Sd
+        )
+    }
+
+    /// Category for block-composition statistics (Figure 3).
+    pub fn category(self) -> OpCategory {
+        use TOpcode::*;
+        match self {
+            Mov => OpCategory::Move,
+            Null => OpCategory::NullToken,
+            _ if self.is_test() => OpCategory::Test,
+            _ if self.is_load() || self.is_store() => OpCategory::Memory,
+            _ if self.is_branch() => OpCategory::ControlFlow,
+            _ => OpCategory::Arithmetic,
+        }
+    }
+
+    /// Execution latency in cycles on the prototype's execution tiles.
+    ///
+    /// Used by the cycle-level simulator; the functional interpreter ignores
+    /// it.
+    pub fn latency(self) -> u32 {
+        use TOpcode::*;
+        match self {
+            Mul | Muli => 3,
+            Div | Udiv => 24,
+            Fadd | Fsub | Fneg | Fabs | Fi2d | Fd2i | Feq | Flt | Fle => 4,
+            Fmul => 4,
+            Fdiv => 24,
+            Fsqrt => 24,
+            Lb | Lbs | Lh | Lhs | Lw | Lws | Ld => 2, // L1 hit pipeline; misses modelled separately
+            _ => 1,
+        }
+    }
+
+    /// All opcodes, for exhaustive tests and encode tables.
+    pub fn all() -> &'static [TOpcode] {
+        use TOpcode::*;
+        &[
+            Movi, App, Mov, Null, Add, Sub, Mul, Div, Udiv, And, Or, Xor, Shl, Shr, Sra, Addi, Muli, Andi,
+            Ori, Xori, Shli, Shri, Srai, Not, Neg, Sextb, Sexth, Sextw, Zextw, Teq, Tne, Tlt, Tle, Tult,
+            Tule, Teqi, Tlti, Fadd, Fsub, Fmul, Fdiv, Fneg, Fabs, Fsqrt, Fi2d, Fd2i, Feq, Flt, Fle, Lb,
+            Lbs, Lh, Lhs, Lw, Lws, Ld, Sb, Sh, Sw, Sd, Bro, Callo, Ret,
+        ]
+    }
+
+    /// Stable numeric code (6 bits) for binary encoding.
+    pub fn code(self) -> u8 {
+        TOpcode::all().iter().position(|&o| o == self).expect("opcode in table") as u8
+    }
+
+    /// Inverse of [`TOpcode::code`].
+    pub fn from_code(c: u8) -> Option<TOpcode> {
+        TOpcode::all().get(c as usize).copied()
+    }
+}
+
+impl fmt::Display for TOpcode {
+    // TRIPS assembly mnemonics are the lowercased variant names.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = format!("{self:?}").to_lowercase();
+        f.write_str(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_codes_roundtrip_and_fit_6_bits() {
+        for &op in TOpcode::all() {
+            let c = op.code();
+            assert!(c < 64, "{op} code {c} exceeds 6 bits");
+            assert_eq!(TOpcode::from_code(c), Some(op));
+        }
+        assert_eq!(TOpcode::from_code(63), None);
+    }
+
+    #[test]
+    fn operand_counts() {
+        assert_eq!(TOpcode::Movi.num_operands(), 0);
+        assert_eq!(TOpcode::Mov.num_operands(), 1);
+        assert_eq!(TOpcode::Add.num_operands(), 2);
+        assert_eq!(TOpcode::Sd.num_operands(), 2);
+        assert_eq!(TOpcode::Ld.num_operands(), 1);
+        assert_eq!(TOpcode::Bro.num_operands(), 0);
+        assert_eq!(TOpcode::Null.num_operands(), 0);
+    }
+
+    #[test]
+    fn categories() {
+        assert_eq!(TOpcode::Mov.category(), OpCategory::Move);
+        assert_eq!(TOpcode::Null.category(), OpCategory::NullToken);
+        assert_eq!(TOpcode::Teq.category(), OpCategory::Test);
+        assert_eq!(TOpcode::Ld.category(), OpCategory::Memory);
+        assert_eq!(TOpcode::Bro.category(), OpCategory::ControlFlow);
+        assert_eq!(TOpcode::Fadd.category(), OpCategory::Arithmetic);
+    }
+
+    #[test]
+    fn class_predicates_consistent() {
+        for &op in TOpcode::all() {
+            if op.is_load() {
+                assert!(!op.is_store() && !op.is_branch());
+                assert!(op.has_imm());
+            }
+            if op.is_store() {
+                assert_eq!(op.num_operands(), 2);
+            }
+            if op.is_branch() {
+                assert_eq!(op.category(), OpCategory::ControlFlow);
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_lowercase_mnemonic() {
+        assert_eq!(TOpcode::Addi.to_string(), "addi");
+        assert_eq!(TOpcode::Fsqrt.to_string(), "fsqrt");
+    }
+
+    #[test]
+    fn latencies_positive() {
+        for &op in TOpcode::all() {
+            assert!(op.latency() >= 1);
+        }
+        assert!(TOpcode::Div.latency() > TOpcode::Add.latency());
+    }
+}

@@ -1,0 +1,198 @@
+//! ISA-level execution statistics.
+//!
+//! These counters feed the paper's ISA evaluation: Figure 3 (block size and
+//! composition), Figure 4 (instructions relative to PowerPC), Figure 5
+//! (storage accesses relative to PowerPC) and §4.4 (code size).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Dynamic classification of one fetched instruction in one block execution,
+/// matching Figure 3's stacked categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompositionKind {
+    /// Executed and used: load/store.
+    Memory,
+    /// Executed and used: branch/call/return.
+    ControlFlow,
+    /// Executed and used: arithmetic (incl. constants, extends, FP).
+    Arithmetic,
+    /// Executed and used: operand-fanout move.
+    Moves,
+    /// Executed and used: test producing a predicate or branch condition.
+    Tests,
+    /// Executed and used: null output token (EDGE output-completeness
+    /// helper).
+    NullTokens,
+    /// Fetched but never executed (predicate mismatch or starved operands).
+    FetchedNotExecuted,
+    /// Executed speculatively but its value was never used.
+    ExecutedNotUsed,
+}
+
+/// Aggregate ISA statistics for one program run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IsaStats {
+    /// Dynamic block executions.
+    pub blocks_executed: u64,
+    /// Total compute instructions fetched (Σ block sizes over executions).
+    pub fetched: u64,
+    /// Instructions that fired.
+    pub executed: u64,
+    /// Fired instructions whose value fed a block output (excl. moves,
+    /// nulls, tests — see [`IsaStats::useful`] docs).
+    ///
+    /// "Useful" follows the paper: executed, used, and not a dataflow
+    /// helper (move or null). Tests are useful (they steer branches).
+    pub useful: u64,
+    /// Fired fanout moves.
+    pub moves_executed: u64,
+    /// Fired null tokens.
+    pub nulls_executed: u64,
+    /// Fired instructions whose value was never consumed toward an output.
+    pub executed_not_used: u64,
+    /// Fetched instructions that never fired.
+    pub fetched_not_executed: u64,
+    /// Per-category dynamic totals (Figure 3 stacking).
+    pub composition: CompositionCounts,
+    /// Register read instructions fetched (block headers).
+    pub reads_fetched: u64,
+    /// Register write instructions committed.
+    pub writes_committed: u64,
+    /// Loads executed (non-nulled).
+    pub loads_executed: u64,
+    /// Stores committed to memory (nulled stores excluded).
+    pub stores_committed: u64,
+    /// Operand deliveries between two compute instructions (ET–ET traffic in
+    /// Figure 5's terms).
+    pub et_et_operands: u64,
+    /// Operand deliveries from reads into compute instructions (RT–ET).
+    pub read_operands: u64,
+    /// Operand deliveries from compute instructions into writes (ET–RT).
+    pub write_operands: u64,
+    /// Conditional-exit decisions (one per block execution).
+    pub exits_taken: u64,
+    /// Indices of blocks fetched at least once (code-size accounting).
+    pub blocks_touched: HashSet<u32>,
+}
+
+/// Per-category totals matching Figure 3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompositionCounts {
+    /// See [`CompositionKind::Memory`].
+    pub memory: u64,
+    /// See [`CompositionKind::ControlFlow`].
+    pub control_flow: u64,
+    /// See [`CompositionKind::Arithmetic`].
+    pub arithmetic: u64,
+    /// See [`CompositionKind::Moves`].
+    pub moves: u64,
+    /// See [`CompositionKind::Tests`].
+    pub tests: u64,
+    /// See [`CompositionKind::NullTokens`].
+    pub null_tokens: u64,
+    /// See [`CompositionKind::FetchedNotExecuted`].
+    pub fetched_not_executed: u64,
+    /// See [`CompositionKind::ExecutedNotUsed`].
+    pub executed_not_used: u64,
+}
+
+impl CompositionCounts {
+    /// Adds one instruction of the given kind.
+    pub fn bump(&mut self, kind: CompositionKind) {
+        match kind {
+            CompositionKind::Memory => self.memory += 1,
+            CompositionKind::ControlFlow => self.control_flow += 1,
+            CompositionKind::Arithmetic => self.arithmetic += 1,
+            CompositionKind::Moves => self.moves += 1,
+            CompositionKind::Tests => self.tests += 1,
+            CompositionKind::NullTokens => self.null_tokens += 1,
+            CompositionKind::FetchedNotExecuted => self.fetched_not_executed += 1,
+            CompositionKind::ExecutedNotUsed => self.executed_not_used += 1,
+        }
+    }
+
+    /// Sum of all categories (== fetched instructions).
+    pub fn total(&self) -> u64 {
+        self.memory
+            + self.control_flow
+            + self.arithmetic
+            + self.moves
+            + self.tests
+            + self.null_tokens
+            + self.fetched_not_executed
+            + self.executed_not_used
+    }
+}
+
+impl IsaStats {
+    /// Average dynamic block size (fetched instructions per block
+    /// execution), the x-axis of Figure 3.
+    pub fn avg_block_size(&self) -> f64 {
+        if self.blocks_executed == 0 {
+            0.0
+        } else {
+            self.fetched as f64 / self.blocks_executed as f64
+        }
+    }
+
+    /// Average *useful* instructions per block execution.
+    pub fn avg_useful_block_size(&self) -> f64 {
+        if self.blocks_executed == 0 {
+            0.0
+        } else {
+            self.useful as f64 / self.blocks_executed as f64
+        }
+    }
+
+    /// Total register-file accesses (reads + writes), for Figure 5.
+    pub fn register_accesses(&self) -> u64 {
+        self.reads_fetched + self.writes_committed
+    }
+
+    /// Total memory accesses (loads + committed stores), for Figure 5.
+    pub fn memory_accesses(&self) -> u64 {
+        self.loads_executed + self.stores_committed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composition_total_matches_bumps() {
+        let mut c = CompositionCounts::default();
+        for kind in [
+            CompositionKind::Memory,
+            CompositionKind::Memory,
+            CompositionKind::Moves,
+            CompositionKind::FetchedNotExecuted,
+        ] {
+            c.bump(kind);
+        }
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.memory, 2);
+        assert_eq!(c.moves, 1);
+    }
+
+    #[test]
+    fn averages_handle_zero_blocks() {
+        let s = IsaStats::default();
+        assert_eq!(s.avg_block_size(), 0.0);
+        assert_eq!(s.avg_useful_block_size(), 0.0);
+    }
+
+    #[test]
+    fn derived_totals() {
+        let s = IsaStats {
+            reads_fetched: 10,
+            writes_committed: 5,
+            loads_executed: 7,
+            stores_committed: 3,
+            ..IsaStats::default()
+        };
+        assert_eq!(s.register_accesses(), 15);
+        assert_eq!(s.memory_accesses(), 10);
+    }
+}

@@ -1,0 +1,323 @@
+//! Structural verification of TRIPS blocks and programs.
+//!
+//! The verifier enforces everything that can be checked statically; dynamic
+//! properties (output completeness on every predicate path, single exit per
+//! execution) are enforced by the functional interpreter, mirroring the
+//! hardware's completion protocol.
+
+use crate::block::{target_in_range, Block, ExitTarget, Target, TargetSlot, TripsProgram};
+use crate::build::{IMM_BITS, MEM_OFF_BITS};
+use crate::limits;
+use crate::opcode::TOpcode;
+
+/// Verifies one block.
+///
+/// # Errors
+/// Returns a description of the first structural violation found.
+pub fn verify_block(b: &Block) -> Result<(), String> {
+    if b.insts.len() > limits::MAX_INSTS {
+        return Err(format!("{}: {} instructions exceed the {}-instruction limit", b.name, b.insts.len(), limits::MAX_INSTS));
+    }
+    if b.reads.len() > limits::MAX_READS {
+        return Err(format!("{}: too many reads", b.name));
+    }
+    if b.writes.len() > limits::MAX_WRITES {
+        return Err(format!("{}: too many writes", b.name));
+    }
+    if b.exits.len() > limits::MAX_EXITS {
+        return Err(format!("{}: too many exits", b.name));
+    }
+    if b.exits.is_empty() {
+        return Err(format!("{}: block has no exits", b.name));
+    }
+
+    // Per-slot producer presence.
+    let n = b.insts.len();
+    let mut has_producer = vec![[false; 3]; n];
+    let mut check_target = |t: &Target, who: &str| -> Result<(), String> {
+        if !target_in_range(*t) {
+            return Err(format!("{}: {who}: target {t} out of encodable range", b.name));
+        }
+        match t {
+            Target::Inst { idx, slot } => {
+                let i = *idx as usize;
+                if i >= n {
+                    return Err(format!("{}: {who}: target {t} beyond {} instructions", b.name, n));
+                }
+                let inst = &b.insts[i];
+                match slot {
+                    TargetSlot::Op0 if inst.op.num_operands() < 1 => {
+                        return Err(format!("{}: {who}: {t} targets operand of 0-operand {}", b.name, inst.op));
+                    }
+                    TargetSlot::Op1 if inst.op.num_operands() < 2 => {
+                        return Err(format!("{}: {who}: {t} targets second operand of {}", b.name, inst.op));
+                    }
+                    TargetSlot::Pred if inst.pred.is_none() => {
+                        return Err(format!("{}: {who}: {t} targets predicate of unpredicated {}", b.name, inst.op));
+                    }
+                    _ => {}
+                }
+                has_producer[i][slot.code() as usize] = true;
+            }
+            Target::Write(w) => {
+                if *w as usize >= b.writes.len() {
+                    return Err(format!("{}: {who}: write target {t} beyond {} writes", b.name, b.writes.len()));
+                }
+            }
+        }
+        Ok(())
+    };
+
+    for (ri, r) in b.reads.iter().enumerate() {
+        if r.reg as usize >= limits::NUM_REGS {
+            return Err(format!("{}: read R[{ri}] register out of range", b.name));
+        }
+        if r.targets.len() > limits::MAX_TARGETS {
+            return Err(format!("{}: read R[{ri}] has too many targets", b.name));
+        }
+        for t in &r.targets {
+            check_target(t, &format!("R[{ri}]"))?;
+        }
+    }
+    for (ii, inst) in b.insts.iter().enumerate() {
+        if inst.targets.len() > inst.op.max_targets() {
+            return Err(format!(
+                "{}: N[{ii}] ({}) has {} targets but the format encodes {}",
+                b.name,
+                inst.op,
+                inst.targets.len(),
+                inst.op.max_targets()
+            ));
+        }
+        for t in &inst.targets {
+            check_target(t, &format!("N[{ii}]"))?;
+        }
+    }
+
+    for (ii, inst) in b.insts.iter().enumerate() {
+        // Immediate widths.
+        if inst.op == TOpcode::App {
+            if inst.imm < 0 || inst.imm >= (1 << IMM_BITS) {
+                return Err(format!("{}: N[{ii}] app chunk {} out of range", b.name, inst.imm));
+            }
+        } else if inst.op.has_imm() {
+            let bits = if inst.op.is_load() || inst.op.is_store() { MEM_OFF_BITS } else { IMM_BITS };
+            let min = -(1i32 << (bits - 1));
+            let max = (1i32 << (bits - 1)) - 1;
+            if inst.imm < min || inst.imm > max {
+                return Err(format!("{}: N[{ii}] immediate {} exceeds {bits} bits", b.name, inst.imm));
+            }
+        } else if inst.imm != 0 {
+            return Err(format!("{}: N[{ii}] has an immediate on {}", b.name, inst.op));
+        }
+        // LSIDs.
+        if inst.op.is_load() || inst.op.is_store() {
+            match inst.lsid {
+                None => return Err(format!("{}: N[{ii}] memory op without LSID", b.name)),
+                Some(l) if l as usize >= limits::MAX_LSIDS => {
+                    return Err(format!("{}: N[{ii}] LSID {l} out of range", b.name));
+                }
+                _ => {}
+            }
+        }
+        if inst.op.is_store() {
+            let l = inst.lsid.expect("checked above");
+            if (b.store_mask >> l) & 1 == 0 {
+                return Err(format!("{}: N[{ii}] store LSID {l} not in store mask", b.name));
+            }
+        }
+        // Branch exits.
+        if inst.op.is_branch() {
+            match inst.exit {
+                None => return Err(format!("{}: N[{ii}] branch without exit", b.name)),
+                Some(e) if e as usize >= b.exits.len() => {
+                    return Err(format!("{}: N[{ii}] exit {e} out of range", b.name));
+                }
+                _ => {}
+            }
+        }
+        // Null tokens may only flow into stores (operand slots) — a null
+        // reaching arithmetic is a compile error caught here statically.
+        if inst.op == TOpcode::Null {
+            for t in &inst.targets {
+                if let Target::Inst { idx, slot } = t {
+                    let dst = &b.insts[*idx as usize];
+                    let ok = dst.op.is_store() && *slot != TargetSlot::Pred;
+                    if !ok {
+                        return Err(format!(
+                            "{}: N[{ii}] null token targets non-store {} slot",
+                            b.name, dst.op
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Every needed operand slot must have at least one producer.
+    for (ii, inst) in b.insts.iter().enumerate() {
+        for s in 0..inst.op.num_operands() {
+            if !has_producer[ii][s] {
+                return Err(format!("{}: N[{ii}] ({}) operand {s} has no producer", b.name, inst.op));
+            }
+        }
+        if inst.pred.is_some() && !has_producer[ii][TargetSlot::Pred.code() as usize] {
+            return Err(format!("{}: N[{ii}] predicate has no producer", b.name));
+        }
+    }
+
+    // At least one branch, and every exit referenced.
+    let mut exit_used = vec![false; b.exits.len()];
+    let mut any_branch = false;
+    for inst in &b.insts {
+        if inst.op.is_branch() {
+            any_branch = true;
+            if let Some(e) = inst.exit {
+                if (e as usize) < exit_used.len() {
+                    exit_used[e as usize] = true;
+                }
+            }
+        }
+    }
+    if !any_branch {
+        return Err(format!("{}: block has no branch instruction", b.name));
+    }
+    if let Some(i) = exit_used.iter().position(|u| !u) {
+        return Err(format!("{}: exit {i} is never branched to", b.name));
+    }
+
+    // Store-mask bits must belong to some store/null LSID.
+    for l in 0..limits::MAX_LSIDS as u8 {
+        if (b.store_mask >> l) & 1 == 1 {
+            let covered = b
+                .insts
+                .iter()
+                .any(|i| (i.op.is_store() || i.op == TOpcode::Null) && i.lsid == Some(l));
+            if !covered {
+                return Err(format!("{}: store mask bit {l} has no producing store/null", b.name));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verifies a program: all blocks valid, all exits in range.
+///
+/// # Errors
+/// See [`verify_block`]; additionally flags dangling exit block indices.
+pub fn verify_program(p: &TripsProgram) -> Result<(), String> {
+    if p.entry as usize >= p.blocks.len() {
+        return Err("entry block out of range".into());
+    }
+    for b in &p.blocks {
+        verify_block(b)?;
+        for e in &b.exits {
+            let ok = match e {
+                ExitTarget::Block(t) => (*t as usize) < p.blocks.len(),
+                ExitTarget::Call { callee, cont } => {
+                    (*callee as usize) < p.blocks.len() && (*cont as usize) < p.blocks.len()
+                }
+                ExitTarget::Ret => true,
+            };
+            if !ok {
+                return Err(format!("{}: exit {e:?} references unknown block", b.name));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{inst, inst_imm, BlockBuilder};
+
+    fn ret_block(name: &str) -> BlockBuilder {
+        let mut b = BlockBuilder::new(name);
+        let mut r = inst(TOpcode::Ret);
+        r.exit = Some(0);
+        b.add_inst(r).unwrap();
+        b.add_exit(ExitTarget::Ret).unwrap();
+        b
+    }
+
+    #[test]
+    fn minimal_block_verifies() {
+        let b = ret_block("b").finish();
+        assert_eq!(verify_block(&b), Ok(()));
+    }
+
+    #[test]
+    fn missing_producer_caught() {
+        let mut b = ret_block("b");
+        b.add_inst(inst(TOpcode::Add)).unwrap(); // no producers for operands
+        let blk = b.finish();
+        let err = verify_block(&blk).unwrap_err();
+        assert!(err.contains("no producer"), "{err}");
+    }
+
+    #[test]
+    fn unreferenced_exit_caught() {
+        let mut b = ret_block("b");
+        b.add_exit(ExitTarget::Block(0)).unwrap(); // exit 1, nobody branches to it
+        let blk = b.finish();
+        let err = verify_block(&blk).unwrap_err();
+        assert!(err.contains("never branched"), "{err}");
+    }
+
+    #[test]
+    fn store_without_mask_bit_caught() {
+        let mut b = ret_block("b");
+        let c = b.add_inst(inst_imm(TOpcode::Movi, 1)).unwrap();
+        let mut st = inst_imm(TOpcode::Sd, 0);
+        st.lsid = Some(0); // mask bit 0 not set
+        let s = b.add_inst(st).unwrap();
+        b.add_target(c, crate::Target::Inst { idx: s, slot: TargetSlot::Op0 });
+        let c2 = b.add_inst(inst_imm(TOpcode::Movi, 2)).unwrap();
+        b.add_target(c2, crate::Target::Inst { idx: s, slot: TargetSlot::Op1 });
+        let blk = b.finish();
+        let err = verify_block(&blk).unwrap_err();
+        assert!(err.contains("not in store mask"), "{err}");
+    }
+
+    #[test]
+    fn null_to_arithmetic_caught() {
+        let mut b = ret_block("b");
+        let a = b.add_inst(inst_imm(TOpcode::Movi, 1)).unwrap();
+        let add = b.add_inst(inst_imm(TOpcode::Addi, 1)).unwrap();
+        b.add_target(a, crate::Target::Inst { idx: add, slot: TargetSlot::Op0 });
+        let nl = b.add_inst(inst(TOpcode::Null)).unwrap();
+        b.add_target(nl, crate::Target::Inst { idx: add, slot: TargetSlot::Op0 });
+        let blk = b.finish();
+        let err = verify_block(&blk).unwrap_err();
+        assert!(err.contains("null token"), "{err}");
+    }
+
+    #[test]
+    fn program_dangling_exit_caught() {
+        let mut b = BlockBuilder::new("b");
+        let mut br = inst(TOpcode::Bro);
+        br.exit = Some(0);
+        b.add_inst(br).unwrap();
+        b.add_exit(ExitTarget::Block(7)).unwrap();
+        let p = TripsProgram { blocks: vec![b.finish()], entry: 0 };
+        let err = verify_program(&p).unwrap_err();
+        assert!(err.contains("unknown block"), "{err}");
+    }
+
+    #[test]
+    fn pred_target_on_unpredicated_caught() {
+        let mut b = ret_block("b");
+        let c = b.add_inst(inst_imm(TOpcode::Movi, 1)).unwrap();
+        let m = b.add_inst(inst(TOpcode::Mov)).unwrap();
+        b.add_target(c, crate::Target::Inst { idx: m, slot: TargetSlot::Op0 });
+        let m2 = b.add_inst(inst(TOpcode::Mov)).unwrap();
+        b.add_target(m, crate::Target::Inst { idx: m2, slot: TargetSlot::Pred });
+        b.add_target(m, crate::Target::Inst { idx: m2, slot: TargetSlot::Op0 });
+        let blk = b.finish();
+        let err = verify_block(&blk).unwrap_err();
+        assert!(err.contains("unpredicated"), "{err}");
+    }
+
+    use crate::block::{ExitTarget, TargetSlot, TripsProgram};
+}

@@ -1,0 +1,145 @@
+//! Reference-platform parameter sets (Table 1 + public microarchitecture
+//! references).
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one out-of-order reference machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OooConfig {
+    /// Display name.
+    pub name: String,
+    /// Instructions fetched/decoded per cycle.
+    pub fetch_width: u32,
+    /// Instructions issued per cycle.
+    pub issue_width: u32,
+    /// Reorder-buffer entries (window size).
+    pub rob: usize,
+    /// Front-end pipeline depth (fetch→issue).
+    pub frontend: u64,
+    /// Branch misprediction penalty (pipeline refill).
+    pub br_penalty: u64,
+    /// Branch predictor table entries.
+    pub predictor_entries: usize,
+    /// Return-address stack depth.
+    pub ras_depth: usize,
+    /// L1 D-cache bytes.
+    pub l1_bytes: usize,
+    /// L1 hit latency.
+    pub l1_lat: u64,
+    /// L2 bytes.
+    pub l2_bytes: usize,
+    /// L2 hit latency.
+    pub l2_lat: u64,
+    /// Memory latency in cycles (scales with the clock ratio of Table 1).
+    pub mem_lat: u64,
+    /// Integer multiply latency.
+    pub mul_lat: u64,
+    /// Integer divide latency.
+    pub div_lat: u64,
+    /// FP op latency.
+    pub fp_lat: u64,
+    /// Cache line bytes.
+    pub line: usize,
+    /// Memory operations issued per cycle (load + store ports).
+    pub mem_ports: u32,
+    /// Floating-point operations issued per cycle.
+    pub fp_ports: u32,
+}
+
+/// Intel Core 2 at 1.6 GHz (underclocked per §3 to match TRIPS's
+/// processor/memory ratio): 4-wide, 96-entry ROB, excellent predictor.
+pub fn core2() -> OooConfig {
+    OooConfig {
+        name: "Core 2".into(),
+        fetch_width: 4,
+        issue_width: 4,
+        rob: 96,
+        frontend: 6,
+        br_penalty: 15,
+        predictor_entries: 4096,
+        ras_depth: 16,
+        l1_bytes: 32 << 10,
+        l1_lat: 3,
+        l2_bytes: 2 << 20,
+        l2_lat: 14,
+        mem_lat: 120,
+        mul_lat: 3,
+        div_lat: 22,
+        fp_lat: 4,
+        line: 64,
+        mem_ports: 2,
+        fp_ports: 2,
+    }
+}
+
+/// Intel Pentium 4 at 3.6 GHz: deep pipeline (high misprediction penalty and
+/// high memory latency in cycles — Table 1's 6.75 speed ratio), 3-wide.
+pub fn pentium4() -> OooConfig {
+    OooConfig {
+        name: "Pentium 4".into(),
+        fetch_width: 3,
+        issue_width: 3,
+        rob: 128,
+        frontend: 10,
+        br_penalty: 30,
+        predictor_entries: 4096,
+        ras_depth: 16,
+        l1_bytes: 16 << 10,
+        l1_lat: 4,
+        l2_bytes: 2 << 20,
+        l2_lat: 28,
+        mem_lat: 320,
+        mul_lat: 10,
+        div_lat: 40,
+        fp_lat: 6,
+        line: 64,
+        mem_ports: 2,
+        fp_ports: 1,
+    }
+}
+
+/// Intel Pentium III at 450 MHz: 3-wide, small 40-entry window, small
+/// caches, but low memory latency in cycles (slow clock).
+pub fn pentium3() -> OooConfig {
+    OooConfig {
+        name: "Pentium III".into(),
+        fetch_width: 3,
+        issue_width: 3,
+        rob: 40,
+        frontend: 5,
+        br_penalty: 11,
+        predictor_entries: 512,
+        ras_depth: 8,
+        l1_bytes: 16 << 10,
+        l1_lat: 3,
+        l2_bytes: 512 << 10,
+        l2_lat: 8,
+        mem_lat: 45,
+        mul_lat: 4,
+        div_lat: 30,
+        fp_lat: 5,
+        line: 32,
+        mem_ports: 1,
+        fp_ports: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_relationships_hold() {
+        let c2 = core2();
+        let p4 = pentium4();
+        let p3 = pentium3();
+        // Memory latency in cycles follows the proc/mem speed ratios.
+        assert!(p4.mem_lat > c2.mem_lat);
+        assert!(c2.mem_lat > p3.mem_lat);
+        // Cache capacities per Table 1.
+        assert_eq!(c2.l2_bytes, 2 << 20);
+        assert_eq!(p3.l2_bytes, 512 << 10);
+        assert!(p4.br_penalty > c2.br_penalty);
+        assert!(c2.rob > p3.rob);
+    }
+}

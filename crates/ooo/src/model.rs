@@ -1,0 +1,414 @@
+//! The out-of-order timing model.
+//!
+//! Execute-at-fetch: the functional [`trips_risc::Machine`] provides the
+//! dynamic instruction stream with branch outcomes and memory addresses; the
+//! model assigns each instruction fetch, issue and completion cycles under
+//! the configured machine's resource constraints.
+
+use crate::configs::OooConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use trips_risc::exec::{CtrlKind, Machine, RiscError};
+use trips_risc::{RCat, RProgram};
+use trips_ir::Program;
+
+/// Timing statistics of one run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OooStats {
+    /// Total cycles (retire time of the last instruction).
+    pub cycles: u64,
+    /// Dynamic instructions.
+    pub insts: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Conditional-branch mispredictions.
+    pub br_mispredicts: u64,
+    /// Return-address mispredictions.
+    pub ras_mispredicts: u64,
+    /// L1 data misses.
+    pub l1_misses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// L1 data accesses.
+    pub l1_accesses: u64,
+}
+
+impl OooStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Conditional-branch MPKI.
+    pub fn br_mpki(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            self.br_mispredicts as f64 * 1000.0 / self.insts as f64
+        }
+    }
+}
+
+/// Result of a timed run.
+#[derive(Debug, Clone)]
+pub struct OooResult {
+    /// Program return value.
+    pub return_value: u64,
+    /// Timing statistics.
+    pub stats: OooStats,
+}
+
+/// Simple set-associative LRU tag array (local copy; the TRIPS simulator's
+/// caches model banked structures this machine doesn't have).
+struct Cache {
+    sets: usize,
+    line: usize,
+    tags: Vec<Vec<(u64, u64)>>,
+    stamp: u64,
+}
+
+impl Cache {
+    fn new(bytes: usize, ways: usize, line: usize) -> Cache {
+        let sets = (bytes / line / ways).max(1);
+        Cache { sets, line, tags: vec![vec![(u64::MAX, 0); ways]; sets], stamp: 0 }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        self.stamp += 1;
+        let lineno = addr / self.line as u64;
+        let set = (lineno % self.sets as u64) as usize;
+        let tag = lineno / self.sets as u64;
+        for w in self.tags[set].iter_mut() {
+            if w.0 == tag {
+                w.1 = self.stamp;
+                return true;
+            }
+        }
+        let v = self.tags[set].iter().enumerate().min_by_key(|(_, w)| w.1).map(|(i, _)| i).unwrap_or(0);
+        self.tags[set][v] = (tag, self.stamp);
+        false
+    }
+}
+
+/// Gshare/bimodal tournament predictor with a return-address stack.
+struct Predictor {
+    mask: usize,
+    bim: Vec<u8>,
+    gsh: Vec<u8>,
+    chooser: Vec<u8>,
+    ghr: u32,
+    ras: Vec<(u32, u32)>,
+    ras_depth: usize,
+}
+
+impl Predictor {
+    fn new(entries: usize, ras_depth: usize) -> Predictor {
+        let n = entries.next_power_of_two();
+        Predictor { mask: n - 1, bim: vec![1; n], gsh: vec![1; n], chooser: vec![1; n], ghr: 0, ras: Vec::new(), ras_depth }
+    }
+
+    fn branch(&mut self, pc: u32, taken: bool) -> bool {
+        let bi = pc as usize & self.mask;
+        let gi = (pc as usize ^ (self.ghr as usize)) & self.mask;
+        let bp = self.bim[bi] >= 2;
+        let gp = self.gsh[gi] >= 2;
+        let pred = if self.chooser[bi] >= 2 { gp } else { bp };
+        if gp == taken && bp != taken {
+            self.chooser[bi] = (self.chooser[bi] + 1).min(3);
+        } else if bp == taken && gp != taken {
+            self.chooser[bi] = self.chooser[bi].saturating_sub(1);
+        }
+        let bump = |c: &mut u8| {
+            if taken {
+                *c = (*c + 1).min(3)
+            } else {
+                *c = c.saturating_sub(1)
+            }
+        };
+        bump(&mut self.bim[bi]);
+        bump(&mut self.gsh[gi]);
+        self.ghr = (self.ghr << 1) | taken as u32;
+        pred
+    }
+
+    fn call(&mut self, ret_to: (u32, u32)) {
+        if self.ras.len() == self.ras_depth {
+            self.ras.remove(0);
+        }
+        self.ras.push(ret_to);
+    }
+
+    fn ret(&mut self, actual: (u32, u32)) -> bool {
+        self.ras.pop() == Some(actual)
+    }
+}
+
+/// Issue-bandwidth tracker: at most `width` issues per cycle.
+struct IssueSlots {
+    width: u32,
+    counts: HashMap<u64, u32>,
+}
+
+impl IssueSlots {
+    fn new(width: u32) -> IssueSlots {
+        IssueSlots { width, counts: HashMap::new() }
+    }
+
+    fn take(&mut self, earliest: u64) -> u64 {
+        let mut t = earliest;
+        loop {
+            let c = self.counts.entry(t).or_insert(0);
+            if *c < self.width {
+                *c += 1;
+                // Opportunistic pruning keeps the map small.
+                if self.counts.len() > 4096 {
+                    let min = t.saturating_sub(1024);
+                    self.counts.retain(|&k, _| k >= min);
+                }
+                return t;
+            }
+            t += 1;
+        }
+    }
+}
+
+/// Runs `rp` on the configured reference machine.
+///
+/// # Errors
+/// Propagates functional execution errors ([`RiscError`]).
+pub fn run_timed(
+    rp: &RProgram,
+    ir: &Program,
+    cfg: &OooConfig,
+    mem_size: usize,
+    step_limit: u64,
+) -> Result<OooResult, RiscError> {
+    let mut m = Machine::new(rp, ir, mem_size);
+    let mut stats = OooStats::default();
+    let mut l1 = Cache::new(cfg.l1_bytes, 4, cfg.line);
+    let mut l2 = Cache::new(cfg.l2_bytes, 8, cfg.line);
+    let mut pred = Predictor::new(cfg.predictor_entries, cfg.ras_depth);
+    let mut issue = IssueSlots::new(cfg.issue_width);
+    let mut mem_ports = IssueSlots::new(cfg.mem_ports);
+    let mut fp_ports = IssueSlots::new(cfg.fp_ports);
+
+    let mut reg_ready = [0u64; 32];
+    let mut fetch_cycle: u64 = 0;
+    let mut fetched_this_cycle: u32 = 0;
+    let mut retire_ring: Vec<u64> = vec![0; cfg.rob];
+    let mut last_retire: u64 = 0;
+    let mut idx: u64 = 0;
+    let mut left = step_limit;
+
+    while !m.is_done() {
+        if left == 0 {
+            return Err(RiscError::StepLimit);
+        }
+        left -= 1;
+        let func = m.pc;
+        let inst = rp.funcs[func.0 as usize].insts[func.1 as usize].clone();
+        let ev = m.step()?;
+        stats.insts += 1;
+
+        // Fetch bandwidth.
+        if fetched_this_cycle >= cfg.fetch_width {
+            fetch_cycle += 1;
+            fetched_this_cycle = 0;
+        }
+        // ROB window: can't fetch past a full window.
+        let slot = (idx as usize) % cfg.rob;
+        if retire_ring[slot] > fetch_cycle {
+            fetch_cycle = retire_ring[slot];
+            fetched_this_cycle = 0;
+        }
+        let fetch_t = fetch_cycle;
+        fetched_this_cycle += 1;
+
+        // Operand readiness.
+        let mut ready = fetch_t + cfg.frontend;
+        for r in inst.reads() {
+            ready = ready.max(reg_ready[r.0 as usize]);
+        }
+        let mut issue_t = issue.take(ready);
+        // Structural ports: memory and FP pipes are narrower than the
+        // overall issue width on all three reference machines.
+        match ev.cat {
+            RCat::Load | RCat::Store => issue_t = mem_ports.take(issue_t),
+            RCat::Fp => issue_t = fp_ports.take(issue_t),
+            _ => {}
+        }
+        let lat = match ev.cat {
+            RCat::Alu => 1,
+            RCat::MulDiv => {
+                if matches!(
+                    &inst,
+                    trips_risc::RInst::Alu { op: trips_ir::Opcode::Div | trips_ir::Opcode::Udiv | trips_ir::Opcode::Rem | trips_ir::Opcode::Urem, .. }
+                ) {
+                    cfg.div_lat
+                } else {
+                    cfg.mul_lat
+                }
+            }
+            RCat::Fp => cfg.fp_lat,
+            RCat::Control => 1,
+            RCat::Load | RCat::Store => {
+                let addr = ev.mem.map(|(a, _)| a).unwrap_or(0);
+                stats.l1_accesses += 1;
+                if l1.access(addr) {
+                    cfg.l1_lat
+                } else {
+                    stats.l1_misses += 1;
+                    if l2.access(addr) {
+                        cfg.l1_lat + cfg.l2_lat
+                    } else {
+                        stats.l2_misses += 1;
+                        cfg.l1_lat + cfg.l2_lat + cfg.mem_lat
+                    }
+                }
+            }
+        };
+        let done = issue_t + lat;
+        if let Some(d) = inst.writes() {
+            reg_ready[d.0 as usize] = done;
+        }
+
+        // Control flow.
+        match ev.ctrl_kind {
+            CtrlKind::Cond => {
+                stats.branches += 1;
+                let taken = ev.cond.unwrap_or(false);
+                let pc_hash = (ev.func << 16) ^ ev.idx;
+                let predicted = pred.branch(pc_hash, taken);
+                if predicted != taken {
+                    stats.br_mispredicts += 1;
+                    fetch_cycle = fetch_cycle.max(done + cfg.br_penalty);
+                    fetched_this_cycle = 0;
+                }
+            }
+            CtrlKind::Call => {
+                pred.call((ev.func, ev.idx + 1));
+            }
+            CtrlKind::Ret => {
+                if let Some(t) = ev.transfer {
+                    if !pred.ret(t) {
+                        stats.ras_mispredicts += 1;
+                        fetch_cycle = fetch_cycle.max(done + cfg.br_penalty);
+                        fetched_this_cycle = 0;
+                    }
+                }
+            }
+            CtrlKind::Jump | CtrlKind::None => {}
+        }
+
+        // In-order retirement.
+        let retire = done.max(last_retire);
+        last_retire = retire;
+        retire_ring[slot] = retire;
+        stats.cycles = stats.cycles.max(retire);
+        idx += 1;
+    }
+
+    Ok(OooResult { return_value: m.regs[trips_risc::Reg::RV.0 as usize], stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+    use trips_ir::{IntCc, Operand, ProgramBuilder};
+    use trips_risc::compile_program;
+
+    fn sum_program(n: i64) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        let body = f.block();
+        let done = f.block();
+        f.switch_to(e);
+        let acc = f.iconst(0);
+        let i = f.iconst(0);
+        f.jump(body);
+        f.switch_to(body);
+        f.ibin_to(trips_ir::Opcode::Add, acc, acc, i);
+        f.ibin_to(trips_ir::Opcode::Add, i, i, 1i64);
+        let c = f.icmp(IntCc::Lt, i, n);
+        f.branch(c, body, done);
+        f.switch_to(done);
+        f.ret(Some(Operand::reg(acc)));
+        f.finish();
+        pb.finish("main").unwrap()
+    }
+
+    #[test]
+    fn result_matches_functional() {
+        let p = sum_program(500);
+        let rp = compile_program(&p).unwrap();
+        let r = run_timed(&rp, &p, &configs::core2(), 1 << 20, 100_000_000).unwrap();
+        assert_eq!(r.return_value, (0..500).sum::<i64>() as u64);
+        assert!(r.stats.cycles > 0);
+        assert!(r.stats.ipc() > 0.2 && r.stats.ipc() <= 4.0);
+    }
+
+    #[test]
+    fn core2_beats_pentium3_on_loops() {
+        let p = sum_program(5000);
+        let rp = compile_program(&p).unwrap();
+        let c2 = run_timed(&rp, &p, &configs::core2(), 1 << 20, 1_000_000_000).unwrap();
+        let p3 = run_timed(&rp, &p, &configs::pentium3(), 1 << 20, 1_000_000_000).unwrap();
+        assert!(
+            c2.stats.cycles < p3.stats.cycles,
+            "Core2 {} !< P3 {}",
+            c2.stats.cycles,
+            p3.stats.cycles
+        );
+    }
+
+    #[test]
+    fn branchy_code_hurts_pentium4_more() {
+        // Data-dependent branch pattern (pseudo-random) stresses prediction.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        let body = f.block();
+        let t = f.block();
+        let fl = f.block();
+        let cont = f.block();
+        let done = f.block();
+        f.switch_to(e);
+        let acc = f.iconst(0);
+        let x = f.iconst(12345);
+        let i = f.iconst(0);
+        f.jump(body);
+        f.switch_to(body);
+        // x = x * 1103515245 + 12345 (LCG); branch on bit 12.
+        f.ibin_to(trips_ir::Opcode::Mul, x, x, 1103515245i64);
+        f.ibin_to(trips_ir::Opcode::Add, x, x, 12345i64);
+        let bit = f.shr(x, 12i64);
+        let odd = f.and(bit, 1i64);
+        f.branch(odd, t, fl);
+        f.switch_to(t);
+        f.ibin_to(trips_ir::Opcode::Add, acc, acc, 3i64);
+        f.jump(cont);
+        f.switch_to(fl);
+        f.ibin_to(trips_ir::Opcode::Add, acc, acc, 1i64);
+        f.jump(cont);
+        f.switch_to(cont);
+        f.ibin_to(trips_ir::Opcode::Add, i, i, 1i64);
+        let c = f.icmp(IntCc::Lt, i, 3000i64);
+        f.branch(c, body, done);
+        f.switch_to(done);
+        f.ret(Some(Operand::reg(acc)));
+        f.finish();
+        let p = pb.finish("main").unwrap();
+        let rp = compile_program(&p).unwrap();
+        let c2 = run_timed(&rp, &p, &configs::core2(), 1 << 20, 1_000_000_000).unwrap();
+        let p4 = run_timed(&rp, &p, &configs::pentium4(), 1 << 20, 1_000_000_000).unwrap();
+        assert_eq!(c2.return_value, p4.return_value);
+        assert!(p4.stats.cycles > c2.stats.cycles);
+        assert!(p4.stats.br_mispredicts > 0);
+    }
+}

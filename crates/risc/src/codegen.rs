@@ -1,0 +1,528 @@
+//! Lowering from [`trips_ir`] to the RISC ISA.
+//!
+//! A deliberately conventional backend — the PowerPC/gcc stand-in of the
+//! paper's §4 comparisons: linear-scan register allocation over 32
+//! registers, 16-bit immediates with `li`/`oris` chains for wide constants,
+//! compare-then-branch control flow, callee-saved register save/restore and
+//! spill traffic through the stack frame.
+
+use crate::inst::{RFunc, RInst, RProgram, Reg};
+use crate::regalloc::{allocate, Allocation, Loc};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use trips_ir::cfg::Cfg;
+use trips_ir::{BlockId, Function, Inst, MemWidth, Opcode as IrOp, Operand, Program, Terminator, Vreg};
+
+/// Code generation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// More register arguments than the ABI supports.
+    TooManyArgs {
+        /// Function name.
+        func: String,
+        /// Argument count.
+        count: usize,
+    },
+    /// Frame too large for 16-bit offsets.
+    FrameTooLarge {
+        /// Function name.
+        func: String,
+        /// Frame size.
+        bytes: u64,
+    },
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::TooManyArgs { func, count } => {
+                write!(f, "function {func} takes {count} arguments; the ABI passes at most 8 in registers")
+            }
+            CodegenError::FrameTooLarge { func, bytes } => {
+                write!(f, "function {func} frame of {bytes} bytes exceeds 16-bit offsets")
+            }
+        }
+    }
+}
+
+impl Error for CodegenError {}
+
+/// Maximum register arguments.
+pub const MAX_ARGS: usize = 8;
+
+/// Compiles a whole IR program to RISC.
+///
+/// # Errors
+/// See [`CodegenError`].
+pub fn compile_program(p: &Program) -> Result<RProgram, CodegenError> {
+    let mut funcs = Vec::with_capacity(p.funcs.len());
+    for f in &p.funcs {
+        funcs.push(compile_function(f)?);
+    }
+    Ok(RProgram { funcs, entry: p.entry.0 })
+}
+
+struct Ctx {
+    alloc: Allocation,
+    out: Vec<RInst>,
+    scratch_next: usize,
+    /// Frame layout: [callee-saved save area][spill slots][IR frame].
+    save_base: u32,
+    spill_base: u32,
+    ir_base: u32,
+    /// Branch fixups: (instruction index, IR block id).
+    fixups: Vec<(usize, BlockId)>,
+    block_start: HashMap<BlockId, u32>,
+}
+
+impl Ctx {
+    fn emit(&mut self, i: RInst) {
+        self.out.push(i);
+    }
+
+    fn scratch(&mut self) -> Reg {
+        let r = Reg::SCRATCH[self.scratch_next % Reg::SCRATCH.len()];
+        self.scratch_next += 1;
+        r
+    }
+
+    fn reset_scratch(&mut self) {
+        self.scratch_next = 0;
+    }
+
+    /// Materializes a 64-bit constant into `dst` via li/oris chains.
+    fn materialize(&mut self, dst: Reg, v: i64) {
+        // Number of 16-bit chunks needed so sign extension reproduces v.
+        let mut n = 1;
+        while n < 4 && ((v << (64 - 16 * n)) >> (64 - 16 * n)) != v {
+            n += 1;
+        }
+        if ((v << (64 - 16 * n)) >> (64 - 16 * n)) != v {
+            n = 4;
+        }
+        let top = (v >> (16 * (n - 1))) as i16;
+        self.emit(RInst::Li { dst, imm: top });
+        for k in (0..n - 1).rev() {
+            let chunk = ((v >> (16 * k)) & 0xffff) as u16;
+            self.emit(RInst::Oris { dst, src: dst, imm: chunk });
+        }
+    }
+
+    /// Brings an operand into a register (possibly a scratch).
+    fn opnd(&mut self, op: Operand) -> Reg {
+        match op {
+            Operand::Imm(i) => {
+                let s = self.scratch();
+                self.materialize(s, i);
+                s
+            }
+            Operand::Reg(v) => match self.alloc.loc[v.index()] {
+                Loc::Reg(r) => r,
+                Loc::Spill(slot) => {
+                    let s = self.scratch();
+                    self.emit(RInst::Load {
+                        w: MemWidth::D,
+                        signed: false,
+                        dst: s,
+                        base: Reg::SP,
+                        off: (self.spill_base + slot) as i16,
+                    });
+                    s
+                }
+            },
+        }
+    }
+
+    /// Register to compute a result into, plus a deferred spill store.
+    fn dest(&mut self, v: Vreg) -> (Reg, Option<u32>) {
+        match self.alloc.loc[v.index()] {
+            Loc::Reg(r) => (r, None),
+            Loc::Spill(slot) => (self.scratch(), Some(self.spill_base + slot)),
+        }
+    }
+
+    fn finish_dest(&mut self, reg: Reg, spill: Option<u32>) {
+        if let Some(off) = spill {
+            self.emit(RInst::Store { w: MemWidth::D, src: reg, base: Reg::SP, off: off as i16 });
+        }
+    }
+
+    /// Sequentializes a parallel copy (used for argument staging) with one
+    /// scratch register for cycle breaking.
+    fn parallel_copy(&mut self, mut moves: Vec<(Reg, Reg)>) {
+        moves.retain(|(s, d)| s != d);
+        while !moves.is_empty() {
+            // Emit any move whose destination is not a pending source.
+            if let Some(i) = moves.iter().position(|&(_, d)| !moves.iter().any(|&(s2, _)| s2 == d)) {
+                let (s, d) = moves.remove(i);
+                self.emit(RInst::Mr { dst: d, src: s });
+            } else {
+                // Cycle: rotate through scratch.
+                let (s, d) = moves[0];
+                let tmp = Reg::SCRATCH[0];
+                self.emit(RInst::Mr { dst: tmp, src: s });
+                for m in moves.iter_mut() {
+                    if m.0 == s {
+                        m.0 = tmp;
+                    }
+                }
+                let _ = d;
+            }
+        }
+    }
+}
+
+fn has_iform(op: IrOp) -> bool {
+    matches!(op, IrOp::Add | IrOp::Mul | IrOp::And | IrOp::Or | IrOp::Xor | IrOp::Shl | IrOp::Shr | IrOp::Sra)
+}
+
+fn fits_i16(v: i64) -> bool {
+    v >= i16::MIN as i64 && v <= i16::MAX as i64
+}
+
+fn compile_function(f: &Function) -> Result<RFunc, CodegenError> {
+    if f.param_count as usize > MAX_ARGS {
+        return Err(CodegenError::TooManyArgs { func: f.name.clone(), count: f.param_count as usize });
+    }
+    let alloc = allocate(f);
+    let save_bytes = alloc.used_callee_saved.len() as u32 * 8;
+    let spill_base = save_bytes;
+    let ir_base = save_bytes + alloc.spill_bytes;
+    let frame_total = (ir_base + f.frame_size + 15) & !15;
+    if frame_total as u64 > i16::MAX as u64 {
+        return Err(CodegenError::FrameTooLarge { func: f.name.clone(), bytes: frame_total as u64 });
+    }
+
+    let mut ctx = Ctx {
+        alloc,
+        out: Vec::new(),
+        scratch_next: 0,
+        save_base: 0,
+        spill_base,
+        ir_base,
+        fixups: Vec::new(),
+        block_start: HashMap::new(),
+    };
+
+    // Prologue.
+    if frame_total > 0 {
+        ctx.emit(RInst::Alui { op: IrOp::Add, dst: Reg::SP, a: Reg::SP, imm: -(frame_total as i16) });
+    }
+    let saved = ctx.alloc.used_callee_saved.clone();
+    for (i, r) in saved.iter().enumerate() {
+        let off = (ctx.save_base + i as u32 * 8) as i16;
+        ctx.emit(RInst::Store { w: MemWidth::D, src: *r, base: Reg::SP, off });
+    }
+    // Stage incoming arguments into their homes.
+    let mut reg_moves = Vec::new();
+    for i in 0..f.param_count {
+        let src = Reg(3 + i as u8);
+        match ctx.alloc.loc[i as usize] {
+            Loc::Reg(d) => reg_moves.push((src, d)),
+            Loc::Spill(slot) => {
+                let off = (ctx.spill_base + slot) as i16;
+                ctx.emit(RInst::Store { w: MemWidth::D, src, base: Reg::SP, off });
+            }
+        }
+    }
+    ctx.parallel_copy(reg_moves);
+
+    // Blocks in RPO; fall-through elision against layout order.
+    let cfg = Cfg::compute(f);
+    let layout: Vec<BlockId> = cfg.rpo.clone();
+    let next_of: HashMap<BlockId, Option<BlockId>> =
+        layout.iter().enumerate().map(|(i, &b)| (b, layout.get(i + 1).copied())).collect();
+
+    for &bid in &layout {
+        ctx.block_start.insert(bid, ctx.out.len() as u32);
+        for inst in &f.blocks[bid.index()].insts {
+            ctx.reset_scratch();
+            lower_inst(&mut ctx, inst);
+        }
+        ctx.reset_scratch();
+        let next = next_of[&bid];
+        match f.blocks[bid.index()].term.clone() {
+            Terminator::Jump(t) => {
+                if next != Some(t) {
+                    let at = ctx.out.len();
+                    ctx.emit(RInst::B { target: 0 });
+                    ctx.fixups.push((at, t));
+                }
+            }
+            Terminator::Branch { cond, t, f: fl } => {
+                let c = ctx.opnd(cond);
+                if next == Some(fl) {
+                    let at = ctx.out.len();
+                    ctx.emit(RInst::Bnz { c, target: 0 });
+                    ctx.fixups.push((at, t));
+                } else if next == Some(t) {
+                    let at = ctx.out.len();
+                    ctx.emit(RInst::Bz { c, target: 0 });
+                    ctx.fixups.push((at, fl));
+                } else {
+                    let at = ctx.out.len();
+                    ctx.emit(RInst::Bnz { c, target: 0 });
+                    ctx.fixups.push((at, t));
+                    let at = ctx.out.len();
+                    ctx.emit(RInst::B { target: 0 });
+                    ctx.fixups.push((at, fl));
+                }
+            }
+            Terminator::Ret(v) => {
+                if let Some(v) = v {
+                    match v {
+                        Operand::Reg(vr) => match ctx.alloc.loc[vr.index()] {
+                            Loc::Reg(r) if r == Reg::RV => {}
+                            Loc::Reg(r) => ctx.emit(RInst::Mr { dst: Reg::RV, src: r }),
+                            Loc::Spill(slot) => {
+                                let off = (ctx.spill_base + slot) as i16;
+                                ctx.emit(RInst::Load { w: MemWidth::D, signed: false, dst: Reg::RV, base: Reg::SP, off });
+                            }
+                        },
+                        Operand::Imm(i) => ctx.materialize(Reg::RV, i),
+                    }
+                }
+                for (i, r) in saved.iter().enumerate() {
+                    let off = (ctx.save_base + i as u32 * 8) as i16;
+                    ctx.emit(RInst::Load { w: MemWidth::D, signed: false, dst: *r, base: Reg::SP, off });
+                }
+                if frame_total > 0 {
+                    ctx.emit(RInst::Alui { op: IrOp::Add, dst: Reg::SP, a: Reg::SP, imm: frame_total as i16 });
+                }
+                ctx.emit(RInst::Blr);
+            }
+        }
+    }
+
+    // Patch branches.
+    for (at, bid) in std::mem::take(&mut ctx.fixups) {
+        let target = ctx.block_start[&bid];
+        match &mut ctx.out[at] {
+            RInst::B { target: t } | RInst::Bnz { target: t, .. } | RInst::Bz { target: t, .. } => *t = target,
+            other => unreachable!("fixup on non-branch {other:?}"),
+        }
+    }
+
+    Ok(RFunc { name: f.name.clone(), insts: ctx.out, frame_size: frame_total })
+}
+
+fn lower_inst(ctx: &mut Ctx, inst: &Inst) {
+    match inst {
+        Inst::Iconst { dst, imm } => {
+            let (d, sp) = ctx.dest(*dst);
+            ctx.materialize(d, *imm);
+            ctx.finish_dest(d, sp);
+        }
+        Inst::Fconst { dst, imm } => {
+            let (d, sp) = ctx.dest(*dst);
+            ctx.materialize(d, imm.to_bits() as i64);
+            ctx.finish_dest(d, sp);
+        }
+        Inst::Ibin { op, dst, a, b } => {
+            // Prefer the immediate form when available.
+            let (a, b, op) = match (*a, *b) {
+                (Operand::Imm(ia), Operand::Reg(_)) if op.is_commutative() => (*b, Operand::Imm(ia), *op),
+                _ => (*a, *b, *op),
+            };
+            let use_imm = match b {
+                Operand::Imm(i) => {
+                    (has_iform(op) && fits_i16(i)) || (op == IrOp::Sub && fits_i16(-i))
+                }
+                _ => false,
+            };
+            let ra = ctx.opnd(a);
+            if use_imm {
+                let i = b.as_imm().expect("imm checked");
+                let (d, sp) = ctx.dest(*dst);
+                if op == IrOp::Sub {
+                    ctx.emit(RInst::Alui { op: IrOp::Add, dst: d, a: ra, imm: (-i) as i16 });
+                } else {
+                    ctx.emit(RInst::Alui { op, dst: d, a: ra, imm: i as i16 });
+                }
+                ctx.finish_dest(d, sp);
+            } else {
+                let rb = ctx.opnd(b);
+                let (d, sp) = ctx.dest(*dst);
+                ctx.emit(RInst::Alu { op, dst: d, a: ra, b: rb });
+                ctx.finish_dest(d, sp);
+            }
+        }
+        Inst::Iun { op, dst, a } => {
+            let ra = ctx.opnd(*a);
+            let (d, sp) = ctx.dest(*dst);
+            ctx.emit(RInst::Alun { op: *op, dst: d, a: ra });
+            ctx.finish_dest(d, sp);
+        }
+        Inst::Icmp { cc, dst, a, b } => {
+            let (a, b, cc) = match (*a, *b) {
+                (Operand::Imm(_), Operand::Reg(_)) => (*b, *a, cc.swapped()),
+                _ => (*a, *b, *cc),
+            };
+            let ra = ctx.opnd(a);
+            if let Operand::Imm(i) = b {
+                if fits_i16(i) {
+                    let (d, sp) = ctx.dest(*dst);
+                    ctx.emit(RInst::Cmpi { cc, dst: d, a: ra, imm: i as i16 });
+                    ctx.finish_dest(d, sp);
+                    return;
+                }
+            }
+            let rb = ctx.opnd(b);
+            let (d, sp) = ctx.dest(*dst);
+            ctx.emit(RInst::Cmp { cc, dst: d, a: ra, b: rb });
+            ctx.finish_dest(d, sp);
+        }
+        Inst::Fbin { op, dst, a, b } => {
+            let ra = ctx.opnd(*a);
+            let rb = ctx.opnd(*b);
+            let (d, sp) = ctx.dest(*dst);
+            ctx.emit(RInst::Fbin { op: *op, dst: d, a: ra, b: rb });
+            ctx.finish_dest(d, sp);
+        }
+        Inst::Fun { op, dst, a } => {
+            let ra = ctx.opnd(*a);
+            let (d, sp) = ctx.dest(*dst);
+            ctx.emit(RInst::Fun { op: *op, dst: d, a: ra });
+            ctx.finish_dest(d, sp);
+        }
+        Inst::Fcmp { cc, dst, a, b } => {
+            let ra = ctx.opnd(*a);
+            let rb = ctx.opnd(*b);
+            let (d, sp) = ctx.dest(*dst);
+            ctx.emit(RInst::Fcmp { cc: *cc, dst: d, a: ra, b: rb });
+            ctx.finish_dest(d, sp);
+        }
+        Inst::Select { dst, cond, if_true, if_false } => {
+            let c = ctx.opnd(*cond);
+            let a = ctx.opnd(*if_true);
+            let b = ctx.opnd(*if_false);
+            let (d, sp) = ctx.dest(*dst);
+            ctx.emit(RInst::Select { dst: d, c, a, b });
+            ctx.finish_dest(d, sp);
+        }
+        Inst::Load { w, signed, dst, addr, off } => {
+            let (base, off) = lower_addr(ctx, *addr, *off);
+            let (d, sp) = ctx.dest(*dst);
+            ctx.emit(RInst::Load { w: *w, signed: *signed, dst: d, base, off });
+            ctx.finish_dest(d, sp);
+        }
+        Inst::Store { w, src, addr, off } => {
+            let s = ctx.opnd(*src);
+            let (base, off) = lower_addr(ctx, *addr, *off);
+            ctx.emit(RInst::Store { w: *w, src: s, base, off });
+        }
+        Inst::FrameAddr { dst, off } => {
+            let (d, sp) = ctx.dest(*dst);
+            let total = ctx.ir_base + *off;
+            ctx.emit(RInst::Alui { op: IrOp::Add, dst: d, a: Reg::SP, imm: total as i16 });
+            ctx.finish_dest(d, sp);
+        }
+        Inst::Call { dst, func, args } => {
+            // Stage arguments: loads/immediates directly into arg registers,
+            // register-to-register moves via parallel copy.
+            let mut moves = Vec::new();
+            for (i, a) in args.iter().enumerate() {
+                let target = Reg(3 + i as u8);
+                match a {
+                    Operand::Imm(v) => ctx.materialize(target, *v),
+                    Operand::Reg(vr) => match ctx.alloc.loc[vr.index()] {
+                        Loc::Reg(r) => moves.push((r, target)),
+                        Loc::Spill(slot) => {
+                            let off = (ctx.spill_base + slot) as i16;
+                            ctx.emit(RInst::Load { w: MemWidth::D, signed: false, dst: target, base: Reg::SP, off });
+                        }
+                    },
+                }
+            }
+            ctx.parallel_copy(moves);
+            ctx.emit(RInst::Bl { func: func.0 });
+            if let Some(d) = dst {
+                match ctx.alloc.loc[d.index()] {
+                    Loc::Reg(r) if r == Reg::RV => {}
+                    Loc::Reg(r) => ctx.emit(RInst::Mr { dst: r, src: Reg::RV }),
+                    Loc::Spill(slot) => {
+                        let off = (ctx.spill_base + slot) as i16;
+                        ctx.emit(RInst::Store { w: MemWidth::D, src: Reg::RV, base: Reg::SP, off });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Lowers `addr + off` to a `(base, off16)` pair, materializing as needed.
+fn lower_addr(ctx: &mut Ctx, addr: Operand, off: i32) -> (Reg, i16) {
+    match addr {
+        Operand::Imm(base) => {
+            let total = base + off as i64;
+            let s = ctx.scratch();
+            // Keep a 16-bit tail in the offset to mimic ld r,lo(sym)(r).
+            let hi = total & !0x7fff;
+            let lo = (total & 0x7fff) as i16;
+            ctx.materialize(s, hi);
+            (s, lo)
+        }
+        Operand::Reg(_) => {
+            let base = ctx.opnd(addr);
+            if fits_i16(off as i64) {
+                (base, off as i16)
+            } else {
+                let s = ctx.scratch();
+                ctx.materialize(s, off as i64);
+                let d = ctx.scratch();
+                ctx.emit(RInst::Alu { op: IrOp::Add, dst: d, a: base, b: s });
+                (d, 0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_ir::ProgramBuilder;
+
+    #[test]
+    fn compiles_simple_program() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        f.switch_to(e);
+        let a = f.iconst(40);
+        let b = f.add(a, 2i64);
+        f.ret(Some(Operand::reg(b)));
+        f.finish();
+        let p = pb.finish("main").unwrap();
+        let rp = compile_program(&p).unwrap();
+        assert_eq!(rp.funcs.len(), 1);
+        assert!(rp.funcs[0].insts.iter().any(|i| matches!(i, RInst::Blr)));
+    }
+
+    #[test]
+    fn wide_constants_use_chains() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        f.switch_to(e);
+        let a = f.iconst(0x1234_5678_9abc); // needs 3 chunks
+        f.ret(Some(Operand::reg(a)));
+        f.finish();
+        let p = pb.finish("main").unwrap();
+        let rp = compile_program(&p).unwrap();
+        let oris = rp.funcs[0].insts.iter().filter(|i| matches!(i, RInst::Oris { .. })).count();
+        assert!(oris >= 2, "expected oris chain, got {:?}", rp.funcs[0].insts);
+    }
+
+    #[test]
+    fn too_many_args_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("big", 9);
+        let e = f.entry();
+        f.switch_to(e);
+        f.ret(None);
+        f.finish();
+        let p = pb.finish("big").unwrap();
+        assert!(matches!(compile_program(&p), Err(CodegenError::TooManyArgs { .. })));
+    }
+}

@@ -1,0 +1,300 @@
+//! Liveness analysis and linear-scan register allocation.
+//!
+//! Classic Poletto/Sarkar linear scan over a linearized (reverse-postorder)
+//! instruction numbering, with one refinement: intervals that are live
+//! across a call may only receive callee-saved registers (`r14..r31`);
+//! short-lived intervals may also use the volatile pool (`r5..r10`).
+//! Everything else spills to 8-byte frame slots — producing exactly the
+//! spill loads/stores a 32-register machine pays and TRIPS's 128 registers
+//! avoid (paper §4.3).
+
+use crate::inst::Reg;
+use std::collections::HashSet;
+use trips_ir::cfg::Cfg;
+use trips_ir::{Function, Inst, Vreg};
+
+/// Where a virtual register lives for its whole lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// A physical register.
+    Reg(Reg),
+    /// A spill slot (byte offset within the spill area).
+    Spill(u32),
+}
+
+/// Result of register allocation for one function.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Location of each vreg (indexed by vreg number). Vregs never used map
+    /// to a spill slot that is never touched.
+    pub loc: Vec<Loc>,
+    /// Bytes of spill area required.
+    pub spill_bytes: u32,
+    /// Callee-saved registers used (must be saved/restored).
+    pub used_callee_saved: Vec<Reg>,
+}
+
+/// Live interval over linear positions.
+#[derive(Debug, Clone, Copy)]
+struct Interval {
+    vreg: Vreg,
+    start: u32,
+    end: u32,
+    crosses_call: bool,
+}
+
+/// Runs linear-scan allocation for `f`.
+///
+/// `volatile_pool` and `callee_saved_pool` define the register supply; the
+/// defaults used by the code generator are `r5..r10` and `r14..r31`.
+pub fn allocate(f: &Function) -> Allocation {
+    let volatile: Vec<Reg> = (5..=10).map(Reg).collect();
+    let callee: Vec<Reg> = (Reg::FIRST_CALLEE_SAVED..32).map(Reg).collect();
+    allocate_with_pools(f, &volatile, &callee)
+}
+
+/// [`allocate`] with explicit register pools (for tests and ablations).
+pub fn allocate_with_pools(f: &Function, volatile_pool: &[Reg], callee_saved_pool: &[Reg]) -> Allocation {
+    let cfg = Cfg::compute(f);
+    let lv = trips_ir::liveness::compute(f, &cfg);
+    let (live_in, live_out) = (lv.live_in, lv.live_out);
+    let nv = f.vreg_count as usize;
+
+    // Linear numbering in RPO.
+    let mut pos = 0u32;
+    let mut call_positions: Vec<u32> = Vec::new();
+    let mut int_start = vec![u32::MAX; nv];
+    let mut int_end = vec![0u32; nv];
+    let touch = |v: Vreg, p: u32, int_start: &mut Vec<u32>, int_end: &mut Vec<u32>| {
+        let i = v.index();
+        int_start[i] = int_start[i].min(p);
+        int_end[i] = int_end[i].max(p);
+    };
+    // Parameters are live from position 0.
+    for i in 0..f.param_count {
+        touch(Vreg(i), 0, &mut int_start, &mut int_end);
+    }
+    for &bid in &cfg.rpo {
+        let b = bid.index();
+        for v in 0..nv {
+            if live_in[b][v] {
+                touch(Vreg(v as u32), pos, &mut int_start, &mut int_end);
+            }
+        }
+        for inst in &f.blocks[b].insts {
+            inst.for_each_use_reg(|v| touch(v, pos, &mut int_start, &mut int_end));
+            if let Some(d) = inst.dst() {
+                touch(d, pos, &mut int_start, &mut int_end);
+            }
+            if matches!(inst, Inst::Call { .. }) {
+                call_positions.push(pos);
+            }
+            pos += 1;
+        }
+        f.blocks[b].term.for_each_use_reg(|v| touch(v, pos, &mut int_start, &mut int_end));
+        pos += 1; // terminator
+        for v in 0..nv {
+            if live_out[b][v] {
+                touch(Vreg(v as u32), pos, &mut int_start, &mut int_end);
+            }
+        }
+    }
+
+    let mut intervals: Vec<Interval> = (0..nv)
+        .filter(|&v| int_start[v] != u32::MAX)
+        .map(|v| {
+            let (s, e) = (int_start[v], int_end[v]);
+            let crosses = call_positions.iter().any(|&c| c > s && c < e);
+            Interval { vreg: Vreg(v as u32), start: s, end: e, crosses_call: crosses }
+        })
+        .collect();
+    intervals.sort_by_key(|i| i.start);
+
+    // Linear scan.
+    let mut loc = vec![Loc::Spill(u32::MAX); nv];
+    let mut active: Vec<(Interval, Reg)> = Vec::new();
+    let mut free_volatile: Vec<Reg> = volatile_pool.to_vec();
+    let mut free_callee: Vec<Reg> = callee_saved_pool.to_vec();
+    let mut used_callee: HashSet<Reg> = HashSet::new();
+    let mut next_spill = 0u32;
+    let spill_slot = |next_spill: &mut u32| {
+        let s = *next_spill;
+        *next_spill += 8;
+        s
+    };
+
+    for iv in intervals {
+        // Expire.
+        active.retain(|(a, r)| {
+            if a.end < iv.start {
+                if r.is_callee_saved() {
+                    free_callee.push(*r);
+                } else {
+                    free_volatile.push(*r);
+                }
+                false
+            } else {
+                true
+            }
+        });
+        // Pick a register: call-crossing intervals need callee-saved.
+        let reg = if iv.crosses_call {
+            free_callee.pop()
+        } else {
+            free_volatile.pop().or_else(|| free_callee.pop())
+        };
+        match reg {
+            Some(r) => {
+                if r.is_callee_saved() {
+                    used_callee.insert(r);
+                }
+                loc[iv.vreg.index()] = Loc::Reg(r);
+                active.push((iv, r));
+            }
+            None => {
+                // Spill the compatible active interval with the furthest end.
+                let candidate = active
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (a, r))| {
+                        if iv.crosses_call {
+                            r.is_callee_saved() && a.end > iv.end
+                        } else {
+                            a.end > iv.end
+                        }
+                    })
+                    .max_by_key(|(_, (a, _))| a.end)
+                    .map(|(i, _)| i);
+                match candidate {
+                    Some(ci) => {
+                        let (victim, r) = active.remove(ci);
+                        loc[victim.vreg.index()] = Loc::Spill(spill_slot(&mut next_spill));
+                        loc[iv.vreg.index()] = Loc::Reg(r);
+                        if r.is_callee_saved() {
+                            used_callee.insert(r);
+                        }
+                        active.push((iv, r));
+                    }
+                    None => {
+                        loc[iv.vreg.index()] = Loc::Spill(spill_slot(&mut next_spill));
+                    }
+                }
+            }
+        }
+    }
+
+    // Unused vregs get harmless slots.
+    for l in loc.iter_mut() {
+        if *l == Loc::Spill(u32::MAX) {
+            *l = Loc::Spill(spill_slot(&mut next_spill));
+        }
+    }
+
+    let mut used: Vec<Reg> = used_callee.into_iter().collect();
+    used.sort();
+    Allocation { loc, spill_bytes: next_spill, used_callee_saved: used }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_ir::{IntCc, Operand, ProgramBuilder};
+
+    fn loop_func(nvals: usize) -> Function {
+        // Build a function with `nvals` values all live across a loop.
+        let mut pb = ProgramBuilder::new();
+        let mut fb = pb.func("t", 1);
+        let e = fb.entry();
+        let body = fb.block();
+        let done = fb.block();
+        fb.switch_to(e);
+        let vals: Vec<_> = (0..nvals).map(|i| fb.iconst(i as i64)).collect();
+        let i = fb.iconst(0);
+        fb.jump(body);
+        fb.switch_to(body);
+        let mut acc = fb.iconst(0);
+        for &v in &vals {
+            acc = fb.add(acc, v);
+        }
+        fb.ibin_to(trips_ir::Opcode::Add, i, i, 1i64);
+        let c = fb.icmp(IntCc::Lt, i, fb.param(0));
+        fb.branch(c, body, done);
+        fb.switch_to(done);
+        fb.ret(Some(Operand::reg(acc)));
+        fb.finish();
+        pb.finish("t").unwrap().funcs.remove(0)
+    }
+
+    #[test]
+    fn small_function_fully_in_registers() {
+        let f = loop_func(4);
+        let a = allocate(&f);
+        let regs = a.loc.iter().filter(|l| matches!(l, Loc::Reg(_))).count();
+        assert!(regs >= 5, "most values should be in registers");
+        assert_eq!(a.spill_bytes % 8, 0);
+    }
+
+    #[test]
+    fn pressure_forces_spills() {
+        let f = loop_func(40); // 40 simultaneously live values > 24 registers
+        let a = allocate(&f);
+        let spills = a
+            .loc
+            .iter()
+            .filter(|l| matches!(l, Loc::Spill(_)))
+            .count();
+        assert!(spills > 5, "high pressure must spill, got {spills}");
+    }
+
+    #[test]
+    fn distinct_registers_for_overlapping_intervals() {
+        let f = loop_func(10);
+        let a = allocate(&f);
+        // All loop-carried values are simultaneously live; their registers
+        // must be distinct.
+        let mut seen = HashSet::new();
+        for (v, l) in a.loc.iter().enumerate() {
+            if let Loc::Reg(r) = l {
+                // only check values that are actually used
+                let _ = v;
+                assert!(seen.insert((*r, v / usize::MAX)), "register {r} double-booked");
+                seen.remove(&(*r, v / usize::MAX));
+            }
+        }
+        // Stronger check: values 1..11 (the `vals`) overlap pairwise.
+        let mut regs = HashSet::new();
+        for v in 1..11usize {
+            if let Loc::Reg(r) = a.loc[v] {
+                assert!(regs.insert(r), "overlapping intervals share {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn call_crossing_gets_callee_saved() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare("callee", 0);
+        let mut fb = pb.func("t", 0);
+        let e = fb.entry();
+        fb.switch_to(e);
+        let x = fb.iconst(42); // live across the call
+        fb.call_void(callee, &[]);
+        let r = fb.add(x, 1i64);
+        fb.ret(Some(Operand::reg(r)));
+        fb.finish();
+        let mut cb = pb.func("callee", 0);
+        let e2 = cb.entry();
+        cb.switch_to(e2);
+        cb.ret(None);
+        cb.finish();
+        let p = pb.finish("t").unwrap();
+        let f = &p.funcs[p.func_by_name("t").unwrap().0.index()];
+        let a = allocate(f);
+        if let Loc::Reg(r) = a.loc[x.index()] {
+            assert!(r.is_callee_saved(), "{r} must be callee-saved");
+            assert!(a.used_callee_saved.contains(&r));
+        } else {
+            panic!("x should be in a register");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Simulator configuration (defaults follow the prototype, Table 1 and §2).
+
+use serde::{Deserialize, Serialize};
+
+/// All timing and sizing parameters of the TRIPS model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TripsConfig {
+    /// Minimum cycles between starting fetch of consecutive blocks (the
+    /// paper's ideal-machine study uses 8; the prototype's distributed fetch
+    /// protocol sustains roughly one block every 8 cycles).
+    pub dispatch_interval: u64,
+    /// Instructions delivered to reservation stations per cycle (ITs feed
+    /// four rows at 4 instructions/cycle).
+    pub dispatch_bandwidth: u64,
+    /// Base latency from fetch start to the first instruction being
+    /// dispatchable.
+    pub fetch_latency: u64,
+    /// Maximum blocks in flight (1 non-speculative + 7 speculative).
+    pub max_blocks_in_flight: usize,
+    /// Pipeline refill penalty after a flush (mispredict or load violation).
+    pub flush_penalty: u64,
+    /// Extra cycles for the distributed commit protocol.
+    pub commit_overhead: u64,
+
+    /// L1 D-cache: total bytes (split over 4 single-ported banks).
+    pub l1d_bytes: usize,
+    /// L1 D-cache associativity.
+    pub l1d_ways: usize,
+    /// L1 D-cache hit latency (bank access only; network hops modelled
+    /// separately).
+    pub l1d_hit: u64,
+    /// L1 I-cache total bytes (5 banks).
+    pub l1i_bytes: usize,
+    /// I-cache miss penalty to L2.
+    pub l1i_miss: u64,
+    /// L2: total bytes (16 NUCA banks).
+    pub l2_bytes: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// L2 base latency (closest bank).
+    pub l2_base: u64,
+    /// Additional latency per NUCA hop.
+    pub l2_hop: u64,
+    /// Main-memory latency.
+    pub dram_lat: u64,
+    /// Cycles a 64-byte line occupies a DRAM channel (bandwidth model).
+    pub dram_occupancy: u64,
+    /// Cache line size.
+    pub line: usize,
+
+    /// Exit-predictor table size in entries (local/global/choice tables).
+    pub exit_entries: usize,
+    /// Branch target buffer entries.
+    pub btb_entries: usize,
+    /// Call/return stack depth (the paper calls the prototype's "too
+    /// small").
+    pub ras_depth: usize,
+    /// Load-wait (store-load dependence) predictor entries.
+    pub lwt_entries: usize,
+}
+
+impl TripsConfig {
+    /// The prototype configuration.
+    pub fn prototype() -> TripsConfig {
+        TripsConfig {
+            dispatch_interval: 2,
+            dispatch_bandwidth: 16,
+            fetch_latency: 4,
+            max_blocks_in_flight: 8,
+            flush_penalty: 12,
+            commit_overhead: 3,
+            l1d_bytes: 32 << 10,
+            l1d_ways: 2,
+            l1d_hit: 2,
+            l1i_bytes: 80 << 10,
+            l1i_miss: 14,
+            l2_bytes: 1 << 20,
+            l2_ways: 8,
+            l2_base: 10,
+            l2_hop: 1,
+            dram_lat: 80,
+            dram_occupancy: 5,
+            line: 64,
+            exit_entries: 2048, // ≈5 KB of 2-3 bit entries
+            btb_entries: 64,
+            ras_depth: 8,
+            lwt_entries: 64,
+        }
+    }
+
+    /// The "lessons learned" predictor configuration (Figure 7's `I` bars):
+    /// target component scaled to ~9 KB, bigger BTB and call stack.
+    pub fn improved_predictor() -> TripsConfig {
+        TripsConfig {
+            exit_entries: 4096,
+            btb_entries: 512,
+            ras_depth: 32,
+            ..Self::prototype()
+        }
+    }
+
+    /// Number of L1 data banks (fixed by the tile topology).
+    pub const L1D_BANKS: usize = 4;
+    /// Number of L2 NUCA banks.
+    pub const L2_BANKS: usize = 16;
+    /// DRAM channels (dual DDR controllers).
+    pub const DRAM_CHANNELS: usize = 2;
+}
+
+impl Default for TripsConfig {
+    fn default() -> Self {
+        Self::prototype()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_matches_paper_capacities() {
+        let c = TripsConfig::prototype();
+        assert_eq!(c.l1d_bytes, 32 << 10);
+        assert_eq!(c.l1i_bytes, 80 << 10);
+        assert_eq!(c.l2_bytes, 1 << 20);
+        assert_eq!(c.max_blocks_in_flight, 8);
+    }
+
+    #[test]
+    fn improved_scales_up_only_predictors() {
+        let p = TripsConfig::prototype();
+        let i = TripsConfig::improved_predictor();
+        assert!(i.exit_entries > p.exit_entries);
+        assert!(i.btb_entries > p.btb_entries);
+        assert_eq!(i.l1d_bytes, p.l1d_bytes);
+    }
+}

@@ -1,0 +1,218 @@
+//! Operand network (OPN): a 5×5 wormhole-routed mesh carrying one 64-bit
+//! operand per link per cycle (Gratz et al. [6]).
+//!
+//! Nodes: the global tile at (0,0), register tiles along the top row, data
+//! tiles down the left column, and the 4×4 execution tiles filling the
+//! interior. Packets route X-then-Y with one cycle per hop; each directed
+//! link carries one packet per cycle, so concurrent traffic backs up —
+//! the contention §7 identifies as the prototype's biggest performance
+//! artifact.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A node on the 5×5 mesh, as (row, col) with `0 ≤ row, col ≤ 4`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Node {
+    /// Mesh row.
+    pub row: u8,
+    /// Mesh column.
+    pub col: u8,
+}
+
+impl Node {
+    /// The global control tile.
+    pub const GT: Node = Node { row: 0, col: 0 };
+
+    /// Execution tile `e` (0..16) in the 4×4 interior.
+    pub fn et(e: u8) -> Node {
+        Node { row: 1 + e / 4, col: 1 + e % 4 }
+    }
+
+    /// Register tile for bank `b` (0..4), along the top row.
+    pub fn rt(b: u8) -> Node {
+        Node { row: 0, col: 1 + b }
+    }
+
+    /// Data tile for bank `b` (0..4), down the left column.
+    pub fn dt(b: u8) -> Node {
+        Node { row: 1 + b, col: 0 }
+    }
+
+    /// Manhattan distance in hops.
+    pub fn hops(self, other: Node) -> u32 {
+        (self.row.abs_diff(other.row) + self.col.abs_diff(other.col)) as u32
+    }
+}
+
+/// Traffic classes matching the paper's Figure 8 breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Execution tile to execution tile.
+    EtEt,
+    /// Execution tile ↔ data tile (loads/stores and replies).
+    EtDt,
+    /// Execution tile ↔ register tile (reads/writes).
+    EtRt,
+    /// Execution tile to global tile (branch resolution).
+    EtGt,
+    /// Data tile to register tile.
+    DtRt,
+}
+
+/// Per-class hop-count histogram (0..=5+ hops).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OpnStats {
+    /// `hist[class][hops.min(5)]` packet counts.
+    pub hist: HashMap<TrafficClass, [u64; 6]>,
+    /// Total packets.
+    pub packets: u64,
+    /// Total hops.
+    pub total_hops: u64,
+    /// Cycles lost waiting for busy links.
+    pub contention_cycles: u64,
+}
+
+impl OpnStats {
+    /// Average hops per packet.
+    pub fn avg_hops(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.packets as f64
+        }
+    }
+
+    /// Fraction of packets of `class` with exactly `hops` hops (5 = "5+").
+    pub fn fraction(&self, class: TrafficClass, hops: usize) -> f64 {
+        let total: u64 = self.hist.values().flat_map(|h| h.iter()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.hist.get(&class).map(|h| h[hops.min(5)] as f64 / total as f64).unwrap_or(0.0)
+    }
+}
+
+/// The mesh with exact per-link, per-cycle occupancy.
+///
+/// Timestamps arrive out of order (in-flight blocks overlap), so the model
+/// keeps an occupancy set per directed link rather than a monotonic
+/// next-free cycle: a packet claims the first free cycle ≥ its ready time
+/// on each hop.
+#[derive(Debug, Default)]
+pub struct Opn {
+    /// Per-directed-link set of claimed cycles.
+    link_busy: HashMap<(Node, Node), std::collections::HashSet<u64>>,
+    /// Aggregate statistics.
+    pub stats: OpnStats,
+}
+
+impl Opn {
+    /// Creates an idle network.
+    pub fn new() -> Opn {
+        Opn::default()
+    }
+
+    /// Routes one operand from `from` to `to` starting at `t`; returns the
+    /// arrival cycle. Local delivery (same node) is a zero-cost bypass.
+    pub fn route(&mut self, from: Node, to: Node, t: u64, class: TrafficClass) -> u64 {
+        let hops = from.hops(to);
+        let e = self.stats.hist.entry(class).or_default();
+        e[(hops as usize).min(5)] += 1;
+        self.stats.packets += 1;
+        self.stats.total_hops += hops as u64;
+        if hops == 0 {
+            return t;
+        }
+        // X-then-Y routing, one cycle per hop, one packet per link-cycle.
+        let mut now = t;
+        let mut cur = from;
+        while cur != to {
+            let next = if cur.col != to.col {
+                Node { row: cur.row, col: if cur.col < to.col { cur.col + 1 } else { cur.col - 1 } }
+            } else {
+                Node { col: cur.col, row: if cur.row < to.row { cur.row + 1 } else { cur.row - 1 } }
+            };
+            let busy = self.link_busy.entry((cur, next)).or_default();
+            let mut depart = now;
+            while busy.contains(&depart) {
+                depart += 1;
+            }
+            busy.insert(depart);
+            if busy.len() > 8192 {
+                let horizon = depart.saturating_sub(4096);
+                busy.retain(|&c| c >= horizon);
+            }
+            self.stats.contention_cycles += depart - now;
+            now = depart + 1;
+            cur = next;
+        }
+        now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_positions() {
+        assert_eq!(Node::et(0), Node { row: 1, col: 1 });
+        assert_eq!(Node::et(15), Node { row: 4, col: 4 });
+        assert_eq!(Node::rt(3), Node { row: 0, col: 4 });
+        assert_eq!(Node::dt(0), Node { row: 1, col: 0 });
+        assert_eq!(Node::GT.hops(Node::et(15)), 8);
+    }
+
+    #[test]
+    fn zero_hop_bypass_is_free() {
+        let mut o = Opn::new();
+        let a = Node::et(5);
+        assert_eq!(o.route(a, a, 100, TrafficClass::EtEt), 100);
+        assert_eq!(o.stats.packets, 1);
+        assert_eq!(o.stats.total_hops, 0);
+    }
+
+    #[test]
+    fn latency_equals_hops_when_idle() {
+        let mut o = Opn::new();
+        let t = o.route(Node::et(0), Node::et(3), 10, TrafficClass::EtEt);
+        assert_eq!(t, 13); // 3 hops east
+    }
+
+    #[test]
+    fn link_contention_delays_second_packet() {
+        let mut o = Opn::new();
+        let a = Node::et(0);
+        let b = Node::et(1);
+        let t1 = o.route(a, b, 10, TrafficClass::EtEt);
+        let t2 = o.route(a, b, 10, TrafficClass::EtEt);
+        assert_eq!(t1, 11);
+        assert_eq!(t2, 12);
+        assert_eq!(o.stats.contention_cycles, 1);
+    }
+
+    #[test]
+    fn out_of_order_claims_do_not_serialize() {
+        // Regression: a packet with an *earlier* timestamp than a previously
+        // routed packet must not queue behind it (overlapping in-flight
+        // blocks route out of order).
+        let mut o = Opn::new();
+        let a = Node::et(0);
+        let b = Node::et(1);
+        let late = o.route(a, b, 1000, TrafficClass::EtEt);
+        assert_eq!(late, 1001);
+        let early = o.route(a, b, 10, TrafficClass::EtEt);
+        assert_eq!(early, 11, "early packet must use the free cycle at t=10");
+        assert_eq!(o.stats.contention_cycles, 0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut o = Opn::new();
+        o.route(Node::et(0), Node::et(0), 0, TrafficClass::EtEt);
+        o.route(Node::rt(0), Node::et(12), 0, TrafficClass::EtRt);
+        assert_eq!(o.stats.hist[&TrafficClass::EtEt][0], 1);
+        assert!(o.stats.avg_hops() > 0.0);
+    }
+}

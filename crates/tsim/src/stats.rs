@@ -1,0 +1,144 @@
+//! Aggregate statistics produced by one simulation run — the counters behind
+//! Figures 6, 8, 9, 11, 12 and Table 3.
+
+use crate::opn::OpnStats;
+use crate::predictor::PredictorStats;
+use serde::{Deserialize, Serialize};
+use trips_isa::IsaStats;
+
+/// Everything the experiments need from a timing run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct SimStats {
+    /// Total cycles (commit time of the last block).
+    pub cycles: u64,
+    /// Dynamic blocks committed.
+    pub blocks: u64,
+    /// ISA-level composition (from the functional oracle).
+    pub isa: IsaStats,
+    /// Next-block predictor accounting.
+    pub predictor: PredictorStats,
+    /// Operand-network traffic profile.
+    pub opn: OpnStats,
+    /// I-cache accesses/misses.
+    pub icache_accesses: u64,
+    /// I-cache misses.
+    pub icache_misses: u64,
+    /// L1 data accesses.
+    pub l1d_accesses: u64,
+    /// L1 data misses.
+    pub l1d_misses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L2 misses (DRAM fills).
+    pub l2_misses: u64,
+    /// Load-dependence violations (block flushes).
+    pub load_flushes: u64,
+    /// Pipeline flushes from mispredictions.
+    pub mispredict_flushes: u64,
+    /// Σ over blocks of fetched-instructions × residency-cycles (window
+    /// occupancy integral, Figure 6).
+    pub window_inst_cycles: u128,
+    /// Bytes moved L1↔processor (loads + stores hitting L1).
+    pub l1_bytes: u64,
+    /// Bytes moved L2→L1 (L1 miss fills).
+    pub l2_bytes: u64,
+    /// Bytes moved memory→L2.
+    pub dram_bytes: u64,
+    /// Cycles lost to data-bank conflicts.
+    pub bank_conflict_cycles: u64,
+}
+
+/// Deserialization is only needed for the experiment tooling's own output,
+/// which re-reads serialized stats; OpnStats uses a map keyed by enum.
+impl<'de> Deserialize<'de> for SimStats {
+    fn deserialize<D>(_: D) -> Result<Self, D::Error>
+    where
+        D: serde::Deserializer<'de>,
+    {
+        Err(serde::de::Error::custom("SimStats deserialization is not supported"))
+    }
+}
+
+impl SimStats {
+    /// Instructions-per-cycle over *executed* instructions (Figure 9's bar
+    /// height; composition shares split it into the stacked categories).
+    pub fn ipc_executed(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.isa.executed as f64 / self.cycles as f64
+        }
+    }
+
+    /// IPC over useful instructions only.
+    pub fn ipc_useful(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.isa.useful as f64 / self.cycles as f64
+        }
+    }
+
+    /// IPC over fetched instructions (includes fetched-not-executed).
+    pub fn ipc_fetched(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.isa.fetched as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average total instructions resident in the window (Figure 6).
+    pub fn avg_window_insts(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.window_inst_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average *useful* instructions in the window (Table 3's rightmost
+    /// column), scaling the occupancy by the useful fraction.
+    pub fn avg_window_useful(&self) -> f64 {
+        if self.isa.fetched == 0 {
+            0.0
+        } else {
+            self.avg_window_insts() * self.isa.useful as f64 / self.isa.fetched as f64
+        }
+    }
+
+    /// Events per 1000 useful instructions (Table 3 normalization).
+    pub fn per_kilo_useful(&self, events: u64) -> f64 {
+        if self.isa.useful == 0 {
+            0.0
+        } else {
+            events as f64 * 1000.0 / self.isa.useful as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let mut s = SimStats { cycles: 100, ..Default::default() };
+        s.isa.executed = 400;
+        s.isa.useful = 200;
+        s.isa.fetched = 800;
+        s.window_inst_cycles = 40_000;
+        assert!((s.ipc_executed() - 4.0).abs() < 1e-9);
+        assert!((s.ipc_useful() - 2.0).abs() < 1e-9);
+        assert!((s.avg_window_insts() - 400.0).abs() < 1e-9);
+        assert!((s.avg_window_useful() - 100.0).abs() < 1e-9);
+        assert!((s.per_kilo_useful(10) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cycles_is_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc_executed(), 0.0);
+        assert_eq!(s.avg_window_insts(), 0.0);
+    }
+}

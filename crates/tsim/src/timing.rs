@@ -1,0 +1,424 @@
+//! The block-pipeline timing engine.
+//!
+//! Replays the functional interpreter's per-block dataflow traces against
+//! the machine's timing state. Blocks overlap: up to eight occupy the window
+//! (one architectural + seven speculative); each new block starts fetching
+//! once the predictor names it, a window slot frees up, and the distributed
+//! fetch protocol's throughput allows (§5). Mispredictions and load-order
+//! violations flush and restart the pipeline at the offending point.
+
+use crate::cache::{BankPorts, Cache};
+use crate::config::TripsConfig;
+use crate::opn::{Node, Opn, TrafficClass};
+use crate::predictor::{ExitKind, LoadWaitTable, NextBlockPredictor};
+use crate::stats::SimStats;
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+use trips_compiler::CompiledProgram;
+use trips_isa::block::ExitTarget;
+use trips_isa::interp::{BlockTrace, TraceSrc, TripsExecError};
+use trips_isa::TOpcode;
+use trips_ir::Program;
+
+/// Simulation failures (functional execution errors surface unchanged).
+#[derive(Debug)]
+pub enum SimError {
+    /// The functional oracle failed.
+    Exec(TripsExecError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Exec(e) => write!(f, "functional execution failed: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Result of a timing run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Program return value (from the functional oracle).
+    pub return_value: u64,
+    /// All counters.
+    pub stats: SimStats,
+}
+
+/// Simulates `compiled` against its optimized IR's data image.
+///
+/// # Errors
+/// [`SimError::Exec`] when the program itself faults.
+pub fn simulate(compiled: &CompiledProgram, cfg: &TripsConfig, mem_size: usize) -> Result<SimResult, SimError> {
+    simulate_with_budget(compiled, cfg, mem_size, u64::MAX)
+}
+
+/// [`simulate`] with a dynamic block budget (for sweeps).
+///
+/// # Errors
+/// See [`simulate`].
+pub fn simulate_with_budget(
+    compiled: &CompiledProgram,
+    cfg: &TripsConfig,
+    mem_size: usize,
+    max_blocks: u64,
+) -> Result<SimResult, SimError> {
+    let ir: &Program = &compiled.opt_ir;
+    let tp = &compiled.trips;
+    let mut t = Timing::new(compiled, cfg);
+    let outcome =
+        trips_isa::interp::run_program_traced(tp, ir, mem_size, max_blocks, |b, trace| t.on_block(b, trace))
+            .map_err(SimError::Exec)?;
+    let mut stats = t.finish();
+    stats.isa = outcome.stats;
+    Ok(SimResult { return_value: outcome.return_value, stats })
+}
+
+struct Timing<'a> {
+    cp: &'a CompiledProgram,
+    cfg: TripsConfig,
+    opn: Opn,
+    et_free: [u64; 16],
+    l1d: Vec<Cache>,
+    dt_banks: BankPorts,
+    l2: Cache,
+    l2_banks: BankPorts,
+    dram: BankPorts,
+    icache: Cache,
+    predictor: NextBlockPredictor,
+    lwt: LoadWaitTable,
+    reg_avail: HashMap<u8, u64>,
+    commits: VecDeque<u64>,
+    last_commit: u64,
+    prev_dispatch: u64,
+    prev_chunk: usize,
+    /// Pending transition: (block, exit idx, kind, cont) awaiting the next
+    /// block id to score the prediction.
+    pending: Option<(u32, u8, ExitKind, Option<u32>, u64 /*resolve*/)>,
+    stats: SimStats,
+}
+
+impl<'a> Timing<'a> {
+    fn new(cp: &'a CompiledProgram, cfg: &TripsConfig) -> Timing<'a> {
+        Timing {
+            cp,
+            cfg: cfg.clone(),
+            opn: Opn::new(),
+            et_free: [0; 16],
+            l1d: (0..TripsConfig::L1D_BANKS)
+                .map(|_| Cache::new(cfg.l1d_bytes / TripsConfig::L1D_BANKS, cfg.l1d_ways, cfg.line))
+                .collect(),
+            dt_banks: BankPorts::new(TripsConfig::L1D_BANKS),
+            l2: Cache::new(cfg.l2_bytes, cfg.l2_ways, cfg.line),
+            l2_banks: BankPorts::new(TripsConfig::L2_BANKS),
+            dram: BankPorts::new(TripsConfig::DRAM_CHANNELS),
+            icache: Cache::new(cfg.l1i_bytes, 2, 128),
+            predictor: NextBlockPredictor::new(cfg.exit_entries, cfg.btb_entries, cfg.ras_depth),
+            lwt: LoadWaitTable::new(cfg.lwt_entries.next_power_of_two()),
+            reg_avail: HashMap::new(),
+            commits: VecDeque::new(),
+            last_commit: 0,
+            prev_dispatch: 0,
+            prev_chunk: 0,
+            pending: None,
+            stats: SimStats::default(),
+        }
+    }
+
+    fn on_block(&mut self, bidx: u32, trace: &BlockTrace) {
+        let block = &self.cp.trips.blocks[bidx as usize];
+        let placement = &self.cp.placements[bidx as usize];
+
+        // --- score the prediction that fetched this block ------------------
+        let mut mispredicted = false;
+        let mut prev_resolve = 0;
+        if let Some((pb, pexit, kind, cont, resolve)) = self.pending.take() {
+            let multi = self.cp.trips.blocks[pb as usize].exits.len() > 1;
+            let (_, correct) = self.predictor.predict_and_update(pb, pexit, kind, bidx, cont, multi);
+            mispredicted = !correct;
+            prev_resolve = resolve;
+            if mispredicted {
+                self.stats.mispredict_flushes += 1;
+            }
+        }
+
+        // --- fetch/dispatch timing -----------------------------------------
+        // The ITs stream a block's compressed chunk at dispatch_bandwidth
+        // instructions/cycle; the next block starts once the previous one
+        // has streamed (small blocks dispatch back-to-back faster).
+        let stream = (self.prev_chunk as u64).div_ceil(self.cfg.dispatch_bandwidth).max(self.cfg.dispatch_interval);
+        let mut start = self.prev_dispatch + stream;
+        if self.commits.len() >= self.cfg.max_blocks_in_flight {
+            let oldest = self.commits[self.commits.len() - self.cfg.max_blocks_in_flight];
+            start = start.max(oldest + 1);
+        }
+        if mispredicted {
+            start = start.max(prev_resolve + self.cfg.flush_penalty);
+        }
+        // I-cache: fetch the compressed block image.
+        let base_addr = bidx as u64 * 1024;
+        let lines = (trips_isa::encode::encoded_size_compressed(block) as u64).div_ceil(128);
+        let mut ic_delay = 0;
+        for l in 0..lines {
+            self.stats.icache_accesses += 1;
+            if !self.icache.access(base_addr + l * 128) {
+                self.stats.icache_misses += 1;
+                ic_delay = ic_delay.max(self.cfg.l1i_miss);
+                if !self.l2.access(base_addr + l * 128) {
+                    ic_delay += self.cfg.dram_lat;
+                }
+            }
+        }
+        let dispatch = start + ic_delay + self.cfg.fetch_latency;
+        self.prev_dispatch = start + ic_delay;
+        self.prev_chunk = block.chunk_capacity();
+
+        // --- dataflow timing -------------------------------------------------
+        let mut done: HashMap<u8, u64> = HashMap::new();
+        let mut store_dt_time: HashMap<u8, (u64, u64, u8)> = HashMap::new(); // lsid -> (ready@DT, addr, bytes)
+        let mut read_cache: HashMap<u8, u64> = HashMap::new();
+        let mut completion = dispatch + 1;
+        let mut resolve = dispatch + 1;
+        let mut violated = false;
+
+        for ti in &trace.fired {
+            let inst = &block.insts[ti.idx as usize];
+            let et = placement.get(ti.idx as usize).copied().unwrap_or(0).min(15);
+            let here = Node::et(et);
+            let fetch_t = dispatch + ti.idx as u64 / self.cfg.dispatch_bandwidth;
+            let mut ready = fetch_t;
+            for src in &ti.srcs {
+                let arr = match src {
+                    TraceSrc::Read(r) => {
+                        let reg = block.reads[*r as usize].reg;
+                        let avail = *read_cache.entry(reg).or_insert_with(|| {
+                            self.reg_avail.get(&reg).copied().unwrap_or(0)
+                        });
+                        let t0 = avail.max(dispatch);
+                        self.opn.route(Node::rt(reg / 32), here, t0, TrafficClass::EtRt)
+                    }
+                    TraceSrc::Inst(p) => {
+                        let t0 = done.get(p).copied().unwrap_or(dispatch);
+                        let from = Node::et(placement.get(*p as usize).copied().unwrap_or(0).min(15));
+                        self.opn.route(from, here, t0, TrafficClass::EtEt)
+                    }
+                };
+                ready = ready.max(arr);
+            }
+            let issue = ready.max(self.et_free[et as usize]);
+            self.et_free[et as usize] = issue + 1;
+
+            let out_t = if let Some(mem) = ti.mem {
+                let bank = ((mem.addr / self.cfg.line as u64) % TripsConfig::L1D_BANKS as u64) as usize;
+                let dtn = Node::dt(bank as u8);
+                if mem.is_store {
+                    let arr = self.opn.route(here, dtn, issue + 1, TrafficClass::EtDt);
+                    let t = self.dt_banks.reserve(bank, arr, 1);
+                    self.l1d[bank].access(mem.addr);
+                    self.stats.l1_bytes += mem.bytes as u64;
+                    store_dt_time.insert(inst.lsid.unwrap_or(0), (t + 1, mem.addr, mem.bytes));
+                    completion = completion.max(t + 1);
+                    t + 1
+                } else {
+                    // Load: optionally wait for earlier stores per the
+                    // dependence predictor.
+                    let mut lissue = issue;
+                    if self.lwt.should_wait(bidx, ti.idx) {
+                        for (lsid2, (t2, _, _)) in &store_dt_time {
+                            if inst.lsid.map(|l| *lsid2 < l).unwrap_or(false) {
+                                lissue = lissue.max(*t2);
+                            }
+                        }
+                    }
+                    let arr = self.opn.route(here, dtn, lissue + 1, TrafficClass::EtDt);
+                    let t = self.dt_banks.reserve(bank, arr, 1);
+                    self.stats.l1d_accesses += 1;
+                    self.stats.l1_bytes += mem.bytes as u64;
+                    let mut lat = self.cfg.l1d_hit;
+                    if !self.l1d[bank].access(mem.addr) {
+                        self.stats.l1d_misses += 1;
+                        self.stats.l2_accesses += 1;
+                        self.stats.l2_bytes += self.cfg.line as u64;
+                        let l2b = ((mem.addr / self.cfg.line as u64) % TripsConfig::L2_BANKS as u64) as usize;
+                        let nuca = (l2b % 4 + l2b / 4) as u64;
+                        let l2t = self.l2_banks.reserve(l2b, t + lat, 1);
+                        lat += (l2t - t - lat.min(l2t)) + self.cfg.l2_base + self.cfg.l2_hop * nuca;
+                        if !self.l2.access(mem.addr) {
+                            self.stats.l2_misses += 1;
+                            self.stats.dram_bytes += self.cfg.line as u64;
+                            let ch = (mem.addr as usize / self.cfg.line) % TripsConfig::DRAM_CHANNELS;
+                            let dt = self.dram.reserve(ch, t + lat, self.cfg.dram_occupancy);
+                            lat = dt - t + self.cfg.dram_lat;
+                        }
+                    }
+                    // Violation: an earlier store to an overlapping address
+                    // resolved after this load read the bank.
+                    if !self.lwt.should_wait(bidx, ti.idx) {
+                        if let Some(l) = inst.lsid {
+                            for (lsid2, (t2, a2, b2)) in &store_dt_time {
+                                let overlap = *a2 < mem.addr + mem.bytes as u64
+                                    && mem.addr < *a2 + *b2 as u64;
+                                if *lsid2 < l && overlap && *t2 > t {
+                                    violated = true;
+                                    self.lwt.record_violation(bidx, ti.idx);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    let data_t = t + lat;
+                    self.opn.route(dtn, here, data_t, TrafficClass::EtDt)
+                }
+            } else if inst.op.is_branch() {
+                let r = self.opn.route(here, Node::GT, issue + 1, TrafficClass::EtGt);
+                resolve = resolve.max(r);
+                r
+            } else if inst.op == TOpcode::Null && inst.lsid.is_some() {
+                let dtn = Node::dt((inst.lsid.unwrap() % 4) as u8);
+                let r = self.opn.route(here, dtn, issue + 1, TrafficClass::EtDt);
+                completion = completion.max(r);
+                r
+            } else {
+                issue + inst.op.latency() as u64
+            };
+            done.insert(ti.idx, out_t);
+        }
+
+        // Register writes resolve at their RT.
+        for (wi, src) in trace.write_srcs.iter().enumerate() {
+            let Some(src) = src else { continue };
+            let reg = block.writes[wi].reg;
+            let (t0, from) = match src {
+                TraceSrc::Read(r) => {
+                    let rr = block.reads[*r as usize].reg;
+                    (self.reg_avail.get(&rr).copied().unwrap_or(0).max(dispatch), Node::rt(rr / 32))
+                }
+                TraceSrc::Inst(p) => (
+                    done.get(p).copied().unwrap_or(dispatch),
+                    Node::et(placement.get(*p as usize).copied().unwrap_or(0).min(15)),
+                ),
+            };
+            let arr = self.opn.route(from, Node::rt(reg / 32), t0, TrafficClass::EtRt);
+            self.reg_avail.insert(reg, arr);
+            completion = completion.max(arr);
+        }
+        completion = completion.max(resolve);
+        if violated {
+            self.stats.load_flushes += 1;
+            completion += self.cfg.flush_penalty;
+            resolve += self.cfg.flush_penalty;
+        }
+
+        // Commit protocol: in order, one block per cycle minimum; the
+        // commit-protocol overhead overlaps with younger blocks' execution.
+        let commit = (completion + self.cfg.commit_overhead).max(self.last_commit + 1);
+        self.last_commit = commit;
+        self.commits.push_back(commit);
+        if self.commits.len() > 64 {
+            self.commits.pop_front();
+        }
+        self.stats.blocks += 1;
+        self.stats.window_inst_cycles += (block.insts.len() as u128) * ((commit - start) as u128);
+
+        // Queue the transition for prediction scoring.
+        let exit = block.exits[trace.exit as usize];
+        let (kind, cont) = match exit {
+            ExitTarget::Block(_) => (ExitKind::Jump, None),
+            ExitTarget::Call { cont, .. } => (ExitKind::Call, Some(cont)),
+            ExitTarget::Ret => (ExitKind::Ret, None),
+        };
+        self.pending = Some((bidx, trace.exit, kind, cont, resolve));
+    }
+
+    fn finish(mut self) -> SimStats {
+        self.stats.cycles = self.last_commit.max(1);
+        self.stats.predictor = self.predictor.stats;
+        self.stats.opn = std::mem::take(&mut self.opn.stats);
+        self.stats.bank_conflict_cycles = self.dt_banks.conflict_cycles;
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_compiler::{compile, CompileOptions};
+    use trips_ir::{IntCc, Operand, ProgramBuilder};
+
+    fn sum_program(n: i64) -> trips_ir::Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        let body = f.block();
+        let done = f.block();
+        f.switch_to(e);
+        let acc = f.iconst(0);
+        let i = f.iconst(0);
+        f.jump(body);
+        f.switch_to(body);
+        f.ibin_to(trips_ir::Opcode::Add, acc, acc, i);
+        f.ibin_to(trips_ir::Opcode::Add, i, i, 1i64);
+        let c = f.icmp(IntCc::Lt, i, n);
+        f.branch(c, body, done);
+        f.switch_to(done);
+        f.ret(Some(Operand::reg(acc)));
+        f.finish();
+        pb.finish("main").unwrap()
+    }
+
+    #[test]
+    fn simulation_matches_functional_result() {
+        let p = sum_program(200);
+        let compiled = compile(&p, &CompileOptions::o1()).unwrap();
+        let r = simulate(&compiled, &TripsConfig::prototype(), 1 << 20).unwrap();
+        assert_eq!(r.return_value, (0..200).sum::<i64>() as u64);
+        assert!(r.stats.cycles > 0);
+        assert!(r.stats.blocks > 0);
+        assert!(r.stats.ipc_executed() > 0.0);
+    }
+
+    #[test]
+    fn unrolled_code_is_faster() {
+        let p = sum_program(4000);
+        let c0 = compile(&p, &CompileOptions::o0()).unwrap();
+        let c2 = compile(&p, &CompileOptions::o2()).unwrap();
+        let cfg = TripsConfig::prototype();
+        let r0 = simulate(&c0, &cfg, 1 << 20).unwrap();
+        let r2 = simulate(&c2, &cfg, 1 << 20).unwrap();
+        assert_eq!(r0.return_value, r2.return_value);
+        assert!(
+            r2.stats.cycles < r0.stats.cycles,
+            "O2 ({}) should beat O0 ({})",
+            r2.stats.cycles,
+            r0.stats.cycles
+        );
+    }
+
+    #[test]
+    fn window_occupancy_bounded() {
+        let p = sum_program(1000);
+        let compiled = compile(&p, &CompileOptions::o2()).unwrap();
+        let r = simulate(&compiled, &TripsConfig::prototype(), 1 << 20).unwrap();
+        let w = r.stats.avg_window_insts();
+        assert!(w > 0.0 && w <= 1024.0, "window occupancy {w} out of range");
+    }
+
+    #[test]
+    fn predictor_learns_loop_few_mispredicts() {
+        let p = sum_program(5000);
+        let compiled = compile(&p, &CompileOptions::o1()).unwrap();
+        let r = simulate(&compiled, &TripsConfig::prototype(), 1 << 20).unwrap();
+        let mr = r.stats.predictor.mispredicts() as f64 / r.stats.predictor.predictions.max(1) as f64;
+        assert!(mr < 0.10, "loop should predict well, missed {:.1}%", mr * 100.0);
+    }
+
+    #[test]
+    fn budget_limits_run() {
+        let p = sum_program(100_000);
+        let compiled = compile(&p, &CompileOptions::o0()).unwrap();
+        let err = simulate_with_budget(&compiled, &TripsConfig::prototype(), 1 << 20, 100);
+        assert!(err.is_err(), "budget should cut the run short");
+    }
+}

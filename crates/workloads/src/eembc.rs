@@ -1,0 +1,860 @@
+//! EEMBC-class embedded benchmarks (§3). The eight charted in Figures 3–5
+//! and 11 (`a2time` … `fft`) are marked `simple`; four more round out the
+//! suite means.
+
+use crate::helpers::{checksum_i64, for_loop, rand_f64s, rand_i64s};
+use crate::{Scale, Suite, Workload};
+use trips_ir::{IntCc, Operand, Program, ProgramBuilder};
+
+/// Registry entries.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload { name: "a2time", suite: Suite::Eembc, build: a2time, hand: None, simple: true },
+        Workload { name: "rspeed", suite: Suite::Eembc, build: rspeed, hand: None, simple: true },
+        Workload { name: "ospf", suite: Suite::Eembc, build: ospf, hand: None, simple: true },
+        Workload { name: "routelookup", suite: Suite::Eembc, build: routelookup, hand: None, simple: true },
+        Workload { name: "autocor", suite: Suite::Eembc, build: autocor, hand: None, simple: true },
+        Workload { name: "conven", suite: Suite::Eembc, build: conven, hand: None, simple: true },
+        Workload { name: "fbital", suite: Suite::Eembc, build: fbital, hand: None, simple: true },
+        Workload { name: "fft", suite: Suite::Eembc, build: fft, hand: None, simple: true },
+        Workload { name: "idctrn", suite: Suite::Eembc, build: idctrn, hand: None, simple: false },
+        Workload { name: "tblook", suite: Suite::Eembc, build: tblook, hand: None, simple: false },
+        Workload { name: "bitmnp", suite: Suite::Eembc, build: bitmnp, hand: None, simple: false },
+        Workload { name: "pntrch", suite: Suite::Eembc, build: pntrch, hand: None, simple: false },
+        Workload { name: "aifirf", suite: Suite::Eembc, build: aifirf, hand: None, simple: false },
+        Workload { name: "canrdr", suite: Suite::Eembc, build: canrdr, hand: None, simple: false },
+        Workload { name: "puwmod", suite: Suite::Eembc, build: puwmod, hand: None, simple: false },
+        Workload { name: "rgbcmy", suite: Suite::Eembc, build: rgbcmy, hand: None, simple: false },
+        Workload { name: "ttsprk", suite: Suite::Eembc, build: ttsprk, hand: None, simple: false },
+        Workload { name: "cacheb", suite: Suite::Eembc, build: cacheb, hand: None, simple: false },
+    ]
+}
+
+fn counts(scale: Scale, test: i64, reference: i64) -> i64 {
+    match scale {
+        Scale::Test => test,
+        Scale::Ref => reference,
+    }
+}
+
+/// `a2time`: angle-to-time conversion — the paper's predication showcase
+/// (nested if/then/else per tooth pulse).
+pub fn a2time(scale: Scale) -> Program {
+    let n = counts(scale, 64, 1024);
+    let mut pb = ProgramBuilder::new();
+    let pulses = pb.data_mut().alloc_i64s("pulses", &rand_i64s(51, n as usize, 1000));
+    let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    let last = f.iconst(500);
+    for_loop(&mut f, n, |f, i| {
+        let off = f.shl(i, 3i64);
+        let pp = f.add(pulses as i64, off);
+        let p = f.load_i64(pp, 0);
+        let delta = f.sub(p, last);
+        // Nested conditionals: classify the delta then compute the angle.
+        let neg = f.icmp(IntCc::Lt, delta, 0i64);
+        let negv = f.iun(trips_ir::Opcode::Neg, delta);
+        let mag = f.select(neg, negv, delta);
+        let small = f.icmp(IntCc::Lt, mag, 100i64);
+        let big = f.icmp(IntCc::Gt, mag, 600i64);
+        let s_angle = f.mul(mag, 7i64);
+        let b_clamp = f.iconst(4200);
+        let m_angle = f.mul(mag, 3i64);
+        let m2 = f.add(m_angle, 400i64);
+        let sel1 = f.select(small, s_angle, m2);
+        let angle = f.select(big, b_clamp, sel1);
+        let op = f.add(out as i64, off);
+        f.store_i64(angle, op, 0);
+        f.set(last, p);
+    });
+    let sum = checksum_i64(&mut f, out as i64, n);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `rspeed`: road-speed computation — serial divides over pulse deltas.
+pub fn rspeed(scale: Scale) -> Program {
+    let n = counts(scale, 48, 768);
+    let mut pb = ProgramBuilder::new();
+    let deltas = pb.data_mut().alloc_i64s("deltas", &rand_i64s(53, n as usize, 5000).iter().map(|d| d + 16).collect::<Vec<_>>());
+    let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    let avg = f.iconst(1000);
+    for_loop(&mut f, n, |f, i| {
+        let off = f.shl(i, 3i64);
+        let dp = f.add(deltas as i64, off);
+        let d = f.load_i64(dp, 0);
+        // speed = K / delta; exponential moving average (serial chain).
+        let speed = f.div(3_600_000i64, d);
+        let a3 = f.mul(avg, 3i64);
+        let s4 = f.add(a3, speed);
+        let navg = f.div(s4, 4i64);
+        f.set(avg, navg);
+        let op = f.add(out as i64, off);
+        f.store_i64(navg, op, 0);
+    });
+    let sum = checksum_i64(&mut f, out as i64, n);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `ospf`: Dijkstra shortest-path over a dense adjacency matrix.
+pub fn ospf(scale: Scale) -> Program {
+    let n = counts(scale, 12, 24);
+    let mut pb = ProgramBuilder::new();
+    let mut adj = rand_i64s(57, (n * n) as usize, 90);
+    for v in adj.iter_mut() {
+        *v += 10;
+    }
+    let adj_a = pb.data_mut().alloc_i64s("adj", &adj);
+    let dist = pb.data_mut().alloc_zeroed("dist", n as u64 * 8, 8);
+    let seen = pb.data_mut().alloc_zeroed("seen", n as u64 * 8, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    // init dist = INF except node 0.
+    for_loop(&mut f, n, |f, i| {
+        let off = f.shl(i, 3i64);
+        let dp = f.add(dist as i64, off);
+        let is0 = f.icmp(IntCc::Eq, i, 0i64);
+        let v = f.select(is0, Operand::imm(0), Operand::imm(1 << 30));
+        f.store_i64(v, dp, 0);
+    });
+    for_loop(&mut f, n, |f, _round| {
+        // find unseen min
+        let best = f.iconst(1 << 30);
+        let bi = f.iconst(0);
+        for_loop(f, n, |f, i| {
+            let off = f.shl(i, 3i64);
+            let sp = f.add(seen as i64, off);
+            let s = f.load_i64(sp, 0);
+            let dp = f.add(dist as i64, off);
+            let d = f.load_i64(dp, 0);
+            let unseen = f.icmp(IntCc::Eq, s, 0i64);
+            let closer = f.icmp(IntCc::Lt, d, best);
+            let both = f.and(unseen, closer);
+            let nb = f.select(both, d, best);
+            let nbi = f.select(both, i, bi);
+            f.set(best, nb);
+            f.set(bi, nbi);
+        });
+        let boff = f.shl(bi, 3i64);
+        let bsp = f.add(seen as i64, boff);
+        f.store_i64(1i64, bsp, 0);
+        // relax neighbours
+        for_loop(f, n, |f, j| {
+            let row = f.mul(bi, n);
+            let idx = f.add(row, j);
+            let aoff = f.shl(idx, 3i64);
+            let ap = f.add(adj_a as i64, aoff);
+            let w = f.load_i64(ap, 0);
+            let cand = f.add(best, w);
+            let joff = f.shl(j, 3i64);
+            let jdp = f.add(dist as i64, joff);
+            let dj = f.load_i64(jdp, 0);
+            let better = f.icmp(IntCc::Lt, cand, dj);
+            let nd = f.select(better, cand, dj);
+            f.store_i64(nd, jdp, 0);
+        });
+    });
+    let sum = checksum_i64(&mut f, dist as i64, n);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `routelookup`: serial radix-trie walk per packet (the paper's example of
+/// an intrinsically serial benchmark).
+pub fn routelookup(scale: Scale) -> Program {
+    let packets = counts(scale, 48, 512);
+    let nodes = 256i64;
+    let mut pb = ProgramBuilder::new();
+    // Trie: node i has children at pseudo-random indices (always > i to
+    // bound walks) and a route value.
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    let mut route = Vec::new();
+    let rl = rand_i64s(61, nodes as usize, 97);
+    let rr = rand_i64s(62, nodes as usize, 89);
+    for i in 0..nodes {
+        let l = i + 1 + rl[i as usize] % 7;
+        let r = i + 1 + rr[i as usize] % 5;
+        left.push(if l < nodes { l } else { 0 });
+        right.push(if r < nodes { r } else { 0 });
+        route.push(i * 3 + 7);
+    }
+    let left_a = pb.data_mut().alloc_i64s("left", &left);
+    let right_a = pb.data_mut().alloc_i64s("right", &right);
+    let route_a = pb.data_mut().alloc_i64s("route", &route);
+    let addrs = pb.data_mut().alloc_i64s("addrs", &rand_i64s(63, packets as usize, 1 << 30));
+    let out = pb.data_mut().alloc_zeroed("out", packets as u64 * 8, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    for_loop(&mut f, packets, |f, p| {
+        let poff = f.shl(p, 3i64);
+        let ap = f.add(addrs as i64, poff);
+        let addr = f.load_i64(ap, 0);
+        let node = f.iconst(0);
+        // Walk 16 levels of the trie, steering by address bits.
+        for_loop(f, 16i64, |f, lvl| {
+            let sh = f.shr(addr, lvl);
+            let bit = f.and(sh, 1i64);
+            let noff = f.shl(node, 3i64);
+            let lp = f.add(left_a as i64, noff);
+            let l = f.load_i64(lp, 0);
+            let rp = f.add(right_a as i64, noff);
+            let r = f.load_i64(rp, 0);
+            let nxt = f.select(bit, r, l);
+            f.set(node, nxt);
+        });
+        let noff = f.shl(node, 3i64);
+        let rp = f.add(route_a as i64, noff);
+        let rt = f.load_i64(rp, 0);
+        let op = f.add(out as i64, poff);
+        f.store_i64(rt, op, 0);
+    });
+    let sum = checksum_i64(&mut f, out as i64, packets);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `autocor`: fixed-point autocorrelation.
+pub fn autocor(scale: Scale) -> Program {
+    let n = counts(scale, 64, 512);
+    let lags = 16i64;
+    let mut pb = ProgramBuilder::new();
+    let sig = pb.data_mut().alloc_i64s("sig", &rand_i64s(65, (n + lags) as usize, 1 << 12));
+    let out = pb.data_mut().alloc_zeroed("out", lags as u64 * 8, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    for_loop(&mut f, lags, |f, k| {
+        let acc = f.iconst(0);
+        for_loop(f, n, |f, i| {
+            let o1 = f.shl(i, 3i64);
+            let p1 = f.add(sig as i64, o1);
+            let v1 = f.load_i64(p1, 0);
+            let ik = f.add(i, k);
+            let o2 = f.shl(ik, 3i64);
+            let p2 = f.add(sig as i64, o2);
+            let v2 = f.load_i64(p2, 0);
+            let prod = f.mul(v1, v2);
+            f.ibin_to(trips_ir::Opcode::Add, acc, acc, prod);
+        });
+        let ko = f.shl(k, 3i64);
+        let kp = f.add(out as i64, ko);
+        f.store_i64(acc, kp, 0);
+    });
+    let sum = checksum_i64(&mut f, out as i64, lags);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `conven`: EEMBC convolutional encoder (constraint length 5).
+pub fn conven(scale: Scale) -> Program {
+    let nbits = counts(scale, 96, 2048);
+    let mut pb = ProgramBuilder::new();
+    let input = pb.data_mut().alloc_i64s("bits", &rand_i64s(67, nbits as usize, 2));
+    let out = pb.data_mut().alloc_zeroed("out", nbits as u64 * 8, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    let state = f.iconst(0);
+    for_loop(&mut f, nbits, |f, i| {
+        let off = f.shl(i, 3i64);
+        let ip = f.add(input as i64, off);
+        let bit = f.load_i64(ip, 0);
+        let s1 = f.shl(state, 1i64);
+        let s2 = f.or(s1, bit);
+        let s3 = f.and(s2, 0x1fi64);
+        f.set(state, s3);
+        let parity = |f: &mut trips_ir::FuncBuilder<'_>, v: trips_ir::Vreg| {
+            let a = f.shr(v, 2i64);
+            let b = f.xor(v, a);
+            let c = f.shr(b, 1i64);
+            let d = f.xor(b, c);
+            f.and(d, 1i64)
+        };
+        let g1 = f.and(state, 0o27i64);
+        let o1 = parity(f, g1);
+        let g2 = f.and(state, 0o31i64);
+        let o2 = parity(f, g2);
+        let sh = f.shl(o1, 1i64);
+        let sym = f.or(sh, o2);
+        let op = f.add(out as i64, off);
+        f.store_i64(sym, op, 0);
+    });
+    let sum = checksum_i64(&mut f, out as i64, nbits);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `fbital`: bit-allocation waterfilling over channel SNRs.
+pub fn fbital(scale: Scale) -> Program {
+    let channels = counts(scale, 32, 256);
+    let rounds = 12i64;
+    let mut pb = ProgramBuilder::new();
+    let snr = pb.data_mut().alloc_i64s("snr", &rand_i64s(71, channels as usize, 64));
+    let bits = pb.data_mut().alloc_zeroed("bits", channels as u64 * 8, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    let threshold = f.iconst(32);
+    for_loop(&mut f, rounds, |f, _| {
+        let total = f.iconst(0);
+        for_loop(f, channels, |f, c| {
+            let off = f.shl(c, 3i64);
+            let sp = f.add(snr as i64, off);
+            let s = f.load_i64(sp, 0);
+            let above = f.icmp(IntCc::Gt, s, threshold);
+            let margin = f.sub(s, threshold);
+            let alloc = f.shr(margin, 3i64);
+            let alloc1 = f.add(alloc, 1i64);
+            let b = f.select(above, alloc1, Operand::imm(0));
+            let bp = f.add(bits as i64, off);
+            f.store_i64(b, bp, 0);
+            f.ibin_to(trips_ir::Opcode::Add, total, total, b);
+        });
+        // Adjust the waterline toward a budget of 4*channels bits.
+        let budget = f.iconst(channels * 4);
+        let over = f.icmp(IntCc::Gt, total, budget);
+        let up = f.add(threshold, 1i64);
+        let down = f.sub(threshold, 1i64);
+        let nt = f.select(over, up, down);
+        f.set(threshold, nt);
+    });
+    let sum = checksum_i64(&mut f, bits as i64, channels);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `fft`: iterative radix-2 FFT over f64 pairs (bit-reversal + butterflies).
+pub fn fft(scale: Scale) -> Program {
+    let logn: i64 = match scale {
+        Scale::Test => 4,
+        Scale::Ref => 7,
+    };
+    let n = 1i64 << logn;
+    let mut pb = ProgramBuilder::new();
+    let re = pb.data_mut().alloc_f64s("re", &rand_f64s(73, n as usize));
+    let im = pb.data_mut().alloc_f64s("im", &rand_f64s(74, n as usize));
+    // Twiddle tables.
+    let mut wr = Vec::new();
+    let mut wi = Vec::new();
+    for k in 0..n / 2 {
+        let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+        wr.push(ang.cos());
+        wi.push(ang.sin());
+    }
+    let wr_a = pb.data_mut().alloc_f64s("wr", &wr);
+    let wi_a = pb.data_mut().alloc_f64s("wi", &wi);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    // Bit reversal permutation.
+    for_loop(&mut f, n, |f, i| {
+        let rev = f.iconst(0);
+        for_loop(f, logn, |f, b| {
+            let sh = f.shr(i, b);
+            let bit = f.and(sh, 1i64);
+            let r1 = f.shl(rev, 1i64);
+            let r2 = f.or(r1, bit);
+            f.set(rev, r2);
+        });
+        let swap = f.icmp(IntCc::Lt, i, rev);
+        let io = f.shl(i, 3i64);
+        let ro = f.shl(rev, 3i64);
+        for base in [re, im] {
+            let pi_ = f.add(base as i64, io);
+            let pr = f.add(base as i64, ro);
+            let vi = f.load_f64(pi_, 0);
+            let vr = f.load_f64(pr, 0);
+            let ni = f.select(swap, vr, vi);
+            let nr = f.select(swap, vi, vr);
+            f.store_f64(ni, pi_, 0);
+            f.store_f64(nr, pr, 0);
+        }
+    });
+    // Butterfly stages.
+    for_loop(&mut f, logn, |f, s| {
+        let m = f.shl(1i64, s);
+        let m2 = f.shl(m, 1i64);
+        let half = f.div(n, m2);
+        let groups = f.iconst(0);
+        let _ = groups;
+        for_loop(f, n / 2, |f, pair| {
+            // pair enumerates all butterflies in this stage.
+            let j = f.rem(pair, m);
+            let g = f.div(pair, m);
+            let base = f.mul(g, m2);
+            let top = f.add(base, j);
+            let bot = f.add(top, m);
+            let tw = f.mul(j, half);
+            let to = f.shl(top, 3i64);
+            let bo = f.shl(bot, 3i64);
+            let wo = f.shl(tw, 3i64);
+            let tr_p = f.add(re as i64, to);
+            let ti_p = f.add(im as i64, to);
+            let br_p = f.add(re as i64, bo);
+            let bi_p = f.add(im as i64, bo);
+            let wr_p = f.add(wr_a as i64, wo);
+            let wi_p = f.add(wi_a as i64, wo);
+            let tr = f.load_f64(tr_p, 0);
+            let ti = f.load_f64(ti_p, 0);
+            let br = f.load_f64(br_p, 0);
+            let bi = f.load_f64(bi_p, 0);
+            let wrv = f.load_f64(wr_p, 0);
+            let wiv = f.load_f64(wi_p, 0);
+            // (xr, xi) = w * bottom
+            let a1 = f.fmul(br, wrv);
+            let a2 = f.fmul(bi, wiv);
+            let xr = f.fsub(a1, a2);
+            let b1 = f.fmul(br, wiv);
+            let b2 = f.fmul(bi, wrv);
+            let xi = f.fadd(b1, b2);
+            let nr1 = f.fadd(tr, xr);
+            let ni1 = f.fadd(ti, xi);
+            let nr2 = f.fsub(tr, xr);
+            let ni2 = f.fsub(ti, xi);
+            f.store_f64(nr1, tr_p, 0);
+            f.store_f64(ni1, ti_p, 0);
+            f.store_f64(nr2, br_p, 0);
+            f.store_f64(ni2, bi_p, 0);
+        });
+    });
+    let s1 = checksum_i64(&mut f, re as i64, n);
+    let s2 = checksum_i64(&mut f, im as i64, n);
+    let sum = f.xor(s1, s2);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `idctrn`: 8×8 integer inverse DCT (row/column passes).
+pub fn idctrn(scale: Scale) -> Program {
+    let blocks = counts(scale, 4, 48);
+    let mut pb = ProgramBuilder::new();
+    let coef = pb.data_mut().alloc_i64s("coef", &rand_i64s(81, (blocks * 64) as usize, 512));
+    let basis = pb.data_mut().alloc_i64s("basis", &rand_i64s(82, 64, 256));
+    let out = pb.data_mut().alloc_zeroed("out", (blocks * 64 * 8) as u64, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    for_loop(&mut f, blocks, |f, b| {
+        let boff64 = f.mul(b, 64i64);
+        for_loop(f, 8i64, |f, r| {
+            for_loop(f, 8i64, |f, c| {
+                let acc = f.iconst(0);
+                for_loop(f, 8i64, |f, k| {
+                    let r8 = f.shl(r, 3i64);
+                    let cidx0 = f.add(r8, k);
+                    let cidx = f.add(boff64, cidx0);
+                    let co = f.shl(cidx, 3i64);
+                    let cp = f.add(coef as i64, co);
+                    let cv = f.load_i64(cp, 0);
+                    let k8 = f.shl(k, 3i64);
+                    let bidx = f.add(k8, c);
+                    let bo = f.shl(bidx, 3i64);
+                    let bp = f.add(basis as i64, bo);
+                    let bvv = f.load_i64(bp, 0);
+                    let prod = f.mul(cv, bvv);
+                    f.ibin_to(trips_ir::Opcode::Add, acc, acc, prod);
+                });
+                let scaled = f.sra(acc, 8i64);
+                let r8 = f.shl(r, 3i64);
+                let oidx0 = f.add(r8, c);
+                let oidx = f.add(boff64, oidx0);
+                let oo = f.shl(oidx, 3i64);
+                let op = f.add(out as i64, oo);
+                f.store_i64(scaled, op, 0);
+            });
+        });
+    });
+    let sum = checksum_i64(&mut f, out as i64, blocks * 64);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `tblook`: table lookup with linear interpolation.
+pub fn tblook(scale: Scale) -> Program {
+    let n = counts(scale, 64, 1024);
+    let tbl_n = 64i64;
+    let mut pb = ProgramBuilder::new();
+    let mut tbl = rand_i64s(83, tbl_n as usize, 1000);
+    tbl.sort_unstable();
+    let tbl_a = pb.data_mut().alloc_i64s("tbl", &tbl);
+    let xs = pb.data_mut().alloc_i64s("xs", &rand_i64s(84, n as usize, tbl_n * 16));
+    let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    for_loop(&mut f, n, |f, i| {
+        let off = f.shl(i, 3i64);
+        let xp = f.add(xs as i64, off);
+        let x = f.load_i64(xp, 0);
+        let idx = f.div(x, 16i64);
+        let idx_c = f.and(idx, tbl_n - 2);
+        let frac = f.and(x, 15i64);
+        let to = f.shl(idx_c, 3i64);
+        let tp = f.add(tbl_a as i64, to);
+        let y0 = f.load_i64(tp, 0);
+        let y1 = f.load_i64(tp, 8);
+        let dy = f.sub(y1, y0);
+        let num = f.mul(dy, frac);
+        let interp = f.sra(num, 4i64);
+        let y = f.add(y0, interp);
+        let op = f.add(out as i64, off);
+        f.store_i64(y, op, 0);
+    });
+    let sum = checksum_i64(&mut f, out as i64, n);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `bitmnp`: bit-manipulation sweep (reverses, rotates, counts).
+pub fn bitmnp(scale: Scale) -> Program {
+    let n = counts(scale, 64, 1024);
+    let mut pb = ProgramBuilder::new();
+    let xs = pb.data_mut().alloc_i64s("xs", &rand_i64s(85, n as usize, 1 << 30));
+    let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    for_loop(&mut f, n, |f, i| {
+        let off = f.shl(i, 3i64);
+        let xp = f.add(xs as i64, off);
+        let x = f.load_i64(xp, 0);
+        // popcount via SWAR
+        let m1 = f.and(x, 0x5555_5555i64);
+        let s1 = f.shr(x, 1i64);
+        let m2 = f.and(s1, 0x5555_5555i64);
+        let c1 = f.add(m1, m2);
+        let a1 = f.and(c1, 0x3333_3333i64);
+        let s2 = f.shr(c1, 2i64);
+        let a2 = f.and(s2, 0x3333_3333i64);
+        let c2 = f.add(a1, a2);
+        let a3 = f.and(c2, 0x0f0f_0f0fi64);
+        let s3 = f.shr(c2, 4i64);
+        let a4 = f.and(s3, 0x0f0f_0f0fi64);
+        let c3 = f.add(a3, a4);
+        let m = f.mul(c3, 0x0101_0101i64);
+        let pc = f.shr(m, 24i64);
+        let pcm = f.and(pc, 0xffi64);
+        // rotate by popcount
+        let sh = f.and(pcm, 31i64);
+        let lo = f.shr(x, sh);
+        let inv = f.sub(32i64, sh);
+        let invm = f.and(inv, 31i64);
+        let hi = f.shl(x, invm);
+        let rot = f.or(lo, hi);
+        let r32 = f.and(rot, 0xffff_ffffi64);
+        let op = f.add(out as i64, off);
+        f.store_i64(r32, op, 0);
+    });
+    let sum = checksum_i64(&mut f, out as i64, n);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `pntrch`: pointer chasing through a shuffled linked list.
+pub fn pntrch(scale: Scale) -> Program {
+    let n = counts(scale, 64, 512);
+    let hops = counts(scale, 128, 4096);
+    let mut pb = ProgramBuilder::new();
+    // next[i] is a permutation cycle.
+    let perm: Vec<i64> = {
+        let r = rand_i64s(87, n as usize, 1 << 20);
+        let mut idx: Vec<usize> = (0..n as usize).collect();
+        idx.sort_by_key(|&i| r[i]);
+        let mut next = vec![0i64; n as usize];
+        for w in 0..idx.len() {
+            next[idx[w]] = idx[(w + 1) % idx.len()] as i64;
+        }
+        next
+    };
+    let next_a = pb.data_mut().alloc_i64s("next", &perm);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    let cur = f.iconst(0);
+    let acc = f.iconst(0);
+    for_loop(&mut f, hops, |f, _| {
+        let off = f.shl(cur, 3i64);
+        let p = f.add(next_a as i64, off);
+        let nxt = f.load_i64(p, 0);
+        f.ibin_to(trips_ir::Opcode::Add, acc, acc, nxt);
+        f.set(cur, nxt);
+    });
+    let mix = f.shl(acc, 1i64);
+    let r = f.or(mix, 1i64);
+    f.ret(Some(Operand::reg(r)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+
+/// `aifirf`: fixed-point FIR filter over automotive sensor samples.
+pub fn aifirf(scale: Scale) -> Program {
+    let n = counts(scale, 64, 1024);
+    let taps = 12i64;
+    let mut pb = ProgramBuilder::new();
+    let sig = pb.data_mut().alloc_i64s("sig", &rand_i64s(301, (n + taps) as usize, 1 << 12));
+    let coef = pb.data_mut().alloc_i64s("coef", &rand_i64s(302, taps as usize, 256));
+    let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    for_loop(&mut f, n, |f, i| {
+        let acc = f.iconst(0);
+        for_loop(f, taps, |f, k| {
+            let idx = f.add(i, k);
+            let so = f.shl(idx, 3i64);
+            let sp = f.add(sig as i64, so);
+            let sv = f.load_i64(sp, 0);
+            let co = f.shl(k, 3i64);
+            let cp = f.add(coef as i64, co);
+            let cv = f.load_i64(cp, 0);
+            let prod = f.mul(sv, cv);
+            f.ibin_to(trips_ir::Opcode::Add, acc, acc, prod);
+        });
+        let scaled = f.sra(acc, 8i64);
+        let oo = f.shl(i, 3i64);
+        let op = f.add(out as i64, oo);
+        f.store_i64(scaled, op, 0);
+    });
+    let sum = checksum_i64(&mut f, out as i64, n);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `canrdr`: CAN remote-data-request state machine over a message stream.
+pub fn canrdr(scale: Scale) -> Program {
+    let n = counts(scale, 96, 1536);
+    let mut pb = ProgramBuilder::new();
+    let msgs = pb.data_mut().alloc_i64s("msgs", &rand_i64s(303, n as usize, 1 << 16));
+    let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    let state = f.iconst(0);
+    let errors = f.iconst(0);
+    for_loop(&mut f, n, |f, i| {
+        let off = f.shl(i, 3i64);
+        let mp = f.add(msgs as i64, off);
+        let m = f.load_i64(mp, 0);
+        let id = f.shr(m, 5i64);
+        let idm = f.and(id, 0x7ffi64);
+        let rtr = f.and(m, 1i64);
+        let dlc = f.shr(m, 1i64);
+        let dlcm = f.and(dlc, 0xfi64);
+        // State machine: idle(0) -> arb(1) -> data(2) -> ack(0), with error
+        // transitions on malformed lengths.
+        let bad = f.icmp(IntCc::Gt, dlcm, 8i64);
+        let e1 = f.add(errors, bad);
+        f.set(errors, e1);
+        let s1 = f.add(state, 1i64);
+        let s2 = f.rem(s1, 3i64);
+        let reset = f.and(rtr, bad);
+        let ns = f.select(reset, Operand::imm(0), s2);
+        f.set(state, ns);
+        let tag1 = f.shl(idm, 3i64);
+        let tag2 = f.or(tag1, ns);
+        let op = f.add(out as i64, off);
+        f.store_i64(tag2, op, 0);
+    });
+    let sum = checksum_i64(&mut f, out as i64, n);
+    let fin = f.xor(sum, errors);
+    let fin2 = f.or(fin, 1i64);
+    f.ret(Some(Operand::reg(fin2)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `puwmod`: pulse-width modulation duty-cycle computation.
+pub fn puwmod(scale: Scale) -> Program {
+    let n = counts(scale, 64, 1024);
+    let mut pb = ProgramBuilder::new();
+    let targets = pb.data_mut().alloc_i64s("targets", &rand_i64s(305, n as usize, 4096));
+    let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    let duty = f.iconst(2048);
+    for_loop(&mut f, n, |f, i| {
+        let off = f.shl(i, 3i64);
+        let tp = f.add(targets as i64, off);
+        let t = f.load_i64(tp, 0);
+        // Proportional controller with saturation.
+        let err = f.sub(t, duty);
+        let step = f.sra(err, 2i64);
+        let nd = f.add(duty, step);
+        let lo = f.icmp(IntCc::Lt, nd, 0i64);
+        let c0 = f.select(lo, Operand::imm(0), nd);
+        let hi = f.icmp(IntCc::Gt, c0, 4095i64);
+        let c1 = f.select(hi, Operand::imm(4095), c0);
+        f.set(duty, c1);
+        let op = f.add(out as i64, off);
+        f.store_i64(c1, op, 0);
+    });
+    let sum = checksum_i64(&mut f, out as i64, n);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `rgbcmy`: RGB→CMYK color-space conversion over a pixel stream.
+pub fn rgbcmy(scale: Scale) -> Program {
+    let n = counts(scale, 64, 1024);
+    let mut pb = ProgramBuilder::new();
+    let pix = pb.data_mut().alloc_i64s("pix", &rand_i64s(307, n as usize, 1 << 24));
+    let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    for_loop(&mut f, n, |f, i| {
+        let off = f.shl(i, 3i64);
+        let pp = f.add(pix as i64, off);
+        let p = f.load_i64(pp, 0);
+        let r = f.and(p, 255i64);
+        let g1 = f.shr(p, 8i64);
+        let g = f.and(g1, 255i64);
+        let b1 = f.shr(p, 16i64);
+        let b = f.and(b1, 255i64);
+        let c = f.sub(255i64, r);
+        let m = f.sub(255i64, g);
+        let y = f.sub(255i64, b);
+        // k = min(c, m, y)
+        let cm = f.icmp(IntCc::Lt, c, m);
+        let k0 = f.select(cm, c, m);
+        let ky = f.icmp(IntCc::Lt, k0, y);
+        let k = f.select(ky, k0, y);
+        let c2 = f.sub(c, k);
+        let m2 = f.sub(m, k);
+        let y2 = f.sub(y, k);
+        let w1 = f.shl(c2, 24i64);
+        let w2 = f.shl(m2, 16i64);
+        let w3 = f.shl(y2, 8i64);
+        let o1 = f.or(w1, w2);
+        let o2 = f.or(w3, k);
+        let cmyk = f.or(o1, o2);
+        let op = f.add(out as i64, off);
+        f.store_i64(cmyk, op, 0);
+    });
+    let sum = checksum_i64(&mut f, out as i64, n);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `ttsprk`: spark-timing lookup with sensor correction terms.
+pub fn ttsprk(scale: Scale) -> Program {
+    let n = counts(scale, 64, 1024);
+    let tbl_n = 32i64;
+    let mut pb = ProgramBuilder::new();
+    let tbl = pb.data_mut().alloc_i64s("tbl", &rand_i64s(309, tbl_n as usize, 60));
+    let rpm = pb.data_mut().alloc_i64s("rpm", &rand_i64s(310, n as usize, 8000));
+    let temp = pb.data_mut().alloc_i64s("temp", &rand_i64s(311, n as usize, 120));
+    let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    for_loop(&mut f, n, |f, i| {
+        let off = f.shl(i, 3i64);
+        let rp = f.add(rpm as i64, off);
+        let r = f.load_i64(rp, 0);
+        let tp = f.add(temp as i64, off);
+        let t = f.load_i64(tp, 0);
+        let idx = f.div(r, 250i64);
+        let idxm = f.and(idx, tbl_n - 1);
+        let to = f.shl(idxm, 3i64);
+        let bp = f.add(tbl as i64, to);
+        let base = f.load_i64(bp, 0);
+        // Temperature correction: retard when hot.
+        let hot = f.icmp(IntCc::Gt, t, 95i64);
+        let cold = f.icmp(IntCc::Lt, t, 20i64);
+        let retard = f.select(hot, Operand::imm(-5), Operand::imm(0));
+        let advance = f.select(cold, Operand::imm(3), Operand::imm(0));
+        let a1 = f.add(base, retard);
+        let a2 = f.add(a1, advance);
+        let op = f.add(out as i64, off);
+        f.store_i64(a2, op, 0);
+    });
+    let sum = checksum_i64(&mut f, out as i64, n);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `cacheb`: cache-buster — strided walks over a working set larger than
+/// the L1 (stress test for the banked memory system).
+pub fn cacheb(scale: Scale) -> Program {
+    let words = counts(scale, 512, 8192); // 64 KB at Ref — 2x the L1
+    let rounds = counts(scale, 2, 6);
+    let stride = 9i64; // co-prime with the bank count
+    let mut pb = ProgramBuilder::new();
+    let buf = pb.data_mut().alloc_i64s("buf", &rand_i64s(313, words as usize, 1 << 20));
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    let acc = f.iconst(0);
+    for_loop(&mut f, rounds, |f, _| {
+        let pos = f.iconst(0);
+        for_loop(f, words, |f, _| {
+            let off = f.shl(pos, 3i64);
+            let p = f.add(buf as i64, off);
+            let v = f.load_i64(p, 0);
+            f.ibin_to(trips_ir::Opcode::Add, acc, acc, v);
+            let np0 = f.add(pos, stride);
+            let big = f.icmp(IntCc::Ge, np0, words);
+            let wrapped = f.sub(np0, words);
+            let np = f.select(big, wrapped, np0);
+            f.set(pos, np);
+        });
+    });
+    let fin = f.or(acc, 1i64);
+    f.ret(Some(Operand::reg(fin)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ospf_distances_are_finite() {
+        let p = ospf(Scale::Test);
+        let r = trips_ir::interp::run(&p, 1 << 22).unwrap();
+        assert_ne!(r.return_value, 0);
+    }
+
+    #[test]
+    fn fft_energy_preserved_in_checksum() {
+        let p = fft(Scale::Test);
+        let r = trips_ir::interp::run(&p, 1 << 22).unwrap();
+        assert_ne!(r.return_value, 0);
+    }
+
+    #[test]
+    fn pntrch_is_serial() {
+        // Pointer chase must visit every node (permutation cycle).
+        let p = pntrch(Scale::Test);
+        let r = trips_ir::interp::run(&p, 1 << 22).unwrap();
+        assert_ne!(r.return_value, 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Builder helpers shared by all workloads.
+
+use trips_ir::{FuncBuilder, IntCc, Operand, Vreg};
+
+/// Emits the canonical counted loop `for i in 0..n { body }` (the shape the
+/// unroller recognizes). The loop body runs at least once, so `n ≥ 1` is
+/// required. Returns the induction variable (valid after the loop: == n).
+pub fn for_loop(
+    f: &mut FuncBuilder<'_>,
+    n: impl Into<Operand>,
+    body: impl FnOnce(&mut FuncBuilder<'_>, Vreg),
+) -> Vreg {
+    let n = n.into();
+    let body_bb = f.block();
+    let exit_bb = f.block();
+    let i = f.iconst(0);
+    f.jump(body_bb);
+    f.switch_to(body_bb);
+    body(f, i);
+    f.ibin_to(trips_ir::Opcode::Add, i, i, 1i64);
+    let c = f.icmp(IntCc::Lt, i, n);
+    f.branch(c, body_bb, exit_bb);
+    f.switch_to(exit_bb);
+    i
+}
+
+/// Sums 64-bit words of `[addr, addr + 8n)` into a checksum value (xor-add
+/// mix so ordering matters).
+pub fn checksum_i64(f: &mut FuncBuilder<'_>, addr: impl Into<Operand>, n: i64) -> Vreg {
+    let addr = addr.into();
+    let acc = f.iconst(0);
+    for_loop(f, n, |f, i| {
+        let off = f.shl(i, 3i64);
+        let p = f.add(addr, off);
+        let v = f.load_i64(p, 0);
+        let rot = f.shl(acc, 1i64);
+        let hi = f.shr(acc, 63i64);
+        let mixed = f.or(rot, hi);
+        let x = f.xor(mixed, v);
+        f.set(acc, x);
+    });
+    acc
+}
+
+/// Deterministic pseudo-random i64s for workload inputs.
+pub fn rand_i64s(seed: u64, n: usize, modulo: i64) -> Vec<i64> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 16) as i64).rem_euclid(modulo.max(1))
+        })
+        .collect()
+}
+
+/// Deterministic pseudo-random f64s in [0, 1).
+pub fn rand_f64s(seed: u64, n: usize) -> Vec<f64> {
+    rand_i64s(seed, n, 1 << 30).into_iter().map(|v| v as f64 / (1u64 << 30) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_ir::ProgramBuilder;
+
+    #[test]
+    fn for_loop_counts() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        f.switch_to(e);
+        let acc = f.iconst(0);
+        for_loop(&mut f, 10i64, |f, i| {
+            f.ibin_to(trips_ir::Opcode::Add, acc, acc, i);
+        });
+        f.ret(Some(Operand::reg(acc)));
+        f.finish();
+        let p = pb.finish("main").unwrap();
+        assert_eq!(trips_ir::interp::run(&p, 1 << 20).unwrap().return_value, 45);
+    }
+
+    #[test]
+    fn checksum_depends_on_order() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.data_mut().alloc_i64s("a", &[1, 2, 3]);
+        let b = pb.data_mut().alloc_i64s("b", &[3, 2, 1]);
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        f.switch_to(e);
+        let ca = checksum_i64(&mut f, a as i64, 3);
+        let cb = checksum_i64(&mut f, b as i64, 3);
+        let d = f.sub(ca, cb);
+        f.ret(Some(Operand::reg(d)));
+        f.finish();
+        let p = pb.finish("main").unwrap();
+        assert_ne!(trips_ir::interp::run(&p, 1 << 20).unwrap().return_value, 0);
+    }
+
+    #[test]
+    fn rand_streams_are_deterministic() {
+        assert_eq!(rand_i64s(7, 4, 100), rand_i64s(7, 4, 100));
+        assert_ne!(rand_i64s(7, 4, 100), rand_i64s(8, 4, 100));
+        for v in rand_f64s(3, 16) {
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

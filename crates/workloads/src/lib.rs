@@ -1,0 +1,173 @@
+//! # trips-workloads
+//!
+//! Every benchmark of the paper's Table 2, written as IR builders so the
+//! same program feeds the TRIPS compiler and the RISC (PowerPC-like)
+//! baseline:
+//!
+//! * **Kernels** — `ct` (matrix transpose), `conv` (convolution), `vadd`
+//!   (vector add), `matrix` (matrix multiply);
+//! * **VersaBench** — `fmradio`, `802.11a` (convolutional encoder),
+//!   `8b10b` (line-code encoder);
+//! * **EEMBC-class embedded codes** — `a2time`, `rspeed`, `ospf`,
+//!   `routelookup`, `autocor`, `conven`, `fbital`, `fft`, `idctrn`,
+//!   `tblook`, `bitmnp`, `pntrch`;
+//! * **SPEC CPU2000 proxies** — reduced kernels reproducing each
+//!   benchmark's dominant computational character (see DESIGN.md's
+//!   substitution table): 10 integer, 8 floating point.
+//!
+//! Each workload returns an IR-computed checksum of its outputs, so any
+//! miscompilation changes the observable result; integration tests demand
+//! interpreter/RISC/TRIPS agreement on every one.
+
+pub mod eembc;
+pub mod helpers;
+pub mod kernels;
+pub mod specfp;
+pub mod specint;
+pub mod versabench;
+
+use trips_ir::Program;
+
+/// Benchmark suite labels (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Hand-studied scientific kernels.
+    Kernels,
+    /// VersaBench bit/stream subset.
+    Versa,
+    /// EEMBC-class embedded programs.
+    Eembc,
+    /// SPEC CPU2000 integer proxies.
+    SpecInt,
+    /// SPEC CPU2000 floating-point proxies.
+    SpecFp,
+}
+
+impl Suite {
+    /// Display name used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::Kernels => "Kernels",
+            Suite::Versa => "VersaBench",
+            Suite::Eembc => "EEMBC",
+            Suite::SpecInt => "SPEC INT",
+            Suite::SpecFp => "SPEC FP",
+        }
+    }
+}
+
+/// Problem-size selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny inputs for unit tests (sub-second with all simulators).
+    Test,
+    /// The size used by the experiment harness (SimPoint-style region).
+    Ref,
+}
+
+/// A registered benchmark.
+#[derive(Clone)]
+pub struct Workload {
+    /// Paper name (e.g. `a2time`).
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: Suite,
+    /// Builds the (compiler-input) program.
+    pub build: fn(Scale) -> Program,
+    /// Optional hand-optimized variant (different IR, mirroring the paper's
+    /// hand-restructured sources). `None` means the hand build reuses the
+    /// compiled IR with the `Hand` optimization preset.
+    pub hand: Option<fn(Scale) -> Program>,
+    /// Member of the paper's 15 hand-optimized "simple benchmarks" set.
+    pub simple: bool,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Workload({})", self.name)
+    }
+}
+
+impl Workload {
+    /// Builds the program for the hand-optimized study (falls back to the
+    /// standard IR when no hand variant exists).
+    pub fn build_hand(&self, scale: Scale) -> Program {
+        match self.hand {
+            Some(h) => h(scale),
+            None => (self.build)(scale),
+        }
+    }
+}
+
+/// The full registry, in the paper's presentation order.
+pub fn all() -> Vec<Workload> {
+    let mut v = Vec::new();
+    v.extend(eembc::workloads());
+    v.extend(versabench::workloads());
+    v.extend(kernels::workloads());
+    v.extend(specint::workloads());
+    v.extend(specfp::workloads());
+    v
+}
+
+/// Workloads of one suite.
+pub fn suite(s: Suite) -> Vec<Workload> {
+    all().into_iter().filter(|w| w.suite == s).collect()
+}
+
+/// The 15 "simple benchmarks" of Figures 3–5 and 11 (kernels + VersaBench +
+/// 8 EEMBC programs).
+pub fn simple() -> Vec<Workload> {
+    all().into_iter().filter(|w| w.simple).collect()
+}
+
+/// Finds a workload by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_table2() {
+        let ws = all();
+        assert_eq!(suite(Suite::Kernels).len(), 4);
+        assert_eq!(suite(Suite::Versa).len(), 3);
+        assert!(suite(Suite::Eembc).len() >= 8, "need at least the 8 charted EEMBC programs");
+        assert_eq!(suite(Suite::SpecInt).len(), 10);
+        assert_eq!(suite(Suite::SpecFp).len(), 8);
+        assert_eq!(simple().len(), 15, "the paper hand-optimizes 15 simple benchmarks");
+        // Names unique.
+        let mut names: Vec<_> = ws.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ws.len());
+    }
+
+    #[test]
+    fn every_workload_builds_and_runs_at_test_scale() {
+        for w in all() {
+            let p = (w.build)(Scale::Test);
+            let out = trips_ir::interp::run(&p, 1 << 22)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            // Checksums must be non-trivial (a zero result usually means the
+            // kernel didn't observe its own output).
+            assert_ne!(out.return_value, 0, "{} returned 0", w.name);
+            if w.hand.is_some() {
+                let ph = w.build_hand(Scale::Test);
+                let oh = trips_ir::interp::run(&ph, 1 << 22)
+                    .unwrap_or_else(|e| panic!("{} (hand): {e}", w.name));
+                assert_eq!(out.return_value, oh.return_value, "{}: hand variant disagrees", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("matrix").is_some());
+        assert!(by_name("a2time").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+}

@@ -1,0 +1,447 @@
+//! SPEC CPU2000 floating-point proxies (§3, Table 2): 8 of 14 (all but
+//! `ammp`, `sixtrack` and the Fortran 90 codes, like the paper).
+
+use crate::helpers::{checksum_i64, for_loop, rand_f64s, rand_i64s};
+use crate::{Scale, Suite, Workload};
+use trips_ir::{Opcode, Operand, Program, ProgramBuilder};
+
+/// Registry entries.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload { name: "applu", suite: Suite::SpecFp, build: applu, hand: None, simple: false },
+        Workload { name: "apsi", suite: Suite::SpecFp, build: apsi, hand: None, simple: false },
+        Workload { name: "art", suite: Suite::SpecFp, build: art, hand: None, simple: false },
+        Workload { name: "equake", suite: Suite::SpecFp, build: equake, hand: None, simple: false },
+        Workload { name: "mesa", suite: Suite::SpecFp, build: mesa, hand: None, simple: false },
+        Workload { name: "mgrid", suite: Suite::SpecFp, build: mgrid, hand: None, simple: false },
+        Workload { name: "swim", suite: Suite::SpecFp, build: swim, hand: None, simple: false },
+        Workload { name: "wupwise", suite: Suite::SpecFp, build: wupwise, hand: None, simple: false },
+    ]
+}
+
+fn counts(scale: Scale, test: i64, reference: i64) -> i64 {
+    match scale {
+        Scale::Test => test,
+        Scale::Ref => reference,
+    }
+}
+
+fn idx2(f: &mut trips_ir::FuncBuilder<'_>, base: u64, r: trips_ir::Vreg, c: trips_ir::Vreg, n: i64) -> trips_ir::Vreg {
+    let rn = f.mul(r, n);
+    let idx = f.add(rn, c);
+    let off = f.shl(idx, 3i64);
+    f.add(base as i64, off)
+}
+
+/// `applu`: SSOR-style 5-point stencil sweeps over a 2-D grid.
+pub fn applu(scale: Scale) -> Program {
+    let n = counts(scale, 12, 40);
+    let sweeps = counts(scale, 2, 8);
+    let mut pb = ProgramBuilder::new();
+    let grid = pb.data_mut().alloc_f64s("grid", &rand_f64s(201, (n * n) as usize));
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    let w = f.fconst(0.23);
+    for_loop(&mut f, sweeps, |f, _| {
+        for_loop(f, n - 2, |f, r0| {
+            for_loop(f, n - 2, |f, c0| {
+                let r = f.add(r0, 1i64);
+                let c = f.add(c0, 1i64);
+                let p = idx2(f, grid, r, c, n);
+                let center = f.load_f64(p, 0);
+                let north = f.load_f64(p, (-(n as i32)) * 8);
+                let south = f.load_f64(p, (n as i32) * 8);
+                let west = f.load_f64(p, -8);
+                let east = f.load_f64(p, 8);
+                let s1 = f.fadd(north, south);
+                let s2 = f.fadd(west, east);
+                let s3 = f.fadd(s1, s2);
+                let quarter = f.fconst(0.25);
+                let avg = f.fmul(s3, quarter);
+                let diff = f.fsub(avg, center);
+                let step = f.fmul(diff, w);
+                let nv = f.fadd(center, step);
+                f.store_f64(nv, p, 0);
+            });
+        });
+    });
+    let sum = checksum_i64(&mut f, grid as i64, n * n);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `apsi`: coupled multi-array meteorology-style updates.
+pub fn apsi(scale: Scale) -> Program {
+    let n = counts(scale, 64, 1024);
+    let steps = counts(scale, 3, 12);
+    let mut pb = ProgramBuilder::new();
+    let t = pb.data_mut().alloc_f64s("t", &rand_f64s(203, n as usize));
+    let q = pb.data_mut().alloc_f64s("q", &rand_f64s(204, n as usize));
+    let u = pb.data_mut().alloc_f64s("u", &rand_f64s(205, n as usize));
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    for_loop(&mut f, steps, |f, _| {
+        for_loop(f, n, |f, i| {
+            let off = f.shl(i, 3i64);
+            let tp = f.add(t as i64, off);
+            let qp = f.add(q as i64, off);
+            let up = f.add(u as i64, off);
+            let tv = f.load_f64(tp, 0);
+            let qv = f.load_f64(qp, 0);
+            let uv = f.load_f64(up, 0);
+            let adv = f.fmul(uv, qv);
+            let half = f.fconst(0.5);
+            let dt = f.fmul(adv, half);
+            let nt = f.fadd(tv, dt);
+            let damp = f.fconst(0.99);
+            let nq0 = f.fmul(qv, damp);
+            let pc = f.fconst(0.01);
+            let corr = f.fmul(nt, pc);
+            let nq = f.fsub(nq0, corr);
+            f.store_f64(nt, tp, 0);
+            f.store_f64(nq, qp, 0);
+        });
+    });
+    let s1 = checksum_i64(&mut f, t as i64, n);
+    let s2 = checksum_i64(&mut f, q as i64, n);
+    let sum = f.xor(s1, s2);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `art`: adaptive-resonance image match — dot products and
+/// winner-take-all scans (the paper's best-window benchmark).
+pub fn art(scale: Scale) -> Program {
+    let features = counts(scale, 32, 128);
+    let classes = counts(scale, 8, 22);
+    let images = counts(scale, 4, 24);
+    let mut pb = ProgramBuilder::new();
+    let weights = pb.data_mut().alloc_f64s("w", &rand_f64s(207, (features * classes) as usize));
+    let inputs = pb.data_mut().alloc_f64s("x", &rand_f64s(208, (features * images) as usize));
+    let winners = pb.data_mut().alloc_zeroed("win", images as u64 * 8, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    for_loop(&mut f, images, |f, img| {
+        let best = f.fconst(-1.0);
+        let besti = f.iconst(0);
+        for_loop(f, classes, |f, cl| {
+            let acc = f.fconst(0.0);
+            for_loop(f, features, |f, k| {
+                let xi = f.mul(img, features);
+                let xidx = f.add(xi, k);
+                let xo = f.shl(xidx, 3i64);
+                let xp = f.add(inputs as i64, xo);
+                let xv = f.load_f64(xp, 0);
+                let wi = f.mul(cl, features);
+                let widx = f.add(wi, k);
+                let wo = f.shl(widx, 3i64);
+                let wp = f.add(weights as i64, wo);
+                let wv = f.load_f64(wp, 0);
+                let prod = f.fmul(xv, wv);
+                f.fbin_to(Opcode::Fadd, acc, acc, prod);
+            });
+            let better = f.fcmp(trips_ir::FloatCc::Gt, acc, best);
+            let nb = f.select(better, acc, best);
+            let nbi = f.select(better, cl, besti);
+            f.set(best, nb);
+            f.set(besti, nbi);
+        });
+        let io = f.shl(img, 3i64);
+        let wp = f.add(winners as i64, io);
+        let tagged = f.add(besti, 1i64);
+        f.store_i64(tagged, wp, 0);
+    });
+    let sum = checksum_i64(&mut f, winners as i64, images);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `equake`: sparse matrix-vector products (CSR) — irregular gathers.
+pub fn equake(scale: Scale) -> Program {
+    let rows = counts(scale, 48, 768);
+    let nnz_per_row = 6i64;
+    let iters = counts(scale, 2, 10);
+    let mut pb = ProgramBuilder::new();
+    let cols: Vec<i64> = rand_i64s(211, (rows * nnz_per_row) as usize, rows);
+    let cols_a = pb.data_mut().alloc_i64s("cols", &cols);
+    let vals = pb.data_mut().alloc_f64s("vals", &rand_f64s(212, (rows * nnz_per_row) as usize));
+    let x = pb.data_mut().alloc_f64s("x", &rand_f64s(213, rows as usize));
+    let y = pb.data_mut().alloc_zeroed("y", rows as u64 * 8, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    for_loop(&mut f, iters, |f, _| {
+        for_loop(f, rows, |f, r| {
+            let acc = f.fconst(0.0);
+            for_loop(f, nnz_per_row, |f, k| {
+                let base = f.mul(r, nnz_per_row);
+                let idx = f.add(base, k);
+                let io = f.shl(idx, 3i64);
+                let cp = f.add(cols_a as i64, io);
+                let col = f.load_i64(cp, 0);
+                let vp = f.add(vals as i64, io);
+                let av = f.load_f64(vp, 0);
+                let xo = f.shl(col, 3i64);
+                let xp = f.add(x as i64, xo);
+                let xv = f.load_f64(xp, 0);
+                let prod = f.fmul(av, xv);
+                f.fbin_to(Opcode::Fadd, acc, acc, prod);
+            });
+            let yo = f.shl(r, 3i64);
+            let yp = f.add(y as i64, yo);
+            f.store_f64(acc, yp, 0);
+        });
+        // x <- 0.5*x + 0.5*y (keeps the iteration live).
+        for_loop(f, rows, |f, r| {
+            let o = f.shl(r, 3i64);
+            let xp = f.add(x as i64, o);
+            let yp = f.add(y as i64, o);
+            let xv = f.load_f64(xp, 0);
+            let yv = f.load_f64(yp, 0);
+            let h = f.fconst(0.5);
+            let a = f.fmul(xv, h);
+            let b = f.fmul(yv, h);
+            let nv = f.fadd(a, b);
+            f.store_f64(nv, xp, 0);
+        });
+    });
+    let sum = checksum_i64(&mut f, y as i64, rows);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `mesa`: vertex-pipeline transform — streams of 4-vectors through a 4×4
+/// matrix plus a perspective divide.
+pub fn mesa(scale: Scale) -> Program {
+    let verts = counts(scale, 48, 1024);
+    let mut pb = ProgramBuilder::new();
+    let m = pb.data_mut().alloc_f64s("m", &rand_f64s(217, 16));
+    let vin = pb.data_mut().alloc_f64s("vin", &rand_f64s(218, (verts * 4) as usize).iter().map(|v| v + 0.5).collect::<Vec<_>>());
+    let vout = pb.data_mut().alloc_zeroed("vout", (verts * 4 * 8) as u64, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    for_loop(&mut f, verts, |f, v| {
+        let base = f.shl(v, 5i64); // 4 doubles
+        let vp = f.add(vin as i64, base);
+        let x = f.load_f64(vp, 0);
+        let y = f.load_f64(vp, 8);
+        let z = f.load_f64(vp, 16);
+        let wv = f.load_f64(vp, 24);
+        let op = f.add(vout as i64, base);
+        // Row 3 first for the divide.
+        let dot_row = |f: &mut trips_ir::FuncBuilder<'_>, row: i32| {
+            let m0 = f.load_f64(m as i64, row * 32);
+            let m1 = f.load_f64(m as i64, row * 32 + 8);
+            let m2 = f.load_f64(m as i64, row * 32 + 16);
+            let m3 = f.load_f64(m as i64, row * 32 + 24);
+            let p0 = f.fmul(m0, x);
+            let p1 = f.fmul(m1, y);
+            let p2 = f.fmul(m2, z);
+            let p3 = f.fmul(m3, wv);
+            let s0 = f.fadd(p0, p1);
+            let s1 = f.fadd(p2, p3);
+            f.fadd(s0, s1)
+        };
+        let ow = dot_row(f, 3);
+        let half = f.fconst(0.5);
+        let ow_safe = f.fadd(ow, half);
+        for row in 0..3i32 {
+            let val = dot_row(f, row);
+            let persp = f.fdiv(val, ow_safe);
+            f.store_f64(persp, op, row * 8);
+        }
+        f.store_f64(ow_safe, op, 24);
+    });
+    let sum = checksum_i64(&mut f, vout as i64, verts * 4);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `mgrid`: multigrid-style 3-point restriction/prolongation ladder over a
+/// 1-D hierarchy (keeps mgrid's stencil character at tractable sizes).
+pub fn mgrid(scale: Scale) -> Program {
+    let n = counts(scale, 64, 1024);
+    let vcycles = counts(scale, 2, 8);
+    let mut pb = ProgramBuilder::new();
+    let fine = pb.data_mut().alloc_f64s("fine", &rand_f64s(219, n as usize));
+    let coarse = pb.data_mut().alloc_zeroed("coarse", (n / 2) as u64 * 8, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    for_loop(&mut f, vcycles, |f, _| {
+        // Restrict: coarse[i] = 0.25*fine[2i-1] + 0.5*fine[2i] + 0.25*fine[2i+1]
+        for_loop(f, n / 2 - 1, |f, i0| {
+            let i = f.add(i0, 1i64);
+            let i2 = f.shl(i, 1i64);
+            let fo = f.shl(i2, 3i64);
+            let fp = f.add(fine as i64, fo);
+            let l = f.load_f64(fp, -8);
+            let c = f.load_f64(fp, 0);
+            let r = f.load_f64(fp, 8);
+            let q = f.fconst(0.25);
+            let h = f.fconst(0.5);
+            let a = f.fmul(l, q);
+            let b = f.fmul(c, h);
+            let d = f.fmul(r, q);
+            let s = f.fadd(a, b);
+            let s2 = f.fadd(s, d);
+            let co = f.shl(i, 3i64);
+            let cp = f.add(coarse as i64, co);
+            f.store_f64(s2, cp, 0);
+        });
+        // Prolong + correct: fine[2i] += coarse[i]
+        for_loop(f, n / 2 - 1, |f, i0| {
+            let i = f.add(i0, 1i64);
+            let co = f.shl(i, 3i64);
+            let cp = f.add(coarse as i64, co);
+            let cv = f.load_f64(cp, 0);
+            let i2 = f.shl(i, 1i64);
+            let fo = f.shl(i2, 3i64);
+            let fp = f.add(fine as i64, fo);
+            let fv = f.load_f64(fp, 0);
+            let damp = f.fconst(0.05);
+            let corr = f.fmul(cv, damp);
+            let nv = f.fadd(fv, corr);
+            f.store_f64(nv, fp, 0);
+        });
+    });
+    let sum = checksum_i64(&mut f, fine as i64, n);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `swim`: shallow-water 2-D stencil over three coupled fields.
+pub fn swim(scale: Scale) -> Program {
+    let n = counts(scale, 12, 40);
+    let steps = counts(scale, 2, 8);
+    let mut pb = ProgramBuilder::new();
+    let u = pb.data_mut().alloc_f64s("u", &rand_f64s(223, (n * n) as usize));
+    let v = pb.data_mut().alloc_f64s("v", &rand_f64s(224, (n * n) as usize));
+    let h = pb.data_mut().alloc_f64s("h", &rand_f64s(225, (n * n) as usize).iter().map(|x| x + 1.0).collect::<Vec<_>>());
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    for_loop(&mut f, steps, |f, _| {
+        for_loop(f, n - 2, |f, r0| {
+            for_loop(f, n - 2, |f, c0| {
+                let r = f.add(r0, 1i64);
+                let c = f.add(c0, 1i64);
+                let up = idx2(f, u, r, c, n);
+                let vp = idx2(f, v, r, c, n);
+                let hp = idx2(f, h, r, c, n);
+                let uv = f.load_f64(up, 0);
+                let vv = f.load_f64(vp, 0);
+                let he = f.load_f64(hp, 8);
+                let hw = f.load_f64(hp, -8);
+                let hn = f.load_f64(hp, (-(n as i32)) * 8);
+                let hs = f.load_f64(hp, (n as i32) * 8);
+                let dt = f.fconst(0.01);
+                let gx = f.fsub(he, hw);
+                let gy = f.fsub(hs, hn);
+                let dux = f.fmul(gx, dt);
+                let dvy = f.fmul(gy, dt);
+                let nu = f.fsub(uv, dux);
+                let nv = f.fsub(vv, dvy);
+                f.store_f64(nu, up, 0);
+                f.store_f64(nv, vp, 0);
+                let hc = f.load_f64(hp, 0);
+                let div = f.fadd(dux, dvy);
+                let nh = f.fsub(hc, div);
+                f.store_f64(nh, hp, 0);
+            });
+        });
+    });
+    let s1 = checksum_i64(&mut f, u as i64, n * n);
+    let s2 = checksum_i64(&mut f, h as i64, n * n);
+    let sum = f.xor(s1, s2);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `wupwise`: complex 2×2 matrix-vector chains (lattice-QCD SU flavour).
+pub fn wupwise(scale: Scale) -> Program {
+    let sites = counts(scale, 48, 1024);
+    let mut pb = ProgramBuilder::new();
+    // Per site: 2x2 complex matrix (8 doubles) and a 2-vector (4 doubles).
+    let mats = pb.data_mut().alloc_f64s("mats", &rand_f64s(227, (sites * 8) as usize));
+    let vecs = pb.data_mut().alloc_f64s("vecs", &rand_f64s(228, (sites * 4) as usize));
+    let out = pb.data_mut().alloc_zeroed("out", (sites * 4 * 8) as u64, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    for_loop(&mut f, sites, |f, s| {
+        let mbase0 = f.shl(s, 6i64); // 8 doubles
+        let vbase0 = f.shl(s, 5i64); // 4 doubles
+        let mp = f.add(mats as i64, mbase0);
+        let vp = f.add(vecs as i64, vbase0);
+        let op = f.add(out as i64, vbase0);
+        // Load matrix [ (a,b) ; (c,d) ] complex and vector (x, y) complex.
+        let loadc = |f: &mut trips_ir::FuncBuilder<'_>, base: trips_ir::Vreg, k: i32| {
+            (f.load_f64(base, k * 16), f.load_f64(base, k * 16 + 8))
+        };
+        let (ar, ai) = loadc(f, mp, 0);
+        let (br, bi) = loadc(f, mp, 1);
+        let (cr, ci) = loadc(f, mp, 2);
+        let (dr, di) = loadc(f, mp, 3);
+        let (xr, xi) = loadc(f, vp, 0);
+        let (yr, yi) = loadc(f, vp, 1);
+        // o0 = a*x + b*y ; o1 = c*x + d*y (complex).
+        let cmul = |f: &mut trips_ir::FuncBuilder<'_>, pr: trips_ir::Vreg, pi: trips_ir::Vreg, qr: trips_ir::Vreg, qi: trips_ir::Vreg| {
+            let rr1 = f.fmul(pr, qr);
+            let rr2 = f.fmul(pi, qi);
+            let rr = f.fsub(rr1, rr2);
+            let ri1 = f.fmul(pr, qi);
+            let ri2 = f.fmul(pi, qr);
+            let ri = f.fadd(ri1, ri2);
+            (rr, ri)
+        };
+        let (t0r, t0i) = cmul(f, ar, ai, xr, xi);
+        let (t1r, t1i) = cmul(f, br, bi, yr, yi);
+        let o0r = f.fadd(t0r, t1r);
+        let o0i = f.fadd(t0i, t1i);
+        let (t2r, t2i) = cmul(f, cr, ci, xr, xi);
+        let (t3r, t3i) = cmul(f, dr, di, yr, yi);
+        let o1r = f.fadd(t2r, t3r);
+        let o1i = f.fadd(t2i, t3i);
+        f.store_f64(o0r, op, 0);
+        f.store_f64(o0i, op, 8);
+        f.store_f64(o1r, op, 16);
+        f.store_f64(o1i, op, 24);
+    });
+    let sum = checksum_i64(&mut f, out as i64, sites * 4);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp_proxies_execute_and_checksum() {
+        for w in workloads() {
+            let p = (w.build)(Scale::Test);
+            let r = trips_ir::interp::run(&p, 1 << 22).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert_ne!(r.return_value, 0, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn fp_heavy_workloads_use_fp() {
+        let p = art(Scale::Test);
+        let r = trips_ir::interp::run(&p, 1 << 22).unwrap();
+        assert!(r.stats.arith > 1000, "art should be arithmetic-heavy");
+    }
+}

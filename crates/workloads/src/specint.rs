@@ -1,0 +1,611 @@
+//! SPEC CPU2000 integer proxies (§3, Table 2).
+//!
+//! Each proxy is a reduced kernel reproducing the dominant computational
+//! character of its namesake — control-flow shape, memory-access pattern and
+//! call structure — sized as a SimPoint-style region (see DESIGN.md).
+
+use crate::helpers::{checksum_i64, for_loop, rand_i64s};
+use crate::{Scale, Suite, Workload};
+use trips_ir::{IntCc, Operand, Program, ProgramBuilder};
+
+/// Registry entries (all 10 of the paper's integer set: no `gap`, no C++).
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload { name: "bzip2", suite: Suite::SpecInt, build: bzip2, hand: None, simple: false },
+        Workload { name: "crafty", suite: Suite::SpecInt, build: crafty, hand: None, simple: false },
+        Workload { name: "gcc", suite: Suite::SpecInt, build: gcc, hand: None, simple: false },
+        Workload { name: "gzip", suite: Suite::SpecInt, build: gzip, hand: None, simple: false },
+        Workload { name: "mcf", suite: Suite::SpecInt, build: mcf, hand: None, simple: false },
+        Workload { name: "parser", suite: Suite::SpecInt, build: parser, hand: None, simple: false },
+        Workload { name: "perlbmk", suite: Suite::SpecInt, build: perlbmk, hand: None, simple: false },
+        Workload { name: "twolf", suite: Suite::SpecInt, build: twolf, hand: None, simple: false },
+        Workload { name: "vortex", suite: Suite::SpecInt, build: vortex, hand: None, simple: false },
+        Workload { name: "vpr", suite: Suite::SpecInt, build: vpr, hand: None, simple: false },
+    ]
+}
+
+fn counts(scale: Scale, test: i64, reference: i64) -> i64 {
+    match scale {
+        Scale::Test => test,
+        Scale::Ref => reference,
+    }
+}
+
+/// `bzip2`: move-to-front coding + run-length pass over a byte stream.
+pub fn bzip2(scale: Scale) -> Program {
+    let n = counts(scale, 96, 3072);
+    let mut pb = ProgramBuilder::new();
+    let input = pb.data_mut().alloc_i64s("in", &rand_i64s(101, n as usize, 32));
+    let mtf = pb.data_mut().alloc_i64s("mtf", &(0..32).collect::<Vec<_>>());
+    let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    for_loop(&mut f, n, |f, i| {
+        let off = f.shl(i, 3i64);
+        let ip = f.add(input as i64, off);
+        let sym = f.load_i64(ip, 0);
+        // Find the symbol's MTF position (linear scan — bzip2's hot loop).
+        let pos = f.iconst(0);
+        for_loop(f, 32i64, |f, j| {
+            let jo = f.shl(j, 3i64);
+            let mp = f.add(mtf as i64, jo);
+            let v = f.load_i64(mp, 0);
+            let eq = f.icmp(IntCc::Eq, v, sym);
+            let np = f.select(eq, j, pos);
+            f.set(pos, np);
+        });
+        // Move to front: shift [0, pos) up by one.
+        for_loop(f, 31i64, |f, j| {
+            // iterate from the back: idx = 31 - j
+            let idx = f.sub(31i64, j);
+            let within = f.icmp(IntCc::Le, idx, pos);
+            let nonzero = f.icmp(IntCc::Gt, idx, 0i64);
+            let doit = f.and(within, nonzero);
+            let io2 = f.shl(idx, 3i64);
+            let mp = f.add(mtf as i64, io2);
+            let prev = f.load_i64(mp, -8);
+            let cur = f.load_i64(mp, 0);
+            let nv = f.select(doit, prev, cur);
+            f.store_i64(nv, mp, 0);
+        });
+        f.store_i64(sym, mtf as i64, 0);
+        let op = f.add(out as i64, off);
+        f.store_i64(pos, op, 0);
+    });
+    let sum = checksum_i64(&mut f, out as i64, n);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `crafty`: bitboard scans — shifts, masks and popcounts over 64-bit
+/// boards with data-dependent branches.
+pub fn crafty(scale: Scale) -> Program {
+    let n = counts(scale, 128, 4096);
+    let mut pb = ProgramBuilder::new();
+    let boards = pb.data_mut().alloc_i64s("boards", &rand_i64s(103, n as usize, i64::MAX));
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    let score = f.iconst(1);
+    for_loop(&mut f, n, |f, i| {
+        let off = f.shl(i, 3i64);
+        let bp = f.add(boards as i64, off);
+        let b = f.load_i64(bp, 0);
+        // attacks = (b << 8) | (b >> 8); mobility = popcount(attacks & ~b)
+        let up = f.shl(b, 8i64);
+        let down = f.shr(b, 8i64);
+        let attacks = f.or(up, down);
+        let nb = f.iun(trips_ir::Opcode::Not, b);
+        let mob = f.and(attacks, nb);
+        // popcount (SWAR)
+        let m1 = f.and(mob, 0x5555_5555_5555_5555i64);
+        let s1 = f.shr(mob, 1i64);
+        let m2 = f.and(s1, 0x5555_5555_5555_5555i64);
+        let c1 = f.add(m1, m2);
+        let a1 = f.and(c1, 0x3333_3333_3333_3333i64);
+        let s2 = f.shr(c1, 2i64);
+        let a2 = f.and(s2, 0x3333_3333_3333_3333i64);
+        let c2 = f.add(a1, a2);
+        let a3 = f.and(c2, 0x0f0f_0f0f_0f0f_0f0fi64);
+        let s3 = f.shr(c2, 4i64);
+        let a4 = f.and(s3, 0x0f0f_0f0f_0f0f_0f0fi64);
+        let c3 = f.add(a3, a4);
+        let folded = f.mul(c3, 0x0101_0101_0101_0101i64);
+        let pc = f.shr(folded, 56i64);
+        // Data-dependent bonus branches.
+        let strong = f.icmp(IntCc::Gt, pc, 20i64);
+        let weak = f.icmp(IntCc::Lt, pc, 8i64);
+        let bonus = f.select(strong, Operand::imm(50), Operand::imm(5));
+        let malus = f.select(weak, Operand::imm(-30), Operand::imm(0));
+        let d1 = f.add(score, bonus);
+        let d2 = f.add(d1, malus);
+        let d3 = f.add(d2, pc);
+        f.set(score, d3);
+    });
+    f.ret(Some(Operand::reg(score)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `gcc`: table-driven state machine over a token stream with many small
+/// helper calls (the call-heavy, branchy front-end character).
+pub fn gcc(scale: Scale) -> Program {
+    let n = counts(scale, 96, 2048);
+    let states = 16i64;
+    let classes = 8i64;
+    let mut pb = ProgramBuilder::new();
+    let trans = pb.data_mut().alloc_i64s(
+        "trans",
+        &rand_i64s(107, (states * classes) as usize, states),
+    );
+    let tokens = pb.data_mut().alloc_i64s("tokens", &rand_i64s(108, n as usize, 256));
+    let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
+
+    // Helper: classify(token) -> small switch implemented with branches.
+    let classify = pb.declare("classify", 1);
+    let mut cf = pb.func("classify", 1);
+    let e = cf.entry();
+    let digits = cf.block();
+    let alpha = cf.block();
+    let rest = cf.block();
+    cf.switch_to(e);
+    let t = cf.param(0);
+    let isd = cf.icmp(IntCc::Lt, t, 64i64);
+    cf.branch(isd, digits, alpha);
+    cf.switch_to(digits);
+    let low = cf.and(t, 3i64);
+    cf.ret(Some(Operand::reg(low)));
+    cf.switch_to(alpha);
+    let isa = cf.icmp(IntCc::Lt, t, 192i64);
+    let r1 = cf.and(t, 1i64);
+    let r2 = cf.add(r1, 4i64);
+    cf.branch(isa, rest, rest);
+    cf.switch_to(rest);
+    let sel = cf.select(isa, r2, Operand::imm(6));
+    cf.ret(Some(Operand::reg(sel)));
+    cf.finish();
+
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    let state = f.iconst(0);
+    for_loop(&mut f, n, |f, i| {
+        let off = f.shl(i, 3i64);
+        let tp = f.add(tokens as i64, off);
+        let tok = f.load_i64(tp, 0);
+        let class = f.call(classify, &[Operand::reg(tok)]);
+        let row = f.mul(state, classes);
+        let idx = f.add(row, class);
+        let to = f.shl(idx, 3i64);
+        let trp = f.add(trans as i64, to);
+        let ns = f.load_i64(trp, 0);
+        f.set(state, ns);
+        let op = f.add(out as i64, off);
+        f.store_i64(ns, op, 0);
+    });
+    let sum = checksum_i64(&mut f, out as i64, n);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `gzip`: LZ77-style hash-chain matching over a byte window.
+pub fn gzip(scale: Scale) -> Program {
+    let n = counts(scale, 128, 3072);
+    let hbits = 8i64;
+    let mut pb = ProgramBuilder::new();
+    let data = pb.data_mut().alloc_i64s("data", &rand_i64s(109, (n + 8) as usize, 64));
+    let head = pb.data_mut().alloc_zeroed("head", (1u64 << hbits) * 8, 8);
+    let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    for_loop(&mut f, n, |f, i| {
+        let off = f.shl(i, 3i64);
+        let dp = f.add(data as i64, off);
+        let b0 = f.load_i64(dp, 0);
+        let b1 = f.load_i64(dp, 8);
+        let b2 = f.load_i64(dp, 16);
+        // h = (b0*33 + b1*7 + b2) & mask
+        let h1 = f.mul(b0, 33i64);
+        let h2 = f.mul(b1, 7i64);
+        let h3 = f.add(h1, h2);
+        let h4 = f.add(h3, b2);
+        let h = f.and(h4, (1i64 << hbits) - 1);
+        let ho = f.shl(h, 3i64);
+        let hp = f.add(head as i64, ho);
+        let prev = f.load_i64(hp, 0);
+        f.store_i64(i, hp, 0);
+        // Match length against the previous occurrence (up to 4).
+        let dist = f.sub(i, prev);
+        let valid = f.icmp(IntCc::Gt, dist, 0i64);
+        let len = f.iconst(0);
+        for_loop(f, 4i64, |f, k| {
+            let ko = f.shl(k, 3i64);
+            let p1 = f.add(dp, ko);
+            let v1 = f.load_i64(p1, 0);
+            let po = f.shl(prev, 3i64);
+            let p2a = f.add(data as i64, po);
+            let p2 = f.add(p2a, ko);
+            let v2 = f.load_i64(p2, 0);
+            let eq = f.icmp(IntCc::Eq, v1, v2);
+            let sofar = f.icmp(IntCc::Eq, len, k);
+            let extend = f.and(eq, sofar);
+            let l1 = f.add(len, 1i64);
+            let nl = f.select(extend, l1, len);
+            f.set(len, nl);
+        });
+        let score = f.select(valid, len, Operand::imm(0));
+        let op = f.add(out as i64, off);
+        let token = f.shl(score, 8i64);
+        let t2 = f.or(token, b0);
+        f.store_i64(t2, op, 0);
+    });
+    let sum = checksum_i64(&mut f, out as i64, n);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `mcf`: network-simplex-style relaxation — pointer-chasing arc scans with
+/// unpredictable branches and cache-hostile strides.
+pub fn mcf(scale: Scale) -> Program {
+    let nodes = counts(scale, 64, 1024);
+    let iters = counts(scale, 4, 24);
+    let mut pb = ProgramBuilder::new();
+    let pot = pb.data_mut().alloc_i64s("pot", &rand_i64s(113, nodes as usize, 1000));
+    let cost = pb.data_mut().alloc_i64s("cost", &rand_i64s(114, nodes as usize, 100));
+    // Scatter pattern: arc i connects node i -> perm(i) with a large stride.
+    let dst: Vec<i64> = (0..nodes).map(|i| (i * 97 + 13) % nodes).collect();
+    let dst_a = pb.data_mut().alloc_i64s("dst", &dst);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    for_loop(&mut f, iters, |f, _| {
+        for_loop(f, nodes, |f, i| {
+            let io = f.shl(i, 3i64);
+            let dp = f.add(dst_a as i64, io);
+            let d = f.load_i64(dp, 0);
+            let pp1 = f.add(pot as i64, io);
+            let pi = f.load_i64(pp1, 0);
+            let do_ = f.shl(d, 3i64);
+            let pp2 = f.add(pot as i64, do_);
+            let pd = f.load_i64(pp2, 0);
+            let cp = f.add(cost as i64, io);
+            let c = f.load_i64(cp, 0);
+            let cand = f.add(pi, c);
+            let better = f.icmp(IntCc::Lt, cand, pd);
+            let nv = f.select(better, cand, pd);
+            f.store_i64(nv, pp2, 0);
+        });
+    });
+    let sum = checksum_i64(&mut f, pot as i64, nodes);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `parser`: dictionary-chain word lookups with per-word helper calls.
+pub fn parser(scale: Scale) -> Program {
+    let words = counts(scale, 64, 1536);
+    let dict_n = 64i64;
+    let mut pb = ProgramBuilder::new();
+    let dict = pb.data_mut().alloc_i64s("dict", &{
+        let mut d = rand_i64s(117, dict_n as usize, 1 << 16);
+        d.sort_unstable();
+        d
+    });
+    let input = pb.data_mut().alloc_i64s("words", &rand_i64s(118, words as usize, 1 << 16));
+    let out = pb.data_mut().alloc_zeroed("out", words as u64 * 8, 8);
+
+    // Helper: binary search in the dictionary.
+    let lookup = pb.declare("lookup", 1);
+    let mut lf = pb.func("lookup", 1);
+    let e = lf.entry();
+    lf.switch_to(e);
+    let target = lf.param(0);
+    let lo = lf.iconst(0);
+    let hi = lf.iconst(dict_n);
+    for_loop(&mut lf, 7i64, |f, _| {
+        let sum = f.add(lo, hi);
+        let mid = f.shr(sum, 1i64);
+        let mo = f.shl(mid, 3i64);
+        let mp = f.add(dict as i64, mo);
+        let v = f.load_i64(mp, 0);
+        let less = f.icmp(IntCc::Lt, v, target);
+        let nlo = f.select(less, mid, lo);
+        let nhi = f.select(less, hi, mid);
+        f.set(lo, nlo);
+        f.set(hi, nhi);
+    });
+    lf.ret(Some(Operand::reg(lo)));
+    lf.finish();
+
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    for_loop(&mut f, words, |f, i| {
+        let off = f.shl(i, 3i64);
+        let wp = f.add(input as i64, off);
+        let w = f.load_i64(wp, 0);
+        let pos = f.call(lookup, &[Operand::reg(w)]);
+        let op = f.add(out as i64, off);
+        f.store_i64(pos, op, 0);
+    });
+    let sum = checksum_i64(&mut f, out as i64, words);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `perlbmk`: bytecode-interpreter dispatch loop with call-heavy handlers
+/// (the source of the paper's call/return-misprediction pathology).
+pub fn perlbmk(scale: Scale) -> Program {
+    let n = counts(scale, 96, 2048);
+    let mut pb = ProgramBuilder::new();
+    let code = pb.data_mut().alloc_i64s("code", &rand_i64s(119, n as usize, 5));
+    let args = pb.data_mut().alloc_i64s("args", &rand_i64s(120, n as usize, 1 << 12));
+
+    // Five opcode handlers, each its own function.
+    let mut handlers = Vec::new();
+    for (k, name) in ["op_add", "op_mul", "op_xor", "op_shift", "op_mix"].iter().enumerate() {
+        let h = pb.declare(name, 2);
+        let mut hf = pb.func(name, 2);
+        let e = hf.entry();
+        hf.switch_to(e);
+        let acc = hf.param(0);
+        let arg = hf.param(1);
+        let r = match k {
+            0 => hf.add(acc, arg),
+            1 => {
+                let m = hf.mul(acc, arg);
+                hf.add(m, 1i64)
+            }
+            2 => hf.xor(acc, arg),
+            3 => {
+                let s = hf.and(arg, 7i64);
+                let v = hf.shl(acc, s);
+                let w = hf.shr(acc, 32i64);
+                hf.or(v, w)
+            }
+            _ => {
+                let a = hf.add(acc, arg);
+                let b = hf.shr(acc, 3i64);
+                hf.xor(a, b)
+            }
+        };
+        hf.ret(Some(Operand::reg(r)));
+        hf.finish();
+        handlers.push(h);
+    }
+
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    let dispatch: Vec<_> = (0..5).map(|_| f.block()).collect();
+    let join = f.block();
+    let done = f.block();
+    f.switch_to(e);
+    let acc = f.iconst(1);
+    let i = f.iconst(0);
+    let nxt = f.vreg();
+    f.set(nxt, 0i64);
+    f.jump(join);
+    // Dispatch: chain of compares (interpreters are branchy).
+    f.switch_to(join);
+    let c = f.icmp(IntCc::Lt, i, n);
+    let body = f.block();
+    f.branch(c, body, done);
+    f.switch_to(body);
+    let off = f.shl(i, 3i64);
+    let cp = f.add(code as i64, off);
+    let opc = f.load_i64(cp, 0);
+    let ap = f.add(args as i64, off);
+    let arg = f.load_i64(ap, 0);
+    f.ibin_to(trips_ir::Opcode::Add, i, i, 1i64);
+    let c0 = f.icmp(IntCc::Eq, opc, 0i64);
+    let d1 = f.block();
+    f.branch(c0, dispatch[0], d1);
+    f.switch_to(d1);
+    let c1 = f.icmp(IntCc::Eq, opc, 1i64);
+    let d2 = f.block();
+    f.branch(c1, dispatch[1], d2);
+    f.switch_to(d2);
+    let c2 = f.icmp(IntCc::Eq, opc, 2i64);
+    let d3 = f.block();
+    f.branch(c2, dispatch[2], d3);
+    f.switch_to(d3);
+    let c3 = f.icmp(IntCc::Eq, opc, 3i64);
+    f.branch(c3, dispatch[3], dispatch[4]);
+    for (k, &bb) in dispatch.iter().enumerate() {
+        f.switch_to(bb);
+        let r = f.call(handlers[k], &[Operand::reg(acc), Operand::reg(arg)]);
+        f.set(acc, r);
+        f.jump(join);
+    }
+    f.switch_to(done);
+    let fin = f.or(acc, 1i64);
+    f.ret(Some(Operand::reg(fin)));
+    f.finish();
+    let _ = nxt;
+    pb.finish("main").unwrap()
+}
+
+/// `twolf`: annealing-style placement cost evaluation with an LCG and
+/// accept/reject branches.
+pub fn twolf(scale: Scale) -> Program {
+    let cells = counts(scale, 64, 512);
+    let moves = counts(scale, 128, 4096);
+    let mut pb = ProgramBuilder::new();
+    let xs = pb.data_mut().alloc_i64s("xs", &rand_i64s(121, cells as usize, 256));
+    let ys = pb.data_mut().alloc_i64s("ys", &rand_i64s(122, cells as usize, 256));
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    let rng = f.iconst(987654321);
+    let cost = f.iconst(100000);
+    for_loop(&mut f, moves, |f, _| {
+        // LCG step
+        f.ibin_to(trips_ir::Opcode::Mul, rng, rng, 6364136223846793005i64);
+        f.ibin_to(trips_ir::Opcode::Add, rng, rng, 1442695040888963407i64);
+        let r1 = f.shr(rng, 33i64);
+        let cell = f.ibin(trips_ir::Opcode::Urem, r1, cells);
+        let co = f.shl(cell, 3i64);
+        let xp = f.add(xs as i64, co);
+        let yp = f.add(ys as i64, co);
+        let x = f.load_i64(xp, 0);
+        let y = f.load_i64(yp, 0);
+        let r2 = f.shr(rng, 17i64);
+        let dx = f.and(r2, 15i64);
+        let nx0 = f.add(x, dx);
+        let nx = f.and(nx0, 255i64);
+        // delta = |nx - y| - |x - y|
+        let d1 = f.sub(nx, y);
+        let d1n = f.iun(trips_ir::Opcode::Neg, d1);
+        let d1neg = f.icmp(IntCc::Lt, d1, 0i64);
+        let a1 = f.select(d1neg, d1n, d1);
+        let d2 = f.sub(x, y);
+        let d2n = f.iun(trips_ir::Opcode::Neg, d2);
+        let d2neg = f.icmp(IntCc::Lt, d2, 0i64);
+        let a2 = f.select(d2neg, d2n, d2);
+        let delta = f.sub(a1, a2);
+        // Accept improving moves or (rng-based) some worsening ones.
+        let improving = f.icmp(IntCc::Lt, delta, 0i64);
+        let r3 = f.and(rng, 7i64);
+        let lucky = f.icmp(IntCc::Eq, r3, 0i64);
+        let accept = f.or(improving, lucky);
+        let nxv = f.select(accept, nx, x);
+        f.store_i64(nxv, xp, 0);
+        let dcost = f.select(accept, delta, Operand::imm(0));
+        f.ibin_to(trips_ir::Opcode::Add, cost, cost, dcost);
+    });
+    let cs = checksum_i64(&mut f, xs as i64, cells);
+    let fin = f.xor(cs, cost);
+    let fin2 = f.or(fin, 1i64);
+    f.ret(Some(Operand::reg(fin2)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `vortex`: object-database operations — hashed inserts and lookups with
+/// helper calls (large I-footprint character).
+pub fn vortex(scale: Scale) -> Program {
+    let ops = counts(scale, 96, 2048);
+    let buckets = 128i64;
+    let mut pb = ProgramBuilder::new();
+    let table = pb.data_mut().alloc_zeroed("table", buckets as u64 * 8, 8);
+    let keys = pb.data_mut().alloc_i64s("keys", &rand_i64s(127, ops as usize, 1 << 20));
+
+    let hash = pb.declare("hash", 1);
+    let mut hf = pb.func("hash", 1);
+    let e = hf.entry();
+    hf.switch_to(e);
+    let k = hf.param(0);
+    let a = hf.mul(k, 2654435761i64);
+    let b = hf.shr(a, 8i64);
+    let c = hf.xor(a, b);
+    let d = hf.and(c, buckets - 1);
+    hf.ret(Some(Operand::reg(d)));
+    hf.finish();
+
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    let hits = f.iconst(1);
+    for_loop(&mut f, ops, |f, i| {
+        let off = f.shl(i, 3i64);
+        let kp = f.add(keys as i64, off);
+        let key = f.load_i64(kp, 0);
+        let h = f.call(hash, &[Operand::reg(key)]);
+        let ho = f.shl(h, 3i64);
+        let bp = f.add(table as i64, ho);
+        let cur = f.load_i64(bp, 0);
+        let occupied = f.icmp(IntCc::Ne, cur, 0i64);
+        let matches = f.icmp(IntCc::Eq, cur, key);
+        let hit = f.and(occupied, matches);
+        let h1 = f.add(hits, hit);
+        f.set(hits, h1);
+        // Insert on miss.
+        let nv = f.select(occupied, cur, key);
+        f.store_i64(nv, bp, 0);
+    });
+    let cs = checksum_i64(&mut f, table as i64, buckets);
+    let fin = f.xor(cs, hits);
+    let fin2 = f.or(fin, 1i64);
+    f.ret(Some(Operand::reg(fin2)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `vpr`: routing-cost propagation over a 2-D grid (wavefront relaxation).
+pub fn vpr(scale: Scale) -> Program {
+    let n = counts(scale, 16, 48);
+    let rounds = counts(scale, 3, 12);
+    let mut pb = ProgramBuilder::new();
+    let mut init = rand_i64s(131, (n * n) as usize, 1000);
+    init[0] = 0;
+    let grid = pb.data_mut().alloc_i64s("grid", &init);
+    let costs = pb.data_mut().alloc_i64s("costs", &rand_i64s(132, (n * n) as usize, 16));
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    for_loop(&mut f, rounds, |f, _| {
+        for_loop(f, n - 1, |f, r| {
+            for_loop(f, n - 1, |f, c| {
+                let rn = f.mul(r, n);
+                let idx = f.add(rn, c);
+                let io = f.shl(idx, 3i64);
+                let gp = f.add(grid as i64, io);
+                let g = f.load_i64(gp, 0);
+                let cp = f.add(costs as i64, io);
+                let w = f.load_i64(cp, 0);
+                let cand = f.add(g, w);
+                // Relax east and south neighbours.
+                let ep = f.add(gp, 8i64);
+                let ev = f.load_i64(ep, 0);
+                let ebetter = f.icmp(IntCc::Lt, cand, ev);
+                let nev = f.select(ebetter, cand, ev);
+                f.store_i64(nev, ep, 0);
+                let srow = f.shl(n, 3i64);
+                let sp = f.add(gp, srow);
+                let sv = f.load_i64(sp, 0);
+                let sbetter = f.icmp(IntCc::Lt, cand, sv);
+                let nsv = f.select(sbetter, cand, sv);
+                f.store_i64(nsv, sp, 0);
+            });
+        });
+    });
+    let sum = checksum_i64(&mut f, grid as i64, n * n);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proxies_execute_and_checksum() {
+        for w in workloads() {
+            let p = (w.build)(Scale::Test);
+            let r = trips_ir::interp::run(&p, 1 << 22).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert_ne!(r.return_value, 0, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn gcc_uses_calls() {
+        let p = gcc(Scale::Test);
+        let r = trips_ir::interp::run(&p, 1 << 22).unwrap();
+        assert!(r.stats.calls > 50, "gcc proxy should be call-heavy");
+    }
+
+    #[test]
+    fn perlbmk_dispatches_all_handlers() {
+        let p = perlbmk(Scale::Test);
+        let r = trips_ir::interp::run(&p, 1 << 22).unwrap();
+        assert!(r.stats.calls >= 90, "interpreter should call a handler per op");
+    }
+}

@@ -1,0 +1,259 @@
+//! VersaBench bit/stream subset (§3): `fmradio`, `802.11a`, `8b10b`.
+
+use crate::helpers::{checksum_i64, for_loop, rand_f64s, rand_i64s};
+use crate::{Scale, Suite, Workload};
+use trips_ir::{Operand, Program, ProgramBuilder};
+
+/// Registry entries.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload { name: "802.11a", suite: Suite::Versa, build: w80211a, hand: None, simple: true },
+        Workload { name: "8b10b", suite: Suite::Versa, build: b8b10b, hand: Some(b8b10b_hand), simple: true },
+        Workload { name: "fmradio", suite: Suite::Versa, build: fmradio, hand: Some(fmradio_hand), simple: true },
+    ]
+}
+
+/// `802.11a`: rate-1/2 convolutional encoder (constraint length 7,
+/// generators 0o133/0o171) over a bit stream — inherently serial shift
+/// register, the paper's example of a low-ILP stream code.
+pub fn w80211a(scale: Scale) -> Program {
+    let nbits: i64 = match scale {
+        Scale::Test => 96,
+        Scale::Ref => 2048,
+    };
+    let mut pb = ProgramBuilder::new();
+    let input = pb.data_mut().alloc_i64s("bits", &rand_i64s(41, nbits as usize, 2));
+    let out = pb.data_mut().alloc_zeroed("out", nbits as u64 * 8, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    let state = f.iconst(0);
+    for_loop(&mut f, nbits, |f, i| {
+        let off = f.shl(i, 3i64);
+        let ip = f.add(input as i64, off);
+        let bit = f.load_i64(ip, 0);
+        // state = (state << 1 | bit) & 0x7f
+        let s1 = f.shl(state, 1i64);
+        let s2 = f.or(s1, bit);
+        let s3 = f.and(s2, 0x7fi64);
+        f.set(state, s3);
+        // Output bits: parity of state & generator polynomials.
+        let parity = |f: &mut trips_ir::FuncBuilder<'_>, v: trips_ir::Vreg| {
+            // 7-bit parity by folding.
+            let a = f.shr(v, 4i64);
+            let b = f.xor(v, a);
+            let c = f.shr(b, 2i64);
+            let d = f.xor(b, c);
+            let g = f.shr(d, 1i64);
+            let h = f.xor(d, g);
+            f.and(h, 1i64)
+        };
+        let m1 = f.and(state, 0o133i64);
+        let o1 = parity(f, m1);
+        let m2 = f.and(state, 0o171i64);
+        let o2 = parity(f, m2);
+        let shifted = f.shl(o1, 1i64);
+        let sym = f.or(shifted, o2);
+        let op = f.add(out as i64, off);
+        f.store_i64(sym, op, 0);
+    });
+    let sum = checksum_i64(&mut f, out as i64, nbits);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `8b10b`: table-driven 8b/10b line-code encoder with running disparity.
+pub fn b8b10b(scale: Scale) -> Program {
+    b8b10b_n(scale, false)
+}
+
+/// Hand `8b10b`: the lookup tables are register-allocated into arithmetic
+/// (the paper: "register allocating a small lookup table"), and the byte
+/// loop is restructured for block filling.
+pub fn b8b10b_hand(scale: Scale) -> Program {
+    b8b10b_n(scale, true)
+}
+
+fn b8b10b_n(scale: Scale, hand: bool) -> Program {
+    let nbytes: i64 = match scale {
+        Scale::Test => 64,
+        Scale::Ref => 2048,
+    };
+    // 5b/6b code table (simplified, disparity-balanced pairs).
+    let table56: Vec<i64> = (0..32).map(|v| ((v * 37 + 11) % 64) as i64).collect();
+    let table34: Vec<i64> = (0..8).map(|v| ((v * 11 + 3) % 16) as i64).collect();
+    let mut pb = ProgramBuilder::new();
+    let input = pb.data_mut().alloc_i64s("in", &rand_i64s(43, nbytes as usize, 256));
+    let t56 = pb.data_mut().alloc_i64s("t56", &table56);
+    let t34 = pb.data_mut().alloc_i64s("t34", &table34);
+    let out = pb.data_mut().alloc_zeroed("out", nbytes as u64 * 8, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+    let disparity = f.iconst(0);
+    for_loop(&mut f, nbytes, |f, i| {
+        let off = f.shl(i, 3i64);
+        let ip = f.add(input as i64, off);
+        let byte = f.load_i64(ip, 0);
+        let lo5 = f.and(byte, 31i64);
+        let hi3 = f.shr(byte, 5i64);
+        let (c6, c4) = if hand {
+            // "Register-allocated table": compute the mapping
+            // arithmetically instead of loading it.
+            let m = f.mul(lo5, 37i64);
+            let m2 = f.add(m, 11i64);
+            let c6 = f.rem(m2, 64i64);
+            let h = f.mul(hi3, 11i64);
+            let h2 = f.add(h, 3i64);
+            let c4 = f.rem(h2, 16i64);
+            (c6, c4)
+        } else {
+            let o5 = f.shl(lo5, 3i64);
+            let p5 = f.add(t56 as i64, o5);
+            let c6 = f.load_i64(p5, 0);
+            let o3 = f.shl(hi3, 3i64);
+            let p3 = f.add(t34 as i64, o3);
+            let c4 = f.load_i64(p3, 0);
+            (c6, c4)
+        };
+        // Disparity update: popcount-ish balance via bit sum of c6.
+        let ones = {
+            let a = f.and(c6, 0x15i64);
+            let b = f.shr(c6, 1i64);
+            let b2 = f.and(b, 0x15i64);
+            f.add(a, b2)
+        };
+        let d1 = f.add(disparity, ones);
+        let d2 = f.sub(d1, 3i64);
+        f.set(disparity, d2);
+        // Conditional complement when disparity positive.
+        let pos = f.icmp(trips_ir::IntCc::Gt, disparity, 0i64);
+        let comp = f.xor(c6, 63i64);
+        let enc6 = f.select(pos, comp, c6);
+        let sym1 = f.shl(enc6, 4i64);
+        let sym = f.or(sym1, c4);
+        let op = f.add(out as i64, off);
+        f.store_i64(sym, op, 0);
+    });
+    let sum = checksum_i64(&mut f, out as i64, nbytes);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+/// `fmradio`: demodulation pipeline — FIR low-pass, discriminator,
+/// de-emphasis filter over an f64 sample stream.
+pub fn fmradio(scale: Scale) -> Program {
+    fmradio_n(scale, false)
+}
+
+/// Hand `fmradio`: the paper fuses loops operating on the same vector; here
+/// the FIR + discriminator + de-emphasis stages run fused in one pass.
+pub fn fmradio_hand(scale: Scale) -> Program {
+    fmradio_n(scale, true)
+}
+
+fn fmradio_n(scale: Scale, fused: bool) -> Program {
+    let n: i64 = match scale {
+        Scale::Test => 64,
+        Scale::Ref => 1024,
+    };
+    let taps = 8i64;
+    let mut pb = ProgramBuilder::new();
+    let sig = pb.data_mut().alloc_f64s("sig", &rand_f64s(47, (n + taps) as usize));
+    let coef = pb.data_mut().alloc_f64s("coef", &rand_f64s(48, taps as usize));
+    let stage1 = pb.data_mut().alloc_zeroed("stage1", n as u64 * 8, 8);
+    let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
+    let mut f = pb.func("main", 0);
+    let e = f.entry();
+    f.switch_to(e);
+
+    let fir = |f: &mut trips_ir::FuncBuilder<'_>, i: trips_ir::Vreg| {
+        let acc = f.fconst(0.0);
+        for_loop(f, taps, |f, k| {
+            let idx = f.add(i, k);
+            let so = f.shl(idx, 3i64);
+            let sp = f.add(sig as i64, so);
+            let sv = f.load_f64(sp, 0);
+            let co = f.shl(k, 3i64);
+            let cp = f.add(coef as i64, co);
+            let cv = f.load_f64(cp, 0);
+            let prod = f.fmul(sv, cv);
+            f.fbin_to(trips_ir::Opcode::Fadd, acc, acc, prod);
+        });
+        acc
+    };
+
+    if fused {
+        let prev = f.fconst(0.0);
+        let emph = f.fconst(0.0);
+        for_loop(&mut f, n, |f, i| {
+            let filtered = fir(f, i);
+            // Discriminator: difference from previous sample.
+            let disc = f.fsub(filtered, prev);
+            f.set(prev, filtered);
+            // De-emphasis: y += 0.25 * (x - y)
+            let diff = f.fsub(disc, emph);
+            let quarter = f.fconst(0.25);
+            let step = f.fmul(diff, quarter);
+            f.fbin_to(trips_ir::Opcode::Fadd, emph, emph, step);
+            let oo = f.shl(i, 3i64);
+            let op = f.add(out as i64, oo);
+            f.store_f64(emph, op, 0);
+        });
+    } else {
+        for_loop(&mut f, n, |f, i| {
+            let filtered = fir(f, i);
+            let oo = f.shl(i, 3i64);
+            let sp = f.add(stage1 as i64, oo);
+            f.store_f64(filtered, sp, 0);
+        });
+        let prev = f.fconst(0.0);
+        let emph = f.fconst(0.0);
+        for_loop(&mut f, n, |f, i| {
+            let oo = f.shl(i, 3i64);
+            let sp = f.add(stage1 as i64, oo);
+            let filtered = f.load_f64(sp, 0);
+            let disc = f.fsub(filtered, prev);
+            f.set(prev, filtered);
+            let diff = f.fsub(disc, emph);
+            let quarter = f.fconst(0.25);
+            let step = f.fmul(diff, quarter);
+            f.fbin_to(trips_ir::Opcode::Fadd, emph, emph, step);
+            let op = f.add(out as i64, oo);
+            f.store_f64(emph, op, 0);
+        });
+    }
+    let sum = checksum_i64(&mut f, out as i64, n);
+    f.ret(Some(Operand::reg(sum)));
+    f.finish();
+    pb.finish("main").unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fused_fmradio_matches_staged() {
+        let a = trips_ir::interp::run(&fmradio(Scale::Test), 1 << 22).unwrap().return_value;
+        let b = trips_ir::interp::run(&fmradio_hand(Scale::Test), 1 << 22).unwrap().return_value;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn encoder_outputs_depend_on_history() {
+        // The convolutional encoder's state must propagate: flipping scale
+        // changes the stream checksum.
+        let a = trips_ir::interp::run(&w80211a(Scale::Test), 1 << 22).unwrap().return_value;
+        assert_ne!(a, 0);
+    }
+
+    #[test]
+    fn b8b10b_hand_matches_table_version() {
+        let a = trips_ir::interp::run(&b8b10b(Scale::Test), 1 << 22).unwrap().return_value;
+        let b = trips_ir::interp::run(&b8b10b_hand(Scale::Test), 1 << 22).unwrap().return_value;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,51 @@
+//! Limit study (Figure 10): how much ILP is there, really?
+//!
+//! Runs a set of workloads on the prototype timing model and on three
+//! idealized EDGE machines (perfect prediction, perfect caches, infinite
+//! FUs, zero routing): the paper's 1K window / 8-cycle dispatch
+//! configuration, 1K with free dispatch, and the 128K-window annotation.
+//!
+//! ```text
+//! cargo run --release --example limit_study [workload ...]
+//! ```
+
+use trips::compiler::{compile, CompileOptions};
+use trips::experiments::Table;
+use trips::ideal::{analyze, IdealConfig};
+use trips::sim::TripsConfig;
+use trips::workloads::{by_name, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<String> = if args.is_empty() {
+        ["vadd", "fmradio", "routelookup", "802.11a", "art", "mcf"].iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+
+    let mut t = Table::new(
+        "IPC: prototype vs idealized EDGE machines",
+        &["prototype", "ideal 1K", "ideal 1K d=0", "ideal 128K"],
+    );
+    for name in &names {
+        let Some(w) = by_name(name) else {
+            eprintln!("unknown workload {name}");
+            std::process::exit(1);
+        };
+        eprintln!("analyzing {name} ...");
+        let program = (w.build)(Scale::Ref);
+        let compiled = compile(&program, &CompileOptions::o2()).expect("compiles");
+        let hw = trips::sim::simulate(&compiled, &TripsConfig::prototype(), 1 << 22)
+            .expect("simulates")
+            .stats
+            .ipc_executed();
+        let i1 = analyze(&compiled, IdealConfig::window_1k(), 1 << 22).expect("ideal");
+        let i0 = analyze(&compiled, IdealConfig::window_1k_free_dispatch(), 1 << 22).expect("ideal");
+        let ibig = analyze(&compiled, IdealConfig::window_128k(), 1 << 22).expect("ideal");
+        t.row_f(w.name, &[hw, i1.ipc, i0.ipc, ibig.ipc]);
+    }
+    println!("{}", t.render());
+    println!("paper shape: the 1K ideal machine is ~2.5x the prototype; removing the dispatch");
+    println!("cost buys ~5x more; concurrent kernels (vadd, fmradio) explode at 128K windows");
+    println!("while serial ones (routelookup, 802.11a) stay flat — low inherent ILP.");
+}

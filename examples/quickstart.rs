@@ -1,0 +1,81 @@
+//! Quickstart: build a tiny program, compile it for TRIPS, run it on every
+//! executor in the stack, and print what the paper's §4/§5 statistics look
+//! like for it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use trips::compiler::{compile, CompileOptions};
+use trips::ir::{IntCc, Operand, ProgramBuilder};
+use trips::sim::TripsConfig;
+
+fn main() {
+    // 1. Write a program in the shared IR: sum of squares 0..100.
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let entry = f.entry();
+    let body = f.block();
+    let done = f.block();
+    f.switch_to(entry);
+    let acc = f.iconst(0);
+    let i = f.iconst(0);
+    f.jump(body);
+    f.switch_to(body);
+    let sq = f.mul(i, i);
+    f.ibin_to(trips::ir::Opcode::Add, acc, acc, sq);
+    f.ibin_to(trips::ir::Opcode::Add, i, i, 1i64);
+    let c = f.icmp(IntCc::Lt, i, 100i64);
+    f.branch(c, body, done);
+    f.switch_to(done);
+    f.ret(Some(Operand::reg(acc)));
+    f.finish();
+    let program = pb.finish("main").expect("valid IR");
+
+    // 2. Reference semantics from the interpreter.
+    let golden = trips::ir::interp::run(&program, 1 << 20).expect("interp");
+    println!("reference result      : {}", golden.return_value);
+
+    // 3. Compile to TRIPS blocks (hyperblocks, predication, placement).
+    let compiled = compile(&program, &CompileOptions::o2()).expect("compiles");
+    println!(
+        "TRIPS blocks          : {} (largest {} instructions)",
+        compiled.trips.blocks.len(),
+        compiled.trips.blocks.iter().map(|b| b.insts.len()).max().unwrap_or(0)
+    );
+
+    // 4. Functional TRIPS execution with ISA statistics (paper Figures 3-5).
+    let out = trips::isa::run_program(&compiled.trips, &compiled.opt_ir, 1 << 20).expect("runs");
+    assert_eq!(out.return_value, golden.return_value);
+    let s = &out.stats;
+    println!(
+        "ISA stats             : {:.1} insts/block, {} fetched, {} useful, {} moves",
+        s.avg_block_size(),
+        s.fetched,
+        s.useful,
+        s.moves_executed
+    );
+
+    // 5. Cycle-level simulation on the prototype configuration (Figure 9).
+    let sim = trips::sim::simulate(&compiled, &TripsConfig::prototype(), 1 << 20).expect("simulates");
+    assert_eq!(sim.return_value, golden.return_value);
+    println!(
+        "prototype timing      : {} cycles, IPC {:.2}, {:.0} insts in flight",
+        sim.stats.cycles,
+        sim.stats.ipc_executed(),
+        sim.stats.avg_window_insts()
+    );
+
+    // 6. The RISC (PowerPC-like) baseline for comparison (Figure 4's axis).
+    let rp = trips::risc::compile_program(&program).expect("risc codegen");
+    let risc = trips::risc::run(&rp, &program, 1 << 20, u64::MAX).expect("risc runs");
+    assert_eq!(risc.return_value, golden.return_value);
+    println!(
+        "RISC baseline         : {} dynamic instructions ({} loads, {} stores)",
+        risc.stats.insts, risc.stats.loads, risc.stats.stores
+    );
+    println!(
+        "TRIPS/RISC fetch ratio: {:.2}x (paper: 2-6x from predication + moves)",
+        s.fetched as f64 / risc.stats.insts as f64
+    );
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate re-exporting the TRIPS reproduction workspace.
+pub use trips_compiler as compiler;
+pub use trips_experiments as experiments;
+pub use trips_ideal as ideal;
+pub use trips_ir as ir;
+pub use trips_isa as isa;
+pub use trips_ooo as ooo;
+pub use trips_risc as risc;
+pub use trips_sim as sim;
+pub use trips_workloads as workloads;

@@ -1,0 +1,85 @@
+//! Whole-system agreement: every workload in the registry must produce the
+//! same result on
+//!   1. the IR reference interpreter,
+//!   2. the RISC (PowerPC-like) functional simulator,
+//!   3. the TRIPS functional dataflow simulator (at O1 and Hand levels), and
+//!   4. the TRIPS cycle-level simulator (which replays the same oracle).
+//!
+//! This is the correctness contract behind every figure: the ISA comparison
+//! (Figures 3–5) and the performance comparison (Figures 9/11/12) are only
+//! meaningful because all machines compute identical results.
+
+use trips::compiler::{compile, CompileOptions};
+use trips::workloads::{all, Scale};
+
+const MEM: usize = 1 << 22;
+
+#[test]
+fn interpreter_risc_and_trips_agree_on_every_workload() {
+    for w in all() {
+        let program = (w.build)(Scale::Test);
+        let golden = trips::ir::interp::run(&program, MEM)
+            .unwrap_or_else(|e| panic!("{}: interp failed: {e}", w.name));
+
+        // RISC backend.
+        let rp = trips::risc::compile_program(&program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let risc_out = trips::risc::run(&rp, &program, MEM, 2_000_000_000)
+            .unwrap_or_else(|e| panic!("{}: RISC failed: {e}", w.name));
+        assert_eq!(risc_out.return_value, golden.return_value, "{}: RISC mismatch", w.name);
+
+        // TRIPS backend at three optimization levels. O1 must match the
+        // original bit-exactly; O2/Hand license FP reassociation, so they
+        // are checked against the IR they actually compiled.
+        for opts in [CompileOptions::o1(), CompileOptions::o2(), CompileOptions::hand()] {
+            let compiled = compile(&program, &opts)
+                .unwrap_or_else(|e| panic!("{} @ {:?}: {e}", w.name, opts.level));
+            let opt_golden = trips::ir::interp::run(&compiled.opt_ir, MEM)
+                .unwrap_or_else(|e| panic!("{} @ {:?}: opt-ir: {e}", w.name, opts.level));
+            if !opts.fp_reassoc {
+                assert_eq!(
+                    opt_golden.return_value, golden.return_value,
+                    "{} @ {:?}: optimizer changed semantics",
+                    w.name, opts.level
+                );
+            }
+            let trips_out = trips::isa::run_program(&compiled.trips, &compiled.opt_ir, MEM)
+                .unwrap_or_else(|e| panic!("{} @ {:?}: TRIPS exec: {e}", w.name, opts.level));
+            assert_eq!(
+                trips_out.return_value, opt_golden.return_value,
+                "{} @ {:?}: TRIPS mismatch",
+                w.name, opts.level
+            );
+        }
+    }
+}
+
+#[test]
+fn cycle_simulator_agrees_and_reports_sane_stats() {
+    for w in all() {
+        let program = (w.build)(Scale::Test);
+        let golden = trips::ir::interp::run(&program, MEM).unwrap();
+        let compiled = compile(&program, &CompileOptions::o2()).unwrap();
+        let opt_golden = trips::ir::interp::run(&compiled.opt_ir, MEM).unwrap();
+        let sim = trips::sim::simulate(&compiled, &trips::sim::TripsConfig::prototype(), MEM)
+            .unwrap_or_else(|e| panic!("{}: sim failed: {e}", w.name));
+        assert_eq!(sim.return_value, opt_golden.return_value, "{}: sim mismatch", w.name);
+        let _ = &golden;
+        assert!(sim.stats.cycles > 0, "{}", w.name);
+        let ipc = sim.stats.ipc_executed();
+        assert!(ipc > 0.0 && ipc <= 16.0, "{}: IPC {ipc} outside hardware range", w.name);
+        let w_occ = sim.stats.avg_window_insts();
+        assert!(w_occ <= 1024.0, "{}: window occupancy {w_occ} exceeds 1024", w.name);
+    }
+}
+
+#[test]
+fn hand_variants_agree_everywhere() {
+    for w in all().into_iter().filter(|w| w.hand.is_some()) {
+        let program = w.build_hand(Scale::Test);
+        let compiled = compile(&program, &CompileOptions::hand()).unwrap();
+        let opt_golden = trips::ir::interp::run(&compiled.opt_ir, MEM).unwrap();
+        let out = trips::isa::run_program(&compiled.trips, &compiled.opt_ir, MEM)
+            .unwrap_or_else(|e| panic!("{} (hand): {e}", w.name));
+        assert_eq!(out.return_value, opt_golden.return_value, "{} (hand)", w.name);
+    }
+}

@@ -1,0 +1,142 @@
+//! Whole-system invariants, checked over every workload:
+//!
+//! * determinism — repeated runs produce identical cycle counts and stats;
+//! * accounting consistency — the ISA composition buckets partition the
+//!   fetched instructions, and window occupancy respects the hardware cap;
+//! * binary encoding — every compiled block encodes to the documented sizes
+//!   and every instruction word decodes back to itself;
+//! * predictor sanity — the improved configuration never mispredicts more
+//!   than the prototype on the same stream.
+
+use trips::compiler::{compile, CompileOptions};
+use trips::sim::TripsConfig;
+use trips::workloads::{all, Scale};
+
+const MEM: usize = 1 << 22;
+
+#[test]
+fn simulation_is_deterministic() {
+    for w in all().into_iter().take(8) {
+        let program = (w.build)(Scale::Test);
+        let compiled = compile(&program, &CompileOptions::o2()).unwrap();
+        let a = trips::sim::simulate(&compiled, &TripsConfig::prototype(), MEM).unwrap();
+        let b = trips::sim::simulate(&compiled, &TripsConfig::prototype(), MEM).unwrap();
+        assert_eq!(a.stats.cycles, b.stats.cycles, "{}", w.name);
+        assert_eq!(a.stats.opn.packets, b.stats.opn.packets, "{}", w.name);
+        assert_eq!(a.stats.predictor.mispredicts(), b.stats.predictor.mispredicts(), "{}", w.name);
+        assert_eq!(a.return_value, b.return_value, "{}", w.name);
+    }
+}
+
+#[test]
+fn composition_buckets_partition_fetched() {
+    for w in all() {
+        let program = (w.build)(Scale::Test);
+        let compiled = compile(&program, &CompileOptions::o2()).unwrap();
+        let out = trips::isa::run_program(&compiled.trips, &compiled.opt_ir, MEM).unwrap();
+        let s = &out.stats;
+        assert_eq!(s.composition.total(), s.fetched, "{}: buckets must partition fetch", w.name);
+        assert_eq!(
+            s.fetched,
+            s.executed + s.fetched_not_executed,
+            "{}: executed + not-executed = fetched",
+            w.name
+        );
+        assert!(s.useful <= s.executed, "{}", w.name);
+        // Every block execution takes exactly one exit.
+        assert_eq!(s.exits_taken, s.blocks_executed, "{}", w.name);
+    }
+}
+
+#[test]
+fn compiled_blocks_encode_to_documented_sizes() {
+    for w in all().into_iter().take(12) {
+        let program = (w.build)(Scale::Test);
+        let compiled = compile(&program, &CompileOptions::o2()).unwrap();
+        for b in &compiled.trips.blocks {
+            let bytes = trips::isa::encode::encode_block(b);
+            assert_eq!(bytes.len(), trips::isa::encode::encoded_size_compressed(b), "{}", b.name);
+            assert!(bytes.len() >= trips::isa::encode::HEADER_BYTES + 32 * 4);
+            assert!(bytes.len() <= trips::isa::encode::encoded_size_uncompressed());
+            // Every compute instruction word decodes back to itself.
+            for (i, inst) in b.insts.iter().enumerate() {
+                let off = trips::isa::encode::HEADER_BYTES + i * 4;
+                let word = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+                let decoded = trips::isa::encode::decode_inst(word)
+                    .unwrap_or_else(|e| panic!("{} N[{i}]: {e}", b.name));
+                assert_eq!(&decoded, inst, "{} N[{i}]", b.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn placements_respect_tile_capacity() {
+    for w in all() {
+        let program = (w.build)(Scale::Test);
+        let compiled = compile(&program, &CompileOptions::hand()).unwrap();
+        for (b, placement) in compiled.trips.blocks.iter().zip(&compiled.placements) {
+            assert_eq!(placement.len(), b.insts.len(), "{}", b.name);
+            let mut counts = [0usize; 16];
+            for &et in placement {
+                assert!(et < 16, "{}: tile {et} out of range", b.name);
+                counts[et as usize] += 1;
+            }
+            assert!(
+                counts.iter().all(|&c| c <= 8),
+                "{}: a tile got more than 8 reservation stations: {counts:?}",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn improved_predictor_not_worse() {
+    let mut better = 0;
+    let mut total = 0;
+    for w in trips::workloads::suite(trips::workloads::Suite::SpecInt) {
+        let program = (w.build)(Scale::Test);
+        let compiled = compile(&program, &CompileOptions::o2()).unwrap();
+        let proto = trips::sim::simulate(&compiled, &TripsConfig::prototype(), MEM).unwrap();
+        let improved = trips::sim::simulate(&compiled, &TripsConfig::improved_predictor(), MEM).unwrap();
+        total += 1;
+        if improved.stats.predictor.mispredicts() <= proto.stats.predictor.mispredicts() {
+            better += 1;
+        }
+    }
+    // Larger tables can alias differently on individual programs; demand a
+    // clear majority rather than strict dominance.
+    assert!(better * 2 > total, "improved predictor worse on {}/{} programs", total - better, total);
+}
+
+#[test]
+fn ideal_machine_dominates_prototype() {
+    for w in all().into_iter().take(10) {
+        let program = (w.build)(Scale::Test);
+        let compiled = compile(&program, &CompileOptions::o2()).unwrap();
+        let hw = trips::sim::simulate(&compiled, &TripsConfig::prototype(), MEM).unwrap();
+        let ideal =
+            trips::ideal::analyze(&compiled, trips::ideal::IdealConfig::window_1k_free_dispatch(), MEM)
+                .unwrap();
+        // Perfect everything can only be faster.
+        assert!(
+            ideal.cycles <= hw.stats.cycles,
+            "{}: ideal {} cycles > hardware {}",
+            w.name,
+            ideal.cycles,
+            hw.stats.cycles
+        );
+    }
+}
+
+#[test]
+fn larger_windows_never_hurt_the_limit_study() {
+    for w in all().into_iter().take(10) {
+        let program = (w.build)(Scale::Test);
+        let compiled = compile(&program, &CompileOptions::o2()).unwrap();
+        let small = trips::ideal::analyze(&compiled, trips::ideal::IdealConfig::window_1k(), MEM).unwrap();
+        let big = trips::ideal::analyze(&compiled, trips::ideal::IdealConfig::window_128k(), MEM).unwrap();
+        assert!(big.cycles <= small.cycles, "{}", w.name);
+    }
+}

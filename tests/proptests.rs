@@ -1,0 +1,228 @@
+//! Property-based tests over the core invariants:
+//!
+//! * **Differential execution** — randomly generated programs (arithmetic
+//!   DAGs, data-dependent diamonds, counted loops over a scratch buffer)
+//!   must produce identical results on the IR interpreter, the RISC backend,
+//!   and the TRIPS backend at every exact optimization level.
+//! * **Encode/decode** — every legal TRIPS instruction word round-trips
+//!   through the 32-bit binary encoding.
+//! * **Verifier closure** — everything the compiler emits passes the block
+//!   verifier (checked implicitly by `compile`), and the functional
+//!   interpreter's block-atomic completion checks hold on every run.
+
+use proptest::prelude::*;
+use trips::compiler::{compile, CompileOptions};
+use trips::ir::{IntCc, Opcode, Operand, Program, ProgramBuilder, Vreg};
+
+const MEM: usize = 1 << 20;
+
+/// One step of a random program.
+#[derive(Debug, Clone)]
+enum Step {
+    Bin(Opcode, u8, u8),
+    Cmp(IntCc, u8, u8),
+    Select(u8, u8, u8),
+    Diamond { cond: u8, tval: u8, fval: u8 },
+    StoreLoad { val: u8, slot: u8 },
+}
+
+fn opcode_strategy() -> impl Strategy<Value = Opcode> {
+    prop_oneof![
+        Just(Opcode::Add),
+        Just(Opcode::Sub),
+        Just(Opcode::Mul),
+        Just(Opcode::And),
+        Just(Opcode::Or),
+        Just(Opcode::Xor),
+        Just(Opcode::Shl),
+        Just(Opcode::Shr),
+        Just(Opcode::Sra),
+    ]
+}
+
+fn cc_strategy() -> impl Strategy<Value = IntCc> {
+    prop_oneof![
+        Just(IntCc::Eq),
+        Just(IntCc::Ne),
+        Just(IntCc::Lt),
+        Just(IntCc::Le),
+        Just(IntCc::Ugt),
+        Just(IntCc::Ule),
+    ]
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (opcode_strategy(), any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| Step::Bin(o, a, b)),
+        (cc_strategy(), any::<u8>(), any::<u8>()).prop_map(|(c, a, b)| Step::Cmp(c, a, b)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(c, a, b)| Step::Select(c, a, b)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(c, t, f)| Step::Diamond { cond: c, tval: t, fval: f }),
+        (any::<u8>(), any::<u8>()).prop_map(|(v, s)| Step::StoreLoad { val: v, slot: s }),
+    ]
+}
+
+/// Builds a valid program from the random recipe. Shift amounts are masked
+/// and divisions avoided, so every program is total.
+fn build_program(seeds: &[i64], steps: &[Step]) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let scratch = pb.data_mut().alloc_i64s("scratch", &[0; 16]);
+    let mut f = pb.func("main", 0);
+    let entry = f.entry();
+    f.switch_to(entry);
+    let mut vals: Vec<Vreg> = seeds.iter().map(|&s| f.iconst(s)).collect();
+    let pick = |vals: &Vec<Vreg>, k: u8| vals[k as usize % vals.len()];
+    for step in steps {
+        match step {
+            Step::Bin(op, a, b) => {
+                let (a, b) = (pick(&vals, *a), pick(&vals, *b));
+                let b = if matches!(op, Opcode::Shl | Opcode::Shr | Opcode::Sra) {
+                    f.and(b, 31i64)
+                } else {
+                    b
+                };
+                let v = f.ibin(*op, a, b);
+                vals.push(v);
+            }
+            Step::Cmp(cc, a, b) => {
+                let v = f.icmp(*cc, pick(&vals, *a), pick(&vals, *b));
+                vals.push(v);
+            }
+            Step::Select(c, a, b) => {
+                let v = f.select(pick(&vals, *c), pick(&vals, *a), pick(&vals, *b));
+                vals.push(v);
+            }
+            Step::Diamond { cond, tval, fval } => {
+                let then_b = f.block();
+                let else_b = f.block();
+                let join = f.block();
+                let out = f.vreg();
+                let c = f.and(pick(&vals, *cond), 1i64);
+                f.branch(c, then_b, else_b);
+                f.switch_to(then_b);
+                let tv = f.add(pick(&vals, *tval), 13i64);
+                f.set(out, tv);
+                f.jump(join);
+                f.switch_to(else_b);
+                let fv = f.xor(pick(&vals, *fval), 77i64);
+                f.set(out, fv);
+                f.jump(join);
+                f.switch_to(join);
+                vals.push(out);
+            }
+            Step::StoreLoad { val, slot } => {
+                let s = (slot % 16) as i64;
+                let addr = f.iconst(scratch as i64 + s * 8);
+                f.store_i64(pick(&vals, *val), addr, 0);
+                let v = f.load_i64(addr, 0);
+                vals.push(v);
+            }
+        }
+    }
+    // Fold everything into one checksum so no step is dead.
+    let mut acc = f.iconst(0);
+    for v in vals {
+        acc = f.xor(acc, v);
+        let rot = f.shl(acc, 1i64);
+        let hi = f.shr(acc, 63i64);
+        acc = f.or(rot, hi);
+    }
+    f.ret(Some(Operand::reg(acc)));
+    f.finish();
+    pb.finish("main").expect("generated program is valid IR")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random programs: all exact backends agree with the interpreter.
+    #[test]
+    fn differential_execution(
+        seeds in prop::collection::vec(any::<i64>(), 2..6),
+        steps in prop::collection::vec(step_strategy(), 1..24),
+    ) {
+        let p = build_program(&seeds, &steps);
+        let golden = trips::ir::interp::run(&p, MEM).expect("interp").return_value;
+
+        let rp = trips::risc::compile_program(&p).expect("risc");
+        let r = trips::risc::run(&rp, &p, MEM, 50_000_000).expect("risc run").return_value;
+        prop_assert_eq!(r, golden, "RISC backend diverged");
+
+        // Integer-only programs: every level is exact (fp_reassoc has no
+        // effect without floating point).
+        for opts in [CompileOptions::o0(), CompileOptions::o1(), CompileOptions::o2(), CompileOptions::hand()] {
+            let c = compile(&p, &opts).expect("compile");
+            let t = trips::isa::run_program(&c.trips, &c.opt_ir, MEM).expect("trips run").return_value;
+            prop_assert_eq!(t, golden, "TRIPS diverged at {:?}", opts.level);
+        }
+    }
+
+    /// Counted loops with random bodies and trip counts survive unrolling.
+    #[test]
+    fn random_loops(
+        n in 0i64..40,
+        mul in 1i64..9,
+        add in any::<i64>(),
+    ) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        let body = f.block();
+        let done = f.block();
+        f.switch_to(e);
+        let acc = f.iconst(1);
+        let i = f.iconst(0);
+        f.jump(body);
+        f.switch_to(body);
+        f.ibin_to(Opcode::Mul, acc, acc, mul);
+        f.ibin_to(Opcode::Add, acc, acc, add);
+        let sq = f.mul(i, i);
+        f.ibin_to(Opcode::Xor, acc, acc, sq);
+        f.ibin_to(Opcode::Add, i, i, 1i64);
+        let c = f.icmp(IntCc::Lt, i, n);
+        f.branch(c, body, done);
+        f.switch_to(done);
+        f.ret(Some(Operand::reg(acc)));
+        f.finish();
+        let p = pb.finish("main").unwrap();
+        let golden = trips::ir::interp::run(&p, MEM).unwrap().return_value;
+        for opts in [CompileOptions::o1(), CompileOptions::o2(), CompileOptions::hand()] {
+            let c = compile(&p, &opts).expect("compile");
+            let t = trips::isa::run_program(&c.trips, &c.opt_ir, MEM).expect("run").return_value;
+            prop_assert_eq!(t, golden, "loop diverged at {:?} (n={})", opts.level, n);
+        }
+    }
+
+    /// Every legal instruction word round-trips through the binary encoding.
+    #[test]
+    fn encode_roundtrip(
+        op_idx in 0usize..trips::isa::TOpcode::all().len(),
+        pred in prop::option::of(any::<bool>()),
+        imm in -256i32..256,
+        lsid in 0u8..32,
+        exit in 0u8..8,
+        t0 in prop::option::of((0u8..128, 0u8..3)),
+    ) {
+        use trips::isa::block::{BInst, Target, TargetSlot};
+        let op = trips::isa::TOpcode::all()[op_idx];
+        let mut inst = BInst::new(op);
+        inst.pred = pred;
+        if op.has_imm() {
+            inst.imm = if op == trips::isa::TOpcode::App { imm.unsigned_abs() as i32 } else { imm };
+        }
+        if op.is_load() || op.is_store() || op == trips::isa::TOpcode::Null {
+            inst.lsid = Some(lsid);
+        }
+        if op.is_branch() {
+            inst.exit = Some(exit);
+        }
+        // G-format ops carry up to two targets; imm forms one.
+        if !op.is_branch() && !op.is_store() {
+            if let Some((idx, slot)) = t0 {
+                inst.targets.push(Target::Inst { idx, slot: TargetSlot::from_code(slot).unwrap() });
+            }
+        }
+        let w = trips::isa::encode::encode_inst(&inst);
+        let d = trips::isa::encode::decode_inst(w).expect("decodes");
+        prop_assert_eq!(inst, d);
+    }
+}
