@@ -23,10 +23,18 @@ fn ablate_block_cap(c: &mut Criterion) {
         let mut opts = CompileOptions::o2();
         opts.region_cap = cap;
         let comp = build("autocor", &opts);
-        let cyc = trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM).unwrap().stats.cycles;
+        let cyc = trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM)
+            .unwrap()
+            .stats
+            .cycles;
         eprintln!("[ablation] block cap {cap}: {cyc} cycles");
         g.bench_function(format!("cap_{cap}"), |b| {
-            b.iter(|| trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM).unwrap().stats.cycles)
+            b.iter(|| {
+                trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM)
+                    .unwrap()
+                    .stats
+                    .cycles
+            })
         });
     }
     g.finish();
@@ -37,7 +45,10 @@ fn ablate_dispatch_cost(c: &mut Criterion) {
     let comp = build("fft", &CompileOptions::o1());
     let mut g = c.benchmark_group("ablation_dispatch");
     for di in [1u64, 8, 16] {
-        let cfg = TripsConfig { dispatch_interval: di, ..TripsConfig::prototype() };
+        let cfg = TripsConfig {
+            dispatch_interval: di,
+            ..TripsConfig::prototype()
+        };
         let cyc = trips_sim::simulate(&comp, &cfg, MEM).unwrap().stats.cycles;
         eprintln!("[ablation] dispatch interval {di}: {cyc} cycles");
         g.bench_function(format!("interval_{di}"), |b| {
@@ -51,7 +62,10 @@ fn ablate_dispatch_cost(c: &mut Criterion) {
 fn ablate_predictor(c: &mut Criterion) {
     let comp = build("gzip", &CompileOptions::o1());
     let mut g = c.benchmark_group("ablation_predictor");
-    for (label, cfg) in [("prototype", TripsConfig::prototype()), ("improved", TripsConfig::improved_predictor())] {
+    for (label, cfg) in [
+        ("prototype", TripsConfig::prototype()),
+        ("improved", TripsConfig::improved_predictor()),
+    ] {
         let s = trips_sim::simulate(&comp, &cfg, MEM).unwrap().stats;
         eprintln!(
             "[ablation] predictor {label}: {} cycles, {} mispredicts",
@@ -59,7 +73,13 @@ fn ablate_predictor(c: &mut Criterion) {
             s.predictor.mispredicts()
         );
         g.bench_function(label, |b| {
-            b.iter(|| trips_sim::simulate(&comp, &cfg, MEM).unwrap().stats.predictor.mispredicts())
+            b.iter(|| {
+                trips_sim::simulate(&comp, &cfg, MEM)
+                    .unwrap()
+                    .stats
+                    .predictor
+                    .mispredicts()
+            })
         });
     }
     g.finish();
@@ -70,17 +90,33 @@ fn ablate_predictor(c: &mut Criterion) {
 fn ablate_placement(c: &mut Criterion) {
     let base = build("conv", &CompileOptions::o1());
     let mut g = c.benchmark_group("ablation_placement");
-    for policy in [PlacementPolicy::Sps, PlacementPolicy::RowMajor, PlacementPolicy::Scatter] {
+    for policy in [
+        PlacementPolicy::Sps,
+        PlacementPolicy::RowMajor,
+        PlacementPolicy::Scatter,
+    ] {
         let mut comp = base.clone();
-        comp.placements = comp.trips.blocks.iter().map(|b| place_block_with(b, policy)).collect();
-        let s = trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM).unwrap().stats;
+        comp.placements = comp
+            .trips
+            .blocks
+            .iter()
+            .map(|b| place_block_with(b, policy))
+            .collect();
+        let s = trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM)
+            .unwrap()
+            .stats;
         eprintln!(
             "[ablation] placement {policy:?}: {} cycles, {:.2} avg hops",
             s.cycles,
             s.opn.avg_hops()
         );
         g.bench_function(format!("{policy:?}"), |b| {
-            b.iter(|| trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM).unwrap().stats.cycles)
+            b.iter(|| {
+                trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM)
+                    .unwrap()
+                    .stats
+                    .cycles
+            })
         });
     }
     g.finish();

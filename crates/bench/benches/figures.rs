@@ -10,7 +10,11 @@ use trips_workloads::Scale;
 fn bench_fig3_block_composition(c: &mut Criterion) {
     let w = trips_workloads::by_name("a2time").unwrap();
     c.bench_function("fig3_block_composition/a2time", |b| {
-        b.iter(|| trips_experiments::measure_isa(&w, Scale::Test, false).trips.avg_block_size())
+        b.iter(|| {
+            trips_experiments::measure_isa(&w, Scale::Test, false)
+                .trips
+                .avg_block_size()
+        })
     });
 }
 
@@ -38,7 +42,10 @@ fn bench_fig6_window(c: &mut Criterion) {
     let comp = compiled("autocor", false);
     c.bench_function("fig6_window/autocor", |b| {
         b.iter(|| {
-            trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM).unwrap().stats.avg_window_insts()
+            trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM)
+                .unwrap()
+                .stats
+                .avg_window_insts()
         })
     });
 }
@@ -47,7 +54,11 @@ fn bench_fig7_predictors(c: &mut Criterion) {
     let comp = compiled("gzip", false);
     c.bench_function("fig7_predictors/gzip", |b| {
         b.iter(|| {
-            trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM).unwrap().stats.predictor.mispredicts()
+            trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM)
+                .unwrap()
+                .stats
+                .predictor
+                .mispredicts()
         })
     });
 }
@@ -56,7 +67,9 @@ fn bench_fig8_feeds_speeds(c: &mut Criterion) {
     let comp = compiled("vadd", true);
     c.bench_function("fig8_feeds_speeds/vadd_hand", |b| {
         b.iter(|| {
-            let s = trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM).unwrap().stats;
+            let s = trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM)
+                .unwrap()
+                .stats;
             (s.l1_bytes, s.opn.avg_hops())
         })
     });
@@ -65,14 +78,23 @@ fn bench_fig8_feeds_speeds(c: &mut Criterion) {
 fn bench_fig9_ipc(c: &mut Criterion) {
     let comp = compiled("fft", false);
     c.bench_function("fig9_ipc/fft", |b| {
-        b.iter(|| trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM).unwrap().stats.ipc_executed())
+        b.iter(|| {
+            trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM)
+                .unwrap()
+                .stats
+                .ipc_executed()
+        })
     });
 }
 
 fn bench_fig10_ideal(c: &mut Criterion) {
     let comp = compiled("matrix", false);
     c.bench_function("fig10_ideal/matrix", |b| {
-        b.iter(|| trips_ideal::analyze(&comp, trips_ideal::IdealConfig::window_1k(), MEM).unwrap().ipc)
+        b.iter(|| {
+            trips_ideal::analyze(&comp, trips_ideal::IdealConfig::window_1k(), MEM)
+                .unwrap()
+                .ipc
+        })
     });
 }
 
@@ -100,7 +122,9 @@ fn bench_table3_counters(c: &mut Criterion) {
     let comp = compiled("crafty", false);
     c.bench_function("table3_counters/crafty", |b| {
         b.iter(|| {
-            let s = trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM).unwrap().stats;
+            let s = trips_sim::simulate(&comp, &TripsConfig::prototype(), MEM)
+                .unwrap()
+                .stats;
             s.per_kilo_useful(s.icache_misses)
         })
     });

@@ -18,14 +18,25 @@ pub const MEM: usize = 1 << 22;
 /// Compiles a named workload at Test scale.
 pub fn compiled(name: &str, hand: bool) -> CompiledProgram {
     let w = trips_workloads::by_name(name).unwrap_or_else(|| panic!("workload {name}"));
-    let p = if hand { w.build_hand(trips_workloads::Scale::Test) } else { (w.build)(trips_workloads::Scale::Test) };
-    let opts = if hand { CompileOptions::hand() } else { CompileOptions::o1() };
+    let p = if hand {
+        w.build_hand(trips_workloads::Scale::Test)
+    } else {
+        (w.build)(trips_workloads::Scale::Test)
+    };
+    let opts = if hand {
+        CompileOptions::hand()
+    } else {
+        CompileOptions::o1()
+    };
     compile(&p, &opts).expect("compiles")
 }
 
 /// Simulated cycle count on the prototype configuration.
 pub fn cycles(c: &CompiledProgram, cfg: &TripsConfig) -> u64 {
-    trips_sim::simulate(c, cfg, MEM).expect("simulates").stats.cycles
+    trips_sim::simulate(c, cfg, MEM)
+        .expect("simulates")
+        .stats
+        .cycles
 }
 
 #[cfg(test)]

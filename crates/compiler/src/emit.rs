@@ -22,10 +22,10 @@ use crate::homes::{Home, Homes};
 use crate::options::CompileOptions;
 use crate::CompileError;
 use std::collections::HashMap;
-use trips_isa::block::{BInst, Block, ExitTarget, Target, TargetSlot};
-use trips_isa::{abi, limits, TOpcode};
 use trips_ir::cfg::Cfg;
 use trips_ir::{FloatCc, Function, Inst, IntCc, MemWidth, Opcode as IrOp, Operand, Vreg};
+use trips_isa::block::{BInst, Block, ExitTarget, Target, TargetSlot};
+use trips_isa::{abi, limits, TOpcode};
 
 /// A producer inside a proto-block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,7 +158,14 @@ struct Emitter<'a> {
 
 impl<'a> Emitter<'a> {
     fn node(&mut self, op: TOpcode) -> usize {
-        self.nodes.push(PNode { op, pred: None, imm: 0, lsid: None, exit: None, targets: Vec::new() });
+        self.nodes.push(PNode {
+            op,
+            pred: None,
+            imm: 0,
+            lsid: None,
+            exit: None,
+            targets: Vec::new(),
+        });
         self.nodes.len() - 1
     }
 
@@ -190,7 +197,10 @@ impl<'a> Emitter<'a> {
         if let Some(&r) = self.read_cache.get(&reg) {
             return Src::Read(r);
         }
-        self.reads.push(PRead { reg, targets: Vec::new() });
+        self.reads.push(PRead {
+            reg,
+            targets: Vec::new(),
+        });
         let idx = self.reads.len() - 1;
         self.read_cache.insert(reg, idx);
         Src::Read(idx)
@@ -237,7 +247,10 @@ impl<'a> Emitter<'a> {
     }
 
     fn overflow(&self, what: &str) -> CompileError {
-        CompileError::BlockTooLarge { func: self.hf.name.clone(), what: format!("{} ({})", what, self.hb.name) }
+        CompileError::BlockTooLarge {
+            func: self.hf.name.clone(),
+            what: format!("{} ({})", what, self.hb.name),
+        }
     }
 
     /// Stack-pointer value (entry blocks use the post-adjustment value).
@@ -309,7 +322,11 @@ impl<'a> Emitter<'a> {
     fn def(&mut self, v: Vreg, new_prods: Vec<Src>) -> Result<(), CompileError> {
         let depth = self.guards.len();
         let chain: Vec<(Vreg, bool)> = self.guards.iter().map(|l| (l.cond, l.pol)).collect();
-        let raw = if new_prods.len() == 1 { Some(new_prods[0]) } else { None };
+        let raw = if new_prods.len() == 1 {
+            Some(new_prods[0])
+        } else {
+            None
+        };
         if depth == 0 {
             self.env.insert(v, Value { prods: new_prods });
             self.raw_info.insert(v, (raw, chain));
@@ -353,7 +370,10 @@ impl<'a> Emitter<'a> {
     /// The value delivering guard condition `cond` exactly when the prefix
     /// of `depth` outer levels matched.
     fn guard_source(&mut self, cond: Vreg, depth: usize) -> Result<Value, CompileError> {
-        let prefix: Vec<(Vreg, bool)> = self.guards[..depth].iter().map(|l| (l.cond, l.pol)).collect();
+        let prefix: Vec<(Vreg, bool)> = self.guards[..depth]
+            .iter()
+            .map(|l| (l.cond, l.pol))
+            .collect();
         if depth == 0 {
             // With no prefix every execution is on-path; the (complete) env
             // value is exactly the sequential value.
@@ -396,7 +416,13 @@ impl<'a> Emitter<'a> {
     }
 
     /// Emits a store with output-completeness nulls along the guard chain.
-    fn emit_store(&mut self, w: MemWidth, addr: Value, off: i64, val: Value) -> Result<(), CompileError> {
+    fn emit_store(
+        &mut self,
+        w: MemWidth,
+        addr: Value,
+        off: i64,
+        val: Value,
+    ) -> Result<(), CompileError> {
         let lsid = self.alloc_lsid()?;
         self.store_mask |= 1 << lsid;
         let (base, imm) = self.mem_base(addr, off)?;
@@ -551,7 +577,9 @@ impl<'a> Emitter<'a> {
                         .snapshots
                         .get(&v)
                         .cloned()
-                        .ok_or_else(|| CompileError::Internal(format!("missing snapshot for {v}")))?;
+                        .ok_or_else(|| {
+                            CompileError::Internal(format!("missing snapshot for {v}"))
+                        })?;
                     let pred = self.exit_records[i].pred.clone();
                     let m = self.node(TOpcode::Mov);
                     if let Some((src, pol)) = pred {
@@ -591,8 +619,16 @@ impl<'a> Emitter<'a> {
                 self.nodes[b].exit = Some(exit_idx);
                 self.apply_guard(b);
             }
-            HExit::Call { func, args, dst: _, cont } => {
-                self.exits.push(ExitTarget::Call { callee: func.0, cont: *cont as u32 });
+            HExit::Call {
+                func,
+                args,
+                dst: _,
+                cont,
+            } => {
+                self.exits.push(ExitTarget::Call {
+                    callee: func.0,
+                    cont: *cont as u32,
+                });
                 // Stage arguments into the ABI argument registers.
                 if args.len() > abi::MAX_ARGS {
                     return Err(CompileError::Unsupported(format!(
@@ -744,7 +780,12 @@ impl<'a> Emitter<'a> {
                 };
                 self.def_and_write_through(*dst, vec![Src::Node(fin)])?;
             }
-            Inst::Select { dst, cond, if_true, if_false } => {
+            Inst::Select {
+                dst,
+                cond,
+                if_true,
+                if_false,
+            } => {
                 let cv = self.ov(*cond)?;
                 // Under a guard, gate the condition so the select movs fire
                 // only on-path.
@@ -768,7 +809,13 @@ impl<'a> Emitter<'a> {
                 self.connect(&fv, mf, TargetSlot::Op0);
                 self.def_and_write_through(*dst, vec![Src::Node(mt), Src::Node(mf)])?;
             }
-            Inst::Load { w, signed, dst, addr, off } => {
+            Inst::Load {
+                w,
+                signed,
+                dst,
+                addr,
+                off,
+            } => {
                 let av = self.ov(*addr)?;
                 let (base, imm) = self.mem_base(av, *off as i64)?;
                 let op = match (w, signed) {
@@ -801,7 +848,9 @@ impl<'a> Emitter<'a> {
                 self.def_and_write_through(*dst, vec![Src::Node(n)])?;
             }
             Inst::Call { .. } => {
-                return Err(CompileError::Internal("call instruction survived split_calls".into()));
+                return Err(CompileError::Internal(
+                    "call instruction survived split_calls".into(),
+                ));
             }
         }
         Ok(())
@@ -821,7 +870,11 @@ impl<'a> Emitter<'a> {
     fn emit_ibin(&mut self, op: IrOp, a: Operand, b: Operand) -> Result<usize, CompileError> {
         // Remainders have no direct opcode: expand to div/mul/sub.
         if matches!(op, IrOp::Rem | IrOp::Urem) {
-            let divop = if op == IrOp::Rem { TOpcode::Div } else { TOpcode::Udiv };
+            let divop = if op == IrOp::Rem {
+                TOpcode::Div
+            } else {
+                TOpcode::Udiv
+            };
             let av = self.ov(a)?;
             let bv = self.ov(b)?;
             let q = self.node(divop);
@@ -988,13 +1041,16 @@ impl<'a> Emitter<'a> {
 
         let mut bb = trips_isa::BlockBuilder::new(self.hb.name.clone());
         for rd in &self.reads {
-            bb.add_read(rd.reg).map_err(|e| CompileError::Internal(e.to_string()))?;
+            bb.add_read(rd.reg)
+                .map_err(|e| CompileError::Internal(e.to_string()))?;
         }
         for w in &self.writes {
-            bb.add_write(*w).map_err(|e| CompileError::Internal(e.to_string()))?;
+            bb.add_write(*w)
+                .map_err(|e| CompileError::Internal(e.to_string()))?;
         }
         for _ in 0..self.next_lsid {
-            bb.alloc_lsid().map_err(|e| CompileError::Internal(e.to_string()))?;
+            bb.alloc_lsid()
+                .map_err(|e| CompileError::Internal(e.to_string()))?;
         }
         for n in &self.nodes {
             let mut inst = BInst::new(n.op);
@@ -1002,13 +1058,18 @@ impl<'a> Emitter<'a> {
             inst.imm = n.imm as i32;
             inst.lsid = n.lsid;
             inst.exit = n.exit;
-            bb.add_inst(inst).map_err(|e| CompileError::Internal(format!("{}: {e}", self.hb.name)))?;
+            bb.add_inst(inst)
+                .map_err(|e| CompileError::Internal(format!("{}: {e}", self.hb.name)))?;
         }
         for e in &self.exits {
-            bb.add_exit(*e).map_err(|e| CompileError::Internal(e.to_string()))?;
+            bb.add_exit(*e)
+                .map_err(|e| CompileError::Internal(e.to_string()))?;
         }
         let to_target = |t: &PTarget| match t {
-            PTarget::Inst(i, s) => Target::Inst { idx: *i as u8, slot: *s },
+            PTarget::Inst(i, s) => Target::Inst {
+                idx: *i as u8,
+                slot: *s,
+            },
             PTarget::Write(w) => Target::Write(*w as u8),
         };
         for (ri, rd) in self.reads.iter().enumerate() {

@@ -112,7 +112,9 @@ pub fn form(f: &Function, fid: trips_ir::FuncId, cap: u32, opts: &CompileOptions
     // cont block -> vreg receiving the call result.
     let mut cont_rv: HashMap<BlockId, Vreg> = HashMap::new();
     for (_, bb) in f.iter_blocks() {
-        if let (Some(Inst::Call { dst: Some(d), .. }), Terminator::Jump(t)) = (bb.insts.last(), &bb.term) {
+        if let (Some(Inst::Call { dst: Some(d), .. }), Terminator::Jump(t)) =
+            (bb.insts.last(), &bb.term)
+        {
             cont_rv.insert(*t, *d);
         }
     }
@@ -124,10 +126,25 @@ pub fn form(f: &Function, fid: trips_ir::FuncId, cap: u32, opts: &CompileOptions
         events: Vec<DraftEvent>,
     }
     enum DraftEvent {
-        Inst { inst: Inst, guard: Guard },
-        ExitJump { target: BlockId, guard: Guard },
-        ExitCall { func: trips_ir::FuncId, args: Vec<Operand>, dst: Option<Vreg>, cont: BlockId, guard: Guard },
-        ExitRet { val: Option<Operand>, guard: Guard },
+        Inst {
+            inst: Inst,
+            guard: Guard,
+        },
+        ExitJump {
+            target: BlockId,
+            guard: Guard,
+        },
+        ExitCall {
+            func: trips_ir::FuncId,
+            args: Vec<Operand>,
+            dst: Option<Vreg>,
+            cont: BlockId,
+            guard: Guard,
+        },
+        ExitRet {
+            val: Option<Operand>,
+            guard: Guard,
+        },
     }
 
     let mut drafts: Vec<Draft> = Vec::new();
@@ -152,7 +169,10 @@ pub fn form(f: &Function, fid: trips_ir::FuncId, cap: u32, opts: &CompileOptions
             if c == seed || assigned[c.index()].is_some() {
                 return false;
             }
-            if !cfg.preds[c.index()].iter().all(|p| assigned[p.index()] == Some(region_idx)) {
+            if !cfg.preds[c.index()]
+                .iter()
+                .all(|p| assigned[p.index()] == Some(region_idx))
+            {
                 return false;
             }
             if budget < cost_of(c) {
@@ -173,7 +193,10 @@ pub fn form(f: &Function, fid: trips_ir::FuncId, cap: u32, opts: &CompileOptions
             // Call block: absorb the prefix, close with a Call exit.
             if let Some(Inst::Call { dst, func, args }) = bb.insts.last() {
                 for inst in &bb.insts[..bb.insts.len() - 1] {
-                    events.push(DraftEvent::Inst { inst: inst.clone(), guard: guard.clone() });
+                    events.push(DraftEvent::Inst {
+                        inst: inst.clone(),
+                        guard: guard.clone(),
+                    });
                 }
                 let Terminator::Jump(cont) = bb.term else {
                     unreachable!("split_calls guarantees call blocks end in jumps")
@@ -188,20 +211,31 @@ pub fn form(f: &Function, fid: trips_ir::FuncId, cap: u32, opts: &CompileOptions
                 break 'walk;
             }
             for inst in &bb.insts {
-                events.push(DraftEvent::Inst { inst: inst.clone(), guard: guard.clone() });
+                events.push(DraftEvent::Inst {
+                    inst: inst.clone(),
+                    guard: guard.clone(),
+                });
             }
             match bb.term.clone() {
                 Terminator::Ret(val) => {
-                    events.push(DraftEvent::ExitRet { val, guard: guard.clone() });
+                    events.push(DraftEvent::ExitRet {
+                        val,
+                        guard: guard.clone(),
+                    });
                     break 'walk;
                 }
                 Terminator::Jump(t) => {
-                    if mergeable(t, &assigned, &guard, budget, region_idx) && !cont_rv.contains_key(&t) {
+                    if mergeable(t, &assigned, &guard, budget, region_idx)
+                        && !cont_rv.contains_key(&t)
+                    {
                         assigned[t.index()] = Some(region_idx);
                         cur = t;
                         continue 'walk;
                     }
-                    events.push(DraftEvent::ExitJump { target: t, guard: guard.clone() });
+                    events.push(DraftEvent::ExitJump {
+                        target: t,
+                        guard: guard.clone(),
+                    });
                     break 'walk;
                 }
                 Terminator::Branch { cond, t, f: fl } => {
@@ -211,7 +245,10 @@ pub fn form(f: &Function, fid: trips_ir::FuncId, cap: u32, opts: &CompileOptions
                             // Constant branch survived folding (O0): emit as
                             // one-sided exit.
                             let target = if cond.as_imm().unwrap() != 0 { t } else { fl };
-                            events.push(DraftEvent::ExitJump { target, guard: guard.clone() });
+                            events.push(DraftEvent::ExitJump {
+                                target,
+                                guard: guard.clone(),
+                            });
                             break 'walk;
                         }
                     };
@@ -221,7 +258,8 @@ pub fn form(f: &Function, fid: trips_ir::FuncId, cap: u32, opts: &CompileOptions
                         if let Some((arm_t, arm_f, join)) =
                             match_diamond(f, &cfg, cur, t, fl, opts, &assigned, region_idx)
                         {
-                            let arms_cost: i64 = arm_t.map(cost_of).unwrap_or(0) + arm_f.map(cost_of).unwrap_or(0);
+                            let arms_cost: i64 =
+                                arm_t.map(cost_of).unwrap_or(0) + arm_f.map(cost_of).unwrap_or(0);
                             if budget >= arms_cost {
                                 budget -= arms_cost;
                                 if let Some(a) = arm_t {
@@ -229,7 +267,10 @@ pub fn form(f: &Function, fid: trips_ir::FuncId, cap: u32, opts: &CompileOptions
                                     let mut g = guard.clone();
                                     g.push((cvreg, true));
                                     for inst in &f.blocks[a.index()].insts {
-                                        events.push(DraftEvent::Inst { inst: inst.clone(), guard: g.clone() });
+                                        events.push(DraftEvent::Inst {
+                                            inst: inst.clone(),
+                                            guard: g.clone(),
+                                        });
                                     }
                                 }
                                 if let Some(a) = arm_f {
@@ -237,7 +278,10 @@ pub fn form(f: &Function, fid: trips_ir::FuncId, cap: u32, opts: &CompileOptions
                                     let mut g = guard.clone();
                                     g.push((cvreg, false));
                                     for inst in &f.blocks[a.index()].insts {
-                                        events.push(DraftEvent::Inst { inst: inst.clone(), guard: g.clone() });
+                                        events.push(DraftEvent::Inst {
+                                            inst: inst.clone(),
+                                            guard: g.clone(),
+                                        });
                                     }
                                 }
                                 if mergeable(join, &assigned, &guard, budget, region_idx)
@@ -247,7 +291,10 @@ pub fn form(f: &Function, fid: trips_ir::FuncId, cap: u32, opts: &CompileOptions
                                     cur = join;
                                     continue 'walk;
                                 }
-                                events.push(DraftEvent::ExitJump { target: join, guard: guard.clone() });
+                                events.push(DraftEvent::ExitJump {
+                                    target: join,
+                                    guard: guard.clone(),
+                                });
                                 break 'walk;
                             }
                         }
@@ -259,15 +306,25 @@ pub fn form(f: &Function, fid: trips_ir::FuncId, cap: u32, opts: &CompileOptions
                         let mut gf = guard.clone();
                         gf.push((cvreg, false));
                         // Prefer continuing on the fall-through (false) side.
-                        if mergeable(fl, &assigned, &gf, budget, region_idx) && !cont_rv.contains_key(&fl) {
-                            events.push(DraftEvent::ExitJump { target: t, guard: gt });
+                        if mergeable(fl, &assigned, &gf, budget, region_idx)
+                            && !cont_rv.contains_key(&fl)
+                        {
+                            events.push(DraftEvent::ExitJump {
+                                target: t,
+                                guard: gt,
+                            });
                             assigned[fl.index()] = Some(region_idx);
                             guard = gf;
                             cur = fl;
                             continue 'walk;
                         }
-                        if mergeable(t, &assigned, &gt, budget, region_idx) && !cont_rv.contains_key(&t) {
-                            events.push(DraftEvent::ExitJump { target: fl, guard: gf });
+                        if mergeable(t, &assigned, &gt, budget, region_idx)
+                            && !cont_rv.contains_key(&t)
+                        {
+                            events.push(DraftEvent::ExitJump {
+                                target: fl,
+                                guard: gf,
+                            });
                             assigned[t.index()] = Some(region_idx);
                             guard = gt;
                             cur = t;
@@ -279,8 +336,14 @@ pub fn form(f: &Function, fid: trips_ir::FuncId, cap: u32, opts: &CompileOptions
                     gt.push((cvreg, true));
                     let mut gf = guard.clone();
                     gf.push((cvreg, false));
-                    events.push(DraftEvent::ExitJump { target: t, guard: gt });
-                    events.push(DraftEvent::ExitJump { target: fl, guard: gf });
+                    events.push(DraftEvent::ExitJump {
+                        target: t,
+                        guard: gt,
+                    });
+                    events.push(DraftEvent::ExitJump {
+                        target: fl,
+                        guard: gf,
+                    });
                     break 'walk;
                 }
             }
@@ -289,9 +352,15 @@ pub fn form(f: &Function, fid: trips_ir::FuncId, cap: u32, opts: &CompileOptions
     }
 
     // Pass 2: resolve exit targets to region indices.
-    let region_of: HashMap<BlockId, usize> = drafts.iter().enumerate().map(|(i, d)| (d.seed, i)).collect();
+    let region_of: HashMap<BlockId, usize> = drafts
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.seed, i))
+        .collect();
     let resolve = |b: BlockId| -> usize {
-        *region_of.get(&b).unwrap_or_else(|| panic!("exit target {b} is not a region seed"))
+        *region_of
+            .get(&b)
+            .unwrap_or_else(|| panic!("exit target {b} is not a region seed"))
     };
     let mut blocks = Vec::with_capacity(drafts.len());
     for (i, d) in drafts.iter().enumerate() {
@@ -299,17 +368,35 @@ pub fn form(f: &Function, fid: trips_ir::FuncId, cap: u32, opts: &CompileOptions
             .events
             .iter()
             .map(|e| match e {
-                DraftEvent::Inst { inst, guard } => Event::Inst { inst: inst.clone(), guard: guard.clone() },
-                DraftEvent::ExitJump { target, guard } => {
-                    Event::Exit { exit: HExit::Jump { target: resolve(*target) }, guard: guard.clone() }
-                }
-                DraftEvent::ExitCall { func, args, dst, cont, guard } => Event::Exit {
-                    exit: HExit::Call { func: *func, args: args.clone(), dst: *dst, cont: resolve(*cont) },
+                DraftEvent::Inst { inst, guard } => Event::Inst {
+                    inst: inst.clone(),
                     guard: guard.clone(),
                 },
-                DraftEvent::ExitRet { val, guard } => {
-                    Event::Exit { exit: HExit::Ret { val: *val }, guard: guard.clone() }
-                }
+                DraftEvent::ExitJump { target, guard } => Event::Exit {
+                    exit: HExit::Jump {
+                        target: resolve(*target),
+                    },
+                    guard: guard.clone(),
+                },
+                DraftEvent::ExitCall {
+                    func,
+                    args,
+                    dst,
+                    cont,
+                    guard,
+                } => Event::Exit {
+                    exit: HExit::Call {
+                        func: *func,
+                        args: args.clone(),
+                        dst: *dst,
+                        cont: resolve(*cont),
+                    },
+                    guard: guard.clone(),
+                },
+                DraftEvent::ExitRet { val, guard } => Event::Exit {
+                    exit: HExit::Ret { val: *val },
+                    guard: guard.clone(),
+                },
             })
             .collect();
         blocks.push(HBlock {
@@ -321,7 +408,10 @@ pub fn form(f: &Function, fid: trips_ir::FuncId, cap: u32, opts: &CompileOptions
         });
     }
     let _ = fid;
-    HFunc { name: f.name.clone(), blocks }
+    HFunc {
+        name: f.name.clone(),
+        blocks,
+    }
 }
 
 /// Matches a diamond (`cur → {t, f} → join`) or triangle (`cur → t → f`,
@@ -343,7 +433,10 @@ fn match_diamond(
             && cfg.preds[a.index()].len() == 1
             && cfg.preds[a.index()][0] == cur
             && f.blocks[a.index()].insts.len() <= opts.max_arm_insts as usize
-            && !f.blocks[a.index()].insts.iter().any(|i| matches!(i, Inst::Call { .. }))
+            && !f.blocks[a.index()]
+                .insts
+                .iter()
+                .any(|i| matches!(i, Inst::Call { .. }))
             && matches!(f.blocks[a.index()].term, Terminator::Jump(_))
     };
     let jump_target = |a: BlockId| match f.blocks[a.index()].term {
@@ -401,7 +494,11 @@ mod tests {
         f.finish();
         let p = pb.finish("main").unwrap();
         let hf = form_main(&p, &CompileOptions::o1());
-        assert_eq!(hf.blocks.len(), 1, "diamond+join should form one hyperblock");
+        assert_eq!(
+            hf.blocks.len(),
+            1,
+            "diamond+join should form one hyperblock"
+        );
         // Events must contain guarded instructions from both arms.
         let guards: Vec<usize> = hf.blocks[0]
             .events
@@ -463,7 +560,10 @@ mod tests {
             .events
             .iter()
             .filter_map(|e| match e {
-                Event::Exit { exit: HExit::Jump { target }, .. } => Some(*target),
+                Event::Exit {
+                    exit: HExit::Jump { target },
+                    ..
+                } => Some(*target),
                 _ => None,
             })
             .collect();
@@ -491,10 +591,13 @@ mod tests {
         crate::opt::split_calls(&mut p.funcs[mid]);
         let hf = form_main(&p, &CompileOptions::o1());
         assert_eq!(hf.blocks.len(), 2);
-        assert!(hf.blocks[0]
-            .events
-            .iter()
-            .any(|e| matches!(e, Event::Exit { exit: HExit::Call { .. }, .. })));
+        assert!(hf.blocks[0].events.iter().any(|e| matches!(
+            e,
+            Event::Exit {
+                exit: HExit::Call { .. },
+                ..
+            }
+        )));
         assert_eq!(hf.blocks[1].incoming_rv, Some(r));
     }
 
@@ -531,7 +634,11 @@ mod tests {
                 let g = match ev {
                     Event::Inst { guard, .. } | Event::Exit { guard, .. } => guard,
                 };
-                assert!(g.len() <= MAX_GUARD_DEPTH + 1, "guard too deep: {}", g.len());
+                assert!(
+                    g.len() <= MAX_GUARD_DEPTH + 1,
+                    "guard too deep: {}",
+                    g.len()
+                );
             }
         }
     }

@@ -7,9 +7,9 @@
 //! accesses. Values live across a *call* go to frame slots instead (a
 //! caller-saves discipline; the callee is free to use every temp register).
 
-use trips_isa::abi;
 use trips_ir::cfg::Cfg;
 use trips_ir::{Function, Inst, Vreg};
+use trips_isa::abi;
 
 /// Where a vreg's value lives between blocks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,7 +79,11 @@ pub fn assign(f: &Function) -> Homes {
     }
     let ir_frame = f.frame_size;
     let frame_total = (ir_frame + next_slot + 15) & !15;
-    Homes { home, frame_total, ir_frame }
+    Homes {
+        home,
+        frame_total,
+        ir_frame,
+    }
 }
 
 #[cfg(test)]
@@ -109,8 +113,14 @@ mod tests {
         crate::opt::split_calls(&mut p.funcs[mid]);
         let f = &p.funcs[mid];
         let h = assign(f);
-        assert!(matches!(h.home[x.index()], Home::Frame(_)), "x must live in the frame across the call");
-        assert!(matches!(h.home[y.index()], Home::Reg(_)), "call result itself is not call-crossing");
+        assert!(
+            matches!(h.home[x.index()], Home::Frame(_)),
+            "x must live in the frame across the call"
+        );
+        assert!(
+            matches!(h.home[y.index()], Home::Reg(_)),
+            "call result itself is not call-crossing"
+        );
         assert!(h.frame_total >= 8);
     }
 
@@ -133,7 +143,11 @@ mod tests {
         fb.finish();
         let p = pb.finish("main").unwrap();
         let h = assign(&p.funcs[0]);
-        let frames = h.home.iter().filter(|h| matches!(h, Home::Frame(_))).count();
+        let frames = h
+            .home
+            .iter()
+            .filter(|h| matches!(h, Home::Frame(_)))
+            .count();
         assert!(frames > 0, "must overflow to frame slots");
     }
 

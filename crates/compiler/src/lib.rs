@@ -101,7 +101,10 @@ pub struct CompiledProgram {
 ///
 /// # Errors
 /// See [`CompileError`].
-pub fn compile(program: &trips_ir::Program, opts: &CompileOptions) -> Result<CompiledProgram, CompileError> {
+pub fn compile(
+    program: &trips_ir::Program,
+    opts: &CompileOptions,
+) -> Result<CompiledProgram, CompileError> {
     let mut ir = program.clone();
     opt::optimize(&mut ir, opts);
     trips_ir::verify::verify_program(&ir).map_err(CompileError::Internal)?;
@@ -152,6 +155,14 @@ pub fn compile(program: &trips_ir::Program, opts: &CompileOptions) -> Result<Com
     let entry = bases[ir.entry.index()];
     let trips = TripsProgram { blocks, entry };
     trips_isa::verify::verify_program(&trips).map_err(CompileError::Internal)?;
-    let placements = trips.blocks.iter().map(|b| placement::place_block(b, opts)).collect();
-    Ok(CompiledProgram { trips, placements, opt_ir: ir })
+    let placements = trips
+        .blocks
+        .iter()
+        .map(|b| placement::place_block(b, opts))
+        .collect();
+    Ok(CompiledProgram {
+        trips,
+        placements,
+        opt_ir: ir,
+    })
 }

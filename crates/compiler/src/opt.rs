@@ -45,9 +45,15 @@ pub fn optimize(p: &mut Program, opts: &CompileOptions) {
 pub fn split_calls(f: &mut Function) {
     let mut b = 0;
     while b < f.blocks.len() {
-        let call_pos = f.blocks[b].insts.iter().position(|i| matches!(i, Inst::Call { .. }));
+        let call_pos = f.blocks[b]
+            .insts
+            .iter()
+            .position(|i| matches!(i, Inst::Call { .. }));
         match call_pos {
-            Some(k) if k + 1 < f.blocks[b].insts.len() || !matches!(f.blocks[b].term, Terminator::Jump(_)) => {
+            Some(k)
+                if k + 1 < f.blocks[b].insts.len()
+                    || !matches!(f.blocks[b].term, Terminator::Jump(_)) =>
+            {
                 let rest = f.blocks[b].insts.split_off(k + 1);
                 let term = std::mem::replace(&mut f.blocks[b].term, Terminator::Ret(None));
                 let new_id = trips_ir::BlockId(f.blocks.len() as u32);
@@ -93,7 +99,9 @@ pub fn fold_and_propagate(f: &mut Function) {
         // simplification, which keeps the unrolled loop-carried chain at
         // one add instead of `factor` serial adds.
         let mut offsets: HashMap<Vreg, (Vreg, i64)> = HashMap::new();
-        let kill = |env: &mut HashMap<Vreg, Operand>, offsets: &mut HashMap<Vreg, (Vreg, i64)>, d: Vreg| {
+        let kill = |env: &mut HashMap<Vreg, Operand>,
+                    offsets: &mut HashMap<Vreg, (Vreg, i64)>,
+                    d: Vreg| {
             env.remove(&d);
             env.retain(|_, v| *v != Operand::Reg(d));
             offsets.remove(&d);
@@ -106,7 +114,13 @@ pub fn fold_and_propagate(f: &mut Function) {
                 imm => imm,
             });
             // Rebase chained constant adds.
-            if let Inst::Ibin { op: Opcode::Add, dst, a: Operand::Reg(a), b: Operand::Imm(c) } = inst {
+            if let Inst::Ibin {
+                op: Opcode::Add,
+                dst,
+                a: Operand::Reg(a),
+                b: Operand::Imm(c),
+            } = inst
+            {
                 if let Some(&(base, c0)) = offsets.get(a) {
                     if base != *dst || base == *a {
                         *a = base;
@@ -116,28 +130,66 @@ pub fn fold_and_propagate(f: &mut Function) {
             }
             // Fold.
             let folded: Option<Inst> = match inst {
-                Inst::Ibin { op, dst, a: Operand::Imm(a), b: Operand::Imm(b) } => {
-                    trips_ir::interp::eval_ibin(*op, *a as u64, *b as u64)
-                        .ok()
-                        .map(|v| Inst::Iconst { dst: *dst, imm: v as i64 })
-                }
-                Inst::Icmp { cc, dst, a: Operand::Imm(a), b: Operand::Imm(b) } => {
-                    Some(Inst::Iconst { dst: *dst, imm: cc.eval(*a as u64, *b as u64) as i64 })
-                }
-                Inst::Iun { op, dst, a: Operand::Imm(a) } => {
-                    Some(Inst::Iconst { dst: *dst, imm: trips_ir::interp::eval_iun(*op, *a as u64) as i64 })
-                }
-                Inst::Select { dst, cond: Operand::Imm(c), if_true, if_false } => {
+                Inst::Ibin {
+                    op,
+                    dst,
+                    a: Operand::Imm(a),
+                    b: Operand::Imm(b),
+                } => trips_ir::interp::eval_ibin(*op, *a as u64, *b as u64)
+                    .ok()
+                    .map(|v| Inst::Iconst {
+                        dst: *dst,
+                        imm: v as i64,
+                    }),
+                Inst::Icmp {
+                    cc,
+                    dst,
+                    a: Operand::Imm(a),
+                    b: Operand::Imm(b),
+                } => Some(Inst::Iconst {
+                    dst: *dst,
+                    imm: cc.eval(*a as u64, *b as u64) as i64,
+                }),
+                Inst::Iun {
+                    op,
+                    dst,
+                    a: Operand::Imm(a),
+                } => Some(Inst::Iconst {
+                    dst: *dst,
+                    imm: trips_ir::interp::eval_iun(*op, *a as u64) as i64,
+                }),
+                Inst::Select {
+                    dst,
+                    cond: Operand::Imm(c),
+                    if_true,
+                    if_false,
+                } => {
                     let v = if *c != 0 { *if_true } else { *if_false };
-                    Some(Inst::Ibin { op: Opcode::Add, dst: *dst, a: v, b: Operand::Imm(0) })
+                    Some(Inst::Ibin {
+                        op: Opcode::Add,
+                        dst: *dst,
+                        a: v,
+                        b: Operand::Imm(0),
+                    })
                 }
                 // Algebraic identities.
-                Inst::Ibin { op: Opcode::Mul, dst, a: _, b: Operand::Imm(0) } => {
-                    Some(Inst::Iconst { dst: *dst, imm: 0 })
-                }
-                Inst::Ibin { op: Opcode::Mul, dst, a, b: Operand::Imm(1) } => {
-                    Some(Inst::Ibin { op: Opcode::Add, dst: *dst, a: *a, b: Operand::Imm(0) })
-                }
+                Inst::Ibin {
+                    op: Opcode::Mul,
+                    dst,
+                    a: _,
+                    b: Operand::Imm(0),
+                } => Some(Inst::Iconst { dst: *dst, imm: 0 }),
+                Inst::Ibin {
+                    op: Opcode::Mul,
+                    dst,
+                    a,
+                    b: Operand::Imm(1),
+                } => Some(Inst::Ibin {
+                    op: Opcode::Add,
+                    dst: *dst,
+                    a: *a,
+                    b: Operand::Imm(0),
+                }),
                 _ => None,
             };
             if let Some(fi) = folded {
@@ -151,7 +203,12 @@ pub fn fold_and_propagate(f: &mut Function) {
                         env.insert(d, Operand::Imm(*imm));
                     }
                     // Copy: add d, x, 0
-                    Inst::Ibin { op: Opcode::Add, a, b: Operand::Imm(0), .. } => {
+                    Inst::Ibin {
+                        op: Opcode::Add,
+                        a,
+                        b: Operand::Imm(0),
+                        ..
+                    } => {
                         let a = *a;
                         if a != Operand::Reg(d) {
                             env.insert(d, a);
@@ -159,7 +216,13 @@ pub fn fold_and_propagate(f: &mut Function) {
                     }
                     _ => {}
                 }
-                if let Inst::Ibin { op: Opcode::Add, a: Operand::Reg(a), b: Operand::Imm(c), .. } = inst {
+                if let Inst::Ibin {
+                    op: Opcode::Add,
+                    a: Operand::Reg(a),
+                    b: Operand::Imm(c),
+                    ..
+                } = inst
+                {
                     if *a != d {
                         offsets.insert(d, (*a, *c));
                     }
@@ -171,7 +234,12 @@ pub fn fold_and_propagate(f: &mut Function) {
             imm => imm,
         });
         // Fold constant branches into jumps.
-        if let Terminator::Branch { cond: Operand::Imm(c), t, f: fl } = bb.term {
+        if let Terminator::Branch {
+            cond: Operand::Imm(c),
+            t,
+            f: fl,
+        } = bb.term
+        {
             bb.term = Terminator::Jump(if c != 0 { t } else { fl });
         }
     }
@@ -192,7 +260,9 @@ pub fn dce(f: &mut Function) {
         for bb in &mut f.blocks {
             let before = bb.insts.len();
             bb.insts.retain(|i| {
-                i.has_side_effects() || i.is_load() || i.dst().map(|d| used[d.index()]).unwrap_or(true)
+                i.has_side_effects()
+                    || i.is_load()
+                    || i.dst().map(|d| used[d.index()]).unwrap_or(true)
             });
             removed += before - bb.insts.len();
         }
@@ -214,9 +284,15 @@ pub fn local_cse(f: &mut Function) {
         let mut avail: HashMap<Key, Vreg> = HashMap::new();
         for inst in &mut bb.insts {
             let key = match inst {
-                Inst::Ibin { op, a, b, .. } if !matches!(op, Opcode::Div | Opcode::Udiv | Opcode::Rem | Opcode::Urem) => {
+                Inst::Ibin { op, a, b, .. }
+                    if !matches!(op, Opcode::Div | Opcode::Udiv | Opcode::Rem | Opcode::Urem) =>
+                {
                     // Normalize commutative operand order.
-                    let (a, b) = if op.is_commutative() && format!("{a}") > format!("{b}") { (*b, *a) } else { (*a, *b) };
+                    let (a, b) = if op.is_commutative() && format!("{a}") > format!("{b}") {
+                        (*b, *a)
+                    } else {
+                        (*a, *b)
+                    };
                     Some(Key::Ibin(*op, a, b))
                 }
                 Inst::Icmp { cc, a, b, .. } => Some(Key::Icmp(*cc, *a, *b)),
@@ -238,7 +314,12 @@ pub fn local_cse(f: &mut Function) {
                 });
                 match hit {
                     Some(prev) if prev != d => {
-                        *inst = Inst::Ibin { op: Opcode::Add, dst: d, a: Operand::Reg(prev), b: Operand::Imm(0) };
+                        *inst = Inst::Ibin {
+                            op: Opcode::Add,
+                            dst: d,
+                            a: Operand::Reg(prev),
+                            b: Operand::Imm(0),
+                        };
                     }
                     Some(_) => {}
                     None => {
@@ -280,9 +361,13 @@ pub fn unroll_counted_loops(f: &mut Function, factor: u32, fp_reassoc: bool) {
     }
     let nblocks = f.blocks.len();
     for b in 0..nblocks {
-        let Some((ivar, bound, cond)) = match_counted_loop(f, b) else { continue };
+        let Some((ivar, bound, cond)) = match_counted_loop(f, b) else {
+            continue;
+        };
         let body: Vec<Inst> = f.blocks[b].insts.clone();
-        let Terminator::Branch { t, f: exit, .. } = f.blocks[b].term.clone() else { continue };
+        let Terminator::Branch { t, f: exit, .. } = f.blocks[b].term.clone() else {
+            continue;
+        };
         if t.index() != b {
             continue;
         }
@@ -290,7 +375,11 @@ pub fn unroll_counted_loops(f: &mut Function, factor: u32, fp_reassoc: bool) {
         // block (128 instructions, 32 load/store IDs) with room for the
         // dataflow overheads, or block formation will fall back to small
         // blocks and lose the benefit.
-        let mem_ops = body.iter().filter(|i| i.is_load() || i.is_store()).count().max(1);
+        let mem_ops = body
+            .iter()
+            .filter(|i| i.is_load() || i.is_store())
+            .count()
+            .max(1);
         let mut factor = factor;
         while factor > 1 && (mem_ops * factor as usize > 24 || body.len() * factor as usize > 90) {
             factor /= 2;
@@ -330,7 +419,11 @@ pub fn unroll_counted_loops(f: &mut Function, factor: u32, fp_reassoc: bool) {
                 })
             })
             .unwrap_or(false);
-        let iv_temps: Vec<Vreg> = if rebase_ok { (1..factor).map(|_| f.new_vreg()).collect() } else { Vec::new() };
+        let iv_temps: Vec<Vreg> = if rebase_ok {
+            (1..factor).map(|_| f.new_vreg()).collect()
+        } else {
+            Vec::new()
+        };
 
         // Unrolled block: `factor` copies of the body minus the compare.
         let mut un = Vec::new();
@@ -358,7 +451,13 @@ pub fn unroll_counted_loops(f: &mut Function, factor: u32, fp_reassoc: bool) {
                     }
                     if u > 0 {
                         let t = iv_temps[(u - 1) as usize];
-                        inst.map_uses(|op| if op == Operand::Reg(ivar) { Operand::Reg(t) } else { op });
+                        inst.map_uses(|op| {
+                            if op == Operand::Reg(ivar) {
+                                Operand::Reg(t)
+                            } else {
+                                op
+                            }
+                        });
                     }
                 }
                 if u > 0 {
@@ -380,7 +479,12 @@ pub fn unroll_counted_loops(f: &mut Function, factor: u32, fp_reassoc: bool) {
             }
         }
         if rebase_ok {
-            un.push(Inst::Ibin { op: Opcode::Add, dst: ivar, a: Operand::Reg(ivar), b: Operand::Imm(factor as i64) });
+            un.push(Inst::Ibin {
+                op: Opcode::Add,
+                dst: ivar,
+                a: Operand::Reg(ivar),
+                b: Operand::Imm(factor as i64),
+            });
         }
         // Re-test: continue unrolled while i <= n - factor, i.e. i < n-factor+1.
         let margin = f.new_vreg();
@@ -392,7 +496,12 @@ pub fn unroll_counted_loops(f: &mut Function, factor: u32, fp_reassoc: bool) {
             b: Operand::Imm(factor as i64 - 1),
         };
         un.push(bound_minus.clone());
-        un.push(Inst::Icmp { cc: IntCc::Lt, dst: c2, a: Operand::Reg(ivar), b: Operand::Reg(margin) });
+        un.push(Inst::Icmp {
+            cc: IntCc::Lt,
+            dst: c2,
+            a: Operand::Reg(ivar),
+            b: Operand::Reg(margin),
+        });
         // After an unrolled round: another full round, the remainder loop
         // (only if iterations remain -- the original loop is do-while), or
         // straight to the exit.
@@ -400,23 +509,46 @@ pub fn unroll_counted_loops(f: &mut Function, factor: u32, fp_reassoc: bool) {
         let check_id = trips_ir::BlockId(f.blocks.len() as u32 + 1);
         f.blocks.push(BasicBlock {
             insts: un,
-            term: Terminator::Branch { cond: Operand::Reg(c2), t: un_id, f: check_id },
+            term: Terminator::Branch {
+                cond: Operand::Reg(c2),
+                t: un_id,
+                f: check_id,
+            },
         });
         let c3 = f.new_vreg();
         let mut check_insts: Vec<Inst> = Vec::new();
         for (acc, copies, op, is_float) in &partials {
             for r in copies {
                 check_insts.push(if *is_float {
-                    Inst::Fbin { op: *op, dst: *acc, a: Operand::Reg(*acc), b: Operand::Reg(*r) }
+                    Inst::Fbin {
+                        op: *op,
+                        dst: *acc,
+                        a: Operand::Reg(*acc),
+                        b: Operand::Reg(*r),
+                    }
                 } else {
-                    Inst::Ibin { op: *op, dst: *acc, a: Operand::Reg(*acc), b: Operand::Reg(*r) }
+                    Inst::Ibin {
+                        op: *op,
+                        dst: *acc,
+                        a: Operand::Reg(*acc),
+                        b: Operand::Reg(*r),
+                    }
                 });
             }
         }
-        check_insts.push(Inst::Icmp { cc: IntCc::Lt, dst: c3, a: Operand::Reg(ivar), b: bound });
+        check_insts.push(Inst::Icmp {
+            cc: IntCc::Lt,
+            dst: c3,
+            a: Operand::Reg(ivar),
+            b: bound,
+        });
         f.blocks.push(BasicBlock {
             insts: check_insts,
-            term: Terminator::Branch { cond: Operand::Reg(c3), t: trips_ir::BlockId(b as u32), f: exit },
+            term: Terminator::Branch {
+                cond: Operand::Reg(c3),
+                t: trips_ir::BlockId(b as u32),
+                f: exit,
+            },
         });
         // Preheader: all edges into L (other than the back edge) get checked.
         let pre_id = trips_ir::BlockId(f.blocks.len() as u32);
@@ -428,11 +560,25 @@ pub fn unroll_counted_loops(f: &mut Function, factor: u32, fp_reassoc: bool) {
                 pre_insts.push(identity_init(*op, *r, *is_float));
             }
         }
-        pre_insts.push(Inst::Ibin { op: Opcode::Sub, dst: margin0, a: bound, b: Operand::Imm(factor as i64 - 1) });
-        pre_insts.push(Inst::Icmp { cc: IntCc::Lt, dst: c0, a: Operand::Reg(ivar), b: Operand::Reg(margin0) });
+        pre_insts.push(Inst::Ibin {
+            op: Opcode::Sub,
+            dst: margin0,
+            a: bound,
+            b: Operand::Imm(factor as i64 - 1),
+        });
+        pre_insts.push(Inst::Icmp {
+            cc: IntCc::Lt,
+            dst: c0,
+            a: Operand::Reg(ivar),
+            b: Operand::Reg(margin0),
+        });
         f.blocks.push(BasicBlock {
             insts: pre_insts,
-            term: Terminator::Branch { cond: Operand::Reg(c0), t: un_id, f: trips_ir::BlockId(b as u32) },
+            term: Terminator::Branch {
+                cond: Operand::Reg(c0),
+                t: un_id,
+                f: trips_ir::BlockId(b as u32),
+            },
         });
         // Redirect original entries into L to the preheader.
         for (ob, bb) in f.blocks.iter_mut().enumerate() {
@@ -461,7 +607,9 @@ pub fn unroll_counted_loops(f: &mut Function, factor: u32, fp_reassoc: bool) {
 fn find_reductions(body: &[Inst], ivar: Vreg, cond: Vreg, fp: bool) -> Vec<(Vreg, Opcode, bool)> {
     let mut out = Vec::new();
     for inst in body {
-        let Some((op, acc, is_float, x)) = chain_step(inst, fp) else { continue };
+        let Some((op, acc, is_float, x)) = chain_step(inst, fp) else {
+            continue;
+        };
         if acc == ivar || acc == cond || x == Operand::Reg(acc) {
             continue;
         }
@@ -507,14 +655,26 @@ fn identity_init(op: Opcode, r: Vreg, is_float: bool) -> Inst {
 /// operand, condition vreg).
 fn match_counted_loop(f: &Function, b: usize) -> Option<(Vreg, Operand, Vreg)> {
     let bb = &f.blocks[b];
-    let Terminator::Branch { cond: Operand::Reg(c), t, .. } = bb.term else { return None };
+    let Terminator::Branch {
+        cond: Operand::Reg(c),
+        t,
+        ..
+    } = bb.term
+    else {
+        return None;
+    };
     if t.index() != b {
         return None;
     }
     // Condition must be the last instruction: c = icmp.lt i, bound.
     let last = bb.insts.last()?;
     let (ivar, bound) = match last {
-        Inst::Icmp { cc: IntCc::Lt, dst, a: Operand::Reg(i), b } if *dst == c => (*i, *b),
+        Inst::Icmp {
+            cc: IntCc::Lt,
+            dst,
+            a: Operand::Reg(i),
+            b,
+        } if *dst == c => (*i, *b),
         _ => return None,
     };
     // Exactly one increment of ivar by 1; no other defs of ivar, c, or bound;
@@ -525,9 +685,12 @@ fn match_counted_loop(f: &Function, b: usize) -> Option<(Vreg, Operand, Vreg)> {
             return None;
         }
         match inst {
-            Inst::Ibin { op: Opcode::Add, dst, a: Operand::Reg(x), b: Operand::Imm(1) }
-                if *dst == ivar && *x == ivar =>
-            {
+            Inst::Ibin {
+                op: Opcode::Add,
+                dst,
+                a: Operand::Reg(x),
+                b: Operand::Imm(1),
+            } if *dst == ivar && *x == ivar => {
                 incs += 1;
             }
             _ => {
@@ -602,14 +765,21 @@ pub fn tree_height_reduction(f: &mut Function, fp: bool) {
             let partials: Vec<Vreg> = (0..K.min(steps.len())).map(|_| f.new_vreg()).collect();
             for (jj, &pos) in steps.iter().enumerate() {
                 let m = jj % partials.len();
-                let x = chain_step(&f.blocks[b].insts[pos], fp).expect("still a step").3;
+                let x = chain_step(&f.blocks[b].insts[pos], fp)
+                    .expect("still a step")
+                    .3;
                 let inst = &mut f.blocks[b].insts[pos];
                 *inst = if jj == 0 {
                     // Fold the incoming acc into partial 0.
                     mk_red(op, partials[0], Operand::Reg(acc), x, is_float)
                 } else if jj < partials.len() {
                     // First use of this partial: initialize it (bit copy).
-                    Inst::Ibin { op: Opcode::Add, dst: partials[m], a: x, b: Operand::Imm(0) }
+                    Inst::Ibin {
+                        op: Opcode::Add,
+                        dst: partials[m],
+                        a: x,
+                        b: Operand::Imm(0),
+                    }
                 } else {
                     mk_red(op, partials[m], Operand::Reg(partials[m]), x, is_float)
                 };
@@ -633,7 +803,12 @@ pub fn tree_height_reduction(f: &mut Function, fp: bool) {
             let fin = if layer.len() == 2 {
                 mk_red(op, acc, layer[0], layer[1], is_float)
             } else {
-                Inst::Ibin { op: Opcode::Add, dst: acc, a: layer[0], b: Operand::Imm(0) }
+                Inst::Ibin {
+                    op: Opcode::Add,
+                    dst: acc,
+                    a: layer[0],
+                    b: Operand::Imm(0),
+                }
             };
             combine.push(fin);
             let insert_at = steps[steps.len() - 1] + 1;
@@ -647,15 +822,29 @@ pub fn tree_height_reduction(f: &mut Function, fp: bool) {
 /// Matches `acc = op(acc, x)`; returns `(op, acc, is_float, x)`.
 fn chain_step(inst: &Inst, fp: bool) -> Option<(Opcode, Vreg, bool, Operand)> {
     match inst {
-        Inst::Ibin { op, dst, a: Operand::Reg(a), b }
-            if a == dst
-                && *b != Operand::Reg(*dst)
-                && matches!(op, Opcode::Add | Opcode::Mul | Opcode::And | Opcode::Or | Opcode::Xor) =>
+        Inst::Ibin {
+            op,
+            dst,
+            a: Operand::Reg(a),
+            b,
+        } if a == dst
+            && *b != Operand::Reg(*dst)
+            && matches!(
+                op,
+                Opcode::Add | Opcode::Mul | Opcode::And | Opcode::Or | Opcode::Xor
+            ) =>
         {
             Some((*op, *dst, false, *b))
         }
-        Inst::Fbin { op, dst, a: Operand::Reg(a), b }
-            if fp && a == dst && *b != Operand::Reg(*dst) && matches!(op, Opcode::Fadd | Opcode::Fmul) =>
+        Inst::Fbin {
+            op,
+            dst,
+            a: Operand::Reg(a),
+            b,
+        } if fp
+            && a == dst
+            && *b != Operand::Reg(*dst)
+            && matches!(op, Opcode::Fadd | Opcode::Fmul) =>
         {
             Some((*op, *dst, true, *b))
         }
@@ -710,7 +899,11 @@ mod tests {
     fn unrolling_preserves_semantics() {
         for n in [0i64, 1, 2, 3, 7, 8, 9, 100, 101] {
             let p = sum_program(n);
-            for opts in [CompileOptions::o1(), CompileOptions::o2(), CompileOptions::hand()] {
+            for opts in [
+                CompileOptions::o1(),
+                CompileOptions::o2(),
+                CompileOptions::hand(),
+            ] {
                 let (g, a) = run_both(&p, &opts);
                 assert_eq!(g, a, "n={n} level={:?}", opts.level);
             }
@@ -726,7 +919,12 @@ mod tests {
         // Dynamic block count must drop: unrolled body executes fewer blocks.
         let stats = interp::run(&p, 1 << 20).unwrap().stats;
         let stats0 = interp::run(&sum_program(100), 1 << 20).unwrap().stats;
-        assert!(stats.blocks < stats0.blocks, "{} !< {}", stats.blocks, stats0.blocks);
+        assert!(
+            stats.blocks < stats0.blocks,
+            "{} !< {}",
+            stats.blocks,
+            stats0.blocks
+        );
     }
 
     #[test]
@@ -767,7 +965,11 @@ mod tests {
             .iter()
             .filter(|i| matches!(i, Inst::Ibin { op: Opcode::Add, b, .. } if *b != Operand::Imm(0)))
             .count();
-        assert!(adds <= 2, "duplicate add should be eliminated: {:?}", p.funcs[0].blocks[0].insts);
+        assert!(
+            adds <= 2,
+            "duplicate add should be eliminated: {:?}",
+            p.funcs[0].blocks[0].insts
+        );
     }
 
     #[test]

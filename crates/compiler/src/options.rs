@@ -101,6 +101,16 @@ impl CompileOptions {
         }
     }
 
+    /// The gcc-like reference-platform baseline: full scalar optimization
+    /// but no loop unrolling (gcc -O2 does not unroll by default). The RISC
+    /// and OoO reference machines all run code built with this preset.
+    pub fn gcc_ref() -> CompileOptions {
+        CompileOptions {
+            unroll: 1,
+            ..Self::o1()
+        }
+    }
+
     /// The preset for a named level.
     pub fn for_level(level: OptLevel) -> CompileOptions {
         match level {

@@ -52,7 +52,9 @@ pub fn place_block_with(b: &Block, policy: PlacementPolicy) -> Vec<u8> {
     let n = b.insts.len();
     match policy {
         PlacementPolicy::RowMajor => {
-            return (0..n).map(|i| ((i / SLOTS_PER_ET) % (GRID * GRID)) as u8).collect();
+            return (0..n)
+                .map(|i| ((i / SLOTS_PER_ET) % (GRID * GRID)) as u8)
+                .collect();
         }
         PlacementPolicy::Scatter => {
             return (0..n)
@@ -108,7 +110,7 @@ pub fn place_block_with(b: &Block, policy: PlacementPolicy) -> Vec<u8> {
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(height[i]));
 
-    let mut load = vec![0usize; GRID * GRID];
+    let mut load = [0usize; GRID * GRID];
     let mut place = vec![0u8; n];
     let mut placed = vec![false; n];
     let mut ready = vec![0u32; n];
@@ -137,8 +139,8 @@ pub fn place_block_with(b: &Block, policy: PlacementPolicy) -> Vec<u8> {
                         (ready[*pi], pet / GRID + 1, pet % GRID)
                     }
                 };
-                let dist = (t as i32).max(0) as u32
-                    + ((er + 1).abs_diff(pr) + ec.abs_diff(pc)) as u32;
+                let dist =
+                    (t as i32).max(0) as u32 + ((er + 1).abs_diff(pr) + ec.abs_diff(pc)) as u32;
                 arrive = arrive.max(dist);
             }
             // Loads want to be near the data tiles on the left edge.
@@ -162,8 +164,8 @@ pub fn place_block_with(b: &Block, policy: PlacementPolicy) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trips_isa::build::{inst, inst_imm, BlockBuilder};
     use trips_isa::block::{ExitTarget, TargetSlot};
+    use trips_isa::build::{inst, inst_imm, BlockBuilder};
     use trips_isa::TOpcode;
 
     fn chain_block(len: usize) -> Block {
@@ -171,7 +173,13 @@ mod tests {
         let mut prev = b.add_inst(inst_imm(TOpcode::Movi, 1)).unwrap();
         for _ in 1..len {
             let n = b.add_inst(inst_imm(TOpcode::Addi, 1)).unwrap();
-            b.add_target(prev, trips_isa::Target::Inst { idx: n, slot: TargetSlot::Op0 });
+            b.add_target(
+                prev,
+                trips_isa::Target::Inst {
+                    idx: n,
+                    slot: TargetSlot::Op0,
+                },
+            );
             prev = n;
         }
         let mut r = inst(TOpcode::Ret);
@@ -198,7 +206,10 @@ mod tests {
             for &et in &p {
                 counts[et as usize] += 1;
             }
-            assert!(counts.iter().all(|&c| c <= SLOTS_PER_ET), "{policy:?}: {counts:?}");
+            assert!(
+                counts.iter().all(|&c| c <= SLOTS_PER_ET),
+                "{policy:?}: {counts:?}"
+            );
         }
     }
 

@@ -8,8 +8,14 @@ use trips_ir::{IntCc, MemWidth, Opcode, Operand, Program, ProgramBuilder};
 
 fn check_all_levels(p: &Program, name: &str) {
     let golden = trips_ir::interp::run(p, 1 << 20).expect("ir interp");
-    for opts in [CompileOptions::o0(), CompileOptions::o1(), CompileOptions::o2(), CompileOptions::hand()] {
-        let compiled = compile(p, &opts).unwrap_or_else(|e| panic!("{name} @ {:?}: {e}", opts.level));
+    for opts in [
+        CompileOptions::o0(),
+        CompileOptions::o1(),
+        CompileOptions::o2(),
+        CompileOptions::hand(),
+    ] {
+        let compiled =
+            compile(p, &opts).unwrap_or_else(|e| panic!("{name} @ {:?}: {e}", opts.level));
         // Run the optimized IR too: optimizations must preserve semantics
         // bit-exactly unless FP reassociation is licensed (O2/Hand model the
         // research compiler's fast-math-style tree-height reduction).
@@ -57,7 +63,7 @@ fn wide_constants() {
     let e = f.entry();
     f.switch_to(e);
     let a = f.iconst(0x1234_5678_9abc_def0u64 as i64);
-    let b = f.iconst(-0x7654_3210_fedc_b_i64);
+    let b = f.iconst(-0x7_6543_210f_edcb_i64);
     let c = f.xor(a, b);
     f.ret(Some(Operand::reg(c)));
     f.finish();
@@ -116,7 +122,10 @@ fn triangle_with_store() {
         let s = f.add(v0, v1);
         f.ret(Some(Operand::reg(s)));
         f.finish();
-        check_all_levels(&pb.finish("main").unwrap(), &format!("triangle_store x={x}"));
+        check_all_levels(
+            &pb.finish("main").unwrap(),
+            &format!("triangle_store x={x}"),
+        );
     }
 }
 
@@ -155,7 +164,10 @@ fn loops_sum_and_nested() {
 #[test]
 fn memory_kernel_with_all_widths() {
     let mut pb = ProgramBuilder::new();
-    let buf = pb.data_mut().alloc_bytes("buf", &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16]);
+    let buf = pb.data_mut().alloc_bytes(
+        "buf",
+        &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16],
+    );
     let mut f = pb.func("main", 0);
     let e = f.entry();
     f.switch_to(e);
@@ -263,7 +275,9 @@ fn select_and_predication() {
 #[test]
 fn floating_point_kernel() {
     let mut pb = ProgramBuilder::new();
-    let data = pb.data_mut().alloc_f64s("x", &[1.5, 2.25, -3.0, 4.75, 0.5, 8.0, -2.5, 1.0]);
+    let data = pb
+        .data_mut()
+        .alloc_f64s("x", &[1.5, 2.25, -3.0, 4.75, 0.5, 8.0, -2.5, 1.0]);
     let mut f = pb.func("main", 0);
     let e = f.entry();
     let body = f.block();
@@ -444,7 +458,12 @@ fn memory_checksums_match() {
     let p = pb.finish("main").unwrap();
     let golden = trips_ir::interp::run(&p, 1 << 20).unwrap();
     let gsum = golden.memory.checksum(buf, 64 * 8);
-    for opts in [CompileOptions::o0(), CompileOptions::o1(), CompileOptions::o2(), CompileOptions::hand()] {
+    for opts in [
+        CompileOptions::o0(),
+        CompileOptions::o1(),
+        CompileOptions::o2(),
+        CompileOptions::hand(),
+    ] {
         let compiled = compile(&p, &opts).unwrap();
         let out = trips_isa::run_program(&compiled.trips, &compiled.opt_ir, 1 << 20).unwrap();
         assert_eq!(out.memory.checksum(buf, 64 * 8), gsum, "@{:?}", opts.level);

@@ -1,0 +1,248 @@
+//! `trips-sweep`: run a parallel configuration sweep from the command line.
+//!
+//! ```text
+//! trips-sweep                               # default 8-point demo sweep
+//! trips-sweep --workloads vadd,fft,matrix \
+//!             --configs prototype,improved \
+//!             --sweep dispatch_interval=1,2,8 \
+//!             --sweep l1d_bytes=8192,32768 \
+//!             --backends trips,core2 \
+//!             --format csv --out sweep.csv
+//! ```
+//!
+//! Each workload's functional trace is captured once and replayed against
+//! every configuration; points run in parallel on a work-stealing pool. The
+//! summary (stderr) reports throughput in measurements/second and the
+//! artifact-cache hit rates that make the number what it is.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use trips_compiler::CompileOptions;
+use trips_engine::sweep::{to_csv, to_json_lines};
+use trips_engine::{run_sweep, BackendSpec, ConfigVariant, Session, SweepSpec};
+use trips_sim::TripsConfig;
+use trips_workloads::Scale;
+
+const USAGE: &str = "\
+trips-sweep: parallel trace-replay configuration sweeps
+
+options:
+  --workloads a,b,c    workload names (default vadd,autocor; `simple` expands
+                       to the paper's 15 simple benchmarks, `all` to everything)
+  --scale test|ref     problem size (default test)
+  --opts o0|o1|o2|hand compile preset for the TRIPS side (default o1)
+  --hand               use hand-optimized IR variants
+  --configs a,b        base configs: prototype, improved (default both)
+  --sweep axis=v1,v2   add one variant per value (repeatable); axes:
+                       dispatch_interval dispatch_bandwidth fetch_latency
+                       flush_penalty commit_overhead max_blocks_in_flight
+                       l1d_bytes l2_bytes l1d_hit dram_lat exit_entries
+                       btb_entries ras_depth lwt_entries
+  --backends list      trips,risc,core2,p4,p3,ideal1k,ideal1k0,ideal128k
+                       (default trips)
+  --threads N          worker threads (default: one per core)
+  --budget N           dynamic block budget for capture/sim (default 1000000)
+  --mem BYTES          memory image size (default 4194304)
+  --format json|csv    row output format (default json)
+  --out FILE           write rows to FILE instead of stdout
+  -h, --help           this text";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("trips-sweep: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spec = SweepSpec {
+        configs: Vec::new(),
+        backends: Vec::new(),
+        ..SweepSpec::default()
+    };
+    let mut base_configs: Vec<String> = vec!["prototype".into(), "improved".into()];
+    let mut sweeps: Vec<(String, String)> = Vec::new();
+    let mut backends: Vec<String> = vec!["trips".into()];
+    let mut format = "json".to_string();
+    let mut out_path: Option<String> = None;
+    let mut default_demo = true;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--workloads" => match value("--workloads") {
+                Ok(v) => {
+                    default_demo = false;
+                    spec.workloads = match v.as_str() {
+                        "simple" => trips_workloads::simple()
+                            .iter()
+                            .map(|w| w.name.to_string())
+                            .collect(),
+                        "all" => trips_workloads::all()
+                            .iter()
+                            .map(|w| w.name.to_string())
+                            .collect(),
+                        list => list.split(',').map(str::to_string).collect(),
+                    };
+                }
+                Err(e) => return fail(&e),
+            },
+            "--scale" => match value("--scale").as_deref() {
+                Ok("test") => spec.scale = Scale::Test,
+                Ok("ref") => spec.scale = Scale::Ref,
+                Ok(other) => return fail(&format!("unknown scale `{other}`")),
+                Err(e) => return fail(e),
+            },
+            "--opts" => match value("--opts").as_deref() {
+                Ok("o0") => spec.opts = CompileOptions::o0(),
+                Ok("o1") => spec.opts = CompileOptions::o1(),
+                Ok("o2") => spec.opts = CompileOptions::o2(),
+                Ok("hand") => spec.opts = CompileOptions::hand(),
+                Ok(other) => return fail(&format!("unknown preset `{other}`")),
+                Err(e) => return fail(e),
+            },
+            "--hand" => spec.hand = true,
+            "--configs" => match value("--configs") {
+                Ok(v) => {
+                    default_demo = false;
+                    base_configs = v.split(',').map(str::to_string).collect();
+                }
+                Err(e) => return fail(&e),
+            },
+            "--sweep" => match value("--sweep") {
+                Ok(v) => {
+                    default_demo = false;
+                    match v.split_once('=') {
+                        Some((axis, values)) => sweeps.push((axis.to_string(), values.to_string())),
+                        None => return fail("--sweep expects axis=v1,v2,..."),
+                    }
+                }
+                Err(e) => return fail(&e),
+            },
+            "--backends" => match value("--backends") {
+                Ok(v) => backends = v.split(',').map(str::to_string).collect(),
+                Err(e) => return fail(&e),
+            },
+            "--threads" => match value("--threads").map(|v| v.parse::<usize>()) {
+                Ok(Ok(n)) => spec.threads = n,
+                _ => return fail("--threads needs a number"),
+            },
+            "--budget" => match value("--budget").map(|v| v.parse::<u64>()) {
+                Ok(Ok(n)) => spec.sim_budget = n,
+                _ => return fail("--budget needs a number"),
+            },
+            "--mem" => match value("--mem").map(|v| v.parse::<usize>()) {
+                Ok(Ok(n)) => spec.mem = n,
+                _ => return fail("--mem needs a number"),
+            },
+            "--format" => match value("--format") {
+                Ok(v) if v == "json" || v == "csv" => format = v,
+                Ok(other) => return fail(&format!("unknown format `{other}`")),
+                Err(e) => return fail(&e),
+            },
+            "--out" => match value("--out") {
+                Ok(v) => out_path = Some(v),
+                Err(e) => return fail(&e),
+            },
+            other => return fail(&format!("unknown option `{other}`")),
+        }
+    }
+
+    // Build the config list: named bases plus one variant per sweep value.
+    for name in &base_configs {
+        match name.as_str() {
+            "prototype" => spec.configs.push(ConfigVariant::prototype()),
+            "improved" => spec.configs.push(ConfigVariant::improved()),
+            other => {
+                return fail(&format!(
+                    "unknown base config `{other}` (prototype, improved)"
+                ))
+            }
+        }
+    }
+    for (axis, values) in &sweeps {
+        let vals: Vec<&str> = values.split(',').collect();
+        match ConfigVariant::axis(&TripsConfig::prototype(), axis, &vals) {
+            Ok(mut vs) => spec.configs.append(&mut vs),
+            Err(e) => return fail(&e.to_string()),
+        }
+    }
+    if default_demo {
+        // The out-of-the-box demo: 2 workloads × 4 configs = 8 points.
+        let proto = TripsConfig::prototype();
+        spec.configs
+            .extend(ConfigVariant::axis(&proto, "dispatch_interval", &["1"]).expect("known axis"));
+        spec.configs
+            .extend(ConfigVariant::axis(&proto, "flush_penalty", &["4"]).expect("known axis"));
+    }
+    for b in &backends {
+        match BackendSpec::parse(b) {
+            Ok(spec_b) if !spec.backends.contains(&spec_b) => spec.backends.push(spec_b),
+            Ok(_) => {}
+            Err(e) => return fail(&e.to_string()),
+        }
+    }
+
+    let session = Session::new();
+    let report = match run_sweep(&spec, &session) {
+        Ok(r) => r,
+        Err(e) => return fail(&e.to_string()),
+    };
+
+    let rendered = match format.as_str() {
+        "csv" => to_csv(&report.rows),
+        _ => to_json_lines(&report.rows),
+    };
+    match &out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, rendered) {
+                eprintln!("trips-sweep: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            if stdout.write_all(rendered.as_bytes()).is_err() {
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let c = &report.cache;
+    eprintln!(
+        "trips-sweep: {} points ({} ok, {} failed) on {} threads in {:.2}s -> {:.1} measurements/sec",
+        report.points,
+        report.rows.len(),
+        report.errors.len(),
+        report.threads,
+        report.wall_s,
+        report.measurements_per_sec,
+    );
+    eprintln!(
+        "trips-sweep: cache: {} compiles ({} reused), {} captures ({} replays reused them)",
+        c.compile_misses, c.compile_hits, c.trace_misses, c.trace_hits,
+    );
+    if c.risc_misses > 0 {
+        eprintln!(
+            "trips-sweep: cache: {} RISC compiles ({} reused across reference backends)",
+            c.risc_misses, c.risc_hits,
+        );
+    }
+    for e in &report.errors {
+        eprintln!("trips-sweep: point failed: {e}");
+    }
+    if report.rows.is_empty() && !report.errors.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

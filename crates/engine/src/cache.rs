@@ -1,0 +1,464 @@
+//! The memoizing artifact store behind every sweep and experiment.
+//!
+//! Two tiers, both keyed on provenance rather than content:
+//!
+//! * compiled programs: `(workload, scale, options-signature, hand)`;
+//! * captured trace logs: the compile key plus `(memory size, block budget)`.
+//!
+//! Entries hold an `Arc<OnceLock<...>>`, so the map's mutex is held only for
+//! the key lookup; the (expensive) compile or functional capture runs
+//! outside it, and concurrent requests for the same key block on the single
+//! in-flight computation instead of duplicating work. Failures are cached
+//! too — a workload that cannot compile fails every request identically
+//! instead of being retried by each sweep point.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use trips_compiler::{CompileOptions, CompiledProgram};
+use trips_isa::{TraceLog, TraceMeta};
+use trips_workloads::{Scale, Workload};
+
+/// Engine failures (compile and functional-execution errors are carried as
+/// rendered strings so they can live in the cache).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The workload name is not in the registry.
+    UnknownWorkload(String),
+    /// The TRIPS compiler rejected the program.
+    Compile(String),
+    /// The functional capture failed (including budget exhaustion).
+    Capture(String),
+    /// Trace replay was rejected (header/index mismatch).
+    Replay(String),
+    /// A malformed sweep specification.
+    Spec(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownWorkload(w) => write!(f, "unknown workload `{w}`"),
+            EngineError::Compile(e) => write!(f, "compile failed: {e}"),
+            EngineError::Capture(e) => write!(f, "trace capture failed: {e}"),
+            EngineError::Replay(e) => write!(f, "trace replay failed: {e}"),
+            EngineError::Spec(e) => write!(f, "bad sweep spec: {e}"),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+/// A stable signature of a [`CompileOptions`] value (FNV-1a over its debug
+/// rendering; options are plain scalars so the rendering is canonical).
+pub fn opts_sig(opts: &CompileOptions) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{opts:?}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Ref => "ref",
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CompileKey {
+    workload: String,
+    scale: &'static str,
+    opts: u64,
+    hand: bool,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct TraceKey {
+    compile: CompileKey,
+    mem: usize,
+    budget: u64,
+}
+
+type Slot<T> = Arc<OnceLock<Result<Arc<T>, EngineError>>>;
+
+/// Cache hit/miss counters (for the sweep report's summary).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct CacheStats {
+    /// Compile requests served from cache.
+    pub compile_hits: u64,
+    /// Compiles actually performed.
+    pub compile_misses: u64,
+    /// Trace requests served from cache.
+    pub trace_hits: u64,
+    /// Functional captures actually performed.
+    pub trace_misses: u64,
+    /// ISA-stats requests served from cache.
+    pub isa_hits: u64,
+    /// Functional ISA runs actually performed.
+    pub isa_misses: u64,
+    /// RISC-program requests served from cache.
+    pub risc_hits: u64,
+    /// RISC compiles actually performed.
+    pub risc_misses: u64,
+}
+
+/// A memoizing measurement session shared by all sweep workers.
+#[derive(Default)]
+pub struct Session {
+    compiled: Mutex<HashMap<CompileKey, Slot<CompiledProgram>>>,
+    traces: Mutex<HashMap<TraceKey, Slot<TraceLog>>>,
+    isa: Mutex<HashMap<TraceKey, Slot<IsaOutcome>>>,
+    risc: Mutex<HashMap<CompileKey, Slot<RiscArtifacts>>>,
+    compile_hits: AtomicU64,
+    compile_misses: AtomicU64,
+    trace_hits: AtomicU64,
+    trace_misses: AtomicU64,
+    isa_hits: AtomicU64,
+    isa_misses: AtomicU64,
+    risc_hits: AtomicU64,
+    risc_misses: AtomicU64,
+}
+
+/// A cached functional (untimed) run: what the ISA figures need, without
+/// retaining the full trace stream.
+#[derive(Debug, Clone)]
+pub struct IsaOutcome {
+    /// ISA-level statistics.
+    pub stats: trips_isa::IsaStats,
+    /// The program's return value.
+    pub return_value: u64,
+}
+
+/// A cached RISC-side build: the compiled RISC program plus the optimized
+/// IR it executes against (the reference backends need both).
+#[derive(Debug)]
+pub struct RiscArtifacts {
+    /// The RISC program.
+    pub program: trips_risc::RProgram,
+    /// The optimized IR (data image + reference semantics).
+    pub ir: trips_ir::Program,
+}
+
+impl Session {
+    /// A fresh, empty session.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// The process-wide session used by the experiment harness, so separate
+    /// figures share compiles and captures.
+    pub fn global() -> &'static Session {
+        static GLOBAL: OnceLock<Session> = OnceLock::new();
+        GLOBAL.get_or_init(Session::new)
+    }
+
+    fn slot<K: Clone + Eq + std::hash::Hash, T>(
+        map: &Mutex<HashMap<K, Slot<T>>>,
+        key: &K,
+        hits: &AtomicU64,
+        misses: &AtomicU64,
+    ) -> Slot<T> {
+        let mut guard = map.lock().expect("cache mutex");
+        if let Some(slot) = guard.get(key) {
+            hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(slot);
+        }
+        misses.fetch_add(1, Ordering::Relaxed);
+        let slot: Slot<T> = Arc::new(OnceLock::new());
+        guard.insert(key.clone(), Arc::clone(&slot));
+        slot
+    }
+
+    /// Compiles `workload` (memoized). `hand` selects the hand-optimized IR
+    /// variant, mirroring the paper's H bars.
+    ///
+    /// # Errors
+    /// [`EngineError::Compile`] (cached: retries see the same failure).
+    pub fn compiled(
+        &self,
+        w: &Workload,
+        scale: Scale,
+        opts: &CompileOptions,
+        hand: bool,
+    ) -> Result<Arc<CompiledProgram>, EngineError> {
+        let key = CompileKey {
+            workload: w.name.to_string(),
+            scale: scale_label(scale),
+            opts: opts_sig(opts),
+            hand,
+        };
+        let slot = Self::slot(
+            &self.compiled,
+            &key,
+            &self.compile_hits,
+            &self.compile_misses,
+        );
+        slot.get_or_init(|| {
+            let program = if hand {
+                w.build_hand(scale)
+            } else {
+                (w.build)(scale)
+            };
+            trips_compiler::compile(&program, opts)
+                .map(Arc::new)
+                .map_err(|e| EngineError::Compile(format!("{}: {e}", w.name)))
+        })
+        .clone()
+    }
+
+    /// Captures (memoized) the functional trace of `workload` compiled with
+    /// `opts`, under `mem` bytes of memory and a `budget` block budget.
+    ///
+    /// # Errors
+    /// [`EngineError::Compile`] or [`EngineError::Capture`] (both cached).
+    pub fn trace(
+        &self,
+        w: &Workload,
+        scale: Scale,
+        opts: &CompileOptions,
+        hand: bool,
+        mem: usize,
+        budget: u64,
+    ) -> Result<Arc<TraceLog>, EngineError> {
+        let compile_key = CompileKey {
+            workload: w.name.to_string(),
+            scale: scale_label(scale),
+            opts: opts_sig(opts),
+            hand,
+        };
+        let key = TraceKey {
+            compile: compile_key,
+            mem,
+            budget,
+        };
+        let slot = Self::slot(&self.traces, &key, &self.trace_hits, &self.trace_misses);
+        slot.get_or_init(|| {
+            let compiled = self.compiled(w, scale, opts, hand)?;
+            let meta = TraceMeta {
+                workload: w.name.to_string(),
+                scale: scale_label(scale).to_string(),
+                opts_sig: opts_sig(opts),
+            };
+            TraceLog::capture(&compiled.trips, &compiled.opt_ir, mem, budget, meta)
+                .map(Arc::new)
+                .map_err(|e| EngineError::Capture(format!("{}: {e}", w.name)))
+        })
+        .clone()
+    }
+
+    /// Runs (memoized) the functional interpreter for ISA-level statistics
+    /// only — unlike [`Session::trace`], nothing per-block is retained, so
+    /// this is the right call when no replay will happen (the ISA figures).
+    ///
+    /// # Errors
+    /// [`EngineError::Compile`] or [`EngineError::Capture`] (both cached).
+    pub fn isa_outcome(
+        &self,
+        w: &Workload,
+        scale: Scale,
+        opts: &CompileOptions,
+        hand: bool,
+        mem: usize,
+        budget: u64,
+    ) -> Result<Arc<IsaOutcome>, EngineError> {
+        let compile_key = CompileKey {
+            workload: w.name.to_string(),
+            scale: scale_label(scale),
+            opts: opts_sig(opts),
+            hand,
+        };
+        let key = TraceKey {
+            compile: compile_key,
+            mem,
+            budget,
+        };
+        let slot = Self::slot(&self.isa, &key, &self.isa_hits, &self.isa_misses);
+        slot.get_or_init(|| {
+            let compiled = self.compiled(w, scale, opts, hand)?;
+            trips_isa::interp::run_program_with(&compiled.trips, &compiled.opt_ir, mem, budget)
+                .map(|out| {
+                    Arc::new(IsaOutcome {
+                        stats: out.stats,
+                        return_value: out.return_value,
+                    })
+                })
+                .map_err(|e| EngineError::Capture(format!("{}: {e}", w.name)))
+        })
+        .clone()
+    }
+
+    /// Builds (memoized) the RISC-side program: IR built, optimized with
+    /// `opts`, and lowered by the RISC code generator. Shared by the RISC
+    /// baseline and every OoO reference platform.
+    ///
+    /// # Errors
+    /// [`EngineError::Compile`] (cached).
+    pub fn risc_program(
+        &self,
+        w: &Workload,
+        scale: Scale,
+        opts: &CompileOptions,
+    ) -> Result<Arc<RiscArtifacts>, EngineError> {
+        let key = CompileKey {
+            workload: w.name.to_string(),
+            scale: scale_label(scale),
+            opts: opts_sig(opts),
+            hand: false,
+        };
+        let slot = Self::slot(&self.risc, &key, &self.risc_hits, &self.risc_misses);
+        slot.get_or_init(|| {
+            let mut ir = (w.build)(scale);
+            trips_compiler::opt::optimize(&mut ir, opts);
+            trips_risc::compile_program(&ir)
+                .map(|program| Arc::new(RiscArtifacts { program, ir }))
+                .map_err(|e| EngineError::Compile(format!("{} (risc): {e}", w.name)))
+        })
+        .clone()
+    }
+
+    /// Replays the (memoized) trace against one timing configuration: the
+    /// sweep's hot path — one capture, N of these.
+    ///
+    /// # Errors
+    /// Any cached artifact failure, or [`EngineError::Replay`].
+    pub fn replayed(
+        &self,
+        w: &Workload,
+        scale: Scale,
+        opts: &CompileOptions,
+        hand: bool,
+        cfg: &trips_sim::TripsConfig,
+        mem: usize,
+        budget: u64,
+    ) -> Result<trips_sim::SimResult, EngineError> {
+        let compiled = self.compiled(w, scale, opts, hand)?;
+        let log = self.trace(w, scale, opts, hand, mem, budget)?;
+        trips_sim::timing::replay_trace(&compiled, cfg, &log)
+            .map_err(|e| EngineError::Replay(e.to_string()))
+    }
+
+    /// Current hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            compile_hits: self.compile_hits.load(Ordering::Relaxed),
+            compile_misses: self.compile_misses.load(Ordering::Relaxed),
+            trace_hits: self.trace_hits.load(Ordering::Relaxed),
+            trace_misses: self.trace_misses.load(Ordering::Relaxed),
+            isa_hits: self.isa_hits.load(Ordering::Relaxed),
+            isa_misses: self.isa_misses.load(Ordering::Relaxed),
+            risc_hits: self.risc_hits.load(Ordering::Relaxed),
+            risc_misses: self.risc_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_workloads::by_name;
+
+    #[test]
+    fn compile_cache_deduplicates() {
+        let s = Session::new();
+        let w = by_name("vadd").unwrap();
+        let a = s
+            .compiled(&w, Scale::Test, &CompileOptions::o1(), false)
+            .unwrap();
+        let b = s
+            .compiled(&w, Scale::Test, &CompileOptions::o1(), false)
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "second request must be served from cache"
+        );
+        let st = s.cache_stats();
+        assert_eq!((st.compile_misses, st.compile_hits), (1, 1));
+        // Different options are a different artifact.
+        let c = s
+            .compiled(&w, Scale::Test, &CompileOptions::o2(), false)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn trace_cache_is_keyed_on_budget() {
+        let s = Session::new();
+        let w = by_name("vadd").unwrap();
+        let full = s
+            .trace(
+                &w,
+                Scale::Test,
+                &CompileOptions::o1(),
+                false,
+                1 << 22,
+                u64::MAX,
+            )
+            .unwrap();
+        let again = s
+            .trace(
+                &w,
+                Scale::Test,
+                &CompileOptions::o1(),
+                false,
+                1 << 22,
+                u64::MAX,
+            )
+            .unwrap();
+        assert!(Arc::ptr_eq(&full, &again));
+        // A tiny budget is a distinct (failing) artifact, and the failure
+        // itself is cached.
+        let clipped = s.trace(&w, Scale::Test, &CompileOptions::o1(), false, 1 << 22, 1);
+        assert!(matches!(clipped, Err(EngineError::Capture(_))));
+        let clipped2 = s.trace(&w, Scale::Test, &CompileOptions::o1(), false, 1 << 22, 1);
+        assert_eq!(clipped.unwrap_err(), clipped2.unwrap_err());
+    }
+
+    #[test]
+    fn opts_sig_separates_presets() {
+        let sigs: Vec<u64> = [
+            CompileOptions::o0(),
+            CompileOptions::o1(),
+            CompileOptions::o2(),
+            CompileOptions::hand(),
+        ]
+        .iter()
+        .map(opts_sig)
+        .collect();
+        let mut uniq = sigs.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), sigs.len());
+    }
+
+    #[test]
+    fn concurrent_requests_share_one_compile() {
+        let s = Session::new();
+        let w = by_name("autocor").unwrap();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let (s, w) = (&s, &w);
+                    scope.spawn(move || {
+                        s.compiled(w, Scale::Test, &CompileOptions::o1(), false)
+                            .unwrap()
+                    })
+                })
+                .collect();
+            let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for r in &results[1..] {
+                assert!(Arc::ptr_eq(&results[0], r));
+            }
+        });
+        assert_eq!(
+            s.cache_stats().compile_misses,
+            1,
+            "exactly one thread may compile"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! # trips-engine
+//!
+//! The parallel sweep subsystem: turns the one-shot "compile → execute →
+//! simulate" measurement plumbing into a reusable engine that amortizes
+//! functional execution across timing configurations and fans independent
+//! measurements out across cores.
+//!
+//! Three layers:
+//!
+//! * [`Session`] — a memoizing artifact store. Compiled programs are cached
+//!   by `(workload, scale, options, hand)`, captured [`trips_isa::TraceLog`]s
+//!   by the same key plus `(memory, budget)`. Concurrent requests for the
+//!   same artifact block on one in-flight computation instead of duplicating
+//!   it (per-entry `OnceLock`, see McKenney's *Is Parallel Programming
+//!   Hard?* on sharing read-mostly data cheaply).
+//! * [`pool`] — a small work-stealing thread pool over `std::thread` scoped
+//!   threads and channels: per-worker deques, round-robin seeding, steal
+//!   from the far end when the local deque drains.
+//! * [`sweep`] — a declarative [`SweepSpec`] (workloads × configurations ×
+//!   backends) expanded to points, executed on the pool, reported as
+//!   [`SweepRow`]s plus a throughput summary (measurements/second is a
+//!   first-class output: the engine exists to raise it).
+//!
+//! The speedup structure: a TRIPS timing sweep of N configurations costs one
+//! functional capture plus N replays (`trips_sim::timing::replay_trace`),
+//! not N functional executions — and replays of *different* workloads and
+//! configurations run concurrently.
+
+pub mod cache;
+pub mod pool;
+pub mod sweep;
+
+pub use cache::{CacheStats, EngineError, IsaOutcome, RiscArtifacts, Session};
+pub use pool::parallel_map;
+pub use sweep::{run_sweep, BackendSpec, ConfigVariant, SweepReport, SweepRow, SweepSpec};

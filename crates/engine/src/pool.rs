@@ -1,0 +1,157 @@
+//! A work-stealing parallel map over scoped `std` threads.
+//!
+//! Sweep points vary wildly in cost (a SPEC proxy at Ref scale vs `vadd` at
+//! Test scale differ by orders of magnitude), so static partitioning leaves
+//! workers idle. Instead each worker owns a deque seeded round-robin; it
+//! pops work from the front of its own deque and, when empty, steals from
+//! the *back* of a victim's — the classic split that keeps owner and thief
+//! off the same end (cf. McKenney's work-distribution chapters). Results
+//! flow back over an `mpsc` channel tagged with their index, so output
+//! order matches input order regardless of who executed what.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Applies `f` to every item on `threads` workers (0 = one per core),
+/// returning results in input order.
+///
+/// Panics in `f` abort the whole map (propagated from the worker join), so
+/// callers should return `Result`s for expected failures instead of
+/// panicking.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = effective_threads(threads, n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Seed per-worker deques round-robin.
+    let queues: Vec<Mutex<VecDeque<(usize, T)>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        queues[i % threads]
+            .lock()
+            .expect("queue mutex")
+            .push_back((i, item));
+    }
+
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for me in 0..threads {
+            let tx = tx.clone();
+            let queues = &queues;
+            let f = &f;
+            scope.spawn(move || {
+                loop {
+                    // Own work first: take from the front.
+                    let mine = queues[me].lock().expect("queue mutex").pop_front();
+                    let job = match mine {
+                        Some(job) => Some(job),
+                        None => {
+                            // Steal from the back of the first non-empty victim.
+                            let mut stolen = None;
+                            for off in 1..queues.len() {
+                                let victim = (me + off) % queues.len();
+                                if let Some(job) =
+                                    queues[victim].lock().expect("queue mutex").pop_back()
+                                {
+                                    stolen = Some(job);
+                                    break;
+                                }
+                            }
+                            stolen
+                        }
+                    };
+                    match job {
+                        Some((idx, item)) => {
+                            let r = f(item);
+                            if tx.send((idx, r)).is_err() {
+                                return; // receiver gone: nothing left to report to
+                            }
+                        }
+                        // All deques empty. Items never re-enter a deque, so
+                        // this worker is done.
+                        None => return,
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (idx, r) in rx {
+            out[idx] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every index produced exactly once"))
+            .collect()
+    })
+}
+
+/// Resolves a thread-count request: 0 means "one per available core",
+/// always at least 1, never more than the number of items.
+pub fn effective_threads(requested: usize, items: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let t = if requested == 0 { hw } else { requested };
+    t.clamp(1, items.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = parallel_map(items.clone(), 4, |x| x * 3);
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let out = parallel_map((0..100).collect(), 8, |x: i32| {
+            count.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn imbalanced_work_is_stolen() {
+        // Front-load all the slow items onto worker 0's deque (indices
+        // 0..8 with 2 threads put the slow ones at even indices): the
+        // steal path must still complete promptly and correctly.
+        let out = parallel_map((0..8u64).collect(), 2, |x| {
+            if x % 2 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_and_empty_input() {
+        assert_eq!(parallel_map(Vec::<u8>::new(), 4, |x| x), Vec::<u8>::new());
+        assert_eq!(parallel_map(vec![5], 1, |x: u8| x * 2), vec![10]);
+    }
+
+    #[test]
+    fn effective_threads_bounds() {
+        assert_eq!(effective_threads(3, 100), 3);
+        assert_eq!(effective_threads(16, 2), 2);
+        assert!(effective_threads(0, 64) >= 1);
+        assert_eq!(effective_threads(0, 0), 1);
+    }
+}

@@ -1,0 +1,521 @@
+//! Declarative sweep specifications and their parallel execution.
+//!
+//! A [`SweepSpec`] names workloads, one compile preset, a set of TRIPS
+//! timing configurations, and a set of backends. [`run_sweep`] expands the
+//! cross product into points, executes them on the work-stealing pool with
+//! all artifacts shared through a [`Session`], and returns per-point
+//! [`SweepRow`]s plus a throughput summary.
+
+use crate::cache::{EngineError, Session};
+use crate::pool::{effective_threads, parallel_map};
+use serde::Serialize;
+use std::time::Instant;
+use trips_compiler::CompileOptions;
+use trips_sim::TripsConfig;
+use trips_workloads::{by_name, Scale, Workload};
+
+/// Which machine a sweep point measures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendSpec {
+    /// TRIPS cycle-level model: replayed against every [`SweepSpec::configs`]
+    /// variant.
+    Trips,
+    /// RISC (PowerPC-like) functional baseline: instruction counts.
+    Risc,
+    /// An out-of-order reference platform: `core2`, `p4`, or `p3`.
+    Ooo(String),
+    /// The idealized EDGE limit study: `1k`, `1k0` (free dispatch), `128k`.
+    Ideal(String),
+}
+
+impl BackendSpec {
+    /// Parses a backend label.
+    ///
+    /// # Errors
+    /// [`EngineError::Spec`] on unknown labels.
+    pub fn parse(s: &str) -> Result<BackendSpec, EngineError> {
+        match s {
+            "trips" => Ok(BackendSpec::Trips),
+            "risc" => Ok(BackendSpec::Risc),
+            "core2" | "p4" | "p3" => Ok(BackendSpec::Ooo(s.to_string())),
+            "ideal1k" => Ok(BackendSpec::Ideal("1k".into())),
+            "ideal1k0" => Ok(BackendSpec::Ideal("1k0".into())),
+            "ideal128k" => Ok(BackendSpec::Ideal("128k".into())),
+            other => Err(EngineError::Spec(format!(
+                "unknown backend `{other}` (known: trips risc core2 p4 p3 ideal1k ideal1k0 ideal128k)"
+            ))),
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            BackendSpec::Trips => "trips".into(),
+            BackendSpec::Risc => "risc".into(),
+            BackendSpec::Ooo(n) => n.clone(),
+            BackendSpec::Ideal(n) => format!("ideal{n}"),
+        }
+    }
+}
+
+/// A named TRIPS timing configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigVariant {
+    /// Label reported in rows (e.g. `prototype`, `dispatch_interval=1`).
+    pub name: String,
+    /// The configuration itself.
+    pub cfg: TripsConfig,
+}
+
+impl ConfigVariant {
+    /// The prototype configuration under its canonical label.
+    pub fn prototype() -> ConfigVariant {
+        ConfigVariant {
+            name: "prototype".into(),
+            cfg: TripsConfig::prototype(),
+        }
+    }
+
+    /// The improved-predictor configuration under its canonical label.
+    pub fn improved() -> ConfigVariant {
+        ConfigVariant {
+            name: "improved".into(),
+            cfg: TripsConfig::improved_predictor(),
+        }
+    }
+
+    /// Derives variants from `base` by assigning `values` to the named
+    /// sweepable axis.
+    ///
+    /// # Errors
+    /// [`EngineError::Spec`] for unknown axes or unparsable values.
+    pub fn axis(
+        base: &TripsConfig,
+        axis: &str,
+        values: &[&str],
+    ) -> Result<Vec<ConfigVariant>, EngineError> {
+        values
+            .iter()
+            .map(|v| {
+                let mut cfg = base.clone();
+                let parsed: u64 = v
+                    .parse()
+                    .map_err(|_| EngineError::Spec(format!("axis {axis}: bad value `{v}`")))?;
+                let p = parsed as usize;
+                match axis {
+                    "dispatch_interval" => cfg.dispatch_interval = parsed,
+                    "dispatch_bandwidth" => cfg.dispatch_bandwidth = parsed.max(1),
+                    "fetch_latency" => cfg.fetch_latency = parsed,
+                    "flush_penalty" => cfg.flush_penalty = parsed,
+                    "commit_overhead" => cfg.commit_overhead = parsed,
+                    "max_blocks_in_flight" => cfg.max_blocks_in_flight = p.max(1),
+                    "l1d_bytes" => cfg.l1d_bytes = p,
+                    "l2_bytes" => cfg.l2_bytes = p,
+                    "l1d_hit" => cfg.l1d_hit = parsed,
+                    "dram_lat" => cfg.dram_lat = parsed,
+                    "exit_entries" => cfg.exit_entries = p.max(1),
+                    "btb_entries" => cfg.btb_entries = p.max(1),
+                    "ras_depth" => cfg.ras_depth = p,
+                    "lwt_entries" => cfg.lwt_entries = p.max(1),
+                    other => {
+                        return Err(EngineError::Spec(format!(
+                            "unknown sweep axis `{other}` (see ConfigVariant::axis for the list)"
+                        )))
+                    }
+                }
+                Ok(ConfigVariant {
+                    name: format!("{axis}={v}"),
+                    cfg,
+                })
+            })
+            .collect()
+    }
+}
+
+/// A declarative sweep: the engine expands and runs the cross product.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Workload names (must exist in the registry).
+    pub workloads: Vec<String>,
+    /// Problem scale.
+    pub scale: Scale,
+    /// Compile preset for the TRIPS side.
+    pub opts: CompileOptions,
+    /// Use the hand-optimized IR variants.
+    pub hand: bool,
+    /// TRIPS timing configurations (applies to the `Trips` backend).
+    pub configs: Vec<ConfigVariant>,
+    /// Machines to measure.
+    pub backends: Vec<BackendSpec>,
+    /// Memory image size for every run.
+    pub mem: usize,
+    /// Dynamic block budget for functional capture / cycle simulation.
+    pub sim_budget: u64,
+    /// Dynamic instruction budget for RISC/OoO runs.
+    pub risc_budget: u64,
+    /// Worker threads (0 = one per core).
+    pub threads: usize,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec {
+            workloads: vec!["vadd".into(), "autocor".into()],
+            scale: Scale::Test,
+            opts: CompileOptions::o1(),
+            hand: false,
+            configs: vec![ConfigVariant::prototype(), ConfigVariant::improved()],
+            backends: vec![BackendSpec::Trips],
+            mem: 1 << 22,
+            sim_budget: 1_000_000,
+            risc_budget: 400_000_000,
+            threads: 0,
+        }
+    }
+}
+
+/// One measurement result.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepRow {
+    /// Workload name.
+    pub workload: String,
+    /// Backend label (`trips`, `risc`, `core2`, ...).
+    pub backend: String,
+    /// Configuration label (TRIPS variants; `-` for other backends).
+    pub config: String,
+    /// Cycles (RISC backend reports retired instructions here).
+    pub cycles: u64,
+    /// Executed-instruction IPC (0 for backends without a cycle model).
+    pub ipc: f64,
+    /// Dynamic blocks committed (TRIPS backends).
+    pub blocks: u64,
+    /// Mispredict flushes (TRIPS cycle model).
+    pub mispredict_flushes: u64,
+    /// Load-order violation flushes (TRIPS cycle model).
+    pub load_flushes: u64,
+    /// L1 D-cache misses (TRIPS cycle model).
+    pub l1d_misses: u64,
+    /// Average instructions in flight (TRIPS cycle model).
+    pub avg_window: f64,
+    /// Wall-clock milliseconds this point took (includes any cache misses
+    /// it had to fill).
+    pub wall_ms: f64,
+}
+
+/// Everything a sweep produced.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepReport {
+    /// Successful measurements.
+    pub rows: Vec<SweepRow>,
+    /// Failed points, as `point-label: error` strings.
+    pub errors: Vec<String>,
+    /// Total points attempted.
+    pub points: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total wall-clock seconds.
+    pub wall_s: f64,
+    /// Throughput: successful measurements per second of wall time.
+    pub measurements_per_sec: f64,
+    /// Artifact-cache effectiveness.
+    pub cache: crate::cache::CacheStats,
+}
+
+struct Point {
+    workload: Workload,
+    backend: BackendSpec,
+    config: Option<ConfigVariant>,
+}
+
+fn point_label(p: &Point) -> String {
+    match &p.config {
+        Some(c) => format!("{}/{}/{}", p.workload.name, p.backend.label(), c.name),
+        None => format!("{}/{}", p.workload.name, p.backend.label()),
+    }
+}
+
+fn expand(spec: &SweepSpec) -> Result<Vec<Point>, EngineError> {
+    if spec.workloads.is_empty() {
+        return Err(EngineError::Spec("no workloads".into()));
+    }
+    if spec.backends.is_empty() {
+        return Err(EngineError::Spec("no backends".into()));
+    }
+    let mut points = Vec::new();
+    for name in &spec.workloads {
+        let w = by_name(name).ok_or_else(|| EngineError::UnknownWorkload(name.clone()))?;
+        for b in &spec.backends {
+            match b {
+                BackendSpec::Trips => {
+                    if spec.configs.is_empty() {
+                        return Err(EngineError::Spec(
+                            "trips backend needs at least one config".into(),
+                        ));
+                    }
+                    for c in &spec.configs {
+                        points.push(Point {
+                            workload: w.clone(),
+                            backend: b.clone(),
+                            config: Some(c.clone()),
+                        });
+                    }
+                }
+                _ => points.push(Point {
+                    workload: w.clone(),
+                    backend: b.clone(),
+                    config: None,
+                }),
+            }
+        }
+    }
+    Ok(points)
+}
+
+fn measure(p: &Point, spec: &SweepSpec, session: &Session) -> Result<SweepRow, EngineError> {
+    let t0 = Instant::now();
+    let mut row = SweepRow {
+        workload: p.workload.name.to_string(),
+        backend: p.backend.label(),
+        config: p
+            .config
+            .as_ref()
+            .map_or_else(|| "-".into(), |c| c.name.clone()),
+        cycles: 0,
+        ipc: 0.0,
+        blocks: 0,
+        mispredict_flushes: 0,
+        load_flushes: 0,
+        l1d_misses: 0,
+        avg_window: 0.0,
+        wall_ms: 0.0,
+    };
+    match &p.backend {
+        BackendSpec::Trips => {
+            let cfg = &p.config.as_ref().expect("trips point carries a config").cfg;
+            let r = session.replayed(
+                &p.workload,
+                spec.scale,
+                &spec.opts,
+                spec.hand,
+                cfg,
+                spec.mem,
+                spec.sim_budget,
+            )?;
+            let s = r.stats;
+            row.cycles = s.cycles;
+            row.ipc = s.ipc_executed();
+            row.blocks = s.blocks;
+            row.mispredict_flushes = s.mispredict_flushes;
+            row.load_flushes = s.load_flushes;
+            row.l1d_misses = s.l1d_misses;
+            row.avg_window = s.avg_window_insts();
+        }
+        BackendSpec::Risc => {
+            let risc = session.risc_program(&p.workload, spec.scale, &CompileOptions::gcc_ref())?;
+            let out = trips_risc::run(&risc.program, &risc.ir, spec.mem, spec.risc_budget)
+                .map_err(|e| EngineError::Capture(format!("{} (risc): {e}", p.workload.name)))?;
+            row.cycles = out.stats.insts;
+        }
+        BackendSpec::Ooo(name) => {
+            let cfg = match name.as_str() {
+                "core2" => trips_ooo::core2(),
+                "p4" => trips_ooo::pentium4(),
+                _ => trips_ooo::pentium3(),
+            };
+            let risc = session.risc_program(&p.workload, spec.scale, &CompileOptions::gcc_ref())?;
+            let out =
+                trips_ooo::run_timed(&risc.program, &risc.ir, &cfg, spec.mem, spec.risc_budget)
+                    .map_err(|e| {
+                        EngineError::Capture(format!("{} ({}): {e}", p.workload.name, cfg.name))
+                    })?;
+            row.cycles = out.stats.cycles;
+            row.ipc = if out.stats.cycles == 0 {
+                0.0
+            } else {
+                out.stats.insts as f64 / out.stats.cycles as f64
+            };
+        }
+        BackendSpec::Ideal(which) => {
+            let icfg = match which.as_str() {
+                "1k" => trips_ideal::IdealConfig::window_1k(),
+                "1k0" => trips_ideal::IdealConfig::window_1k_free_dispatch(),
+                _ => trips_ideal::IdealConfig::window_128k(),
+            };
+            let compiled = session.compiled(&p.workload, spec.scale, &spec.opts, spec.hand)?;
+            let r = trips_ideal::analyze_with_budget(&compiled, icfg, spec.mem, spec.sim_budget)
+                .map_err(|e| EngineError::Capture(format!("{} (ideal): {e}", p.workload.name)))?;
+            row.cycles = r.cycles;
+            row.ipc = r.ipc;
+        }
+    }
+    row.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    Ok(row)
+}
+
+/// Expands and runs a sweep on the pool.
+///
+/// # Errors
+/// [`EngineError::Spec`]/[`EngineError::UnknownWorkload`] for a malformed
+/// spec. Per-point failures do not abort the sweep; they are collected in
+/// [`SweepReport::errors`].
+pub fn run_sweep(spec: &SweepSpec, session: &Session) -> Result<SweepReport, EngineError> {
+    let points = expand(spec)?;
+    let n = points.len();
+    let threads = effective_threads(spec.threads, n);
+    let t0 = Instant::now();
+    let results = parallel_map(points, threads, |p| {
+        let label = point_label(&p);
+        measure(&p, spec, session).map_err(|e| format!("{label}: {e}"))
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let mut rows = Vec::with_capacity(n);
+    let mut errors = Vec::new();
+    for r in results {
+        match r {
+            Ok(row) => rows.push(row),
+            Err(e) => errors.push(e),
+        }
+    }
+    let measurements_per_sec = if wall_s > 0.0 {
+        rows.len() as f64 / wall_s
+    } else {
+        0.0
+    };
+    Ok(SweepReport {
+        points: n,
+        threads,
+        wall_s,
+        measurements_per_sec,
+        cache: session.cache_stats(),
+        rows,
+        errors,
+    })
+}
+
+/// Renders rows as CSV (header + one line per row).
+pub fn to_csv(rows: &[SweepRow]) -> String {
+    let mut out = String::from(
+        "workload,backend,config,cycles,ipc,blocks,mispredict_flushes,load_flushes,l1d_misses,avg_window,wall_ms\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{:.4},{},{},{},{},{:.2},{:.3}\n",
+            r.workload,
+            r.backend,
+            r.config,
+            r.cycles,
+            r.ipc,
+            r.blocks,
+            r.mispredict_flushes,
+            r.load_flushes,
+            r.l1d_misses,
+            r.avg_window,
+            r.wall_ms
+        ));
+    }
+    out
+}
+
+/// Renders rows as JSON lines (one object per row).
+pub fn to_json_lines(rows: &[SweepRow]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&serde::json::to_string(r));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_expands_to_a_cross_product() {
+        let spec = SweepSpec::default();
+        let points = expand(&spec).unwrap();
+        assert_eq!(points.len(), spec.workloads.len() * spec.configs.len());
+    }
+
+    #[test]
+    fn axis_variants_modify_one_knob() {
+        let vs = ConfigVariant::axis(&TripsConfig::prototype(), "dispatch_interval", &["1", "8"])
+            .unwrap();
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs[0].cfg.dispatch_interval, 1);
+        assert_eq!(vs[1].cfg.dispatch_interval, 8);
+        assert_eq!(vs[0].cfg.l1d_bytes, TripsConfig::prototype().l1d_bytes);
+        assert!(ConfigVariant::axis(&TripsConfig::prototype(), "nonsense", &["1"]).is_err());
+        assert!(ConfigVariant::axis(&TripsConfig::prototype(), "l1d_bytes", &["many"]).is_err());
+    }
+
+    #[test]
+    fn unknown_workload_is_a_spec_error() {
+        let spec = SweepSpec {
+            workloads: vec!["nope".into()],
+            ..SweepSpec::default()
+        };
+        assert!(matches!(
+            run_sweep(&spec, &Session::new()),
+            Err(EngineError::UnknownWorkload(_))
+        ));
+    }
+
+    #[test]
+    fn small_sweep_runs_in_parallel_with_shared_capture() {
+        let spec = SweepSpec {
+            workloads: vec!["vadd".into(), "autocor".into()],
+            configs: vec![
+                ConfigVariant::prototype(),
+                ConfigVariant::improved(),
+                ConfigVariant::axis(&TripsConfig::prototype(), "dispatch_interval", &["1"])
+                    .unwrap()
+                    .remove(0),
+                ConfigVariant::axis(&TripsConfig::prototype(), "flush_penalty", &["4"])
+                    .unwrap()
+                    .remove(0),
+            ],
+            threads: 4,
+            ..SweepSpec::default()
+        };
+        let session = Session::new();
+        let report = run_sweep(&spec, &session).unwrap();
+        assert_eq!(report.points, 8);
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        assert_eq!(report.rows.len(), 8);
+        // One functional capture per workload, replayed across all configs.
+        assert_eq!(report.cache.trace_misses, 2, "one capture per workload");
+        assert!(
+            report.cache.trace_hits >= 6,
+            "replays must share the captures"
+        );
+        for row in &report.rows {
+            assert!(row.cycles > 0, "{row:?}");
+        }
+        // A sweep axis must actually move the result.
+        let proto = report
+            .rows
+            .iter()
+            .find(|r| r.config == "prototype" && r.workload == "vadd")
+            .unwrap();
+        let di1 = report
+            .rows
+            .iter()
+            .find(|r| r.config == "dispatch_interval=1" && r.workload == "vadd")
+            .unwrap();
+        assert_ne!(proto.cycles, di1.cycles);
+    }
+
+    #[test]
+    fn csv_and_json_renderings_cover_all_rows() {
+        let spec = SweepSpec {
+            workloads: vec!["vadd".into()],
+            ..SweepSpec::default()
+        };
+        let report = run_sweep(&spec, &Session::new()).unwrap();
+        let csv = to_csv(&report.rows);
+        assert_eq!(csv.lines().count(), report.rows.len() + 1);
+        let jsonl = to_json_lines(&report.rows);
+        assert_eq!(jsonl.lines().count(), report.rows.len());
+        assert!(jsonl.contains("\"workload\":\"vadd\""));
+    }
+}

@@ -4,16 +4,49 @@ fn main() {
         let w = trips_workloads::by_name(name).unwrap();
         let p = (w.build)(trips_workloads::Scale::Ref);
         let base = trips_compiler::compile(&p, &trips_compiler::CompileOptions::o2()).unwrap();
-        for pol in [PlacementPolicy::Sps, PlacementPolicy::RowMajor, PlacementPolicy::Scatter] {
+        for pol in [
+            PlacementPolicy::Sps,
+            PlacementPolicy::RowMajor,
+            PlacementPolicy::Scatter,
+        ] {
             let mut c = base.clone();
-            c.placements = c.trips.blocks.iter().map(|b| place_block_with(b, pol)).collect();
-            let s = trips_sim::timing::simulate_with_budget(&c, &trips_sim::TripsConfig::prototype(), 1<<22, 1_000_000).unwrap().stats;
-            println!("{name}/{pol:?}: cycles={} ipc={:.2} hops={:.2} contention={}", s.cycles, s.ipc_executed(), s.opn.avg_hops(), s.opn.contention_cycles);
+            c.placements = c
+                .trips
+                .blocks
+                .iter()
+                .map(|b| place_block_with(b, pol))
+                .collect();
+            let s = trips_sim::timing::simulate_with_budget(
+                &c,
+                &trips_sim::TripsConfig::prototype(),
+                1 << 22,
+                1_000_000,
+            )
+            .unwrap()
+            .stats;
+            println!(
+                "{name}/{pol:?}: cycles={} ipc={:.2} hops={:.2} contention={}",
+                s.cycles,
+                s.ipc_executed(),
+                s.opn.avg_hops(),
+                s.opn.contention_cycles
+            );
         }
         // ET usage histogram of the hottest block
-        let hot = base.placements.iter().enumerate().max_by_key(|(_, p)| p.len()).unwrap();
+        let hot = base
+            .placements
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, p)| p.len())
+            .unwrap();
         let mut h = [0; 16];
-        for &e in hot.1 { h[e as usize] += 1; }
-        println!("{name}: hottest block {} insts, ET histogram {:?}", hot.1.len(), h);
+        for &e in hot.1 {
+            h[e as usize] += 1;
+        }
+        println!(
+            "{name}: hottest block {} insts, ET histogram {:?}",
+            hot.1.len(),
+            h
+        );
     }
 }

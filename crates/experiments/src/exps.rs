@@ -1,7 +1,7 @@
 //! One runner per table/figure of the paper.
 
 use crate::runner::{
-    self, compile_workload, geomean, mean, measure_isa, measure_perf, risc_baseline, trips_cycles, MEM,
+    self, compile_workload, geomean, mean, measure_isa, measure_perf, risc_baseline, MEM,
 };
 use crate::table::Table;
 use trips_compiler::CompileOptions;
@@ -21,7 +21,14 @@ pub fn table1() -> String {
     );
     t.row(
         "TRIPS",
-        vec!["366".into(), "200".into(), "1.83".into(), "32 KB/4 banks".into(), "1 MB NUCA".into(), "1024".into()],
+        vec![
+            "366".into(),
+            "200".into(),
+            "1.83".into(),
+            "32 KB/4 banks".into(),
+            "1 MB NUCA".into(),
+            "1024".into(),
+        ],
     );
     for (cfg, mhz, mem, ratio) in [
         (trips_ooo::core2(), 1600, 800, 2.0),
@@ -47,20 +54,35 @@ pub fn table1() -> String {
 /// Table 2: benchmark suites.
 pub fn table2() -> String {
     let mut t = Table::new("Table 2: benchmark suites", &["#", "members"]);
-    for s in [Suite::Kernels, Suite::Versa, Suite::Eembc, Suite::SpecInt, Suite::SpecFp] {
+    for s in [
+        Suite::Kernels,
+        Suite::Versa,
+        Suite::Eembc,
+        Suite::SpecInt,
+        Suite::SpecFp,
+    ] {
         let ws = suite(s);
         let names: Vec<&str> = ws.iter().map(|w| w.name).collect();
         t.row(s.label(), vec![ws.len().to_string(), names.join(" ")]);
     }
-    t.row("Simple (hand-studied)", vec![simple_set().len().to_string(), "kernels + versabench + 8 EEMBC".into()]);
+    t.row(
+        "Simple (hand-studied)",
+        vec![
+            simple_set().len().to_string(),
+            "kernels + versabench + 8 EEMBC".into(),
+        ],
+    );
     t.render()
 }
 
 /// Figure 3: TRIPS block size and composition, compiled (C) and hand (H).
 pub fn fig3(scale: Scale) -> String {
+    runner::prewarm_isa(&simple_set(), scale, true);
     let mut t = Table::new(
         "Figure 3: average block composition (instructions per block)",
-        &["total", "useful", "moves", "tests", "mem", "ctrl", "nulls", "fetchNX", "execNU"],
+        &[
+            "total", "useful", "moves", "tests", "mem", "ctrl", "nulls", "fetchNX", "execNU",
+        ],
     );
     let mut emit = |label: String, s: &trips_isa::IsaStats| {
         let b = s.blocks_executed.max(1) as f64;
@@ -87,8 +109,10 @@ pub fn fig3(scale: Scale) -> String {
         emit(format!("{} (H)", w.name), &mh.trips);
     }
     for s in [Suite::Eembc, Suite::SpecInt, Suite::SpecFp] {
-        let sizes: Vec<f64> =
-            suite(s).iter().map(|w| measure_isa(w, scale, false).trips.avg_block_size()).collect();
+        let sizes: Vec<f64> = suite(s)
+            .iter()
+            .map(|w| measure_isa(w, scale, false).trips.avg_block_size())
+            .collect();
         let mut tt = Table::new("", &[]);
         let _ = &mut tt;
         t.row_f(format!("{} mean (C)", s.label()), &[mean(sizes)]);
@@ -110,7 +134,10 @@ pub fn fig4(scale: Scale) -> String {
         let moves = (c.moves + c.null_tokens) as f64 / base;
         let enu = c.executed_not_used as f64 / base;
         let fnx = c.fetched_not_executed as f64 / base;
-        t.row_f(label, &[useful, moves, enu, fnx, useful + moves + enu + fnx]);
+        t.row_f(
+            label,
+            &[useful, moves, enu, fnx, useful + moves + enu + fnx],
+        );
     };
     for w in simple_set() {
         add(format!("{} (C)", w.name), &measure_isa(&w, scale, false));
@@ -124,7 +151,10 @@ pub fn fig4(scale: Scale) -> String {
                 m.trips.fetched as f64 / m.risc.insts.max(1) as f64
             })
             .collect();
-        t.row_f(format!("{} geomean total (C)", s.label()), &[geomean(ratios)]);
+        t.row_f(
+            format!("{} geomean total (C)", s.label()),
+            &[geomean(ratios)],
+        );
     }
     t.note("paper: useful counts similar to PowerPC; total fetched 2-6x due to predication");
     t.render()
@@ -134,7 +164,12 @@ pub fn fig4(scale: Scale) -> String {
 pub fn fig5(scale: Scale) -> String {
     let mut t = Table::new(
         "Figure 5: storage accesses normalized to RISC",
-        &["mem/riscMem", "reads/riscReg", "writes/riscReg", "opn/riscReg"],
+        &[
+            "mem/riscMem",
+            "reads/riscReg",
+            "writes/riscReg",
+            "opn/riscReg",
+        ],
     );
     let mut add = |label: String, m: &crate::runner::IsaMeasurement| {
         let rm = m.risc.memory_accesses().max(1) as f64;
@@ -162,7 +197,10 @@ pub fn fig5(scale: Scale) -> String {
             w_.push(m.trips.writes_committed as f64 / m.risc.register_accesses().max(1) as f64);
             o_.push(m.trips.et_et_operands as f64 / m.risc.register_accesses().max(1) as f64);
         }
-        t.row_f(format!("{} geomean (C)", s.label()), &[geomean(m_), geomean(r_), geomean(w_), geomean(o_)]);
+        t.row_f(
+            format!("{} geomean (C)", s.label()),
+            &[geomean(m_), geomean(r_), geomean(w_), geomean(o_)],
+        );
     }
     t.note("paper: ~half the memory accesses; 10-20% of the register accesses; direct operands dominate");
     t.render()
@@ -172,7 +210,13 @@ pub fn fig5(scale: Scale) -> String {
 pub fn code_size(scale: Scale) -> String {
     let mut t = Table::new(
         "Sec 4.4: dynamic code size vs RISC",
-        &["trips KB (raw)", "trips KB (compressed)", "risc KB", "raw x", "compressed x"],
+        &[
+            "trips KB (raw)",
+            "trips KB (compressed)",
+            "risc KB",
+            "raw x",
+            "compressed x",
+        ],
     );
     let mut raws = vec![];
     let mut comps = vec![];
@@ -182,7 +226,9 @@ pub fn code_size(scale: Scale) -> String {
         let raw: usize = touched.len() * trips_isa::encode::encoded_size_uncompressed();
         let comp: usize = touched
             .iter()
-            .map(|&b| trips_isa::encode::encoded_size_compressed(&m.compiled.trips.blocks[b as usize]))
+            .map(|&b| {
+                trips_isa::encode::encoded_size_compressed(&m.compiled.trips.blocks[b as usize])
+            })
             .sum();
         let risc = m.risc.code_footprint_bytes() as usize;
         let rx = raw as f64 / risc.max(1) as f64;
@@ -191,7 +237,13 @@ pub fn code_size(scale: Scale) -> String {
         comps.push(cx);
         t.row_f(
             w.name,
-            &[raw as f64 / 1024.0, comp as f64 / 1024.0, risc as f64 / 1024.0, rx, cx],
+            &[
+                raw as f64 / 1024.0,
+                comp as f64 / 1024.0,
+                risc as f64 / 1024.0,
+                rx,
+                cx,
+            ],
         );
     }
     t.row_f("geomean", &[0.0, 0.0, 0.0, geomean(raws), geomean(comps)]);
@@ -201,26 +253,39 @@ pub fn code_size(scale: Scale) -> String {
 
 /// Figure 6: average instructions in the window.
 pub fn fig6(scale: Scale) -> String {
-    let mut t = Table::new("Figure 6: average instructions in flight", &["total", "useful"]);
+    runner::prewarm(&simple_set(), scale, true);
+    let mut t = Table::new(
+        "Figure 6: average instructions in flight",
+        &["total", "useful"],
+    );
     let mut totals_c = vec![];
     for w in simple_set() {
-        let c = trips_cycles(&compile_workload(&w, scale, false));
-        t.row_f(format!("{} (C)", w.name), &[c.avg_window_insts(), c.avg_window_useful()]);
+        let c = runner::trips_cycles_for(&w, scale, false);
+        t.row_f(
+            format!("{} (C)", w.name),
+            &[c.avg_window_insts(), c.avg_window_useful()],
+        );
         totals_c.push(c.avg_window_insts());
-        let h = trips_cycles(&compile_workload(&w, scale, true));
-        t.row_f(format!("{} (H)", w.name), &[h.avg_window_insts(), h.avg_window_useful()]);
+        let h = runner::trips_cycles_for(&w, scale, true);
+        t.row_f(
+            format!("{} (H)", w.name),
+            &[h.avg_window_insts(), h.avg_window_useful()],
+        );
     }
     for s in [Suite::SpecInt, Suite::SpecFp] {
         let vals: Vec<(f64, f64)> = suite(s)
             .iter()
             .map(|w| {
-                let c = trips_cycles(&compile_workload(w, scale, false));
+                let c = runner::trips_cycles_for(w, scale, false);
                 (c.avg_window_insts(), c.avg_window_useful())
             })
             .collect();
         t.row_f(
             format!("{} mean (C)", s.label()),
-            &[mean(vals.iter().map(|v| v.0)), mean(vals.iter().map(|v| v.1))],
+            &[
+                mean(vals.iter().map(|v| v.0)),
+                mean(vals.iter().map(|v| v.1)),
+            ],
         );
     }
     t.row_f("simple mean (C)", &[mean(totals_c.iter().copied()), 0.0]);
@@ -232,9 +297,19 @@ pub fn fig6(scale: Scale) -> String {
 pub fn fig7(scale: Scale) -> String {
     let mut t = Table::new(
         "Figure 7: predictor study (SPEC)",
-        &["A preds", "A MPKI", "B MPKI", "H MPKI", "I MPKI", "H preds/B preds"],
+        &[
+            "A preds",
+            "A MPKI",
+            "B MPKI",
+            "H MPKI",
+            "I MPKI",
+            "H preds/B preds",
+        ],
     );
-    let spec: Vec<Workload> = suite(Suite::SpecInt).into_iter().chain(suite(Suite::SpecFp)).collect();
+    let spec: Vec<Workload> = suite(Suite::SpecInt)
+        .into_iter()
+        .chain(suite(Suite::SpecFp))
+        .collect();
     let mut a_m = vec![];
     let mut b_m = vec![];
     let mut h_m = vec![];
@@ -243,7 +318,8 @@ pub fn fig7(scale: Scale) -> String {
         // Useful-instruction baseline from the hyperblock build.
         let mh = compile_workload(w, scale, false);
         let func =
-            trips_isa::interp::run_program_with(&mh.trips, &mh.opt_ir, MEM, runner::FUNC_BUDGET).unwrap();
+            trips_isa::interp::run_program_with(&mh.trips, &mh.opt_ir, MEM, runner::FUNC_BUDGET)
+                .unwrap();
         let useful = func.stats.useful.max(1);
 
         // (A) conventional tournament on the RISC conditional-branch stream.
@@ -261,12 +337,29 @@ pub fn fig7(scale: Scale) -> String {
         let a_mpki = tourney.mispredicts as f64 * 1000.0 / useful as f64;
 
         // (B) TRIPS block predictor on basic-block code (O0).
-        let b_mpki = block_predictor_mpki(w, scale, CompileOptions::o0(), &TripsConfig::prototype(), useful);
+        let b_mpki = block_predictor_mpki(
+            w,
+            scale,
+            CompileOptions::o0(),
+            &TripsConfig::prototype(),
+            useful,
+        );
         // (H) prototype predictor on hyperblocks.
-        let h_mpki = block_predictor_mpki(w, scale, CompileOptions::o1(), &TripsConfig::prototype(), useful);
+        let h_mpki = block_predictor_mpki(
+            w,
+            scale,
+            CompileOptions::o1(),
+            &TripsConfig::prototype(),
+            useful,
+        );
         // (I) improved predictor on hyperblocks.
-        let i_mpki =
-            block_predictor_mpki(w, scale, CompileOptions::o1(), &TripsConfig::improved_predictor(), useful);
+        let i_mpki = block_predictor_mpki(
+            w,
+            scale,
+            CompileOptions::o1(),
+            &TripsConfig::improved_predictor(),
+            useful,
+        );
         a_m.push(a_mpki);
         b_m.push(b_mpki.0);
         h_m.push(h_mpki.0);
@@ -283,8 +376,13 @@ pub fn fig7(scale: Scale) -> String {
             ],
         );
     }
-    t.row_f("mean", &[0.0, mean(a_m), mean(b_m), mean(h_m), mean(i_m), 0.0]);
-    t.note("paper SPEC INT MPKI: A=14.9 B=14.8 H=8.5 I=6.9; hyperblocks make ~70% fewer predictions");
+    t.row_f(
+        "mean",
+        &[0.0, mean(a_m), mean(b_m), mean(h_m), mean(i_m), 0.0],
+    );
+    t.note(
+        "paper SPEC INT MPKI: A=14.9 B=14.8 H=8.5 I=6.9; hyperblocks make ~70% fewer predictions",
+    );
     t.render()
 }
 
@@ -300,19 +398,28 @@ fn block_predictor_mpki(
     let tp = &compiled.trips;
     let mut pred = NextBlockPredictor::new(cfg.exit_entries, cfg.btb_entries, cfg.ras_depth);
     let mut pending: Option<(u32, u8, ExitKind, Option<u32>)> = None;
-    let _ = trips_isa::interp::run_program_traced(tp, &compiled.opt_ir, MEM, runner::FUNC_BUDGET, |b, tr| {
-        if let Some((pb, pexit, kind, cont)) = pending.take() {
-            let multi = tp.blocks[pb as usize].exits.len() > 1;
-            pred.predict_and_update(pb, pexit, kind, b, cont, multi);
-        }
-        let (kind, cont) = match tp.blocks[b as usize].exits[tr.exit as usize] {
-            trips_isa::ExitTarget::Block(_) => (ExitKind::Jump, None),
-            trips_isa::ExitTarget::Call { cont, .. } => (ExitKind::Call, Some(cont)),
-            trips_isa::ExitTarget::Ret => (ExitKind::Ret, None),
-        };
-        pending = Some((b, tr.exit, kind, cont));
-    });
-    (pred.stats.mispredicts() as f64 * 1000.0 / useful_baseline as f64, pred.stats.predictions)
+    let _ = trips_isa::interp::run_program_traced(
+        tp,
+        &compiled.opt_ir,
+        MEM,
+        runner::FUNC_BUDGET,
+        |b, tr| {
+            if let Some((pb, pexit, kind, cont)) = pending.take() {
+                let multi = tp.blocks[pb as usize].exits.len() > 1;
+                pred.predict_and_update(pb, pexit, kind, b, cont, multi);
+            }
+            let (kind, cont) = match tp.blocks[b as usize].exits[tr.exit as usize] {
+                trips_isa::ExitTarget::Block(_) => (ExitKind::Jump, None),
+                trips_isa::ExitTarget::Call { cont, .. } => (ExitKind::Call, Some(cont)),
+                trips_isa::ExitTarget::Ret => (ExitKind::Ret, None),
+            };
+            pending = Some((b, tr.exit, kind, cont));
+        },
+    );
+    (
+        pred.stats.mispredicts() as f64 * 1000.0 / useful_baseline as f64,
+        pred.stats.predictions,
+    )
 }
 
 /// Figure 8: memory bandwidth and OPN traffic profile.
@@ -320,8 +427,7 @@ pub fn fig8(scale: Scale) -> String {
     let mut out = String::new();
     // Bandwidth: hand vadd at full tilt.
     let w = trips_workloads::by_name("vadd").unwrap();
-    let c = compile_workload(&w, scale, true);
-    let s = trips_cycles(&c);
+    let s = runner::trips_cycles_for(&w, scale, true);
     let mut t = Table::new(
         "Figure 8a: achieved bandwidth (bytes/cycle), vadd hand",
         &["achieved", "peak", "% of peak"],
@@ -338,19 +444,35 @@ pub fn fig8(scale: Scale) -> String {
     // OPN hop profile for the paper's four columns.
     let mut t2 = Table::new(
         "Figure 8b: OPN traffic profile (avg hops; % 0-hop local bypass of ET-ET)",
-        &["avg hops", "ET-ET %0hop", "ET-ET share", "ET-DT share", "ET-RT share"],
+        &[
+            "avg hops",
+            "ET-ET %0hop",
+            "ET-ET share",
+            "ET-DT share",
+            "ET-RT share",
+        ],
     );
     let mut profile = |label: &str, s: &trips_sim::SimStats| {
         use trips_sim::opn::TrafficClass as TC;
         let total: u64 = s.opn.hist.values().flat_map(|h| h.iter()).sum();
-        let class_total = |c: TC| s.opn.hist.get(&c).map(|h| h.iter().sum::<u64>()).unwrap_or(0);
+        let class_total = |c: TC| {
+            s.opn
+                .hist
+                .get(&c)
+                .map(|h| h.iter().sum::<u64>())
+                .unwrap_or(0)
+        };
         let etet = class_total(TC::EtEt);
         let zero = s.opn.hist.get(&TC::EtEt).map(|h| h[0]).unwrap_or(0);
         t2.row_f(
             label,
             &[
                 s.opn.avg_hops(),
-                if etet == 0 { 0.0 } else { 100.0 * zero as f64 / etet as f64 },
+                if etet == 0 {
+                    0.0
+                } else {
+                    100.0 * zero as f64 / etet as f64
+                },
                 100.0 * etet as f64 / total.max(1) as f64,
                 100.0 * class_total(TC::EtDt) as f64 / total.max(1) as f64,
                 100.0 * class_total(TC::EtRt) as f64 / total.max(1) as f64,
@@ -358,14 +480,14 @@ pub fn fig8(scale: Scale) -> String {
         );
     };
     profile("vadd (hand)", &s);
-    let mat = trips_cycles(&compile_workload(&trips_workloads::by_name("matrix").unwrap(), scale, true));
+    let mat = runner::trips_cycles_for(&trips_workloads::by_name("matrix").unwrap(), scale, true);
     profile("matrix (hand)", &mat);
-    let gcc = trips_cycles(&compile_workload(&trips_workloads::by_name("gcc").unwrap(), scale, false));
+    let gcc = runner::trips_cycles_for(&trips_workloads::by_name("gcc").unwrap(), scale, false);
     profile("gcc", &gcc);
     let eembc = suite(Suite::Eembc);
     let mut agg = trips_sim::SimStats::default();
     for w in eembc.iter().take(4) {
-        let s = trips_cycles(&compile_workload(w, scale, false));
+        let s = runner::trips_cycles_for(w, scale, false);
         for (k, v) in s.opn.hist {
             let e = agg.opn.hist.entry(k).or_default();
             for i in 0..6 {
@@ -383,23 +505,41 @@ pub fn fig8(scale: Scale) -> String {
 
 /// Figure 9: sustained IPC.
 pub fn fig9(scale: Scale) -> String {
-    let mut t = Table::new("Figure 9: IPC (executed / useful)", &["C exec", "C useful", "H exec", "H useful"]);
+    runner::prewarm(&simple_set(), scale, true);
+    let mut t = Table::new(
+        "Figure 9: IPC (executed / useful)",
+        &["C exec", "C useful", "H exec", "H useful"],
+    );
     let mut cs = vec![];
     let mut hs = vec![];
     for w in simple_set() {
-        let c = trips_cycles(&compile_workload(&w, scale, false));
-        let h = trips_cycles(&compile_workload(&w, scale, true));
+        let c = runner::trips_cycles_for(&w, scale, false);
+        let h = runner::trips_cycles_for(&w, scale, true);
         cs.push(c.ipc_executed());
         hs.push(h.ipc_executed());
-        t.row_f(w.name, &[c.ipc_executed(), c.ipc_useful(), h.ipc_executed(), h.ipc_useful()]);
+        t.row_f(
+            w.name,
+            &[
+                c.ipc_executed(),
+                c.ipc_useful(),
+                h.ipc_executed(),
+                h.ipc_useful(),
+            ],
+        );
     }
-    t.row_f("simple mean", &[mean(cs.iter().copied()), 0.0, mean(hs.iter().copied()), 0.0]);
+    t.row_f(
+        "simple mean",
+        &[mean(cs.iter().copied()), 0.0, mean(hs.iter().copied()), 0.0],
+    );
     for s in [Suite::SpecInt, Suite::SpecFp] {
         let vals: Vec<f64> = suite(s)
             .iter()
-            .map(|w| trips_cycles(&compile_workload(w, scale, false)).ipc_executed())
+            .map(|w| runner::trips_cycles_for(w, scale, false).ipc_executed())
             .collect();
-        t.row_f(format!("{} mean (C)", s.label()), &[mean(vals), 0.0, 0.0, 0.0]);
+        t.row_f(
+            format!("{} mean (C)", s.label()),
+            &[mean(vals), 0.0, 0.0, 0.0],
+        );
     }
     t.note("paper: some benchmarks reach 6-10 IPC; hand ~50% above compiled; SPEC lower");
     t.render()
@@ -409,14 +549,29 @@ pub fn fig9(scale: Scale) -> String {
 pub fn fig10(scale: Scale) -> String {
     let mut t = Table::new(
         "Figure 10: ideal EDGE machine IPC",
-        &["hw IPC", "ideal 1K", "ideal 1K d0", "ideal 128K", "ideal/hw"],
+        &[
+            "hw IPC",
+            "ideal 1K",
+            "ideal 1K d0",
+            "ideal 128K",
+            "ideal/hw",
+        ],
     );
     let mut ratios = vec![];
-    for w in simple_set().into_iter().chain(suite(Suite::SpecInt)).chain(suite(Suite::SpecFp)) {
+    for w in simple_set()
+        .into_iter()
+        .chain(suite(Suite::SpecInt))
+        .chain(suite(Suite::SpecFp))
+    {
         let c = compile_workload(&w, scale, false);
-        let hw = trips_cycles(&c).ipc_executed();
-        let i1 = trips_ideal::analyze_with_budget(&c, trips_ideal::IdealConfig::window_1k(), MEM, runner::SIM_BUDGET)
-            .unwrap();
+        let hw = runner::trips_cycles_for(&w, scale, false).ipc_executed();
+        let i1 = trips_ideal::analyze_with_budget(
+            &c,
+            trips_ideal::IdealConfig::window_1k(),
+            MEM,
+            runner::SIM_BUDGET,
+        )
+        .unwrap();
         let i0 = trips_ideal::analyze_with_budget(
             &c,
             trips_ideal::IdealConfig::window_1k_free_dispatch(),
@@ -424,20 +579,38 @@ pub fn fig10(scale: Scale) -> String {
             runner::SIM_BUDGET,
         )
         .unwrap();
-        let i128 = trips_ideal::analyze_with_budget(&c, trips_ideal::IdealConfig::window_128k(), MEM, runner::SIM_BUDGET)
-            .unwrap();
+        let i128 = trips_ideal::analyze_with_budget(
+            &c,
+            trips_ideal::IdealConfig::window_128k(),
+            MEM,
+            runner::SIM_BUDGET,
+        )
+        .unwrap();
         if hw > 0.0 {
             ratios.push(i1.ipc / hw);
         }
-        t.row_f(w.name, &[hw, i1.ipc, i0.ipc, i128.ipc, if hw > 0.0 { i1.ipc / hw } else { 0.0 }]);
+        t.row_f(
+            w.name,
+            &[
+                hw,
+                i1.ipc,
+                i0.ipc,
+                i128.ipc,
+                if hw > 0.0 { i1.ipc / hw } else { 0.0 },
+            ],
+        );
     }
-    t.row_f("geomean ideal-1K/hw", &[0.0, 0.0, 0.0, 0.0, geomean(ratios)]);
+    t.row_f(
+        "geomean ideal-1K/hw",
+        &[0.0, 0.0, 0.0, 0.0, geomean(ratios)],
+    );
     t.note("paper: ideal 1K ~2.5x over prototype; zero-dispatch ~5x more; 128K windows reach 10s-100s IPC");
     t.render()
 }
 
 /// Figure 11: simple-benchmark speedups over Core2-gcc (cycles).
 pub fn fig11(scale: Scale) -> String {
+    runner::prewarm(&simple_set(), scale, true);
     let mut t = Table::new(
         "Figure 11: speedup over Core 2 (gcc), cycles",
         &["TRIPS-C", "TRIPS-H", "Core2-icc", "P4-gcc", "P3-gcc"],
@@ -490,7 +663,10 @@ pub fn fig12(scale: Scale) -> String {
                 ],
             );
         }
-        t.row_f(format!("{} geomean", s.label()), &[geomean(sp), 0.0, 0.0, 0.0]);
+        t.row_f(
+            format!("{} geomean", s.label()),
+            &[geomean(sp), 0.0, 0.0, 0.0],
+        );
     }
     t.note("paper: SPEC INT ~0.5x Core2-gcc; SPEC FP ~1.0x; TRIPS roughly matches Pentium 4");
     t.render()
@@ -500,12 +676,18 @@ pub fn fig12(scale: Scale) -> String {
 pub fn table3(scale: Scale) -> String {
     let mut t = Table::new(
         "Table 3: events per 1000 useful TRIPS instructions (SPEC)",
-        &["br miss", "callret miss", "I$ miss", "load flush", "blk sz x8", "useful in flight"],
+        &[
+            "br miss",
+            "callret miss",
+            "I$ miss",
+            "load flush",
+            "blk sz x8",
+            "useful in flight",
+        ],
     );
     for s in [Suite::SpecInt, Suite::SpecFp] {
         for w in suite(s) {
-            let c = compile_workload(&w, scale, false);
-            let st = trips_cycles(&c);
+            let st = runner::trips_cycles_for(&w, scale, false);
             t.row_f(
                 w.name,
                 &[
@@ -527,12 +709,15 @@ pub fn table3(scale: Scale) -> String {
 pub fn matmul_fpc(scale: Scale) -> String {
     let w = trips_workloads::by_name("matrix").unwrap();
     let c = compile_workload(&w, scale, true);
-    let s = trips_cycles(&c);
+    let s = runner::trips_cycles_for(&w, scale, true);
     // Count FP multiply-add work from the composition: every useful Fmul and
     // Fadd is one FLOP.
     let flops = count_flops(&c);
     let mut t = Table::new("Sec 6: hand matrix multiply, FLOPS per cycle", &["FPC"]);
-    t.row_f("TRIPS (hand, no SIMD)", &[flops as f64 / s.cycles.max(1) as f64]);
+    t.row_f(
+        "TRIPS (hand, no SIMD)",
+        &[flops as f64 / s.cycles.max(1) as f64],
+    );
     t.row_f("paper: TRIPS", &[5.20]);
     t.row_f("paper: Core 2 (SSE, GotoBLAS)", &[3.58]);
     t.row_f("paper: Pentium 4 (GotoBLAS)", &[1.87]);
@@ -541,14 +726,23 @@ pub fn matmul_fpc(scale: Scale) -> String {
 
 fn count_flops(c: &trips_compiler::CompiledProgram) -> u64 {
     let mut flops = 0u64;
-    let _ = trips_isa::interp::run_program_traced(&c.trips, &c.opt_ir, MEM, runner::SIM_BUDGET, |b, tr| {
-        for ti in &tr.fired {
-            let op = c.trips.blocks[b as usize].insts[ti.idx as usize].op;
-            if matches!(op, trips_isa::TOpcode::Fadd | trips_isa::TOpcode::Fmul | trips_isa::TOpcode::Fsub) {
-                flops += 1;
+    let _ = trips_isa::interp::run_program_traced(
+        &c.trips,
+        &c.opt_ir,
+        MEM,
+        runner::SIM_BUDGET,
+        |b, tr| {
+            for ti in &tr.fired {
+                let op = c.trips.blocks[b as usize].insts[ti.idx as usize].op;
+                if matches!(
+                    op,
+                    trips_isa::TOpcode::Fadd | trips_isa::TOpcode::Fmul | trips_isa::TOpcode::Fsub
+                ) {
+                    flops += 1;
+                }
             }
-        }
-    });
+        },
+    );
     flops
 }
 

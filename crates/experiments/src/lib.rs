@@ -18,8 +18,21 @@ pub use table::Table;
 
 /// All experiment names, in the paper's order.
 pub const EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "fig3", "fig4", "fig5", "code_size", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "fig11", "fig12", "table3", "matmul_fpc",
+    "table1",
+    "table2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "code_size",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table3",
+    "matmul_fpc",
 ];
 
 /// Runs one experiment by name, returning its rendered report.
@@ -27,7 +40,11 @@ pub const EXPERIMENTS: &[&str] = &[
 /// # Errors
 /// Returns an error string for unknown names or simulation failures.
 pub fn run_experiment(name: &str, quick: bool) -> Result<String, String> {
-    let scale = if quick { trips_workloads::Scale::Test } else { trips_workloads::Scale::Ref };
+    let scale = if quick {
+        trips_workloads::Scale::Test
+    } else {
+        trips_workloads::Scale::Ref
+    };
     match name {
         "table1" => Ok(exps::table1()),
         "table2" => Ok(exps::table2()),
@@ -44,6 +61,8 @@ pub fn run_experiment(name: &str, quick: bool) -> Result<String, String> {
         "fig12" => Ok(exps::fig12(scale)),
         "table3" => Ok(exps::table3(scale)),
         "matmul_fpc" => Ok(exps::matmul_fpc(scale)),
-        other => Err(format!("unknown experiment {other}; known: {EXPERIMENTS:?}")),
+        other => Err(format!(
+            "unknown experiment {other}; known: {EXPERIMENTS:?}"
+        )),
     }
 }

@@ -1,6 +1,15 @@
-//! Shared measurement plumbing.
+//! Shared measurement plumbing, built on the `trips-engine` session.
+//!
+//! Every compile and functional capture is memoized in the engine's global
+//! [`Session`], so the figures — which revisit the same workloads over and
+//! over — pay for each artifact once per process. TRIPS cycle counts come
+//! from trace *replay* ([`trips_sim::timing::replay_trace`]): the
+//! functional run is captured once per `(workload, options, budget)` and
+//! re-timed against each configuration.
 
-use trips_compiler::{compile, CompileOptions, CompiledProgram};
+use std::sync::Arc;
+use trips_compiler::{CompileOptions, CompiledProgram};
+use trips_engine::Session;
 use trips_isa::IsaStats;
 use trips_ooo::OooStats;
 use trips_risc::RiscStats;
@@ -26,23 +35,32 @@ pub struct IsaMeasurement {
     /// RISC (PowerPC-like) baseline statistics on equivalently optimized IR.
     pub risc: RiscStats,
     /// The compiled TRIPS program (for code-size accounting).
-    pub compiled: CompiledProgram,
+    pub compiled: Arc<CompiledProgram>,
 }
 
-/// Compiles a workload for TRIPS ("compiled" or "hand" flavour).
-pub fn compile_workload(w: &Workload, scale: Scale, hand: bool) -> CompiledProgram {
-    let program = if hand { w.build_hand(scale) } else { (w.build)(scale) };
-    // The TRIPS compiler preset: gcc-quality scalar optimization plus the
-    // aggressive block formation (unrolling + tree-height reduction) the
-    // paper's compiler performs.
-    let opts = if hand { CompileOptions::hand() } else { CompileOptions::o2() };
-    compile(&program, &opts).unwrap_or_else(|e| panic!("{}: {e}", w.name))
+/// The compile preset each flavour uses: gcc-quality scalar optimization
+/// plus the aggressive block formation (unrolling + tree-height reduction)
+/// the paper's compiler performs; `hand` maximizes both.
+pub fn trips_preset(hand: bool) -> CompileOptions {
+    if hand {
+        CompileOptions::hand()
+    } else {
+        CompileOptions::o2()
+    }
+}
+
+/// Compiles a workload for TRIPS ("compiled" or "hand" flavour), memoized
+/// in the engine session.
+pub fn compile_workload(w: &Workload, scale: Scale, hand: bool) -> Arc<CompiledProgram> {
+    Session::global()
+        .compiled(w, scale, &trips_preset(hand), hand)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name))
 }
 
 /// The gcc-like optimization preset for the reference machines: full scalar
 /// optimization but no loop unrolling (gcc -O2 does not unroll by default).
 pub fn gcc_preset() -> CompileOptions {
-    CompileOptions { unroll: 1, ..CompileOptions::o1() }
+    CompileOptions::gcc_ref()
 }
 
 /// The icc-like preset: unrolling and reassociation (icc -O3 flavour).
@@ -59,18 +77,24 @@ pub fn risc_baseline(w: &Workload, scale: Scale) -> (trips_risc::RProgram, trips
     (rp, program)
 }
 
-/// Measures ISA-level statistics (functional, untimed).
+/// Measures ISA-level statistics (functional, untimed). The functional run
+/// comes from the session's captured trace, so repeated figures share it.
 pub fn measure_isa(w: &Workload, scale: Scale, hand: bool) -> IsaMeasurement {
     let compiled = compile_workload(w, scale, hand);
-    let out = trips_isa::interp::run_program_with(&compiled.trips, &compiled.opt_ir, MEM, FUNC_BUDGET)
+    let func = Session::global()
+        .isa_outcome(w, scale, &trips_preset(hand), hand, MEM, FUNC_BUDGET)
         .unwrap_or_else(|e| panic!("{} (trips): {e}", w.name));
     let (rp, rir) = risc_baseline(w, scale);
     let risc = trips_risc::run(&rp, &rir, MEM, RISC_BUDGET)
         .unwrap_or_else(|e| panic!("{} (risc): {e}", w.name));
     // Results can differ in FP rounding (the TRIPS preset reassociates FP
     // reductions); integer workloads must agree exactly.
-    let _ = &out;
-    IsaMeasurement { name: w.name.to_string(), trips: out.stats, risc: risc.stats, compiled }
+    IsaMeasurement {
+        name: w.name.to_string(),
+        trips: func.stats.clone(),
+        risc: risc.stats,
+        compiled,
+    }
 }
 
 /// Cycle-level comparison data for one workload (Figures 6, 9, 11, 12,
@@ -93,7 +117,12 @@ pub struct PerfMeasurement {
     pub p3_gcc: OooStats,
 }
 
-fn ooo_run(w: &Workload, scale: Scale, level: CompileOptions, cfg: &trips_ooo::OooConfig) -> OooStats {
+fn ooo_run(
+    w: &Workload,
+    scale: Scale,
+    level: CompileOptions,
+    cfg: &trips_ooo::OooConfig,
+) -> OooStats {
     let mut program = (w.build)(scale);
     trips_compiler::opt::optimize(&mut program, &level);
     let rp = trips_risc::compile_program(&program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
@@ -102,20 +131,33 @@ fn ooo_run(w: &Workload, scale: Scale, level: CompileOptions, cfg: &trips_ooo::O
         .stats
 }
 
-/// Simulates a compiled program on the TRIPS prototype configuration.
+/// Simulates a compiled program on the TRIPS prototype configuration
+/// (direct, uncached; see [`trips_cycles_for`] for the engine path).
 pub fn trips_cycles(compiled: &CompiledProgram) -> SimStats {
     trips_sim::timing::simulate_with_budget(compiled, &TripsConfig::prototype(), MEM, SIM_BUDGET)
         .map(|r| r.stats)
         .unwrap_or_else(|e| panic!("sim: {e}"))
 }
 
+/// TRIPS cycle-level statistics via the engine: the workload's functional
+/// trace is captured once (memoized) and replayed against `cfg`.
+pub fn trips_cycles_cfg(w: &Workload, scale: Scale, hand: bool, cfg: &TripsConfig) -> SimStats {
+    Session::global()
+        .replayed(w, scale, &trips_preset(hand), hand, cfg, MEM, SIM_BUDGET)
+        .map(|r| r.stats)
+        .unwrap_or_else(|e| panic!("{} (sim): {e}", w.name))
+}
+
+/// [`trips_cycles_cfg`] on the prototype configuration — the common case.
+pub fn trips_cycles_for(w: &Workload, scale: Scale, hand: bool) -> SimStats {
+    trips_cycles_cfg(w, scale, hand, &TripsConfig::prototype())
+}
+
 /// Measures the full cross-platform performance comparison.
 pub fn measure_perf(w: &Workload, scale: Scale, include_hand: bool) -> PerfMeasurement {
-    let cc = compile_workload(w, scale, false);
-    let trips_c = trips_cycles(&cc);
+    let trips_c = trips_cycles_for(w, scale, false);
     let trips_h = if include_hand {
-        let ch = compile_workload(w, scale, true);
-        Some(trips_cycles(&ch))
+        Some(trips_cycles_for(w, scale, true))
     } else {
         None
     };
@@ -128,6 +170,33 @@ pub fn measure_perf(w: &Workload, scale: Scale, include_hand: bool) -> PerfMeasu
         p4_gcc: ooo_run(w, scale, gcc_preset(), &trips_ooo::pentium4()),
         p3_gcc: ooo_run(w, scale, gcc_preset(), &trips_ooo::pentium3()),
     }
+}
+
+/// Fills the session caches for a workload set in parallel (compiles plus
+/// SIM-budget trace captures), so a cycle-level figure's measurement loop
+/// only replays.
+pub fn prewarm(ws: &[Workload], scale: Scale, hand_too: bool) {
+    prewarm_with(ws, hand_too, |w, hand| {
+        let _ = Session::global().trace(w, scale, &trips_preset(hand), hand, MEM, SIM_BUDGET);
+    });
+}
+
+/// Fills the session caches for the ISA figures (compiles plus FUNC-budget
+/// functional runs; no trace streams are retained).
+pub fn prewarm_isa(ws: &[Workload], scale: Scale, hand_too: bool) {
+    prewarm_with(ws, hand_too, |w, hand| {
+        let _ =
+            Session::global().isa_outcome(w, scale, &trips_preset(hand), hand, MEM, FUNC_BUDGET);
+    });
+}
+
+fn prewarm_with(ws: &[Workload], hand_too: bool, fill: impl Fn(&Workload, bool) + Sync) {
+    let mut jobs: Vec<(Workload, bool)> = ws.iter().map(|w| (w.clone(), false)).collect();
+    if hand_too {
+        jobs.extend(ws.iter().map(|w| (w.clone(), true)));
+    }
+    // Failures surface (with context) when the figure actually measures.
+    trips_engine::parallel_map(jobs, 0, |(w, hand)| fill(&w, hand));
 }
 
 /// Geometric mean.

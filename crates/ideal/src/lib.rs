@@ -30,17 +30,26 @@ pub struct IdealConfig {
 impl IdealConfig {
     /// The paper's baseline ideal machine: 1K window, 8-cycle dispatch.
     pub fn window_1k() -> IdealConfig {
-        IdealConfig { window_blocks: 8, dispatch_cost: 8 }
+        IdealConfig {
+            window_blocks: 8,
+            dispatch_cost: 8,
+        }
     }
 
     /// 1K window with free dispatch.
     pub fn window_1k_free_dispatch() -> IdealConfig {
-        IdealConfig { window_blocks: 8, dispatch_cost: 0 }
+        IdealConfig {
+            window_blocks: 8,
+            dispatch_cost: 0,
+        }
     }
 
     /// The 128K-window annotation configuration.
     pub fn window_128k() -> IdealConfig {
-        IdealConfig { window_blocks: 1024, dispatch_cost: 0 }
+        IdealConfig {
+            window_blocks: 1024,
+            dispatch_cost: 0,
+        }
     }
 }
 
@@ -61,7 +70,11 @@ pub struct IdealResult {
 ///
 /// # Errors
 /// Propagates functional execution failures.
-pub fn analyze(compiled: &CompiledProgram, cfg: IdealConfig, mem_size: usize) -> Result<IdealResult, TripsExecError> {
+pub fn analyze(
+    compiled: &CompiledProgram,
+    cfg: IdealConfig,
+    mem_size: usize,
+) -> Result<IdealResult, TripsExecError> {
     analyze_with_budget(compiled, cfg, mem_size, u64::MAX)
 }
 
@@ -88,73 +101,82 @@ pub fn analyze_with_budget(
     let mut prev_dispatch: u64 = 0;
     let mut first = true;
 
-    let outcome = trips_isa::interp::run_program_traced(tp, ir, mem_size, max_blocks, |bidx, trace| {
-        let block = &tp.blocks[bidx as usize];
-        let seq = completions.len() as u64;
-        let mut dispatch = if first { 0 } else { prev_dispatch + cfg.dispatch_cost };
-        first = false;
-        if seq >= cfg.window_blocks {
-            dispatch = dispatch.max(completions[(seq - cfg.window_blocks) as usize]);
-        }
-        prev_dispatch = dispatch;
-
-        let mut done: HashMap<u8, u64> = HashMap::new();
-        let mut completion = dispatch;
-        for ti in &trace.fired {
-            let inst = &block.insts[ti.idx as usize];
-            let mut ready = dispatch;
-            for s in &ti.srcs {
-                let t = match s {
-                    TraceSrc::Read(r) => reg_time[block.reads[*r as usize].reg as usize],
-                    TraceSrc::Inst(p) => done.get(p).copied().unwrap_or(dispatch),
-                };
-                ready = ready.max(t);
+    let outcome =
+        trips_isa::interp::run_program_traced(tp, ir, mem_size, max_blocks, |bidx, trace| {
+            let block = &tp.blocks[bidx as usize];
+            let seq = completions.len() as u64;
+            let mut dispatch = if first {
+                0
+            } else {
+                prev_dispatch + cfg.dispatch_cost
+            };
+            first = false;
+            if seq >= cfg.window_blocks {
+                dispatch = dispatch.max(completions[(seq - cfg.window_blocks) as usize]);
             }
-            if let Some(mem) = ti.mem {
-                let lo = mem.addr >> 3;
-                let hi = (mem.addr + mem.bytes as u64 - 1) >> 3;
-                if mem.is_store {
-                    let t = ready + 1;
-                    for g in lo..=hi {
-                        mem_time.insert(g, t);
+            prev_dispatch = dispatch;
+
+            let mut done: HashMap<u8, u64> = HashMap::new();
+            let mut completion = dispatch;
+            for ti in &trace.fired {
+                let inst = &block.insts[ti.idx as usize];
+                let mut ready = dispatch;
+                for s in &ti.srcs {
+                    let t = match s {
+                        TraceSrc::Read(r) => reg_time[block.reads[*r as usize].reg as usize],
+                        TraceSrc::Inst(p) => done.get(p).copied().unwrap_or(dispatch),
+                    };
+                    ready = ready.max(t);
+                }
+                if let Some(mem) = ti.mem {
+                    let lo = mem.addr >> 3;
+                    let hi = (mem.addr + mem.bytes as u64 - 1) >> 3;
+                    if mem.is_store {
+                        let t = ready + 1;
+                        for g in lo..=hi {
+                            mem_time.insert(g, t);
+                        }
+                        done.insert(ti.idx, t);
+                        completion = completion.max(t);
+                    } else {
+                        for g in lo..=hi {
+                            ready = ready.max(mem_time.get(&g).copied().unwrap_or(0));
+                        }
+                        let t = ready + inst.op.latency() as u64;
+                        done.insert(ti.idx, t);
+                        completion = completion.max(t);
                     }
-                    done.insert(ti.idx, t);
-                    completion = completion.max(t);
                 } else {
-                    for g in lo..=hi {
-                        ready = ready.max(mem_time.get(&g).copied().unwrap_or(0));
-                    }
                     let t = ready + inst.op.latency() as u64;
                     done.insert(ti.idx, t);
                     completion = completion.max(t);
                 }
-            } else {
-                let t = ready + inst.op.latency() as u64;
-                done.insert(ti.idx, t);
-                completion = completion.max(t);
+                insts += 1;
             }
-            insts += 1;
-        }
-        for (wi, src) in trace.write_srcs.iter().enumerate() {
-            if let Some(s) = src {
-                let t = match s {
-                    TraceSrc::Read(r) => reg_time[block.reads[*r as usize].reg as usize],
-                    TraceSrc::Inst(p) => done.get(p).copied().unwrap_or(dispatch),
-                };
-                reg_time[block.writes[wi].reg as usize] = t;
-                completion = completion.max(t);
+            for (wi, src) in trace.write_srcs.iter().enumerate() {
+                if let Some(s) = src {
+                    let t = match s {
+                        TraceSrc::Read(r) => reg_time[block.reads[*r as usize].reg as usize],
+                        TraceSrc::Inst(p) => done.get(p).copied().unwrap_or(dispatch),
+                    };
+                    reg_time[block.writes[wi].reg as usize] = t;
+                    completion = completion.max(t);
+                }
             }
-        }
-        completions.push(completion);
-        makespan = makespan.max(completion);
-    });
+            completions.push(completion);
+            makespan = makespan.max(completion);
+        });
 
     match outcome {
         Ok(_) | Err(TripsExecError::StepLimit) => {}
         Err(e) => return Err(e),
     }
     let cycles = makespan.max(1);
-    Ok(IdealResult { cycles, insts, ipc: insts as f64 / cycles as f64 })
+    Ok(IdealResult {
+        cycles,
+        insts,
+        ipc: insts as f64 / cycles as f64,
+    })
 }
 
 #[cfg(test)]
@@ -167,7 +189,9 @@ mod tests {
     fn vadd_like(n: i64) -> trips_ir::Program {
         let mut pb = ProgramBuilder::new();
         let a = pb.data_mut().alloc_i64s("a", &(0..n).collect::<Vec<_>>());
-        let b = pb.data_mut().alloc_i64s("b", &(0..n).map(|x| x * 2).collect::<Vec<_>>());
+        let b = pb
+            .data_mut()
+            .alloc_i64s("b", &(0..n).map(|x| x * 2).collect::<Vec<_>>());
         let c = pb.data_mut().alloc_zeroed("c", n as u64 * 8, 8);
         let mut f = pb.func("main", 0);
         let e = f.entry();
@@ -223,8 +247,17 @@ mod tests {
         let c = compile(&p, &CompileOptions::o2()).unwrap();
         let small = analyze(&c, IdealConfig::window_1k(), 1 << 20).unwrap();
         let big = analyze(&c, IdealConfig::window_128k(), 1 << 20).unwrap();
-        assert!(big.ipc > small.ipc * 1.5, "128K window {} !>> 1K {}", big.ipc, small.ipc);
-        assert!(big.ipc > 10.0, "vadd should have lots of ILP, got {}", big.ipc);
+        assert!(
+            big.ipc > small.ipc * 1.5,
+            "128K window {} !>> 1K {}",
+            big.ipc,
+            small.ipc
+        );
+        assert!(
+            big.ipc > 10.0,
+            "vadd should have lots of ILP, got {}",
+            big.ipc
+        );
     }
 
     #[test]
@@ -232,7 +265,11 @@ mod tests {
         let p = serial_chain(2000);
         let c = compile(&p, &CompileOptions::o2()).unwrap();
         let r = analyze(&c, IdealConfig::window_128k(), 1 << 20).unwrap();
-        assert!(r.ipc < 8.0, "serial chain can't have high IPC, got {}", r.ipc);
+        assert!(
+            r.ipc < 8.0,
+            "serial chain can't have high IPC, got {}",
+            r.ipc
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl ProgramBuilder {
     /// Panics if a body for `name` has already been finished.
     pub fn func(&mut self, name: &str, param_count: u32) -> FuncBuilder<'_> {
         let id = self.declare(name, param_count);
-        assert!(self.funcs[id.index()].is_none(), "function {name} already has a body");
+        assert!(
+            self.funcs[id.index()].is_none(),
+            "function {name} already has a body"
+        );
         let func = Function {
             name: name.to_string(),
             param_count,
@@ -67,7 +70,13 @@ impl ProgramBuilder {
             frame_size: 0,
             blocks: Vec::new(),
         };
-        FuncBuilder { pb: self, id, func, cur: None, sealed: false }
+        FuncBuilder {
+            pb: self,
+            id,
+            func,
+            cur: None,
+            sealed: false,
+        }
     }
 
     /// Looks up the id of a declared or defined function.
@@ -82,7 +91,10 @@ impl ProgramBuilder {
     /// Returns a description of the first verification failure: a declared
     /// but undefined function, a missing entry point, or malformed IR.
     pub fn finish(self, entry: &str) -> Result<Program, String> {
-        let entry = *self.names.get(entry).ok_or_else(|| format!("entry function {entry} not defined"))?;
+        let entry = *self
+            .names
+            .get(entry)
+            .ok_or_else(|| format!("entry function {entry} not defined"))?;
         let mut funcs = Vec::with_capacity(self.funcs.len());
         for (i, f) in self.funcs.into_iter().enumerate() {
             match f {
@@ -98,7 +110,11 @@ impl ProgramBuilder {
                 }
             }
         }
-        let program = Program { funcs, entry, data: self.data };
+        let program = Program {
+            funcs,
+            entry,
+            data: self.data,
+        };
         verify::verify_program(&program)?;
         Ok(program)
     }
@@ -197,7 +213,12 @@ impl<'a> FuncBuilder<'a> {
     pub fn ibin(&mut self, op: Opcode, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
         debug_assert!(op.is_ibin());
         let dst = self.vreg();
-        self.emit(Inst::Ibin { op, dst, a: a.into(), b: b.into() });
+        self.emit(Inst::Ibin {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
         dst
     }
 
@@ -205,12 +226,22 @@ impl<'a> FuncBuilder<'a> {
     /// (re-assignment; the idiom for loop counters).
     pub fn ibin_to(&mut self, op: Opcode, dst: Vreg, a: impl Into<Operand>, b: impl Into<Operand>) {
         debug_assert!(op.is_ibin());
-        self.emit(Inst::Ibin { op, dst, a: a.into(), b: b.into() });
+        self.emit(Inst::Ibin {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
     }
 
     /// `dst = src` — copy/assignment (lowered as `add dst, src, #0`).
     pub fn set(&mut self, dst: Vreg, src: impl Into<Operand>) {
-        self.emit(Inst::Ibin { op: Opcode::Add, dst, a: src.into(), b: Operand::Imm(0) });
+        self.emit(Inst::Ibin {
+            op: Opcode::Add,
+            dst,
+            a: src.into(),
+            b: Operand::Imm(0),
+        });
     }
 
     /// Integer add into a fresh register.
@@ -272,14 +303,23 @@ impl<'a> FuncBuilder<'a> {
     pub fn iun(&mut self, op: Opcode, a: impl Into<Operand>) -> Vreg {
         debug_assert!(op.is_iun());
         let dst = self.vreg();
-        self.emit(Inst::Iun { op, dst, a: a.into() });
+        self.emit(Inst::Iun {
+            op,
+            dst,
+            a: a.into(),
+        });
         dst
     }
 
     /// Integer comparison into a fresh register (0/1).
     pub fn icmp(&mut self, cc: IntCc, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
         let dst = self.vreg();
-        self.emit(Inst::Icmp { cc, dst, a: a.into(), b: b.into() });
+        self.emit(Inst::Icmp {
+            cc,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
         dst
     }
 
@@ -287,14 +327,24 @@ impl<'a> FuncBuilder<'a> {
     pub fn fbin(&mut self, op: Opcode, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
         debug_assert!(op.is_fbin());
         let dst = self.vreg();
-        self.emit(Inst::Fbin { op, dst, a: a.into(), b: b.into() });
+        self.emit(Inst::Fbin {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
         dst
     }
 
     /// Emits a float binary operation into an existing register.
     pub fn fbin_to(&mut self, op: Opcode, dst: Vreg, a: impl Into<Operand>, b: impl Into<Operand>) {
         debug_assert!(op.is_fbin());
-        self.emit(Inst::Fbin { op, dst, a: a.into(), b: b.into() });
+        self.emit(Inst::Fbin {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
     }
 
     /// Float add into a fresh register.
@@ -321,28 +371,53 @@ impl<'a> FuncBuilder<'a> {
     pub fn fun(&mut self, op: Opcode, a: impl Into<Operand>) -> Vreg {
         debug_assert!(op.is_fun());
         let dst = self.vreg();
-        self.emit(Inst::Fun { op, dst, a: a.into() });
+        self.emit(Inst::Fun {
+            op,
+            dst,
+            a: a.into(),
+        });
         dst
     }
 
     /// Float comparison into a fresh register (0/1).
     pub fn fcmp(&mut self, cc: FloatCc, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
         let dst = self.vreg();
-        self.emit(Inst::Fcmp { cc, dst, a: a.into(), b: b.into() });
+        self.emit(Inst::Fcmp {
+            cc,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
         dst
     }
 
     /// Conditional select into a fresh register.
-    pub fn select(&mut self, cond: impl Into<Operand>, t: impl Into<Operand>, f: impl Into<Operand>) -> Vreg {
+    pub fn select(
+        &mut self,
+        cond: impl Into<Operand>,
+        t: impl Into<Operand>,
+        f: impl Into<Operand>,
+    ) -> Vreg {
         let dst = self.vreg();
-        self.emit(Inst::Select { dst, cond: cond.into(), if_true: t.into(), if_false: f.into() });
+        self.emit(Inst::Select {
+            dst,
+            cond: cond.into(),
+            if_true: t.into(),
+            if_false: f.into(),
+        });
         dst
     }
 
     /// Generic load into a fresh register.
     pub fn load(&mut self, w: MemWidth, signed: bool, addr: impl Into<Operand>, off: i32) -> Vreg {
         let dst = self.vreg();
-        self.emit(Inst::Load { w, signed, dst, addr: addr.into(), off });
+        self.emit(Inst::Load {
+            w,
+            signed,
+            dst,
+            addr: addr.into(),
+            off,
+        });
         dst
     }
 
@@ -372,8 +447,19 @@ impl<'a> FuncBuilder<'a> {
     }
 
     /// Generic store.
-    pub fn store(&mut self, w: MemWidth, src: impl Into<Operand>, addr: impl Into<Operand>, off: i32) {
-        self.emit(Inst::Store { w, src: src.into(), addr: addr.into(), off });
+    pub fn store(
+        &mut self,
+        w: MemWidth,
+        src: impl Into<Operand>,
+        addr: impl Into<Operand>,
+        off: i32,
+    ) {
+        self.emit(Inst::Store {
+            w,
+            src: src.into(),
+            addr: addr.into(),
+            off,
+        });
     }
 
     /// 64-bit store.
@@ -406,13 +492,21 @@ impl<'a> FuncBuilder<'a> {
     /// Direct call returning a value.
     pub fn call(&mut self, func: FuncId, args: &[Operand]) -> Vreg {
         let dst = self.vreg();
-        self.emit(Inst::Call { dst: Some(dst), func, args: args.to_vec() });
+        self.emit(Inst::Call {
+            dst: Some(dst),
+            func,
+            args: args.to_vec(),
+        });
         dst
     }
 
     /// Direct call discarding any return value.
     pub fn call_void(&mut self, func: FuncId, args: &[Operand]) {
-        self.emit(Inst::Call { dst: None, func, args: args.to_vec() });
+        self.emit(Inst::Call {
+            dst: None,
+            func,
+            args: args.to_vec(),
+        });
     }
 
     // ---- terminators -------------------------------------------------------------
@@ -430,7 +524,11 @@ impl<'a> FuncBuilder<'a> {
 
     /// Ends the current block with a conditional branch (`cond != 0` → `t`).
     pub fn branch(&mut self, cond: impl Into<Operand>, t: BlockId, f: BlockId) {
-        self.terminate(Terminator::Branch { cond: cond.into(), t, f });
+        self.terminate(Terminator::Branch {
+            cond: cond.into(),
+            t,
+            f,
+        });
     }
 
     /// Ends the current block with a return.
@@ -443,7 +541,11 @@ impl<'a> FuncBuilder<'a> {
     /// # Panics
     /// Panics if the function has no blocks.
     pub fn finish(self) {
-        assert!(!self.func.blocks.is_empty(), "function {} has no blocks", self.func.name);
+        assert!(
+            !self.func.blocks.is_empty(),
+            "function {} has no blocks",
+            self.func.name
+        );
         self.pb.funcs[self.id.index()] = Some(self.func);
     }
 }

@@ -50,7 +50,12 @@ impl Cfg {
         for (i, b) in post.iter().enumerate() {
             rpo_pos[b.index()] = i;
         }
-        Cfg { preds, succs, rpo: post, rpo_pos }
+        Cfg {
+            preds,
+            succs,
+            rpo: post,
+            rpo_pos,
+        }
     }
 
     /// True if `b` is reachable from the entry.
@@ -77,17 +82,18 @@ impl DomTree {
         }
         let entry = cfg.rpo[0];
         idom[entry.index()] = Some(entry);
-        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId, pos: &[usize]| -> BlockId {
-            while a != b {
-                while pos[a.index()] > pos[b.index()] {
-                    a = idom[a.index()].expect("processed");
+        let intersect =
+            |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId, pos: &[usize]| -> BlockId {
+                while a != b {
+                    while pos[a.index()] > pos[b.index()] {
+                        a = idom[a.index()].expect("processed");
+                    }
+                    while pos[b.index()] > pos[a.index()] {
+                        b = idom[b.index()].expect("processed");
+                    }
                 }
-                while pos[b.index()] > pos[a.index()] {
-                    b = idom[b.index()].expect("processed");
-                }
-            }
-            a
-        };
+                a
+            };
         let mut changed = true;
         while changed {
             changed = false;
@@ -154,7 +160,11 @@ pub fn find_loops(cfg: &Cfg, dom: &DomTree) -> Vec<NaturalLoop> {
                 }
                 let mut body = vec![header];
                 grow_loop(cfg, header, b, &mut body);
-                loops.push(NaturalLoop { header, body, latches: vec![b] });
+                loops.push(NaturalLoop {
+                    header,
+                    body,
+                    latches: vec![b],
+                });
             }
         }
     }

@@ -29,7 +29,11 @@ pub enum Terminator {
     /// Unconditional jump.
     Jump(BlockId),
     /// Two-way branch: to `t` when `cond != 0`, else to `f`.
-    Branch { cond: Operand, t: BlockId, f: BlockId },
+    Branch {
+        cond: Operand,
+        t: BlockId,
+        f: BlockId,
+    },
     /// Return from the function, optionally with a value.
     Ret(Option<Operand>),
 }
@@ -48,7 +52,10 @@ impl Terminator {
     /// Visits every register read by the terminator.
     pub fn for_each_use_reg(&self, mut f: impl FnMut(Vreg)) {
         match self {
-            Terminator::Branch { cond: Operand::Reg(v), .. } => f(*v),
+            Terminator::Branch {
+                cond: Operand::Reg(v),
+                ..
+            } => f(*v),
             Terminator::Ret(Some(Operand::Reg(v))) => f(*v),
             _ => {}
         }
@@ -87,7 +94,10 @@ pub struct BasicBlock {
 impl BasicBlock {
     /// An empty block ending in `ret` (placeholder during construction).
     pub fn new() -> Self {
-        BasicBlock { insts: Vec::new(), term: Terminator::Ret(None) }
+        BasicBlock {
+            insts: Vec::new(),
+            term: Terminator::Ret(None),
+        }
     }
 }
 
@@ -139,7 +149,10 @@ impl Function {
 
     /// Iterates over `(BlockId, &BasicBlock)` pairs.
     pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
-        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
     }
 
     /// Allocates a fresh virtual register.
@@ -157,7 +170,11 @@ impl Function {
 
 impl fmt::Display for Function {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "func {}({} params, {} vregs, frame {}):", self.name, self.param_count, self.vreg_count, self.frame_size)?;
+        writeln!(
+            f,
+            "func {}({} params, {} vregs, frame {}):",
+            self.name, self.param_count, self.vreg_count, self.frame_size
+        )?;
         for (id, bb) in self.iter_blocks() {
             writeln!(f, "{id}:")?;
             for i in &bb.insts {
@@ -178,8 +195,15 @@ mod tests {
     fn successors_of_terminators() {
         let j = Terminator::Jump(BlockId(3));
         assert_eq!(j.successors().collect::<Vec<_>>(), vec![BlockId(3)]);
-        let b = Terminator::Branch { cond: Operand::imm(1), t: BlockId(1), f: BlockId(2) };
-        assert_eq!(b.successors().collect::<Vec<_>>(), vec![BlockId(1), BlockId(2)]);
+        let b = Terminator::Branch {
+            cond: Operand::imm(1),
+            t: BlockId(1),
+            f: BlockId(2),
+        };
+        assert_eq!(
+            b.successors().collect::<Vec<_>>(),
+            vec![BlockId(1), BlockId(2)]
+        );
         let r = Terminator::Ret(None);
         assert_eq!(r.successors().count(), 0);
     }

@@ -17,27 +17,67 @@ pub enum Inst {
     /// `dst = imm` — materialize an `f64` constant (stored as raw bits).
     Fconst { dst: Vreg, imm: f64 },
     /// `dst = op(a, b)` — integer binary arithmetic/logic.
-    Ibin { op: Opcode, dst: Vreg, a: Operand, b: Operand },
+    Ibin {
+        op: Opcode,
+        dst: Vreg,
+        a: Operand,
+        b: Operand,
+    },
     /// `dst = op(a)` — integer unary operation.
     Iun { op: Opcode, dst: Vreg, a: Operand },
     /// `dst = (a cc b) ? 1 : 0` — integer comparison.
-    Icmp { cc: IntCc, dst: Vreg, a: Operand, b: Operand },
+    Icmp {
+        cc: IntCc,
+        dst: Vreg,
+        a: Operand,
+        b: Operand,
+    },
     /// `dst = op(a, b)` — floating-point binary arithmetic.
-    Fbin { op: Opcode, dst: Vreg, a: Operand, b: Operand },
+    Fbin {
+        op: Opcode,
+        dst: Vreg,
+        a: Operand,
+        b: Operand,
+    },
     /// `dst = op(a)` — floating-point unary operation.
     Fun { op: Opcode, dst: Vreg, a: Operand },
     /// `dst = (a cc b) ? 1 : 0` — floating-point comparison.
-    Fcmp { cc: FloatCc, dst: Vreg, a: Operand, b: Operand },
+    Fcmp {
+        cc: FloatCc,
+        dst: Vreg,
+        a: Operand,
+        b: Operand,
+    },
     /// `dst = cond != 0 ? if_true : if_false` — conditional select.
-    Select { dst: Vreg, cond: Operand, if_true: Operand, if_false: Operand },
+    Select {
+        dst: Vreg,
+        cond: Operand,
+        if_true: Operand,
+        if_false: Operand,
+    },
     /// `dst = zext/sext(mem[addr + off])` — load (sign- or zero-extended).
-    Load { w: MemWidth, signed: bool, dst: Vreg, addr: Operand, off: i32 },
+    Load {
+        w: MemWidth,
+        signed: bool,
+        dst: Vreg,
+        addr: Operand,
+        off: i32,
+    },
     /// `mem[addr + off] = trunc(src)` — store.
-    Store { w: MemWidth, src: Operand, addr: Operand, off: i32 },
+    Store {
+        w: MemWidth,
+        src: Operand,
+        addr: Operand,
+        off: i32,
+    },
     /// `dst = frame_base + off` — address of a slot in this function's frame.
     FrameAddr { dst: Vreg, off: u32 },
     /// `dst? = call func(args...)` — direct call.
-    Call { dst: Option<Vreg>, func: FuncId, args: Vec<Operand> },
+    Call {
+        dst: Option<Vreg>,
+        func: FuncId,
+        args: Vec<Operand>,
+    },
 }
 
 /// Operation selector for [`Inst::Ibin`], [`Inst::Iun`], [`Inst::Fbin`] and
@@ -127,25 +167,43 @@ impl Opcode {
     pub fn is_iun(self) -> bool {
         matches!(
             self,
-            Opcode::Not | Opcode::Neg | Opcode::Sextb | Opcode::Sexth | Opcode::Sextw | Opcode::Zextw | Opcode::F2i
+            Opcode::Not
+                | Opcode::Neg
+                | Opcode::Sextb
+                | Opcode::Sexth
+                | Opcode::Sextw
+                | Opcode::Zextw
+                | Opcode::F2i
         )
     }
 
     /// True for opcodes valid in [`Inst::Fbin`].
     pub fn is_fbin(self) -> bool {
-        matches!(self, Opcode::Fadd | Opcode::Fsub | Opcode::Fmul | Opcode::Fdiv)
+        matches!(
+            self,
+            Opcode::Fadd | Opcode::Fsub | Opcode::Fmul | Opcode::Fdiv
+        )
     }
 
     /// True for opcodes valid in [`Inst::Fun`].
     pub fn is_fun(self) -> bool {
-        matches!(self, Opcode::Fneg | Opcode::Fabs | Opcode::Fsqrt | Opcode::I2f)
+        matches!(
+            self,
+            Opcode::Fneg | Opcode::Fabs | Opcode::Fsqrt | Opcode::I2f
+        )
     }
 
     /// True for commutative binary operations.
     pub fn is_commutative(self) -> bool {
         matches!(
             self,
-            Opcode::Add | Opcode::Mul | Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Fadd | Opcode::Fmul
+            Opcode::Add
+                | Opcode::Mul
+                | Opcode::And
+                | Opcode::Or
+                | Opcode::Xor
+                | Opcode::Fadd
+                | Opcode::Fmul
         )
     }
 }
@@ -210,12 +268,20 @@ impl Inst {
     pub fn for_each_use(&self, mut f: impl FnMut(Operand)) {
         match self {
             Inst::Iconst { .. } | Inst::Fconst { .. } | Inst::FrameAddr { .. } => {}
-            Inst::Ibin { a, b, .. } | Inst::Icmp { a, b, .. } | Inst::Fbin { a, b, .. } | Inst::Fcmp { a, b, .. } => {
+            Inst::Ibin { a, b, .. }
+            | Inst::Icmp { a, b, .. }
+            | Inst::Fbin { a, b, .. }
+            | Inst::Fcmp { a, b, .. } => {
                 f(*a);
                 f(*b);
             }
             Inst::Iun { a, .. } | Inst::Fun { a, .. } => f(*a),
-            Inst::Select { cond, if_true, if_false, .. } => {
+            Inst::Select {
+                cond,
+                if_true,
+                if_false,
+                ..
+            } => {
                 f(*cond);
                 f(*if_true);
                 f(*if_false);
@@ -246,12 +312,20 @@ impl Inst {
     pub fn map_uses(&mut self, mut f: impl FnMut(Operand) -> Operand) {
         match self {
             Inst::Iconst { .. } | Inst::Fconst { .. } | Inst::FrameAddr { .. } => {}
-            Inst::Ibin { a, b, .. } | Inst::Icmp { a, b, .. } | Inst::Fbin { a, b, .. } | Inst::Fcmp { a, b, .. } => {
+            Inst::Ibin { a, b, .. }
+            | Inst::Icmp { a, b, .. }
+            | Inst::Fbin { a, b, .. }
+            | Inst::Fcmp { a, b, .. } => {
                 *a = f(*a);
                 *b = f(*b);
             }
             Inst::Iun { a, .. } | Inst::Fun { a, .. } => *a = f(*a),
-            Inst::Select { cond, if_true, if_false, .. } => {
+            Inst::Select {
+                cond,
+                if_true,
+                if_false,
+                ..
+            } => {
                 *cond = f(*cond);
                 *if_true = f(*if_true);
                 *if_false = f(*if_false);
@@ -297,11 +371,26 @@ impl fmt::Display for Inst {
             Inst::Fbin { op, dst, a, b } => write!(f, "{dst} = {op} {a}, {b}"),
             Inst::Fun { op, dst, a } => write!(f, "{dst} = {op} {a}"),
             Inst::Fcmp { cc, dst, a, b } => write!(f, "{dst} = fcmp.{cc} {a}, {b}"),
-            Inst::Select { dst, cond, if_true, if_false } => {
+            Inst::Select {
+                dst,
+                cond,
+                if_true,
+                if_false,
+            } => {
                 write!(f, "{dst} = select {cond}, {if_true}, {if_false}")
             }
-            Inst::Load { w, signed, dst, addr, off } => {
-                write!(f, "{dst} = load.{w}{} {addr}+{off}", if *signed { "s" } else { "" })
+            Inst::Load {
+                w,
+                signed,
+                dst,
+                addr,
+                off,
+            } => {
+                write!(
+                    f,
+                    "{dst} = load.{w}{} {addr}+{off}",
+                    if *signed { "s" } else { "" }
+                )
             }
             Inst::Store { w, src, addr, off } => write!(f, "store.{w} {src}, {addr}+{off}"),
             Inst::FrameAddr { dst, off } => write!(f, "{dst} = frame+{off}"),
@@ -329,7 +418,12 @@ mod tests {
 
     #[test]
     fn dst_and_uses() {
-        let i = Inst::Ibin { op: Opcode::Add, dst: Vreg(2), a: Operand::reg(Vreg(0)), b: Operand::imm(4) };
+        let i = Inst::Ibin {
+            op: Opcode::Add,
+            dst: Vreg(2),
+            a: Operand::reg(Vreg(0)),
+            b: Operand::imm(4),
+        };
         assert_eq!(i.dst(), Some(Vreg(2)));
         let mut uses = vec![];
         i.for_each_use_reg(|v| uses.push(v));
@@ -338,7 +432,12 @@ mod tests {
 
     #[test]
     fn store_has_no_dst_and_side_effects() {
-        let s = Inst::Store { w: MemWidth::W, src: Operand::imm(1), addr: Operand::reg(Vreg(0)), off: 0 };
+        let s = Inst::Store {
+            w: MemWidth::W,
+            src: Operand::imm(1),
+            addr: Operand::reg(Vreg(0)),
+            off: 0,
+        };
         assert_eq!(s.dst(), None);
         assert!(s.has_side_effects());
         assert!(s.is_store());
@@ -395,15 +494,23 @@ mod tests {
             Opcode::F2i,
         ];
         for op in all {
-            let classes =
-                [op.is_ibin(), op.is_iun(), op.is_fbin(), op.is_fun()].iter().filter(|&&x| x).count();
+            let classes = [op.is_ibin(), op.is_iun(), op.is_fbin(), op.is_fun()]
+                .iter()
+                .filter(|&&x| x)
+                .count();
             assert_eq!(classes, 1, "{op} must belong to exactly one class");
         }
     }
 
     #[test]
     fn display_smoke() {
-        let i = Inst::Load { w: MemWidth::W, signed: true, dst: Vreg(1), addr: Operand::reg(Vreg(0)), off: 8 };
+        let i = Inst::Load {
+            w: MemWidth::W,
+            signed: true,
+            dst: Vreg(1),
+            addr: Operand::reg(Vreg(0)),
+            off: 8,
+        };
         assert_eq!(i.to_string(), "v1 = load.ws v0+8");
     }
 }

@@ -39,7 +39,9 @@ pub enum InterpError {
 impl fmt::Display for InterpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            InterpError::OutOfBounds { addr } => write!(f, "memory access out of bounds at {addr:#x}"),
+            InterpError::OutOfBounds { addr } => {
+                write!(f, "memory access out of bounds at {addr:#x}")
+            }
             InterpError::DivByZero => write!(f, "integer division by zero"),
             InterpError::StepLimit => write!(f, "dynamic instruction budget exhausted"),
             InterpError::CallDepth => write!(f, "call stack too deep"),
@@ -131,7 +133,10 @@ impl Memory {
         let mut bytes = vec![0u8; size];
         let img = program.data.image();
         let base = DATA_BASE as usize;
-        assert!(base + img.len() <= size, "data image does not fit in memory");
+        assert!(
+            base + img.len() <= size,
+            "data image does not fit in memory"
+        );
         bytes[base..base + img.len()].copy_from_slice(img);
         Memory { bytes }
     }
@@ -212,7 +217,11 @@ pub struct RunConfig<'a> {
 
 impl Default for RunConfig<'_> {
     fn default() -> Self {
-        RunConfig { mem_size: DEFAULT_MEM_SIZE, step_limit: DEFAULT_STEP_LIMIT, branch_hook: None }
+        RunConfig {
+            mem_size: DEFAULT_MEM_SIZE,
+            step_limit: DEFAULT_STEP_LIMIT,
+            branch_hook: None,
+        }
     }
 }
 
@@ -231,7 +240,13 @@ impl fmt::Debug for RunConfig<'_> {
 /// # Errors
 /// Propagates any [`InterpError`] raised during execution.
 pub fn run(program: &Program, mem_size: usize) -> Result<Outcome, InterpError> {
-    run_with(program, RunConfig { mem_size, ..RunConfig::default() })
+    run_with(
+        program,
+        RunConfig {
+            mem_size,
+            ..RunConfig::default()
+        },
+    )
 }
 
 /// Runs `program` with full configuration.
@@ -256,7 +271,11 @@ pub fn run_with(program: &Program, mut cfg: RunConfig<'_>) -> Result<Outcome, In
         };
         interp.call(program.entry, &[], &mut frame_top, 0)?
     };
-    Ok(Outcome { return_value: ret, stats, memory: mem })
+    Ok(Outcome {
+        return_value: ret,
+        stats,
+        memory: mem,
+    })
 }
 
 const MAX_CALL_DEPTH: u32 = 2048;
@@ -270,7 +289,13 @@ struct Interp<'a> {
 }
 
 impl Interp<'_> {
-    fn call(&mut self, fid: FuncId, args: &[u64], frame_top: &mut u64, depth: u32) -> Result<u64, InterpError> {
+    fn call(
+        &mut self,
+        fid: FuncId,
+        args: &[u64],
+        frame_top: &mut u64,
+        depth: u32,
+    ) -> Result<u64, InterpError> {
         if depth >= MAX_CALL_DEPTH {
             return Err(InterpError::CallDepth);
         }
@@ -297,7 +322,15 @@ impl Interp<'_> {
                 }
                 self.steps_left -= 1;
                 self.stats.insts += 1;
-                self.exec_inst(inst, f.name.as_str(), fid, &mut regs, frame_base, frame_top, depth)?;
+                self.exec_inst(
+                    inst,
+                    f.name.as_str(),
+                    fid,
+                    &mut regs,
+                    frame_base,
+                    frame_top,
+                    depth,
+                )?;
             }
             match &block.term {
                 Terminator::Jump(t) => {
@@ -324,9 +357,22 @@ impl Interp<'_> {
         }
     }
 
-    fn emit_event(&mut self, func: FuncId, block: BlockId, kind: BranchKind, taken: bool, target: Option<BlockId>) {
+    fn emit_event(
+        &mut self,
+        func: FuncId,
+        block: BlockId,
+        kind: BranchKind,
+        taken: bool,
+        target: Option<BlockId>,
+    ) {
         if let Some(h) = self.hook.as_deref_mut() {
-            h(BranchEvent { func, block, kind, taken, target });
+            h(BranchEvent {
+                func,
+                block,
+                kind,
+                taken,
+                target,
+            });
         }
     }
 
@@ -408,13 +454,28 @@ impl Interp<'_> {
                 let b = f64::from_bits(self.read_op(*b, regs));
                 set(regs, *dst, cc.eval(a, b) as u64);
             }
-            Inst::Select { dst, cond, if_true, if_false } => {
+            Inst::Select {
+                dst,
+                cond,
+                if_true,
+                if_false,
+            } => {
                 self.stats.arith += 1;
                 let c = self.read_op(*cond, regs) != 0;
-                let v = if c { self.read_op(*if_true, regs) } else { self.read_op(*if_false, regs) };
+                let v = if c {
+                    self.read_op(*if_true, regs)
+                } else {
+                    self.read_op(*if_false, regs)
+                };
                 set(regs, *dst, v);
             }
-            Inst::Load { w, signed, dst, addr, off } => {
+            Inst::Load {
+                w,
+                signed,
+                dst,
+                addr,
+                off,
+            } => {
                 self.stats.loads += 1;
                 let a = self.read_op(*addr, regs).wrapping_add(*off as i64 as u64);
                 let v = self.mem.load(a, *w, *signed)?;
@@ -550,7 +611,10 @@ mod tests {
         f.ret(Some(Operand::reg(v)));
         f.finish();
         let p = pb.finish("main").unwrap();
-        assert_eq!(run(&p, 1 << 20).unwrap_err(), InterpError::OutOfBounds { addr: 0 });
+        assert_eq!(
+            run(&p, 1 << 20).unwrap_err(),
+            InterpError::OutOfBounds { addr: 0 }
+        );
     }
 
     #[test]
@@ -620,7 +684,14 @@ mod tests {
         f.jump(l);
         f.finish();
         let p = pb.finish("main").unwrap();
-        let err = run_with(&p, RunConfig { step_limit: 1000, ..RunConfig::default() }).unwrap_err();
+        let err = run_with(
+            &p,
+            RunConfig {
+                step_limit: 1000,
+                ..RunConfig::default()
+            },
+        )
+        .unwrap_err();
         assert_eq!(err, InterpError::StepLimit);
     }
 
@@ -638,7 +709,14 @@ mod tests {
                     }
                 }
             };
-            run_with(&p, RunConfig { branch_hook: Some(&mut hook), ..RunConfig::default() }).unwrap();
+            run_with(
+                &p,
+                RunConfig {
+                    branch_hook: Some(&mut hook),
+                    ..RunConfig::default()
+                },
+            )
+            .unwrap();
         }
         assert_eq!(conds, 3);
         assert_eq!(taken, 2);
@@ -662,7 +740,9 @@ mod tests {
     #[test]
     fn widths_sign_and_zero_extend() {
         let mut pb = ProgramBuilder::new();
-        let addr = pb.data_mut().alloc_bytes("b", &[0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0]);
+        let addr = pb
+            .data_mut()
+            .alloc_bytes("b", &[0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0]);
         let mut f = pb.func("main", 0);
         let e = f.entry();
         f.switch_to(e);

@@ -59,9 +59,17 @@ pub fn summarize(p: &Program) -> Vec<FuncSummary> {
 /// Renders a one-line-per-function summary table.
 pub fn summary_table(p: &Program) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<24} {:>7} {:>7} {:>6} {:>6} {:>5}", "function", "blocks", "insts", "loads", "stores", "calls");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>7} {:>7} {:>6} {:>6} {:>5}",
+        "function", "blocks", "insts", "loads", "stores", "calls"
+    );
     for s in summarize(p) {
-        let _ = writeln!(out, "{:<24} {:>7} {:>7} {:>6} {:>6} {:>5}", s.name, s.blocks, s.insts, s.loads, s.stores, s.calls);
+        let _ = writeln!(
+            out,
+            "{:<24} {:>7} {:>7} {:>6} {:>6} {:>5}",
+            s.name, s.blocks, s.insts, s.loads, s.stores, s.calls
+        );
     }
     out
 }

@@ -41,7 +41,7 @@ impl DataBuilder {
 
     fn align_to(&mut self, align: u64) {
         debug_assert!(align.is_power_of_two());
-        while (DATA_BASE + self.bytes.len() as u64) % align != 0 {
+        while !(DATA_BASE + self.bytes.len() as u64).is_multiple_of(align) {
             self.bytes.push(0);
         }
     }
@@ -151,7 +151,10 @@ impl Program {
 
     /// Iterates over `(FuncId, &Function)` pairs.
     pub fn iter_funcs(&self) -> impl Iterator<Item = (FuncId, &Function)> {
-        self.funcs.iter().enumerate().map(|(i, f)| (FuncId(i as u32), f))
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId(i as u32), f))
     }
 
     /// Total static instruction count across all functions.
@@ -189,8 +192,14 @@ mod tests {
         assert_eq!(d.symbol("c"), None);
         // Check b's contents in the image.
         let off = (b - DATA_BASE) as usize;
-        assert_eq!(i64::from_le_bytes(d.image()[off..off + 8].try_into().unwrap()), 7);
-        assert_eq!(i64::from_le_bytes(d.image()[off + 8..off + 16].try_into().unwrap()), -1);
+        assert_eq!(
+            i64::from_le_bytes(d.image()[off..off + 8].try_into().unwrap()),
+            7
+        );
+        assert_eq!(
+            i64::from_le_bytes(d.image()[off + 8..off + 16].try_into().unwrap()),
+            -1
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub fn verify_function(p: &Program, f: &Function) -> Result<(), String> {
     let nblocks = f.blocks.len() as u32;
     let check_reg = |v: Vreg| -> Result<(), String> {
         if v.0 >= f.vreg_count {
-            Err(format!("register {v} out of range (vreg_count={})", f.vreg_count))
+            Err(format!(
+                "register {v} out of range (vreg_count={})",
+                f.vreg_count
+            ))
         } else {
             Ok(())
         }
@@ -63,8 +66,10 @@ pub fn verify_function(p: &Program, f: &Function) -> Result<(), String> {
             }
             match inst {
                 Inst::Call { func, args, .. } => {
-                    let callee =
-                        p.funcs.get(func.index()).ok_or_else(|| format!("{bid}: call to unknown function f{}", func.0))?;
+                    let callee = p
+                        .funcs
+                        .get(func.index())
+                        .ok_or_else(|| format!("{bid}: call to unknown function f{}", func.0))?;
                     if args.len() != callee.param_count as usize {
                         return Err(format!(
                             "{bid}: call to {} with {} args, expected {}",
@@ -74,10 +79,14 @@ pub fn verify_function(p: &Program, f: &Function) -> Result<(), String> {
                         ));
                     }
                 }
-                Inst::FrameAddr { off, .. } => {
-                    if *off >= f.frame_size && f.frame_size > 0 || (f.frame_size == 0 && *off > 0) {
-                        return Err(format!("{bid}: frame offset {off} outside frame of {} bytes", f.frame_size));
-                    }
+                Inst::FrameAddr { off, .. }
+                    if *off >= f.frame_size && f.frame_size > 0
+                        || (f.frame_size == 0 && *off > 0) =>
+                {
+                    return Err(format!(
+                        "{bid}: frame offset {off} outside frame of {} bytes",
+                        f.frame_size
+                    ));
                 }
                 _ => {}
             }
@@ -124,7 +133,9 @@ fn verify_definite_assignment(f: &Function) -> Result<(), String> {
             } else {
                 let mut acc: Option<Vec<bool>> = None;
                 for &p in &cfg.preds[b.index()] {
-                    let pout = assigned_out[p.index()].clone().unwrap_or_else(|| full.clone());
+                    let pout = assigned_out[p.index()]
+                        .clone()
+                        .unwrap_or_else(|| full.clone());
                     acc = Some(match acc {
                         None => pout,
                         Some(mut a) => {
@@ -158,7 +169,9 @@ fn verify_definite_assignment(f: &Function) -> Result<(), String> {
                 }
             });
             if let Some(v) = bad {
-                return Err(format!("{b}: terminator: {v} may be used before assignment"));
+                return Err(format!(
+                    "{b}: terminator: {v} may be used before assignment"
+                ));
             }
             if assigned_out[b.index()].as_ref() != Some(&in_set) {
                 assigned_out[b.index()] = Some(in_set);
@@ -208,7 +221,11 @@ mod tests {
                 term: Terminator::Ret(None),
             }],
         };
-        let p = Program { funcs: vec![f], entry: FuncId(0), data: DataBuilder::new() };
+        let p = Program {
+            funcs: vec![f],
+            entry: FuncId(0),
+            data: DataBuilder::new(),
+        };
         let err = verify_program(&p).unwrap_err();
         assert!(err.contains("out of range"), "{err}");
     }

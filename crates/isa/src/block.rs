@@ -111,7 +111,14 @@ pub struct BInst {
 impl BInst {
     /// Creates an un-predicated instruction with no targets.
     pub fn new(op: TOpcode) -> BInst {
-        BInst { op, pred: None, imm: 0, lsid: None, exit: None, targets: Vec::new() }
+        BInst {
+            op,
+            pred: None,
+            imm: 0,
+            lsid: None,
+            exit: None,
+            targets: Vec::new(),
+        }
     }
 }
 
@@ -197,7 +204,11 @@ impl Block {
 
 impl fmt::Display for Block {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "block {} (store_mask={:#x}):", self.name, self.store_mask)?;
+        writeln!(
+            f,
+            "block {} (store_mask={:#x}):",
+            self.name, self.store_mask
+        )?;
         for (i, r) in self.reads.iter().enumerate() {
             write!(f, "  R[{i}] read G[{}]", r.reg)?;
             for t in &r.targets {
@@ -239,7 +250,11 @@ impl TripsProgram {
 
     /// Looks up a block by name (diagnostics).
     pub fn block_by_name(&self, name: &str) -> Option<(u32, &Block)> {
-        self.blocks.iter().enumerate().find(|(_, b)| b.name == name).map(|(i, b)| (i as u32, b))
+        self.blocks
+            .iter()
+            .enumerate()
+            .find(|(_, b)| b.name == name)
+            .map(|(i, b)| (i as u32, b))
     }
 }
 
@@ -289,7 +304,10 @@ mod tests {
 
     #[test]
     fn target_display() {
-        let t = Target::Inst { idx: 5, slot: TargetSlot::Pred };
+        let t = Target::Inst {
+            idx: 5,
+            slot: TargetSlot::Pred,
+        };
         assert_eq!(t.to_string(), "N[5,p]");
         assert_eq!(Target::Write(3).to_string(), "W[3]");
     }

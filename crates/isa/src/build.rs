@@ -38,12 +38,18 @@ pub enum BuildError {
 impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BuildError::InstsFull => write!(f, "block already has {} instructions", limits::MAX_INSTS),
+            BuildError::InstsFull => {
+                write!(f, "block already has {} instructions", limits::MAX_INSTS)
+            }
             BuildError::ReadsFull => write!(f, "block already has {} reads", limits::MAX_READS),
             BuildError::WritesFull => write!(f, "block already has {} writes", limits::MAX_WRITES),
-            BuildError::LsidsFull => write!(f, "block already uses {} load/store ids", limits::MAX_LSIDS),
+            BuildError::LsidsFull => {
+                write!(f, "block already uses {} load/store ids", limits::MAX_LSIDS)
+            }
             BuildError::ExitsFull => write!(f, "block already has {} exits", limits::MAX_EXITS),
-            BuildError::ImmTooWide { imm, bits } => write!(f, "immediate {imm} does not fit in {bits} bits"),
+            BuildError::ImmTooWide { imm, bits } => {
+                write!(f, "immediate {imm} does not fit in {bits} bits")
+            }
             BuildError::BadReg(r) => write!(f, "register {r} out of range"),
         }
     }
@@ -126,7 +132,10 @@ impl BlockBuilder {
         if reg as usize >= limits::NUM_REGS {
             return Err(BuildError::BadReg(reg));
         }
-        self.block.reads.push(ReadInst { reg, targets: Vec::new() });
+        self.block.reads.push(ReadInst {
+            reg,
+            targets: Vec::new(),
+        });
         Ok((self.block.reads.len() - 1) as u8)
     }
 
@@ -157,12 +166,22 @@ impl BlockBuilder {
         if inst.op == TOpcode::App {
             // App appends an *unsigned* 14-bit chunk.
             if inst.imm < 0 || inst.imm >= (1 << IMM_BITS) {
-                return Err(BuildError::ImmTooWide { imm: inst.imm, bits: IMM_BITS });
+                return Err(BuildError::ImmTooWide {
+                    imm: inst.imm,
+                    bits: IMM_BITS,
+                });
             }
         } else if inst.op.has_imm() {
-            let bits = if inst.op.is_load() || inst.op.is_store() { MEM_OFF_BITS } else { IMM_BITS };
+            let bits = if inst.op.is_load() || inst.op.is_store() {
+                MEM_OFF_BITS
+            } else {
+                IMM_BITS
+            };
             if !fits_signed(inst.imm, bits) {
-                return Err(BuildError::ImmTooWide { imm: inst.imm, bits });
+                return Err(BuildError::ImmTooWide {
+                    imm: inst.imm,
+                    bits,
+                });
             }
         } else {
             debug_assert_eq!(inst.imm, 0, "imm on non-immediate opcode {}", inst.op);
@@ -228,7 +247,10 @@ impl BlockBuilder {
     /// [`BlockBuilder::add_target`]).
     pub fn add_read_target(&mut self, idx: u8, t: Target) {
         let read = &mut self.block.reads[idx as usize];
-        assert!(read.targets.len() < limits::MAX_TARGETS, "read {idx} already has 2 targets; insert a mov");
+        assert!(
+            read.targets.len() < limits::MAX_TARGETS,
+            "read {idx} already has 2 targets; insert a mov"
+        );
         read.targets.push(t);
     }
 
@@ -291,12 +313,18 @@ mod tests {
         assert!(b.add_inst(inst_imm(TOpcode::Addi, 8191)).is_ok());
         assert_eq!(
             b.add_inst(inst_imm(TOpcode::Addi, 8192)),
-            Err(BuildError::ImmTooWide { imm: 8192, bits: IMM_BITS })
+            Err(BuildError::ImmTooWide {
+                imm: 8192,
+                bits: IMM_BITS
+            })
         );
         assert!(b.add_inst(inst_imm(TOpcode::Ld, 255)).is_ok());
         assert_eq!(
             b.add_inst(inst_imm(TOpcode::Ld, 256)),
-            Err(BuildError::ImmTooWide { imm: 256, bits: MEM_OFF_BITS })
+            Err(BuildError::ImmTooWide {
+                imm: 256,
+                bits: MEM_OFF_BITS
+            })
         );
         assert!(b.add_inst(inst_imm(TOpcode::Ld, -256)).is_ok());
     }

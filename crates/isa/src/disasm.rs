@@ -23,7 +23,11 @@ pub struct DisasmError {
 
 impl std::fmt::Display for DisasmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "disassembly failed at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "disassembly failed at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -40,7 +44,10 @@ impl std::error::Error for DisasmError {}
 /// [`DisasmError`] on truncated images or undecodable instruction words.
 pub fn decode_block(bytes: &[u8], name: &str) -> Result<Block, DisasmError> {
     if bytes.len() < HEADER_BYTES {
-        return Err(DisasmError { offset: bytes.len(), message: "image smaller than the 128-byte header".into() });
+        return Err(DisasmError {
+            offset: bytes.len(),
+            message: "image smaller than the 128-byte header".into(),
+        });
     }
     let store_mask = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
     let ninsts = bytes[4] as usize;
@@ -48,7 +55,10 @@ pub fn decode_block(bytes: &[u8], name: &str) -> Result<Block, DisasmError> {
     let nwrites = bytes[6] as usize;
     let nexits = bytes[7] as usize;
     if nreads > crate::limits::MAX_READS || nwrites > crate::limits::MAX_WRITES {
-        return Err(DisasmError { offset: 5, message: format!("header counts out of range ({nreads} reads, {nwrites} writes)") });
+        return Err(DisasmError {
+            offset: 5,
+            message: format!("header counts out of range ({nreads} reads, {nwrites} writes)"),
+        });
     }
 
     // Reads: 3 bytes each starting at offset 16; bit 7 of the low byte marks
@@ -61,7 +71,10 @@ pub fn decode_block(bytes: &[u8], name: &str) -> Result<Block, DisasmError> {
         }
         let b0 = bytes[off];
         if b0 & 0x80 != 0 {
-            reads.push(ReadInst { reg: b0 & 0x7f, targets: Vec::new() });
+            reads.push(ReadInst {
+                reg: b0 & 0x7f,
+                targets: Vec::new(),
+            });
         }
     }
     // Writes: 1 byte each after the 32 read slots.
@@ -89,18 +102,30 @@ pub fn decode_block(bytes: &[u8], name: &str) -> Result<Block, DisasmError> {
         if insts.len() >= ninsts {
             break;
         }
-        let inst = decode_inst(word)
-            .map_err(|e| DisasmError { offset: HEADER_BYTES + i * 4, message: e })?;
+        let inst = decode_inst(word).map_err(|e| DisasmError {
+            offset: HEADER_BYTES + i * 4,
+            message: e,
+        })?;
         insts.push(inst);
     }
     if insts.len() != ninsts {
         return Err(DisasmError {
             offset: bytes.len(),
-            message: format!("header promises {ninsts} instructions, image holds {}", insts.len()),
+            message: format!(
+                "header promises {ninsts} instructions, image holds {}",
+                insts.len()
+            ),
         });
     }
 
-    Ok(Block { name: name.to_string(), reads, writes, insts, exits: Vec::with_capacity(nexits), store_mask })
+    Ok(Block {
+        name: name.to_string(),
+        reads,
+        writes,
+        insts,
+        exits: Vec::with_capacity(nexits),
+        store_mask,
+    })
 }
 
 /// Renders a block as a TRIPS-style assembly listing.
@@ -144,8 +169,8 @@ pub fn program_listing(p: &crate::TripsProgram) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::build::{inst, inst_imm, BlockBuilder};
     use crate::block::{ExitTarget, Target, TargetSlot};
+    use crate::build::{inst, inst_imm, BlockBuilder};
     use crate::encode::encode_block;
     use crate::TOpcode;
 
@@ -155,8 +180,20 @@ mod tests {
         let c = b.add_inst(inst_imm(TOpcode::Movi, 5)).unwrap();
         let add = b.add_inst(inst(TOpcode::Add)).unwrap();
         let w = b.add_write(3).unwrap();
-        b.add_read_target(r, Target::Inst { idx: add, slot: TargetSlot::Op0 });
-        b.add_target(c, Target::Inst { idx: add, slot: TargetSlot::Op1 });
+        b.add_read_target(
+            r,
+            Target::Inst {
+                idx: add,
+                slot: TargetSlot::Op0,
+            },
+        );
+        b.add_target(
+            c,
+            Target::Inst {
+                idx: add,
+                slot: TargetSlot::Op1,
+            },
+        );
         b.add_target(add, Target::Write(w));
         let lsid = b.alloc_lsid().unwrap();
         b.mark_store(lsid);
@@ -164,9 +201,21 @@ mod tests {
         st.lsid = Some(lsid);
         let st_i = b.add_inst(st).unwrap();
         let c2 = b.add_inst(inst_imm(TOpcode::Movi, 4096)).unwrap();
-        b.add_target(c2, Target::Inst { idx: st_i, slot: TargetSlot::Op0 });
+        b.add_target(
+            c2,
+            Target::Inst {
+                idx: st_i,
+                slot: TargetSlot::Op0,
+            },
+        );
         let c3 = b.add_inst(inst_imm(TOpcode::Movi, 9)).unwrap();
-        b.add_target(c3, Target::Inst { idx: st_i, slot: TargetSlot::Op1 });
+        b.add_target(
+            c3,
+            Target::Inst {
+                idx: st_i,
+                slot: TargetSlot::Op1,
+            },
+        );
         let mut ret = inst(TOpcode::Ret);
         ret.exit = Some(0);
         b.add_inst(ret).unwrap();
@@ -210,7 +259,8 @@ mod tests {
         for n in [1usize, 17, 64, 127] {
             let mut b = BlockBuilder::new(format!("n{n}"));
             for k in 0..n {
-                b.add_inst(inst_imm(TOpcode::Movi, (k % 100) as i32)).unwrap();
+                b.add_inst(inst_imm(TOpcode::Movi, (k % 100) as i32))
+                    .unwrap();
             }
             let mut ret = inst(TOpcode::Ret);
             ret.exit = Some(0);

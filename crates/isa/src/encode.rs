@@ -48,7 +48,10 @@ fn decode_target(v: u32) -> Option<Target> {
     }
     let v = v - 1;
     if v < 128 * 3 {
-        Some(Target::Inst { idx: (v / 3) as u8, slot: TargetSlot::from_code((v % 3) as u8).expect("slot code") })
+        Some(Target::Inst {
+            idx: (v / 3) as u8,
+            slot: TargetSlot::from_code((v % 3) as u8).expect("slot code"),
+        })
     } else {
         Some(Target::Write((v - 128 * 3) as u8))
     }
@@ -116,7 +119,8 @@ pub fn encode_inst(i: &BInst) -> u32 {
 /// # Errors
 /// Returns `Err` for an unknown opcode code.
 pub fn decode_inst(w: u32) -> Result<BInst, String> {
-    let op = TOpcode::from_code((w & 0x3f) as u8).ok_or_else(|| format!("bad opcode code {}", w & 0x3f))?;
+    let op = TOpcode::from_code((w & 0x3f) as u8)
+        .ok_or_else(|| format!("bad opcode code {}", w & 0x3f))?;
     let pred = decode_pred((w >> 6) & 0x3);
     let payload = w >> 8;
     let mut inst = BInst::new(op);
@@ -217,23 +221,32 @@ pub fn encode_block(b: &Block) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::build::{inst, inst_imm, BlockBuilder};
     use crate::block::ExitTarget;
+    use crate::build::{inst, inst_imm, BlockBuilder};
 
     #[test]
     fn inst_words_roundtrip() {
         let mut cases: Vec<BInst> = Vec::new();
         let mut add = inst(TOpcode::Add);
-        add.targets.push(Target::Inst { idx: 17, slot: TargetSlot::Op1 });
+        add.targets.push(Target::Inst {
+            idx: 17,
+            slot: TargetSlot::Op1,
+        });
         add.targets.push(Target::Write(31));
         cases.push(add);
         let mut addi = inst_imm(TOpcode::Addi, -7);
         addi.pred = Some(true);
-        addi.targets.push(Target::Inst { idx: 127, slot: TargetSlot::Pred });
+        addi.targets.push(Target::Inst {
+            idx: 127,
+            slot: TargetSlot::Pred,
+        });
         cases.push(addi);
         let mut ld = inst_imm(TOpcode::Lws, -256);
         ld.lsid = Some(13);
-        ld.targets.push(Target::Inst { idx: 0, slot: TargetSlot::Op0 });
+        ld.targets.push(Target::Inst {
+            idx: 0,
+            slot: TargetSlot::Op0,
+        });
         cases.push(ld);
         let mut st = inst_imm(TOpcode::Sd, 255);
         st.lsid = Some(31);

@@ -12,6 +12,7 @@ use crate::abi;
 use crate::block::{BInst, Block, ExitTarget, Target, TargetSlot, TripsProgram};
 use crate::opcode::TOpcode;
 use crate::stats::{CompositionKind, IsaStats};
+use serde::{Deserialize, Serialize};
 use trips_ir::interp::{InterpError, Memory};
 use trips_ir::program::Program;
 use trips_ir::types::MemWidth;
@@ -60,7 +61,9 @@ impl fmt::Display for TripsExecError {
             TripsExecError::DoubleDelivery { block, at } => {
                 write!(f, "double operand delivery in block {block} at {at}")
             }
-            TripsExecError::MultipleExits { block } => write!(f, "multiple exits fired in block {block}"),
+            TripsExecError::MultipleExits { block } => {
+                write!(f, "multiple exits fired in block {block}")
+            }
             TripsExecError::Mem(e) => write!(f, "memory fault: {e}"),
             TripsExecError::StepLimit => write!(f, "block execution budget exhausted"),
             TripsExecError::BadProgram(s) => write!(f, "malformed program: {s}"),
@@ -87,7 +90,10 @@ impl Val {
     fn v(bits: u64) -> Val {
         Val { bits, null: false }
     }
-    const NULL: Val = Val { bits: 0, null: true };
+    const NULL: Val = Val {
+        bits: 0,
+        null: true,
+    };
     fn truthy(self) -> bool {
         self.bits != 0
     }
@@ -113,7 +119,7 @@ enum Producer {
 }
 
 /// A value source, as reported in execution traces.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TraceSrc {
     /// Header read instruction index.
     Read(u8),
@@ -122,7 +128,7 @@ pub enum TraceSrc {
 }
 
 /// A memory access performed by a fired instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TraceMem {
     /// Byte address.
     pub addr: u64,
@@ -133,7 +139,7 @@ pub struct TraceMem {
 }
 
 /// One fired instruction in a block execution, in fire order.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TraceInst {
     /// Index into [`Block::insts`].
     pub idx: u8,
@@ -145,8 +151,9 @@ pub struct TraceInst {
 }
 
 /// Dynamic dataflow trace of one block execution, consumed by the
-/// cycle-level timing model (`trips-sim`).
-#[derive(Debug, Clone, Default)]
+/// cycle-level timing model (`trips-sim`) either live (execution-driven) or
+/// recorded into a [`crate::trace::TraceLog`] and replayed.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct BlockTrace {
     /// Fired instructions in fire order.
     pub fired: Vec<TraceInst>,
@@ -171,7 +178,11 @@ impl From<Producer> for TraceSrc {
 /// # Errors
 /// Any [`TripsExecError`]; notably [`TripsExecError::IncompleteBlock`] flags
 /// compiler output that violates block-atomic output requirements.
-pub fn run_program(tp: &TripsProgram, ir: &Program, mem_size: usize) -> Result<ExecOutcome, TripsExecError> {
+pub fn run_program(
+    tp: &TripsProgram,
+    ir: &Program,
+    mem_size: usize,
+) -> Result<ExecOutcome, TripsExecError> {
     run_program_with(tp, ir, mem_size, u64::MAX)
 }
 
@@ -232,7 +243,11 @@ pub fn run_program_traced(
             ExitTarget::Ret => match call_stack.pop() {
                 Some(cont) => cur = cont,
                 None => {
-                    return Ok(ExecOutcome { return_value: regs[abi::RV_REG as usize], stats, memory: mem });
+                    return Ok(ExecOutcome {
+                        return_value: regs[abi::RV_REG as usize],
+                        stats,
+                        memory: mem,
+                    });
                 }
             },
         }
@@ -370,7 +385,10 @@ fn execute_block(
                 stats.write_operands += 1;
                 let wi = *w as usize;
                 if write_vals[wi].is_some() {
-                    return Err(TripsExecError::DoubleDelivery { block: block.name.clone(), at: format!("W[{wi}]") });
+                    return Err(TripsExecError::DoubleDelivery {
+                        block: block.name.clone(),
+                        at: format!("W[{wi}]"),
+                    });
                 }
                 write_vals[wi] = Some((val, Some(from)));
                 Ok(())
@@ -383,7 +401,18 @@ fn execute_block(
     for (ri, r) in block.reads.iter().enumerate() {
         let val = Val::v(regs[r.reg as usize]);
         for t in &r.targets {
-            deliver(block, t, val, Producer::Read(ri as u8), &mut slots, &mut write_vals, stats, &fired, &mut ready, &mut dead)?;
+            deliver(
+                block,
+                t,
+                val,
+                Producer::Read(ri as u8),
+                &mut slots,
+                &mut write_vals,
+                stats,
+                &fired,
+                &mut ready,
+                &mut dead,
+            )?;
         }
     }
     // Zero-operand unpredicated instructions are ready immediately;
@@ -407,7 +436,8 @@ fn execute_block(
             // Loads must wait for all earlier-LSID stores to resolve.
             if inst.op.is_load() {
                 let lsid = inst.lsid.expect("load has lsid");
-                let blocked = (0..lsid).any(|l| ((block.store_mask >> l) & 1) == 1 && !lsid_done[l as usize]);
+                let blocked =
+                    (0..lsid).any(|l| ((block.store_mask >> l) & 1) == 1 && !lsid_done[l as usize]);
                 if blocked {
                     waiting_mem.push(i as u8);
                     continue;
@@ -438,18 +468,47 @@ fn execute_block(
                             TOpcode::Lw | TOpcode::Lws | TOpcode::Sw => 4,
                             _ => 8,
                         };
-                        Some(TraceMem { addr, bytes, is_store: inst.op.is_store() })
+                        Some(TraceMem {
+                            addr,
+                            bytes,
+                            is_store: inst.op.is_store(),
+                        })
                     }
                 } else {
                     None
                 };
-                trace.fired.push(TraceInst { idx: i as u8, srcs, mem: mem_acc });
+                trace.fired.push(TraceInst {
+                    idx: i as u8,
+                    srcs,
+                    mem: mem_acc,
+                });
             }
-            let val = fire_inst(block, i, inst, &slots, mem, &mut lsid_done, &mut speculative_store_buffer, &mut exit_taken, stats)?;
+            let val = fire_inst(
+                block,
+                i,
+                inst,
+                &slots,
+                mem,
+                &mut lsid_done,
+                &mut speculative_store_buffer,
+                &mut exit_taken,
+                stats,
+            )?;
             produced[i] = val;
             if let Some(v) = val {
                 for t in &inst.targets {
-                    deliver(block, t, v, Producer::Inst(i as u8), &mut slots, &mut write_vals, stats, &fired, &mut ready, &mut dead)?;
+                    deliver(
+                        block,
+                        t,
+                        v,
+                        Producer::Inst(i as u8),
+                        &mut slots,
+                        &mut write_vals,
+                        stats,
+                        &fired,
+                        &mut ready,
+                        &mut dead,
+                    )?;
                 }
             }
             // A completed store may unblock waiting loads.
@@ -482,7 +541,10 @@ fn execute_block(
                         let ps = &producers[i][s];
                         if ps.iter().all(|p| match p {
                             Producer::Read(_) => false, // reads always fire
-                            Producer::Inst(j) => dead[*j as usize] || (fired[*j as usize] && produced[*j as usize].is_none()),
+                            Producer::Inst(j) => {
+                                dead[*j as usize]
+                                    || (fired[*j as usize] && produced[*j as usize].is_none())
+                            }
                         }) {
                             doomed = true;
                         }
@@ -492,7 +554,10 @@ fn execute_block(
                     let ps = &producers[i][TargetSlot::Pred.code() as usize];
                     if ps.iter().all(|p| match p {
                         Producer::Read(_) => false,
-                        Producer::Inst(j) => dead[*j as usize] || (fired[*j as usize] && produced[*j as usize].is_none()),
+                        Producer::Inst(j) => {
+                            dead[*j as usize]
+                                || (fired[*j as usize] && produced[*j as usize].is_none())
+                        }
                     }) {
                         doomed = true;
                     }
@@ -519,7 +584,8 @@ fn execute_block(
         let mut still = Vec::new();
         for &w in &waiting_mem {
             let lsid = block.insts[w as usize].lsid.expect("load has lsid");
-            let blocked = (0..lsid).any(|l| ((block.store_mask >> l) & 1) == 1 && !lsid_done[l as usize]);
+            let blocked =
+                (0..lsid).any(|l| ((block.store_mask >> l) & 1) == 1 && !lsid_done[l as usize]);
             if blocked {
                 still.push(w);
             } else {
@@ -538,7 +604,10 @@ fn execute_block(
         if wv.is_none() {
             return Err(TripsExecError::IncompleteBlock {
                 block: block.name.clone(),
-                missing: format!("write W[{wi}] (reg {}) never received a value", block.writes[wi].reg),
+                missing: format!(
+                    "write W[{wi}] (reg {}) never received a value",
+                    block.writes[wi].reg
+                ),
             });
         }
     }
@@ -634,7 +703,10 @@ fn execute_block(
     }
 
     // ---- commit -----------------------------------------------------------------
-    for (addr, w, bits) in speculative_store_buffer.iter().map(|&(_, a, w, b)| (a, w, b)) {
+    for (addr, w, bits) in speculative_store_buffer
+        .iter()
+        .map(|&(_, a, w, b)| (a, w, b))
+    {
         mem.store(addr, w, bits)?;
         stats.stores_committed += 1;
     }
@@ -655,11 +727,9 @@ fn execute_block(
         })
         .collect();
 
-    block
-        .exits
-        .get(exit as usize)
-        .copied()
-        .ok_or_else(|| TripsExecError::BadProgram(format!("block {} exit {exit} out of range", block.name)))
+    block.exits.get(exit as usize).copied().ok_or_else(|| {
+        TripsExecError::BadProgram(format!("block {} exit {exit} out of range", block.name))
+    })
 }
 
 fn mark_sources(i: usize, slots: &[Slots], work: &mut Vec<Producer>) {
@@ -699,7 +769,9 @@ fn fire_inst(
     }
     let imm = inst.imm as i64;
     let ib = |op: IrOp, x: Val, y: Val| -> Result<Val, TripsExecError> {
-        Ok(Val::v(trips_ir::interp::eval_ibin(op, x.bits, y.bits).map_err(TripsExecError::Mem)?))
+        Ok(Val::v(
+            trips_ir::interp::eval_ibin(op, x.bits, y.bits).map_err(TripsExecError::Mem)?,
+        ))
     };
     let fa = f64::from_bits(a.bits);
     let fb = f64::from_bits(b.bits);
@@ -735,7 +807,9 @@ fn fire_inst(
         Xori => Some(Val::v(a.bits ^ imm as u64)),
         Shli => Some(Val::v(a.bits.wrapping_shl(imm as u32 & 63))),
         Shri => Some(Val::v(a.bits.wrapping_shr(imm as u32 & 63))),
-        Srai => Some(Val::v(((a.bits as i64).wrapping_shr(imm as u32 & 63)) as u64)),
+        Srai => Some(Val::v(
+            ((a.bits as i64).wrapping_shr(imm as u32 & 63)) as u64,
+        )),
         Not => Some(Val::v(!a.bits)),
         Neg => Some(Val::v((a.bits as i64).wrapping_neg() as u64)),
         Sextb => Some(Val::v(a.bits as u8 as i8 as i64 as u64)),
@@ -823,7 +897,9 @@ fn fire_inst(
         }
         Bro | Callo | Ret => {
             if exit_taken.is_some() {
-                return Err(TripsExecError::MultipleExits { block: block.name.clone() });
+                return Err(TripsExecError::MultipleExits {
+                    block: block.name.clone(),
+                });
             }
             *exit_taken = Some(inst.exit.expect("branch has exit"));
             None
@@ -872,13 +948,22 @@ mod tests {
         let c40 = b.add_inst(inst_imm(TOpcode::Movi, 40)).unwrap();
         let add = b.add_inst(inst_imm(TOpcode::Addi, 2)).unwrap();
         let w = b.add_write(crate::abi::RV_REG).unwrap();
-        b.add_target(c40, Target::Inst { idx: add, slot: TargetSlot::Op0 });
+        b.add_target(
+            c40,
+            Target::Inst {
+                idx: add,
+                slot: TargetSlot::Op0,
+            },
+        );
         b.add_target(add, Target::Write(w));
         let mut ret = inst(TOpcode::Ret);
         ret.exit = Some(0);
         b.add_inst(ret).unwrap();
         b.add_exit(ExitTarget::Ret).unwrap();
-        let tp = TripsProgram { blocks: vec![b.finish()], entry: 0 };
+        let tp = TripsProgram {
+            blocks: vec![b.finish()],
+            entry: 0,
+        };
         let ir = empty_ir();
         let out = run_program(&tp, &ir, 1 << 20).unwrap();
         assert_eq!(out.return_value, 42);
@@ -903,18 +988,51 @@ mod tests {
         mf.pred = Some(false);
         let mov_f = b.add_inst(mf).unwrap();
         let w = b.add_write(crate::abi::RV_REG).unwrap();
-        b.add_target(c1, Target::Inst { idx: fan, slot: TargetSlot::Op0 });
-        b.add_target(fan, Target::Inst { idx: mov_t, slot: TargetSlot::Pred });
-        b.add_target(fan, Target::Inst { idx: mov_f, slot: TargetSlot::Pred });
-        b.add_target(t_arm, Target::Inst { idx: mov_t, slot: TargetSlot::Op0 });
-        b.add_target(f_arm, Target::Inst { idx: mov_f, slot: TargetSlot::Op0 });
+        b.add_target(
+            c1,
+            Target::Inst {
+                idx: fan,
+                slot: TargetSlot::Op0,
+            },
+        );
+        b.add_target(
+            fan,
+            Target::Inst {
+                idx: mov_t,
+                slot: TargetSlot::Pred,
+            },
+        );
+        b.add_target(
+            fan,
+            Target::Inst {
+                idx: mov_f,
+                slot: TargetSlot::Pred,
+            },
+        );
+        b.add_target(
+            t_arm,
+            Target::Inst {
+                idx: mov_t,
+                slot: TargetSlot::Op0,
+            },
+        );
+        b.add_target(
+            f_arm,
+            Target::Inst {
+                idx: mov_f,
+                slot: TargetSlot::Op0,
+            },
+        );
         b.add_target(mov_t, Target::Write(w));
         b.add_target(mov_f, Target::Write(w));
         let mut ret = inst(TOpcode::Ret);
         ret.exit = Some(0);
         b.add_inst(ret).unwrap();
         b.add_exit(ExitTarget::Ret).unwrap();
-        let tp = TripsProgram { blocks: vec![b.finish()], entry: 0 };
+        let tp = TripsProgram {
+            blocks: vec![b.finish()],
+            entry: 0,
+        };
         let out = run_program(&tp, &empty_ir(), 1 << 20).unwrap();
         assert_eq!(out.return_value, 111);
         // mov_f was fetched but not executed (pred mismatch).
@@ -950,11 +1068,41 @@ mod tests {
         let mut nl = inst(TOpcode::Null);
         nl.pred = Some(false);
         let null_i = b.add_inst(nl).unwrap();
-        b.add_target(c0, Target::Inst { idx: fan, slot: TargetSlot::Op0 });
-        b.add_target(fan, Target::Inst { idx: st_i, slot: TargetSlot::Pred });
-        b.add_target(fan, Target::Inst { idx: null_i, slot: TargetSlot::Pred });
-        b.add_target(addr_c, Target::Inst { idx: st_i, slot: TargetSlot::Op0 });
-        b.add_target(val_c, Target::Inst { idx: st_i, slot: TargetSlot::Op1 });
+        b.add_target(
+            c0,
+            Target::Inst {
+                idx: fan,
+                slot: TargetSlot::Op0,
+            },
+        );
+        b.add_target(
+            fan,
+            Target::Inst {
+                idx: st_i,
+                slot: TargetSlot::Pred,
+            },
+        );
+        b.add_target(
+            fan,
+            Target::Inst {
+                idx: null_i,
+                slot: TargetSlot::Pred,
+            },
+        );
+        b.add_target(
+            addr_c,
+            Target::Inst {
+                idx: st_i,
+                slot: TargetSlot::Op0,
+            },
+        );
+        b.add_target(
+            val_c,
+            Target::Inst {
+                idx: st_i,
+                slot: TargetSlot::Op1,
+            },
+        );
         // Null token routed to the store's operand would conflict; instead
         // nulled stores are modelled by the null firing with the same LSID.
         let mut ret = inst(TOpcode::Ret);
@@ -965,7 +1113,10 @@ mod tests {
         let mut blk = b.finish();
         blk.insts[null_i as usize].lsid = Some(lsid);
         // Route the null to nothing; it satisfies LSID by firing.
-        let tp = TripsProgram { blocks: vec![blk], entry: 0 };
+        let tp = TripsProgram {
+            blocks: vec![blk],
+            entry: 0,
+        };
         let out = run_program(&tp, &ir, 1 << 20);
         // The store is predicated-off; the null must mark the LSID done.
         // (The interpreter treats a fired Null with an LSID as a null store.)
@@ -1005,17 +1156,44 @@ mod tests {
         ld.lsid = Some(l1);
         let ld_i = b.add_inst(ld).unwrap();
         let w = b.add_write(crate::abi::RV_REG).unwrap();
-        b.add_target(a_c, Target::Inst { idx: a_fan, slot: TargetSlot::Op0 });
-        b.add_target(a_fan, Target::Inst { idx: st_i, slot: TargetSlot::Op0 });
-        b.add_target(v_c, Target::Inst { idx: st_i, slot: TargetSlot::Op1 });
+        b.add_target(
+            a_c,
+            Target::Inst {
+                idx: a_fan,
+                slot: TargetSlot::Op0,
+            },
+        );
+        b.add_target(
+            a_fan,
+            Target::Inst {
+                idx: st_i,
+                slot: TargetSlot::Op0,
+            },
+        );
+        b.add_target(
+            v_c,
+            Target::Inst {
+                idx: st_i,
+                slot: TargetSlot::Op1,
+            },
+        );
         // need addr for the load too: second target via the fanout mov
-        b.add_target(a_fan, Target::Inst { idx: ld_i, slot: TargetSlot::Op0 });
+        b.add_target(
+            a_fan,
+            Target::Inst {
+                idx: ld_i,
+                slot: TargetSlot::Op0,
+            },
+        );
         b.add_target(ld_i, Target::Write(w));
         let mut ret = inst(TOpcode::Ret);
         ret.exit = Some(0);
         b.add_inst(ret).unwrap();
         b.add_exit(ExitTarget::Ret).unwrap();
-        let tp = TripsProgram { blocks: vec![b.finish()], entry: 0 };
+        let tp = TripsProgram {
+            blocks: vec![b.finish()],
+            entry: 0,
+        };
         let out = run_program(&tp, &ir, 1 << 20).unwrap();
         assert_eq!(out.return_value, 55);
         // Committed store visible in memory afterwards.
@@ -1031,9 +1209,15 @@ mod tests {
         ret.exit = Some(0);
         b.add_inst(ret).unwrap();
         b.add_exit(ExitTarget::Ret).unwrap();
-        let tp = TripsProgram { blocks: vec![b.finish()], entry: 0 };
+        let tp = TripsProgram {
+            blocks: vec![b.finish()],
+            entry: 0,
+        };
         let err = run_program(&tp, &empty_ir(), 1 << 20).unwrap_err();
-        assert!(matches!(err, TripsExecError::IncompleteBlock { .. }), "{err}");
+        assert!(
+            matches!(err, TripsExecError::IncompleteBlock { .. }),
+            "{err}"
+        );
     }
 
     /// Calls push continuations; rets pop them.
@@ -1044,7 +1228,8 @@ mod tests {
         let mut call = inst(TOpcode::Callo);
         call.exit = Some(0);
         b0.add_inst(call).unwrap();
-        b0.add_exit(ExitTarget::Call { callee: 1, cont: 2 }).unwrap();
+        b0.add_exit(ExitTarget::Call { callee: 1, cont: 2 })
+            .unwrap();
 
         let mut b1 = BlockBuilder::new("b1");
         let c = b1.add_inst(inst_imm(TOpcode::Movi, 5)).unwrap();
@@ -1061,7 +1246,10 @@ mod tests {
         b2.add_inst(ret2).unwrap();
         b2.add_exit(ExitTarget::Ret).unwrap();
 
-        let tp = TripsProgram { blocks: vec![b0.finish(), b1.finish(), b2.finish()], entry: 0 };
+        let tp = TripsProgram {
+            blocks: vec![b0.finish(), b1.finish(), b2.finish()],
+            entry: 0,
+        };
         let out = run_program(&tp, &empty_ir(), 1 << 20).unwrap();
         assert_eq!(out.return_value, 5);
         assert_eq!(out.stats.blocks_executed, 3);

@@ -36,6 +36,7 @@ pub mod encode;
 pub mod interp;
 pub mod opcode;
 pub mod stats;
+pub mod trace;
 pub mod verify;
 
 pub use block::{BInst, Block, ExitTarget, ReadInst, Target, TargetSlot, TripsProgram, WriteInst};
@@ -43,6 +44,7 @@ pub use build::{BlockBuilder, BuildError};
 pub use interp::{run_program, ExecOutcome, TripsExecError};
 pub use opcode::{OpCategory, TOpcode};
 pub use stats::{CompositionKind, IsaStats};
+pub use trace::{TraceHeader, TraceLog, TraceMeta};
 
 /// Architectural limits of the TRIPS prototype block format.
 pub mod limits {

@@ -29,18 +29,56 @@ pub enum TOpcode {
     /// performing it).
     Null,
     // Integer arithmetic, G format (two register operands).
-    Add, Sub, Mul, Div, Udiv, And, Or, Xor, Shl, Shr, Sra,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Udiv,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Sra,
     // Integer arithmetic, I format (one register operand + imm14).
-    Addi, Muli, Andi, Ori, Xori, Shli, Shri, Srai,
+    Addi,
+    Muli,
+    Andi,
+    Ori,
+    Xori,
+    Shli,
+    Shri,
+    Srai,
     // Unary.
-    Not, Neg, Sextb, Sexth, Sextw, Zextw,
+    Not,
+    Neg,
+    Sextb,
+    Sexth,
+    Sextw,
+    Zextw,
     // Tests (produce 0/1 predicates), G format.
-    Teq, Tne, Tlt, Tle, Tult, Tule,
+    Teq,
+    Tne,
+    Tlt,
+    Tle,
+    Tult,
+    Tule,
     // Tests, I format.
-    Teqi, Tlti,
+    Teqi,
+    Tlti,
     // Floating point (operands are f64 bit patterns).
-    Fadd, Fsub, Fmul, Fdiv, Fneg, Fabs, Fsqrt, Fi2d, Fd2i,
-    Feq, Flt, Fle,
+    Fadd,
+    Fsub,
+    Fmul,
+    Fdiv,
+    Fneg,
+    Fabs,
+    Fsqrt,
+    Fi2d,
+    Fd2i,
+    Feq,
+    Flt,
+    Fle,
     // Memory (L/S formats carry an LSID and a 9-bit offset).
     /// Load byte, zero-extend.
     Lb,
@@ -97,11 +135,12 @@ impl TOpcode {
         use TOpcode::*;
         match self {
             Movi | Null => 0,
-            App | Mov | Addi | Muli | Andi | Ori | Xori | Shli | Shri | Srai | Not | Neg | Sextb | Sexth
-            | Sextw | Zextw | Teqi | Tlti | Fneg | Fabs | Fsqrt | Fi2d | Fd2i | Lb | Lbs | Lh | Lhs | Lw
-            | Lws | Ld => 1,
-            Add | Sub | Mul | Div | Udiv | And | Or | Xor | Shl | Shr | Sra | Teq | Tne | Tlt | Tle | Tult
-            | Tule | Fadd | Fsub | Fmul | Fdiv | Feq | Flt | Fle | Sb | Sh | Sw | Sd => 2,
+            App | Mov | Addi | Muli | Andi | Ori | Xori | Shli | Shri | Srai | Not | Neg
+            | Sextb | Sexth | Sextw | Zextw | Teqi | Tlti | Fneg | Fabs | Fsqrt | Fi2d | Fd2i
+            | Lb | Lbs | Lh | Lhs | Lw | Lws | Ld => 1,
+            Add | Sub | Mul | Div | Udiv | And | Or | Xor | Shl | Shr | Sra | Teq | Tne | Tlt
+            | Tle | Tult | Tule | Fadd | Fsub | Fmul | Fdiv | Feq | Flt | Fle | Sb | Sh | Sw
+            | Sd => 2,
             Bro | Ret => 0,
             Callo => 0,
         }
@@ -128,13 +167,19 @@ impl TOpcode {
     /// True for test (predicate/branch-condition producing) opcodes.
     pub fn is_test(self) -> bool {
         use TOpcode::*;
-        matches!(self, Teq | Tne | Tlt | Tle | Tult | Tule | Teqi | Tlti | Feq | Flt | Fle)
+        matches!(
+            self,
+            Teq | Tne | Tlt | Tle | Tult | Tule | Teqi | Tlti | Feq | Flt | Fle
+        )
     }
 
     /// True for floating-point opcodes (for FU latency modelling).
     pub fn is_fp(self) -> bool {
         use TOpcode::*;
-        matches!(self, Fadd | Fsub | Fmul | Fdiv | Fneg | Fabs | Fsqrt | Fi2d | Fd2i | Feq | Flt | Fle)
+        matches!(
+            self,
+            Fadd | Fsub | Fmul | Fdiv | Fneg | Fabs | Fsqrt | Fi2d | Fd2i | Feq | Flt | Fle
+        )
     }
 
     /// Maximum encodable targets: G-format instructions carry two 10-bit
@@ -157,9 +202,27 @@ impl TOpcode {
         matches!(
             self,
             Movi | App
-                | Addi | Muli | Andi | Ori | Xori | Shli | Shri | Srai
-                | Teqi | Tlti
-                | Lb | Lbs | Lh | Lhs | Lw | Lws | Ld | Sb | Sh | Sw | Sd
+                | Addi
+                | Muli
+                | Andi
+                | Ori
+                | Xori
+                | Shli
+                | Shri
+                | Srai
+                | Teqi
+                | Tlti
+                | Lb
+                | Lbs
+                | Lh
+                | Lhs
+                | Lw
+                | Lws
+                | Ld
+                | Sb
+                | Sh
+                | Sw
+                | Sd
         )
     }
 
@@ -198,16 +261,19 @@ impl TOpcode {
     pub fn all() -> &'static [TOpcode] {
         use TOpcode::*;
         &[
-            Movi, App, Mov, Null, Add, Sub, Mul, Div, Udiv, And, Or, Xor, Shl, Shr, Sra, Addi, Muli, Andi,
-            Ori, Xori, Shli, Shri, Srai, Not, Neg, Sextb, Sexth, Sextw, Zextw, Teq, Tne, Tlt, Tle, Tult,
-            Tule, Teqi, Tlti, Fadd, Fsub, Fmul, Fdiv, Fneg, Fabs, Fsqrt, Fi2d, Fd2i, Feq, Flt, Fle, Lb,
-            Lbs, Lh, Lhs, Lw, Lws, Ld, Sb, Sh, Sw, Sd, Bro, Callo, Ret,
+            Movi, App, Mov, Null, Add, Sub, Mul, Div, Udiv, And, Or, Xor, Shl, Shr, Sra, Addi,
+            Muli, Andi, Ori, Xori, Shli, Shri, Srai, Not, Neg, Sextb, Sexth, Sextw, Zextw, Teq,
+            Tne, Tlt, Tle, Tult, Tule, Teqi, Tlti, Fadd, Fsub, Fmul, Fdiv, Fneg, Fabs, Fsqrt, Fi2d,
+            Fd2i, Feq, Flt, Fle, Lb, Lbs, Lh, Lhs, Lw, Lws, Ld, Sb, Sh, Sw, Sd, Bro, Callo, Ret,
         ]
     }
 
     /// Stable numeric code (6 bits) for binary encoding.
     pub fn code(self) -> u8 {
-        TOpcode::all().iter().position(|&o| o == self).expect("opcode in table") as u8
+        TOpcode::all()
+            .iter()
+            .position(|&o| o == self)
+            .expect("opcode in table") as u8
     }
 
     /// Inverse of [`TOpcode::code`].

@@ -31,7 +31,7 @@ pub enum CompositionKind {
 }
 
 /// Aggregate ISA statistics for one program run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IsaStats {
     /// Dynamic block executions.
     pub blocks_executed: u64,

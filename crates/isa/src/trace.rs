@@ -1,0 +1,358 @@
+//! Recorded execution traces: capture a program's per-block dataflow trace
+//! stream once, replay it many times.
+//!
+//! The cycle-level simulator (`trips-sim`) is trace-driven: the functional
+//! interpreter executes each block and hands the timing model a
+//! [`BlockTrace`]. Re-running the interpreter for every timing configuration
+//! wastes most of a sweep's cycles on redundant functional execution, so a
+//! [`TraceLog`] records the stream once and replays it into N timing models.
+//!
+//! Two properties keep logs compact:
+//!
+//! * **Shape interning** — loop-dominated programs execute the same block
+//!   with the same dataflow shape over and over. Each distinct
+//!   [`BlockTrace`] value is stored once in [`TraceLog::shapes`]; the
+//!   dynamic stream is a sequence of `(block, shape)` index pairs.
+//! * **A versioned header** — [`TraceHeader`] carries a magic number,
+//!   format version, provenance (workload/scale/options signature) and the
+//!   capture budget, so a stored log is never replayed against the wrong
+//!   binary or a future incompatible format.
+
+use crate::interp::{run_program_traced, BlockTrace, TripsExecError};
+use crate::stats::IsaStats;
+use crate::TripsProgram;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use trips_ir::Program;
+
+/// `b"TRLG"` — identifies a serialized trace log.
+pub const TRACE_MAGIC: u32 = 0x5452_4C47;
+
+/// Current trace-log format version. Bump on any incompatible change to
+/// [`TraceLog`], [`BlockTrace`] or their encodings.
+pub const TRACE_VERSION: u32 = 1;
+
+/// Provenance and format metadata stored ahead of the trace body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceHeader {
+    /// Always [`TRACE_MAGIC`].
+    pub magic: u32,
+    /// Always [`TRACE_VERSION`] for logs this build writes.
+    pub version: u32,
+    /// Workload name the trace was captured from (informational).
+    pub workload: String,
+    /// Scale label (informational).
+    pub scale: String,
+    /// Signature of the compile options the program was built with; replays
+    /// against a program compiled differently are rejected by the engine.
+    pub opts_sig: u64,
+    /// Memory size the functional run used.
+    pub mem_size: u64,
+    /// Dynamic block budget the capture ran under.
+    pub max_blocks: u64,
+    /// Dynamic blocks recorded.
+    pub dynamic_blocks: u64,
+    /// Distinct trace shapes after interning.
+    pub unique_shapes: u64,
+}
+
+/// A captured functional execution: every dynamic block's dataflow trace,
+/// shape-interned, plus the run's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceLog {
+    /// Format and provenance metadata.
+    pub header: TraceHeader,
+    /// Distinct block-trace shapes, indexed by [`TraceLog::seq`].
+    pub shapes: Vec<BlockTrace>,
+    /// The dynamic stream: `(block index, shape index)` per block execution.
+    pub seq: Vec<(u32, u32)>,
+    /// The program's return value.
+    pub return_value: u64,
+    /// ISA-level statistics of the functional run.
+    pub stats: IsaStats,
+}
+
+/// Capture provenance supplied by the caller (free-form; the engine uses it
+/// to key caches and reject mismatched replays).
+#[derive(Debug, Clone, Default)]
+pub struct TraceMeta {
+    /// Workload name.
+    pub workload: String,
+    /// Scale label.
+    pub scale: String,
+    /// Compile-options signature.
+    pub opts_sig: u64,
+}
+
+impl TraceLog {
+    /// Runs `tp` to completion, recording every dynamic block trace.
+    ///
+    /// # Errors
+    /// Any [`TripsExecError`] of the underlying functional run, including
+    /// [`TripsExecError::StepLimit`] when `max_blocks` is exhausted.
+    pub fn capture(
+        tp: &TripsProgram,
+        ir: &Program,
+        mem_size: usize,
+        max_blocks: u64,
+        meta: TraceMeta,
+    ) -> Result<TraceLog, TripsExecError> {
+        let mut shapes: Vec<BlockTrace> = Vec::new();
+        let mut intern: HashMap<BlockTrace, u32> = HashMap::new();
+        let mut seq: Vec<(u32, u32)> = Vec::new();
+        let outcome = run_program_traced(tp, ir, mem_size, max_blocks, |bidx, trace| {
+            let shape = match intern.get(trace) {
+                Some(&id) => id,
+                None => {
+                    let id = u32::try_from(shapes.len()).expect("fewer than 2^32 shapes");
+                    intern.insert(trace.clone(), id);
+                    shapes.push(trace.clone());
+                    id
+                }
+            };
+            seq.push((bidx, shape));
+        })?;
+        Ok(TraceLog {
+            header: TraceHeader {
+                magic: TRACE_MAGIC,
+                version: TRACE_VERSION,
+                workload: meta.workload,
+                scale: meta.scale,
+                opts_sig: meta.opts_sig,
+                mem_size: mem_size as u64,
+                max_blocks,
+                dynamic_blocks: seq.len() as u64,
+                unique_shapes: shapes.len() as u64,
+            },
+            shapes,
+            seq,
+            return_value: outcome.return_value,
+            stats: outcome.stats,
+        })
+    }
+
+    /// Checks the header and internal consistency against the program the
+    /// log will be replayed on: magic/version, counts, and — for every
+    /// distinct `(block, shape)` pairing — that the shape's instruction,
+    /// read, write and exit indices all exist in that block. A log captured
+    /// from a different binary cannot drive the timing model out of bounds.
+    ///
+    /// # Errors
+    /// A description of the first mismatch.
+    pub fn validate(&self, tp: &TripsProgram) -> Result<(), String> {
+        let num_blocks = tp.blocks.len();
+        let h = &self.header;
+        if h.magic != TRACE_MAGIC {
+            return Err(format!(
+                "bad trace magic {:#x} (expected {TRACE_MAGIC:#x})",
+                h.magic
+            ));
+        }
+        if h.version != TRACE_VERSION {
+            return Err(format!(
+                "trace version {} unsupported (expected {TRACE_VERSION})",
+                h.version
+            ));
+        }
+        if h.dynamic_blocks != self.seq.len() as u64 {
+            return Err(format!(
+                "header says {} blocks, body has {}",
+                h.dynamic_blocks,
+                self.seq.len()
+            ));
+        }
+        if h.unique_shapes != self.shapes.len() as u64 {
+            return Err(format!(
+                "header says {} shapes, body has {}",
+                h.unique_shapes,
+                self.shapes.len()
+            ));
+        }
+        let mut seen: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+        for &(bidx, shape) in &self.seq {
+            if bidx as usize >= num_blocks {
+                return Err(format!(
+                    "trace references block {bidx}, program has {num_blocks}"
+                ));
+            }
+            if shape as usize >= self.shapes.len() {
+                return Err(format!(
+                    "trace references shape {shape}, log has {}",
+                    self.shapes.len()
+                ));
+            }
+            if !seen.insert((bidx, shape)) {
+                continue;
+            }
+            Self::validate_shape(&self.shapes[shape as usize], &tp.blocks[bidx as usize])
+                .map_err(|e| format!("shape {shape} does not fit block {bidx}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Structural fit of one trace shape against one block.
+    fn validate_shape(shape: &BlockTrace, block: &crate::Block) -> Result<(), String> {
+        let ninsts = block.insts.len();
+        let src_ok = |src: &crate::interp::TraceSrc| match *src {
+            crate::interp::TraceSrc::Read(r) => (r as usize) < block.reads.len(),
+            crate::interp::TraceSrc::Inst(p) => (p as usize) < ninsts,
+        };
+        for ti in &shape.fired {
+            if ti.idx as usize >= ninsts {
+                return Err(format!("fired instruction {} of {ninsts}", ti.idx));
+            }
+            if let Some(bad) = ti.srcs.iter().find(|s| !src_ok(s)) {
+                return Err(format!("operand source {bad:?} out of range"));
+            }
+        }
+        if shape.write_srcs.len() != block.writes.len() {
+            return Err(format!(
+                "{} write sources for {} writes",
+                shape.write_srcs.len(),
+                block.writes.len()
+            ));
+        }
+        if let Some(bad) = shape.write_srcs.iter().flatten().find(|s| !src_ok(s)) {
+            return Err(format!("write source {bad:?} out of range"));
+        }
+        if shape.exit as usize >= block.exits.len() {
+            return Err(format!("exit {} of {}", shape.exit, block.exits.len()));
+        }
+        Ok(())
+    }
+
+    /// Replays the recorded stream into `on_block`, exactly as the live
+    /// interpreter would have called it.
+    pub fn replay(&self, mut on_block: impl FnMut(u32, &BlockTrace)) {
+        for &(bidx, shape) in &self.seq {
+            on_block(bidx, &self.shapes[shape as usize]);
+        }
+    }
+
+    /// Interning effectiveness: dynamic blocks per stored shape (≥ 1).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.shapes.is_empty() {
+            return 1.0;
+        }
+        self.seq.len() as f64 / self.shapes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{inst, inst_imm, BlockBuilder};
+    use crate::{ExitTarget, TOpcode, Target, TargetSlot};
+    use trips_ir::ProgramBuilder;
+
+    fn empty_ir() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let e = f.entry();
+        f.switch_to(e);
+        f.ret(None);
+        f.finish();
+        pb.finish("main").unwrap()
+    }
+
+    /// Two blocks: b0 jumps to b1 a few times via a register counter is more
+    /// than this needs — a single constant block suffices to check capture
+    /// plumbing end to end.
+    fn tiny_program() -> TripsProgram {
+        let mut b = BlockBuilder::new("b0");
+        let c = b.add_inst(inst_imm(TOpcode::Movi, 40)).unwrap();
+        let add = b.add_inst(inst_imm(TOpcode::Addi, 2)).unwrap();
+        let w = b.add_write(crate::abi::RV_REG).unwrap();
+        b.add_target(
+            c,
+            Target::Inst {
+                idx: add,
+                slot: TargetSlot::Op0,
+            },
+        );
+        b.add_target(add, Target::Write(w));
+        let mut ret = inst(TOpcode::Ret);
+        ret.exit = Some(0);
+        b.add_inst(ret).unwrap();
+        b.add_exit(ExitTarget::Ret).unwrap();
+        TripsProgram {
+            blocks: vec![b.finish()],
+            entry: 0,
+        }
+    }
+
+    #[test]
+    fn capture_matches_direct_execution() {
+        let tp = tiny_program();
+        let ir = empty_ir();
+        let log = TraceLog::capture(&tp, &ir, 1 << 20, u64::MAX, TraceMeta::default()).unwrap();
+        assert_eq!(log.return_value, 42);
+        assert_eq!(log.seq.len(), 1);
+        assert_eq!(log.shapes.len(), 1);
+        assert_eq!(log.header.dynamic_blocks, 1);
+        log.validate(&tp).unwrap();
+
+        // Replay delivers the identical trace stream.
+        let mut replayed = Vec::new();
+        log.replay(|b, t| replayed.push((b, t.clone())));
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].0, 0);
+        assert_eq!(replayed[0].1.exit, 0);
+    }
+
+    #[test]
+    fn validate_rejects_corruption() {
+        let tp = tiny_program();
+        let log =
+            TraceLog::capture(&tp, &empty_ir(), 1 << 20, u64::MAX, TraceMeta::default()).unwrap();
+
+        let mut bad = log.clone();
+        bad.header.magic = 0xdead;
+        assert!(bad.validate(&tp).is_err());
+
+        let mut bad = log.clone();
+        bad.header.version = TRACE_VERSION + 1;
+        assert!(bad.validate(&tp).is_err());
+
+        let mut bad = log.clone();
+        bad.seq.push((99, 0));
+        assert!(bad.validate(&tp).is_err());
+
+        // Out-of-range shape index.
+        let mut bad = log;
+        bad.seq[0].1 = 7;
+        assert!(bad.validate(&tp).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip_binary_and_json() {
+        let tp = tiny_program();
+        let log = TraceLog::capture(
+            &tp,
+            &empty_ir(),
+            1 << 20,
+            u64::MAX,
+            TraceMeta {
+                workload: "tiny".into(),
+                scale: "test".into(),
+                opts_sig: 0xabcd,
+            },
+        )
+        .unwrap();
+
+        let bytes = serde::bin::to_bytes(&log);
+        let back: TraceLog = serde::bin::from_bytes(&bytes).unwrap();
+        assert_eq!(back, log);
+
+        let text = serde::json::to_string(&log);
+        let back: TraceLog = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn budget_exhaustion_propagates() {
+        let tp = tiny_program();
+        let err = TraceLog::capture(&tp, &empty_ir(), 1 << 20, 0, TraceMeta::default());
+        assert!(matches!(err, Err(TripsExecError::StepLimit)));
+    }
+}

@@ -16,7 +16,12 @@ use crate::opcode::TOpcode;
 /// Returns a description of the first structural violation found.
 pub fn verify_block(b: &Block) -> Result<(), String> {
     if b.insts.len() > limits::MAX_INSTS {
-        return Err(format!("{}: {} instructions exceed the {}-instruction limit", b.name, b.insts.len(), limits::MAX_INSTS));
+        return Err(format!(
+            "{}: {} instructions exceed the {}-instruction limit",
+            b.name,
+            b.insts.len(),
+            limits::MAX_INSTS
+        ));
     }
     if b.reads.len() > limits::MAX_READS {
         return Err(format!("{}: too many reads", b.name));
@@ -36,24 +41,39 @@ pub fn verify_block(b: &Block) -> Result<(), String> {
     let mut has_producer = vec![[false; 3]; n];
     let mut check_target = |t: &Target, who: &str| -> Result<(), String> {
         if !target_in_range(*t) {
-            return Err(format!("{}: {who}: target {t} out of encodable range", b.name));
+            return Err(format!(
+                "{}: {who}: target {t} out of encodable range",
+                b.name
+            ));
         }
         match t {
             Target::Inst { idx, slot } => {
                 let i = *idx as usize;
                 if i >= n {
-                    return Err(format!("{}: {who}: target {t} beyond {} instructions", b.name, n));
+                    return Err(format!(
+                        "{}: {who}: target {t} beyond {} instructions",
+                        b.name, n
+                    ));
                 }
                 let inst = &b.insts[i];
                 match slot {
                     TargetSlot::Op0 if inst.op.num_operands() < 1 => {
-                        return Err(format!("{}: {who}: {t} targets operand of 0-operand {}", b.name, inst.op));
+                        return Err(format!(
+                            "{}: {who}: {t} targets operand of 0-operand {}",
+                            b.name, inst.op
+                        ));
                     }
                     TargetSlot::Op1 if inst.op.num_operands() < 2 => {
-                        return Err(format!("{}: {who}: {t} targets second operand of {}", b.name, inst.op));
+                        return Err(format!(
+                            "{}: {who}: {t} targets second operand of {}",
+                            b.name, inst.op
+                        ));
                     }
                     TargetSlot::Pred if inst.pred.is_none() => {
-                        return Err(format!("{}: {who}: {t} targets predicate of unpredicated {}", b.name, inst.op));
+                        return Err(format!(
+                            "{}: {who}: {t} targets predicate of unpredicated {}",
+                            b.name, inst.op
+                        ));
                     }
                     _ => {}
                 }
@@ -61,7 +81,11 @@ pub fn verify_block(b: &Block) -> Result<(), String> {
             }
             Target::Write(w) => {
                 if *w as usize >= b.writes.len() {
-                    return Err(format!("{}: {who}: write target {t} beyond {} writes", b.name, b.writes.len()));
+                    return Err(format!(
+                        "{}: {who}: write target {t} beyond {} writes",
+                        b.name,
+                        b.writes.len()
+                    ));
                 }
             }
         }
@@ -98,17 +122,30 @@ pub fn verify_block(b: &Block) -> Result<(), String> {
         // Immediate widths.
         if inst.op == TOpcode::App {
             if inst.imm < 0 || inst.imm >= (1 << IMM_BITS) {
-                return Err(format!("{}: N[{ii}] app chunk {} out of range", b.name, inst.imm));
+                return Err(format!(
+                    "{}: N[{ii}] app chunk {} out of range",
+                    b.name, inst.imm
+                ));
             }
         } else if inst.op.has_imm() {
-            let bits = if inst.op.is_load() || inst.op.is_store() { MEM_OFF_BITS } else { IMM_BITS };
+            let bits = if inst.op.is_load() || inst.op.is_store() {
+                MEM_OFF_BITS
+            } else {
+                IMM_BITS
+            };
             let min = -(1i32 << (bits - 1));
             let max = (1i32 << (bits - 1)) - 1;
             if inst.imm < min || inst.imm > max {
-                return Err(format!("{}: N[{ii}] immediate {} exceeds {bits} bits", b.name, inst.imm));
+                return Err(format!(
+                    "{}: N[{ii}] immediate {} exceeds {bits} bits",
+                    b.name, inst.imm
+                ));
             }
         } else if inst.imm != 0 {
-            return Err(format!("{}: N[{ii}] has an immediate on {}", b.name, inst.op));
+            return Err(format!(
+                "{}: N[{ii}] has an immediate on {}",
+                b.name, inst.op
+            ));
         }
         // LSIDs.
         if inst.op.is_load() || inst.op.is_store() {
@@ -123,7 +160,10 @@ pub fn verify_block(b: &Block) -> Result<(), String> {
         if inst.op.is_store() {
             let l = inst.lsid.expect("checked above");
             if (b.store_mask >> l) & 1 == 0 {
-                return Err(format!("{}: N[{ii}] store LSID {l} not in store mask", b.name));
+                return Err(format!(
+                    "{}: N[{ii}] store LSID {l} not in store mask",
+                    b.name
+                ));
             }
         }
         // Branch exits.
@@ -158,7 +198,10 @@ pub fn verify_block(b: &Block) -> Result<(), String> {
     for (ii, inst) in b.insts.iter().enumerate() {
         for s in 0..inst.op.num_operands() {
             if !has_producer[ii][s] {
-                return Err(format!("{}: N[{ii}] ({}) operand {s} has no producer", b.name, inst.op));
+                return Err(format!(
+                    "{}: N[{ii}] ({}) operand {s} has no producer",
+                    b.name, inst.op
+                ));
             }
         }
         if inst.pred.is_some() && !has_producer[ii][TargetSlot::Pred.code() as usize] {
@@ -194,7 +237,10 @@ pub fn verify_block(b: &Block) -> Result<(), String> {
                 .iter()
                 .any(|i| (i.op.is_store() || i.op == TOpcode::Null) && i.lsid == Some(l));
             if !covered {
-                return Err(format!("{}: store mask bit {l} has no producing store/null", b.name));
+                return Err(format!(
+                    "{}: store mask bit {l} has no producing store/null",
+                    b.name
+                ));
             }
         }
     }
@@ -272,9 +318,21 @@ mod tests {
         let mut st = inst_imm(TOpcode::Sd, 0);
         st.lsid = Some(0); // mask bit 0 not set
         let s = b.add_inst(st).unwrap();
-        b.add_target(c, crate::Target::Inst { idx: s, slot: TargetSlot::Op0 });
+        b.add_target(
+            c,
+            crate::Target::Inst {
+                idx: s,
+                slot: TargetSlot::Op0,
+            },
+        );
         let c2 = b.add_inst(inst_imm(TOpcode::Movi, 2)).unwrap();
-        b.add_target(c2, crate::Target::Inst { idx: s, slot: TargetSlot::Op1 });
+        b.add_target(
+            c2,
+            crate::Target::Inst {
+                idx: s,
+                slot: TargetSlot::Op1,
+            },
+        );
         let blk = b.finish();
         let err = verify_block(&blk).unwrap_err();
         assert!(err.contains("not in store mask"), "{err}");
@@ -285,9 +343,21 @@ mod tests {
         let mut b = ret_block("b");
         let a = b.add_inst(inst_imm(TOpcode::Movi, 1)).unwrap();
         let add = b.add_inst(inst_imm(TOpcode::Addi, 1)).unwrap();
-        b.add_target(a, crate::Target::Inst { idx: add, slot: TargetSlot::Op0 });
+        b.add_target(
+            a,
+            crate::Target::Inst {
+                idx: add,
+                slot: TargetSlot::Op0,
+            },
+        );
         let nl = b.add_inst(inst(TOpcode::Null)).unwrap();
-        b.add_target(nl, crate::Target::Inst { idx: add, slot: TargetSlot::Op0 });
+        b.add_target(
+            nl,
+            crate::Target::Inst {
+                idx: add,
+                slot: TargetSlot::Op0,
+            },
+        );
         let blk = b.finish();
         let err = verify_block(&blk).unwrap_err();
         assert!(err.contains("null token"), "{err}");
@@ -300,7 +370,10 @@ mod tests {
         br.exit = Some(0);
         b.add_inst(br).unwrap();
         b.add_exit(ExitTarget::Block(7)).unwrap();
-        let p = TripsProgram { blocks: vec![b.finish()], entry: 0 };
+        let p = TripsProgram {
+            blocks: vec![b.finish()],
+            entry: 0,
+        };
         let err = verify_program(&p).unwrap_err();
         assert!(err.contains("unknown block"), "{err}");
     }
@@ -310,10 +383,28 @@ mod tests {
         let mut b = ret_block("b");
         let c = b.add_inst(inst_imm(TOpcode::Movi, 1)).unwrap();
         let m = b.add_inst(inst(TOpcode::Mov)).unwrap();
-        b.add_target(c, crate::Target::Inst { idx: m, slot: TargetSlot::Op0 });
+        b.add_target(
+            c,
+            crate::Target::Inst {
+                idx: m,
+                slot: TargetSlot::Op0,
+            },
+        );
         let m2 = b.add_inst(inst(TOpcode::Mov)).unwrap();
-        b.add_target(m, crate::Target::Inst { idx: m2, slot: TargetSlot::Pred });
-        b.add_target(m, crate::Target::Inst { idx: m2, slot: TargetSlot::Op0 });
+        b.add_target(
+            m,
+            crate::Target::Inst {
+                idx: m2,
+                slot: TargetSlot::Pred,
+            },
+        );
+        b.add_target(
+            m,
+            crate::Target::Inst {
+                idx: m2,
+                slot: TargetSlot::Op0,
+            },
+        );
         let blk = b.finish();
         let err = verify_block(&blk).unwrap_err();
         assert!(err.contains("unpredicated"), "{err}");

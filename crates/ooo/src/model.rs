@@ -8,9 +8,9 @@
 use crate::configs::OooConfig;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use trips_ir::Program;
 use trips_risc::exec::{CtrlKind, Machine, RiscError};
 use trips_risc::{RCat, RProgram};
-use trips_ir::Program;
 
 /// Timing statistics of one run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -74,7 +74,12 @@ struct Cache {
 impl Cache {
     fn new(bytes: usize, ways: usize, line: usize) -> Cache {
         let sets = (bytes / line / ways).max(1);
-        Cache { sets, line, tags: vec![vec![(u64::MAX, 0); ways]; sets], stamp: 0 }
+        Cache {
+            sets,
+            line,
+            tags: vec![vec![(u64::MAX, 0); ways]; sets],
+            stamp: 0,
+        }
     }
 
     fn access(&mut self, addr: u64) -> bool {
@@ -88,7 +93,12 @@ impl Cache {
                 return true;
             }
         }
-        let v = self.tags[set].iter().enumerate().min_by_key(|(_, w)| w.1).map(|(i, _)| i).unwrap_or(0);
+        let v = self.tags[set]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.1)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
         self.tags[set][v] = (tag, self.stamp);
         false
     }
@@ -108,7 +118,15 @@ struct Predictor {
 impl Predictor {
     fn new(entries: usize, ras_depth: usize) -> Predictor {
         let n = entries.next_power_of_two();
-        Predictor { mask: n - 1, bim: vec![1; n], gsh: vec![1; n], chooser: vec![1; n], ghr: 0, ras: Vec::new(), ras_depth }
+        Predictor {
+            mask: n - 1,
+            bim: vec![1; n],
+            gsh: vec![1; n],
+            chooser: vec![1; n],
+            ghr: 0,
+            ras: Vec::new(),
+            ras_depth,
+        }
     }
 
     fn branch(&mut self, pc: u32, taken: bool) -> bool {
@@ -155,7 +173,10 @@ struct IssueSlots {
 
 impl IssueSlots {
     fn new(width: u32) -> IssueSlots {
-        IssueSlots { width, counts: HashMap::new() }
+        IssueSlots {
+            width,
+            counts: HashMap::new(),
+        }
     }
 
     fn take(&mut self, earliest: u64) -> u64 {
@@ -246,7 +267,13 @@ pub fn run_timed(
             RCat::MulDiv => {
                 if matches!(
                     &inst,
-                    trips_risc::RInst::Alu { op: trips_ir::Opcode::Div | trips_ir::Opcode::Udiv | trips_ir::Opcode::Rem | trips_ir::Opcode::Urem, .. }
+                    trips_risc::RInst::Alu {
+                        op: trips_ir::Opcode::Div
+                            | trips_ir::Opcode::Udiv
+                            | trips_ir::Opcode::Rem
+                            | trips_ir::Opcode::Urem,
+                        ..
+                    }
                 ) {
                     cfg.div_lat
                 } else {
@@ -312,7 +339,10 @@ pub fn run_timed(
         idx += 1;
     }
 
-    Ok(OooResult { return_value: m.regs[trips_risc::Reg::RV.0 as usize], stats })
+    Ok(OooResult {
+        return_value: m.regs[trips_risc::Reg::RV.0 as usize],
+        stats,
+    })
 }
 
 #[cfg(test)]

@@ -12,7 +12,9 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use trips_ir::cfg::Cfg;
-use trips_ir::{BlockId, Function, Inst, MemWidth, Opcode as IrOp, Operand, Program, Terminator, Vreg};
+use trips_ir::{
+    BlockId, Function, Inst, MemWidth, Opcode as IrOp, Operand, Program, Terminator, Vreg,
+};
 
 /// Code generation failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,7 +42,10 @@ impl fmt::Display for CodegenError {
                 write!(f, "function {func} takes {count} arguments; the ABI passes at most 8 in registers")
             }
             CodegenError::FrameTooLarge { func, bytes } => {
-                write!(f, "function {func} frame of {bytes} bytes exceeds 16-bit offsets")
+                write!(
+                    f,
+                    "function {func} frame of {bytes} bytes exceeds 16-bit offsets"
+                )
             }
         }
     }
@@ -60,7 +65,10 @@ pub fn compile_program(p: &Program) -> Result<RProgram, CodegenError> {
     for f in &p.funcs {
         funcs.push(compile_function(f)?);
     }
-    Ok(RProgram { funcs, entry: p.entry.0 })
+    Ok(RProgram {
+        funcs,
+        entry: p.entry.0,
+    })
 }
 
 struct Ctx {
@@ -105,7 +113,11 @@ impl Ctx {
         self.emit(RInst::Li { dst, imm: top });
         for k in (0..n - 1).rev() {
             let chunk = ((v >> (16 * k)) & 0xffff) as u16;
-            self.emit(RInst::Oris { dst, src: dst, imm: chunk });
+            self.emit(RInst::Oris {
+                dst,
+                src: dst,
+                imm: chunk,
+            });
         }
     }
 
@@ -144,7 +156,12 @@ impl Ctx {
 
     fn finish_dest(&mut self, reg: Reg, spill: Option<u32>) {
         if let Some(off) = spill {
-            self.emit(RInst::Store { w: MemWidth::D, src: reg, base: Reg::SP, off: off as i16 });
+            self.emit(RInst::Store {
+                w: MemWidth::D,
+                src: reg,
+                base: Reg::SP,
+                off: off as i16,
+            });
         }
     }
 
@@ -154,7 +171,10 @@ impl Ctx {
         moves.retain(|(s, d)| s != d);
         while !moves.is_empty() {
             // Emit any move whose destination is not a pending source.
-            if let Some(i) = moves.iter().position(|&(_, d)| !moves.iter().any(|&(s2, _)| s2 == d)) {
+            if let Some(i) = moves
+                .iter()
+                .position(|&(_, d)| !moves.iter().any(|&(s2, _)| s2 == d))
+            {
                 let (s, d) = moves.remove(i);
                 self.emit(RInst::Mr { dst: d, src: s });
             } else {
@@ -174,7 +194,17 @@ impl Ctx {
 }
 
 fn has_iform(op: IrOp) -> bool {
-    matches!(op, IrOp::Add | IrOp::Mul | IrOp::And | IrOp::Or | IrOp::Xor | IrOp::Shl | IrOp::Shr | IrOp::Sra)
+    matches!(
+        op,
+        IrOp::Add
+            | IrOp::Mul
+            | IrOp::And
+            | IrOp::Or
+            | IrOp::Xor
+            | IrOp::Shl
+            | IrOp::Shr
+            | IrOp::Sra
+    )
 }
 
 fn fits_i16(v: i64) -> bool {
@@ -183,7 +213,10 @@ fn fits_i16(v: i64) -> bool {
 
 fn compile_function(f: &Function) -> Result<RFunc, CodegenError> {
     if f.param_count as usize > MAX_ARGS {
-        return Err(CodegenError::TooManyArgs { func: f.name.clone(), count: f.param_count as usize });
+        return Err(CodegenError::TooManyArgs {
+            func: f.name.clone(),
+            count: f.param_count as usize,
+        });
     }
     let alloc = allocate(f);
     let save_bytes = alloc.used_callee_saved.len() as u32 * 8;
@@ -191,7 +224,10 @@ fn compile_function(f: &Function) -> Result<RFunc, CodegenError> {
     let ir_base = save_bytes + alloc.spill_bytes;
     let frame_total = (ir_base + f.frame_size + 15) & !15;
     if frame_total as u64 > i16::MAX as u64 {
-        return Err(CodegenError::FrameTooLarge { func: f.name.clone(), bytes: frame_total as u64 });
+        return Err(CodegenError::FrameTooLarge {
+            func: f.name.clone(),
+            bytes: frame_total as u64,
+        });
     }
 
     let mut ctx = Ctx {
@@ -207,12 +243,22 @@ fn compile_function(f: &Function) -> Result<RFunc, CodegenError> {
 
     // Prologue.
     if frame_total > 0 {
-        ctx.emit(RInst::Alui { op: IrOp::Add, dst: Reg::SP, a: Reg::SP, imm: -(frame_total as i16) });
+        ctx.emit(RInst::Alui {
+            op: IrOp::Add,
+            dst: Reg::SP,
+            a: Reg::SP,
+            imm: -(frame_total as i16),
+        });
     }
     let saved = ctx.alloc.used_callee_saved.clone();
     for (i, r) in saved.iter().enumerate() {
         let off = (ctx.save_base + i as u32 * 8) as i16;
-        ctx.emit(RInst::Store { w: MemWidth::D, src: *r, base: Reg::SP, off });
+        ctx.emit(RInst::Store {
+            w: MemWidth::D,
+            src: *r,
+            base: Reg::SP,
+            off,
+        });
     }
     // Stage incoming arguments into their homes.
     let mut reg_moves = Vec::new();
@@ -222,7 +268,12 @@ fn compile_function(f: &Function) -> Result<RFunc, CodegenError> {
             Loc::Reg(d) => reg_moves.push((src, d)),
             Loc::Spill(slot) => {
                 let off = (ctx.spill_base + slot) as i16;
-                ctx.emit(RInst::Store { w: MemWidth::D, src, base: Reg::SP, off });
+                ctx.emit(RInst::Store {
+                    w: MemWidth::D,
+                    src,
+                    base: Reg::SP,
+                    off,
+                });
             }
         }
     }
@@ -231,8 +282,11 @@ fn compile_function(f: &Function) -> Result<RFunc, CodegenError> {
     // Blocks in RPO; fall-through elision against layout order.
     let cfg = Cfg::compute(f);
     let layout: Vec<BlockId> = cfg.rpo.clone();
-    let next_of: HashMap<BlockId, Option<BlockId>> =
-        layout.iter().enumerate().map(|(i, &b)| (b, layout.get(i + 1).copied())).collect();
+    let next_of: HashMap<BlockId, Option<BlockId>> = layout
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| (b, layout.get(i + 1).copied()))
+        .collect();
 
     for &bid in &layout {
         ctx.block_start.insert(bid, ctx.out.len() as u32);
@@ -274,10 +328,19 @@ fn compile_function(f: &Function) -> Result<RFunc, CodegenError> {
                     match v {
                         Operand::Reg(vr) => match ctx.alloc.loc[vr.index()] {
                             Loc::Reg(r) if r == Reg::RV => {}
-                            Loc::Reg(r) => ctx.emit(RInst::Mr { dst: Reg::RV, src: r }),
+                            Loc::Reg(r) => ctx.emit(RInst::Mr {
+                                dst: Reg::RV,
+                                src: r,
+                            }),
                             Loc::Spill(slot) => {
                                 let off = (ctx.spill_base + slot) as i16;
-                                ctx.emit(RInst::Load { w: MemWidth::D, signed: false, dst: Reg::RV, base: Reg::SP, off });
+                                ctx.emit(RInst::Load {
+                                    w: MemWidth::D,
+                                    signed: false,
+                                    dst: Reg::RV,
+                                    base: Reg::SP,
+                                    off,
+                                });
                             }
                         },
                         Operand::Imm(i) => ctx.materialize(Reg::RV, i),
@@ -285,10 +348,21 @@ fn compile_function(f: &Function) -> Result<RFunc, CodegenError> {
                 }
                 for (i, r) in saved.iter().enumerate() {
                     let off = (ctx.save_base + i as u32 * 8) as i16;
-                    ctx.emit(RInst::Load { w: MemWidth::D, signed: false, dst: *r, base: Reg::SP, off });
+                    ctx.emit(RInst::Load {
+                        w: MemWidth::D,
+                        signed: false,
+                        dst: *r,
+                        base: Reg::SP,
+                        off,
+                    });
                 }
                 if frame_total > 0 {
-                    ctx.emit(RInst::Alui { op: IrOp::Add, dst: Reg::SP, a: Reg::SP, imm: frame_total as i16 });
+                    ctx.emit(RInst::Alui {
+                        op: IrOp::Add,
+                        dst: Reg::SP,
+                        a: Reg::SP,
+                        imm: frame_total as i16,
+                    });
                 }
                 ctx.emit(RInst::Blr);
             }
@@ -299,12 +373,18 @@ fn compile_function(f: &Function) -> Result<RFunc, CodegenError> {
     for (at, bid) in std::mem::take(&mut ctx.fixups) {
         let target = ctx.block_start[&bid];
         match &mut ctx.out[at] {
-            RInst::B { target: t } | RInst::Bnz { target: t, .. } | RInst::Bz { target: t, .. } => *t = target,
+            RInst::B { target: t } | RInst::Bnz { target: t, .. } | RInst::Bz { target: t, .. } => {
+                *t = target
+            }
             other => unreachable!("fixup on non-branch {other:?}"),
         }
     }
 
-    Ok(RFunc { name: f.name.clone(), insts: ctx.out, frame_size: frame_total })
+    Ok(RFunc {
+        name: f.name.clone(),
+        insts: ctx.out,
+        frame_size: frame_total,
+    })
 }
 
 fn lower_inst(ctx: &mut Ctx, inst: &Inst) {
@@ -322,7 +402,9 @@ fn lower_inst(ctx: &mut Ctx, inst: &Inst) {
         Inst::Ibin { op, dst, a, b } => {
             // Prefer the immediate form when available.
             let (a, b, op) = match (*a, *b) {
-                (Operand::Imm(ia), Operand::Reg(_)) if op.is_commutative() => (*b, Operand::Imm(ia), *op),
+                (Operand::Imm(ia), Operand::Reg(_)) if op.is_commutative() => {
+                    (*b, Operand::Imm(ia), *op)
+                }
                 _ => (*a, *b, *op),
             };
             let use_imm = match b {
@@ -336,22 +418,41 @@ fn lower_inst(ctx: &mut Ctx, inst: &Inst) {
                 let i = b.as_imm().expect("imm checked");
                 let (d, sp) = ctx.dest(*dst);
                 if op == IrOp::Sub {
-                    ctx.emit(RInst::Alui { op: IrOp::Add, dst: d, a: ra, imm: (-i) as i16 });
+                    ctx.emit(RInst::Alui {
+                        op: IrOp::Add,
+                        dst: d,
+                        a: ra,
+                        imm: (-i) as i16,
+                    });
                 } else {
-                    ctx.emit(RInst::Alui { op, dst: d, a: ra, imm: i as i16 });
+                    ctx.emit(RInst::Alui {
+                        op,
+                        dst: d,
+                        a: ra,
+                        imm: i as i16,
+                    });
                 }
                 ctx.finish_dest(d, sp);
             } else {
                 let rb = ctx.opnd(b);
                 let (d, sp) = ctx.dest(*dst);
-                ctx.emit(RInst::Alu { op, dst: d, a: ra, b: rb });
+                ctx.emit(RInst::Alu {
+                    op,
+                    dst: d,
+                    a: ra,
+                    b: rb,
+                });
                 ctx.finish_dest(d, sp);
             }
         }
         Inst::Iun { op, dst, a } => {
             let ra = ctx.opnd(*a);
             let (d, sp) = ctx.dest(*dst);
-            ctx.emit(RInst::Alun { op: *op, dst: d, a: ra });
+            ctx.emit(RInst::Alun {
+                op: *op,
+                dst: d,
+                a: ra,
+            });
             ctx.finish_dest(d, sp);
         }
         Inst::Icmp { cc, dst, a, b } => {
@@ -363,37 +464,66 @@ fn lower_inst(ctx: &mut Ctx, inst: &Inst) {
             if let Operand::Imm(i) = b {
                 if fits_i16(i) {
                     let (d, sp) = ctx.dest(*dst);
-                    ctx.emit(RInst::Cmpi { cc, dst: d, a: ra, imm: i as i16 });
+                    ctx.emit(RInst::Cmpi {
+                        cc,
+                        dst: d,
+                        a: ra,
+                        imm: i as i16,
+                    });
                     ctx.finish_dest(d, sp);
                     return;
                 }
             }
             let rb = ctx.opnd(b);
             let (d, sp) = ctx.dest(*dst);
-            ctx.emit(RInst::Cmp { cc, dst: d, a: ra, b: rb });
+            ctx.emit(RInst::Cmp {
+                cc,
+                dst: d,
+                a: ra,
+                b: rb,
+            });
             ctx.finish_dest(d, sp);
         }
         Inst::Fbin { op, dst, a, b } => {
             let ra = ctx.opnd(*a);
             let rb = ctx.opnd(*b);
             let (d, sp) = ctx.dest(*dst);
-            ctx.emit(RInst::Fbin { op: *op, dst: d, a: ra, b: rb });
+            ctx.emit(RInst::Fbin {
+                op: *op,
+                dst: d,
+                a: ra,
+                b: rb,
+            });
             ctx.finish_dest(d, sp);
         }
         Inst::Fun { op, dst, a } => {
             let ra = ctx.opnd(*a);
             let (d, sp) = ctx.dest(*dst);
-            ctx.emit(RInst::Fun { op: *op, dst: d, a: ra });
+            ctx.emit(RInst::Fun {
+                op: *op,
+                dst: d,
+                a: ra,
+            });
             ctx.finish_dest(d, sp);
         }
         Inst::Fcmp { cc, dst, a, b } => {
             let ra = ctx.opnd(*a);
             let rb = ctx.opnd(*b);
             let (d, sp) = ctx.dest(*dst);
-            ctx.emit(RInst::Fcmp { cc: *cc, dst: d, a: ra, b: rb });
+            ctx.emit(RInst::Fcmp {
+                cc: *cc,
+                dst: d,
+                a: ra,
+                b: rb,
+            });
             ctx.finish_dest(d, sp);
         }
-        Inst::Select { dst, cond, if_true, if_false } => {
+        Inst::Select {
+            dst,
+            cond,
+            if_true,
+            if_false,
+        } => {
             let c = ctx.opnd(*cond);
             let a = ctx.opnd(*if_true);
             let b = ctx.opnd(*if_false);
@@ -401,21 +531,43 @@ fn lower_inst(ctx: &mut Ctx, inst: &Inst) {
             ctx.emit(RInst::Select { dst: d, c, a, b });
             ctx.finish_dest(d, sp);
         }
-        Inst::Load { w, signed, dst, addr, off } => {
+        Inst::Load {
+            w,
+            signed,
+            dst,
+            addr,
+            off,
+        } => {
             let (base, off) = lower_addr(ctx, *addr, *off);
             let (d, sp) = ctx.dest(*dst);
-            ctx.emit(RInst::Load { w: *w, signed: *signed, dst: d, base, off });
+            ctx.emit(RInst::Load {
+                w: *w,
+                signed: *signed,
+                dst: d,
+                base,
+                off,
+            });
             ctx.finish_dest(d, sp);
         }
         Inst::Store { w, src, addr, off } => {
             let s = ctx.opnd(*src);
             let (base, off) = lower_addr(ctx, *addr, *off);
-            ctx.emit(RInst::Store { w: *w, src: s, base, off });
+            ctx.emit(RInst::Store {
+                w: *w,
+                src: s,
+                base,
+                off,
+            });
         }
         Inst::FrameAddr { dst, off } => {
             let (d, sp) = ctx.dest(*dst);
             let total = ctx.ir_base + *off;
-            ctx.emit(RInst::Alui { op: IrOp::Add, dst: d, a: Reg::SP, imm: total as i16 });
+            ctx.emit(RInst::Alui {
+                op: IrOp::Add,
+                dst: d,
+                a: Reg::SP,
+                imm: total as i16,
+            });
             ctx.finish_dest(d, sp);
         }
         Inst::Call { dst, func, args } => {
@@ -430,7 +582,13 @@ fn lower_inst(ctx: &mut Ctx, inst: &Inst) {
                         Loc::Reg(r) => moves.push((r, target)),
                         Loc::Spill(slot) => {
                             let off = (ctx.spill_base + slot) as i16;
-                            ctx.emit(RInst::Load { w: MemWidth::D, signed: false, dst: target, base: Reg::SP, off });
+                            ctx.emit(RInst::Load {
+                                w: MemWidth::D,
+                                signed: false,
+                                dst: target,
+                                base: Reg::SP,
+                                off,
+                            });
                         }
                     },
                 }
@@ -440,10 +598,18 @@ fn lower_inst(ctx: &mut Ctx, inst: &Inst) {
             if let Some(d) = dst {
                 match ctx.alloc.loc[d.index()] {
                     Loc::Reg(r) if r == Reg::RV => {}
-                    Loc::Reg(r) => ctx.emit(RInst::Mr { dst: r, src: Reg::RV }),
+                    Loc::Reg(r) => ctx.emit(RInst::Mr {
+                        dst: r,
+                        src: Reg::RV,
+                    }),
                     Loc::Spill(slot) => {
                         let off = (ctx.spill_base + slot) as i16;
-                        ctx.emit(RInst::Store { w: MemWidth::D, src: Reg::RV, base: Reg::SP, off });
+                        ctx.emit(RInst::Store {
+                            w: MemWidth::D,
+                            src: Reg::RV,
+                            base: Reg::SP,
+                            off,
+                        });
                     }
                 }
             }
@@ -471,7 +637,12 @@ fn lower_addr(ctx: &mut Ctx, addr: Operand, off: i32) -> (Reg, i16) {
                 let s = ctx.scratch();
                 ctx.materialize(s, off as i64);
                 let d = ctx.scratch();
-                ctx.emit(RInst::Alu { op: IrOp::Add, dst: d, a: base, b: s });
+                ctx.emit(RInst::Alu {
+                    op: IrOp::Add,
+                    dst: d,
+                    a: base,
+                    b: s,
+                });
                 (d, 0)
             }
         }
@@ -510,8 +681,16 @@ mod tests {
         f.finish();
         let p = pb.finish("main").unwrap();
         let rp = compile_program(&p).unwrap();
-        let oris = rp.funcs[0].insts.iter().filter(|i| matches!(i, RInst::Oris { .. })).count();
-        assert!(oris >= 2, "expected oris chain, got {:?}", rp.funcs[0].insts);
+        let oris = rp.funcs[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, RInst::Oris { .. }))
+            .count();
+        assert!(
+            oris >= 2,
+            "expected oris chain, got {:?}",
+            rp.funcs[0].insts
+        );
     }
 
     #[test]
@@ -523,6 +702,9 @@ mod tests {
         f.ret(None);
         f.finish();
         let p = pb.finish("big").unwrap();
-        assert!(matches!(compile_program(&p), Err(CodegenError::TooManyArgs { .. })));
+        assert!(matches!(
+            compile_program(&p),
+            Err(CodegenError::TooManyArgs { .. })
+        ));
     }
 }

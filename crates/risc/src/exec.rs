@@ -168,7 +168,15 @@ impl<'a> Machine<'a> {
         let mem = Memory::new(ir, mem_size);
         let mut regs = [0u64; 32];
         regs[Reg::SP.0 as usize] = mem.size() as u64;
-        Machine { program: rp, regs, mem, pc: (rp.entry, 0), call_stack: Vec::new(), stats: RiscStats::default(), done: false }
+        Machine {
+            program: rp,
+            regs,
+            mem,
+            pc: (rp.entry, 0),
+            call_stack: Vec::new(),
+            stats: RiscStats::default(),
+            done: false,
+        }
     }
 
     /// True when the entry function has returned.
@@ -183,8 +191,15 @@ impl<'a> Machine<'a> {
     /// state's `Ret` event repeatedly — check [`Machine::is_done`].
     pub fn step(&mut self) -> Result<StepEvent, RiscError> {
         let (fi, ii) = self.pc;
-        let func = self.program.funcs.get(fi as usize).ok_or(RiscError::BadTarget { func: fi, idx: ii })?;
-        let inst = func.insts.get(ii as usize).ok_or(RiscError::BadTarget { func: fi, idx: ii })?;
+        let func = self
+            .program
+            .funcs
+            .get(fi as usize)
+            .ok_or(RiscError::BadTarget { func: fi, idx: ii })?;
+        let inst = func
+            .insts
+            .get(ii as usize)
+            .ok_or(RiscError::BadTarget { func: fi, idx: ii })?;
         self.stats.insts += 1;
         self.stats.unique_pcs.insert((fi, ii));
         match inst.cat() {
@@ -217,11 +232,13 @@ impl<'a> Machine<'a> {
                 self.regs[dst.0 as usize] = (r(self, *src) << 16) | *imm as u64;
             }
             RInst::Alu { op, dst, a, b } => {
-                let v = trips_ir::interp::eval_ibin(*op, r(self, *a), r(self, *b)).map_err(RiscError::Mem)?;
+                let v = trips_ir::interp::eval_ibin(*op, r(self, *a), r(self, *b))
+                    .map_err(RiscError::Mem)?;
                 self.regs[dst.0 as usize] = v;
             }
             RInst::Alui { op, dst, a, imm } => {
-                let v = trips_ir::interp::eval_ibin(*op, r(self, *a), *imm as i64 as u64).map_err(RiscError::Mem)?;
+                let v = trips_ir::interp::eval_ibin(*op, r(self, *a), *imm as i64 as u64)
+                    .map_err(RiscError::Mem)?;
                 self.regs[dst.0 as usize] = v;
             }
             RInst::Alun { op, dst, a } => {
@@ -263,9 +280,19 @@ impl<'a> Machine<'a> {
                     cc.eval(f64::from_bits(r(self, *a)), f64::from_bits(r(self, *b))) as u64;
             }
             RInst::Select { dst, c, a, b } => {
-                self.regs[dst.0 as usize] = if r(self, *c) != 0 { r(self, *a) } else { r(self, *b) };
+                self.regs[dst.0 as usize] = if r(self, *c) != 0 {
+                    r(self, *a)
+                } else {
+                    r(self, *b)
+                };
             }
-            RInst::Load { w, signed, dst, base, off } => {
+            RInst::Load {
+                w,
+                signed,
+                dst,
+                base,
+                off,
+            } => {
                 let addr = r(self, *base).wrapping_add(*off as i64 as u64);
                 ev.mem = Some((addr, false));
                 self.regs[dst.0 as usize] = self.mem.load(addr, *w, *signed)?;
@@ -333,7 +360,12 @@ impl<'a> Machine<'a> {
 /// # Errors
 /// Any [`RiscError`], including [`RiscError::StepLimit`] after `step_limit`
 /// dynamic instructions.
-pub fn run(rp: &RProgram, ir: &Program, mem_size: usize, step_limit: u64) -> Result<RiscOutcome, RiscError> {
+pub fn run(
+    rp: &RProgram,
+    ir: &Program,
+    mem_size: usize,
+    step_limit: u64,
+) -> Result<RiscOutcome, RiscError> {
     let mut m = Machine::new(rp, ir, mem_size);
     let mut left = step_limit;
     while !m.is_done() {
@@ -343,7 +375,11 @@ pub fn run(rp: &RProgram, ir: &Program, mem_size: usize, step_limit: u64) -> Res
         left -= 1;
         m.step()?;
     }
-    Ok(RiscOutcome { return_value: m.regs[Reg::RV.0 as usize], stats: m.stats, memory: m.mem })
+    Ok(RiscOutcome {
+        return_value: m.regs[Reg::RV.0 as usize],
+        stats: m.stats,
+        memory: m.mem,
+    })
 }
 
 #[cfg(test)]
@@ -356,7 +392,10 @@ mod tests {
         let golden = trips_ir::interp::run(p, 1 << 20).expect("ir interp");
         let rp = compile_program(p).expect("codegen");
         let out = run(&rp, p, 1 << 20, 500_000_000).expect("risc run");
-        assert_eq!(out.return_value, golden.return_value, "RISC disagrees with IR interpreter");
+        assert_eq!(
+            out.return_value, golden.return_value,
+            "RISC disagrees with IR interpreter"
+        );
     }
 
     #[test]
@@ -453,7 +492,10 @@ mod tests {
         assert!(out.stats.stores >= 1);
         assert!(out.stats.reg_reads > 0);
         assert!(out.stats.reg_writes > 0);
-        assert_eq!(out.stats.unique_pcs.len() as u64 * 4, out.stats.code_footprint_bytes());
+        assert_eq!(
+            out.stats.unique_pcs.len() as u64 * 4,
+            out.stats.code_footprint_bytes()
+        );
     }
 
     #[test]

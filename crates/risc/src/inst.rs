@@ -64,7 +64,12 @@ pub enum RInst {
     /// Register-register ALU: `dst = op(a, b)` (IR integer binary opcodes).
     Alu { op: IrOp, dst: Reg, a: Reg, b: Reg },
     /// Immediate ALU: `dst = op(a, imm16)`.
-    Alui { op: IrOp, dst: Reg, a: Reg, imm: i16 },
+    Alui {
+        op: IrOp,
+        dst: Reg,
+        a: Reg,
+        imm: i16,
+    },
     /// Unary ALU: `dst = op(a)` (not/neg/extends).
     Alun { op: IrOp, dst: Reg, a: Reg },
     /// Register move `dst = src` (`mr` in PPC, encoded `or`).
@@ -72,19 +77,40 @@ pub enum RInst {
     /// Integer compare producing 0/1: `dst = a cc b`.
     Cmp { cc: IntCc, dst: Reg, a: Reg, b: Reg },
     /// Integer compare with immediate.
-    Cmpi { cc: IntCc, dst: Reg, a: Reg, imm: i16 },
+    Cmpi {
+        cc: IntCc,
+        dst: Reg,
+        a: Reg,
+        imm: i16,
+    },
     /// Float binary op (operands are f64 bit patterns in GPRs).
     Fbin { op: IrOp, dst: Reg, a: Reg, b: Reg },
     /// Float unary op.
     Fun { op: IrOp, dst: Reg, a: Reg },
     /// Float compare producing 0/1.
-    Fcmp { cc: FloatCc, dst: Reg, a: Reg, b: Reg },
+    Fcmp {
+        cc: FloatCc,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
     /// Conditional select `dst = c != 0 ? a : b` (isel).
     Select { dst: Reg, c: Reg, a: Reg, b: Reg },
     /// Load: `dst = mem[base + off]`, widened per `w`/`signed`.
-    Load { w: MemWidth, signed: bool, dst: Reg, base: Reg, off: i16 },
+    Load {
+        w: MemWidth,
+        signed: bool,
+        dst: Reg,
+        base: Reg,
+        off: i16,
+    },
     /// Store: `mem[base + off] = src` (truncated per `w`).
-    Store { w: MemWidth, src: Reg, base: Reg, off: i16 },
+    Store {
+        w: MemWidth,
+        src: Reg,
+        base: Reg,
+        off: i16,
+    },
     /// Unconditional branch to an instruction index within the function.
     B { target: u32 },
     /// Branch if `c != 0`.
@@ -101,7 +127,13 @@ impl RInst {
     /// Category for accounting and timing.
     pub fn cat(&self) -> RCat {
         match self {
-            RInst::Li { .. } | RInst::Oris { .. } | RInst::Mr { .. } | RInst::Cmp { .. } | RInst::Cmpi { .. } | RInst::Select { .. } | RInst::Alun { .. } => RCat::Alu,
+            RInst::Li { .. }
+            | RInst::Oris { .. }
+            | RInst::Mr { .. }
+            | RInst::Cmp { .. }
+            | RInst::Cmpi { .. }
+            | RInst::Select { .. }
+            | RInst::Alun { .. } => RCat::Alu,
             RInst::Alu { op, .. } | RInst::Alui { op, .. } => match op {
                 IrOp::Mul | IrOp::Div | IrOp::Udiv | IrOp::Rem | IrOp::Urem => RCat::MulDiv,
                 _ => RCat::Alu,
@@ -109,7 +141,11 @@ impl RInst {
             RInst::Fbin { .. } | RInst::Fun { .. } | RInst::Fcmp { .. } => RCat::Fp,
             RInst::Load { .. } => RCat::Load,
             RInst::Store { .. } => RCat::Store,
-            RInst::B { .. } | RInst::Bnz { .. } | RInst::Bz { .. } | RInst::Bl { .. } | RInst::Blr => RCat::Control,
+            RInst::B { .. }
+            | RInst::Bnz { .. }
+            | RInst::Bz { .. }
+            | RInst::Bl { .. }
+            | RInst::Blr => RCat::Control,
         }
     }
 
@@ -118,8 +154,14 @@ impl RInst {
         match self {
             RInst::Li { .. } | RInst::B { .. } | RInst::Bl { .. } | RInst::Blr => vec![],
             RInst::Oris { src, .. } => vec![*src],
-            RInst::Alu { a, b, .. } | RInst::Cmp { a, b, .. } | RInst::Fbin { a, b, .. } | RInst::Fcmp { a, b, .. } => vec![*a, *b],
-            RInst::Alui { a, .. } | RInst::Alun { a, .. } | RInst::Cmpi { a, .. } | RInst::Fun { a, .. } => vec![*a],
+            RInst::Alu { a, b, .. }
+            | RInst::Cmp { a, b, .. }
+            | RInst::Fbin { a, b, .. }
+            | RInst::Fcmp { a, b, .. } => vec![*a, *b],
+            RInst::Alui { a, .. }
+            | RInst::Alun { a, .. }
+            | RInst::Cmpi { a, .. }
+            | RInst::Fun { a, .. } => vec![*a],
             RInst::Mr { src, .. } => vec![*src],
             RInst::Select { c, a, b, .. } => vec![*c, *a, *b],
             RInst::Load { base, .. } => vec![*base],
@@ -192,25 +234,55 @@ mod tests {
 
     #[test]
     fn categories() {
-        assert_eq!(RInst::Li { dst: Reg(3), imm: 1 }.cat(), RCat::Alu);
         assert_eq!(
-            RInst::Alu { op: IrOp::Div, dst: Reg(3), a: Reg(4), b: Reg(5) }.cat(),
+            RInst::Li {
+                dst: Reg(3),
+                imm: 1
+            }
+            .cat(),
+            RCat::Alu
+        );
+        assert_eq!(
+            RInst::Alu {
+                op: IrOp::Div,
+                dst: Reg(3),
+                a: Reg(4),
+                b: Reg(5)
+            }
+            .cat(),
             RCat::MulDiv
         );
         assert_eq!(RInst::Blr.cat(), RCat::Control);
         assert_eq!(
-            RInst::Load { w: MemWidth::D, signed: false, dst: Reg(3), base: Reg(1), off: 0 }.cat(),
+            RInst::Load {
+                w: MemWidth::D,
+                signed: false,
+                dst: Reg(3),
+                base: Reg(1),
+                off: 0
+            }
+            .cat(),
             RCat::Load
         );
     }
 
     #[test]
     fn read_write_sets() {
-        let i = RInst::Select { dst: Reg(3), c: Reg(4), a: Reg(5), b: Reg(6) };
+        let i = RInst::Select {
+            dst: Reg(3),
+            c: Reg(4),
+            a: Reg(5),
+            b: Reg(6),
+        };
         assert_eq!(i.reads(), vec![Reg(4), Reg(5), Reg(6)]);
         assert_eq!(i.writes(), Some(Reg(3)));
         assert_eq!(RInst::Blr.writes(), None);
-        let s = RInst::Store { w: MemWidth::W, src: Reg(7), base: Reg(1), off: 8 };
+        let s = RInst::Store {
+            w: MemWidth::W,
+            src: Reg(7),
+            base: Reg(1),
+            off: 8,
+        };
         assert_eq!(s.reads(), vec![Reg(7), Reg(1)]);
         assert_eq!(s.writes(), None);
     }

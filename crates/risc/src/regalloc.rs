@@ -54,7 +54,11 @@ pub fn allocate(f: &Function) -> Allocation {
 }
 
 /// [`allocate`] with explicit register pools (for tests and ablations).
-pub fn allocate_with_pools(f: &Function, volatile_pool: &[Reg], callee_saved_pool: &[Reg]) -> Allocation {
+pub fn allocate_with_pools(
+    f: &Function,
+    volatile_pool: &[Reg],
+    callee_saved_pool: &[Reg],
+) -> Allocation {
     let cfg = Cfg::compute(f);
     let lv = trips_ir::liveness::compute(f, &cfg);
     let (live_in, live_out) = (lv.live_in, lv.live_out);
@@ -91,7 +95,9 @@ pub fn allocate_with_pools(f: &Function, volatile_pool: &[Reg], callee_saved_poo
             }
             pos += 1;
         }
-        f.blocks[b].term.for_each_use_reg(|v| touch(v, pos, &mut int_start, &mut int_end));
+        f.blocks[b]
+            .term
+            .for_each_use_reg(|v| touch(v, pos, &mut int_start, &mut int_end));
         pos += 1; // terminator
         for v in 0..nv {
             if live_out[b][v] {
@@ -105,7 +111,12 @@ pub fn allocate_with_pools(f: &Function, volatile_pool: &[Reg], callee_saved_poo
         .map(|v| {
             let (s, e) = (int_start[v], int_end[v]);
             let crosses = call_positions.iter().any(|&c| c > s && c < e);
-            Interval { vreg: Vreg(v as u32), start: s, end: e, crosses_call: crosses }
+            Interval {
+                vreg: Vreg(v as u32),
+                start: s,
+                end: e,
+                crosses_call: crosses,
+            }
         })
         .collect();
     intervals.sort_by_key(|i| i.start);
@@ -192,7 +203,11 @@ pub fn allocate_with_pools(f: &Function, volatile_pool: &[Reg], callee_saved_poo
 
     let mut used: Vec<Reg> = used_callee.into_iter().collect();
     used.sort();
-    Allocation { loc, spill_bytes: next_spill, used_callee_saved: used }
+    Allocation {
+        loc,
+        spill_bytes: next_spill,
+        used_callee_saved: used,
+    }
 }
 
 #[cfg(test)]
@@ -238,11 +253,7 @@ mod tests {
     fn pressure_forces_spills() {
         let f = loop_func(40); // 40 simultaneously live values > 24 registers
         let a = allocate(&f);
-        let spills = a
-            .loc
-            .iter()
-            .filter(|l| matches!(l, Loc::Spill(_)))
-            .count();
+        let spills = a.loc.iter().filter(|l| matches!(l, Loc::Spill(_))).count();
         assert!(spills > 5, "high pressure must spill, got {spills}");
     }
 
@@ -257,7 +268,10 @@ mod tests {
             if let Loc::Reg(r) = l {
                 // only check values that are actually used
                 let _ = v;
-                assert!(seen.insert((*r, v / usize::MAX)), "register {r} double-booked");
+                assert!(
+                    seen.insert((*r, v / usize::MAX)),
+                    "register {r} double-booked"
+                );
                 seen.remove(&(*r, v / usize::MAX));
             }
         }

@@ -18,13 +18,11 @@ pub struct Cache {
 
 impl Cache {
     /// Creates a cache of `bytes` capacity with `ways` associativity and
-    /// `line`-byte lines.
-    ///
-    /// # Panics
-    /// Panics unless capacity is divisible into at least one set.
+    /// `line`-byte lines. Degenerate geometries (capacity smaller than one
+    /// set of lines) are clamped to a single set rather than rejected, so
+    /// sweep configurations can shrink caches arbitrarily far.
     pub fn new(bytes: usize, ways: usize, line: usize) -> Cache {
         let sets = (bytes / line / ways).max(1);
-        let _ = ways;
         Cache {
             sets,
             line,
@@ -89,7 +87,11 @@ pub struct BankPorts {
 impl BankPorts {
     /// `n` banks, all free at cycle 0.
     pub fn new(n: usize) -> BankPorts {
-        BankPorts { busy: vec![Default::default(); n], accesses: 0, conflict_cycles: 0 }
+        BankPorts {
+            busy: vec![Default::default(); n],
+            accesses: 0,
+            conflict_cycles: 0,
+        }
     }
 
     /// Reserves `bank` starting at the first free slot ≥ `t`, claiming
@@ -139,7 +141,7 @@ mod tests {
         // 2 ways, 1 set of 2 lines: third distinct line evicts the LRU.
         let mut c = Cache::new(128, 2, 64);
         assert!(!c.access(0)); // line A
-        assert!(!c.access(64 * 1)); // line B  (set count = 1)
+        assert!(!c.access(64)); // line B  (set count = 1)
         assert!(c.access(0)); // A hits, refreshes
         assert!(!c.access(64 * 2)); // C evicts B
         assert!(c.access(0)); // A still resident
@@ -166,6 +168,25 @@ mod tests {
         // And an exact collision still serializes.
         assert_eq!(b.reserve(0, 10, 1), 11);
         assert_eq!(b.conflict_cycles, 1);
+    }
+
+    #[test]
+    fn degenerate_geometry_clamps_to_one_set() {
+        // Capacity below one set's worth of lines: still a working
+        // (1-set, fully associative) cache instead of a panic or a
+        // zero-set division.
+        let mut c = Cache::new(64, 4, 64);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(!c.access(64));
+        assert!(
+            c.access(64) && c.access(0),
+            "both lines fit the 4 ways of the single set"
+        );
+        // Zero-byte capacity is likewise clamped.
+        let mut z = Cache::new(0, 2, 64);
+        assert!(!z.access(0));
+        assert!(z.access(0));
     }
 
     #[test]

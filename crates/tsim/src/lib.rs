@@ -32,4 +32,4 @@ pub mod timing;
 
 pub use config::TripsConfig;
 pub use stats::SimStats;
-pub use timing::{simulate, SimError, SimResult};
+pub use timing::{replay_trace, simulate, SimError, SimResult};

@@ -26,7 +26,10 @@ impl Node {
 
     /// Execution tile `e` (0..16) in the 4×4 interior.
     pub fn et(e: u8) -> Node {
-        Node { row: 1 + e / 4, col: 1 + e % 4 }
+        Node {
+            row: 1 + e / 4,
+            col: 1 + e % 4,
+        }
     }
 
     /// Register tile for bank `b` (0..4), along the top row.
@@ -61,7 +64,7 @@ pub enum TrafficClass {
 }
 
 /// Per-class hop-count histogram (0..=5+ hops).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OpnStats {
     /// `hist[class][hops.min(5)]` packet counts.
     pub hist: HashMap<TrafficClass, [u64; 6]>,
@@ -89,7 +92,10 @@ impl OpnStats {
         if total == 0 {
             return 0.0;
         }
-        self.hist.get(&class).map(|h| h[hops.min(5)] as f64 / total as f64).unwrap_or(0.0)
+        self.hist
+            .get(&class)
+            .map(|h| h[hops.min(5)] as f64 / total as f64)
+            .unwrap_or(0.0)
     }
 }
 
@@ -129,9 +135,23 @@ impl Opn {
         let mut cur = from;
         while cur != to {
             let next = if cur.col != to.col {
-                Node { row: cur.row, col: if cur.col < to.col { cur.col + 1 } else { cur.col - 1 } }
+                Node {
+                    row: cur.row,
+                    col: if cur.col < to.col {
+                        cur.col + 1
+                    } else {
+                        cur.col - 1
+                    },
+                }
             } else {
-                Node { col: cur.col, row: if cur.row < to.row { cur.row + 1 } else { cur.row - 1 } }
+                Node {
+                    col: cur.col,
+                    row: if cur.row < to.row {
+                        cur.row + 1
+                    } else {
+                        cur.row - 1
+                    },
+                }
             };
             let busy = self.link_busy.entry((cur, next)).or_default();
             let mut depart = now;

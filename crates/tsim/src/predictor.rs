@@ -115,7 +115,12 @@ impl TargetPredictor {
     /// `entries` must be a power of two.
     pub fn new(entries: usize, ras_depth: usize) -> TargetPredictor {
         assert!(entries.is_power_of_two());
-        TargetPredictor { btb: vec![None; entries], mask: entries - 1, ras: Vec::new(), ras_depth }
+        TargetPredictor {
+            btb: vec![None; entries],
+            mask: entries - 1,
+            ras: Vec::new(),
+            ras_depth,
+        }
     }
 
     fn key(block: u32, exit: u8) -> u64 {
@@ -134,7 +139,14 @@ impl TargetPredictor {
 
     /// Trains with the actual transfer: installs the BTB entry and maintains
     /// the call/return stack.
-    pub fn update(&mut self, block: u32, exit: u8, kind: ExitKind, actual_target: Option<u32>, cont: Option<u32>) {
+    pub fn update(
+        &mut self,
+        block: u32,
+        exit: u8,
+        kind: ExitKind,
+        actual_target: Option<u32>,
+        cont: Option<u32>,
+    ) {
         match kind {
             ExitKind::Ret => {
                 self.ras.pop();
@@ -173,7 +185,7 @@ pub struct NextBlockPredictor {
 }
 
 /// Prediction accounting (Figure 7, Table 3).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PredictorStats {
     /// Predictions made.
     pub predictions: u64,
@@ -227,12 +239,19 @@ impl NextBlockPredictor {
         multi_exit: bool,
     ) -> (Option<u32>, bool) {
         self.stats.predictions += 1;
-        let pexit = if multi_exit { self.exits.predict(block) } else { actual_exit };
+        let pexit = if multi_exit {
+            self.exits.predict(block)
+        } else {
+            actual_exit
+        };
         let exit_right = pexit == actual_exit;
         // Target prediction uses the *predicted* exit; a kind hint is only
         // available when the exit is right (decode provides it).
-        let ptarget =
-            if exit_right { self.targets.predict(block, pexit, Some(kind)) } else { self.targets.predict(block, pexit, None) };
+        let ptarget = if exit_right {
+            self.targets.predict(block, pexit, Some(kind))
+        } else {
+            self.targets.predict(block, pexit, None)
+        };
         let correct = exit_right && ptarget == Some(actual_target);
         if !exit_right {
             self.stats.exit_mispredicts += 1;
@@ -249,7 +268,8 @@ impl NextBlockPredictor {
         if multi_exit {
             self.exits.update(block, actual_exit);
         }
-        self.targets.update(block, actual_exit, kind, Some(actual_target), cont);
+        self.targets
+            .update(block, actual_exit, kind, Some(actual_target), cont);
         (ptarget, correct)
     }
 }
@@ -342,7 +362,11 @@ impl LoadWaitTable {
     /// `entries` must be a power of two.
     pub fn new(entries: usize) -> LoadWaitTable {
         assert!(entries.is_power_of_two());
-        LoadWaitTable { bits: vec![false; entries], mask: entries - 1, violations: 0 }
+        LoadWaitTable {
+            bits: vec![false; entries],
+            mask: entries - 1,
+            violations: 0,
+        }
     }
 
     /// Should this load wait for earlier stores?
@@ -417,7 +441,11 @@ mod tests {
         for i in 0..100 {
             // block 5 loops back to itself 9 times then exits to 6 (pattern
             // period 10).
-            let (exit, target) = if i % 10 == 9 { (1u8, 6u32) } else { (0u8, 5u32) };
+            let (exit, target) = if i % 10 == 9 {
+                (1u8, 6u32)
+            } else {
+                (0u8, 5u32)
+            };
             let (_, ok) = p.predict_and_update(5, exit, ExitKind::Jump, target, None, true);
             if ok {
                 correct += 1;
@@ -438,7 +466,11 @@ mod tests {
 
     #[test]
     fn mpki_math() {
-        let s = PredictorStats { exit_mispredicts: 5, target_mispredicts: 5, ..Default::default() };
+        let s = PredictorStats {
+            exit_mispredicts: 5,
+            target_mispredicts: 5,
+            ..Default::default()
+        };
         assert!((s.mpki(1000) - 10.0).abs() < 1e-9);
     }
 }

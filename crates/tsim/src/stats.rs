@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 use trips_isa::IsaStats;
 
 /// Everything the experiments need from a timing run.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct SimStats {
     /// Total cycles (commit time of the last block).
     pub cycles: u64,
@@ -55,7 +55,9 @@ impl<'de> Deserialize<'de> for SimStats {
     where
         D: serde::Deserializer<'de>,
     {
-        Err(serde::de::Error::custom("SimStats deserialization is not supported"))
+        Err(serde::de::Error::custom(
+            "SimStats deserialization is not supported",
+        ))
     }
 }
 
@@ -123,7 +125,10 @@ mod tests {
 
     #[test]
     fn derived_rates() {
-        let mut s = SimStats { cycles: 100, ..Default::default() };
+        let mut s = SimStats {
+            cycles: 100,
+            ..Default::default()
+        };
         s.isa.executed = 400;
         s.isa.useful = 200;
         s.isa.fetched = 800;

@@ -16,22 +16,25 @@ use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 use trips_compiler::CompiledProgram;
+use trips_ir::Program;
 use trips_isa::block::ExitTarget;
 use trips_isa::interp::{BlockTrace, TraceSrc, TripsExecError};
-use trips_isa::TOpcode;
-use trips_ir::Program;
+use trips_isa::{TOpcode, TraceLog};
 
 /// Simulation failures (functional execution errors surface unchanged).
 #[derive(Debug)]
 pub enum SimError {
     /// The functional oracle failed.
     Exec(TripsExecError),
+    /// A stored trace log failed validation against the program.
+    Trace(String),
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Exec(e) => write!(f, "functional execution failed: {e}"),
+            SimError::Trace(e) => write!(f, "trace replay rejected: {e}"),
         }
     }
 }
@@ -51,7 +54,11 @@ pub struct SimResult {
 ///
 /// # Errors
 /// [`SimError::Exec`] when the program itself faults.
-pub fn simulate(compiled: &CompiledProgram, cfg: &TripsConfig, mem_size: usize) -> Result<SimResult, SimError> {
+pub fn simulate(
+    compiled: &CompiledProgram,
+    cfg: &TripsConfig,
+    mem_size: usize,
+) -> Result<SimResult, SimError> {
     simulate_with_budget(compiled, cfg, mem_size, u64::MAX)
 }
 
@@ -69,11 +76,44 @@ pub fn simulate_with_budget(
     let tp = &compiled.trips;
     let mut t = Timing::new(compiled, cfg);
     let outcome =
-        trips_isa::interp::run_program_traced(tp, ir, mem_size, max_blocks, |b, trace| t.on_block(b, trace))
-            .map_err(SimError::Exec)?;
+        trips_isa::interp::run_program_traced(tp, ir, mem_size, max_blocks, |b, trace| {
+            t.on_block(b, trace)
+        })
+        .map_err(SimError::Exec)?;
     let mut stats = t.finish();
     stats.isa = outcome.stats;
-    Ok(SimResult { return_value: outcome.return_value, stats })
+    Ok(SimResult {
+        return_value: outcome.return_value,
+        stats,
+    })
+}
+
+/// Simulates a previously captured [`TraceLog`] against `cfg`, instead of
+/// re-running the functional interpreter.
+///
+/// The timing model is a pure function of the `(block, trace)` call
+/// sequence, so replaying the log a program produced under the same budget
+/// yields *bit-identical* [`SimStats`] to [`simulate_with_budget`] — that
+/// is what lets a sweep run one functional execution and N timing
+/// configurations.
+///
+/// # Errors
+/// [`SimError::Trace`] when the log's header or indices do not match
+/// `compiled`.
+pub fn replay_trace(
+    compiled: &CompiledProgram,
+    cfg: &TripsConfig,
+    log: &TraceLog,
+) -> Result<SimResult, SimError> {
+    log.validate(&compiled.trips).map_err(SimError::Trace)?;
+    let mut t = Timing::new(compiled, cfg);
+    log.replay(|bidx, trace| t.on_block(bidx, trace));
+    let mut stats = t.finish();
+    stats.isa = log.stats.clone();
+    Ok(SimResult {
+        return_value: log.return_value,
+        stats,
+    })
 }
 
 struct Timing<'a> {
@@ -108,7 +148,13 @@ impl<'a> Timing<'a> {
             opn: Opn::new(),
             et_free: [0; 16],
             l1d: (0..TripsConfig::L1D_BANKS)
-                .map(|_| Cache::new(cfg.l1d_bytes / TripsConfig::L1D_BANKS, cfg.l1d_ways, cfg.line))
+                .map(|_| {
+                    Cache::new(
+                        cfg.l1d_bytes / TripsConfig::L1D_BANKS,
+                        cfg.l1d_ways,
+                        cfg.line,
+                    )
+                })
                 .collect(),
             dt_banks: BankPorts::new(TripsConfig::L1D_BANKS),
             l2: Cache::new(cfg.l2_bytes, cfg.l2_ways, cfg.line),
@@ -136,7 +182,9 @@ impl<'a> Timing<'a> {
         let mut prev_resolve = 0;
         if let Some((pb, pexit, kind, cont, resolve)) = self.pending.take() {
             let multi = self.cp.trips.blocks[pb as usize].exits.len() > 1;
-            let (_, correct) = self.predictor.predict_and_update(pb, pexit, kind, bidx, cont, multi);
+            let (_, correct) = self
+                .predictor
+                .predict_and_update(pb, pexit, kind, bidx, cont, multi);
             mispredicted = !correct;
             prev_resolve = resolve;
             if mispredicted {
@@ -148,7 +196,9 @@ impl<'a> Timing<'a> {
         // The ITs stream a block's compressed chunk at dispatch_bandwidth
         // instructions/cycle; the next block starts once the previous one
         // has streamed (small blocks dispatch back-to-back faster).
-        let stream = (self.prev_chunk as u64).div_ceil(self.cfg.dispatch_bandwidth).max(self.cfg.dispatch_interval);
+        let stream = (self.prev_chunk as u64)
+            .div_ceil(self.cfg.dispatch_bandwidth)
+            .max(self.cfg.dispatch_interval);
         let mut start = self.prev_dispatch + stream;
         if self.commits.len() >= self.cfg.max_blocks_in_flight {
             let oldest = self.commits[self.commits.len() - self.cfg.max_blocks_in_flight];
@@ -193,15 +243,17 @@ impl<'a> Timing<'a> {
                 let arr = match src {
                     TraceSrc::Read(r) => {
                         let reg = block.reads[*r as usize].reg;
-                        let avail = *read_cache.entry(reg).or_insert_with(|| {
-                            self.reg_avail.get(&reg).copied().unwrap_or(0)
-                        });
+                        let avail = *read_cache
+                            .entry(reg)
+                            .or_insert_with(|| self.reg_avail.get(&reg).copied().unwrap_or(0));
                         let t0 = avail.max(dispatch);
-                        self.opn.route(Node::rt(reg / 32), here, t0, TrafficClass::EtRt)
+                        self.opn
+                            .route(Node::rt(reg / 32), here, t0, TrafficClass::EtRt)
                     }
                     TraceSrc::Inst(p) => {
                         let t0 = done.get(p).copied().unwrap_or(dispatch);
-                        let from = Node::et(placement.get(*p as usize).copied().unwrap_or(0).min(15));
+                        let from =
+                            Node::et(placement.get(*p as usize).copied().unwrap_or(0).min(15));
                         self.opn.route(from, here, t0, TrafficClass::EtEt)
                     }
                 };
@@ -211,7 +263,8 @@ impl<'a> Timing<'a> {
             self.et_free[et as usize] = issue + 1;
 
             let out_t = if let Some(mem) = ti.mem {
-                let bank = ((mem.addr / self.cfg.line as u64) % TripsConfig::L1D_BANKS as u64) as usize;
+                let bank =
+                    ((mem.addr / self.cfg.line as u64) % TripsConfig::L1D_BANKS as u64) as usize;
                 let dtn = Node::dt(bank as u8);
                 if mem.is_store {
                     let arr = self.opn.route(here, dtn, issue + 1, TrafficClass::EtDt);
@@ -241,14 +294,16 @@ impl<'a> Timing<'a> {
                         self.stats.l1d_misses += 1;
                         self.stats.l2_accesses += 1;
                         self.stats.l2_bytes += self.cfg.line as u64;
-                        let l2b = ((mem.addr / self.cfg.line as u64) % TripsConfig::L2_BANKS as u64) as usize;
+                        let l2b = ((mem.addr / self.cfg.line as u64) % TripsConfig::L2_BANKS as u64)
+                            as usize;
                         let nuca = (l2b % 4 + l2b / 4) as u64;
                         let l2t = self.l2_banks.reserve(l2b, t + lat, 1);
                         lat += (l2t - t - lat.min(l2t)) + self.cfg.l2_base + self.cfg.l2_hop * nuca;
                         if !self.l2.access(mem.addr) {
                             self.stats.l2_misses += 1;
                             self.stats.dram_bytes += self.cfg.line as u64;
-                            let ch = (mem.addr as usize / self.cfg.line) % TripsConfig::DRAM_CHANNELS;
+                            let ch =
+                                (mem.addr as usize / self.cfg.line) % TripsConfig::DRAM_CHANNELS;
                             let dt = self.dram.reserve(ch, t + lat, self.cfg.dram_occupancy);
                             lat = dt - t + self.cfg.dram_lat;
                         }
@@ -272,11 +327,13 @@ impl<'a> Timing<'a> {
                     self.opn.route(dtn, here, data_t, TrafficClass::EtDt)
                 }
             } else if inst.op.is_branch() {
-                let r = self.opn.route(here, Node::GT, issue + 1, TrafficClass::EtGt);
+                let r = self
+                    .opn
+                    .route(here, Node::GT, issue + 1, TrafficClass::EtGt);
                 resolve = resolve.max(r);
                 r
             } else if inst.op == TOpcode::Null && inst.lsid.is_some() {
-                let dtn = Node::dt((inst.lsid.unwrap() % 4) as u8);
+                let dtn = Node::dt(inst.lsid.unwrap() % 4);
                 let r = self.opn.route(here, dtn, issue + 1, TrafficClass::EtDt);
                 completion = completion.max(r);
                 r
@@ -293,14 +350,19 @@ impl<'a> Timing<'a> {
             let (t0, from) = match src {
                 TraceSrc::Read(r) => {
                     let rr = block.reads[*r as usize].reg;
-                    (self.reg_avail.get(&rr).copied().unwrap_or(0).max(dispatch), Node::rt(rr / 32))
+                    (
+                        self.reg_avail.get(&rr).copied().unwrap_or(0).max(dispatch),
+                        Node::rt(rr / 32),
+                    )
                 }
                 TraceSrc::Inst(p) => (
                     done.get(p).copied().unwrap_or(dispatch),
                     Node::et(placement.get(*p as usize).copied().unwrap_or(0).min(15)),
                 ),
             };
-            let arr = self.opn.route(from, Node::rt(reg / 32), t0, TrafficClass::EtRt);
+            let arr = self
+                .opn
+                .route(from, Node::rt(reg / 32), t0, TrafficClass::EtRt);
             self.reg_avail.insert(reg, arr);
             completion = completion.max(arr);
         }
@@ -316,7 +378,10 @@ impl<'a> Timing<'a> {
         let commit = (completion + self.cfg.commit_overhead).max(self.last_commit + 1);
         self.last_commit = commit;
         self.commits.push_back(commit);
-        if self.commits.len() > 64 {
+        // Keep enough history for the in-flight window check above; a
+        // sweep can raise max_blocks_in_flight past the default horizon.
+        let keep = self.cfg.max_blocks_in_flight.max(64);
+        if self.commits.len() > keep {
             self.commits.pop_front();
         }
         self.stats.blocks += 1;
@@ -410,8 +475,78 @@ mod tests {
         let p = sum_program(5000);
         let compiled = compile(&p, &CompileOptions::o1()).unwrap();
         let r = simulate(&compiled, &TripsConfig::prototype(), 1 << 20).unwrap();
-        let mr = r.stats.predictor.mispredicts() as f64 / r.stats.predictor.predictions.max(1) as f64;
-        assert!(mr < 0.10, "loop should predict well, missed {:.1}%", mr * 100.0);
+        let mr =
+            r.stats.predictor.mispredicts() as f64 / r.stats.predictor.predictions.max(1) as f64;
+        assert!(
+            mr < 0.10,
+            "loop should predict well, missed {:.1}%",
+            mr * 100.0
+        );
+    }
+
+    #[test]
+    fn replay_matches_direct_simulation_exactly() {
+        let p = sum_program(3000);
+        let compiled = compile(&p, &CompileOptions::o1()).unwrap();
+        let log = TraceLog::capture(
+            &compiled.trips,
+            &compiled.opt_ir,
+            1 << 20,
+            u64::MAX,
+            Default::default(),
+        )
+        .unwrap();
+        assert!(
+            log.dedup_ratio() > 2.0,
+            "a counted loop should intern well, got {}",
+            log.dedup_ratio()
+        );
+        for cfg in [TripsConfig::prototype(), TripsConfig::improved_predictor()] {
+            let direct = simulate(&compiled, &cfg, 1 << 20).unwrap();
+            let replayed = replay_trace(&compiled, &cfg, &log).unwrap();
+            assert_eq!(replayed.return_value, direct.return_value);
+            assert_eq!(
+                replayed.stats, direct.stats,
+                "replay must be bit-identical to direct simulation"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_rejects_foreign_trace() {
+        let small = compile(&sum_program(10), &CompileOptions::o0()).unwrap();
+        let big = compile(&sum_program(10), &CompileOptions::o2()).unwrap();
+        let mut log = TraceLog::capture(
+            &big.trips,
+            &big.opt_ir,
+            1 << 20,
+            u64::MAX,
+            Default::default(),
+        )
+        .unwrap();
+        // Point the trace at a block index the small program does not have.
+        let nblocks = small.trips.blocks.len() as u32;
+        log.seq.push((nblocks + 10, 0));
+        log.header.dynamic_blocks += 1;
+        assert!(matches!(
+            replay_trace(&small, &TripsConfig::prototype(), &log),
+            Err(SimError::Trace(_))
+        ));
+        // A shape whose instruction indices do not exist in the block is
+        // rejected structurally (no TRIPS block holds more than 128 insts).
+        let mut log2 = TraceLog::capture(
+            &big.trips,
+            &big.opt_ir,
+            1 << 20,
+            u64::MAX,
+            Default::default(),
+        )
+        .unwrap();
+        log2.shapes[0].fired[0].idx = 200;
+        assert!(matches!(
+            replay_trace(&big, &TripsConfig::prototype(), &log2),
+            Err(SimError::Trace(_))
+        ));
     }
 
     #[test]

@@ -9,24 +9,132 @@ use trips_ir::{IntCc, Operand, Program, ProgramBuilder};
 /// Registry entries.
 pub fn workloads() -> Vec<Workload> {
     vec![
-        Workload { name: "a2time", suite: Suite::Eembc, build: a2time, hand: None, simple: true },
-        Workload { name: "rspeed", suite: Suite::Eembc, build: rspeed, hand: None, simple: true },
-        Workload { name: "ospf", suite: Suite::Eembc, build: ospf, hand: None, simple: true },
-        Workload { name: "routelookup", suite: Suite::Eembc, build: routelookup, hand: None, simple: true },
-        Workload { name: "autocor", suite: Suite::Eembc, build: autocor, hand: None, simple: true },
-        Workload { name: "conven", suite: Suite::Eembc, build: conven, hand: None, simple: true },
-        Workload { name: "fbital", suite: Suite::Eembc, build: fbital, hand: None, simple: true },
-        Workload { name: "fft", suite: Suite::Eembc, build: fft, hand: None, simple: true },
-        Workload { name: "idctrn", suite: Suite::Eembc, build: idctrn, hand: None, simple: false },
-        Workload { name: "tblook", suite: Suite::Eembc, build: tblook, hand: None, simple: false },
-        Workload { name: "bitmnp", suite: Suite::Eembc, build: bitmnp, hand: None, simple: false },
-        Workload { name: "pntrch", suite: Suite::Eembc, build: pntrch, hand: None, simple: false },
-        Workload { name: "aifirf", suite: Suite::Eembc, build: aifirf, hand: None, simple: false },
-        Workload { name: "canrdr", suite: Suite::Eembc, build: canrdr, hand: None, simple: false },
-        Workload { name: "puwmod", suite: Suite::Eembc, build: puwmod, hand: None, simple: false },
-        Workload { name: "rgbcmy", suite: Suite::Eembc, build: rgbcmy, hand: None, simple: false },
-        Workload { name: "ttsprk", suite: Suite::Eembc, build: ttsprk, hand: None, simple: false },
-        Workload { name: "cacheb", suite: Suite::Eembc, build: cacheb, hand: None, simple: false },
+        Workload {
+            name: "a2time",
+            suite: Suite::Eembc,
+            build: a2time,
+            hand: None,
+            simple: true,
+        },
+        Workload {
+            name: "rspeed",
+            suite: Suite::Eembc,
+            build: rspeed,
+            hand: None,
+            simple: true,
+        },
+        Workload {
+            name: "ospf",
+            suite: Suite::Eembc,
+            build: ospf,
+            hand: None,
+            simple: true,
+        },
+        Workload {
+            name: "routelookup",
+            suite: Suite::Eembc,
+            build: routelookup,
+            hand: None,
+            simple: true,
+        },
+        Workload {
+            name: "autocor",
+            suite: Suite::Eembc,
+            build: autocor,
+            hand: None,
+            simple: true,
+        },
+        Workload {
+            name: "conven",
+            suite: Suite::Eembc,
+            build: conven,
+            hand: None,
+            simple: true,
+        },
+        Workload {
+            name: "fbital",
+            suite: Suite::Eembc,
+            build: fbital,
+            hand: None,
+            simple: true,
+        },
+        Workload {
+            name: "fft",
+            suite: Suite::Eembc,
+            build: fft,
+            hand: None,
+            simple: true,
+        },
+        Workload {
+            name: "idctrn",
+            suite: Suite::Eembc,
+            build: idctrn,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "tblook",
+            suite: Suite::Eembc,
+            build: tblook,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "bitmnp",
+            suite: Suite::Eembc,
+            build: bitmnp,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "pntrch",
+            suite: Suite::Eembc,
+            build: pntrch,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "aifirf",
+            suite: Suite::Eembc,
+            build: aifirf,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "canrdr",
+            suite: Suite::Eembc,
+            build: canrdr,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "puwmod",
+            suite: Suite::Eembc,
+            build: puwmod,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "rgbcmy",
+            suite: Suite::Eembc,
+            build: rgbcmy,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "ttsprk",
+            suite: Suite::Eembc,
+            build: ttsprk,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "cacheb",
+            suite: Suite::Eembc,
+            build: cacheb,
+            hand: None,
+            simple: false,
+        },
     ]
 }
 
@@ -42,7 +150,9 @@ fn counts(scale: Scale, test: i64, reference: i64) -> i64 {
 pub fn a2time(scale: Scale) -> Program {
     let n = counts(scale, 64, 1024);
     let mut pb = ProgramBuilder::new();
-    let pulses = pb.data_mut().alloc_i64s("pulses", &rand_i64s(51, n as usize, 1000));
+    let pulses = pb
+        .data_mut()
+        .alloc_i64s("pulses", &rand_i64s(51, n as usize, 1000));
     let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
@@ -79,7 +189,13 @@ pub fn a2time(scale: Scale) -> Program {
 pub fn rspeed(scale: Scale) -> Program {
     let n = counts(scale, 48, 768);
     let mut pb = ProgramBuilder::new();
-    let deltas = pb.data_mut().alloc_i64s("deltas", &rand_i64s(53, n as usize, 5000).iter().map(|d| d + 16).collect::<Vec<_>>());
+    let deltas = pb.data_mut().alloc_i64s(
+        "deltas",
+        &rand_i64s(53, n as usize, 5000)
+            .iter()
+            .map(|d| d + 16)
+            .collect::<Vec<_>>(),
+    );
     let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
@@ -192,7 +308,9 @@ pub fn routelookup(scale: Scale) -> Program {
     let left_a = pb.data_mut().alloc_i64s("left", &left);
     let right_a = pb.data_mut().alloc_i64s("right", &right);
     let route_a = pb.data_mut().alloc_i64s("route", &route);
-    let addrs = pb.data_mut().alloc_i64s("addrs", &rand_i64s(63, packets as usize, 1 << 30));
+    let addrs = pb
+        .data_mut()
+        .alloc_i64s("addrs", &rand_i64s(63, packets as usize, 1 << 30));
     let out = pb.data_mut().alloc_zeroed("out", packets as u64 * 8, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
@@ -231,7 +349,9 @@ pub fn autocor(scale: Scale) -> Program {
     let n = counts(scale, 64, 512);
     let lags = 16i64;
     let mut pb = ProgramBuilder::new();
-    let sig = pb.data_mut().alloc_i64s("sig", &rand_i64s(65, (n + lags) as usize, 1 << 12));
+    let sig = pb
+        .data_mut()
+        .alloc_i64s("sig", &rand_i64s(65, (n + lags) as usize, 1 << 12));
     let out = pb.data_mut().alloc_zeroed("out", lags as u64 * 8, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
@@ -263,7 +383,9 @@ pub fn autocor(scale: Scale) -> Program {
 pub fn conven(scale: Scale) -> Program {
     let nbits = counts(scale, 96, 2048);
     let mut pb = ProgramBuilder::new();
-    let input = pb.data_mut().alloc_i64s("bits", &rand_i64s(67, nbits as usize, 2));
+    let input = pb
+        .data_mut()
+        .alloc_i64s("bits", &rand_i64s(67, nbits as usize, 2));
     let out = pb.data_mut().alloc_zeroed("out", nbits as u64 * 8, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
@@ -304,7 +426,9 @@ pub fn fbital(scale: Scale) -> Program {
     let channels = counts(scale, 32, 256);
     let rounds = 12i64;
     let mut pb = ProgramBuilder::new();
-    let snr = pb.data_mut().alloc_i64s("snr", &rand_i64s(71, channels as usize, 64));
+    let snr = pb
+        .data_mut()
+        .alloc_i64s("snr", &rand_i64s(71, channels as usize, 64));
     let bits = pb.data_mut().alloc_zeroed("bits", channels as u64 * 8, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
@@ -445,9 +569,13 @@ pub fn fft(scale: Scale) -> Program {
 pub fn idctrn(scale: Scale) -> Program {
     let blocks = counts(scale, 4, 48);
     let mut pb = ProgramBuilder::new();
-    let coef = pb.data_mut().alloc_i64s("coef", &rand_i64s(81, (blocks * 64) as usize, 512));
+    let coef = pb
+        .data_mut()
+        .alloc_i64s("coef", &rand_i64s(81, (blocks * 64) as usize, 512));
     let basis = pb.data_mut().alloc_i64s("basis", &rand_i64s(82, 64, 256));
-    let out = pb.data_mut().alloc_zeroed("out", (blocks * 64 * 8) as u64, 8);
+    let out = pb
+        .data_mut()
+        .alloc_zeroed("out", (blocks * 64 * 8) as u64, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
     f.switch_to(e);
@@ -495,7 +623,9 @@ pub fn tblook(scale: Scale) -> Program {
     let mut tbl = rand_i64s(83, tbl_n as usize, 1000);
     tbl.sort_unstable();
     let tbl_a = pb.data_mut().alloc_i64s("tbl", &tbl);
-    let xs = pb.data_mut().alloc_i64s("xs", &rand_i64s(84, n as usize, tbl_n * 16));
+    let xs = pb
+        .data_mut()
+        .alloc_i64s("xs", &rand_i64s(84, n as usize, tbl_n * 16));
     let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
@@ -528,7 +658,9 @@ pub fn tblook(scale: Scale) -> Program {
 pub fn bitmnp(scale: Scale) -> Program {
     let n = counts(scale, 64, 1024);
     let mut pb = ProgramBuilder::new();
-    let xs = pb.data_mut().alloc_i64s("xs", &rand_i64s(85, n as usize, 1 << 30));
+    let xs = pb
+        .data_mut()
+        .alloc_i64s("xs", &rand_i64s(85, n as usize, 1 << 30));
     let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
@@ -606,14 +738,17 @@ pub fn pntrch(scale: Scale) -> Program {
     pb.finish("main").unwrap()
 }
 
-
 /// `aifirf`: fixed-point FIR filter over automotive sensor samples.
 pub fn aifirf(scale: Scale) -> Program {
     let n = counts(scale, 64, 1024);
     let taps = 12i64;
     let mut pb = ProgramBuilder::new();
-    let sig = pb.data_mut().alloc_i64s("sig", &rand_i64s(301, (n + taps) as usize, 1 << 12));
-    let coef = pb.data_mut().alloc_i64s("coef", &rand_i64s(302, taps as usize, 256));
+    let sig = pb
+        .data_mut()
+        .alloc_i64s("sig", &rand_i64s(301, (n + taps) as usize, 1 << 12));
+    let coef = pb
+        .data_mut()
+        .alloc_i64s("coef", &rand_i64s(302, taps as usize, 256));
     let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
@@ -646,7 +781,9 @@ pub fn aifirf(scale: Scale) -> Program {
 pub fn canrdr(scale: Scale) -> Program {
     let n = counts(scale, 96, 1536);
     let mut pb = ProgramBuilder::new();
-    let msgs = pb.data_mut().alloc_i64s("msgs", &rand_i64s(303, n as usize, 1 << 16));
+    let msgs = pb
+        .data_mut()
+        .alloc_i64s("msgs", &rand_i64s(303, n as usize, 1 << 16));
     let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
@@ -689,7 +826,9 @@ pub fn canrdr(scale: Scale) -> Program {
 pub fn puwmod(scale: Scale) -> Program {
     let n = counts(scale, 64, 1024);
     let mut pb = ProgramBuilder::new();
-    let targets = pb.data_mut().alloc_i64s("targets", &rand_i64s(305, n as usize, 4096));
+    let targets = pb
+        .data_mut()
+        .alloc_i64s("targets", &rand_i64s(305, n as usize, 4096));
     let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
@@ -721,7 +860,9 @@ pub fn puwmod(scale: Scale) -> Program {
 pub fn rgbcmy(scale: Scale) -> Program {
     let n = counts(scale, 64, 1024);
     let mut pb = ProgramBuilder::new();
-    let pix = pb.data_mut().alloc_i64s("pix", &rand_i64s(307, n as usize, 1 << 24));
+    let pix = pb
+        .data_mut()
+        .alloc_i64s("pix", &rand_i64s(307, n as usize, 1 << 24));
     let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
@@ -766,9 +907,15 @@ pub fn ttsprk(scale: Scale) -> Program {
     let n = counts(scale, 64, 1024);
     let tbl_n = 32i64;
     let mut pb = ProgramBuilder::new();
-    let tbl = pb.data_mut().alloc_i64s("tbl", &rand_i64s(309, tbl_n as usize, 60));
-    let rpm = pb.data_mut().alloc_i64s("rpm", &rand_i64s(310, n as usize, 8000));
-    let temp = pb.data_mut().alloc_i64s("temp", &rand_i64s(311, n as usize, 120));
+    let tbl = pb
+        .data_mut()
+        .alloc_i64s("tbl", &rand_i64s(309, tbl_n as usize, 60));
+    let rpm = pb
+        .data_mut()
+        .alloc_i64s("rpm", &rand_i64s(310, n as usize, 8000));
+    let temp = pb
+        .data_mut()
+        .alloc_i64s("temp", &rand_i64s(311, n as usize, 120));
     let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
@@ -807,7 +954,9 @@ pub fn cacheb(scale: Scale) -> Program {
     let rounds = counts(scale, 2, 6);
     let stride = 9i64; // co-prime with the bank count
     let mut pb = ProgramBuilder::new();
-    let buf = pb.data_mut().alloc_i64s("buf", &rand_i64s(313, words as usize, 1 << 20));
+    let buf = pb
+        .data_mut()
+        .alloc_i64s("buf", &rand_i64s(313, words as usize, 1 << 20));
     let mut f = pb.func("main", 0);
     let e = f.entry();
     f.switch_to(e);

@@ -47,7 +47,9 @@ pub fn rand_i64s(seed: u64, n: usize, modulo: i64) -> Vec<i64> {
     let mut x = seed | 1;
     (0..n)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((x >> 16) as i64).rem_euclid(modulo.max(1))
         })
         .collect()
@@ -55,7 +57,10 @@ pub fn rand_i64s(seed: u64, n: usize, modulo: i64) -> Vec<i64> {
 
 /// Deterministic pseudo-random f64s in [0, 1).
 pub fn rand_f64s(seed: u64, n: usize) -> Vec<f64> {
-    rand_i64s(seed, n, 1 << 30).into_iter().map(|v| v as f64 / (1u64 << 30) as f64).collect()
+    rand_i64s(seed, n, 1 << 30)
+        .into_iter()
+        .map(|v| v as f64 / (1u64 << 30) as f64)
+        .collect()
 }
 
 #[cfg(test)]

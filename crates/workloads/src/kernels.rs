@@ -13,10 +13,34 @@ use trips_ir::{Operand, Program, ProgramBuilder};
 /// Registry entries.
 pub fn workloads() -> Vec<Workload> {
     vec![
-        Workload { name: "ct", suite: Suite::Kernels, build: ct, hand: Some(ct_hand), simple: true },
-        Workload { name: "conv", suite: Suite::Kernels, build: conv, hand: None, simple: true },
-        Workload { name: "matrix", suite: Suite::Kernels, build: matrix, hand: Some(matrix_hand), simple: true },
-        Workload { name: "vadd", suite: Suite::Kernels, build: vadd, hand: Some(vadd_hand), simple: true },
+        Workload {
+            name: "ct",
+            suite: Suite::Kernels,
+            build: ct,
+            hand: Some(ct_hand),
+            simple: true,
+        },
+        Workload {
+            name: "conv",
+            suite: Suite::Kernels,
+            build: conv,
+            hand: None,
+            simple: true,
+        },
+        Workload {
+            name: "matrix",
+            suite: Suite::Kernels,
+            build: matrix,
+            hand: Some(matrix_hand),
+            simple: true,
+        },
+        Workload {
+            name: "vadd",
+            suite: Suite::Kernels,
+            build: vadd,
+            hand: Some(vadd_hand),
+            simple: true,
+        },
     ]
 }
 
@@ -31,7 +55,9 @@ fn sizes(scale: Scale) -> (i64, i64) {
 pub fn ct(scale: Scale) -> Program {
     let (n, reps) = sizes(scale);
     let mut pb = ProgramBuilder::new();
-    let src = pb.data_mut().alloc_i64s("src", &rand_i64s(11, (n * n) as usize, 1 << 20));
+    let src = pb
+        .data_mut()
+        .alloc_i64s("src", &rand_i64s(11, (n * n) as usize, 1 << 20));
     let dst = pb.data_mut().alloc_zeroed("dst", (n * n * 8) as u64, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
@@ -64,7 +90,9 @@ pub fn ct_hand(scale: Scale) -> Program {
     let (n, reps) = sizes(scale);
     assert!(n % 4 == 0);
     let mut pb = ProgramBuilder::new();
-    let src = pb.data_mut().alloc_i64s("src", &rand_i64s(11, (n * n) as usize, 1 << 20));
+    let src = pb
+        .data_mut()
+        .alloc_i64s("src", &rand_i64s(11, (n * n) as usize, 1 << 20));
     let dst = pb.data_mut().alloc_zeroed("dst", (n * n * 8) as u64, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
@@ -162,8 +190,12 @@ fn vadd_n(scale: Scale, hand: bool) -> Program {
         Scale::Ref => (1024, 8),
     };
     let mut pb = ProgramBuilder::new();
-    let a = pb.data_mut().alloc_i64s("a", &rand_i64s(21, n as usize, 1 << 30));
-    let b = pb.data_mut().alloc_i64s("b", &rand_i64s(22, n as usize, 1 << 30));
+    let a = pb
+        .data_mut()
+        .alloc_i64s("a", &rand_i64s(21, n as usize, 1 << 30));
+    let b = pb
+        .data_mut()
+        .alloc_i64s("b", &rand_i64s(22, n as usize, 1 << 30));
     let c = pb.data_mut().alloc_zeroed("c", n as u64 * 8, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
@@ -239,7 +271,10 @@ fn matrix_n(scale: Scale, hand: bool) -> Program {
                 let c10 = f.fconst(0.0);
                 let c11 = f.fconst(0.0);
                 for_loop(f, n, |f, k| {
-                    let load = |f: &mut trips_ir::FuncBuilder<'_>, base: u64, r: trips_ir::Vreg, cc: trips_ir::Vreg| {
+                    let load = |f: &mut trips_ir::FuncBuilder<'_>,
+                                base: u64,
+                                r: trips_ir::Vreg,
+                                cc: trips_ir::Vreg| {
                         let rn = f.mul(r, n);
                         let idx = f.add(rn, cc);
                         let off = f.shl(idx, 3i64);
@@ -261,7 +296,10 @@ fn matrix_n(scale: Scale, hand: bool) -> Program {
                     let p11 = f.fmul(a1k, bk1);
                     f.fbin_to(trips_ir::Opcode::Fadd, c11, c11, p11);
                 });
-                let store = |f: &mut trips_ir::FuncBuilder<'_>, r: trips_ir::Vreg, cc: trips_ir::Vreg, v: trips_ir::Vreg| {
+                let store = |f: &mut trips_ir::FuncBuilder<'_>,
+                             r: trips_ir::Vreg,
+                             cc: trips_ir::Vreg,
+                             v: trips_ir::Vreg| {
                     let rn = f.mul(r, n);
                     let idx = f.add(rn, cc);
                     let off = f.shl(idx, 3i64);
@@ -314,9 +352,16 @@ mod tests {
 
     #[test]
     fn hand_variants_compute_same_results() {
-        for (a, b) in [(ct as fn(Scale) -> Program, ct_hand as fn(Scale) -> Program), (vadd, vadd_hand)] {
-            let ra = trips_ir::interp::run(&a(Scale::Test), 1 << 22).unwrap().return_value;
-            let rb = trips_ir::interp::run(&b(Scale::Test), 1 << 22).unwrap().return_value;
+        for (a, b) in [
+            (ct as fn(Scale) -> Program, ct_hand as fn(Scale) -> Program),
+            (vadd, vadd_hand),
+        ] {
+            let ra = trips_ir::interp::run(&a(Scale::Test), 1 << 22)
+                .unwrap()
+                .return_value;
+            let rb = trips_ir::interp::run(&b(Scale::Test), 1 << 22)
+                .unwrap()
+                .return_value;
             assert_eq!(ra, rb);
         }
     }
@@ -325,8 +370,12 @@ mod tests {
     fn matrix_hand_matches_naive() {
         // 2x2 blocking keeps the same (non-reassociated) k-order per
         // element, so even FP results match bit-for-bit.
-        let ra = trips_ir::interp::run(&matrix(Scale::Test), 1 << 22).unwrap().return_value;
-        let rb = trips_ir::interp::run(&matrix_hand(Scale::Test), 1 << 22).unwrap().return_value;
+        let ra = trips_ir::interp::run(&matrix(Scale::Test), 1 << 22)
+            .unwrap()
+            .return_value;
+        let rb = trips_ir::interp::run(&matrix_hand(Scale::Test), 1 << 22)
+            .unwrap()
+            .return_value;
         assert_eq!(ra, rb);
     }
 

@@ -135,10 +135,17 @@ mod tests {
         let ws = all();
         assert_eq!(suite(Suite::Kernels).len(), 4);
         assert_eq!(suite(Suite::Versa).len(), 3);
-        assert!(suite(Suite::Eembc).len() >= 8, "need at least the 8 charted EEMBC programs");
+        assert!(
+            suite(Suite::Eembc).len() >= 8,
+            "need at least the 8 charted EEMBC programs"
+        );
         assert_eq!(suite(Suite::SpecInt).len(), 10);
         assert_eq!(suite(Suite::SpecFp).len(), 8);
-        assert_eq!(simple().len(), 15, "the paper hand-optimizes 15 simple benchmarks");
+        assert_eq!(
+            simple().len(),
+            15,
+            "the paper hand-optimizes 15 simple benchmarks"
+        );
         // Names unique.
         let mut names: Vec<_> = ws.iter().map(|w| w.name).collect();
         names.sort_unstable();
@@ -150,8 +157,8 @@ mod tests {
     fn every_workload_builds_and_runs_at_test_scale() {
         for w in all() {
             let p = (w.build)(Scale::Test);
-            let out = trips_ir::interp::run(&p, 1 << 22)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let out =
+                trips_ir::interp::run(&p, 1 << 22).unwrap_or_else(|e| panic!("{}: {e}", w.name));
             // Checksums must be non-trivial (a zero result usually means the
             // kernel didn't observe its own output).
             assert_ne!(out.return_value, 0, "{} returned 0", w.name);
@@ -159,7 +166,11 @@ mod tests {
                 let ph = w.build_hand(Scale::Test);
                 let oh = trips_ir::interp::run(&ph, 1 << 22)
                     .unwrap_or_else(|e| panic!("{} (hand): {e}", w.name));
-                assert_eq!(out.return_value, oh.return_value, "{}: hand variant disagrees", w.name);
+                assert_eq!(
+                    out.return_value, oh.return_value,
+                    "{}: hand variant disagrees",
+                    w.name
+                );
             }
         }
     }

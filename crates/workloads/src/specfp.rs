@@ -8,14 +8,62 @@ use trips_ir::{Opcode, Operand, Program, ProgramBuilder};
 /// Registry entries.
 pub fn workloads() -> Vec<Workload> {
     vec![
-        Workload { name: "applu", suite: Suite::SpecFp, build: applu, hand: None, simple: false },
-        Workload { name: "apsi", suite: Suite::SpecFp, build: apsi, hand: None, simple: false },
-        Workload { name: "art", suite: Suite::SpecFp, build: art, hand: None, simple: false },
-        Workload { name: "equake", suite: Suite::SpecFp, build: equake, hand: None, simple: false },
-        Workload { name: "mesa", suite: Suite::SpecFp, build: mesa, hand: None, simple: false },
-        Workload { name: "mgrid", suite: Suite::SpecFp, build: mgrid, hand: None, simple: false },
-        Workload { name: "swim", suite: Suite::SpecFp, build: swim, hand: None, simple: false },
-        Workload { name: "wupwise", suite: Suite::SpecFp, build: wupwise, hand: None, simple: false },
+        Workload {
+            name: "applu",
+            suite: Suite::SpecFp,
+            build: applu,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "apsi",
+            suite: Suite::SpecFp,
+            build: apsi,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "art",
+            suite: Suite::SpecFp,
+            build: art,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "equake",
+            suite: Suite::SpecFp,
+            build: equake,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "mesa",
+            suite: Suite::SpecFp,
+            build: mesa,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "mgrid",
+            suite: Suite::SpecFp,
+            build: mgrid,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "swim",
+            suite: Suite::SpecFp,
+            build: swim,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "wupwise",
+            suite: Suite::SpecFp,
+            build: wupwise,
+            hand: None,
+            simple: false,
+        },
     ]
 }
 
@@ -26,7 +74,13 @@ fn counts(scale: Scale, test: i64, reference: i64) -> i64 {
     }
 }
 
-fn idx2(f: &mut trips_ir::FuncBuilder<'_>, base: u64, r: trips_ir::Vreg, c: trips_ir::Vreg, n: i64) -> trips_ir::Vreg {
+fn idx2(
+    f: &mut trips_ir::FuncBuilder<'_>,
+    base: u64,
+    r: trips_ir::Vreg,
+    c: trips_ir::Vreg,
+    n: i64,
+) -> trips_ir::Vreg {
     let rn = f.mul(r, n);
     let idx = f.add(rn, c);
     let off = f.shl(idx, 3i64);
@@ -38,7 +92,9 @@ pub fn applu(scale: Scale) -> Program {
     let n = counts(scale, 12, 40);
     let sweeps = counts(scale, 2, 8);
     let mut pb = ProgramBuilder::new();
-    let grid = pb.data_mut().alloc_f64s("grid", &rand_f64s(201, (n * n) as usize));
+    let grid = pb
+        .data_mut()
+        .alloc_f64s("grid", &rand_f64s(201, (n * n) as usize));
     let mut f = pb.func("main", 0);
     let e = f.entry();
     f.switch_to(e);
@@ -120,8 +176,12 @@ pub fn art(scale: Scale) -> Program {
     let classes = counts(scale, 8, 22);
     let images = counts(scale, 4, 24);
     let mut pb = ProgramBuilder::new();
-    let weights = pb.data_mut().alloc_f64s("w", &rand_f64s(207, (features * classes) as usize));
-    let inputs = pb.data_mut().alloc_f64s("x", &rand_f64s(208, (features * images) as usize));
+    let weights = pb
+        .data_mut()
+        .alloc_f64s("w", &rand_f64s(207, (features * classes) as usize));
+    let inputs = pb
+        .data_mut()
+        .alloc_f64s("x", &rand_f64s(208, (features * images) as usize));
     let winners = pb.data_mut().alloc_zeroed("win", images as u64 * 8, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
@@ -170,8 +230,12 @@ pub fn equake(scale: Scale) -> Program {
     let mut pb = ProgramBuilder::new();
     let cols: Vec<i64> = rand_i64s(211, (rows * nnz_per_row) as usize, rows);
     let cols_a = pb.data_mut().alloc_i64s("cols", &cols);
-    let vals = pb.data_mut().alloc_f64s("vals", &rand_f64s(212, (rows * nnz_per_row) as usize));
-    let x = pb.data_mut().alloc_f64s("x", &rand_f64s(213, rows as usize));
+    let vals = pb
+        .data_mut()
+        .alloc_f64s("vals", &rand_f64s(212, (rows * nnz_per_row) as usize));
+    let x = pb
+        .data_mut()
+        .alloc_f64s("x", &rand_f64s(213, rows as usize));
     let y = pb.data_mut().alloc_zeroed("y", rows as u64 * 8, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
@@ -223,8 +287,16 @@ pub fn mesa(scale: Scale) -> Program {
     let verts = counts(scale, 48, 1024);
     let mut pb = ProgramBuilder::new();
     let m = pb.data_mut().alloc_f64s("m", &rand_f64s(217, 16));
-    let vin = pb.data_mut().alloc_f64s("vin", &rand_f64s(218, (verts * 4) as usize).iter().map(|v| v + 0.5).collect::<Vec<_>>());
-    let vout = pb.data_mut().alloc_zeroed("vout", (verts * 4 * 8) as u64, 8);
+    let vin = pb.data_mut().alloc_f64s(
+        "vin",
+        &rand_f64s(218, (verts * 4) as usize)
+            .iter()
+            .map(|v| v + 0.5)
+            .collect::<Vec<_>>(),
+    );
+    let vout = pb
+        .data_mut()
+        .alloc_zeroed("vout", (verts * 4 * 8) as u64, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
     f.switch_to(e);
@@ -272,7 +344,9 @@ pub fn mgrid(scale: Scale) -> Program {
     let n = counts(scale, 64, 1024);
     let vcycles = counts(scale, 2, 8);
     let mut pb = ProgramBuilder::new();
-    let fine = pb.data_mut().alloc_f64s("fine", &rand_f64s(219, n as usize));
+    let fine = pb
+        .data_mut()
+        .alloc_f64s("fine", &rand_f64s(219, n as usize));
     let coarse = pb.data_mut().alloc_zeroed("coarse", (n / 2) as u64 * 8, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
@@ -325,9 +399,19 @@ pub fn swim(scale: Scale) -> Program {
     let n = counts(scale, 12, 40);
     let steps = counts(scale, 2, 8);
     let mut pb = ProgramBuilder::new();
-    let u = pb.data_mut().alloc_f64s("u", &rand_f64s(223, (n * n) as usize));
-    let v = pb.data_mut().alloc_f64s("v", &rand_f64s(224, (n * n) as usize));
-    let h = pb.data_mut().alloc_f64s("h", &rand_f64s(225, (n * n) as usize).iter().map(|x| x + 1.0).collect::<Vec<_>>());
+    let u = pb
+        .data_mut()
+        .alloc_f64s("u", &rand_f64s(223, (n * n) as usize));
+    let v = pb
+        .data_mut()
+        .alloc_f64s("v", &rand_f64s(224, (n * n) as usize));
+    let h = pb.data_mut().alloc_f64s(
+        "h",
+        &rand_f64s(225, (n * n) as usize)
+            .iter()
+            .map(|x| x + 1.0)
+            .collect::<Vec<_>>(),
+    );
     let mut f = pb.func("main", 0);
     let e = f.entry();
     f.switch_to(e);
@@ -374,8 +458,12 @@ pub fn wupwise(scale: Scale) -> Program {
     let sites = counts(scale, 48, 1024);
     let mut pb = ProgramBuilder::new();
     // Per site: 2x2 complex matrix (8 doubles) and a 2-vector (4 doubles).
-    let mats = pb.data_mut().alloc_f64s("mats", &rand_f64s(227, (sites * 8) as usize));
-    let vecs = pb.data_mut().alloc_f64s("vecs", &rand_f64s(228, (sites * 4) as usize));
+    let mats = pb
+        .data_mut()
+        .alloc_f64s("mats", &rand_f64s(227, (sites * 8) as usize));
+    let vecs = pb
+        .data_mut()
+        .alloc_f64s("vecs", &rand_f64s(228, (sites * 4) as usize));
     let out = pb.data_mut().alloc_zeroed("out", (sites * 4 * 8) as u64, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
@@ -397,7 +485,11 @@ pub fn wupwise(scale: Scale) -> Program {
         let (xr, xi) = loadc(f, vp, 0);
         let (yr, yi) = loadc(f, vp, 1);
         // o0 = a*x + b*y ; o1 = c*x + d*y (complex).
-        let cmul = |f: &mut trips_ir::FuncBuilder<'_>, pr: trips_ir::Vreg, pi: trips_ir::Vreg, qr: trips_ir::Vreg, qi: trips_ir::Vreg| {
+        let cmul = |f: &mut trips_ir::FuncBuilder<'_>,
+                    pr: trips_ir::Vreg,
+                    pi: trips_ir::Vreg,
+                    qr: trips_ir::Vreg,
+                    qi: trips_ir::Vreg| {
             let rr1 = f.fmul(pr, qr);
             let rr2 = f.fmul(pi, qi);
             let rr = f.fsub(rr1, rr2);
@@ -433,7 +525,8 @@ mod tests {
     fn fp_proxies_execute_and_checksum() {
         for w in workloads() {
             let p = (w.build)(Scale::Test);
-            let r = trips_ir::interp::run(&p, 1 << 22).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let r =
+                trips_ir::interp::run(&p, 1 << 22).unwrap_or_else(|e| panic!("{}: {e}", w.name));
             assert_ne!(r.return_value, 0, "{}", w.name);
         }
     }

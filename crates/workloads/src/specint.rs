@@ -11,16 +11,76 @@ use trips_ir::{IntCc, Operand, Program, ProgramBuilder};
 /// Registry entries (all 10 of the paper's integer set: no `gap`, no C++).
 pub fn workloads() -> Vec<Workload> {
     vec![
-        Workload { name: "bzip2", suite: Suite::SpecInt, build: bzip2, hand: None, simple: false },
-        Workload { name: "crafty", suite: Suite::SpecInt, build: crafty, hand: None, simple: false },
-        Workload { name: "gcc", suite: Suite::SpecInt, build: gcc, hand: None, simple: false },
-        Workload { name: "gzip", suite: Suite::SpecInt, build: gzip, hand: None, simple: false },
-        Workload { name: "mcf", suite: Suite::SpecInt, build: mcf, hand: None, simple: false },
-        Workload { name: "parser", suite: Suite::SpecInt, build: parser, hand: None, simple: false },
-        Workload { name: "perlbmk", suite: Suite::SpecInt, build: perlbmk, hand: None, simple: false },
-        Workload { name: "twolf", suite: Suite::SpecInt, build: twolf, hand: None, simple: false },
-        Workload { name: "vortex", suite: Suite::SpecInt, build: vortex, hand: None, simple: false },
-        Workload { name: "vpr", suite: Suite::SpecInt, build: vpr, hand: None, simple: false },
+        Workload {
+            name: "bzip2",
+            suite: Suite::SpecInt,
+            build: bzip2,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "crafty",
+            suite: Suite::SpecInt,
+            build: crafty,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "gcc",
+            suite: Suite::SpecInt,
+            build: gcc,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "gzip",
+            suite: Suite::SpecInt,
+            build: gzip,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "mcf",
+            suite: Suite::SpecInt,
+            build: mcf,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "parser",
+            suite: Suite::SpecInt,
+            build: parser,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "perlbmk",
+            suite: Suite::SpecInt,
+            build: perlbmk,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "twolf",
+            suite: Suite::SpecInt,
+            build: twolf,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "vortex",
+            suite: Suite::SpecInt,
+            build: vortex,
+            hand: None,
+            simple: false,
+        },
+        Workload {
+            name: "vpr",
+            suite: Suite::SpecInt,
+            build: vpr,
+            hand: None,
+            simple: false,
+        },
     ]
 }
 
@@ -35,8 +95,12 @@ fn counts(scale: Scale, test: i64, reference: i64) -> i64 {
 pub fn bzip2(scale: Scale) -> Program {
     let n = counts(scale, 96, 3072);
     let mut pb = ProgramBuilder::new();
-    let input = pb.data_mut().alloc_i64s("in", &rand_i64s(101, n as usize, 32));
-    let mtf = pb.data_mut().alloc_i64s("mtf", &(0..32).collect::<Vec<_>>());
+    let input = pb
+        .data_mut()
+        .alloc_i64s("in", &rand_i64s(101, n as usize, 32));
+    let mtf = pb
+        .data_mut()
+        .alloc_i64s("mtf", &(0..32).collect::<Vec<_>>());
     let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
@@ -84,7 +148,9 @@ pub fn bzip2(scale: Scale) -> Program {
 pub fn crafty(scale: Scale) -> Program {
     let n = counts(scale, 128, 4096);
     let mut pb = ProgramBuilder::new();
-    let boards = pb.data_mut().alloc_i64s("boards", &rand_i64s(103, n as usize, i64::MAX));
+    let boards = pb
+        .data_mut()
+        .alloc_i64s("boards", &rand_i64s(103, n as usize, i64::MAX));
     let mut f = pb.func("main", 0);
     let e = f.entry();
     f.switch_to(e);
@@ -140,7 +206,9 @@ pub fn gcc(scale: Scale) -> Program {
         "trans",
         &rand_i64s(107, (states * classes) as usize, states),
     );
-    let tokens = pb.data_mut().alloc_i64s("tokens", &rand_i64s(108, n as usize, 256));
+    let tokens = pb
+        .data_mut()
+        .alloc_i64s("tokens", &rand_i64s(108, n as usize, 256));
     let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
 
     // Helper: classify(token) -> small switch implemented with branches.
@@ -196,7 +264,9 @@ pub fn gzip(scale: Scale) -> Program {
     let n = counts(scale, 128, 3072);
     let hbits = 8i64;
     let mut pb = ProgramBuilder::new();
-    let data = pb.data_mut().alloc_i64s("data", &rand_i64s(109, (n + 8) as usize, 64));
+    let data = pb
+        .data_mut()
+        .alloc_i64s("data", &rand_i64s(109, (n + 8) as usize, 64));
     let head = pb.data_mut().alloc_zeroed("head", (1u64 << hbits) * 8, 8);
     let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
     let mut f = pb.func("main", 0);
@@ -255,8 +325,12 @@ pub fn mcf(scale: Scale) -> Program {
     let nodes = counts(scale, 64, 1024);
     let iters = counts(scale, 4, 24);
     let mut pb = ProgramBuilder::new();
-    let pot = pb.data_mut().alloc_i64s("pot", &rand_i64s(113, nodes as usize, 1000));
-    let cost = pb.data_mut().alloc_i64s("cost", &rand_i64s(114, nodes as usize, 100));
+    let pot = pb
+        .data_mut()
+        .alloc_i64s("pot", &rand_i64s(113, nodes as usize, 1000));
+    let cost = pb
+        .data_mut()
+        .alloc_i64s("cost", &rand_i64s(114, nodes as usize, 100));
     // Scatter pattern: arc i connects node i -> perm(i) with a large stride.
     let dst: Vec<i64> = (0..nodes).map(|i| (i * 97 + 13) % nodes).collect();
     let dst_a = pb.data_mut().alloc_i64s("dst", &dst);
@@ -297,7 +371,9 @@ pub fn parser(scale: Scale) -> Program {
         d.sort_unstable();
         d
     });
-    let input = pb.data_mut().alloc_i64s("words", &rand_i64s(118, words as usize, 1 << 16));
+    let input = pb
+        .data_mut()
+        .alloc_i64s("words", &rand_i64s(118, words as usize, 1 << 16));
     let out = pb.data_mut().alloc_zeroed("out", words as u64 * 8, 8);
 
     // Helper: binary search in the dictionary.
@@ -345,12 +421,19 @@ pub fn parser(scale: Scale) -> Program {
 pub fn perlbmk(scale: Scale) -> Program {
     let n = counts(scale, 96, 2048);
     let mut pb = ProgramBuilder::new();
-    let code = pb.data_mut().alloc_i64s("code", &rand_i64s(119, n as usize, 5));
-    let args = pb.data_mut().alloc_i64s("args", &rand_i64s(120, n as usize, 1 << 12));
+    let code = pb
+        .data_mut()
+        .alloc_i64s("code", &rand_i64s(119, n as usize, 5));
+    let args = pb
+        .data_mut()
+        .alloc_i64s("args", &rand_i64s(120, n as usize, 1 << 12));
 
     // Five opcode handlers, each its own function.
     let mut handlers = Vec::new();
-    for (k, name) in ["op_add", "op_mul", "op_xor", "op_shift", "op_mix"].iter().enumerate() {
+    for (k, name) in ["op_add", "op_mul", "op_xor", "op_shift", "op_mix"]
+        .iter()
+        .enumerate()
+    {
         let h = pb.declare(name, 2);
         let mut hf = pb.func(name, 2);
         let e = hf.entry();
@@ -438,8 +521,12 @@ pub fn twolf(scale: Scale) -> Program {
     let cells = counts(scale, 64, 512);
     let moves = counts(scale, 128, 4096);
     let mut pb = ProgramBuilder::new();
-    let xs = pb.data_mut().alloc_i64s("xs", &rand_i64s(121, cells as usize, 256));
-    let ys = pb.data_mut().alloc_i64s("ys", &rand_i64s(122, cells as usize, 256));
+    let xs = pb
+        .data_mut()
+        .alloc_i64s("xs", &rand_i64s(121, cells as usize, 256));
+    let ys = pb
+        .data_mut()
+        .alloc_i64s("ys", &rand_i64s(122, cells as usize, 256));
     let mut f = pb.func("main", 0);
     let e = f.entry();
     f.switch_to(e);
@@ -495,7 +582,9 @@ pub fn vortex(scale: Scale) -> Program {
     let buckets = 128i64;
     let mut pb = ProgramBuilder::new();
     let table = pb.data_mut().alloc_zeroed("table", buckets as u64 * 8, 8);
-    let keys = pb.data_mut().alloc_i64s("keys", &rand_i64s(127, ops as usize, 1 << 20));
+    let keys = pb
+        .data_mut()
+        .alloc_i64s("keys", &rand_i64s(127, ops as usize, 1 << 20));
 
     let hash = pb.declare("hash", 1);
     let mut hf = pb.func("hash", 1);
@@ -546,7 +635,9 @@ pub fn vpr(scale: Scale) -> Program {
     let mut init = rand_i64s(131, (n * n) as usize, 1000);
     init[0] = 0;
     let grid = pb.data_mut().alloc_i64s("grid", &init);
-    let costs = pb.data_mut().alloc_i64s("costs", &rand_i64s(132, (n * n) as usize, 16));
+    let costs = pb
+        .data_mut()
+        .alloc_i64s("costs", &rand_i64s(132, (n * n) as usize, 16));
     let mut f = pb.func("main", 0);
     let e = f.entry();
     f.switch_to(e);
@@ -590,7 +681,8 @@ mod tests {
     fn proxies_execute_and_checksum() {
         for w in workloads() {
             let p = (w.build)(Scale::Test);
-            let r = trips_ir::interp::run(&p, 1 << 22).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let r =
+                trips_ir::interp::run(&p, 1 << 22).unwrap_or_else(|e| panic!("{}: {e}", w.name));
             assert_ne!(r.return_value, 0, "{}", w.name);
         }
     }
@@ -606,6 +698,9 @@ mod tests {
     fn perlbmk_dispatches_all_handlers() {
         let p = perlbmk(Scale::Test);
         let r = trips_ir::interp::run(&p, 1 << 22).unwrap();
-        assert!(r.stats.calls >= 90, "interpreter should call a handler per op");
+        assert!(
+            r.stats.calls >= 90,
+            "interpreter should call a handler per op"
+        );
     }
 }

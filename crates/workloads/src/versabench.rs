@@ -7,9 +7,27 @@ use trips_ir::{Operand, Program, ProgramBuilder};
 /// Registry entries.
 pub fn workloads() -> Vec<Workload> {
     vec![
-        Workload { name: "802.11a", suite: Suite::Versa, build: w80211a, hand: None, simple: true },
-        Workload { name: "8b10b", suite: Suite::Versa, build: b8b10b, hand: Some(b8b10b_hand), simple: true },
-        Workload { name: "fmradio", suite: Suite::Versa, build: fmradio, hand: Some(fmradio_hand), simple: true },
+        Workload {
+            name: "802.11a",
+            suite: Suite::Versa,
+            build: w80211a,
+            hand: None,
+            simple: true,
+        },
+        Workload {
+            name: "8b10b",
+            suite: Suite::Versa,
+            build: b8b10b,
+            hand: Some(b8b10b_hand),
+            simple: true,
+        },
+        Workload {
+            name: "fmradio",
+            suite: Suite::Versa,
+            build: fmradio,
+            hand: Some(fmradio_hand),
+            simple: true,
+        },
     ]
 }
 
@@ -22,7 +40,9 @@ pub fn w80211a(scale: Scale) -> Program {
         Scale::Ref => 2048,
     };
     let mut pb = ProgramBuilder::new();
-    let input = pb.data_mut().alloc_i64s("bits", &rand_i64s(41, nbits as usize, 2));
+    let input = pb
+        .data_mut()
+        .alloc_i64s("bits", &rand_i64s(41, nbits as usize, 2));
     let out = pb.data_mut().alloc_zeroed("out", nbits as u64 * 8, 8);
     let mut f = pb.func("main", 0);
     let e = f.entry();
@@ -84,7 +104,9 @@ fn b8b10b_n(scale: Scale, hand: bool) -> Program {
     let table56: Vec<i64> = (0..32).map(|v| ((v * 37 + 11) % 64) as i64).collect();
     let table34: Vec<i64> = (0..8).map(|v| ((v * 11 + 3) % 16) as i64).collect();
     let mut pb = ProgramBuilder::new();
-    let input = pb.data_mut().alloc_i64s("in", &rand_i64s(43, nbytes as usize, 256));
+    let input = pb
+        .data_mut()
+        .alloc_i64s("in", &rand_i64s(43, nbytes as usize, 256));
     let t56 = pb.data_mut().alloc_i64s("t56", &table56);
     let t34 = pb.data_mut().alloc_i64s("t34", &table34);
     let out = pb.data_mut().alloc_zeroed("out", nbytes as u64 * 8, 8);
@@ -161,8 +183,12 @@ fn fmradio_n(scale: Scale, fused: bool) -> Program {
     };
     let taps = 8i64;
     let mut pb = ProgramBuilder::new();
-    let sig = pb.data_mut().alloc_f64s("sig", &rand_f64s(47, (n + taps) as usize));
-    let coef = pb.data_mut().alloc_f64s("coef", &rand_f64s(48, taps as usize));
+    let sig = pb
+        .data_mut()
+        .alloc_f64s("sig", &rand_f64s(47, (n + taps) as usize));
+    let coef = pb
+        .data_mut()
+        .alloc_f64s("coef", &rand_f64s(48, taps as usize));
     let stage1 = pb.data_mut().alloc_zeroed("stage1", n as u64 * 8, 8);
     let out = pb.data_mut().alloc_zeroed("out", n as u64 * 8, 8);
     let mut f = pb.func("main", 0);
@@ -237,8 +263,12 @@ mod tests {
 
     #[test]
     fn fused_fmradio_matches_staged() {
-        let a = trips_ir::interp::run(&fmradio(Scale::Test), 1 << 22).unwrap().return_value;
-        let b = trips_ir::interp::run(&fmradio_hand(Scale::Test), 1 << 22).unwrap().return_value;
+        let a = trips_ir::interp::run(&fmradio(Scale::Test), 1 << 22)
+            .unwrap()
+            .return_value;
+        let b = trips_ir::interp::run(&fmradio_hand(Scale::Test), 1 << 22)
+            .unwrap()
+            .return_value;
         assert_eq!(a, b);
     }
 
@@ -246,14 +276,20 @@ mod tests {
     fn encoder_outputs_depend_on_history() {
         // The convolutional encoder's state must propagate: flipping scale
         // changes the stream checksum.
-        let a = trips_ir::interp::run(&w80211a(Scale::Test), 1 << 22).unwrap().return_value;
+        let a = trips_ir::interp::run(&w80211a(Scale::Test), 1 << 22)
+            .unwrap()
+            .return_value;
         assert_ne!(a, 0);
     }
 
     #[test]
     fn b8b10b_hand_matches_table_version() {
-        let a = trips_ir::interp::run(&b8b10b(Scale::Test), 1 << 22).unwrap().return_value;
-        let b = trips_ir::interp::run(&b8b10b_hand(Scale::Test), 1 << 22).unwrap().return_value;
+        let a = trips_ir::interp::run(&b8b10b(Scale::Test), 1 << 22)
+            .unwrap()
+            .return_value;
+        let b = trips_ir::interp::run(&b8b10b_hand(Scale::Test), 1 << 22)
+            .unwrap()
+            .return_value;
         assert_eq!(a, b);
     }
 }

@@ -46,15 +46,20 @@ fn main() {
     println!("==== IR ====\n{program}");
 
     let compiled = compile(&program, &CompileOptions::o2()).expect("compiles");
-    println!("==== TRIPS blocks ({} after if-conversion) ====", compiled.trips.blocks.len());
+    println!(
+        "==== TRIPS blocks ({} after if-conversion) ====",
+        compiled.trips.blocks.len()
+    );
     for (i, b) in compiled.trips.blocks.iter().enumerate() {
         println!("{b}");
         // Placement: instruction -> execution tile.
         let placement = &compiled.placements[i];
-        let mut grid = [[String::new(), String::new(), String::new(), String::new()],
-                        [String::new(), String::new(), String::new(), String::new()],
-                        [String::new(), String::new(), String::new(), String::new()],
-                        [String::new(), String::new(), String::new(), String::new()]];
+        let mut grid = [
+            [String::new(), String::new(), String::new(), String::new()],
+            [String::new(), String::new(), String::new(), String::new()],
+            [String::new(), String::new(), String::new(), String::new()],
+            [String::new(), String::new(), String::new(), String::new()],
+        ];
         for (n, &et) in placement.iter().enumerate() {
             let cell = &mut grid[(et / 4) as usize][(et % 4) as usize];
             if !cell.is_empty() {
@@ -64,7 +69,10 @@ fn main() {
         }
         println!("placement on the 4x4 ET grid (data tiles left, register tiles above):");
         for row in &grid {
-            println!("  | {:<12} | {:<12} | {:<12} | {:<12} |", row[0], row[1], row[2], row[3]);
+            println!(
+                "  | {:<12} | {:<12} | {:<12} | {:<12} |",
+                row[0], row[1], row[2], row[3]
+            );
         }
         println!();
     }
@@ -73,6 +81,9 @@ fn main() {
     println!("result: {} (42 > 10, so y = 42*3 = 126)", out.return_value);
     println!(
         "composition: {} fetched, {} executed, {} fetched-not-executed (the untaken arm), {} nulls",
-        out.stats.fetched, out.stats.executed, out.stats.fetched_not_executed, out.stats.nulls_executed
+        out.stats.fetched,
+        out.stats.executed,
+        out.stats.fetched_not_executed,
+        out.stats.nulls_executed
     );
 }

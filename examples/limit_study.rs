@@ -18,7 +18,10 @@ use trips::workloads::{by_name, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let names: Vec<String> = if args.is_empty() {
-        ["vadd", "fmradio", "routelookup", "802.11a", "art", "mcf"].iter().map(|s| s.to_string()).collect()
+        ["vadd", "fmradio", "routelookup", "802.11a", "art", "mcf"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     } else {
         args
     };
@@ -40,7 +43,8 @@ fn main() {
             .stats
             .ipc_executed();
         let i1 = analyze(&compiled, IdealConfig::window_1k(), 1 << 22).expect("ideal");
-        let i0 = analyze(&compiled, IdealConfig::window_1k_free_dispatch(), 1 << 22).expect("ideal");
+        let i0 =
+            analyze(&compiled, IdealConfig::window_1k_free_dispatch(), 1 << 22).expect("ideal");
         let ibig = analyze(&compiled, IdealConfig::window_128k(), 1 << 22).expect("ideal");
         t.row_f(w.name, &[hw, i1.ipc, i0.ipc, ibig.ipc]);
     }

@@ -12,7 +12,10 @@ use trips::workloads::{by_name, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let names: Vec<String> = if args.is_empty() {
-        ["matrix", "a2time", "8b10b", "mcf", "equake"].iter().map(|s| s.to_string()).collect()
+        ["matrix", "a2time", "8b10b", "mcf", "equake"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     } else {
         args
     };
@@ -34,7 +37,10 @@ fn main() {
             w.name,
             vec![
                 cell(p.trips_c.cycles),
-                p.trips_h.as_ref().map(|h| cell(h.cycles)).unwrap_or_else(|| "-".into()),
+                p.trips_h
+                    .as_ref()
+                    .map(|h| cell(h.cycles))
+                    .unwrap_or_else(|| "-".into()),
                 cell(p.core2_gcc.cycles),
                 cell(p.core2_icc.cycles),
                 cell(p.p4_gcc.cycles),

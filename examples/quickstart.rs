@@ -41,7 +41,13 @@ fn main() {
     println!(
         "TRIPS blocks          : {} (largest {} instructions)",
         compiled.trips.blocks.len(),
-        compiled.trips.blocks.iter().map(|b| b.insts.len()).max().unwrap_or(0)
+        compiled
+            .trips
+            .blocks
+            .iter()
+            .map(|b| b.insts.len())
+            .max()
+            .unwrap_or(0)
     );
 
     // 4. Functional TRIPS execution with ISA statistics (paper Figures 3-5).
@@ -57,7 +63,8 @@ fn main() {
     );
 
     // 5. Cycle-level simulation on the prototype configuration (Figure 9).
-    let sim = trips::sim::simulate(&compiled, &TripsConfig::prototype(), 1 << 20).expect("simulates");
+    let sim =
+        trips::sim::simulate(&compiled, &TripsConfig::prototype(), 1 << 20).expect("simulates");
     assert_eq!(sim.return_value, golden.return_value);
     println!(
         "prototype timing      : {} cycles, IPC {:.2}, {:.0} insts in flight",

@@ -1,5 +1,6 @@
 //! Umbrella crate re-exporting the TRIPS reproduction workspace.
 pub use trips_compiler as compiler;
+pub use trips_engine as engine;
 pub use trips_experiments as experiments;
 pub use trips_ideal as ideal;
 pub use trips_ir as ir;

@@ -22,15 +22,24 @@ fn interpreter_risc_and_trips_agree_on_every_workload() {
             .unwrap_or_else(|e| panic!("{}: interp failed: {e}", w.name));
 
         // RISC backend.
-        let rp = trips::risc::compile_program(&program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let rp =
+            trips::risc::compile_program(&program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         let risc_out = trips::risc::run(&rp, &program, MEM, 2_000_000_000)
             .unwrap_or_else(|e| panic!("{}: RISC failed: {e}", w.name));
-        assert_eq!(risc_out.return_value, golden.return_value, "{}: RISC mismatch", w.name);
+        assert_eq!(
+            risc_out.return_value, golden.return_value,
+            "{}: RISC mismatch",
+            w.name
+        );
 
         // TRIPS backend at three optimization levels. O1 must match the
         // original bit-exactly; O2/Hand license FP reassociation, so they
         // are checked against the IR they actually compiled.
-        for opts in [CompileOptions::o1(), CompileOptions::o2(), CompileOptions::hand()] {
+        for opts in [
+            CompileOptions::o1(),
+            CompileOptions::o2(),
+            CompileOptions::hand(),
+        ] {
             let compiled = compile(&program, &opts)
                 .unwrap_or_else(|e| panic!("{} @ {:?}: {e}", w.name, opts.level));
             let opt_golden = trips::ir::interp::run(&compiled.opt_ir, MEM)
@@ -62,13 +71,25 @@ fn cycle_simulator_agrees_and_reports_sane_stats() {
         let opt_golden = trips::ir::interp::run(&compiled.opt_ir, MEM).unwrap();
         let sim = trips::sim::simulate(&compiled, &trips::sim::TripsConfig::prototype(), MEM)
             .unwrap_or_else(|e| panic!("{}: sim failed: {e}", w.name));
-        assert_eq!(sim.return_value, opt_golden.return_value, "{}: sim mismatch", w.name);
+        assert_eq!(
+            sim.return_value, opt_golden.return_value,
+            "{}: sim mismatch",
+            w.name
+        );
         let _ = &golden;
         assert!(sim.stats.cycles > 0, "{}", w.name);
         let ipc = sim.stats.ipc_executed();
-        assert!(ipc > 0.0 && ipc <= 16.0, "{}: IPC {ipc} outside hardware range", w.name);
+        assert!(
+            ipc > 0.0 && ipc <= 16.0,
+            "{}: IPC {ipc} outside hardware range",
+            w.name
+        );
         let w_occ = sim.stats.avg_window_insts();
-        assert!(w_occ <= 1024.0, "{}: window occupancy {w_occ} exceeds 1024", w.name);
+        assert!(
+            w_occ <= 1024.0,
+            "{}: window occupancy {w_occ} exceeds 1024",
+            w.name
+        );
     }
 }
 
@@ -80,6 +101,10 @@ fn hand_variants_agree_everywhere() {
         let opt_golden = trips::ir::interp::run(&compiled.opt_ir, MEM).unwrap();
         let out = trips::isa::run_program(&compiled.trips, &compiled.opt_ir, MEM)
             .unwrap_or_else(|e| panic!("{} (hand): {e}", w.name));
-        assert_eq!(out.return_value, opt_golden.return_value, "{} (hand)", w.name);
+        assert_eq!(
+            out.return_value, opt_golden.return_value,
+            "{} (hand)",
+            w.name
+        );
     }
 }

@@ -23,7 +23,12 @@ fn simulation_is_deterministic() {
         let b = trips::sim::simulate(&compiled, &TripsConfig::prototype(), MEM).unwrap();
         assert_eq!(a.stats.cycles, b.stats.cycles, "{}", w.name);
         assert_eq!(a.stats.opn.packets, b.stats.opn.packets, "{}", w.name);
-        assert_eq!(a.stats.predictor.mispredicts(), b.stats.predictor.mispredicts(), "{}", w.name);
+        assert_eq!(
+            a.stats.predictor.mispredicts(),
+            b.stats.predictor.mispredicts(),
+            "{}",
+            w.name
+        );
         assert_eq!(a.return_value, b.return_value, "{}", w.name);
     }
 }
@@ -35,7 +40,12 @@ fn composition_buckets_partition_fetched() {
         let compiled = compile(&program, &CompileOptions::o2()).unwrap();
         let out = trips::isa::run_program(&compiled.trips, &compiled.opt_ir, MEM).unwrap();
         let s = &out.stats;
-        assert_eq!(s.composition.total(), s.fetched, "{}: buckets must partition fetch", w.name);
+        assert_eq!(
+            s.composition.total(),
+            s.fetched,
+            "{}: buckets must partition fetch",
+            w.name
+        );
         assert_eq!(
             s.fetched,
             s.executed + s.fetched_not_executed,
@@ -55,7 +65,12 @@ fn compiled_blocks_encode_to_documented_sizes() {
         let compiled = compile(&program, &CompileOptions::o2()).unwrap();
         for b in &compiled.trips.blocks {
             let bytes = trips::isa::encode::encode_block(b);
-            assert_eq!(bytes.len(), trips::isa::encode::encoded_size_compressed(b), "{}", b.name);
+            assert_eq!(
+                bytes.len(),
+                trips::isa::encode::encoded_size_compressed(b),
+                "{}",
+                b.name
+            );
             assert!(bytes.len() >= trips::isa::encode::HEADER_BYTES + 32 * 4);
             assert!(bytes.len() <= trips::isa::encode::encoded_size_uncompressed());
             // Every compute instruction word decodes back to itself.
@@ -99,7 +114,8 @@ fn improved_predictor_not_worse() {
         let program = (w.build)(Scale::Test);
         let compiled = compile(&program, &CompileOptions::o2()).unwrap();
         let proto = trips::sim::simulate(&compiled, &TripsConfig::prototype(), MEM).unwrap();
-        let improved = trips::sim::simulate(&compiled, &TripsConfig::improved_predictor(), MEM).unwrap();
+        let improved =
+            trips::sim::simulate(&compiled, &TripsConfig::improved_predictor(), MEM).unwrap();
         total += 1;
         if improved.stats.predictor.mispredicts() <= proto.stats.predictor.mispredicts() {
             better += 1;
@@ -107,7 +123,12 @@ fn improved_predictor_not_worse() {
     }
     // Larger tables can alias differently on individual programs; demand a
     // clear majority rather than strict dominance.
-    assert!(better * 2 > total, "improved predictor worse on {}/{} programs", total - better, total);
+    assert!(
+        better * 2 > total,
+        "improved predictor worse on {}/{} programs",
+        total - better,
+        total
+    );
 }
 
 #[test]
@@ -116,9 +137,12 @@ fn ideal_machine_dominates_prototype() {
         let program = (w.build)(Scale::Test);
         let compiled = compile(&program, &CompileOptions::o2()).unwrap();
         let hw = trips::sim::simulate(&compiled, &TripsConfig::prototype(), MEM).unwrap();
-        let ideal =
-            trips::ideal::analyze(&compiled, trips::ideal::IdealConfig::window_1k_free_dispatch(), MEM)
-                .unwrap();
+        let ideal = trips::ideal::analyze(
+            &compiled,
+            trips::ideal::IdealConfig::window_1k_free_dispatch(),
+            MEM,
+        )
+        .unwrap();
         // Perfect everything can only be faster.
         assert!(
             ideal.cycles <= hw.stats.cycles,
@@ -135,8 +159,10 @@ fn larger_windows_never_hurt_the_limit_study() {
     for w in all().into_iter().take(10) {
         let program = (w.build)(Scale::Test);
         let compiled = compile(&program, &CompileOptions::o2()).unwrap();
-        let small = trips::ideal::analyze(&compiled, trips::ideal::IdealConfig::window_1k(), MEM).unwrap();
-        let big = trips::ideal::analyze(&compiled, trips::ideal::IdealConfig::window_128k(), MEM).unwrap();
+        let small =
+            trips::ideal::analyze(&compiled, trips::ideal::IdealConfig::window_1k(), MEM).unwrap();
+        let big = trips::ideal::analyze(&compiled, trips::ideal::IdealConfig::window_128k(), MEM)
+            .unwrap();
         assert!(big.cycles <= small.cycles, "{}", w.name);
     }
 }

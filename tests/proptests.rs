@@ -56,7 +56,11 @@ fn step_strategy() -> impl Strategy<Value = Step> {
         (opcode_strategy(), any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| Step::Bin(o, a, b)),
         (cc_strategy(), any::<u8>(), any::<u8>()).prop_map(|(c, a, b)| Step::Cmp(c, a, b)),
         (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(c, a, b)| Step::Select(c, a, b)),
-        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(c, t, f)| Step::Diamond { cond: c, tval: t, fval: f }),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(c, t, f)| Step::Diamond {
+            cond: c,
+            tval: t,
+            fval: f
+        }),
         (any::<u8>(), any::<u8>()).prop_map(|(v, s)| Step::StoreLoad { val: v, slot: s }),
     ]
 }

@@ -1,0 +1,162 @@
+//! A vendored, criterion-API-compatible bench harness.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! subset of the `criterion` API the workspace's benches use:
+//! [`Criterion`], [`Bencher::iter`], benchmark groups, [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Each benchmark runs a
+//! short warmup followed by `sample_size` timed samples and reports
+//! min/median/mean per iteration — enough to compare runs by eye; it makes
+//! no statistical claims beyond that.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timing collector handed to `bench_function` closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, calling it enough times per sample to exceed timer noise.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: find an iteration count taking >= ~2ms.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        self.iters_per_sample = iters;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples
+                .push(t0.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX));
+        }
+    }
+}
+
+/// The top-level harness.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&name.to_string(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup {
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            sample_size: self.sample_size,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup {
+    prefix: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(
+            &format!("{}/{}", self.prefix, name),
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_bench(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 0,
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let min = b.samples[0];
+    let median = b.samples[b.samples.len() / 2];
+    let mean = b.samples.iter().sum::<Duration>() / u32::try_from(b.samples.len()).unwrap_or(1);
+    println!(
+        "{name:<48} min {min:>12.3?}  median {median:>12.3?}  mean {mean:>12.3?}  ({} iters/sample)",
+        b.iters_per_sample
+    );
+}
+
+/// Declares a group of benchmark targets, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,227 @@
+//! A compact, tag-prefixed binary encoding of the [`Value`](crate::Value)
+//! data model (the trace-log storage format).
+//!
+//! Layout: one tag byte per node, LEB128 varints for all integers and
+//! lengths, zigzag for signed, little-endian IEEE bits for floats. Strings
+//! and containers carry a length varint. The format is self-describing, so
+//! any `Value` round-trips losslessly.
+
+use crate::{from_value, to_value, DeserializeOwned, Error, Serialize, Value};
+
+const T_UNIT: u8 = 0;
+const T_FALSE: u8 = 1;
+const T_TRUE: u8 = 2;
+const T_I64: u8 = 3;
+const T_U64: u8 = 4;
+const T_U128: u8 = 5;
+const T_F64: u8 = 6;
+const T_STR: u8 = 7;
+const T_SEQ: u8 = 8;
+const T_MAP: u8 = 9;
+
+/// Serializes a value to the binary format.
+pub fn to_bytes<T: Serialize + ?Sized>(t: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_value(&to_value(t), &mut out);
+    out
+}
+
+/// Deserializes a value from the binary format.
+///
+/// # Errors
+/// Truncated or malformed input, or a shape mismatch with the target type.
+pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let mut pos = 0usize;
+    let v = read_value(bytes, &mut pos)?;
+    if pos != bytes.len() {
+        return Err(Error::msg(format!("{} trailing bytes", bytes.len() - pos)));
+    }
+    from_value(&v)
+}
+
+fn write_varint(mut x: u128, out: &mut Vec<u8>) {
+    loop {
+        let b = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u128, Error> {
+    let mut x: u128 = 0;
+    let mut shift = 0u32;
+    loop {
+        let b = *bytes
+            .get(*pos)
+            .ok_or_else(|| Error::msg("truncated varint"))?;
+        *pos += 1;
+        if shift >= 128 {
+            return Err(Error::msg("varint overflow"));
+        }
+        x |= u128::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(x);
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag(x: i64) -> u64 {
+    ((x << 1) ^ (x >> 63)) as u64
+}
+
+fn unzigzag(x: u64) -> i64 {
+    ((x >> 1) as i64) ^ -((x & 1) as i64)
+}
+
+fn write_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Unit => out.push(T_UNIT),
+        Value::Bool(false) => out.push(T_FALSE),
+        Value::Bool(true) => out.push(T_TRUE),
+        Value::I64(x) => {
+            out.push(T_I64);
+            write_varint(u128::from(zigzag(*x)), out);
+        }
+        Value::U64(x) => {
+            out.push(T_U64);
+            write_varint(u128::from(*x), out);
+        }
+        Value::U128(x) => {
+            out.push(T_U128);
+            write_varint(*x, out);
+        }
+        Value::F64(x) => {
+            out.push(T_F64);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(T_STR);
+            write_varint(s.len() as u128, out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Seq(items) => {
+            out.push(T_SEQ);
+            write_varint(items.len() as u128, out);
+            for it in items {
+                write_value(it, out);
+            }
+        }
+        Value::Map(entries) => {
+            out.push(T_MAP);
+            write_varint(entries.len() as u128, out);
+            for (k, val) in entries {
+                write_value(k, out);
+                write_value(val, out);
+            }
+        }
+    }
+}
+
+fn read_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let tag = *bytes
+        .get(*pos)
+        .ok_or_else(|| Error::msg("truncated value"))?;
+    *pos += 1;
+    Ok(match tag {
+        T_UNIT => Value::Unit,
+        T_FALSE => Value::Bool(false),
+        T_TRUE => Value::Bool(true),
+        T_I64 => Value::I64(unzigzag(
+            u64::try_from(read_varint(bytes, pos)?).map_err(|_| Error::msg("i64 overflow"))?,
+        )),
+        T_U64 => Value::U64(
+            u64::try_from(read_varint(bytes, pos)?).map_err(|_| Error::msg("u64 overflow"))?,
+        ),
+        T_U128 => Value::U128(read_varint(bytes, pos)?),
+        T_F64 => {
+            let raw = bytes
+                .get(*pos..*pos + 8)
+                .ok_or_else(|| Error::msg("truncated f64"))?;
+            *pos += 8;
+            Value::F64(f64::from_bits(u64::from_le_bytes(
+                raw.try_into().expect("8 bytes"),
+            )))
+        }
+        T_STR => {
+            let len = usize::try_from(read_varint(bytes, pos)?)
+                .map_err(|_| Error::msg("len overflow"))?;
+            let raw = bytes
+                .get(*pos..*pos + len)
+                .ok_or_else(|| Error::msg("truncated string"))?;
+            *pos += len;
+            Value::Str(String::from_utf8(raw.to_vec()).map_err(Error::msg)?)
+        }
+        T_SEQ => {
+            let len = usize::try_from(read_varint(bytes, pos)?)
+                .map_err(|_| Error::msg("len overflow"))?;
+            let mut items = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                items.push(read_value(bytes, pos)?);
+            }
+            Value::Seq(items)
+        }
+        T_MAP => {
+            let len = usize::try_from(read_varint(bytes, pos)?)
+                .map_err(|_| Error::msg("len overflow"))?;
+            let mut entries = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                let k = read_value(bytes, pos)?;
+                let v = read_value(bytes, pos)?;
+                entries.push((k, v));
+            }
+            Value::Map(entries)
+        }
+        t => return Err(Error::msg(format!("unknown tag {t}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        A,
+        B(i64),
+        C { x: u128, y: Vec<bool> },
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        for k in [
+            Kind::A,
+            Kind::B(-987654321),
+            Kind::C {
+                x: u128::MAX,
+                y: vec![true, false, true],
+            },
+        ] {
+            let bytes = to_bytes(&k);
+            assert_eq!(from_bytes::<Kind>(&bytes).unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn varint_edges() {
+        for x in [0u64, 1, 127, 128, u64::MAX] {
+            let bytes = to_bytes(&x);
+            assert_eq!(from_bytes::<u64>(&bytes).unwrap(), x);
+        }
+        for x in [i64::MIN, -1, 0, 1, i64::MAX] {
+            let bytes = to_bytes(&x);
+            assert_eq!(from_bytes::<i64>(&bytes).unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let bytes = to_bytes(&vec![1u64, 2, 3]);
+        assert!(from_bytes::<Vec<u64>>(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

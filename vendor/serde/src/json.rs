@@ -1,0 +1,380 @@
+//! JSON rendering and parsing for the [`Value`](crate::Value) data model.
+//!
+//! The writer emits compact one-line JSON (the sweep driver's row format);
+//! the reader accepts standard JSON with whitespace. Non-string map keys
+//! (e.g. enum-keyed histograms) are rendered as their JSON text inside a
+//! string, which keeps the output legal JSON at the cost of nested quoting.
+
+use crate::{from_value, to_value, DeserializeOwned, Error, Serialize, Value};
+
+/// Serializes to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(t: &T) -> String {
+    let mut out = String::new();
+    write_value(&to_value(t), &mut out);
+    out
+}
+
+/// Parses a JSON string into any owned deserializable type.
+///
+/// # Errors
+/// Malformed JSON or a shape mismatch with the target type.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let v = parse(s)?;
+    from_value(&v)
+}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// # Errors
+/// Malformed JSON.
+pub fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing JSON at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Unit => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(x) => out.push_str(&x.to_string()),
+        Value::U64(x) => out.push_str(&x.to_string()),
+        Value::U128(x) => out.push_str(&x.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                let s = format!("{x}");
+                out.push_str(&s);
+                // Keep floats self-identifying so round-trips stay typed.
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_str(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, it) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(it, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                match k {
+                    Value::Str(s) => write_str(s, out),
+                    other => {
+                        let mut inner = String::new();
+                        write_value(other, &mut inner);
+                        write_str(&inner, out);
+                    }
+                }
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::msg(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Unit),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(Error::msg(format!("bad array at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    // Keys stay strings here; typed map deserialization
+                    // re-parses stringified non-string keys on demand (see
+                    // `map_key` in lib.rs), so a string key that
+                    // merely *looks* like JSON is never corrupted.
+                    let key = Value::Str(self.string()?);
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let val = self.value()?;
+                    entries.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(Error::msg(format!("bad object at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(Error::msg(format!("unexpected byte at {}", self.pos))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let mut code = self.hex4(self.pos + 1)?;
+                            self.pos += 4;
+                            // Combine UTF-16 surrogate pairs (how standard
+                            // serializers escape non-BMP characters).
+                            if (0xd800..0xdc00).contains(&code)
+                                && self.bytes.get(self.pos + 1) == Some(&b'\\')
+                                && self.bytes.get(self.pos + 2) == Some(&b'u')
+                            {
+                                let low = self.hex4(self.pos + 3)?;
+                                if (0xdc00..0xe000).contains(&low) {
+                                    code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                    self.pos += 6;
+                                }
+                            }
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(Error::msg("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(Error::msg)?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error::msg("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&self, at: usize) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(at..at + 4)
+            .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+        u32::from_str_radix(std::str::from_utf8(hex).map_err(Error::msg)?, 16).map_err(Error::msg)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(Error::msg)?;
+        if float {
+            text.parse::<f64>().map(Value::F64).map_err(Error::msg)
+        } else if text.starts_with('-') {
+            text.parse::<i64>().map(Value::I64).map_err(Error::msg)
+        } else if let Ok(u) = text.parse::<u64>() {
+            Ok(Value::U64(u))
+        } else {
+            text.parse::<u128>().map(Value::U128).map_err(Error::msg)
+        }
+    }
+}
+
+/// Mirrors `serde_json::Error` so callers can use the familiar name.
+pub use crate::Error as JsonError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Row {
+        name: String,
+        cycles: u64,
+        ipc: f64,
+        ok: bool,
+        note: Option<String>,
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = Row {
+            name: "vadd \"q\"".into(),
+            cycles: 12345,
+            ipc: 3.25,
+            ok: true,
+            note: None,
+        };
+        let s = to_string(&r);
+        assert_eq!(from_str::<Row>(&s).unwrap(), r);
+    }
+
+    #[test]
+    fn parses_whitespace_and_nesting() {
+        let v: Vec<Vec<i64>> = from_str(" [ [1, -2] , [3] ] ").unwrap();
+        assert_eq!(v, vec![vec![1, -2], vec![3]]);
+    }
+
+    #[test]
+    fn string_keys_that_look_like_json_survive() {
+        use std::collections::HashMap;
+        let m: HashMap<String, u64> = [("7".to_string(), 1), ("[1]".to_string(), 2)].into();
+        let s = to_string(&m);
+        assert_eq!(from_str::<HashMap<String, u64>>(&s).unwrap(), m);
+    }
+
+    #[test]
+    fn non_string_keys_roundtrip() {
+        use std::collections::HashMap;
+        let m: HashMap<u32, bool> = [(7, true), (40, false)].into();
+        let s = to_string(&m);
+        assert_eq!(from_str::<HashMap<u32, bool>>(&s).unwrap(), m);
+    }
+
+    #[test]
+    fn surrogate_pairs_combine() {
+        let s: String = from_str("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(s, "\u{1f600}");
+        // A lone surrogate degrades to U+FFFD instead of erroring.
+        let lone: String = from_str("\"\\ud83d!\"").unwrap();
+        assert_eq!(lone, "\u{fffd}!");
+        // Round-trip through the writer (which emits raw UTF-8).
+        let back: String = from_str(&to_string("\u{1f600}")).unwrap();
+        assert_eq!(back, "\u{1f600}");
+    }
+
+    #[test]
+    fn non_finite_floats_roundtrip_as_null() {
+        assert_eq!(to_string(&f64::NAN), "null");
+        assert!(from_str::<f64>("null").unwrap().is_nan());
+        // Inside a struct field the value survives (as NaN).
+        let r: Vec<f64> = from_str(&to_string(&vec![1.5, f64::INFINITY])).unwrap();
+        assert_eq!(r[0], 1.5);
+        assert!(r[1].is_nan());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<u64>("12 trailing").is_err());
+        assert!(from_str::<u64>("{").is_err());
+    }
+}

@@ -1,0 +1,636 @@
+//! A vendored, serde-API-compatible serialization facade.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! its own small implementation of the parts of `serde` it uses:
+//!
+//! * the [`Serialize`] / [`Deserialize`] traits (with the same signatures the
+//!   real crate uses, so manual impls written against real serde compile
+//!   unchanged);
+//! * `#[derive(Serialize, Deserialize)]` via the sibling `serde_derive`
+//!   proc-macro crate;
+//! * a self-describing [`Value`] data model that all serializers and
+//!   deserializers route through;
+//! * two concrete formats: human-readable JSON ([`json`]) and a compact
+//!   varint-tagged binary encoding ([`bin`]).
+//!
+//! The design intentionally trades serde's zero-copy visitor machinery for a
+//! small tree-walking core: every `Serializer` receives a fully-built
+//! [`Value`], and every `Deserializer` produces one. For the workload sizes
+//! this repository serializes (trace logs, experiment rows, configs) that is
+//! plenty, and it keeps the whole facade auditable.
+
+// Lets the derive macros' `::serde::...` paths resolve inside this crate's
+// own tests.
+extern crate self as serde;
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod bin;
+pub mod json;
+
+/// The self-describing data model everything routes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unit / null.
+    Unit,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (i8..=i64 widen to this).
+    I64(i64),
+    /// Unsigned integer (u8..=u64 widen to this).
+    U64(u64),
+    /// 128-bit unsigned (kept separate to stay lossless).
+    U128(u128),
+    /// IEEE double (f32 widens).
+    F64(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Sequence (Vec, arrays, tuples, tuple structs/variants).
+    Seq(Vec<Value>),
+    /// Map (structs, maps; enum variants encode as one-entry maps).
+    Map(Vec<(Value, Value)>),
+}
+
+impl Value {
+    /// Shorthand for a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+
+/// Builds the externally-tagged encoding of an enum variant with a payload.
+pub fn variant(name: &str, payload: Value) -> Value {
+    Value::Map(vec![(Value::str(name), payload)])
+}
+
+/// The one concrete error type of the facade.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn msg(m: impl fmt::Display) -> Error {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializer-side error bound, mirroring `serde::ser::Error`.
+pub mod ser {
+    /// The error trait every `Serializer::Error` implements.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserializer-side error bound, mirroring `serde::de::Error`.
+pub mod de {
+    /// The error trait every `Deserializer::Error` implements.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::msg(msg)
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::msg(msg)
+    }
+}
+
+/// A serialization sink. Unlike real serde's 30-method trait, formats here
+/// accept one fully-built [`Value`].
+pub trait Serializer {
+    /// Successful output.
+    type Ok;
+    /// Failure type.
+    type Error: ser::Error;
+    /// Consumes the value tree.
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A deserialization source producing a [`Value`] tree.
+pub trait Deserializer<'de> {
+    /// Failure type.
+    type Error: de::Error;
+    /// Produces the value tree.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Types that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Types that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A `Deserialize` that works for any lifetime (all types here are owned).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+// ---------------------------------------------------------------------------
+// Value serializer / deserializer (the glue everything uses)
+// ---------------------------------------------------------------------------
+
+struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_value(self, v: Value) -> Result<Value, Error> {
+        Ok(v)
+    }
+}
+
+struct ValueDeserializer<'a>(&'a Value);
+
+impl<'de, 'a> Deserializer<'de> for ValueDeserializer<'a> {
+    type Error = Error;
+    fn deserialize_value(self) -> Result<Value, Error> {
+        Ok(self.0.clone())
+    }
+}
+
+/// Serializes any value into the [`Value`] data model.
+///
+/// Serialization into `Value` cannot fail for derived impls; a hand-written
+/// impl that errors is surfaced as an error-string value rather than a panic.
+pub fn to_value<T: Serialize + ?Sized>(t: &T) -> Value {
+    t.serialize(ValueSerializer)
+        .unwrap_or_else(|e| Value::Str(format!("<serialize error: {e}>")))
+}
+
+/// Deserializes any owned type from a [`Value`] tree.
+///
+/// # Errors
+/// Returns [`Error`] when the tree does not match the target type's shape.
+pub fn from_value<T: DeserializeOwned>(v: &Value) -> Result<T, Error> {
+    T::deserialize(ValueDeserializer(v))
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by derived code
+// ---------------------------------------------------------------------------
+
+/// Looks up a struct field by name in a `Value::Map`.
+///
+/// # Errors
+/// When `v` is not a map or lacks the field.
+pub fn field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, Error> {
+    match v {
+        Value::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| matches!(k, Value::Str(s) if s == name))
+            .map(|(_, val)| val)
+            .ok_or_else(|| Error::msg(format!("missing field `{name}`"))),
+        other => Err(Error::msg(format!(
+            "expected map for field `{name}`, got {other:?}"
+        ))),
+    }
+}
+
+/// Looks up a positional element in a `Value::Seq`.
+///
+/// # Errors
+/// When `v` is not a sequence or is too short.
+pub fn elem(v: &Value, idx: usize) -> Result<&Value, Error> {
+    match v {
+        Value::Seq(items) => items
+            .get(idx)
+            .ok_or_else(|| Error::msg(format!("missing element {idx}"))),
+        other => Err(Error::msg(format!("expected sequence, got {other:?}"))),
+    }
+}
+
+/// Splits an enum encoding into `(variant_name, payload)`.
+///
+/// # Errors
+/// When `v` is neither a string (unit variant) nor a one-entry map.
+pub fn enum_parts(v: &Value) -> Result<(&str, Option<&Value>), Error> {
+    match v {
+        Value::Str(s) => Ok((s.as_str(), None)),
+        Value::Map(entries) if entries.len() == 1 => match &entries[0] {
+            (Value::Str(s), payload) => Ok((s.as_str(), Some(payload))),
+            _ => Err(Error::msg("enum map key must be a string")),
+        },
+        other => Err(Error::msg(format!("expected enum encoding, got {other:?}"))),
+    }
+}
+
+/// Unwraps the payload of a data-carrying enum variant.
+///
+/// # Errors
+/// When the variant was encoded without a payload.
+pub fn payload(p: Option<&Value>) -> Result<&Value, Error> {
+    p.ok_or_else(|| Error::msg("missing enum variant payload"))
+}
+
+// ---------------------------------------------------------------------------
+// Impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_int {
+    ($($t:ty => $var:ident as $conv:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::$var(*self as $conv))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.deserialize_value()?;
+                let out = match v {
+                    Value::I64(x) => <$t>::try_from(x).map_err(|_| ()),
+                    Value::U64(x) => <$t>::try_from(x).map_err(|_| ()),
+                    Value::U128(x) => <$t>::try_from(x).map_err(|_| ()),
+                    _ => Err(()),
+                };
+                out.map_err(|()| de::Error::custom(format!("expected {} number", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_int! {
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64,
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    isize => I64 as i64,
+}
+
+impl Serialize for u128 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::U128(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for u128 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::U128(x) => Ok(x),
+            Value::U64(x) => Ok(u128::from(x)),
+            Value::I64(x) => u128::try_from(x).map_err(|_| de::Error::custom("negative u128")),
+            _ => Err(de::Error::custom("expected u128 number")),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Bool(b) => Ok(b),
+            _ => Err(de::Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::F64(x) => Ok(x),
+            Value::I64(x) => Ok(x as f64),
+            Value::U64(x) => Ok(x as f64),
+            // The JSON writer renders non-finite floats as null.
+            Value::Unit => Ok(f64::NAN),
+            _ => Err(de::Error::custom("expected f64 number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(f64::from(*self)))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Str(s) => Ok(s),
+            _ => Err(de::Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::str(self))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Unit)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Unit => Ok(()),
+            _ => Err(de::Error::custom("expected unit")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(Value::Unit),
+            Some(t) => s.serialize_value(to_value(t)),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Unit => Ok(None),
+            v => from_value(&v).map(Some).map_err(de::Error::custom),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Seq(self.iter().map(|t| to_value(t)).collect()))
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Seq(items) => items
+                .iter()
+                .map(|v| from_value(v))
+                .collect::<Result<Vec<T>, Error>>()
+                .map_err(de::Error::custom),
+            _ => Err(de::Error::custom("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Seq(self.iter().map(|t| to_value(t)).collect()))
+    }
+}
+
+impl<'de, T: DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items: Vec<T> = Vec::deserialize(d)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| de::Error::custom(format!("expected array of {N} elements, got {n}")))
+    }
+}
+
+/// Deserializes a map key. The JSON writer renders non-string keys as
+/// their JSON text inside a string, so when direct deserialization fails on
+/// a string key, the string is re-parsed as JSON and tried again. Direct
+/// deserialization is attempted first, so genuine string keys that merely
+/// look like JSON (e.g. `"7"`) are never corrupted.
+fn map_key<K: DeserializeOwned>(k: &Value) -> Result<K, Error> {
+    match from_value(k) {
+        Ok(key) => Ok(key),
+        Err(e) => match k {
+            Value::Str(s) => json::parse(s)
+                .ok()
+                .and_then(|kv| from_value(&kv).ok())
+                .ok_or(e),
+            _ => Err(e),
+        },
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($t:ident . $idx:tt),+)),* $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Seq(vec![$(to_value(&self.$idx)),+]))
+            }
+        }
+        impl<'de, $($t: DeserializeOwned),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.deserialize_value()?;
+                (|| -> Result<Self, Error> {
+                    Ok(($(from_value::<$t>(elem(&v, $idx)?)?,)+))
+                })().map_err(de::Error::custom)
+            }
+        }
+    )*};
+}
+
+ser_de_tuple! {
+    (T0.0, T1.1),
+    (T0.0, T1.1, T2.2),
+    (T0.0, T1.1, T2.2, T3.3),
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.deserialize_value()
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut entries: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (to_value(k), to_value(v)))
+            .collect();
+        // Sort by the JSON rendering of the key so output is deterministic.
+        entries.sort_by_key(|e| json::to_string(&e.0));
+        s.serialize_value(Value::Map(entries))
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: DeserializeOwned + std::hash::Hash + Eq,
+    V: DeserializeOwned,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((map_key(k)?, from_value(v)?)))
+                .collect::<Result<HashMap<K, V, H>, Error>>()
+                .map_err(de::Error::custom),
+            _ => Err(de::Error::custom("expected map")),
+        }
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Map(
+            self.iter()
+                .map(|(k, v)| (to_value(k), to_value(v)))
+                .collect(),
+        ))
+    }
+}
+
+impl<'de, K: DeserializeOwned + Ord, V: DeserializeOwned> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((map_key(k)?, from_value(v)?)))
+                .collect::<Result<BTreeMap<K, V>, Error>>()
+                .map_err(de::Error::custom),
+            _ => Err(de::Error::custom("expected map")),
+        }
+    }
+}
+
+impl<T: Serialize, H> Serialize for HashSet<T, H> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut items: Vec<Value> = self.iter().map(|t| to_value(t)).collect();
+        items.sort_by_key(json::to_string);
+        s.serialize_value(Value::Seq(items))
+    }
+}
+
+impl<'de, T, H> Deserialize<'de> for HashSet<T, H>
+where
+    T: DeserializeOwned + std::hash::Hash + Eq,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Seq(items) => items
+                .iter()
+                .map(|v| from_value(v))
+                .collect::<Result<HashSet<T, H>, Error>>()
+                .map_err(de::Error::custom),
+            _ => Err(de::Error::custom("expected sequence")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: i64,
+        y: Option<u32>,
+        tags: Vec<String>,
+    }
+
+    #[derive(Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+    enum Shape {
+        Dot,
+        Line(u32, u32),
+        Poly { n: usize, closed: bool },
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Wrap(u64);
+
+    #[test]
+    fn struct_roundtrip() {
+        let p = Point {
+            x: -3,
+            y: Some(9),
+            tags: vec!["a".into(), "b".into()],
+        };
+        let v = to_value(&p);
+        assert_eq!(from_value::<Point>(&v).unwrap(), p);
+    }
+
+    #[test]
+    fn enum_roundtrip() {
+        for s in [
+            Shape::Dot,
+            Shape::Line(1, 2),
+            Shape::Poly { n: 5, closed: true },
+        ] {
+            let v = to_value(&s);
+            assert_eq!(from_value::<Shape>(&v).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn newtype_and_collections_roundtrip() {
+        let w = Wrap(u64::MAX);
+        assert_eq!(from_value::<Wrap>(&to_value(&w)).unwrap(), w);
+        let m: HashMap<Shape, [u64; 3]> =
+            [(Shape::Dot, [1, 2, 3]), (Shape::Line(0, 1), [4, 5, 6])].into();
+        assert_eq!(
+            from_value::<HashMap<Shape, [u64; 3]>>(&to_value(&m)).unwrap(),
+            m
+        );
+        let set: HashSet<u32> = [3, 1, 2].into();
+        assert_eq!(from_value::<HashSet<u32>>(&to_value(&set)).unwrap(), set);
+    }
+
+    #[test]
+    fn u128_is_lossless() {
+        let big: u128 = u128::MAX - 7;
+        assert_eq!(from_value::<u128>(&to_value(&big)).unwrap(), big);
+    }
+}

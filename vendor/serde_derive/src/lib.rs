@@ -1,0 +1,373 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde facade.
+//!
+//! With no access to `syn`/`quote`, the item is parsed directly from the
+//! `proc_macro` token stream. Only the shapes this workspace actually uses
+//! are supported — non-generic structs (named, tuple, unit) and enums whose
+//! variants are unit, tuple, or struct-like — which covers every derived
+//! type in the repository. Generated code routes through the facade's
+//! `Value` data model: structs become string-keyed maps, tuples become
+//! sequences, and enums use external tagging (`"Variant"` or
+//! `{"Variant": payload}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Body {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+type Peek = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attrs_and_vis(it: &mut Peek) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kw = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde_derive: expected struct/enum, got {t:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde_derive: expected type name, got {t:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported by the vendored facade");
+        }
+    }
+    // Skip a possible `where` clause (none in this workspace, but cheap).
+    while let Some(tt) = it.peek() {
+        match tt {
+            TokenTree::Group(_) | TokenTree::Punct(_) => break,
+            _ => {
+                it.next();
+            }
+        }
+    }
+    let body = match kw.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Shape::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Shape::Unit),
+            t => panic!("serde_derive: unexpected struct body {t:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            t => panic!("serde_derive: unexpected enum body {t:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    };
+    Item { name, body }
+}
+
+/// Skips one field's type: everything up to a comma at angle-bracket depth
+/// zero. `->` inside fn-pointer types is recognized so its `>` does not
+/// unbalance the depth count.
+fn skip_type(it: &mut Peek) {
+    let mut depth: i64 = 0;
+    let mut prev_dash = false;
+    while let Some(tt) = it.peek() {
+        match tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && depth == 0 {
+                    it.next();
+                    return;
+                }
+                if c == '<' {
+                    depth += 1;
+                } else if c == '>' && !prev_dash {
+                    depth -= 1;
+                }
+                prev_dash = c == '-';
+                it.next();
+            }
+            _ => {
+                prev_dash = false;
+                it.next();
+            }
+        }
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        match it.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => return fields,
+            t => panic!("serde_derive: expected field name, got {t:?}"),
+        }
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            t => panic!("serde_derive: expected `:` after field, got {t:?}"),
+        }
+        skip_type(&mut it);
+    }
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut it = ts.into_iter().peekable();
+    let mut count = 0usize;
+    loop {
+        skip_attrs_and_vis(&mut it);
+        if it.peek().is_none() {
+            return count;
+        }
+        count += 1;
+        skip_type(&mut it);
+    }
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return variants,
+            t => panic!("serde_derive: expected variant name, got {t:?}"),
+        };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant and the trailing comma.
+        loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+                None => {
+                    variants.push(Variant { name, shape });
+                    return variants;
+                }
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+}
+
+fn named_map_expr(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let mut s = String::from("{ let mut __m: ::std::vec::Vec<(::serde::Value, ::serde::Value)> = ::std::vec::Vec::new(); ");
+    for f in fields {
+        s.push_str(&format!(
+            "__m.push((::serde::Value::str(\"{f}\"), ::serde::to_value({})));",
+            access(f)
+        ));
+    }
+    s.push_str(" ::serde::Value::Map(__m) }");
+    s
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let value_expr = match &item.body {
+        Body::Struct(Shape::Unit) => "::serde::Value::Unit".to_string(),
+        Body::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::to_value(&self.{i})"))
+                .collect();
+            if *n == 1 {
+                // Newtype structs serialize transparently, like real serde.
+                elems[0].clone()
+            } else {
+                format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+            }
+        }
+        Body::Struct(Shape::Named(fields)) => named_map_expr(fields, |f| format!("&self.{f}")),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        arms.push_str(&format!("{name}::{vn} => ::serde::Value::str(\"{vn}\"),"));
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::to_value({b})"))
+                            .collect();
+                        let payload = if *n == 1 {
+                            elems[0].clone()
+                        } else {
+                            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::variant(\"{vn}\", {payload}),",
+                            binds.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let payload = named_map_expr(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::variant(\"{vn}\", {payload}),",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn serialize<__S: ::serde::Serializer>(&self, __s: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+             let __v = {value_expr};\n\
+             __s.serialize_value(__v)\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn named_construct(path: &str, fields: &[String], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::from_value(::serde::field({src}, \"{f}\")?)?"))
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn tuple_construct(path: &str, n: usize, src: &str) -> String {
+    if n == 1 {
+        return format!("{path}(::serde::from_value({src})?)");
+    }
+    let inits: Vec<String> = (0..n)
+        .map(|i| format!("::serde::from_value(::serde::elem({src}, {i}usize)?)?"))
+        .collect();
+    format!("{path}({})", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let build_expr = match &item.body {
+        Body::Struct(Shape::Unit) => format!("::core::result::Result::Ok({name})"),
+        Body::Struct(Shape::Tuple(n)) => {
+            format!(
+                "::core::result::Result::Ok({})",
+                tuple_construct(name, *n, "&__v")
+            )
+        }
+        Body::Struct(Shape::Named(fields)) => {
+            format!(
+                "::core::result::Result::Ok({})",
+                named_construct(name, fields, "&__v")
+            )
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        arms.push_str(&format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),"
+                        ));
+                    }
+                    Shape::Tuple(n) => {
+                        let cons = tuple_construct(&format!("{name}::{vn}"), *n, "__p");
+                        arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __p = ::serde::payload(__payload)?; ::core::result::Result::Ok({cons}) }},"
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let cons = named_construct(&format!("{name}::{vn}"), fields, "__p");
+                        arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __p = ::serde::payload(__payload)?; ::core::result::Result::Ok({cons}) }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "{{ let (__name, __payload) = ::serde::enum_parts(&__v)?;\n\
+                    match __name {{ {arms} __other => ::core::result::Result::Err(::serde::Error::msg(\
+                    format!(\"unknown {name} variant {{__other}}\"))) }} }}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+           fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+             let __v = __d.deserialize_value()?;\n\
+             let __r = (|| -> ::core::result::Result<{name}, ::serde::Error> {{ {build_expr} }})();\n\
+             __r.map_err(|__e| <__D::Error as ::serde::de::Error>::custom(__e))\n\
+           }}\n\
+         }}"
+    )
+}
