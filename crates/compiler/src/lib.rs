@@ -13,7 +13,7 @@
 //! 2. **Instruction placement** — assigning each instruction to one of the
 //!    16 execution tiles to expose concurrency while minimizing operand
 //!    network distance (a greedy spatial-path-scheduling heuristic after
-//!    Coons et al. [2]).
+//!    Coons et al. \[2\]).
 //!
 //! The pipeline: IR optimizations ([`opt`]) → register-home assignment
 //! ([`homes`]) → hyperblock formation ([`hir`]) → dataflow emission

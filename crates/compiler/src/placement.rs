@@ -1,7 +1,7 @@
 //! Spatial instruction placement onto the 4×4 execution-tile grid.
 //!
 //! A greedy list scheduler in the spirit of spatial path scheduling (Coons
-//! et al., ASPLOS 2006 — reference [2] of the paper): instructions are
+//! et al., ASPLOS 2006 — reference \[2\] of the paper): instructions are
 //! placed in order of criticality (longest dependence path through them);
 //! each is assigned the tile minimizing its estimated operand arrival time,
 //! accounting for Manhattan-distance hops on the operand network from its

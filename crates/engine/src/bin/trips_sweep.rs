@@ -44,6 +44,9 @@ options:
   --threads N          worker threads (default: one per core)
   --budget N           dynamic block budget for capture/sim (default 1000000)
   --mem BYTES          memory image size (default 4194304)
+  --trace-dir DIR      persistent content-addressed trace store: captures
+                       are written to DIR and reused by later runs (created
+                       if missing)
   --format json|csv    row output format (default json)
   --out FILE           write rows to FILE instead of stdout
   -h, --help           this text";
@@ -66,6 +69,7 @@ fn main() -> ExitCode {
     let mut backends: Vec<String> = vec!["trips".into()];
     let mut format = "json".to_string();
     let mut out_path: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
     let mut default_demo = true;
 
     let mut it = args.iter();
@@ -154,6 +158,10 @@ fn main() -> ExitCode {
                 Ok(v) => out_path = Some(v),
                 Err(e) => return fail(&e),
             },
+            "--trace-dir" => match value("--trace-dir") {
+                Ok(v) => trace_dir = Some(v),
+                Err(e) => return fail(&e),
+            },
             other => return fail(&format!("unknown option `{other}`")),
         }
     }
@@ -193,7 +201,13 @@ fn main() -> ExitCode {
         }
     }
 
-    let session = Session::new();
+    let session = match &trace_dir {
+        Some(dir) => match trips_engine::TraceStore::open(dir) {
+            Ok(store) => Session::with_store(store),
+            Err(e) => return fail(&format!("opening trace store `{dir}`: {e}")),
+        },
+        None => Session::new(),
+    };
     let report = match run_sweep(&spec, &session) {
         Ok(r) => r,
         Err(e) => return fail(&e.to_string()),
@@ -229,9 +243,15 @@ fn main() -> ExitCode {
         report.measurements_per_sec,
     );
     eprintln!(
-        "trips-sweep: cache: {} compiles ({} reused), {} captures ({} replays reused them)",
-        c.compile_misses, c.compile_hits, c.trace_misses, c.trace_hits,
+        "trips-sweep: cache: {} compiles ({} reused), {} captures, {} in-memory trace reuses",
+        c.compile_misses, c.compile_hits, c.captures, c.trace_hits,
     );
+    if trace_dir.is_some() {
+        eprintln!(
+            "trips-sweep: store: disk_hits={} disk_misses={} disk_rejects={} writes={} captures={}",
+            c.disk_hits, c.disk_misses, c.disk_rejects, c.store_writes, c.captures,
+        );
+    }
     if c.risc_misses > 0 {
         eprintln!(
             "trips-sweep: cache: {} RISC compiles ({} reused across reference backends)",

@@ -1,6 +1,6 @@
 //! The memoizing artifact store behind every sweep and experiment.
 //!
-//! Two tiers, both keyed on provenance rather than content:
+//! Two in-memory tiers, both keyed on provenance rather than content:
 //!
 //! * compiled programs: `(workload, scale, options-signature, hand)`;
 //! * captured trace logs: the compile key plus `(memory size, block budget)`.
@@ -11,6 +11,16 @@
 //! in-flight computation instead of duplicating work. Failures are cached
 //! too — a workload that cannot compile fails every request identically
 //! instead of being retried by each sweep point.
+//!
+//! An optional third tier persists traces across processes: a
+//! content-addressed [`TraceStore`] directory (see
+//! [`Session::with_store`]). On an in-memory miss the store is consulted
+//! first — a verified `<key>.trace` file stands in for a functional capture
+//! — and fresh captures are written back, so process B replays what process
+//! A captured. Successful loads must also pass
+//! [`TraceLog::validate`](trips_isa::TraceLog::validate) against the
+//! compiled program, so even a hash-valid but stale file can never drive
+//! the timing model out of bounds; it is rejected and recaptured instead.
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -19,8 +29,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use trips_compiler::{CompileOptions, CompiledProgram};
-use trips_isa::{TraceLog, TraceMeta};
+use trips_isa::{TraceId, TraceLog, TraceMeta};
 use trips_workloads::{Scale, Workload};
+
+use crate::store::{LoadOutcome, TraceStore};
 
 /// Engine failures (compile and functional-execution errors are carried as
 /// rendered strings so they can live in the cache).
@@ -52,15 +64,29 @@ impl fmt::Display for EngineError {
 
 impl Error for EngineError {}
 
-/// A stable signature of a [`CompileOptions`] value (FNV-1a over its debug
+/// A stable signature of a [`CompileOptions`] value (the shared
+/// [`StableHasher`](trips_isa::hash::StableHasher) over its debug
 /// rendering; options are plain scalars so the rendering is canonical).
 pub fn opts_sig(opts: &CompileOptions) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in format!("{opts:?}").bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    let mut h = trips_isa::hash::StableHasher::new();
+    h.write(format!("{opts:?}").as_bytes());
+    h.finish()
+}
+
+/// A stable content signature of the code a capture would execute: the
+/// TRIPS blocks, the optimized IR functions and entry, and the data image
+/// (the data segment's debug-only symbol table is deliberately excluded —
+/// it lives in a `HashMap`, whose serialization order is not stable).
+/// Folded into the trace store key so that a compiler change retires every
+/// stale stored trace by itself, without waiting for a
+/// `TRACE_VERSION` bump.
+pub fn code_sig(compiled: &CompiledProgram) -> u64 {
+    let mut h = trips_isa::hash::StableHasher::new();
+    h.write(&serde::bin::to_bytes(&compiled.trips));
+    h.write(&serde::bin::to_bytes(&compiled.opt_ir.funcs));
+    h.write(&serde::bin::to_bytes(&compiled.opt_ir.entry));
+    h.write(compiled.opt_ir.data.image());
+    h.finish()
 }
 
 fn scale_label(scale: Scale) -> &'static str {
@@ -106,6 +132,18 @@ pub struct CacheStats {
     pub risc_hits: u64,
     /// RISC compiles actually performed.
     pub risc_misses: u64,
+    /// Functional captures actually executed (an in-memory trace miss that
+    /// the disk tier could not serve either). Without a store this equals
+    /// the trace misses that reached capture.
+    pub captures: u64,
+    /// Traces served from the on-disk store.
+    pub disk_hits: u64,
+    /// Store lookups that found no file.
+    pub disk_misses: u64,
+    /// Store files rejected (truncated/corrupt/stale) and recaptured.
+    pub disk_rejects: u64,
+    /// Fresh captures persisted to the store.
+    pub store_writes: u64,
 }
 
 /// A memoizing measurement session shared by all sweep workers.
@@ -123,6 +161,12 @@ pub struct Session {
     isa_misses: AtomicU64,
     risc_hits: AtomicU64,
     risc_misses: AtomicU64,
+    captures: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    disk_rejects: AtomicU64,
+    store_writes: AtomicU64,
+    store: OnceLock<TraceStore>,
 }
 
 /// A cached functional (untimed) run: what the ISA figures need, without
@@ -149,6 +193,28 @@ impl Session {
     /// A fresh, empty session.
     pub fn new() -> Session {
         Session::default()
+    }
+
+    /// A fresh session backed by an on-disk trace store: trace requests
+    /// that miss in memory consult (and fill) `store`.
+    pub fn with_store(store: TraceStore) -> Session {
+        let s = Session::new();
+        let _ = s.store.set(store);
+        s
+    }
+
+    /// Installs an on-disk trace store after construction (used by the
+    /// experiment harness, whose session is a process-wide static).
+    ///
+    /// # Errors
+    /// Returns the store back if one is already installed.
+    pub fn set_store(&self, store: TraceStore) -> Result<(), TraceStore> {
+        self.store.set(store)
+    }
+
+    /// The on-disk trace store, if one is installed.
+    pub fn store(&self) -> Option<&TraceStore> {
+        self.store.get()
     }
 
     /// The process-wide session used by the experiment harness, so separate
@@ -240,14 +306,50 @@ impl Session {
         let slot = Self::slot(&self.traces, &key, &self.trace_hits, &self.trace_misses);
         slot.get_or_init(|| {
             let compiled = self.compiled(w, scale, opts, hand)?;
-            let meta = TraceMeta {
+            let id = TraceId {
                 workload: w.name.to_string(),
                 scale: scale_label(scale).to_string(),
                 opts_sig: opts_sig(opts),
+                hand,
+                code_sig: code_sig(&compiled),
+                mem_size: mem as u64,
+                max_blocks: budget,
             };
-            TraceLog::capture(&compiled.trips, &compiled.opt_ir, mem, budget, meta)
-                .map(Arc::new)
-                .map_err(|e| EngineError::Capture(format!("{}: {e}", w.name)))
+            // Disk tier: a verified stored capture stands in for a fresh one.
+            if let Some(store) = self.store.get() {
+                match store.load(&id) {
+                    LoadOutcome::Hit(log) => {
+                        if log.validate(&compiled.trips).is_ok() {
+                            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                            return Ok(Arc::new(*log));
+                        }
+                        // Container-valid but structurally foreign (e.g. a
+                        // stale build's capture): recapture over it.
+                        self.disk_rejects.fetch_add(1, Ordering::Relaxed);
+                        store.remove(&id);
+                    }
+                    LoadOutcome::Miss => {
+                        self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    LoadOutcome::Reject(_) => {
+                        self.disk_rejects.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            self.captures.fetch_add(1, Ordering::Relaxed);
+            let meta = TraceMeta {
+                workload: id.workload.clone(),
+                scale: id.scale.clone(),
+                opts_sig: id.opts_sig,
+            };
+            let log = TraceLog::capture(&compiled.trips, &compiled.opt_ir, mem, budget, meta)
+                .map_err(|e| EngineError::Capture(format!("{}: {e}", w.name)))?;
+            if let Some(store) = self.store.get() {
+                if store.save(&id, &log).is_ok() {
+                    self.store_writes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Ok(Arc::new(log))
         })
         .clone()
     }
@@ -354,6 +456,11 @@ impl Session {
             isa_misses: self.isa_misses.load(Ordering::Relaxed),
             risc_hits: self.risc_hits.load(Ordering::Relaxed),
             risc_misses: self.risc_misses.load(Ordering::Relaxed),
+            captures: self.captures.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.disk_misses.load(Ordering::Relaxed),
+            disk_rejects: self.disk_rejects.load(Ordering::Relaxed),
+            store_writes: self.store_writes.load(Ordering::Relaxed),
         }
     }
 }

@@ -5,7 +5,7 @@
 //! functional execution across timing configurations and fans independent
 //! measurements out across cores.
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! * [`Session`] — a memoizing artifact store. Compiled programs are cached
 //!   by `(workload, scale, options, hand)`, captured [`trips_isa::TraceLog`]s
@@ -13,6 +13,11 @@
 //!   same artifact block on one in-flight computation instead of duplicating
 //!   it (per-entry `OnceLock`, see McKenney's *Is Parallel Programming
 //!   Hard?* on sharing read-mostly data cheaply).
+//! * [`TraceStore`] — an optional persistent tier under the session: a
+//!   content-addressed directory of `<key>.trace` files
+//!   ([`trips_isa::TraceId::stable_hash`] keys, verified atomic-rename
+//!   containers), so captures survive the process and CI runs share them
+//!   via a cached directory (`trips-sweep --trace-dir`).
 //! * [`pool`] — a small work-stealing thread pool over `std::thread` scoped
 //!   threads and channels: per-worker deques, round-robin seeding, steal
 //!   from the far end when the local deque drains.
@@ -28,8 +33,10 @@
 
 pub mod cache;
 pub mod pool;
+pub mod store;
 pub mod sweep;
 
 pub use cache::{CacheStats, EngineError, IsaOutcome, RiscArtifacts, Session};
 pub use pool::parallel_map;
+pub use store::{LoadOutcome, TraceStore};
 pub use sweep::{run_sweep, BackendSpec, ConfigVariant, SweepReport, SweepRow, SweepSpec};

@@ -1,0 +1,227 @@
+//! The content-addressed on-disk trace store: the persistent third tier
+//! under [`Session`](crate::Session).
+//!
+//! The in-memory trace cache dies with the process, so every process (and
+//! every CI run) used to re-capture every workload from scratch — exactly
+//! the redundant functional execution the replay design exists to avoid. A
+//! [`TraceStore`] persists captures instead: each
+//! [`TraceLog`] is written once to
+//! `<dir>/<key>.trace`, where `key` is [`TraceId::stable_hash`] — a stable
+//! hash of the complete capture identity (workload, scale, compile-options
+//! signature, hand flag, compiled-code signature, memory size, block
+//! budget, trace-format version). Equal identity ⇒ equal file name ⇒ any
+//! process can reuse any other process's capture, including across CI runs
+//! when the directory rides in a cache; a compiler change moves the
+//! code signature, so stale captures simply stop being found.
+//!
+//! Robustness model — the store is a cache, never an authority:
+//!
+//! * **Writes are atomic.** The file is assembled in a unique temp name in
+//!   the same directory and `rename`d into place, so readers only ever see
+//!   complete files, and concurrent writers of the same key harmlessly
+//!   overwrite each other with identical bytes.
+//! * **Loads are verified.** A fixed header carries a store magic/version,
+//!   the expected key, and a content hash of the payload; the payload must
+//!   deserialize, and the log's own header must match the requested
+//!   [`TraceId`]. Any mismatch — truncation, corruption, a stale format, a
+//!   renamed file — classifies as [`LoadOutcome::Reject`]: the bad file is
+//!   removed (best effort) and the caller recaptures. A *read error* also
+//!   rejects but leaves the file alone — it is not evidence the bytes are
+//!   bad. No failure mode panics or returns a wrong trace.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use trips_isa::{TraceId, TraceLog};
+
+/// `b"TRST"` — identifies a store container file.
+pub const STORE_MAGIC: [u8; 4] = *b"TRST";
+
+/// Container-format version (the framing around the serialized log; the
+/// log's own format is versioned separately by
+/// [`trips_isa::trace::TRACE_VERSION`]).
+pub const STORE_VERSION: u32 = 1;
+
+/// Container header: magic (4) + version (4) + key (8) + payload hash (8) +
+/// payload length (8).
+const HEADER_LEN: usize = 32;
+
+/// What one store lookup produced.
+#[derive(Debug)]
+pub enum LoadOutcome {
+    /// A fully verified log for the requested identity.
+    Hit(Box<TraceLog>),
+    /// No file under this key.
+    Miss,
+    /// A file existed but could not be served: failed verification
+    /// (truncated, corrupt, wrong version, foreign identity — the file has
+    /// been removed) or an I/O error reading it (the file is left in
+    /// place). Either way the caller should recapture.
+    Reject(String),
+}
+
+/// A directory of content-addressed `<key>.trace` files.
+///
+/// The store itself is stateless apart from a temp-name counter; hit/miss
+/// accounting lives in the [`Session`](crate::Session) that owns it, next
+/// to the in-memory tiers' counters.
+#[derive(Debug)]
+pub struct TraceStore {
+    dir: PathBuf,
+    tmp_seq: AtomicU64,
+}
+
+impl TraceStore {
+    /// Opens (creating if needed) the store directory.
+    ///
+    /// # Errors
+    /// Any error creating the directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<TraceStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        // Sweep temp debris from writers that died between write and
+        // rename — nothing ever reads or reuses those names, so a
+        // long-lived shared directory would otherwise accumulate them
+        // forever. (This can race a concurrent writer's in-flight temp
+        // file; its save then fails, which savers already tolerate — the
+        // capture is still returned, and the next miss re-writes.)
+        if let Ok(entries) = fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                if entry.file_name().to_string_lossy().starts_with(".tmp-") {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok(TraceStore {
+            dir,
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory this store lives in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file path a given identity is stored under.
+    #[must_use]
+    pub fn path_for(&self, id: &TraceId) -> PathBuf {
+        self.dir.join(format!("{:016x}.trace", id.stable_hash()))
+    }
+
+    /// Looks up `id`, verifying the container (magic, version, key, payload
+    /// hash) and the log's provenance header. Rejected files are deleted so
+    /// the next writer replaces them.
+    pub fn load(&self, id: &TraceId) -> LoadOutcome {
+        let path = self.path_for(id);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return LoadOutcome::Miss,
+            // A read error is not evidence of corruption — the file may be
+            // perfectly good on a filesystem having a moment. Recapture,
+            // but leave the file for other processes.
+            Err(e) => return LoadOutcome::Reject(format!("read failed: {e}")),
+        };
+        match Self::decode(id, &bytes) {
+            Ok(log) => LoadOutcome::Hit(Box::new(log)),
+            Err(why) => self.reject(&path, why),
+        }
+    }
+
+    /// Persists `log` under `id`: serialize, frame, write to a unique temp
+    /// file in the store directory, atomically rename into place.
+    ///
+    /// # Errors
+    /// Any I/O error (the temp file is cleaned up best-effort; the store is
+    /// a cache, so callers typically log-and-continue).
+    pub fn save(&self, id: &TraceId, log: &TraceLog) -> io::Result<()> {
+        let payload = serde::bin::to_bytes(log);
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        bytes.extend_from_slice(&STORE_MAGIC);
+        bytes.extend_from_slice(&STORE_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&id.stable_hash().to_le_bytes());
+        bytes.extend_from_slice(&trips_isa::hash::content_hash(&payload).to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+
+        // Unique within the process via the counter, across processes via
+        // the pid; rename within one directory is atomic, so a concurrent
+        // reader sees either the old complete file or the new one.
+        let tmp = self.dir.join(format!(
+            ".tmp-{:016x}-{}-{}",
+            id.stable_hash(),
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed),
+        ));
+        fs::write(&tmp, &bytes)
+            .and_then(|()| fs::rename(&tmp, self.path_for(id)))
+            .inspect_err(|_| {
+                // A failed write (e.g. ENOSPC) leaves a partial temp file;
+                // a failed rename leaves a complete one. Neither may stay.
+                let _ = fs::remove_file(&tmp);
+            })
+    }
+
+    /// Removes the file under `id` (used when a verified-at-container-level
+    /// log still fails deeper validation against the program).
+    pub fn remove(&self, id: &TraceId) {
+        let _ = fs::remove_file(self.path_for(id));
+    }
+
+    fn reject(&self, path: &Path, why: String) -> LoadOutcome {
+        let _ = fs::remove_file(path);
+        LoadOutcome::Reject(why)
+    }
+
+    /// Full container + payload verification.
+    fn decode(id: &TraceId, bytes: &[u8]) -> Result<TraceLog, String> {
+        if bytes.len() < HEADER_LEN {
+            return Err(format!(
+                "truncated container: {} bytes, header is {HEADER_LEN}",
+                bytes.len()
+            ));
+        }
+        let word = |at: usize| -> u64 {
+            u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
+        };
+        if bytes[..4] != STORE_MAGIC {
+            return Err(format!("bad store magic {:02x?}", &bytes[..4]));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != STORE_VERSION {
+            return Err(format!(
+                "store version {version} unsupported (expected {STORE_VERSION})"
+            ));
+        }
+        let key = word(8);
+        if key != id.stable_hash() {
+            return Err(format!(
+                "file claims key {key:#018x}, expected {:#018x}",
+                id.stable_hash()
+            ));
+        }
+        let payload_hash = word(16);
+        let payload_len = word(24);
+        let payload = &bytes[HEADER_LEN..];
+        if payload.len() as u64 != payload_len {
+            return Err(format!(
+                "truncated payload: {} bytes of {payload_len}",
+                payload.len()
+            ));
+        }
+        let actual = trips_isa::hash::content_hash(payload);
+        if actual != payload_hash {
+            return Err(format!(
+                "payload hash {actual:#018x} != recorded {payload_hash:#018x}"
+            ));
+        }
+        let log: TraceLog =
+            serde::bin::from_bytes(payload).map_err(|e| format!("payload decode: {e}"))?;
+        id.matches_header(&log.header)
+            .map_err(|e| format!("identity mismatch: {e}"))?;
+        Ok(log)
+    }
+}

@@ -1,0 +1,296 @@
+//! Robustness contract of the on-disk trace store: every way a stored file
+//! can be wrong — truncated, version-skewed, bit-flipped, renamed, raced —
+//! must degrade to a recapture, never to a panic, a torn read, or a wrong
+//! trace.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use trips_compiler::CompileOptions;
+use trips_engine::cache::{code_sig, opts_sig};
+use trips_engine::{LoadOutcome, Session, TraceStore};
+use trips_isa::{TraceId, TraceLog, TraceMeta};
+use trips_workloads::{by_name, Scale};
+
+const MEM: usize = 1 << 22;
+const BUDGET: u64 = 1_000_000;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!(
+        "{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A real capture of `vadd` plus the identity the engine would key it by.
+fn captured_vadd() -> (TraceId, TraceLog) {
+    let opts = CompileOptions::o1();
+    let w = by_name("vadd").unwrap();
+    let program = (w.build)(Scale::Test);
+    let compiled = trips_compiler::compile(&program, &opts).unwrap();
+    let meta = TraceMeta {
+        workload: "vadd".into(),
+        scale: "test".into(),
+        opts_sig: opts_sig(&opts),
+    };
+    let log = TraceLog::capture(&compiled.trips, &compiled.opt_ir, MEM, BUDGET, meta).unwrap();
+    let id = TraceId {
+        workload: "vadd".into(),
+        scale: "test".into(),
+        opts_sig: opts_sig(&opts),
+        hand: false,
+        code_sig: code_sig(&compiled),
+        mem_size: MEM as u64,
+        max_blocks: BUDGET,
+    };
+    (id, log)
+}
+
+#[test]
+fn round_trips_a_real_capture() {
+    let store = TraceStore::open(tmp_dir("roundtrip")).unwrap();
+    let (id, log) = captured_vadd();
+    assert!(matches!(store.load(&id), LoadOutcome::Miss));
+    store.save(&id, &log).unwrap();
+    match store.load(&id) {
+        LoadOutcome::Hit(back) => assert_eq!(*back, log),
+        other => panic!("expected a hit, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_file_rejects_and_is_removed() {
+    let store = TraceStore::open(tmp_dir("truncated")).unwrap();
+    let (id, log) = captured_vadd();
+    store.save(&id, &log).unwrap();
+    let path = store.path_for(&id);
+    // Truncate at several depths: inside the container header, right after
+    // it, and mid-payload.
+    let full = std::fs::read(&path).unwrap();
+    for cut in [0, 7, 32, full.len() / 2, full.len() - 1] {
+        std::fs::write(&path, &full[..cut]).unwrap();
+        match store.load(&id) {
+            LoadOutcome::Reject(why) => {
+                assert!(!path.exists(), "rejected file (cut={cut}) must be removed");
+                assert!(
+                    why.contains("truncated") || why.contains("decode") || why.contains("hash"),
+                    "cut={cut}: {why}"
+                );
+            }
+            other => panic!("cut at {cut}: expected a reject, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn wrong_container_version_rejects() {
+    let store = TraceStore::open(tmp_dir("version")).unwrap();
+    let (id, log) = captured_vadd();
+    store.save(&id, &log).unwrap();
+    let path = store.path_for(&id);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[4] = bytes[4].wrapping_add(1); // container version, LE byte 0
+    std::fs::write(&path, &bytes).unwrap();
+    match store.load(&id) {
+        LoadOutcome::Reject(why) => assert!(why.contains("version"), "{why}"),
+        other => panic!("expected a reject, got {other:?}"),
+    }
+}
+
+#[test]
+fn payload_corruption_fails_the_content_hash() {
+    let store = TraceStore::open(tmp_dir("bitflip")).unwrap();
+    let (id, log) = captured_vadd();
+    store.save(&id, &log).unwrap();
+    let path = store.path_for(&id);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = 32 + (bytes.len() - 32) / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    match store.load(&id) {
+        LoadOutcome::Reject(why) => assert!(why.contains("hash"), "{why}"),
+        other => panic!("expected a reject, got {other:?}"),
+    }
+}
+
+#[test]
+fn foreign_identity_rejects_even_with_valid_content() {
+    let store = TraceStore::open(tmp_dir("foreign")).unwrap();
+    let (id, log) = captured_vadd();
+    store.save(&id, &log).unwrap();
+    // A file renamed (or hash-collided) onto another identity's key must
+    // not be served: its recorded key disagrees with the requested one.
+    let other = TraceId {
+        max_blocks: BUDGET + 1,
+        ..id.clone()
+    };
+    std::fs::rename(store.path_for(&id), store.path_for(&other)).unwrap();
+    match store.load(&other) {
+        LoadOutcome::Reject(why) => assert!(why.contains("key"), "{why}"),
+        got => panic!("expected a reject, got {got:?}"),
+    }
+}
+
+#[test]
+fn open_sweeps_orphaned_temp_files() {
+    // A writer killed between write and rename leaves a .tmp- file nothing
+    // will ever read or overwrite; the next open() clears it, and real
+    // store files survive the sweep.
+    let dir = tmp_dir("debris");
+    {
+        let store = TraceStore::open(&dir).unwrap();
+        let (id, log) = captured_vadd();
+        store.save(&id, &log).unwrap();
+    }
+    let orphan = dir.join(".tmp-deadbeef-1234-0");
+    std::fs::write(&orphan, b"half a capture").unwrap();
+    let store = TraceStore::open(&dir).unwrap();
+    assert!(!orphan.exists(), "open must sweep temp debris");
+    let (id, log) = captured_vadd();
+    match store.load(&id) {
+        LoadOutcome::Hit(back) => assert_eq!(*back, log),
+        other => panic!("real store files must survive the sweep, got {other:?}"),
+    }
+}
+
+#[test]
+fn code_signature_moves_the_key() {
+    // A store shared across builds (CI caches) must not serve a trace
+    // captured from differently-compiled code: a changed code signature is
+    // a different file name entirely, i.e. a clean miss, not a reject.
+    let store = TraceStore::open(tmp_dir("codesig")).unwrap();
+    let (id, log) = captured_vadd();
+    store.save(&id, &log).unwrap();
+    let other_build = TraceId {
+        code_sig: id.code_sig ^ 1,
+        ..id.clone()
+    };
+    assert_ne!(id.stable_hash(), other_build.stable_hash());
+    assert!(matches!(store.load(&other_build), LoadOutcome::Miss));
+    // And the signature itself is a pure function of the compiled program.
+    let opts = CompileOptions::o1();
+    let w = by_name("vadd").unwrap();
+    let compile = || trips_compiler::compile(&(w.build)(Scale::Test), &opts).unwrap();
+    assert_eq!(code_sig(&compile()), code_sig(&compile()));
+}
+
+#[test]
+fn concurrent_writers_of_one_key_leave_one_complete_file() {
+    let dir = tmp_dir("writers");
+    let store = TraceStore::open(&dir).unwrap();
+    let (id, log) = captured_vadd();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let (store, id, log) = (&store, &id, &log);
+            scope.spawn(move || store.save(id, log).unwrap());
+        }
+    });
+    // All writers renamed complete files over each other; no temp debris.
+    let entries: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    assert_eq!(entries.len(), 1, "stray files: {entries:?}");
+    assert!(entries[0].ends_with(".trace"));
+    match store.load(&id) {
+        LoadOutcome::Hit(back) => assert_eq!(*back, log),
+        other => panic!("expected a hit, got {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_sessions_race_load_against_save_without_torn_reads() {
+    // Two sessions over one directory, racing the same key from many
+    // threads: every returned trace must be the real capture, whether it
+    // came from a fresh capture, the in-memory tier, or a disk file that
+    // was mid-replacement (rename makes replacement atomic).
+    let dir = tmp_dir("race");
+    let w = by_name("vadd").unwrap();
+    let opts = CompileOptions::o1();
+    let sessions: Vec<Session> = (0..2)
+        .map(|_| Session::with_store(TraceStore::open(&dir).unwrap()))
+        .collect();
+    let logs: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let (sessions, w) = (&sessions, &w);
+                let opts = opts.clone();
+                scope.spawn(move || {
+                    sessions[i % 2]
+                        .trace(w, Scale::Test, &opts, false, MEM, BUDGET)
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let (_, expect) = captured_vadd();
+    for log in &logs {
+        assert_eq!(**log, expect);
+    }
+    // Between the two sessions there was exactly one disk miss chain: each
+    // session captured at most once, and at least one wrote the file.
+    let total: u64 = sessions.iter().map(|s| s.cache_stats().captures).sum();
+    assert!(
+        (1..=2).contains(&total),
+        "at most one capture per session, got {total}"
+    );
+}
+
+#[test]
+fn session_recovers_from_garbage_and_repopulates() {
+    let dir = tmp_dir("recover");
+    let (id, _) = captured_vadd();
+    let store = TraceStore::open(&dir).unwrap();
+    std::fs::write(store.path_for(&id), b"not a trace at all").unwrap();
+
+    let session = Session::with_store(TraceStore::open(&dir).unwrap());
+    let w = by_name("vadd").unwrap();
+    let log = session
+        .trace(&w, Scale::Test, &CompileOptions::o1(), false, MEM, BUDGET)
+        .unwrap();
+    let st = session.cache_stats();
+    assert_eq!(
+        (st.disk_rejects, st.captures, st.store_writes),
+        (1, 1, 1),
+        "garbage must reject, recapture, and repopulate"
+    );
+    // The repopulated file now serves a fresh session from disk.
+    let session2 = Session::with_store(TraceStore::open(&dir).unwrap());
+    let log2 = session2
+        .trace(&w, Scale::Test, &CompileOptions::o1(), false, MEM, BUDGET)
+        .unwrap();
+    let st2 = session2.cache_stats();
+    assert_eq!((st2.disk_hits, st2.captures), (1, 0));
+    assert_eq!(*log, *log2);
+}
+
+#[test]
+fn disk_tier_is_keyed_on_identity_not_name() {
+    // Same workload, different budget: distinct keys, so the second request
+    // must not be served the first capture.
+    let dir = tmp_dir("identity");
+    let w = by_name("vadd").unwrap();
+    let session = Session::with_store(TraceStore::open(&dir).unwrap());
+    let a = session
+        .trace(&w, Scale::Test, &CompileOptions::o1(), false, MEM, BUDGET)
+        .unwrap();
+    let session2 = Session::with_store(TraceStore::open(&dir).unwrap());
+    let b = session2
+        .trace(
+            &w,
+            Scale::Test,
+            &CompileOptions::o1(),
+            false,
+            MEM,
+            BUDGET / 2,
+        )
+        .unwrap();
+    assert_eq!(session2.cache_stats().disk_hits, 0);
+    assert_eq!(a.header.max_blocks, BUDGET);
+    assert_eq!(b.header.max_blocks, BUDGET / 2);
+}

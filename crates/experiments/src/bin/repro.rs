@@ -1,10 +1,16 @@
 //! Experiment driver: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro all            # every experiment at reference scale
-//! repro fig9           # one experiment
-//! repro --quick all    # tiny inputs (CI-speed smoke run)
+//! repro all                      # every experiment at reference scale
+//! repro fig9                     # one experiment
+//! repro --quick all              # tiny inputs (CI-speed smoke run)
+//! repro --trace-dir .traces fig9 # persist captures; later runs replay them
 //! ```
+//!
+//! With `--trace-dir DIR` (or the `TRIPS_TRACE_DIR` environment variable)
+//! all figure runs share one content-addressed trace store: the first
+//! process captures each workload's functional trace, every later process
+//! replays it from disk.
 
 use std::env;
 
@@ -12,6 +18,22 @@ fn main() {
     let mut args: Vec<String> = env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     args.retain(|a| a != "--quick");
+    let mut trace_dir = env::var("TRIPS_TRACE_DIR").ok().filter(|v| !v.is_empty());
+    if let Some(at) = args.iter().position(|a| a == "--trace-dir") {
+        if at + 1 >= args.len() {
+            eprintln!("error: --trace-dir needs a value");
+            std::process::exit(1);
+        }
+        trace_dir = Some(args.remove(at + 1));
+        args.remove(at);
+    }
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = trips_experiments::runner::init_trace_store(std::path::Path::new(dir)) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[repro] trace store: {dir}");
+    }
     let what = args.first().map(String::as_str).unwrap_or("all");
 
     let names: Vec<&str> = if what == "all" {
@@ -28,5 +50,12 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if trace_dir.is_some() {
+        let c = trips_engine::Session::global().cache_stats();
+        eprintln!(
+            "[repro] store: disk_hits={} disk_misses={} disk_rejects={} writes={} captures={}",
+            c.disk_hits, c.disk_misses, c.disk_rejects, c.store_writes, c.captures,
+        );
     }
 }

@@ -5,7 +5,9 @@
 //! over — pay for each artifact once per process. TRIPS cycle counts come
 //! from trace *replay* ([`trips_sim::timing::replay_trace`]): the
 //! functional run is captured once per `(workload, options, budget)` and
-//! re-timed against each configuration.
+//! re-timed against each configuration. With [`init_trace_store`] the
+//! captures also persist to a content-addressed directory, so successive
+//! figure runs (separate processes) pay for each capture once per *store*.
 
 use std::sync::Arc;
 use trips_compiler::{CompileOptions, CompiledProgram};
@@ -24,6 +26,22 @@ pub const FUNC_BUDGET: u64 = 3_000_000;
 pub const SIM_BUDGET: u64 = 1_000_000;
 /// Dynamic instruction budget for RISC/OoO runs.
 pub const RISC_BUDGET: u64 = 400_000_000;
+
+/// Backs the global [`Session`] with a persistent content-addressed trace
+/// store at `dir`, so every figure — and every later `repro` process
+/// pointed at the same directory — shares one set of captures. Call before
+/// the first measurement; installing a second store is an error.
+///
+/// # Errors
+/// A rendered message if the directory cannot be created or a store is
+/// already installed.
+pub fn init_trace_store(dir: &std::path::Path) -> Result<(), String> {
+    let store = trips_engine::TraceStore::open(dir)
+        .map_err(|e| format!("opening trace store `{}`: {e}", dir.display()))?;
+    Session::global()
+        .set_store(store)
+        .map_err(|_| "a trace store is already installed".to_string())
+}
 
 /// ISA-level comparison data for one workload (Figures 3–5, §4.4).
 #[derive(Debug, Clone)]

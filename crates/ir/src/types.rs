@@ -32,7 +32,7 @@ impl fmt::Display for Vreg {
 ///
 /// Immediates keep workload code compact and let both backends exercise their
 /// immediate-folding paths (the paper notes TRIPS prototype inefficiencies in
-/// constant generation; see [`crate::inst::Opcode::Iconst`]).
+/// constant generation; see [`crate::inst::Inst::Iconst`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Operand {
     /// Read the current value of a virtual register.

@@ -1,0 +1,131 @@
+//! Stable 64-bit content hashing for on-disk artifact identity.
+//!
+//! The engine's content-addressed trace store names each file by a hash of
+//! the capture's identity and verifies payload integrity with a hash of the
+//! serialized bytes. Both hashes must be *stable*: independent of pointer
+//! values, `HashMap` iteration order, the `RandomState` seed of
+//! `std::collections`, and the platform — the same inputs must produce the
+//! same bits on every run of every build, because the bits are part of the
+//! on-disk format. `std::hash` guarantees none of that, and `vendor/`
+//! carries no crates.io hashers, so this module implements its own.
+//!
+//! The core is FNV-1a over a canonical byte stream (multi-byte integers are
+//! fed little-endian, strings length-prefixed so adjacent fields cannot
+//! alias), finished with a splitmix64-style avalanche so that low-entropy
+//! inputs (small integers, short names) still spread across all 64 output
+//! bits — FNV-1a alone mixes poorly into the high bits.
+//!
+//! **Stability contract:** changing any constant or the mixing below changes
+//! every stored key. That is safe (old files simply miss and are
+//! recaptured) but wasteful; prefer bumping
+//! [`TRACE_VERSION`](crate::trace::TRACE_VERSION) to alter trace identity.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming, deterministic 64-bit hasher (FNV-1a core, avalanche
+/// finish). Not `std::hash::Hasher`: that trait's users may legitimately
+/// expect per-process seeding, which this type exists to avoid.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl StableHasher {
+    /// A hasher in its initial state.
+    #[must_use]
+    pub fn new() -> StableHasher {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a `u64` as its 8 little-endian bytes.
+    pub fn write_u64(&mut self, x: u64) {
+        self.write(&x.to_le_bytes());
+    }
+
+    /// Feeds a string, length-prefixed so `("ab", "c")` and `("a", "bc")`
+    /// hash differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// The hash of everything written so far (the hasher may keep going).
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        // splitmix64 finalizer: full avalanche over the FNV state.
+        let mut x = self.state;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        x
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+/// One-shot content hash of a byte slice.
+#[must_use]
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values_are_stable_across_builds() {
+        // Pinned outputs: if these move, every on-disk store key moves too.
+        assert_eq!(content_hash(b""), 0xf52a_15e9_a9b5_e89b);
+        assert_eq!(content_hash(b"trips"), 0x86b3_c258_d57c_d8c6);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let mut h = StableHasher::new();
+        h.write(b"hello ");
+        h.write(b"world");
+        assert_eq!(h.finish(), content_hash(b"hello world"));
+    }
+
+    #[test]
+    fn length_prefix_disambiguates_adjacent_strings() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn single_bit_flips_avalanche() {
+        let base = content_hash(&0u64.to_le_bytes());
+        for bit in 0..64u64 {
+            let h = content_hash(&(1u64 << bit).to_le_bytes());
+            let flipped = (base ^ h).count_ones();
+            assert!(
+                (8..=56).contains(&flipped),
+                "bit {bit}: only {flipped} output bits changed"
+            );
+        }
+    }
+}

@@ -33,6 +33,7 @@ pub mod block;
 pub mod build;
 pub mod disasm;
 pub mod encode;
+pub mod hash;
 pub mod interp;
 pub mod opcode;
 pub mod stats;
@@ -44,7 +45,7 @@ pub use build::{BlockBuilder, BuildError};
 pub use interp::{run_program, ExecOutcome, TripsExecError};
 pub use opcode::{OpCategory, TOpcode};
 pub use stats::{CompositionKind, IsaStats};
-pub use trace::{TraceHeader, TraceLog, TraceMeta};
+pub use trace::{TraceHeader, TraceId, TraceLog, TraceMeta};
 
 /// Architectural limits of the TRIPS prototype block format.
 pub mod limits {

@@ -84,6 +84,107 @@ pub struct TraceMeta {
     pub opts_sig: u64,
 }
 
+/// The complete identity of one capture: everything that, if changed, would
+/// change the recorded stream. This is the key of the engine's
+/// content-addressed on-disk trace store — two captures with equal
+/// [`TraceId`]s are interchangeable, so a stored log may stand in for a
+/// fresh capture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceId {
+    /// Workload name.
+    pub workload: String,
+    /// Scale label (`test` / `ref`).
+    pub scale: String,
+    /// Compile-options signature.
+    pub opts_sig: u64,
+    /// Whether the hand-optimized IR variant was compiled.
+    pub hand: bool,
+    /// Content signature of the compiled code the capture executes (blocks,
+    /// IR, data image). Provenance fields alone cannot distinguish two
+    /// *builds*: a compiler change alters the stream without touching
+    /// workload/options/format version, and a store shared across builds
+    /// (CI caches) must not serve the old build's traces.
+    pub code_sig: u64,
+    /// Memory image size of the functional run.
+    pub mem_size: u64,
+    /// Dynamic block budget of the capture.
+    pub max_blocks: u64,
+}
+
+impl TraceId {
+    /// A stable 64-bit key: the hash of every identity field plus
+    /// [`TRACE_VERSION`], so a format bump retires every stored file at
+    /// once (old keys simply never match again).
+    #[must_use]
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = crate::hash::StableHasher::new();
+        h.write_str("trips.trace");
+        h.write_u64(u64::from(TRACE_VERSION));
+        h.write_str(&self.workload);
+        h.write_str(&self.scale);
+        h.write_u64(self.opts_sig);
+        h.write_u64(u64::from(self.hand));
+        h.write_u64(self.code_sig);
+        h.write_u64(self.mem_size);
+        h.write_u64(self.max_blocks);
+        h.finish()
+    }
+
+    /// Checks a loaded log's header against this identity: magic, version,
+    /// and every provenance field the header records. (`hand` and
+    /// `code_sig` are part of [`TraceId::stable_hash`] but not of the
+    /// header; differing values live under different keys, which the
+    /// store's container format checks instead.)
+    ///
+    /// # Errors
+    /// A description of the first mismatching field.
+    pub fn matches_header(&self, h: &TraceHeader) -> Result<(), String> {
+        if h.magic != TRACE_MAGIC {
+            return Err(format!(
+                "bad trace magic {:#x} (expected {TRACE_MAGIC:#x})",
+                h.magic
+            ));
+        }
+        if h.version != TRACE_VERSION {
+            return Err(format!(
+                "trace version {} unsupported (expected {TRACE_VERSION})",
+                h.version
+            ));
+        }
+        if h.workload != self.workload {
+            return Err(format!(
+                "trace is of workload `{}`, wanted `{}`",
+                h.workload, self.workload
+            ));
+        }
+        if h.scale != self.scale {
+            return Err(format!(
+                "trace is at scale `{}`, wanted `{}`",
+                h.scale, self.scale
+            ));
+        }
+        if h.opts_sig != self.opts_sig {
+            return Err(format!(
+                "trace compiled under options {:#x}, wanted {:#x}",
+                h.opts_sig, self.opts_sig
+            ));
+        }
+        if h.mem_size != self.mem_size {
+            return Err(format!(
+                "trace ran in {} bytes of memory, wanted {}",
+                h.mem_size, self.mem_size
+            ));
+        }
+        if h.max_blocks != self.max_blocks {
+            return Err(format!(
+                "trace captured under budget {}, wanted {}",
+                h.max_blocks, self.max_blocks
+            ));
+        }
+        Ok(())
+    }
+}
+
 impl TraceLog {
     /// Runs `tp` to completion, recording every dynamic block trace.
     ///
@@ -347,6 +448,92 @@ mod tests {
         let text = serde::json::to_string(&log);
         let back: TraceLog = serde::json::from_str(&text).unwrap();
         assert_eq!(back, log);
+    }
+
+    #[test]
+    fn trace_id_key_separates_every_field() {
+        let base = TraceId {
+            workload: "vadd".into(),
+            scale: "test".into(),
+            opts_sig: 0x1234,
+            hand: false,
+            code_sig: 0x5678,
+            mem_size: 1 << 20,
+            max_blocks: 1_000,
+        };
+        let variants = [
+            TraceId {
+                workload: "fft".into(),
+                ..base.clone()
+            },
+            TraceId {
+                scale: "ref".into(),
+                ..base.clone()
+            },
+            TraceId {
+                opts_sig: 0x1235,
+                ..base.clone()
+            },
+            TraceId {
+                hand: true,
+                ..base.clone()
+            },
+            TraceId {
+                code_sig: 0x5679,
+                ..base.clone()
+            },
+            TraceId {
+                mem_size: 1 << 21,
+                ..base.clone()
+            },
+            TraceId {
+                max_blocks: 1_001,
+                ..base.clone()
+            },
+        ];
+        let mut keys = vec![base.stable_hash()];
+        keys.extend(variants.iter().map(TraceId::stable_hash));
+        let mut uniq = keys.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), keys.len(), "every field must move the key");
+        // And the key is a pure function of the fields.
+        assert_eq!(base.stable_hash(), base.clone().stable_hash());
+    }
+
+    #[test]
+    fn trace_id_checks_headers() {
+        let tp = tiny_program();
+        let log = TraceLog::capture(
+            &tp,
+            &empty_ir(),
+            1 << 20,
+            u64::MAX,
+            TraceMeta {
+                workload: "tiny".into(),
+                scale: "test".into(),
+                opts_sig: 0xabcd,
+            },
+        )
+        .unwrap();
+        let id = TraceId {
+            workload: "tiny".into(),
+            scale: "test".into(),
+            opts_sig: 0xabcd,
+            hand: false,
+            code_sig: 0,
+            mem_size: 1 << 20,
+            max_blocks: u64::MAX,
+        };
+        id.matches_header(&log.header).unwrap();
+        let other = TraceId {
+            opts_sig: 0xabce,
+            ..id.clone()
+        };
+        assert!(other.matches_header(&log.header).is_err());
+        let mut stale = log.header.clone();
+        stale.version = TRACE_VERSION + 1;
+        assert!(id.matches_header(&stale).is_err());
     }
 
     #[test]

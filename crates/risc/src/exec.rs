@@ -1,6 +1,6 @@
 //! Functional RISC simulator with access counting.
 //!
-//! Plays the role of the paper's PowerPC functional simulator [17]: executes
+//! Plays the role of the paper's PowerPC functional simulator \[17\]: executes
 //! compiled RISC programs and counts dynamic instructions, loads, stores and
 //! register-file reads/writes — the denominators of Figures 4 and 5 — plus
 //! the unique-instruction footprint used by the §4.4 code-size study.

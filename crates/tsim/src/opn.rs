@@ -1,5 +1,5 @@
 //! Operand network (OPN): a 5×5 wormhole-routed mesh carrying one 64-bit
-//! operand per link per cycle (Gratz et al. [6]).
+//! operand per link per cycle (Gratz et al., the paper's reference \[6\]).
 //!
 //! Nodes: the global tile at (0,0), register tiles along the top row, data
 //! tiles down the left column, and the 4×4 execution tiles filling the

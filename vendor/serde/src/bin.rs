@@ -1,4 +1,4 @@
-//! A compact, tag-prefixed binary encoding of the [`Value`](crate::Value)
+//! A compact, tag-prefixed binary encoding of the [`Value`]
 //! data model (the trace-log storage format).
 //!
 //! Layout: one tag byte per node, LEB128 varints for all integers and

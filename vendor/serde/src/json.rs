@@ -1,4 +1,4 @@
-//! JSON rendering and parsing for the [`Value`](crate::Value) data model.
+//! JSON rendering and parsing for the [`Value`] data model.
 //!
 //! The writer emits compact one-line JSON (the sweep driver's row format);
 //! the reader accepts standard JSON with whitespace. Non-string map keys
