@@ -39,14 +39,21 @@ options:
                        flush_penalty commit_overhead max_blocks_in_flight
                        l1d_bytes l2_bytes l1d_hit dram_lat exit_entries
                        btb_entries ras_depth lwt_entries
-  --backends list      trips,risc,core2,p4,p3,ideal1k,ideal1k0,ideal128k
-                       (default trips)
+  --backends list      trips,isa,risc,core2,p4,p3,ideal1k,ideal1k0,ideal128k
+                       (default trips; `ooo` expands to core2,p4,p3)
+  --backend b          shorthand for --backends with a single entry
+                       (trips | isa | risc | ooo | any label above)
+  --list-workloads     print every registry workload name, one per line,
+                       and exit
   --threads N          worker threads (default: one per core)
   --budget N           dynamic block budget for capture/sim (default 1000000)
   --mem BYTES          memory image size (default 4194304)
   --trace-dir DIR      persistent content-addressed trace store: captures
                        are written to DIR and reused by later runs (created
                        if missing)
+  --trace-gc           with --trace-dir: delete stale-version containers
+                       (old formats this build will never load) before
+                       sweeping
   --format json|csv    row output format (default json)
   --out FILE           write rows to FILE instead of stdout
   -h, --help           this text";
@@ -70,6 +77,7 @@ fn main() -> ExitCode {
     let mut format = "json".to_string();
     let mut out_path: Option<String> = None;
     let mut trace_dir: Option<String> = None;
+    let mut trace_gc = false;
     let mut default_demo = true;
 
     let mut it = args.iter();
@@ -82,6 +90,16 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "-h" | "--help" => {
                 println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--list-workloads" => {
+                let listing: String = trips_workloads::all()
+                    .iter()
+                    .map(|w| format!("{}\n", w.name))
+                    .collect();
+                // write_all, not println!: a consumer like `| head -3`
+                // closing the pipe early must not panic the listing.
+                let _ = std::io::stdout().lock().write_all(listing.as_bytes());
                 return ExitCode::SUCCESS;
             }
             "--workloads" => match value("--workloads") {
@@ -137,6 +155,10 @@ fn main() -> ExitCode {
                 Ok(v) => backends = v.split(',').map(str::to_string).collect(),
                 Err(e) => return fail(&e),
             },
+            "--backend" => match value("--backend") {
+                Ok(v) => backends = vec![v],
+                Err(e) => return fail(&e),
+            },
             "--threads" => match value("--threads").map(|v| v.parse::<usize>()) {
                 Ok(Ok(n)) => spec.threads = n,
                 _ => return fail("--threads needs a number"),
@@ -162,6 +184,7 @@ fn main() -> ExitCode {
                 Ok(v) => trace_dir = Some(v),
                 Err(e) => return fail(&e),
             },
+            "--trace-gc" => trace_gc = true,
             other => return fail(&format!("unknown option `{other}`")),
         }
     }
@@ -194,16 +217,35 @@ fn main() -> ExitCode {
             .extend(ConfigVariant::axis(&proto, "flush_penalty", &["4"]).expect("known axis"));
     }
     for b in &backends {
-        match BackendSpec::parse(b) {
-            Ok(spec_b) if !spec.backends.contains(&spec_b) => spec.backends.push(spec_b),
-            Ok(_) => {}
+        match BackendSpec::parse_group(b) {
+            Ok(parsed) => {
+                for spec_b in parsed {
+                    if !spec.backends.contains(&spec_b) {
+                        spec.backends.push(spec_b);
+                    }
+                }
+            }
             Err(e) => return fail(&e.to_string()),
         }
+    }
+    if trace_gc && trace_dir.is_none() {
+        return fail("--trace-gc needs --trace-dir");
     }
 
     let session = match &trace_dir {
         Some(dir) => match trips_engine::TraceStore::open(dir) {
-            Ok(store) => Session::with_store(store),
+            Ok(store) => {
+                if trace_gc {
+                    match store.prune_stale() {
+                        Ok(r) => eprintln!(
+                            "trips-sweep: trace-gc: removed {} stale containers ({} bytes), kept {}",
+                            r.removed, r.bytes_freed, r.kept
+                        ),
+                        Err(e) => return fail(&format!("pruning trace store `{dir}`: {e}")),
+                    }
+                }
+                Session::with_store(store)
+            }
             Err(e) => return fail(&format!("opening trace store `{dir}`: {e}")),
         },
         None => Session::new(),
@@ -251,11 +293,21 @@ fn main() -> ExitCode {
             "trips-sweep: store: disk_hits={} disk_misses={} disk_rejects={} writes={} captures={}",
             c.disk_hits, c.disk_misses, c.disk_rejects, c.store_writes, c.captures,
         );
+        if c.rtrace_misses > 0 {
+            eprintln!(
+                "trips-sweep: risc store: disk_hits={} disk_misses={} disk_rejects={} writes={} captures={}",
+                c.risc_disk_hits,
+                c.risc_disk_misses,
+                c.risc_disk_rejects,
+                c.risc_store_writes,
+                c.risc_captures,
+            );
+        }
     }
     if c.risc_misses > 0 {
         eprintln!(
-            "trips-sweep: cache: {} RISC compiles ({} reused across reference backends)",
-            c.risc_misses, c.risc_hits,
+            "trips-sweep: cache: {} RISC compiles ({} reused across reference backends), {} executions, {} stream reuses",
+            c.risc_misses, c.risc_hits, c.risc_captures, c.rtrace_hits,
         );
     }
     for e in &report.errors {

@@ -1,9 +1,17 @@
 //! The memoizing artifact store behind every sweep and experiment.
 //!
-//! Two in-memory tiers, both keyed on provenance rather than content:
+//! The in-memory tiers, all keyed on provenance rather than content:
 //!
-//! * compiled programs: `(workload, scale, options-signature, hand)`;
-//! * captured trace logs: the compile key plus `(memory size, block budget)`.
+//! * compiled TRIPS programs: `(workload, scale, options-signature, hand)`;
+//! * captured TRIPS trace logs: the compile key plus `(memory size, block
+//!   budget)`;
+//! * functional ISA outcomes (same key, no stream retained);
+//! * compiled RISC programs: the compile key (reference backends);
+//! * captured RISC event streams ([`trips_risc::RiscTrace`]): the compile
+//!   key plus `(memory size, instruction budget)` — one functional RISC
+//!   execution serves the instruction-count figures *and* every
+//!   out-of-order timing configuration
+//!   ([`Session::ooo_replayed`]).
 //!
 //! Entries hold an `Arc<OnceLock<...>>`, so the map's mutex is held only for
 //! the key lookup; the (expensive) compile or functional capture runs
@@ -32,7 +40,8 @@ use trips_compiler::{CompileOptions, CompiledProgram};
 use trips_isa::{TraceId, TraceLog, TraceMeta};
 use trips_workloads::{Scale, Workload};
 
-use crate::store::{LoadOutcome, TraceStore};
+use crate::store::{LoadOutcome, RiscTraceId, TraceStore};
+use trips_risc::{RiscTrace, RiscTraceMeta};
 
 /// Engine failures (compile and functional-execution errors are carried as
 /// rendered strings so they can live in the cache).
@@ -86,6 +95,20 @@ pub fn code_sig(compiled: &CompiledProgram) -> u64 {
     h.write(&serde::bin::to_bytes(&compiled.opt_ir.funcs));
     h.write(&serde::bin::to_bytes(&compiled.opt_ir.entry));
     h.write(compiled.opt_ir.data.image());
+    h.finish()
+}
+
+/// The RISC-side counterpart of [`code_sig`]: a stable content signature of
+/// the compiled RISC program plus the optimized IR it executes against
+/// (data image included, symbol table excluded for the same stability
+/// reason). Folded into the RISC trace-store key so a codegen or optimizer
+/// change retires every stale stored stream by itself.
+pub fn risc_code_sig(art: &RiscArtifacts) -> u64 {
+    let mut h = trips_isa::hash::StableHasher::new();
+    h.write(&serde::bin::to_bytes(&art.program));
+    h.write(&serde::bin::to_bytes(&art.ir.funcs));
+    h.write(&serde::bin::to_bytes(&art.ir.entry));
+    h.write(art.ir.data.image());
     h.finish()
 }
 
@@ -144,6 +167,22 @@ pub struct CacheStats {
     pub disk_rejects: u64,
     /// Fresh captures persisted to the store.
     pub store_writes: u64,
+    /// RISC event-stream requests served from cache.
+    pub rtrace_hits: u64,
+    /// RISC event-stream requests that missed in memory.
+    pub rtrace_misses: u64,
+    /// Functional RISC executions actually performed (a miss the disk tier
+    /// could not serve either): the number the warm-sweep CI job asserts
+    /// is zero.
+    pub risc_captures: u64,
+    /// RISC streams served from the on-disk store.
+    pub risc_disk_hits: u64,
+    /// RISC store lookups that found no file.
+    pub risc_disk_misses: u64,
+    /// RISC store files rejected and recaptured.
+    pub risc_disk_rejects: u64,
+    /// Fresh RISC captures persisted to the store.
+    pub risc_store_writes: u64,
 }
 
 /// A memoizing measurement session shared by all sweep workers.
@@ -153,6 +192,7 @@ pub struct Session {
     traces: Mutex<HashMap<TraceKey, Slot<TraceLog>>>,
     isa: Mutex<HashMap<TraceKey, Slot<IsaOutcome>>>,
     risc: Mutex<HashMap<CompileKey, Slot<RiscArtifacts>>>,
+    rtraces: Mutex<HashMap<TraceKey, Slot<RiscTrace>>>,
     compile_hits: AtomicU64,
     compile_misses: AtomicU64,
     trace_hits: AtomicU64,
@@ -166,6 +206,13 @@ pub struct Session {
     disk_misses: AtomicU64,
     disk_rejects: AtomicU64,
     store_writes: AtomicU64,
+    rtrace_hits: AtomicU64,
+    rtrace_misses: AtomicU64,
+    risc_captures: AtomicU64,
+    risc_disk_hits: AtomicU64,
+    risc_disk_misses: AtomicU64,
+    risc_disk_rejects: AtomicU64,
+    risc_store_writes: AtomicU64,
     store: OnceLock<TraceStore>,
 }
 
@@ -424,6 +471,108 @@ impl Session {
         .clone()
     }
 
+    /// Captures (memoized) the RISC event stream of `workload` built with
+    /// `opts`, under `mem` bytes of memory and a `budget` instruction
+    /// budget — the execution every out-of-order configuration replays and
+    /// the source of the instruction-count figures' denominators.
+    ///
+    /// With a store installed, the disk tier is consulted on an in-memory
+    /// miss (and filled on capture), so process B times OoO points from
+    /// process A's recorded execution with zero re-executions.
+    ///
+    /// # Errors
+    /// [`EngineError::Compile`] or [`EngineError::Capture`] (both cached).
+    pub fn risc_trace(
+        &self,
+        w: &Workload,
+        scale: Scale,
+        opts: &CompileOptions,
+        mem: usize,
+        budget: u64,
+    ) -> Result<Arc<RiscTrace>, EngineError> {
+        let key = TraceKey {
+            compile: CompileKey {
+                workload: w.name.to_string(),
+                scale: scale_label(scale),
+                opts: opts_sig(opts),
+                hand: false,
+            },
+            mem,
+            budget,
+        };
+        let slot = Self::slot(&self.rtraces, &key, &self.rtrace_hits, &self.rtrace_misses);
+        slot.get_or_init(|| {
+            let art = self.risc_program(w, scale, opts)?;
+            let id = RiscTraceId {
+                workload: w.name.to_string(),
+                scale: scale_label(scale).to_string(),
+                opts_sig: opts_sig(opts),
+                code_sig: risc_code_sig(&art),
+                mem_size: mem as u64,
+                max_steps: budget,
+            };
+            // Disk tier: a verified stored stream stands in for a fresh
+            // execution.
+            if let Some(store) = self.store.get() {
+                match store.load_risc(&id) {
+                    LoadOutcome::Hit(trace) => {
+                        if trace.validate(&art.program).is_ok() {
+                            self.risc_disk_hits.fetch_add(1, Ordering::Relaxed);
+                            return Ok(Arc::new(*trace));
+                        }
+                        // Container-valid but structurally foreign (e.g. a
+                        // stale build's capture): recapture over it.
+                        self.risc_disk_rejects.fetch_add(1, Ordering::Relaxed);
+                        store.remove_risc(&id);
+                    }
+                    LoadOutcome::Miss => {
+                        self.risc_disk_misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    LoadOutcome::Reject(_) => {
+                        self.risc_disk_rejects.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            self.risc_captures.fetch_add(1, Ordering::Relaxed);
+            let meta = RiscTraceMeta {
+                workload: id.workload.clone(),
+                scale: id.scale.clone(),
+                opts_sig: id.opts_sig,
+            };
+            let trace = RiscTrace::capture(&art.program, &art.ir, mem, budget, meta)
+                .map_err(|e| EngineError::Capture(format!("{} (risc): {e}", w.name)))?;
+            if let Some(store) = self.store.get() {
+                if store.save_risc(&id, &trace).is_ok() {
+                    self.risc_store_writes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Ok(Arc::new(trace))
+        })
+        .clone()
+    }
+
+    /// Times one out-of-order configuration by replaying the (memoized)
+    /// recorded RISC stream: the reference-platform hot path — one
+    /// functional execution, N of these. Bit-identical to driving the
+    /// timing model from a live machine.
+    ///
+    /// # Errors
+    /// Any cached artifact failure, or [`EngineError::Replay`].
+    pub fn ooo_replayed(
+        &self,
+        w: &Workload,
+        scale: Scale,
+        opts: &CompileOptions,
+        cfg: &trips_ooo::OooConfig,
+        mem: usize,
+        budget: u64,
+    ) -> Result<trips_ooo::OooResult, EngineError> {
+        let art = self.risc_program(w, scale, opts)?;
+        let trace = self.risc_trace(w, scale, opts, mem, budget)?;
+        trips_ooo::run_timed_trace(&art.program, &trace, cfg)
+            .map_err(|e| EngineError::Replay(format!("{} ({}): {e}", w.name, cfg.name)))
+    }
+
     /// Replays the (memoized) trace against one timing configuration: the
     /// sweep's hot path — one capture, N of these.
     ///
@@ -461,6 +610,13 @@ impl Session {
             disk_misses: self.disk_misses.load(Ordering::Relaxed),
             disk_rejects: self.disk_rejects.load(Ordering::Relaxed),
             store_writes: self.store_writes.load(Ordering::Relaxed),
+            rtrace_hits: self.rtrace_hits.load(Ordering::Relaxed),
+            rtrace_misses: self.rtrace_misses.load(Ordering::Relaxed),
+            risc_captures: self.risc_captures.load(Ordering::Relaxed),
+            risc_disk_hits: self.risc_disk_hits.load(Ordering::Relaxed),
+            risc_disk_misses: self.risc_disk_misses.load(Ordering::Relaxed),
+            risc_disk_rejects: self.risc_disk_rejects.load(Ordering::Relaxed),
+            risc_store_writes: self.risc_store_writes.load(Ordering::Relaxed),
         }
     }
 }

@@ -8,16 +8,20 @@
 //! Four layers:
 //!
 //! * [`Session`] — a memoizing artifact store. Compiled programs are cached
-//!   by `(workload, scale, options, hand)`, captured [`trips_isa::TraceLog`]s
-//!   by the same key plus `(memory, budget)`. Concurrent requests for the
-//!   same artifact block on one in-flight computation instead of duplicating
-//!   it (per-entry `OnceLock`, see McKenney's *Is Parallel Programming
+//!   by `(workload, scale, options, hand)`; captured [`trips_isa::TraceLog`]s
+//!   and recorded [`trips_risc::RiscTrace`] event streams by the same key
+//!   plus `(memory, budget)`. Concurrent requests for the same artifact
+//!   block on one in-flight computation instead of duplicating it
+//!   (per-entry `OnceLock`, see McKenney's *Is Parallel Programming
 //!   Hard?* on sharing read-mostly data cheaply).
 //! * [`TraceStore`] — an optional persistent tier under the session: a
 //!   content-addressed directory of `<key>.trace` files
-//!   ([`trips_isa::TraceId::stable_hash`] keys, verified atomic-rename
-//!   containers), so captures survive the process and CI runs share them
-//!   via a cached directory (`trips-sweep --trace-dir`).
+//!   ([`trips_isa::TraceId::stable_hash`] / [`RiscTraceId::stable_hash`]
+//!   keys, verified atomic-rename containers in two kinds), so captures of
+//!   both stream kinds survive the process and CI runs share them via a
+//!   cached directory (`trips-sweep --trace-dir`), with
+//!   [`TraceStore::stats`]/[`TraceStore::prune_stale`] keeping long-lived
+//!   directories free of version-bump debris.
 //! * [`pool`] — a small work-stealing thread pool over `std::thread` scoped
 //!   threads and channels: per-worker deques, round-robin seeding, steal
 //!   from the far end when the local deque drains.
@@ -26,10 +30,12 @@
 //!   [`SweepRow`]s plus a throughput summary (measurements/second is a
 //!   first-class output: the engine exists to raise it).
 //!
-//! The speedup structure: a TRIPS timing sweep of N configurations costs one
-//! functional capture plus N replays (`trips_sim::timing::replay_trace`),
-//! not N functional executions — and replays of *different* workloads and
-//! configurations run concurrently.
+//! The speedup structure, on both backends: a TRIPS timing sweep of N
+//! configurations costs one functional capture plus N replays
+//! (`trips_sim::timing::replay_trace`), and an out-of-order reference sweep
+//! costs one RISC execution plus N stream replays
+//! (`trips_ooo::run_timed_trace`) — never N functional executions. Replays
+//! of *different* workloads and configurations run concurrently.
 
 pub mod cache;
 pub mod pool;
@@ -38,5 +44,7 @@ pub mod sweep;
 
 pub use cache::{CacheStats, EngineError, IsaOutcome, RiscArtifacts, Session};
 pub use pool::parallel_map;
-pub use store::{LoadOutcome, TraceStore};
-pub use sweep::{run_sweep, BackendSpec, ConfigVariant, SweepReport, SweepRow, SweepSpec};
+pub use store::{LoadOutcome, PruneReport, RiscTraceId, StoreStats, TraceStore};
+pub use sweep::{
+    run_sweep, BackendSpec, ConfigVariant, RowDetail, SweepReport, SweepRow, SweepSpec,
+};

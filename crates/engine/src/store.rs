@@ -1,18 +1,26 @@
-//! The content-addressed on-disk trace store: the persistent third tier
-//! under [`Session`](crate::Session).
+//! The content-addressed on-disk trace store: the persistent tier under
+//! [`Session`](crate::Session).
 //!
-//! The in-memory trace cache dies with the process, so every process (and
-//! every CI run) used to re-capture every workload from scratch — exactly
-//! the redundant functional execution the replay design exists to avoid. A
-//! [`TraceStore`] persists captures instead: each
-//! [`TraceLog`] is written once to
-//! `<dir>/<key>.trace`, where `key` is [`TraceId::stable_hash`] — a stable
-//! hash of the complete capture identity (workload, scale, compile-options
-//! signature, hand flag, compiled-code signature, memory size, block
-//! budget, trace-format version). Equal identity ⇒ equal file name ⇒ any
-//! process can reuse any other process's capture, including across CI runs
-//! when the directory rides in a cache; a compiler change moves the
-//! code signature, so stale captures simply stop being found.
+//! The in-memory caches die with the process, so every process (and every
+//! CI run) used to re-capture every workload from scratch — exactly the
+//! redundant functional execution the replay design exists to avoid. A
+//! [`TraceStore`] persists captures instead, in two container kinds:
+//!
+//! * **TRIPS block traces** ([`trips_isa::TraceLog`]), keyed by
+//!   [`TraceId::stable_hash`] — the stable hash of the complete capture
+//!   identity (workload, scale, compile-options signature, hand flag,
+//!   compiled-code signature, memory size, block budget, trace-format
+//!   version).
+//! * **RISC event streams** ([`trips_risc::RiscTrace`]), keyed by
+//!   [`RiscTraceId::stable_hash`] — the same discipline over the RISC-side
+//!   identity (and `RISC_TRACE_VERSION`), under a distinct hash domain so
+//!   the two key spaces cannot collide.
+//!
+//! Each capture is written once to `<dir>/<key>.trace`. Equal identity ⇒
+//! equal file name ⇒ any process can reuse any other process's capture,
+//! including across CI runs when the directory rides in a cache; a compiler
+//! change moves the code signature, so stale captures simply stop being
+//! found.
 //!
 //! Robustness model — the store is a cache, never an authority:
 //!
@@ -21,13 +29,20 @@
 //!   complete files, and concurrent writers of the same key harmlessly
 //!   overwrite each other with identical bytes.
 //! * **Loads are verified.** A fixed header carries a store magic/version,
-//!   the expected key, and a content hash of the payload; the payload must
-//!   deserialize, and the log's own header must match the requested
-//!   [`TraceId`]. Any mismatch — truncation, corruption, a stale format, a
-//!   renamed file — classifies as [`LoadOutcome::Reject`]: the bad file is
-//!   removed (best effort) and the caller recaptures. A *read error* also
-//!   rejects but leaves the file alone — it is not evidence the bytes are
-//!   bad. No failure mode panics or returns a wrong trace.
+//!   the container kind and its payload-format version, the expected key,
+//!   and a content hash of the payload; the payload must deserialize, and
+//!   the log's own header must match the requested identity. Any mismatch —
+//!   truncation, corruption, a stale format, a renamed file — classifies as
+//!   [`LoadOutcome::Reject`]: the bad file is removed (best effort) and the
+//!   caller recaptures. A *read error* also rejects but leaves the file
+//!   alone — it is not evidence the bytes are bad. No failure mode panics
+//!   or returns a wrong trace.
+//! * **Garbage is collectable.** Because each container records its kind
+//!   and payload version, [`TraceStore::stats`] can census a shared
+//!   directory and [`TraceStore::prune_stale`] can delete containers no
+//!   current build will ever load (old container layouts, retired payload
+//!   versions) — `trips-sweep --trace-gc` wires it to the command line so
+//!   CI caches don't accumulate dead files across version bumps.
 
 use std::fs;
 use std::io;
@@ -35,24 +50,33 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use trips_isa::{TraceId, TraceLog};
+use trips_risc::{RiscTrace, RiscTraceHeader, RISC_TRACE_VERSION};
 
 /// `b"TRST"` — identifies a store container file.
 pub const STORE_MAGIC: [u8; 4] = *b"TRST";
 
-/// Container-format version (the framing around the serialized log; the
-/// log's own format is versioned separately by
-/// [`trips_isa::trace::TRACE_VERSION`]).
-pub const STORE_VERSION: u32 = 1;
+/// Container-format version (the framing around the serialized payload; the
+/// payloads' own formats are versioned separately by
+/// [`trips_isa::trace::TRACE_VERSION`] and
+/// [`trips_risc::RISC_TRACE_VERSION`]).
+pub const STORE_VERSION: u32 = 2;
 
-/// Container header: magic (4) + version (4) + key (8) + payload hash (8) +
-/// payload length (8).
-const HEADER_LEN: usize = 32;
+/// Container kind: a TRIPS block trace ([`TraceLog`] payload).
+pub const KIND_BLOCK_TRACE: u32 = 1;
 
-/// What one store lookup produced.
+/// Container kind: a RISC event stream ([`RiscTrace`] payload).
+pub const KIND_RISC_TRACE: u32 = 2;
+
+/// Container header: magic (4) + store version (4) + kind (4) + payload
+/// version (4) + key (8) + payload hash (8) + payload length (8).
+const HEADER_LEN: usize = 40;
+
+/// What one store lookup produced (`T` is the payload type of the
+/// container kind that was asked for).
 #[derive(Debug)]
-pub enum LoadOutcome {
-    /// A fully verified log for the requested identity.
-    Hit(Box<TraceLog>),
+pub enum LoadOutcome<T = TraceLog> {
+    /// A fully verified payload for the requested identity.
+    Hit(Box<T>),
     /// No file under this key.
     Miss,
     /// A file existed but could not be served: failed verification
@@ -60,6 +84,129 @@ pub enum LoadOutcome {
     /// been removed) or an I/O error reading it (the file is left in
     /// place). Either way the caller should recapture.
     Reject(String),
+}
+
+/// The complete identity of one RISC event-stream capture: everything that,
+/// if changed, would change the recorded stream. The RISC-side counterpart
+/// of [`trips_isa::TraceId`], keyed under its own hash domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RiscTraceId {
+    /// Workload name.
+    pub workload: String,
+    /// Scale label (`test` / `ref`).
+    pub scale: String,
+    /// Compile-options signature of the scalar optimization preset.
+    pub opts_sig: u64,
+    /// Content signature of the compiled RISC program and the IR it
+    /// executes against (a codegen change retires stored streams by
+    /// itself).
+    pub code_sig: u64,
+    /// Memory image size of the functional run.
+    pub mem_size: u64,
+    /// Dynamic instruction budget of the capture.
+    pub max_steps: u64,
+}
+
+impl RiscTraceId {
+    /// A stable 64-bit key: the hash of every identity field plus
+    /// [`RISC_TRACE_VERSION`], so a format bump retires every stored file
+    /// at once (old keys simply never match again).
+    #[must_use]
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = trips_isa::hash::StableHasher::new();
+        h.write_str("trips.risctrace");
+        h.write_u64(u64::from(RISC_TRACE_VERSION));
+        h.write_str(&self.workload);
+        h.write_str(&self.scale);
+        h.write_u64(self.opts_sig);
+        h.write_u64(self.code_sig);
+        h.write_u64(self.mem_size);
+        h.write_u64(self.max_steps);
+        h.finish()
+    }
+
+    /// Checks a loaded stream's header against this identity: magic,
+    /// version, and every provenance field the header records (`code_sig`
+    /// is part of the key only, like `hand`/`code_sig` on the TRIPS side).
+    ///
+    /// # Errors
+    /// A description of the first mismatching field.
+    pub fn matches_header(&self, h: &RiscTraceHeader) -> Result<(), String> {
+        if h.magic != trips_risc::trace::RISC_TRACE_MAGIC {
+            return Err(format!("bad trace magic {:#x}", h.magic));
+        }
+        if h.version != RISC_TRACE_VERSION {
+            return Err(format!(
+                "trace version {} unsupported (expected {RISC_TRACE_VERSION})",
+                h.version
+            ));
+        }
+        if h.workload != self.workload {
+            return Err(format!(
+                "trace is of workload `{}`, wanted `{}`",
+                h.workload, self.workload
+            ));
+        }
+        if h.scale != self.scale {
+            return Err(format!(
+                "trace is at scale `{}`, wanted `{}`",
+                h.scale, self.scale
+            ));
+        }
+        if h.opts_sig != self.opts_sig {
+            return Err(format!(
+                "trace compiled under options {:#x}, wanted {:#x}",
+                h.opts_sig, self.opts_sig
+            ));
+        }
+        if h.mem_size != self.mem_size {
+            return Err(format!(
+                "trace ran in {} bytes of memory, wanted {}",
+                h.mem_size, self.mem_size
+            ));
+        }
+        if h.max_steps != self.max_steps {
+            return Err(format!(
+                "trace captured under budget {}, wanted {}",
+                h.max_steps, self.max_steps
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A census of one store directory (see [`TraceStore::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct StoreStats {
+    /// `.trace` container files present.
+    pub containers: u64,
+    /// Their total size in bytes.
+    pub bytes: u64,
+    /// Containers holding a current-version TRIPS block trace.
+    pub block_traces: u64,
+    /// Containers holding a current-version RISC event stream.
+    pub risc_traces: u64,
+    /// Containers no current build will load: unreadable headers, old
+    /// container layouts, unknown kinds, retired payload versions.
+    pub stale: u64,
+}
+
+/// What one [`TraceStore::prune_stale`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct PruneReport {
+    /// Stale containers deleted.
+    pub removed: u64,
+    /// Bytes those files occupied.
+    pub bytes_freed: u64,
+    /// Current-version containers left in place.
+    pub kept: u64,
+}
+
+/// How a container header classifies against the current build.
+enum ContainerClass {
+    CurrentBlock,
+    CurrentRisc,
+    Stale,
 }
 
 /// A directory of content-addressed `<key>.trace` files.
@@ -106,17 +253,65 @@ impl TraceStore {
         &self.dir
     }
 
-    /// The file path a given identity is stored under.
-    #[must_use]
-    pub fn path_for(&self, id: &TraceId) -> PathBuf {
-        self.dir.join(format!("{:016x}.trace", id.stable_hash()))
+    fn path_for_key(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.trace"))
     }
 
-    /// Looks up `id`, verifying the container (magic, version, key, payload
-    /// hash) and the log's provenance header. Rejected files are deleted so
-    /// the next writer replaces them.
-    pub fn load(&self, id: &TraceId) -> LoadOutcome {
-        let path = self.path_for(id);
+    /// The file path a TRIPS block-trace identity is stored under.
+    #[must_use]
+    pub fn path_for(&self, id: &TraceId) -> PathBuf {
+        self.path_for_key(id.stable_hash())
+    }
+
+    /// The file path a RISC event-stream identity is stored under.
+    #[must_use]
+    pub fn path_for_risc(&self, id: &RiscTraceId) -> PathBuf {
+        self.path_for_key(id.stable_hash())
+    }
+
+    /// Looks up a TRIPS block trace, verifying the container (magic,
+    /// versions, kind, key, payload hash) and the log's provenance header.
+    /// Rejected files are deleted so the next writer replaces them.
+    pub fn load(&self, id: &TraceId) -> LoadOutcome<TraceLog> {
+        self.load_kind(
+            id.stable_hash(),
+            KIND_BLOCK_TRACE,
+            trips_isa::trace::TRACE_VERSION,
+            |payload| {
+                let log: TraceLog =
+                    serde::bin::from_bytes(payload).map_err(|e| format!("payload decode: {e}"))?;
+                id.matches_header(&log.header)
+                    .map_err(|e| format!("identity mismatch: {e}"))?;
+                Ok(log)
+            },
+        )
+    }
+
+    /// Looks up a RISC event stream; same verification discipline as
+    /// [`TraceStore::load`].
+    pub fn load_risc(&self, id: &RiscTraceId) -> LoadOutcome<RiscTrace> {
+        self.load_kind(
+            id.stable_hash(),
+            KIND_RISC_TRACE,
+            RISC_TRACE_VERSION,
+            |payload| {
+                let trace: RiscTrace =
+                    serde::bin::from_bytes(payload).map_err(|e| format!("payload decode: {e}"))?;
+                id.matches_header(&trace.header)
+                    .map_err(|e| format!("identity mismatch: {e}"))?;
+                Ok(trace)
+            },
+        )
+    }
+
+    fn load_kind<T>(
+        &self,
+        key: u64,
+        kind: u32,
+        payload_version: u32,
+        decode_payload: impl FnOnce(&[u8]) -> Result<T, String>,
+    ) -> LoadOutcome<T> {
+        let path = self.path_for_key(key);
         let bytes = match fs::read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return LoadOutcome::Miss,
@@ -125,39 +320,73 @@ impl TraceStore {
             // but leave the file for other processes.
             Err(e) => return LoadOutcome::Reject(format!("read failed: {e}")),
         };
-        match Self::decode(id, &bytes) {
-            Ok(log) => LoadOutcome::Hit(Box::new(log)),
+        let payload = match Self::verify_container(key, kind, payload_version, &bytes) {
+            Ok(p) => p,
+            Err(why) => return self.reject(&path, why),
+        };
+        match decode_payload(payload) {
+            Ok(v) => LoadOutcome::Hit(Box::new(v)),
             Err(why) => self.reject(&path, why),
         }
     }
 
-    /// Persists `log` under `id`: serialize, frame, write to a unique temp
-    /// file in the store directory, atomically rename into place.
+    /// Persists a TRIPS block trace under `id`: serialize, frame, write to
+    /// a unique temp file in the store directory, atomically rename into
+    /// place.
     ///
     /// # Errors
     /// Any I/O error (the temp file is cleaned up best-effort; the store is
     /// a cache, so callers typically log-and-continue).
     pub fn save(&self, id: &TraceId, log: &TraceLog) -> io::Result<()> {
-        let payload = serde::bin::to_bytes(log);
+        self.save_kind(
+            id.stable_hash(),
+            KIND_BLOCK_TRACE,
+            trips_isa::trace::TRACE_VERSION,
+            &serde::bin::to_bytes(log),
+        )
+    }
+
+    /// Persists a RISC event stream under `id`; same discipline as
+    /// [`TraceStore::save`].
+    ///
+    /// # Errors
+    /// Any I/O error.
+    pub fn save_risc(&self, id: &RiscTraceId, trace: &RiscTrace) -> io::Result<()> {
+        self.save_kind(
+            id.stable_hash(),
+            KIND_RISC_TRACE,
+            RISC_TRACE_VERSION,
+            &serde::bin::to_bytes(trace),
+        )
+    }
+
+    fn save_kind(
+        &self,
+        key: u64,
+        kind: u32,
+        payload_version: u32,
+        payload: &[u8],
+    ) -> io::Result<()> {
         let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
         bytes.extend_from_slice(&STORE_MAGIC);
         bytes.extend_from_slice(&STORE_VERSION.to_le_bytes());
-        bytes.extend_from_slice(&id.stable_hash().to_le_bytes());
-        bytes.extend_from_slice(&trips_isa::hash::content_hash(&payload).to_le_bytes());
+        bytes.extend_from_slice(&kind.to_le_bytes());
+        bytes.extend_from_slice(&payload_version.to_le_bytes());
+        bytes.extend_from_slice(&key.to_le_bytes());
+        bytes.extend_from_slice(&trips_isa::hash::content_hash(payload).to_le_bytes());
         bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(payload);
 
         // Unique within the process via the counter, across processes via
         // the pid; rename within one directory is atomic, so a concurrent
         // reader sees either the old complete file or the new one.
         let tmp = self.dir.join(format!(
-            ".tmp-{:016x}-{}-{}",
-            id.stable_hash(),
+            ".tmp-{key:016x}-{}-{}",
             std::process::id(),
             self.tmp_seq.fetch_add(1, Ordering::Relaxed),
         ));
         fs::write(&tmp, &bytes)
-            .and_then(|()| fs::rename(&tmp, self.path_for(id)))
+            .and_then(|()| fs::rename(&tmp, self.path_for_key(key)))
             .inspect_err(|_| {
                 // A failed write (e.g. ENOSPC) leaves a partial temp file;
                 // a failed rename leaves a complete one. Neither may stay.
@@ -165,46 +394,71 @@ impl TraceStore {
             })
     }
 
-    /// Removes the file under `id` (used when a verified-at-container-level
-    /// log still fails deeper validation against the program).
+    /// Removes the file under a TRIPS block-trace identity (used when a
+    /// verified-at-container-level log still fails deeper validation
+    /// against the program).
     pub fn remove(&self, id: &TraceId) {
         let _ = fs::remove_file(self.path_for(id));
     }
 
-    fn reject(&self, path: &Path, why: String) -> LoadOutcome {
+    /// Removes the file under a RISC event-stream identity.
+    pub fn remove_risc(&self, id: &RiscTraceId) {
+        let _ = fs::remove_file(self.path_for_risc(id));
+    }
+
+    fn reject<T>(&self, path: &Path, why: String) -> LoadOutcome<T> {
         let _ = fs::remove_file(path);
         LoadOutcome::Reject(why)
     }
 
-    /// Full container + payload verification.
-    fn decode(id: &TraceId, bytes: &[u8]) -> Result<TraceLog, String> {
+    /// Full container verification; returns the payload slice.
+    fn verify_container(
+        key: u64,
+        kind: u32,
+        payload_version: u32,
+        bytes: &[u8],
+    ) -> Result<&[u8], String> {
         if bytes.len() < HEADER_LEN {
             return Err(format!(
                 "truncated container: {} bytes, header is {HEADER_LEN}",
                 bytes.len()
             ));
         }
-        let word = |at: usize| -> u64 {
+        let u32_at = |at: usize| -> u32 {
+            u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+        };
+        let u64_at = |at: usize| -> u64 {
             u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
         };
         if bytes[..4] != STORE_MAGIC {
             return Err(format!("bad store magic {:02x?}", &bytes[..4]));
         }
-        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        let version = u32_at(4);
         if version != STORE_VERSION {
             return Err(format!(
                 "store version {version} unsupported (expected {STORE_VERSION})"
             ));
         }
-        let key = word(8);
-        if key != id.stable_hash() {
+        let file_kind = u32_at(8);
+        if file_kind != kind {
             return Err(format!(
-                "file claims key {key:#018x}, expected {:#018x}",
-                id.stable_hash()
+                "container kind {file_kind} where kind {kind} was expected"
             ));
         }
-        let payload_hash = word(16);
-        let payload_len = word(24);
+        let file_payload_version = u32_at(12);
+        if file_payload_version != payload_version {
+            return Err(format!(
+                "payload version {file_payload_version} unsupported (expected {payload_version})"
+            ));
+        }
+        let file_key = u64_at(16);
+        if file_key != key {
+            return Err(format!(
+                "file claims key {file_key:#018x}, expected {key:#018x}"
+            ));
+        }
+        let payload_hash = u64_at(24);
+        let payload_len = u64_at(32);
         let payload = &bytes[HEADER_LEN..];
         if payload.len() as u64 != payload_len {
             return Err(format!(
@@ -218,10 +472,105 @@ impl TraceStore {
                 "payload hash {actual:#018x} != recorded {payload_hash:#018x}"
             ));
         }
-        let log: TraceLog =
-            serde::bin::from_bytes(payload).map_err(|e| format!("payload decode: {e}"))?;
-        id.matches_header(&log.header)
-            .map_err(|e| format!("identity mismatch: {e}"))?;
-        Ok(log)
+        Ok(payload)
+    }
+
+    /// Classifies one container file by its header alone (no payload
+    /// verification — integrity is [`TraceStore::load`]'s job).
+    fn classify(bytes: &[u8]) -> ContainerClass {
+        if bytes.len() < HEADER_LEN || bytes[..4] != STORE_MAGIC {
+            return ContainerClass::Stale;
+        }
+        let u32_at = |at: usize| -> u32 {
+            u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+        };
+        if u32_at(4) != STORE_VERSION {
+            return ContainerClass::Stale;
+        }
+        match (u32_at(8), u32_at(12)) {
+            (KIND_BLOCK_TRACE, v) if v == trips_isa::trace::TRACE_VERSION => {
+                ContainerClass::CurrentBlock
+            }
+            (KIND_RISC_TRACE, v) if v == RISC_TRACE_VERSION => ContainerClass::CurrentRisc,
+            _ => ContainerClass::Stale,
+        }
+    }
+
+    fn containers(&self) -> io::Result<Vec<(PathBuf, u64, ContainerClass)>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension() != Some(std::ffi::OsStr::new("trace")) {
+                continue;
+            }
+            let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            // Classification needs only the header — never pull a
+            // multi-megabyte payload through the page cache for a census.
+            let mut head = [0u8; HEADER_LEN];
+            let class = match fs::File::open(&path).and_then(|mut f| {
+                let mut at = 0;
+                while at < HEADER_LEN {
+                    match io::Read::read(&mut f, &mut head[at..])? {
+                        0 => break,
+                        n => at += n,
+                    }
+                }
+                Ok(at)
+            }) {
+                Ok(n) => Self::classify(&head[..n]),
+                // Unreadable right now: don't classify it stale on an I/O
+                // hiccup (same policy as load()).
+                Err(_) => continue,
+            };
+            out.push((path, len, class));
+        }
+        Ok(out)
+    }
+
+    /// A census of the directory: container counts per kind, total bytes,
+    /// and how many files no current build will ever load.
+    ///
+    /// # Errors
+    /// Any error listing the directory.
+    pub fn stats(&self) -> io::Result<StoreStats> {
+        let mut s = StoreStats::default();
+        for (_, len, class) in self.containers()? {
+            s.containers += 1;
+            s.bytes += len;
+            match class {
+                ContainerClass::CurrentBlock => s.block_traces += 1,
+                ContainerClass::CurrentRisc => s.risc_traces += 1,
+                ContainerClass::Stale => s.stale += 1,
+            }
+        }
+        Ok(s)
+    }
+
+    /// Deletes every stale container — old container layouts, unknown
+    /// kinds, retired payload versions, unparsable headers — leaving
+    /// current-version files untouched. Version bumps would otherwise leave
+    /// dead files in shared directories (CI caches) forever, since bumped
+    /// keys never match the old names again.
+    ///
+    /// # Errors
+    /// Any error listing the directory (individual deletions are
+    /// best-effort).
+    pub fn prune_stale(&self) -> io::Result<PruneReport> {
+        let mut report = PruneReport::default();
+        for (path, len, class) in self.containers()? {
+            match class {
+                ContainerClass::CurrentBlock | ContainerClass::CurrentRisc => report.kept += 1,
+                ContainerClass::Stale => {
+                    if fs::remove_file(&path).is_ok() {
+                        report.removed += 1;
+                        report.bytes_freed += len;
+                    } else {
+                        report.kept += 1;
+                    }
+                }
+            }
+        }
+        Ok(report)
     }
 }

@@ -8,9 +8,10 @@
 
 use crate::cache::{EngineError, Session};
 use crate::pool::{effective_threads, parallel_map};
-use serde::Serialize;
+use serde::{Serialize, Serializer, Value};
+use std::sync::Arc;
 use std::time::Instant;
-use trips_compiler::CompileOptions;
+use trips_compiler::{CompileOptions, CompiledProgram};
 use trips_sim::TripsConfig;
 use trips_workloads::{by_name, Scale, Workload};
 
@@ -20,36 +21,59 @@ pub enum BackendSpec {
     /// TRIPS cycle-level model: replayed against every [`SweepSpec::configs`]
     /// variant.
     Trips,
-    /// RISC (PowerPC-like) functional baseline: instruction counts.
+    /// TRIPS functional (untimed) ISA statistics: block composition,
+    /// storage accesses, code footprint — the Figure 3–5/§4.4 series.
+    Isa,
+    /// RISC (PowerPC-like) functional baseline: instruction counts, served
+    /// from the recorded event stream.
     Risc,
-    /// An out-of-order reference platform: `core2`, `p4`, or `p3`.
+    /// An out-of-order reference platform (`core2`, `p4`, or `p3`), timed
+    /// by replaying the recorded RISC event stream.
     Ooo(String),
     /// The idealized EDGE limit study: `1k`, `1k0` (free dispatch), `128k`.
     Ideal(String),
 }
 
 impl BackendSpec {
-    /// Parses a backend label.
+    /// Parses a backend label. The pseudo-label `ooo` expands to all three
+    /// reference platforms.
     ///
     /// # Errors
     /// [`EngineError::Spec`] on unknown labels.
     pub fn parse(s: &str) -> Result<BackendSpec, EngineError> {
         match s {
             "trips" => Ok(BackendSpec::Trips),
+            "isa" => Ok(BackendSpec::Isa),
             "risc" => Ok(BackendSpec::Risc),
             "core2" | "p4" | "p3" => Ok(BackendSpec::Ooo(s.to_string())),
             "ideal1k" => Ok(BackendSpec::Ideal("1k".into())),
             "ideal1k0" => Ok(BackendSpec::Ideal("1k0".into())),
             "ideal128k" => Ok(BackendSpec::Ideal("128k".into())),
             other => Err(EngineError::Spec(format!(
-                "unknown backend `{other}` (known: trips risc core2 p4 p3 ideal1k ideal1k0 ideal128k)"
+                "unknown backend `{other}` (known: trips isa risc core2 p4 p3 ooo ideal1k ideal1k0 ideal128k)"
             ))),
         }
+    }
+
+    /// Parses a backend list entry, expanding the `ooo` group label.
+    ///
+    /// # Errors
+    /// [`EngineError::Spec`] on unknown labels.
+    pub fn parse_group(s: &str) -> Result<Vec<BackendSpec>, EngineError> {
+        if s == "ooo" {
+            return Ok(vec![
+                BackendSpec::Ooo("core2".into()),
+                BackendSpec::Ooo("p4".into()),
+                BackendSpec::Ooo("p3".into()),
+            ]);
+        }
+        Ok(vec![BackendSpec::parse(s)?])
     }
 
     fn label(&self) -> String {
         match self {
             BackendSpec::Trips => "trips".into(),
+            BackendSpec::Isa => "isa".into(),
             BackendSpec::Risc => "risc".into(),
             BackendSpec::Ooo(n) => n.clone(),
             BackendSpec::Ideal(n) => format!("ideal{n}"),
@@ -173,16 +197,44 @@ impl Default for SweepSpec {
     }
 }
 
+/// Backend-specific detailed statistics riding along with a [`SweepRow`].
+///
+/// The flat row columns are what the CLI renders; the figures need the full
+/// underlying statistics (block composition, storage accesses, window
+/// occupancy), so each measurement keeps them here. Deliberately *not*
+/// serialized — JSON/CSV output stays flat and stable.
+#[derive(Debug, Clone)]
+pub enum RowDetail {
+    /// No extended statistics (ideal backend).
+    None,
+    /// Functional TRIPS ISA statistics, plus the compiled program for
+    /// code-size accounting (mirrors the experiment harness's
+    /// `IsaMeasurement`).
+    Isa {
+        /// ISA-level statistics of the functional run.
+        stats: Arc<trips_isa::IsaStats>,
+        /// The compiled TRIPS program the run executed.
+        compiled: Arc<CompiledProgram>,
+    },
+    /// Functional RISC baseline statistics (from the recorded stream).
+    Risc(Arc<trips_risc::RiscStats>),
+    /// TRIPS cycle-level statistics.
+    Trips(Arc<trips_sim::SimStats>),
+    /// Out-of-order reference platform statistics.
+    Ooo(trips_ooo::OooStats),
+}
+
 /// One measurement result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepRow {
     /// Workload name.
     pub workload: String,
-    /// Backend label (`trips`, `risc`, `core2`, ...).
+    /// Backend label (`trips`, `isa`, `risc`, `core2`, ...).
     pub backend: String,
     /// Configuration label (TRIPS variants; `-` for other backends).
     pub config: String,
-    /// Cycles (RISC backend reports retired instructions here).
+    /// Cycles (the functional backends have no cycle model: `risc` reports
+    /// retired instructions here, `isa` fetched TRIPS instructions).
     pub cycles: u64,
     /// Executed-instruction IPC (0 for backends without a cycle model).
     pub ipc: f64,
@@ -199,6 +251,35 @@ pub struct SweepRow {
     /// Wall-clock milliseconds this point took (includes any cache misses
     /// it had to fill).
     pub wall_ms: f64,
+    /// Full backend statistics (not serialized).
+    pub detail: RowDetail,
+}
+
+impl Serialize for SweepRow {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Hand-written so `detail` stays out of the rendered row; field
+        // order matches declaration order, like the derive would emit.
+        let m = vec![
+            (Value::str("workload"), serde::to_value(&self.workload)),
+            (Value::str("backend"), serde::to_value(&self.backend)),
+            (Value::str("config"), serde::to_value(&self.config)),
+            (Value::str("cycles"), serde::to_value(&self.cycles)),
+            (Value::str("ipc"), serde::to_value(&self.ipc)),
+            (Value::str("blocks"), serde::to_value(&self.blocks)),
+            (
+                Value::str("mispredict_flushes"),
+                serde::to_value(&self.mispredict_flushes),
+            ),
+            (
+                Value::str("load_flushes"),
+                serde::to_value(&self.load_flushes),
+            ),
+            (Value::str("l1d_misses"), serde::to_value(&self.l1d_misses)),
+            (Value::str("avg_window"), serde::to_value(&self.avg_window)),
+            (Value::str("wall_ms"), serde::to_value(&self.wall_ms)),
+        ];
+        serializer.serialize_value(Value::Map(m))
+    }
 }
 
 /// Everything a sweep produced.
@@ -287,6 +368,7 @@ fn measure(p: &Point, spec: &SweepSpec, session: &Session) -> Result<SweepRow, E
         l1d_misses: 0,
         avg_window: 0.0,
         wall_ms: 0.0,
+        detail: RowDetail::None,
     };
     match &p.backend {
         BackendSpec::Trips => {
@@ -308,12 +390,37 @@ fn measure(p: &Point, spec: &SweepSpec, session: &Session) -> Result<SweepRow, E
             row.load_flushes = s.load_flushes;
             row.l1d_misses = s.l1d_misses;
             row.avg_window = s.avg_window_insts();
+            row.detail = RowDetail::Trips(Arc::new(s));
+        }
+        BackendSpec::Isa => {
+            let compiled = session.compiled(&p.workload, spec.scale, &spec.opts, spec.hand)?;
+            let out = session.isa_outcome(
+                &p.workload,
+                spec.scale,
+                &spec.opts,
+                spec.hand,
+                spec.mem,
+                spec.sim_budget,
+            )?;
+            row.cycles = out.stats.fetched;
+            row.blocks = out.stats.blocks_executed;
+            row.detail = RowDetail::Isa {
+                stats: Arc::new(out.stats.clone()),
+                compiled,
+            };
         }
         BackendSpec::Risc => {
-            let risc = session.risc_program(&p.workload, spec.scale, &CompileOptions::gcc_ref())?;
-            let out = trips_risc::run(&risc.program, &risc.ir, spec.mem, spec.risc_budget)
-                .map_err(|e| EngineError::Capture(format!("{} (risc): {e}", p.workload.name)))?;
-            row.cycles = out.stats.insts;
+            // Instruction counts come straight off the recorded stream: a
+            // warm store serves this row with zero functional execution.
+            let trace = session.risc_trace(
+                &p.workload,
+                spec.scale,
+                &CompileOptions::gcc_ref(),
+                spec.mem,
+                spec.risc_budget,
+            )?;
+            row.cycles = trace.stats.insts;
+            row.detail = RowDetail::Risc(Arc::new(trace.stats.clone()));
         }
         BackendSpec::Ooo(name) => {
             let cfg = match name.as_str() {
@@ -321,18 +428,21 @@ fn measure(p: &Point, spec: &SweepSpec, session: &Session) -> Result<SweepRow, E
                 "p4" => trips_ooo::pentium4(),
                 _ => trips_ooo::pentium3(),
             };
-            let risc = session.risc_program(&p.workload, spec.scale, &CompileOptions::gcc_ref())?;
-            let out =
-                trips_ooo::run_timed(&risc.program, &risc.ir, &cfg, spec.mem, spec.risc_budget)
-                    .map_err(|e| {
-                        EngineError::Capture(format!("{} ({}): {e}", p.workload.name, cfg.name))
-                    })?;
+            let out = session.ooo_replayed(
+                &p.workload,
+                spec.scale,
+                &CompileOptions::gcc_ref(),
+                &cfg,
+                spec.mem,
+                spec.risc_budget,
+            )?;
             row.cycles = out.stats.cycles;
             row.ipc = if out.stats.cycles == 0 {
                 0.0
             } else {
                 out.stats.insts as f64 / out.stats.cycles as f64
             };
+            row.detail = RowDetail::Ooo(out.stats);
         }
         BackendSpec::Ideal(which) => {
             let icfg = match which.as_str() {
@@ -503,6 +613,54 @@ mod tests {
             .find(|r| r.config == "dispatch_interval=1" && r.workload == "vadd")
             .unwrap();
         assert_ne!(proto.cycles, di1.cycles);
+    }
+
+    #[test]
+    fn functional_backends_share_one_recorded_execution() {
+        let spec = SweepSpec {
+            workloads: vec!["vadd".into()],
+            configs: Vec::new(),
+            backends: vec![
+                BackendSpec::Isa,
+                BackendSpec::Risc,
+                BackendSpec::Ooo("core2".into()),
+                BackendSpec::Ooo("p3".into()),
+            ],
+            ..SweepSpec::default()
+        };
+        let session = Session::new();
+        let report = run_sweep(&spec, &session).unwrap();
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        assert_eq!(report.rows.len(), 4);
+        for row in &report.rows {
+            match (row.backend.as_str(), &row.detail) {
+                ("isa", crate::sweep::RowDetail::Isa { stats, .. }) => {
+                    assert!(stats.fetched > 0);
+                    assert_eq!(row.cycles, stats.fetched);
+                }
+                ("risc", crate::sweep::RowDetail::Risc(stats)) => {
+                    assert!(stats.insts > 0);
+                    assert_eq!(row.cycles, stats.insts);
+                }
+                ("core2" | "p3", crate::sweep::RowDetail::Ooo(stats)) => {
+                    assert_eq!(row.cycles, stats.cycles);
+                    assert!(stats.cycles > 0);
+                }
+                other => panic!("unexpected row/detail pairing: {other:?}"),
+            }
+        }
+        // The risc row and both OoO platforms replay one recorded stream.
+        let c = report.cache;
+        assert_eq!(c.risc_captures, 1, "one functional RISC execution");
+        assert!(
+            c.rtrace_hits >= 2,
+            "OoO points must reuse the stream: {c:?}"
+        );
+        // And the `ooo` group label expands to the three platforms.
+        let group = BackendSpec::parse_group("ooo").unwrap();
+        assert_eq!(group.len(), 3);
+        assert!(BackendSpec::parse_group("isa").unwrap() == vec![BackendSpec::Isa]);
+        assert!(BackendSpec::parse("nonsense").is_err());
     }
 
     #[test]

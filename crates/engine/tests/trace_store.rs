@@ -7,9 +7,10 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use trips_compiler::CompileOptions;
-use trips_engine::cache::{code_sig, opts_sig};
-use trips_engine::{LoadOutcome, Session, TraceStore};
+use trips_engine::cache::{code_sig, opts_sig, risc_code_sig};
+use trips_engine::{LoadOutcome, RiscTraceId, Session, TraceStore};
 use trips_isa::{TraceId, TraceLog, TraceMeta};
+use trips_risc::{RiscTrace, RiscTraceMeta};
 use trips_workloads::{by_name, Scale};
 
 const MEM: usize = 1 << 22;
@@ -48,6 +49,35 @@ fn captured_vadd() -> (TraceId, TraceLog) {
         max_blocks: BUDGET,
     };
     (id, log)
+}
+
+/// A real RISC event-stream capture of `vadd` plus its store identity.
+fn captured_vadd_risc() -> (RiscTraceId, RiscTrace) {
+    let opts = CompileOptions::gcc_ref();
+    let w = by_name("vadd").unwrap();
+    let session = Session::new();
+    let art = session.risc_program(&w, Scale::Test, &opts).unwrap();
+    let trace = RiscTrace::capture(
+        &art.program,
+        &art.ir,
+        MEM,
+        BUDGET,
+        RiscTraceMeta {
+            workload: "vadd".into(),
+            scale: "test".into(),
+            opts_sig: opts_sig(&opts),
+        },
+    )
+    .unwrap();
+    let id = RiscTraceId {
+        workload: "vadd".into(),
+        scale: "test".into(),
+        opts_sig: opts_sig(&opts),
+        code_sig: risc_code_sig(&art),
+        mem_size: MEM as u64,
+        max_steps: BUDGET,
+    };
+    (id, trace)
 }
 
 #[test]
@@ -293,4 +323,123 @@ fn disk_tier_is_keyed_on_identity_not_name() {
     assert_eq!(session2.cache_stats().disk_hits, 0);
     assert_eq!(a.header.max_blocks, BUDGET);
     assert_eq!(b.header.max_blocks, BUDGET / 2);
+}
+
+#[test]
+fn risc_containers_round_trip_and_reject_corruption() {
+    let store = TraceStore::open(tmp_dir("risc-roundtrip")).unwrap();
+    let (id, trace) = captured_vadd_risc();
+    assert!(matches!(store.load_risc(&id), LoadOutcome::Miss));
+    store.save_risc(&id, &trace).unwrap();
+    match store.load_risc(&id) {
+        LoadOutcome::Hit(back) => assert_eq!(*back, trace),
+        other => panic!("expected a hit, got {other:?}"),
+    }
+    // Bit-flip the payload: the content hash must catch it.
+    let path = store.path_for_risc(&id);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() - 8;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    match store.load_risc(&id) {
+        LoadOutcome::Reject(why) => {
+            assert!(why.contains("hash") || why.contains("decode"), "{why}");
+            assert!(!path.exists(), "rejected file must be removed");
+        }
+        other => panic!("expected a reject, got {other:?}"),
+    }
+}
+
+#[test]
+fn container_kinds_are_not_interchangeable() {
+    // A block-trace container renamed onto a RISC key (or vice versa) must
+    // reject on the recorded kind, never deserialize as the wrong payload.
+    let store = TraceStore::open(tmp_dir("kinds")).unwrap();
+    let (block_id, log) = captured_vadd();
+    let (risc_id, trace) = captured_vadd_risc();
+    store.save(&block_id, &log).unwrap();
+    std::fs::rename(store.path_for(&block_id), store.path_for_risc(&risc_id)).unwrap();
+    match store.load_risc(&risc_id) {
+        LoadOutcome::Reject(why) => assert!(why.contains("kind"), "{why}"),
+        other => panic!("expected a reject, got {other:?}"),
+    }
+    store.save_risc(&risc_id, &trace).unwrap();
+    std::fs::rename(store.path_for_risc(&risc_id), store.path_for(&block_id)).unwrap();
+    match store.load(&block_id) {
+        LoadOutcome::Reject(why) => assert!(why.contains("kind"), "{why}"),
+        other => panic!("expected a reject, got {other:?}"),
+    }
+}
+
+#[test]
+fn stats_census_and_prune_remove_only_stale_containers() {
+    let dir = tmp_dir("gc");
+    let store = TraceStore::open(&dir).unwrap();
+    let (block_id, log) = captured_vadd();
+    let (risc_id, trace) = captured_vadd_risc();
+    store.save(&block_id, &log).unwrap();
+    store.save_risc(&risc_id, &trace).unwrap();
+    // Two stale files: pure garbage, and a PR-2-era container layout
+    // (store version 1, 32-byte header) that no current build can load.
+    std::fs::write(dir.join("feedfeedfeedfeed.trace"), b"not a container").unwrap();
+    let mut old = Vec::new();
+    old.extend_from_slice(b"TRST");
+    old.extend_from_slice(&1u32.to_le_bytes());
+    old.extend_from_slice(&[0u8; 24]);
+    old.extend_from_slice(b"payload");
+    std::fs::write(dir.join("0123456789abcdef.trace"), &old).unwrap();
+    // Non-container files in the directory are none of the store's
+    // business.
+    std::fs::write(dir.join("README"), b"hands off").unwrap();
+
+    let s = store.stats().unwrap();
+    assert_eq!(
+        (s.containers, s.block_traces, s.risc_traces, s.stale),
+        (4, 1, 1, 2),
+        "{s:?}"
+    );
+    assert!(s.bytes > 0);
+
+    let report = store.prune_stale().unwrap();
+    assert_eq!((report.removed, report.kept), (2, 2), "{report:?}");
+    assert!(report.bytes_freed > 0);
+    assert!(dir.join("README").exists());
+
+    // The current-version containers still load after the sweep.
+    assert!(matches!(store.load(&block_id), LoadOutcome::Hit(_)));
+    assert!(matches!(store.load_risc(&risc_id), LoadOutcome::Hit(_)));
+    let s = store.stats().unwrap();
+    assert_eq!((s.containers, s.stale), (2, 0));
+}
+
+#[test]
+fn risc_disk_tier_serves_a_fresh_session_without_execution() {
+    let dir = tmp_dir("risc-tier");
+    let w = by_name("vadd").unwrap();
+    let opts = CompileOptions::gcc_ref();
+    let session = Session::with_store(TraceStore::open(&dir).unwrap());
+    let a = session
+        .risc_trace(&w, Scale::Test, &opts, MEM, BUDGET)
+        .unwrap();
+    let st = session.cache_stats();
+    assert_eq!(
+        (st.risc_captures, st.risc_store_writes, st.risc_disk_misses),
+        (1, 1, 1),
+        "{st:?}"
+    );
+
+    let session2 = Session::with_store(TraceStore::open(&dir).unwrap());
+    let b = session2
+        .risc_trace(&w, Scale::Test, &opts, MEM, BUDGET)
+        .unwrap();
+    let st2 = session2.cache_stats();
+    assert_eq!(
+        (st2.risc_disk_hits, st2.risc_captures),
+        (1, 0),
+        "warm session must not execute: {st2:?}"
+    );
+    assert_eq!(
+        *a, *b,
+        "stream must survive the disk round trip bit-exactly"
+    );
 }

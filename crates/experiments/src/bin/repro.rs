@@ -57,5 +57,13 @@ fn main() {
             "[repro] store: disk_hits={} disk_misses={} disk_rejects={} writes={} captures={}",
             c.disk_hits, c.disk_misses, c.disk_rejects, c.store_writes, c.captures,
         );
+        eprintln!(
+            "[repro] risc store: disk_hits={} disk_misses={} disk_rejects={} writes={} captures={}",
+            c.risc_disk_hits,
+            c.risc_disk_misses,
+            c.risc_disk_rejects,
+            c.risc_store_writes,
+            c.risc_captures,
+        );
     }
 }

@@ -1,16 +1,35 @@
 //! One runner per table/figure of the paper.
+//!
+//! The measurement loops are declarative: each figure builds a
+//! [`trips_engine::SweepSpec`] over its workloads and backends, executes it
+//! through the engine ([`runner::isa_measurements`],
+//! [`runner::trips_measurements`] — both thin wrappers over
+//! `trips_engine::run_sweep` on the global session), and renders the rows.
+//! The figures therefore measure through the exact code path `trips-sweep`
+//! and `repro` drive, and every artifact (compile, TRIPS trace, RISC event
+//! stream) is captured once and replayed everywhere.
 
-use crate::runner::{
-    self, compile_workload, geomean, mean, measure_isa, measure_perf, risc_baseline, MEM,
-};
+use crate::runner::{self, compile_workload, geomean, mean, measure_perf, MEM};
 use crate::table::Table;
 use trips_compiler::CompileOptions;
+use trips_engine::Session;
+use trips_risc::EventSource;
 use trips_sim::predictor::{ExitKind, NextBlockPredictor, TournamentBranchPredictor};
 use trips_sim::TripsConfig;
 use trips_workloads::{simple, suite, Scale, Suite, Workload};
 
 fn simple_set() -> Vec<Workload> {
     simple()
+}
+
+/// The simple set plus the named suites, for figures whose sweep covers
+/// both the per-benchmark rows and the suite summary rows.
+fn with_suites(base: Vec<Workload>, suites: &[Suite]) -> Vec<Workload> {
+    let mut ws = base;
+    for s in suites {
+        ws.extend(suite(*s));
+    }
+    ws
 }
 
 /// Table 1: reference platform configurations.
@@ -77,7 +96,12 @@ pub fn table2() -> String {
 
 /// Figure 3: TRIPS block size and composition, compiled (C) and hand (H).
 pub fn fig3(scale: Scale) -> String {
-    runner::prewarm_isa(&simple_set(), scale, true);
+    let c = runner::isa_measurements(
+        &with_suites(simple_set(), &[Suite::Eembc, Suite::SpecInt, Suite::SpecFp]),
+        scale,
+        false,
+    );
+    let h = runner::isa_measurements(&simple_set(), scale, true);
     let mut t = Table::new(
         "Figure 3: average block composition (instructions per block)",
         &[
@@ -103,18 +127,14 @@ pub fn fig3(scale: Scale) -> String {
         );
     };
     for w in simple_set() {
-        let mc = measure_isa(&w, scale, false);
-        emit(format!("{} (C)", w.name), &mc.trips);
-        let mh = measure_isa(&w, scale, true);
-        emit(format!("{} (H)", w.name), &mh.trips);
+        emit(format!("{} (C)", w.name), &c[w.name].trips);
+        emit(format!("{} (H)", w.name), &h[w.name].trips);
     }
     for s in [Suite::Eembc, Suite::SpecInt, Suite::SpecFp] {
         let sizes: Vec<f64> = suite(s)
             .iter()
-            .map(|w| measure_isa(w, scale, false).trips.avg_block_size())
+            .map(|w| c[w.name].trips.avg_block_size())
             .collect();
-        let mut tt = Table::new("", &[]);
-        let _ = &mut tt;
         t.row_f(format!("{} mean (C)", s.label()), &[mean(sizes)]);
     }
     t.note("paper: compiled mean 64 insts/block (range 30-110); hand blocks larger; moves ~20%");
@@ -123,6 +143,12 @@ pub fn fig3(scale: Scale) -> String {
 
 /// Figure 4: fetched TRIPS instructions normalized to the RISC baseline.
 pub fn fig4(scale: Scale) -> String {
+    let c = runner::isa_measurements(
+        &with_suites(simple_set(), &[Suite::Eembc, Suite::SpecInt, Suite::SpecFp]),
+        scale,
+        false,
+    );
+    let h = runner::isa_measurements(&simple_set(), scale, true);
     let mut t = Table::new(
         "Figure 4: TRIPS instructions normalized to RISC (PowerPC-like)",
         &["useful", "moves", "execNU", "fetchNX", "total"],
@@ -140,14 +166,14 @@ pub fn fig4(scale: Scale) -> String {
         );
     };
     for w in simple_set() {
-        add(format!("{} (C)", w.name), &measure_isa(&w, scale, false));
-        add(format!("{} (H)", w.name), &measure_isa(&w, scale, true));
+        add(format!("{} (C)", w.name), &c[w.name]);
+        add(format!("{} (H)", w.name), &h[w.name]);
     }
     for s in [Suite::Eembc, Suite::SpecInt, Suite::SpecFp] {
         let ratios: Vec<f64> = suite(s)
             .iter()
             .map(|w| {
-                let m = measure_isa(w, scale, false);
+                let m = &c[w.name];
                 m.trips.fetched as f64 / m.risc.insts.max(1) as f64
             })
             .collect();
@@ -162,6 +188,12 @@ pub fn fig4(scale: Scale) -> String {
 
 /// Figure 5: storage accesses normalized to the RISC baseline.
 pub fn fig5(scale: Scale) -> String {
+    let c = runner::isa_measurements(
+        &with_suites(simple_set(), &[Suite::Eembc, Suite::SpecInt, Suite::SpecFp]),
+        scale,
+        false,
+    );
+    let h = runner::isa_measurements(&simple_set(), scale, true);
     let mut t = Table::new(
         "Figure 5: storage accesses normalized to RISC",
         &[
@@ -185,13 +217,13 @@ pub fn fig5(scale: Scale) -> String {
         );
     };
     for w in simple_set() {
-        add(format!("{} (C)", w.name), &measure_isa(&w, scale, false));
-        add(format!("{} (H)", w.name), &measure_isa(&w, scale, true));
+        add(format!("{} (C)", w.name), &c[w.name]);
+        add(format!("{} (H)", w.name), &h[w.name]);
     }
     for s in [Suite::Eembc, Suite::SpecInt, Suite::SpecFp] {
         let (mut m_, mut r_, mut w_, mut o_) = (vec![], vec![], vec![], vec![]);
         for w in suite(s) {
-            let m = measure_isa(&w, scale, false);
+            let m = &c[w.name];
             m_.push(m.trips.memory_accesses() as f64 / m.risc.memory_accesses().max(1) as f64);
             r_.push(m.trips.reads_fetched as f64 / m.risc.register_accesses().max(1) as f64);
             w_.push(m.trips.writes_committed as f64 / m.risc.register_accesses().max(1) as f64);
@@ -218,10 +250,12 @@ pub fn code_size(scale: Scale) -> String {
             "compressed x",
         ],
     );
+    let all = trips_workloads::all();
+    let c = runner::isa_measurements(&all, scale, false);
     let mut raws = vec![];
     let mut comps = vec![];
-    for w in trips_workloads::all() {
-        let m = measure_isa(&w, scale, false);
+    for w in all {
+        let m = &c[w.name];
         let touched = &m.trips.blocks_touched;
         let raw: usize = touched.len() * trips_isa::encode::encoded_size_uncompressed();
         let comp: usize = touched
@@ -253,31 +287,36 @@ pub fn code_size(scale: Scale) -> String {
 
 /// Figure 6: average instructions in the window.
 pub fn fig6(scale: Scale) -> String {
-    runner::prewarm(&simple_set(), scale, true);
+    let c = runner::trips_measurements(
+        &with_suites(simple_set(), &[Suite::SpecInt, Suite::SpecFp]),
+        scale,
+        false,
+    );
+    let h = runner::trips_measurements(&simple_set(), scale, true);
     let mut t = Table::new(
         "Figure 6: average instructions in flight",
         &["total", "useful"],
     );
     let mut totals_c = vec![];
     for w in simple_set() {
-        let c = runner::trips_cycles_for(&w, scale, false);
+        let cs = &c[w.name];
         t.row_f(
             format!("{} (C)", w.name),
-            &[c.avg_window_insts(), c.avg_window_useful()],
+            &[cs.avg_window_insts(), cs.avg_window_useful()],
         );
-        totals_c.push(c.avg_window_insts());
-        let h = runner::trips_cycles_for(&w, scale, true);
+        totals_c.push(cs.avg_window_insts());
+        let hs = &h[w.name];
         t.row_f(
             format!("{} (H)", w.name),
-            &[h.avg_window_insts(), h.avg_window_useful()],
+            &[hs.avg_window_insts(), hs.avg_window_useful()],
         );
     }
     for s in [Suite::SpecInt, Suite::SpecFp] {
         let vals: Vec<(f64, f64)> = suite(s)
             .iter()
             .map(|w| {
-                let c = runner::trips_cycles_for(w, scale, false);
-                (c.avg_window_insts(), c.avg_window_useful())
+                let cs = &c[w.name];
+                (cs.avg_window_insts(), cs.avg_window_useful())
             })
             .collect();
         t.row_f(
@@ -315,21 +354,28 @@ pub fn fig7(scale: Scale) -> String {
     let mut h_m = vec![];
     let mut i_m = vec![];
     for w in &spec {
-        // Useful-instruction baseline from the hyperblock build.
-        let mh = compile_workload(w, scale, false);
-        let func =
-            trips_isa::interp::run_program_with(&mh.trips, &mh.opt_ir, MEM, runner::FUNC_BUDGET)
-                .unwrap();
+        // Useful-instruction baseline from the hyperblock build (memoized
+        // functional outcome).
+        let func = Session::global()
+            .isa_outcome(
+                w,
+                scale,
+                &runner::trips_preset(false),
+                false,
+                MEM,
+                runner::FUNC_BUDGET,
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         let useful = func.stats.useful.max(1);
 
-        // (A) conventional tournament on the RISC conditional-branch stream.
-        let (rp, rir) = risc_baseline(w, scale);
+        // (A) conventional tournament on the RISC conditional-branch
+        // stream, replayed from the recorded trace — the same capture every
+        // OoO platform times, so the study adds zero functional executions.
+        let art = runner::risc_baseline(w, scale);
+        let stream = runner::risc_stream(w, scale);
         let mut tourney = TournamentBranchPredictor::new(4096);
-        let mut m = trips_risc::Machine::new(&rp, &rir, MEM);
-        let mut steps = runner::RISC_BUDGET;
-        while !m.is_done() && steps > 0 {
-            steps -= 1;
-            let ev = m.step().unwrap();
+        let mut cur = stream.cursor(&art.program);
+        while let Some(ev) = cur.next_event().expect("validated stream") {
             if let Some(taken) = ev.cond {
                 tourney.predict_and_update((ev.func << 16) ^ ev.idx, taken);
             }
@@ -393,8 +439,9 @@ fn block_predictor_mpki(
     cfg: &TripsConfig,
     useful_baseline: u64,
 ) -> (f64, u64) {
-    let program = (w.build)(scale);
-    let compiled = trips_compiler::compile(&program, &level).unwrap();
+    let compiled = Session::global()
+        .compiled(w, scale, &level, false)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
     let tp = &compiled.trips;
     let mut pred = NextBlockPredictor::new(cfg.exit_entries, cfg.btb_entries, cfg.ras_depth);
     let mut pending: Option<(u32, u8, ExitKind, Option<u32>)> = None;

@@ -2,16 +2,24 @@
 //!
 //! Every compile and functional capture is memoized in the engine's global
 //! [`Session`], so the figures — which revisit the same workloads over and
-//! over — pay for each artifact once per process. TRIPS cycle counts come
-//! from trace *replay* ([`trips_sim::timing::replay_trace`]): the
-//! functional run is captured once per `(workload, options, budget)` and
-//! re-timed against each configuration. With [`init_trace_store`] the
-//! captures also persist to a content-addressed directory, so successive
-//! figure runs (separate processes) pay for each capture once per *store*.
+//! over — pay for each artifact once per process. Timing comes from trace
+//! *replay* on both backends: TRIPS cycle counts re-time one captured
+//! [`trips_isa::TraceLog`] per configuration
+//! ([`trips_sim::timing::replay_trace`]), and out-of-order reference cycles
+//! re-time one recorded [`trips_risc::RiscTrace`] per platform. The figures
+//! themselves measure through declarative [`SweepSpec`]s executed by
+//! [`trips_engine::run_sweep`] ([`sweep_rows`]), the same code path
+//! `trips-sweep` drives from the command line. With [`init_trace_store`]
+//! the captures also persist to a content-addressed directory, so
+//! successive figure runs (separate processes) pay for each capture once
+//! per *store*.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use trips_compiler::{CompileOptions, CompiledProgram};
-use trips_engine::Session;
+use trips_engine::{
+    run_sweep, BackendSpec, ConfigVariant, RowDetail, Session, SweepRow, SweepSpec,
+};
 use trips_isa::IsaStats;
 use trips_ooo::OooStats;
 use trips_risc::RiscStats;
@@ -86,33 +94,127 @@ pub fn icc_preset() -> CompileOptions {
     CompileOptions::o2()
 }
 
-/// The RISC baseline: the same program through the same scalar optimizer
-/// (gcc-quality preset) and the RISC code generator.
-pub fn risc_baseline(w: &Workload, scale: Scale) -> (trips_risc::RProgram, trips_ir::Program) {
-    let mut program = (w.build)(scale);
-    trips_compiler::opt::optimize(&mut program, &gcc_preset());
-    let rp = trips_risc::compile_program(&program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
-    (rp, program)
+/// The RISC-side artifacts (program + optimized IR) for the gcc-quality
+/// baseline, memoized in the engine session.
+pub fn risc_baseline(w: &Workload, scale: Scale) -> Arc<trips_engine::RiscArtifacts> {
+    Session::global()
+        .risc_program(w, scale, &gcc_preset())
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name))
 }
 
-/// Measures ISA-level statistics (functional, untimed). The functional run
-/// comes from the session's captured trace, so repeated figures share it.
-pub fn measure_isa(w: &Workload, scale: Scale, hand: bool) -> IsaMeasurement {
-    let compiled = compile_workload(w, scale, hand);
-    let func = Session::global()
-        .isa_outcome(w, scale, &trips_preset(hand), hand, MEM, FUNC_BUDGET)
-        .unwrap_or_else(|e| panic!("{} (trips): {e}", w.name));
-    let (rp, rir) = risc_baseline(w, scale);
-    let risc = trips_risc::run(&rp, &rir, MEM, RISC_BUDGET)
-        .unwrap_or_else(|e| panic!("{} (risc): {e}", w.name));
-    // Results can differ in FP rounding (the TRIPS preset reassociates FP
-    // reductions); integer workloads must agree exactly.
-    IsaMeasurement {
-        name: w.name.to_string(),
-        trips: func.stats.clone(),
-        risc: risc.stats,
-        compiled,
+/// The recorded RISC event stream of the gcc-quality baseline (memoized;
+/// replayed by the OoO platforms and the predictor study).
+pub fn risc_stream(w: &Workload, scale: Scale) -> Arc<trips_risc::RiscTrace> {
+    Session::global()
+        .risc_trace(w, scale, &gcc_preset(), MEM, RISC_BUDGET)
+        .unwrap_or_else(|e| panic!("{} (risc): {e}", w.name))
+}
+
+/// Executes a declarative sweep on the global session, panicking on any
+/// failed point (figures treat measurement failure as fatal, as the
+/// hand-rolled loops did).
+pub fn sweep_rows(spec: &SweepSpec) -> Vec<SweepRow> {
+    let report = run_sweep(spec, Session::global()).unwrap_or_else(|e| panic!("sweep: {e}"));
+    assert!(
+        report.errors.is_empty(),
+        "sweep points failed: {:?}",
+        report.errors
+    );
+    report.rows
+}
+
+/// Deduplicates workloads by name, preserving first-seen order.
+fn unique_names(ws: &[Workload]) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    ws.iter()
+        .filter(|w| seen.insert(w.name))
+        .map(|w| w.name.to_string())
+        .collect()
+}
+
+/// Measures ISA-level statistics for a workload set through one declarative
+/// sweep (`isa` + `risc` backends), returning per-workload measurements.
+/// The functional runs are memoized in the session; the RISC denominators
+/// come off the recorded event stream.
+pub fn isa_measurements(
+    ws: &[Workload],
+    scale: Scale,
+    hand: bool,
+) -> HashMap<String, IsaMeasurement> {
+    let spec = SweepSpec {
+        workloads: unique_names(ws),
+        scale,
+        opts: trips_preset(hand),
+        hand,
+        configs: Vec::new(),
+        backends: vec![BackendSpec::Isa, BackendSpec::Risc],
+        mem: MEM,
+        sim_budget: FUNC_BUDGET,
+        risc_budget: RISC_BUDGET,
+        threads: 0,
+    };
+    let rows = sweep_rows(&spec);
+    let mut isa: HashMap<String, (Arc<IsaStats>, Arc<CompiledProgram>)> = HashMap::new();
+    let mut risc: HashMap<String, Arc<RiscStats>> = HashMap::new();
+    for row in rows {
+        match row.detail {
+            RowDetail::Isa { stats, compiled } => {
+                isa.insert(row.workload, (stats, compiled));
+            }
+            RowDetail::Risc(stats) => {
+                risc.insert(row.workload, stats);
+            }
+            _ => {}
+        }
     }
+    isa.into_iter()
+        .map(|(name, (stats, compiled))| {
+            let r = risc
+                .get(&name)
+                .unwrap_or_else(|| panic!("{name}: no risc row"));
+            // Results can differ in FP rounding (the TRIPS preset
+            // reassociates FP reductions); integer workloads agree exactly.
+            let m = IsaMeasurement {
+                name: name.clone(),
+                trips: (*stats).clone(),
+                risc: (**r).clone(),
+                compiled,
+            };
+            (name, m)
+        })
+        .collect()
+}
+
+/// Measures ISA-level statistics for one workload (convenience wrapper
+/// over [`isa_measurements`] — still one sweep, one code path).
+pub fn measure_isa(w: &Workload, scale: Scale, hand: bool) -> IsaMeasurement {
+    isa_measurements(std::slice::from_ref(w), scale, hand)
+        .remove(w.name)
+        .expect("sweep returned the requested workload")
+}
+
+/// Measures TRIPS cycle-level statistics for a workload set through one
+/// declarative sweep on the prototype configuration.
+pub fn trips_measurements(ws: &[Workload], scale: Scale, hand: bool) -> HashMap<String, SimStats> {
+    let spec = SweepSpec {
+        workloads: unique_names(ws),
+        scale,
+        opts: trips_preset(hand),
+        hand,
+        configs: vec![ConfigVariant::prototype()],
+        backends: vec![BackendSpec::Trips],
+        mem: MEM,
+        sim_budget: SIM_BUDGET,
+        risc_budget: RISC_BUDGET,
+        threads: 0,
+    };
+    sweep_rows(&spec)
+        .into_iter()
+        .filter_map(|row| match row.detail {
+            RowDetail::Trips(stats) => Some((row.workload, (*stats).clone())),
+            _ => None,
+        })
+        .collect()
 }
 
 /// Cycle-level comparison data for one workload (Figures 6, 9, 11, 12,
@@ -141,10 +243,11 @@ fn ooo_run(
     level: CompileOptions,
     cfg: &trips_ooo::OooConfig,
 ) -> OooStats {
-    let mut program = (w.build)(scale);
-    trips_compiler::opt::optimize(&mut program, &level);
-    let rp = trips_risc::compile_program(&program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
-    trips_ooo::run_timed(&rp, &program, cfg, MEM, RISC_BUDGET)
+    // Replays the (memoized) recorded RISC stream: every platform measured
+    // from one functional execution per optimization level, bit-identical
+    // to driving the timing model live.
+    Session::global()
+        .ooo_replayed(w, scale, &level, cfg, MEM, RISC_BUDGET)
         .unwrap_or_else(|e| panic!("{} ({}): {e}", w.name, cfg.name))
         .stats
 }
@@ -217,7 +320,13 @@ fn prewarm_with(ws: &[Workload], hand_too: bool, fill: impl Fn(&Workload, bool) 
     trips_engine::parallel_map(jobs, 0, |(w, hand)| fill(&w, hand));
 }
 
-/// Geometric mean.
+/// Geometric mean of the positive entries; zero/negative values are
+/// skipped (they have no logarithm).
+///
+/// Total on every input: an empty iterator — or one with no positive
+/// entries — returns `0.0`, never NaN. Figure aggregation routes through
+/// here, so a degenerate series (e.g. a suite with no measurable rows)
+/// renders as a zero cell instead of poisoning the table.
 pub fn geomean(vals: impl IntoIterator<Item = f64>) -> f64 {
     let mut log = 0.0;
     let mut n = 0usize;
@@ -235,6 +344,9 @@ pub fn geomean(vals: impl IntoIterator<Item = f64>) -> f64 {
 }
 
 /// Arithmetic mean.
+///
+/// Total on every input: an empty iterator returns `0.0` (not the 0/0
+/// NaN), for the same reason as [`geomean`].
 pub fn mean(vals: impl IntoIterator<Item = f64>) -> f64 {
     let mut sum = 0.0;
     let mut n = 0usize;
@@ -277,6 +389,16 @@ mod tests {
     fn means() {
         assert!((geomean([1.0, 4.0]) - 2.0).abs() < 1e-9);
         assert!((mean([1.0, 3.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn means_are_defined_on_degenerate_input() {
+        // Empty input must produce a definite 0.0, not NaN — the figures
+        // aggregate through these and a NaN would corrupt rendered tables.
+        assert_eq!(mean(std::iter::empty()), 0.0);
         assert_eq!(geomean(std::iter::empty()), 0.0);
+        // All-nonpositive input has no geometric mean either.
+        assert_eq!(geomean([0.0, -3.0]), 0.0);
+        assert!(mean([1.0, 2.0, 3.0]).is_finite());
     }
 }

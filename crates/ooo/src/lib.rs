@@ -17,4 +17,4 @@ pub mod configs;
 pub mod model;
 
 pub use configs::{core2, pentium3, pentium4, OooConfig};
-pub use model::{run_timed, OooResult, OooStats};
+pub use model::{run_timed, run_timed_trace, time_events, OooResult, OooStats};

@@ -1,19 +1,25 @@
 //! The out-of-order timing model.
 //!
-//! Execute-at-fetch: the functional [`trips_risc::Machine`] provides the
-//! dynamic instruction stream with branch outcomes and memory addresses; the
-//! model assigns each instruction fetch, issue and completion cycles under
-//! the configured machine's resource constraints.
+//! Execute-at-fetch: a [`trips_risc::EventSource`] provides the dynamic
+//! instruction stream with branch outcomes and memory addresses; the model
+//! assigns each instruction fetch, issue and completion cycles under the
+//! configured machine's resource constraints.
+//!
+//! The source may be a live functional machine ([`run_timed`]) or a
+//! recorded [`RiscTrace`] ([`run_timed_trace`]); both feed the same
+//! [`time_events`] core, so replayed timing is bit-identical to
+//! execution-driven timing by construction — one capture serves every
+//! configuration.
 
 use crate::configs::OooConfig;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use trips_ir::Program;
-use trips_risc::exec::{CtrlKind, Machine, RiscError};
-use trips_risc::{RCat, RProgram};
+use trips_risc::exec::{CtrlKind, EventSource, MachineSource, RiscError};
+use trips_risc::{RCat, RProgram, RiscTrace};
 
 /// Timing statistics of one run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OooStats {
     /// Total cycles (retire time of the last instruction).
     pub cycles: u64,
@@ -197,7 +203,8 @@ impl IssueSlots {
     }
 }
 
-/// Runs `rp` on the configured reference machine.
+/// Runs `rp` on the configured reference machine, driving the timing model
+/// from a live functional execution.
 ///
 /// # Errors
 /// Propagates functional execution errors ([`RiscError`]).
@@ -208,7 +215,37 @@ pub fn run_timed(
     mem_size: usize,
     step_limit: u64,
 ) -> Result<OooResult, RiscError> {
-    let mut m = Machine::new(rp, ir, mem_size);
+    let mut src = MachineSource::new(rp, ir, mem_size, step_limit);
+    time_events(rp, &mut src, cfg)
+}
+
+/// Times a recorded RISC event stream on the configured reference machine:
+/// the sweep's hot path — one functional execution, N of these.
+///
+/// The resulting [`OooStats`] are bit-identical to [`run_timed`] over the
+/// same program, because both sources feed the same [`time_events`] core.
+///
+/// # Errors
+/// [`RiscError::Trace`] if the stream is malformed or disagrees with `rp`
+/// (callers holding a store-loaded trace should `validate` it first).
+pub fn run_timed_trace(
+    rp: &RProgram,
+    trace: &RiscTrace,
+    cfg: &OooConfig,
+) -> Result<OooResult, RiscError> {
+    let mut src = trace.cursor(rp);
+    time_events(rp, &mut src, cfg)
+}
+
+/// The timing core: assigns cycles to whatever event stream `src` yields.
+///
+/// # Errors
+/// Whatever the source raises ([`RiscError`]).
+pub fn time_events(
+    rp: &RProgram,
+    src: &mut impl EventSource,
+    cfg: &OooConfig,
+) -> Result<OooResult, RiscError> {
     let mut stats = OooStats::default();
     let mut l1 = Cache::new(cfg.l1_bytes, 4, cfg.line);
     let mut l2 = Cache::new(cfg.l2_bytes, 8, cfg.line);
@@ -223,16 +260,10 @@ pub fn run_timed(
     let mut retire_ring: Vec<u64> = vec![0; cfg.rob];
     let mut last_retire: u64 = 0;
     let mut idx: u64 = 0;
-    let mut left = step_limit;
 
-    while !m.is_done() {
-        if left == 0 {
-            return Err(RiscError::StepLimit);
-        }
-        left -= 1;
-        let func = m.pc;
-        let inst = rp.funcs[func.0 as usize].insts[func.1 as usize].clone();
-        let ev = m.step()?;
+    while let Some(ev) = src.next_event()? {
+        // Indices are valid: both sources bounds-check before emitting.
+        let inst = &rp.funcs[ev.func as usize].insts[ev.idx as usize];
         stats.insts += 1;
 
         // Fetch bandwidth.
@@ -266,7 +297,7 @@ pub fn run_timed(
             RCat::Alu => 1,
             RCat::MulDiv => {
                 if matches!(
-                    &inst,
+                    inst,
                     trips_risc::RInst::Alu {
                         op: trips_ir::Opcode::Div
                             | trips_ir::Opcode::Udiv
@@ -340,7 +371,7 @@ pub fn run_timed(
     }
 
     Ok(OooResult {
-        return_value: m.regs[trips_risc::Reg::RV.0 as usize],
+        return_value: src.return_value(),
         stats,
     })
 }
@@ -440,5 +471,25 @@ mod tests {
         assert_eq!(c2.return_value, p4.return_value);
         assert!(p4.stats.cycles > c2.stats.cycles);
         assert!(p4.stats.br_mispredicts > 0);
+    }
+
+    #[test]
+    fn trace_replay_is_bit_identical_to_direct_timing() {
+        let p = sum_program(800);
+        let rp = compile_program(&p).unwrap();
+        let trace = trips_risc::RiscTrace::capture(
+            &rp,
+            &p,
+            1 << 20,
+            100_000_000,
+            trips_risc::RiscTraceMeta::default(),
+        )
+        .unwrap();
+        for cfg in [configs::core2(), configs::pentium4(), configs::pentium3()] {
+            let direct = run_timed(&rp, &p, &cfg, 1 << 20, 100_000_000).unwrap();
+            let replayed = run_timed_trace(&rp, &trace, &cfg).unwrap();
+            assert_eq!(replayed.return_value, direct.return_value, "{}", cfg.name);
+            assert_eq!(replayed.stats, direct.stats, "{}", cfg.name);
+        }
     }
 }

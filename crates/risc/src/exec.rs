@@ -5,9 +5,16 @@
 //! register-file reads/writes — the denominators of Figures 4 and 5 — plus
 //! the unique-instruction footprint used by the §4.4 code-size study.
 //!
-//! The [`Machine`] type exposes single-stepping with a [`StepEvent`]
-//! describing what happened; the out-of-order timing model in `trips-ooo`
-//! drives it as an execute-at-fetch oracle.
+//! Stepping and recording are separate layers:
+//!
+//! * [`Machine`] purely *steps*: it executes one instruction at a time and
+//!   reports what happened as a [`StepEvent`] (no statistics of its own).
+//! * [`RiscStats::record`] *observes* a step, accumulating the figures'
+//!   counters; [`run`] wires the two together.
+//! * [`EventSource`] abstracts over where events come from: a live machine
+//!   ([`MachineSource`]) or a recorded [`RiscTrace`](crate::trace::RiscTrace)
+//!   stream. The out-of-order timing model in `trips-ooo` consumes either,
+//!   which is what lets N timing configurations share one execution.
 
 use crate::inst::{RCat, RInst, RProgram, Reg};
 use serde::{Deserialize, Serialize};
@@ -31,6 +38,9 @@ pub enum RiscError {
         /// Instruction index.
         idx: u32,
     },
+    /// A recorded trace stream was malformed or disagreed with the program
+    /// it is replayed against.
+    Trace(String),
 }
 
 impl fmt::Display for RiscError {
@@ -39,6 +49,7 @@ impl fmt::Display for RiscError {
             RiscError::Mem(e) => write!(f, "memory fault: {e}"),
             RiscError::StepLimit => write!(f, "instruction budget exhausted"),
             RiscError::BadTarget { func, idx } => write!(f, "bad control target f{func}:{idx}"),
+            RiscError::Trace(why) => write!(f, "bad trace: {why}"),
         }
     }
 }
@@ -52,7 +63,7 @@ impl From<InterpError> for RiscError {
 }
 
 /// Dynamic statistics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RiscStats {
     /// Total dynamic instructions.
     pub insts: u64,
@@ -97,6 +108,36 @@ impl RiscStats {
     pub fn code_footprint_bytes(&self) -> u64 {
         self.unique_pcs.len() as u64 * 4
     }
+
+    /// Observes one executed instruction: the recording half of the
+    /// simulator, fed by [`Machine::step`]'s events (or a replayed stream —
+    /// the counters cannot tell the difference, which is the point).
+    pub fn record(&mut self, inst: &RInst, ev: &StepEvent) {
+        self.insts += 1;
+        self.unique_pcs.insert((ev.func, ev.idx));
+        match ev.cat {
+            RCat::Alu => self.alu += 1,
+            RCat::MulDiv => self.muldiv += 1,
+            RCat::Fp => self.fp += 1,
+            RCat::Load => self.loads += 1,
+            RCat::Store => self.stores += 1,
+            RCat::Control => self.control += 1,
+        }
+        self.reg_reads += inst.reads().len() as u64;
+        if inst.writes().is_some() {
+            self.reg_writes += 1;
+        }
+        match ev.ctrl_kind {
+            CtrlKind::Cond => {
+                self.cond_branches += 1;
+                if ev.cond == Some(true) {
+                    self.taken_branches += 1;
+                }
+            }
+            CtrlKind::Call => self.calls += 1,
+            CtrlKind::None | CtrlKind::Jump | CtrlKind::Ret => {}
+        }
+    }
 }
 
 /// What a single step did (consumed by the OoO timing model).
@@ -134,7 +175,8 @@ pub enum CtrlKind {
     Ret,
 }
 
-/// A RISC machine mid-execution.
+/// A RISC machine mid-execution. Pure stepping: statistics live outside
+/// (see [`RiscStats::record`]).
 #[derive(Debug)]
 pub struct Machine<'a> {
     program: &'a RProgram,
@@ -145,8 +187,6 @@ pub struct Machine<'a> {
     /// Current (function, instruction) program counter.
     pub pc: (u32, u32),
     call_stack: Vec<(u32, u32)>,
-    /// Statistics accumulated so far.
-    pub stats: RiscStats,
     done: bool,
 }
 
@@ -174,7 +214,6 @@ impl<'a> Machine<'a> {
             mem,
             pc: (rp.entry, 0),
             call_stack: Vec::new(),
-            stats: RiscStats::default(),
             done: false,
         }
     }
@@ -200,20 +239,6 @@ impl<'a> Machine<'a> {
             .insts
             .get(ii as usize)
             .ok_or(RiscError::BadTarget { func: fi, idx: ii })?;
-        self.stats.insts += 1;
-        self.stats.unique_pcs.insert((fi, ii));
-        match inst.cat() {
-            RCat::Alu => self.stats.alu += 1,
-            RCat::MulDiv => self.stats.muldiv += 1,
-            RCat::Fp => self.stats.fp += 1,
-            RCat::Load => self.stats.loads += 1,
-            RCat::Store => self.stats.stores += 1,
-            RCat::Control => self.stats.control += 1,
-        }
-        self.stats.reg_reads += inst.reads().len() as u64;
-        if inst.writes().is_some() {
-            self.stats.reg_writes += 1;
-        }
 
         let mut ev = StepEvent {
             func: fi,
@@ -308,29 +333,24 @@ impl<'a> Machine<'a> {
                 ev.transfer = Some(next);
             }
             RInst::Bnz { c, target } => {
-                self.stats.cond_branches += 1;
                 ev.ctrl_kind = CtrlKind::Cond;
                 let taken = r(self, *c) != 0;
                 ev.cond = Some(taken);
                 if taken {
-                    self.stats.taken_branches += 1;
                     next = (fi, *target);
                     ev.transfer = Some(next);
                 }
             }
             RInst::Bz { c, target } => {
-                self.stats.cond_branches += 1;
                 ev.ctrl_kind = CtrlKind::Cond;
                 let taken = r(self, *c) == 0;
                 ev.cond = Some(taken);
                 if taken {
-                    self.stats.taken_branches += 1;
                     next = (fi, *target);
                     ev.transfer = Some(next);
                 }
             }
             RInst::Bl { func } => {
-                self.stats.calls += 1;
                 ev.ctrl_kind = CtrlKind::Call;
                 self.call_stack.push((fi, ii + 1));
                 next = (*func, 0);
@@ -355,7 +375,71 @@ impl<'a> Machine<'a> {
     }
 }
 
-/// Runs a program to completion.
+/// A dynamic-instruction event stream: a live [`Machine`]
+/// ([`MachineSource`]) or a recorded trace
+/// ([`TraceCursor`](crate::trace::TraceCursor)). Consumers that only look
+/// at events — statistics recording, the `trips-ooo` timing model — behave
+/// identically on either, which is the contract that makes trace replay
+/// bit-exact.
+pub trait EventSource {
+    /// The next executed instruction's event, or `None` once the entry
+    /// function has returned.
+    ///
+    /// # Errors
+    /// Any [`RiscError`]: execution faults and budget exhaustion on the
+    /// live source, stream corruption on a replayed one.
+    fn next_event(&mut self) -> Result<Option<StepEvent>, RiscError>;
+
+    /// The program's return value (`r3` at final return); meaningful once
+    /// [`EventSource::next_event`] has returned `None`.
+    fn return_value(&self) -> u64;
+}
+
+/// [`EventSource`] over a live machine, with a dynamic-instruction budget.
+#[derive(Debug)]
+pub struct MachineSource<'a> {
+    machine: Machine<'a>,
+    left: u64,
+}
+
+impl<'a> MachineSource<'a> {
+    /// Creates a machine ready to run `rp` under a `step_limit` budget.
+    pub fn new(rp: &'a RProgram, ir: &Program, mem_size: usize, step_limit: u64) -> Self {
+        MachineSource {
+            machine: Machine::new(rp, ir, mem_size),
+            left: step_limit,
+        }
+    }
+
+    /// The underlying machine (registers, memory, program counter).
+    pub fn machine(&self) -> &Machine<'a> {
+        &self.machine
+    }
+
+    /// Consumes the source, yielding the machine (for final memory state).
+    pub fn into_machine(self) -> Machine<'a> {
+        self.machine
+    }
+}
+
+impl EventSource for MachineSource<'_> {
+    fn next_event(&mut self) -> Result<Option<StepEvent>, RiscError> {
+        if self.machine.is_done() {
+            return Ok(None);
+        }
+        if self.left == 0 {
+            return Err(RiscError::StepLimit);
+        }
+        self.left -= 1;
+        self.machine.step().map(Some)
+    }
+
+    fn return_value(&self) -> u64 {
+        self.machine.regs[Reg::RV.0 as usize]
+    }
+}
+
+/// Runs a program to completion, recording [`RiscStats`].
 ///
 /// # Errors
 /// Any [`RiscError`], including [`RiscError::StepLimit`] after `step_limit`
@@ -366,19 +450,17 @@ pub fn run(
     mem_size: usize,
     step_limit: u64,
 ) -> Result<RiscOutcome, RiscError> {
-    let mut m = Machine::new(rp, ir, mem_size);
-    let mut left = step_limit;
-    while !m.is_done() {
-        if left == 0 {
-            return Err(RiscError::StepLimit);
-        }
-        left -= 1;
-        m.step()?;
+    let mut src = MachineSource::new(rp, ir, mem_size, step_limit);
+    let mut stats = RiscStats::default();
+    while let Some(ev) = src.next_event()? {
+        // Indices are valid: the event came from a successful step.
+        stats.record(&rp.funcs[ev.func as usize].insts[ev.idx as usize], &ev);
     }
+    let return_value = src.return_value();
     Ok(RiscOutcome {
-        return_value: m.regs[Reg::RV.0 as usize],
-        stats: m.stats,
-        memory: m.mem,
+        return_value,
+        stats,
+        memory: src.into_machine().mem,
     })
 }
 

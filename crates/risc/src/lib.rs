@@ -20,7 +20,9 @@ pub mod codegen;
 pub mod exec;
 pub mod inst;
 pub mod regalloc;
+pub mod trace;
 
 pub use codegen::{compile_program, CodegenError};
-pub use exec::{run, Machine, RiscOutcome, RiscStats};
+pub use exec::{run, EventSource, Machine, MachineSource, RiscOutcome, RiscStats};
 pub use inst::{RCat, RInst, RProgram, Reg};
+pub use trace::{RiscTrace, RiscTraceHeader, RiscTraceMeta, TraceCursor, RISC_TRACE_VERSION};
