@@ -7,6 +7,7 @@
 //!             --sweep dispatch_interval=1,2,8 \
 //!             --sweep l1d_bytes=8192,32768 \
 //!             --backends trips,core2 \
+//!             --sample 500,500,4000 \
 //!             --format csv --out sweep.csv
 //! ```
 //!
@@ -20,7 +21,7 @@ use std::process::ExitCode;
 
 use trips_compiler::CompileOptions;
 use trips_engine::sweep::{to_csv, to_json_lines};
-use trips_engine::{run_sweep, BackendSpec, ConfigVariant, Session, SweepSpec};
+use trips_engine::{run_sweep, BackendSpec, ConfigVariant, SamplePlan, Session, SweepSpec};
 use trips_sim::TripsConfig;
 use trips_workloads::Scale;
 
@@ -40,9 +41,14 @@ options:
                        l1d_bytes l2_bytes l1d_hit dram_lat exit_entries
                        btb_entries ras_depth lwt_entries
   --backends list      trips,isa,risc,core2,p4,p3,ideal1k,ideal1k0,ideal128k
-                       (default trips; `ooo` expands to core2,p4,p3)
-  --backend b          shorthand for --backends with a single entry
-                       (trips | isa | risc | ooo | any label above)
+                       (default trips; `ooo` expands to core2,p4,p3; repeats
+                       are deduplicated)
+  --backend b          alias of --backends (same comma grammar)
+  --sample w,d,p       interval-sample the timing backends: in every period
+                       of p stream units, functionally warm w and time d in
+                       detail (the rest are skipped); cycles are
+                       extrapolated and rows carry sampled/detailed_frac/
+                       est_cycles. d=p reproduces full replay bit-exactly.
   --list-workloads     print every registry workload name, one per line,
                        and exit
   --threads N          worker threads (default: one per core)
@@ -159,6 +165,13 @@ fn main() -> ExitCode {
                 Ok(v) => backends = vec![v],
                 Err(e) => return fail(&e),
             },
+            "--sample" => match value("--sample") {
+                Ok(v) => match SamplePlan::parse(&v) {
+                    Ok(plan) => spec.sample = Some(plan),
+                    Err(e) => return fail(&format!("--sample: {e}")),
+                },
+                Err(e) => return fail(&e),
+            },
             "--threads" => match value("--threads").map(|v| v.parse::<usize>()) {
                 Ok(Ok(n)) => spec.threads = n,
                 _ => return fail("--threads needs a number"),
@@ -238,8 +251,8 @@ fn main() -> ExitCode {
                 if trace_gc {
                     match store.prune_stale() {
                         Ok(r) => eprintln!(
-                            "trips-sweep: trace-gc: removed {} stale containers ({} bytes), kept {}",
-                            r.removed, r.bytes_freed, r.kept
+                            "trips-sweep: trace-gc: scanned {} containers, pruned {} stale ({} bytes reclaimed), kept {}",
+                            r.scanned, r.removed, r.bytes_freed, r.kept
                         ),
                         Err(e) => return fail(&format!("pruning trace store `{dir}`: {e}")),
                     }
@@ -288,6 +301,12 @@ fn main() -> ExitCode {
         "trips-sweep: cache: {} compiles ({} reused), {} captures, {} in-memory trace reuses",
         c.compile_misses, c.compile_hits, c.captures, c.trace_hits,
     );
+    if let Some(plan) = &spec.sample {
+        eprintln!(
+            "trips-sweep: sampling: plan {plan} ({:.1}% detail) on the timing backends; full replay results never alias",
+            plan.planned_detail_frac() * 100.0,
+        );
+    }
     if trace_dir.is_some() {
         eprintln!(
             "trips-sweep: store: disk_hits={} disk_misses={} disk_rejects={} writes={} captures={}",

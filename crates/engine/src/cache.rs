@@ -11,7 +11,13 @@
 //!   key plus `(memory size, instruction budget)` — one functional RISC
 //!   execution serves the instruction-count figures *and* every
 //!   out-of-order timing configuration
-//!   ([`Session::ooo_replayed`]).
+//!   ([`Session::ooo_replayed`]);
+//! * replayed timing results on both backends: the trace key plus a
+//!   configuration signature **and the sampling plan**
+//!   ([`trips_sample::SamplePlan`]), so a full and a sampled measurement of
+//!   the same point are distinct artifacts and can never alias (a plan
+//!   that times everything is normalized to the full key, because its
+//!   result is bit-identical by construction).
 //!
 //! Entries hold an `Arc<OnceLock<...>>`, so the map's mutex is held only for
 //! the key lookup; the (expensive) compile or functional capture runs
@@ -42,6 +48,7 @@ use trips_workloads::{Scale, Workload};
 
 use crate::store::{LoadOutcome, RiscTraceId, TraceStore};
 use trips_risc::{RiscTrace, RiscTraceMeta};
+use trips_sample::{ReplayMode, SamplePlan};
 
 /// Engine failures (compile and functional-execution errors are carried as
 /// rendered strings so they can live in the cache).
@@ -112,6 +119,24 @@ pub fn risc_code_sig(art: &RiscArtifacts) -> u64 {
     h.finish()
 }
 
+/// A stable signature of a [`trips_sim::TripsConfig`] (the shared
+/// [`StableHasher`](trips_isa::hash::StableHasher) over its debug
+/// rendering; configurations are plain scalars so the rendering is
+/// canonical). Keys the memoized-replay tier alongside the sampling plan.
+pub fn trips_cfg_sig(cfg: &trips_sim::TripsConfig) -> u64 {
+    let mut h = trips_isa::hash::StableHasher::new();
+    h.write(format!("{cfg:?}").as_bytes());
+    h.finish()
+}
+
+/// The out-of-order counterpart of [`trips_cfg_sig`] (the platform name is
+/// part of the rendering).
+pub fn ooo_cfg_sig(cfg: &trips_ooo::OooConfig) -> u64 {
+    let mut h = trips_isa::hash::StableHasher::new();
+    h.write(format!("{cfg:?}").as_bytes());
+    h.finish()
+}
+
 fn scale_label(scale: Scale) -> &'static str {
     match scale {
         Scale::Test => "test",
@@ -132,6 +157,17 @@ struct TraceKey {
     compile: CompileKey,
     mem: usize,
     budget: u64,
+}
+
+/// Key of one memoized timing replay: the trace identity, the timing
+/// configuration, and the sampling plan (`None` = full replay; covering
+/// plans are normalized to `None` before keying, so equal results share
+/// one entry and full/sampled results never alias).
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct ReplayKey {
+    trace: TraceKey,
+    cfg: u64,
+    sample: Option<SamplePlan>,
 }
 
 type Slot<T> = Arc<OnceLock<Result<Arc<T>, EngineError>>>;
@@ -183,6 +219,14 @@ pub struct CacheStats {
     pub risc_disk_rejects: u64,
     /// Fresh RISC captures persisted to the store.
     pub risc_store_writes: u64,
+    /// TRIPS timing replays served from the memoized-result tier.
+    pub replay_hits: u64,
+    /// TRIPS timing replays actually performed.
+    pub replay_misses: u64,
+    /// OoO timing replays served from the memoized-result tier.
+    pub ooo_replay_hits: u64,
+    /// OoO timing replays actually performed.
+    pub ooo_replay_misses: u64,
 }
 
 /// A memoizing measurement session shared by all sweep workers.
@@ -193,6 +237,8 @@ pub struct Session {
     isa: Mutex<HashMap<TraceKey, Slot<IsaOutcome>>>,
     risc: Mutex<HashMap<CompileKey, Slot<RiscArtifacts>>>,
     rtraces: Mutex<HashMap<TraceKey, Slot<RiscTrace>>>,
+    replays: Mutex<HashMap<ReplayKey, Slot<trips_sim::SimResult>>>,
+    ooo_replays: Mutex<HashMap<ReplayKey, Slot<trips_ooo::OooResult>>>,
     compile_hits: AtomicU64,
     compile_misses: AtomicU64,
     trace_hits: AtomicU64,
@@ -213,6 +259,10 @@ pub struct Session {
     risc_disk_misses: AtomicU64,
     risc_disk_rejects: AtomicU64,
     risc_store_writes: AtomicU64,
+    replay_hits: AtomicU64,
+    replay_misses: AtomicU64,
+    ooo_replay_hits: AtomicU64,
+    ooo_replay_misses: AtomicU64,
     store: OnceLock<TraceStore>,
 }
 
@@ -553,11 +603,14 @@ impl Session {
 
     /// Times one out-of-order configuration by replaying the (memoized)
     /// recorded RISC stream: the reference-platform hot path — one
-    /// functional execution, N of these. Bit-identical to driving the
-    /// timing model from a live machine.
+    /// functional execution, N of these. Full mode is bit-identical to
+    /// driving the timing model from a live machine; sampled mode
+    /// fast-forwards and extrapolates per the plan. Results are memoized
+    /// under the trace key, the configuration signature *and* the plan, so
+    /// full and sampled measurements never alias.
     ///
     /// # Errors
-    /// Any cached artifact failure, or [`EngineError::Replay`].
+    /// Any cached artifact failure, or [`EngineError::Replay`] (cached).
     pub fn ooo_replayed(
         &self,
         w: &Workload,
@@ -566,18 +619,45 @@ impl Session {
         cfg: &trips_ooo::OooConfig,
         mem: usize,
         budget: u64,
-    ) -> Result<trips_ooo::OooResult, EngineError> {
-        let art = self.risc_program(w, scale, opts)?;
-        let trace = self.risc_trace(w, scale, opts, mem, budget)?;
-        trips_ooo::run_timed_trace(&art.program, &trace, cfg)
-            .map_err(|e| EngineError::Replay(format!("{} ({}): {e}", w.name, cfg.name)))
+        mode: &ReplayMode,
+    ) -> Result<Arc<trips_ooo::OooResult>, EngineError> {
+        let key = ReplayKey {
+            trace: TraceKey {
+                compile: CompileKey {
+                    workload: w.name.to_string(),
+                    scale: scale_label(scale),
+                    opts: opts_sig(opts),
+                    hand: false,
+                },
+                mem,
+                budget,
+            },
+            cfg: ooo_cfg_sig(cfg),
+            sample: mode.plan().copied(),
+        };
+        let slot = Self::slot(
+            &self.ooo_replays,
+            &key,
+            &self.ooo_replay_hits,
+            &self.ooo_replay_misses,
+        );
+        slot.get_or_init(|| {
+            let art = self.risc_program(w, scale, opts)?;
+            let trace = self.risc_trace(w, scale, opts, mem, budget)?;
+            trips_ooo::run_timed_trace_mode(&art.program, &trace, cfg, mode)
+                .map(Arc::new)
+                .map_err(|e| EngineError::Replay(format!("{} ({}): {e}", w.name, cfg.name)))
+        })
+        .clone()
     }
 
     /// Replays the (memoized) trace against one timing configuration: the
-    /// sweep's hot path — one capture, N of these.
+    /// sweep's hot path — one capture, N of these. Results are memoized
+    /// under the trace key, the configuration signature *and* the sampling
+    /// plan, so full and sampled measurements never alias.
     ///
     /// # Errors
-    /// Any cached artifact failure, or [`EngineError::Replay`].
+    /// Any cached artifact failure, or [`EngineError::Replay`] (cached).
     pub fn replayed(
         &self,
         w: &Workload,
@@ -587,11 +667,31 @@ impl Session {
         cfg: &trips_sim::TripsConfig,
         mem: usize,
         budget: u64,
-    ) -> Result<trips_sim::SimResult, EngineError> {
-        let compiled = self.compiled(w, scale, opts, hand)?;
-        let log = self.trace(w, scale, opts, hand, mem, budget)?;
-        trips_sim::timing::replay_trace(&compiled, cfg, &log)
-            .map_err(|e| EngineError::Replay(e.to_string()))
+        mode: &ReplayMode,
+    ) -> Result<Arc<trips_sim::SimResult>, EngineError> {
+        let key = ReplayKey {
+            trace: TraceKey {
+                compile: CompileKey {
+                    workload: w.name.to_string(),
+                    scale: scale_label(scale),
+                    opts: opts_sig(opts),
+                    hand,
+                },
+                mem,
+                budget,
+            },
+            cfg: trips_cfg_sig(cfg),
+            sample: mode.plan().copied(),
+        };
+        let slot = Self::slot(&self.replays, &key, &self.replay_hits, &self.replay_misses);
+        slot.get_or_init(|| {
+            let compiled = self.compiled(w, scale, opts, hand)?;
+            let log = self.trace(w, scale, opts, hand, mem, budget)?;
+            trips_sim::timing::replay_trace_mode(&compiled, cfg, &log, mode)
+                .map(Arc::new)
+                .map_err(|e| EngineError::Replay(e.to_string()))
+        })
+        .clone()
     }
 
     /// Current hit/miss counters.
@@ -617,6 +717,10 @@ impl Session {
             risc_disk_misses: self.risc_disk_misses.load(Ordering::Relaxed),
             risc_disk_rejects: self.risc_disk_rejects.load(Ordering::Relaxed),
             risc_store_writes: self.risc_store_writes.load(Ordering::Relaxed),
+            replay_hits: self.replay_hits.load(Ordering::Relaxed),
+            replay_misses: self.replay_misses.load(Ordering::Relaxed),
+            ooo_replay_hits: self.ooo_replay_hits.load(Ordering::Relaxed),
+            ooo_replay_misses: self.ooo_replay_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -697,6 +801,41 @@ mod tests {
         uniq.sort_unstable();
         uniq.dedup();
         assert_eq!(uniq.len(), sigs.len());
+    }
+
+    #[test]
+    fn replay_results_are_memoized_per_config_and_plan() {
+        let s = Session::new();
+        let w = by_name("vadd").unwrap();
+        let cfg = trips_sim::TripsConfig::prototype();
+        let args = (
+            Scale::Test,
+            CompileOptions::o1(),
+            false,
+            1usize << 22,
+            1_000_000u64,
+        );
+        let run = |mode: &ReplayMode| {
+            s.replayed(&w, args.0, &args.1, args.2, &cfg, args.3, args.4, mode)
+                .unwrap()
+        };
+        let full = run(&ReplayMode::Full);
+        let again = run(&ReplayMode::Full);
+        assert!(Arc::ptr_eq(&full, &again), "full replay must memoize");
+        // A sampling plan is a different artifact under the same point.
+        let plan = SamplePlan::new(4, 4, 16).unwrap();
+        let sampled = run(&ReplayMode::Sampled(plan));
+        assert!(
+            !Arc::ptr_eq(&full, &sampled),
+            "full and sampled must not alias"
+        );
+        assert!(sampled.stats.sampled && !full.stats.sampled);
+        // A covering plan is bit-identical to full and shares its entry.
+        let covering = SamplePlan::new(0, 8, 8).unwrap();
+        let cov = run(&ReplayMode::Sampled(covering));
+        assert!(Arc::ptr_eq(&full, &cov));
+        let st = s.cache_stats();
+        assert_eq!((st.replay_misses, st.replay_hits), (2, 2), "{st:?}");
     }
 
     #[test]

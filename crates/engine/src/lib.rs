@@ -35,15 +35,29 @@
 //! (`trips_sim::timing::replay_trace`), and an out-of-order reference sweep
 //! costs one RISC execution plus N stream replays
 //! (`trips_ooo::run_timed_trace`) — never N functional executions. Replays
-//! of *different* workloads and configurations run concurrently.
+//! of *different* workloads and configurations run concurrently. On top of
+//! that, each replay can be made **sublinear in trace length** by
+//! interval sampling ([`sample`], `SweepSpec::sample`, `trips-sweep
+//! --sample`): the timing cores fast-forward most of the stream with
+//! functional warming and extrapolate from stratified measurement
+//! windows, with full and sampled results memoized under distinct keys.
 
 pub mod cache;
 pub mod pool;
 pub mod store;
 pub mod sweep;
 
+/// Interval-sampling plans (re-exported from `trips-sample`, the shared
+/// home both timing cores consume them from): [`sample::SamplePlan`]
+/// schedules skip/warm/detail phases over a recorded stream,
+/// [`sample::ReplayMode`] threads the choice through every replay entry
+/// point, and [`sample::extrapolate_cycles`] turns a detailed window into
+/// a whole-run estimate.
+pub use trips_sample as sample;
+
 pub use cache::{CacheStats, EngineError, IsaOutcome, RiscArtifacts, Session};
 pub use pool::parallel_map;
+pub use sample::{ReplayMode, SamplePlan};
 pub use store::{LoadOutcome, PruneReport, RiscTraceId, StoreStats, TraceStore};
 pub use sweep::{
     run_sweep, BackendSpec, ConfigVariant, RowDetail, SweepReport, SweepRow, SweepSpec,

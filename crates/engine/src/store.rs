@@ -194,11 +194,14 @@ pub struct StoreStats {
 /// What one [`TraceStore::prune_stale`] pass did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct PruneReport {
+    /// Container files examined (`scanned == removed + kept`).
+    pub scanned: u64,
     /// Stale containers deleted.
     pub removed: u64,
     /// Bytes those files occupied.
     pub bytes_freed: u64,
-    /// Current-version containers left in place.
+    /// Current-version containers left in place (including stale files a
+    /// deletion error kept alive).
     pub kept: u64,
 }
 
@@ -559,6 +562,7 @@ impl TraceStore {
     pub fn prune_stale(&self) -> io::Result<PruneReport> {
         let mut report = PruneReport::default();
         for (path, len, class) in self.containers()? {
+            report.scanned += 1;
             match class {
                 ContainerClass::CurrentBlock | ContainerClass::CurrentRisc => report.kept += 1,
                 ContainerClass::Stale => {

@@ -12,6 +12,7 @@ use serde::{Serialize, Serializer, Value};
 use std::sync::Arc;
 use std::time::Instant;
 use trips_compiler::{CompileOptions, CompiledProgram};
+use trips_sample::{ReplayMode, SamplePlan};
 use trips_sim::TripsConfig;
 use trips_workloads::{by_name, Scale, Workload};
 
@@ -55,19 +56,32 @@ impl BackendSpec {
         }
     }
 
-    /// Parses a backend list entry, expanding the `ooo` group label.
+    /// Parses a comma-separated backend list, expanding the `ooo` group
+    /// label and deduplicating repeats in first-seen order — `ooo,core2`
+    /// names core2 twice but must measure it once.
     ///
     /// # Errors
-    /// [`EngineError::Spec`] on unknown labels.
+    /// [`EngineError::Spec`] on unknown labels or an empty list.
     pub fn parse_group(s: &str) -> Result<Vec<BackendSpec>, EngineError> {
-        if s == "ooo" {
-            return Ok(vec![
-                BackendSpec::Ooo("core2".into()),
-                BackendSpec::Ooo("p4".into()),
-                BackendSpec::Ooo("p3".into()),
-            ]);
+        let mut out: Vec<BackendSpec> = Vec::new();
+        let push = |b: BackendSpec, out: &mut Vec<BackendSpec>| {
+            if !out.contains(&b) {
+                out.push(b);
+            }
+        };
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            if part == "ooo" {
+                for platform in ["core2", "p4", "p3"] {
+                    push(BackendSpec::Ooo(platform.into()), &mut out);
+                }
+            } else {
+                push(BackendSpec::parse(part)?, &mut out);
+            }
         }
-        Ok(vec![BackendSpec::parse(s)?])
+        if out.is_empty() {
+            return Err(EngineError::Spec(format!("no backends in `{s}`")));
+        }
+        Ok(out)
     }
 
     fn label(&self) -> String {
@@ -176,6 +190,11 @@ pub struct SweepSpec {
     pub sim_budget: u64,
     /// Dynamic instruction budget for RISC/OoO runs.
     pub risc_budget: u64,
+    /// Interval-sampling plan for the timing backends (`None` = full
+    /// replay). Applies to `trips` and the OoO platforms; the functional
+    /// backends (`isa`, `risc`) and the analytic `ideal` study have no
+    /// cycle loop to sample and always run in full.
+    pub sample: Option<SamplePlan>,
     /// Worker threads (0 = one per core).
     pub threads: usize,
 }
@@ -192,6 +211,7 @@ impl Default for SweepSpec {
             mem: 1 << 22,
             sim_budget: 1_000_000,
             risc_budget: 400_000_000,
+            sample: None,
             threads: 0,
         }
     }
@@ -248,6 +268,14 @@ pub struct SweepRow {
     pub l1d_misses: u64,
     /// Average instructions in flight (TRIPS cycle model).
     pub avg_window: f64,
+    /// Whether this point interval-sampled its stream.
+    pub sampled: bool,
+    /// Fraction of stream units timed in detail (1.0 for full runs and
+    /// backends without a cycle loop).
+    pub detailed_frac: f64,
+    /// Whole-run cycle estimate (extrapolated when sampled; equals
+    /// `cycles` otherwise).
+    pub est_cycles: u64,
     /// Wall-clock milliseconds this point took (includes any cache misses
     /// it had to fill).
     pub wall_ms: f64,
@@ -276,6 +304,12 @@ impl Serialize for SweepRow {
             ),
             (Value::str("l1d_misses"), serde::to_value(&self.l1d_misses)),
             (Value::str("avg_window"), serde::to_value(&self.avg_window)),
+            (Value::str("sampled"), serde::to_value(&self.sampled)),
+            (
+                Value::str("detailed_frac"),
+                serde::to_value(&self.detailed_frac),
+            ),
+            (Value::str("est_cycles"), serde::to_value(&self.est_cycles)),
             (Value::str("wall_ms"), serde::to_value(&self.wall_ms)),
         ];
         serializer.serialize_value(Value::Map(m))
@@ -353,6 +387,7 @@ fn expand(spec: &SweepSpec) -> Result<Vec<Point>, EngineError> {
 
 fn measure(p: &Point, spec: &SweepSpec, session: &Session) -> Result<SweepRow, EngineError> {
     let t0 = Instant::now();
+    let mode = ReplayMode::from_plan(spec.sample);
     let mut row = SweepRow {
         workload: p.workload.name.to_string(),
         backend: p.backend.label(),
@@ -367,6 +402,9 @@ fn measure(p: &Point, spec: &SweepSpec, session: &Session) -> Result<SweepRow, E
         load_flushes: 0,
         l1d_misses: 0,
         avg_window: 0.0,
+        sampled: false,
+        detailed_frac: 1.0,
+        est_cycles: 0,
         wall_ms: 0.0,
         detail: RowDetail::None,
     };
@@ -381,8 +419,9 @@ fn measure(p: &Point, spec: &SweepSpec, session: &Session) -> Result<SweepRow, E
                 cfg,
                 spec.mem,
                 spec.sim_budget,
+                &mode,
             )?;
-            let s = r.stats;
+            let s = r.stats.clone();
             row.cycles = s.cycles;
             row.ipc = s.ipc_executed();
             row.blocks = s.blocks;
@@ -390,6 +429,9 @@ fn measure(p: &Point, spec: &SweepSpec, session: &Session) -> Result<SweepRow, E
             row.load_flushes = s.load_flushes;
             row.l1d_misses = s.l1d_misses;
             row.avg_window = s.avg_window_insts();
+            row.sampled = s.sampled;
+            row.detailed_frac = s.detailed_frac();
+            row.est_cycles = s.est_cycles;
             row.detail = RowDetail::Trips(Arc::new(s));
         }
         BackendSpec::Isa => {
@@ -404,6 +446,7 @@ fn measure(p: &Point, spec: &SweepSpec, session: &Session) -> Result<SweepRow, E
             )?;
             row.cycles = out.stats.fetched;
             row.blocks = out.stats.blocks_executed;
+            row.est_cycles = row.cycles;
             row.detail = RowDetail::Isa {
                 stats: Arc::new(out.stats.clone()),
                 compiled,
@@ -420,6 +463,7 @@ fn measure(p: &Point, spec: &SweepSpec, session: &Session) -> Result<SweepRow, E
                 spec.risc_budget,
             )?;
             row.cycles = trace.stats.insts;
+            row.est_cycles = row.cycles;
             row.detail = RowDetail::Risc(Arc::new(trace.stats.clone()));
         }
         BackendSpec::Ooo(name) => {
@@ -435,14 +479,14 @@ fn measure(p: &Point, spec: &SweepSpec, session: &Session) -> Result<SweepRow, E
                 &cfg,
                 spec.mem,
                 spec.risc_budget,
+                &mode,
             )?;
             row.cycles = out.stats.cycles;
-            row.ipc = if out.stats.cycles == 0 {
-                0.0
-            } else {
-                out.stats.insts as f64 / out.stats.cycles as f64
-            };
-            row.detail = RowDetail::Ooo(out.stats);
+            row.ipc = out.stats.ipc();
+            row.sampled = out.stats.sampled;
+            row.detailed_frac = out.stats.detailed_frac();
+            row.est_cycles = out.stats.est_cycles;
+            row.detail = RowDetail::Ooo(out.stats.clone());
         }
         BackendSpec::Ideal(which) => {
             let icfg = match which.as_str() {
@@ -455,6 +499,7 @@ fn measure(p: &Point, spec: &SweepSpec, session: &Session) -> Result<SweepRow, E
                 .map_err(|e| EngineError::Capture(format!("{} (ideal): {e}", p.workload.name)))?;
             row.cycles = r.cycles;
             row.ipc = r.ipc;
+            row.est_cycles = r.cycles;
         }
     }
     row.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -504,11 +549,11 @@ pub fn run_sweep(spec: &SweepSpec, session: &Session) -> Result<SweepReport, Eng
 /// Renders rows as CSV (header + one line per row).
 pub fn to_csv(rows: &[SweepRow]) -> String {
     let mut out = String::from(
-        "workload,backend,config,cycles,ipc,blocks,mispredict_flushes,load_flushes,l1d_misses,avg_window,wall_ms\n",
+        "workload,backend,config,cycles,ipc,blocks,mispredict_flushes,load_flushes,l1d_misses,avg_window,sampled,detailed_frac,est_cycles,wall_ms\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{},{},{},{},{:.4},{},{},{},{},{:.2},{:.3}\n",
+            "{},{},{},{},{:.4},{},{},{},{},{:.2},{},{:.4},{},{:.3}\n",
             r.workload,
             r.backend,
             r.config,
@@ -519,6 +564,9 @@ pub fn to_csv(rows: &[SweepRow]) -> String {
             r.load_flushes,
             r.l1d_misses,
             r.avg_window,
+            r.sampled,
+            r.detailed_frac,
+            r.est_cycles,
             r.wall_ms
         ));
     }
@@ -661,6 +709,80 @@ mod tests {
         assert_eq!(group.len(), 3);
         assert!(BackendSpec::parse_group("isa").unwrap() == vec![BackendSpec::Isa]);
         assert!(BackendSpec::parse("nonsense").is_err());
+    }
+
+    #[test]
+    fn parse_group_expands_and_deduplicates() {
+        // `ooo` already names core2; the explicit repeat must not double-run.
+        let g = BackendSpec::parse_group("ooo,core2").unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(BackendSpec::parse_group("core2,core2").unwrap().len(), 1);
+        let g = BackendSpec::parse_group("isa,risc,ooo").unwrap();
+        assert_eq!(
+            g,
+            vec![
+                BackendSpec::Isa,
+                BackendSpec::Risc,
+                BackendSpec::Ooo("core2".into()),
+                BackendSpec::Ooo("p4".into()),
+                BackendSpec::Ooo("p3".into()),
+            ]
+        );
+        assert_eq!(BackendSpec::parse_group("trips").unwrap().len(), 1);
+        assert!(BackendSpec::parse_group("").is_err());
+        assert!(BackendSpec::parse_group("ooo,nonsense").is_err());
+    }
+
+    #[test]
+    fn sampled_sweep_rows_carry_sampling_fields() {
+        let spec = SweepSpec {
+            workloads: vec!["vadd".into()],
+            configs: vec![ConfigVariant::prototype()],
+            backends: vec![BackendSpec::Trips, BackendSpec::Ooo("core2".into())],
+            sample: Some(SamplePlan::new(8, 8, 32).unwrap()),
+            ..SweepSpec::default()
+        };
+        let session = Session::new();
+        let report = run_sweep(&spec, &session).unwrap();
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            assert!(row.sampled, "{row:?}");
+            // Test-scale streams are short, so the fully measured boundary
+            // strata dominate — but some units must still be skipped.
+            assert!(row.detailed_frac < 1.0, "{row:?}");
+            assert!(row.est_cycles >= row.cycles, "{row:?}");
+        }
+        // The same points measured in full are distinct artifacts: rows
+        // come back unsampled, never served from the sampled entries.
+        let full = run_sweep(
+            &SweepSpec {
+                sample: None,
+                ..spec.clone()
+            },
+            &session,
+        )
+        .unwrap();
+        assert!(full.errors.is_empty(), "{:?}", full.errors);
+        for row in &full.rows {
+            assert!(!row.sampled, "{row:?}");
+            assert_eq!(row.est_cycles, row.cycles);
+            assert_eq!(row.detailed_frac, 1.0);
+        }
+        let c = session.cache_stats();
+        assert_eq!(c.replay_misses, 2, "full and sampled TRIPS replays: {c:?}");
+        assert_eq!(
+            c.ooo_replay_misses, 2,
+            "full and sampled OoO replays: {c:?}"
+        );
+        // Both renderings carry the sampling columns.
+        let csv = to_csv(&report.rows);
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .contains("sampled,detailed_frac,est_cycles"));
+        assert!(to_json_lines(&report.rows).contains("\"sampled\":true"));
     }
 
     #[test]

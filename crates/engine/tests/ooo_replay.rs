@@ -9,7 +9,7 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 use trips_compiler::CompileOptions;
-use trips_engine::Session;
+use trips_engine::{ReplayMode, Session};
 use trips_workloads::{by_name, Scale};
 
 /// Defaults the CLI runs under (see `SweepSpec::default`).
@@ -45,6 +45,7 @@ fn replay_matches_direct_execution_for_every_config() {
                     &cfg,
                     MEM,
                     RISC_BUDGET,
+                    &ReplayMode::Full,
                 )
                 .unwrap();
             assert_eq!(

@@ -401,7 +401,11 @@ fn stats_census_and_prune_remove_only_stale_containers() {
     assert!(s.bytes > 0);
 
     let report = store.prune_stale().unwrap();
-    assert_eq!((report.removed, report.kept), (2, 2), "{report:?}");
+    assert_eq!(
+        (report.scanned, report.removed, report.kept),
+        (4, 2, 2),
+        "{report:?}"
+    );
     assert!(report.bytes_freed > 0);
     assert!(dir.join("README").exists());
 

@@ -5,12 +5,19 @@
 //! repro fig9                     # one experiment
 //! repro --quick all              # tiny inputs (CI-speed smoke run)
 //! repro --trace-dir .traces fig9 # persist captures; later runs replay them
+//! repro --sample 896,128,1024 fig9 # interval-sample the timing backends
 //! ```
 //!
 //! With `--trace-dir DIR` (or the `TRIPS_TRACE_DIR` environment variable)
 //! all figure runs share one content-addressed trace store: the first
 //! process captures each workload's functional trace, every later process
 //! replays it from disk.
+//!
+//! With `--sample warmup,detailed,period` every timing measurement
+//! (TRIPS replays and OoO platform replays) interval-samples its recorded
+//! stream instead of timing every unit; figures stay full-detail by
+//! default. The `sample_accuracy` experiment reports how close the
+//! estimates land.
 
 use std::env;
 
@@ -33,6 +40,26 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("[repro] trace store: {dir}");
+    }
+    if let Some(at) = args.iter().position(|a| a == "--sample") {
+        if at + 1 >= args.len() {
+            eprintln!("error: --sample needs warmup,detailed,period");
+            std::process::exit(1);
+        }
+        let spec = args.remove(at + 1);
+        args.remove(at);
+        let plan = match trips_engine::SamplePlan::parse(&spec) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: --sample: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = trips_experiments::runner::set_sample_plan(plan) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[repro] sampling timing backends under plan {plan}");
     }
     let what = args.first().map(String::as_str).unwrap_or("all");
 

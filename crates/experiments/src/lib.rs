@@ -33,6 +33,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "fig12",
     "table3",
     "matmul_fpc",
+    "sample_accuracy",
 ];
 
 /// Runs one experiment by name, returning its rendered report.
@@ -61,6 +62,7 @@ pub fn run_experiment(name: &str, quick: bool) -> Result<String, String> {
         "fig12" => Ok(exps::fig12(scale)),
         "table3" => Ok(exps::table3(scale)),
         "matmul_fpc" => Ok(exps::matmul_fpc(scale)),
+        "sample_accuracy" => Ok(exps::sample_accuracy(scale)),
         other => Err(format!(
             "unknown experiment {other}; known: {EXPERIMENTS:?}"
         )),

@@ -15,10 +15,12 @@
 //! per *store*.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 use trips_compiler::{CompileOptions, CompiledProgram};
 use trips_engine::{
-    run_sweep, BackendSpec, ConfigVariant, RowDetail, Session, SweepRow, SweepSpec,
+    run_sweep, BackendSpec, ConfigVariant, ReplayMode, RowDetail, SamplePlan, Session, SweepRow,
+    SweepSpec,
 };
 use trips_isa::IsaStats;
 use trips_ooo::OooStats;
@@ -49,6 +51,32 @@ pub fn init_trace_store(dir: &std::path::Path) -> Result<(), String> {
     Session::global()
         .set_store(store)
         .map_err(|_| "a trace store is already installed".to_string())
+}
+
+static SAMPLE_PLAN: OnceLock<SamplePlan> = OnceLock::new();
+
+/// Switches every timing measurement this process makes (TRIPS replays and
+/// OoO platform replays, including the declarative figure sweeps) to
+/// interval sampling under `plan`. Figures stay full-detail unless this is
+/// called — `repro --sample w,d,p` is the switch. Call before the first
+/// measurement; installing a second plan is an error.
+///
+/// # Errors
+/// A rendered message when a plan is already installed.
+pub fn set_sample_plan(plan: SamplePlan) -> Result<(), String> {
+    SAMPLE_PLAN
+        .set(plan)
+        .map_err(|_| "a sample plan is already installed".to_string())
+}
+
+/// The process-wide sampling plan, if one was installed.
+pub fn sample_plan() -> Option<SamplePlan> {
+    SAMPLE_PLAN.get().copied()
+}
+
+/// The [`ReplayMode`] the installed plan (or its absence) implies.
+pub fn replay_mode() -> ReplayMode {
+    ReplayMode::from_plan(sample_plan())
 }
 
 /// ISA-level comparison data for one workload (Figures 3–5, §4.4).
@@ -151,6 +179,8 @@ pub fn isa_measurements(
         mem: MEM,
         sim_budget: FUNC_BUDGET,
         risc_budget: RISC_BUDGET,
+        // Functional measurements: sampling has no cycle loop to shorten.
+        sample: None,
         threads: 0,
     };
     let rows = sweep_rows(&spec);
@@ -206,6 +236,7 @@ pub fn trips_measurements(ws: &[Workload], scale: Scale, hand: bool) -> HashMap<
         mem: MEM,
         sim_budget: SIM_BUDGET,
         risc_budget: RISC_BUDGET,
+        sample: sample_plan(),
         threads: 0,
     };
     sweep_rows(&spec)
@@ -245,11 +276,13 @@ fn ooo_run(
 ) -> OooStats {
     // Replays the (memoized) recorded RISC stream: every platform measured
     // from one functional execution per optimization level, bit-identical
-    // to driving the timing model live.
+    // to driving the timing model live (or interval-sampled under the
+    // process-wide plan).
     Session::global()
-        .ooo_replayed(w, scale, &level, cfg, MEM, RISC_BUDGET)
+        .ooo_replayed(w, scale, &level, cfg, MEM, RISC_BUDGET, &replay_mode())
         .unwrap_or_else(|e| panic!("{} ({}): {e}", w.name, cfg.name))
         .stats
+        .clone()
 }
 
 /// Simulates a compiled program on the TRIPS prototype configuration
@@ -264,8 +297,17 @@ pub fn trips_cycles(compiled: &CompiledProgram) -> SimStats {
 /// trace is captured once (memoized) and replayed against `cfg`.
 pub fn trips_cycles_cfg(w: &Workload, scale: Scale, hand: bool, cfg: &TripsConfig) -> SimStats {
     Session::global()
-        .replayed(w, scale, &trips_preset(hand), hand, cfg, MEM, SIM_BUDGET)
-        .map(|r| r.stats)
+        .replayed(
+            w,
+            scale,
+            &trips_preset(hand),
+            hand,
+            cfg,
+            MEM,
+            SIM_BUDGET,
+            &replay_mode(),
+        )
+        .map(|r| r.stats.clone())
         .unwrap_or_else(|e| panic!("{} (sim): {e}", w.name))
 }
 
@@ -318,6 +360,173 @@ fn prewarm_with(ws: &[Workload], hand_too: bool, fill: impl Fn(&Workload, bool) 
     }
     // Failures surface (with context) when the figure actually measures.
     trips_engine::parallel_map(jobs, 0, |(w, hand)| fill(&w, hand));
+}
+
+/// The sampling plan the accuracy harness (and the CI gate) uses on the
+/// TRIPS backend: 48-block measurement windows behind 16 blocks of timed
+/// warmup, one per ~128-block mini-period. Measured on the bundled
+/// workloads at Ref scale: every sampled stream within ±0.8% of full
+/// replay.
+pub fn trips_accuracy_plan() -> SamplePlan {
+    SamplePlan::new(16, 48, 128).expect("static plan is valid")
+}
+
+/// The TRIPS-side sampling floor (in dynamic blocks): below this, streams
+/// are too short for interval statistics (few mini-periods, phase
+/// transients dominating) and the harness replays them in full instead —
+/// which is also the cheaper option at that size.
+pub const TRIPS_SAMPLE_FLOOR: u64 = 2048;
+
+/// The OoO counterpart of [`trips_accuracy_plan`]: 384-instruction
+/// windows behind 64 instructions of timed warmup per ~1024-instruction
+/// mini-period. The OoO model's event-driven retirement clock is spikier
+/// than the TRIPS commit clock (one DRAM miss moves it by a full memory
+/// latency), so per-workload errors run larger: within ±4.2% per
+/// workload and ±0.2% in aggregate on the bundled workloads at Ref scale.
+pub fn ooo_accuracy_plan() -> SamplePlan {
+    SamplePlan::new(64, 384, 1024).expect("static plan is valid")
+}
+
+/// The OoO-side sampling floor (in dynamic instructions).
+pub const OOO_SAMPLE_FLOOR: u64 = 32_768;
+
+/// The sparse plan the speedup demonstration (and its CI gate) uses on
+/// the largest bundled workload: ~11% detail, measured ≥5× faster than
+/// full TRIPS replay on `bzip2` at Ref scale with ≤0.6% IPC error.
+pub fn speedup_plan() -> SamplePlan {
+    SamplePlan::new(16, 48, 1024).expect("static plan is valid")
+}
+
+fn mode_for(plan: SamplePlan, total_units: u64, floor: u64) -> ReplayMode {
+    if total_units < floor {
+        ReplayMode::Full
+    } else {
+        ReplayMode::Sampled(plan)
+    }
+}
+
+/// One row of the sampled-vs-full accuracy harness: how close an
+/// interval-sampled measurement of a workload landed to the full-detail
+/// truth on one timing backend, and what it paid for the answer.
+#[derive(Debug, Clone)]
+pub struct SampleAccuracy {
+    /// Workload name.
+    pub workload: String,
+    /// Timing backend (`trips` or an OoO platform name).
+    pub backend: String,
+    /// IPC of the full-detail replay.
+    pub full_ipc: f64,
+    /// IPC estimate of the sampled replay.
+    pub sampled_ipc: f64,
+    /// `|sampled − full| / full` (0 when the full IPC is 0).
+    pub rel_err: f64,
+    /// Fraction of stream units the sampled replay timed in detail.
+    pub detailed_frac: f64,
+    /// Replay-only wall-clock speedup: full ms / sampled ms.
+    pub speedup: f64,
+}
+
+fn accuracy_row(
+    workload: &str,
+    backend: &str,
+    full_ipc: f64,
+    sampled_ipc: f64,
+    detailed_frac: f64,
+    full_s: f64,
+    sampled_s: f64,
+) -> SampleAccuracy {
+    SampleAccuracy {
+        workload: workload.to_string(),
+        backend: backend.to_string(),
+        full_ipc,
+        sampled_ipc,
+        rel_err: if full_ipc == 0.0 {
+            0.0
+        } else {
+            (sampled_ipc - full_ipc).abs() / full_ipc
+        },
+        detailed_frac,
+        speedup: if sampled_s > 0.0 {
+            full_s / sampled_s
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Measures sampled-vs-full agreement for each workload on both timing
+/// backends (TRIPS prototype and the Core 2 reference), under the
+/// per-backend accuracy plans and sampling floors: the accuracy harness
+/// behind the `sample_accuracy` experiment and the CI gate. Streams below
+/// a backend's floor replay in full (reported with `detailed_frac` 1.0
+/// and zero error) — sampling is for long streams.
+///
+/// Captures are filled through the (memoized, store-backed) session first;
+/// the two replays are then wall-clocked directly against the recorded
+/// streams — deliberately bypassing the memoized-replay tier — so the
+/// speedup column reflects replay work alone, which is what sampling
+/// accelerates.
+pub fn sample_accuracy(ws: &[Workload], scale: Scale) -> Vec<SampleAccuracy> {
+    let session = Session::global();
+    let mut rows = Vec::new();
+    for w in ws {
+        // TRIPS prototype.
+        let compiled = compile_workload(w, scale, false);
+        let log = session
+            .trace(w, scale, &trips_preset(false), false, MEM, SIM_BUDGET)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let mode = mode_for(
+            trips_accuracy_plan(),
+            log.seq.len() as u64,
+            TRIPS_SAMPLE_FLOOR,
+        );
+        let cfg = TripsConfig::prototype();
+        let t0 = Instant::now();
+        let full = trips_sim::timing::replay_trace(&compiled, &cfg, &log)
+            .unwrap_or_else(|e| panic!("{} (full): {e}", w.name));
+        let full_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let sampled = trips_sim::timing::replay_trace_mode(&compiled, &cfg, &log, &mode)
+            .unwrap_or_else(|e| panic!("{} (sampled): {e}", w.name));
+        let sampled_s = t1.elapsed().as_secs_f64();
+        rows.push(accuracy_row(
+            w.name,
+            "trips",
+            full.stats.ipc_executed(),
+            sampled.stats.ipc_executed(),
+            sampled.stats.detailed_frac(),
+            full_s,
+            sampled_s,
+        ));
+
+        // Core 2 over the recorded RISC event stream.
+        let art = risc_baseline(w, scale);
+        let stream = risc_stream(w, scale);
+        let mode = mode_for(
+            ooo_accuracy_plan(),
+            stream.header.dynamic_insts,
+            OOO_SAMPLE_FLOOR,
+        );
+        let ocfg = trips_ooo::core2();
+        let t0 = Instant::now();
+        let full = trips_ooo::run_timed_trace(&art.program, &stream, &ocfg)
+            .unwrap_or_else(|e| panic!("{} (core2 full): {e}", w.name));
+        let full_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let sampled = trips_ooo::run_timed_trace_mode(&art.program, &stream, &ocfg, &mode)
+            .unwrap_or_else(|e| panic!("{} (core2 sampled): {e}", w.name));
+        let sampled_s = t1.elapsed().as_secs_f64();
+        rows.push(accuracy_row(
+            w.name,
+            "core2",
+            full.stats.ipc(),
+            sampled.stats.ipc(),
+            sampled.stats.detailed_frac(),
+            full_s,
+            sampled_s,
+        ));
+    }
+    rows
 }
 
 /// Geometric mean of the positive entries; zero/negative values are

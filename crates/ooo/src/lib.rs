@@ -17,4 +17,8 @@ pub mod configs;
 pub mod model;
 
 pub use configs::{core2, pentium3, pentium4, OooConfig};
-pub use model::{run_timed, run_timed_trace, time_events, OooResult, OooStats};
+pub use model::{
+    run_timed, run_timed_trace, run_timed_trace_mode, time_events, time_events_mode, OooResult,
+    OooStats,
+};
+pub use trips_sample::{ReplayMode, SamplePlan};

@@ -10,6 +10,15 @@
 //! [`time_events`] core, so replayed timing is bit-identical to
 //! execution-driven timing by construction — one capture serves every
 //! configuration.
+//!
+//! The core itself has two per-event paths, selected by a
+//! [`trips_sample::ReplayMode`] ([`time_events_mode`]): the detailed
+//! pipeline model, and a fast-forward path that advances the event source
+//! while touching only the caches and the branch predictor (functional
+//! warming, no cycle accounting). A [`trips_sample::SamplePlan`]
+//! alternates skip/warm/detail over the dynamic instruction stream and
+//! extrapolates the measured cycles, making a replay point sublinear in
+//! trace length.
 
 use crate::configs::OooConfig;
 use serde::{Deserialize, Serialize};
@@ -17,6 +26,7 @@ use std::collections::HashMap;
 use trips_ir::Program;
 use trips_risc::exec::{CtrlKind, EventSource, MachineSource, RiscError};
 use trips_risc::{RCat, RProgram, RiscTrace};
+use trips_sample::{Phase, ReplayMode, Sampler};
 
 /// Timing statistics of one run.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -37,12 +47,31 @@ pub struct OooStats {
     pub l2_misses: u64,
     /// L1 data accesses.
     pub l1_accesses: u64,
+    /// Whether this run interval-sampled the stream (see
+    /// [`trips_sample::SamplePlan`]). When false, `est_cycles == cycles`
+    /// and `total_insts == insts`.
+    pub sampled: bool,
+    /// Dynamic instructions in the stream (timed + warmed + skipped);
+    /// [`OooStats::insts`] counts only the detailed-timed ones.
+    pub total_insts: u64,
+    /// Whole-run cycle estimate: measured cycles extrapolated over the
+    /// stream (`cycles × total_insts / insts`); equals `cycles` for full
+    /// runs.
+    pub est_cycles: u64,
 }
 
 impl OooStats {
-    /// Instructions per cycle.
+    /// Instructions per cycle. For a sampled run this is the whole-run
+    /// estimate (total instructions over extrapolated cycles); for a full
+    /// run the two formulations coincide.
     pub fn ipc(&self) -> f64 {
-        if self.cycles == 0 {
+        if self.sampled {
+            if self.est_cycles == 0 {
+                0.0
+            } else {
+                self.total_insts as f64 / self.est_cycles as f64
+            }
+        } else if self.cycles == 0 {
             0.0
         } else {
             self.insts as f64 / self.cycles as f64
@@ -55,6 +84,15 @@ impl OooStats {
             0.0
         } else {
             self.br_mispredicts as f64 * 1000.0 / self.insts as f64
+        }
+    }
+
+    /// Fraction of stream instructions timed in detail (1.0 for full runs).
+    pub fn detailed_frac(&self) -> f64 {
+        if self.total_insts == 0 {
+            1.0
+        } else {
+            self.insts as f64 / self.total_insts as f64
         }
     }
 }
@@ -237,6 +275,21 @@ pub fn run_timed_trace(
     time_events(rp, &mut src, cfg)
 }
 
+/// [`run_timed_trace`] under an explicit [`ReplayMode`] — the sampled
+/// sweep's hot path.
+///
+/// # Errors
+/// See [`run_timed_trace`].
+pub fn run_timed_trace_mode(
+    rp: &RProgram,
+    trace: &RiscTrace,
+    cfg: &OooConfig,
+    mode: &ReplayMode,
+) -> Result<OooResult, RiscError> {
+    let mut src = trace.cursor(rp);
+    time_events_mode(rp, &mut src, cfg, mode)
+}
+
 /// The timing core: assigns cycles to whatever event stream `src` yields.
 ///
 /// # Errors
@@ -246,6 +299,48 @@ pub fn time_events(
     src: &mut impl EventSource,
     cfg: &OooConfig,
 ) -> Result<OooResult, RiscError> {
+    time_events_mode(rp, src, cfg, &ReplayMode::Full)
+}
+
+/// [`time_events`] under an explicit [`ReplayMode`].
+///
+/// `Full` (and any plan that measures everything) is the bit-exact
+/// detailed path. A sampling plan alternates three per-instruction paths
+/// over the stream: *warm* (the fast-forward path — the source advances
+/// and only the caches and branch predictor observe the instruction),
+/// *timed warmup* (the full pipeline model runs but its counters are
+/// discarded, so each measurement window starts with plausible in-flight
+/// state instead of an idle machine), and *measure* (the full model,
+/// counted). Cycles are accumulated per measurement window and
+/// extrapolated over the stream ([`OooStats::est_cycles`]).
+///
+/// # Errors
+/// Whatever the source raises ([`RiscError`]).
+pub fn time_events_mode(
+    rp: &RProgram,
+    src: &mut impl EventSource,
+    cfg: &OooConfig,
+    mode: &ReplayMode,
+) -> Result<OooResult, RiscError> {
+    let plan = mode.plan();
+    // The sampler meters measurement windows on the retirement clock and
+    // keeps the strata bookkeeping. It needs the stream extent up front
+    // (the teardown stratum is positioned from the end), which only a
+    // recorded source knows.
+    let mut sampler = match plan {
+        Some(p) => match src.len_hint() {
+            Some(total) => Some(Sampler::new(*p, total)),
+            None => {
+                return Err(RiscError::Trace(
+                    "interval-sampled timing needs a recorded stream (live sources have no \
+                     length)"
+                        .into(),
+                ))
+            }
+        },
+        None => None,
+    };
+    let mut total: u64 = 0;
     let mut stats = OooStats::default();
     let mut l1 = Cache::new(cfg.l1_bytes, 4, cfg.line);
     let mut l2 = Cache::new(cfg.l2_bytes, 8, cfg.line);
@@ -262,9 +357,44 @@ pub fn time_events(
     let mut idx: u64 = 0;
 
     while let Some(ev) = src.next_event()? {
+        let phase = sampler
+            .as_mut()
+            .map_or(Phase::Detailed, |s| s.advance(last_retire));
+        total += 1;
+        let counting = phase == Phase::Detailed;
+        if phase == Phase::Warm {
+            // Fast-forward with functional warming: caches and the branch
+            // predictor observe the instruction; the pipeline model never
+            // runs and the counters stay untouched.
+            if let Some((addr, _)) = ev.mem {
+                if !l1.access(addr) {
+                    l2.access(addr);
+                }
+            }
+            match ev.ctrl_kind {
+                CtrlKind::Cond => {
+                    let taken = ev.cond.unwrap_or(false);
+                    let pc_hash = (ev.func << 16) ^ ev.idx;
+                    let _ = pred.branch(pc_hash, taken);
+                }
+                CtrlKind::Call => pred.call((ev.func, ev.idx + 1)),
+                CtrlKind::Ret => {
+                    if let Some(t) = ev.transfer {
+                        let _ = pred.ret(t);
+                    }
+                }
+                CtrlKind::Jump | CtrlKind::None => {}
+            }
+            continue;
+        }
+        // TimedWarm and Detailed both run the full pipeline model below;
+        // TimedWarm discards the counters (`counting` is false), refilling
+        // in-flight state so the next window measures a busy machine.
         // Indices are valid: both sources bounds-check before emitting.
         let inst = &rp.funcs[ev.func as usize].insts[ev.idx as usize];
-        stats.insts += 1;
+        if counting {
+            stats.insts += 1;
+        }
 
         // Fetch bandwidth.
         if fetched_this_cycle >= cfg.fetch_width {
@@ -315,15 +445,21 @@ pub fn time_events(
             RCat::Control => 1,
             RCat::Load | RCat::Store => {
                 let addr = ev.mem.map(|(a, _)| a).unwrap_or(0);
-                stats.l1_accesses += 1;
+                if counting {
+                    stats.l1_accesses += 1;
+                }
                 if l1.access(addr) {
                     cfg.l1_lat
                 } else {
-                    stats.l1_misses += 1;
+                    if counting {
+                        stats.l1_misses += 1;
+                    }
                     if l2.access(addr) {
                         cfg.l1_lat + cfg.l2_lat
                     } else {
-                        stats.l2_misses += 1;
+                        if counting {
+                            stats.l2_misses += 1;
+                        }
                         cfg.l1_lat + cfg.l2_lat + cfg.mem_lat
                     }
                 }
@@ -337,12 +473,16 @@ pub fn time_events(
         // Control flow.
         match ev.ctrl_kind {
             CtrlKind::Cond => {
-                stats.branches += 1;
+                if counting {
+                    stats.branches += 1;
+                }
                 let taken = ev.cond.unwrap_or(false);
                 let pc_hash = (ev.func << 16) ^ ev.idx;
                 let predicted = pred.branch(pc_hash, taken);
                 if predicted != taken {
-                    stats.br_mispredicts += 1;
+                    if counting {
+                        stats.br_mispredicts += 1;
+                    }
                     fetch_cycle = fetch_cycle.max(done + cfg.br_penalty);
                     fetched_this_cycle = 0;
                 }
@@ -353,7 +493,9 @@ pub fn time_events(
             CtrlKind::Ret => {
                 if let Some(t) = ev.transfer {
                     if !pred.ret(t) {
-                        stats.ras_mispredicts += 1;
+                        if counting {
+                            stats.ras_mispredicts += 1;
+                        }
                         fetch_cycle = fetch_cycle.max(done + cfg.br_penalty);
                         fetched_this_cycle = 0;
                     }
@@ -370,6 +512,18 @@ pub fn time_events(
         idx += 1;
     }
 
+    stats.total_insts = total;
+    stats.est_cycles = if let Some(sampler) = sampler {
+        let s = sampler.finish(last_retire);
+        debug_assert_eq!(s.measured_units, stats.insts);
+        stats.sampled = true;
+        // Measured-window cycles only: timed warmup advanced the clock but
+        // is not part of the sample.
+        stats.cycles = s.measured_cycles.max(u64::from(stats.insts > 0));
+        s.est_cycles.max(stats.cycles)
+    } else {
+        stats.cycles
+    };
     Ok(OooResult {
         return_value: src.return_value(),
         stats,
@@ -471,6 +625,66 @@ mod tests {
         assert_eq!(c2.return_value, p4.return_value);
         assert!(p4.stats.cycles > c2.stats.cycles);
         assert!(p4.stats.br_mispredicts > 0);
+    }
+
+    #[test]
+    fn covering_sample_plan_is_bit_identical_to_full_replay() {
+        let p = sum_program(1200);
+        let rp = compile_program(&p).unwrap();
+        let trace = trips_risc::RiscTrace::capture(
+            &rp,
+            &p,
+            1 << 20,
+            100_000_000,
+            trips_risc::RiscTraceMeta::default(),
+        )
+        .unwrap();
+        let plan = trips_sample::SamplePlan::new(0, 9, 9).unwrap();
+        for cfg in [configs::core2(), configs::pentium4(), configs::pentium3()] {
+            let full = run_timed_trace(&rp, &trace, &cfg).unwrap();
+            let covered =
+                run_timed_trace_mode(&rp, &trace, &cfg, &ReplayMode::Sampled(plan)).unwrap();
+            assert_eq!(covered.stats, full.stats, "{}", cfg.name);
+            assert!(!covered.stats.sampled);
+            assert_eq!(full.stats.est_cycles, full.stats.cycles);
+            assert_eq!(full.stats.total_insts, full.stats.insts);
+        }
+    }
+
+    #[test]
+    fn sampled_replay_times_a_fraction_and_extrapolates() {
+        let p = sum_program(20_000);
+        let rp = compile_program(&p).unwrap();
+        let trace = trips_risc::RiscTrace::capture(
+            &rp,
+            &p,
+            1 << 20,
+            100_000_000,
+            trips_risc::RiscTraceMeta::default(),
+        )
+        .unwrap();
+        let cfg = configs::core2();
+        let full = run_timed_trace(&rp, &trace, &cfg).unwrap().stats;
+        let plan = trips_sample::SamplePlan::new(64, 64, 256).unwrap();
+        let s = run_timed_trace_mode(&rp, &trace, &cfg, &ReplayMode::Sampled(plan))
+            .unwrap()
+            .stats;
+        assert!(s.sampled);
+        assert_eq!(s.total_insts, trace.header.dynamic_insts);
+        assert!(
+            s.insts * 3 < s.total_insts,
+            "a 1/4-detail plan must time a minority: {}/{}",
+            s.insts,
+            s.total_insts
+        );
+        let rel = (s.est_cycles as f64 - full.cycles as f64).abs() / full.cycles as f64;
+        assert!(
+            rel < 0.10,
+            "extrapolation off by {:.1}% (est {} vs full {})",
+            rel * 100.0,
+            s.est_cycles,
+            full.cycles
+        );
     }
 
     #[test]

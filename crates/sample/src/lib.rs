@@ -1,0 +1,651 @@
+//! # trips-sample
+//!
+//! SMARTS/SimPoint-style interval sampling plans, shared by every timing
+//! core in the workspace.
+//!
+//! Trace replay decouples functional execution from timing, but a full
+//! replay still *times every recorded event*, so a sweep point stays O(trace
+//! length). A [`SamplePlan`] makes a point sublinear: the recorded stream is
+//! cut into fixed-size periods, and within each period the timing core
+//!
+//! 1. **fast-forwards** the leading units with *functional warming* —
+//!    caches, predictors and dependence tables observe every unit, but the
+//!    pipeline model never runs and no cycles are accounted;
+//! 2. runs the next `warmup_units` through the **detailed model with the
+//!    counters discarded** (timed warmup) — this refills the in-flight
+//!    state functional warming cannot express (outstanding misses, queue
+//!    backpressure, in-order retirement horizons), which otherwise makes
+//!    every measurement window start on an implausibly idle machine; and
+//! 3. **measures** the final `detailed_units` in full detail.
+//!
+//! Putting the measured window at the *end* of the period means
+//! measurement always follows both kinds of warming, so long-lived state
+//! (cache tags, predictor tables) *and* short-lived state (pipeline
+//! occupancy) are representative when counting starts.
+//!
+//! Two exceptions to the periodic schedule, both handled by the
+//! [`Sampler`] driver: the **first two periods** and the **final two
+//! periods** are measured in full. Program startup is a transient —
+//! compulsory cache misses, untrained predictors, dependence tables still
+//! learning — and teardown phases (reductions, result stores) are
+//! another; a periodic schedule whose windows all sit in period interiors
+//! would observe neither, biasing every estimate fast. Measuring the
+//! boundary strata exactly turns each transient into its own stratum.
+//!
+//! Whole-run cycles are then estimated stratified ([`Sampler::finish`]):
+//! the boundary periods contribute their cycles at weight one, and the
+//! middle windows are pooled — `est = first + mid_cycles × mid_extent /
+//! mid_units + last`. With one window per mini-period the pooled rate is
+//! an unbiased average over every mini-period, and pooling keeps single
+//! outlier windows (one DRAM burst in a short window) from being scaled
+//! up on their own.
+//!
+//! The *unit* is whatever the consuming timing core iterates over: TRIPS
+//! block-trace replay samples over dynamic blocks (`TraceLog::seq`
+//! entries), the out-of-order reference models over dynamic instructions
+//! (`RiscTrace` events). The plan itself is agnostic — the [`Sampler`]
+//! turns it into a deterministic schedule over any stream.
+//!
+//! [`ReplayMode`] is the knob threaded through the replay entry points:
+//! `Full` is the bit-exact everything-timed path, `Sampled(plan)` the
+//! interval-sampled one. A plan whose detailed window covers the whole
+//! period ([`SamplePlan::covers_everything`]) normalizes to `Full`, so
+//! "sample everything" is *bit-identical* to full replay by construction.
+
+use std::fmt;
+
+/// Low-discrepancy offset for period `k` in `0..=slack`: the golden-ratio
+/// (Weyl) sequence. Deterministic like a hash, but consecutive periods'
+/// offsets spread evenly across the range instead of clumping, so even a
+/// stream with only a handful of periods gets well-stratified window
+/// placements ([`Sampler::advance`]).
+fn weyl_offset(k: u64, slack: u64) -> u64 {
+    // k · φ⁻¹ in 0.64 fixed point, scaled to 0..=slack. `slack + 1`
+    // cannot overflow: slack < period ≤ MAX_PERIOD.
+    let frac = k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((u128::from(frac) * u128::from(slack + 1)) >> 64) as u64
+}
+
+/// What a sampled replay does with one stream unit (see [`Sampler::advance`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Fast-forward with functional warming: caches/predictors observe the
+    /// unit, no cycle accounting.
+    Warm,
+    /// Detailed-model timed warmup: the pipeline model runs, the counters
+    /// are discarded.
+    TimedWarm,
+    /// Full detailed measurement.
+    Detailed,
+}
+
+/// A systematic interval-sampling plan over a recorded stream.
+///
+/// Nominally, every period of `period` units carries one window of
+/// `warmup_units` timed (counter-discarded) pipeline warmup followed by
+/// `detailed_units` of measurement; everything else is fast-forwarded
+/// with functional warming. The [`Sampler`] realizes the plan with
+/// variable-length mini-periods and jittered window placement (resonance
+/// control), keeping the same average rates. Invariants (enforced by
+/// [`SamplePlan::new`]): `detailed_units ≥ 1`, `period ≥ 1`,
+/// `warmup_units + detailed_units ≤ period`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SamplePlan {
+    /// Timed-warmup units immediately before each measured window.
+    pub warmup_units: u64,
+    /// Measured units at the end of each period.
+    pub detailed_units: u64,
+    /// Total units per sampling period.
+    pub period: u64,
+}
+
+impl SamplePlan {
+    /// Largest accepted `period`. Far beyond any real stream (periods are
+    /// stream *subdivisions*), and small enough that the schedule
+    /// arithmetic (`2 × period` boundary strata, `3/2 × period`
+    /// mini-periods, `slack + 1` draws) can never overflow.
+    pub const MAX_PERIOD: u64 = 1 << 48;
+
+    /// Builds a validated plan.
+    ///
+    /// # Errors
+    /// A description of the violated invariant.
+    pub fn new(warmup_units: u64, detailed_units: u64, period: u64) -> Result<SamplePlan, String> {
+        if detailed_units == 0 {
+            return Err("detailed_units must be at least 1".into());
+        }
+        if period == 0 {
+            return Err("period must be at least 1".into());
+        }
+        if period > Self::MAX_PERIOD {
+            return Err(format!(
+                "period {period} exceeds the maximum {}",
+                Self::MAX_PERIOD
+            ));
+        }
+        match warmup_units.checked_add(detailed_units) {
+            Some(used) if used <= period => Ok(SamplePlan {
+                warmup_units,
+                detailed_units,
+                period,
+            }),
+            _ => Err(format!(
+                "warmup ({warmup_units}) + detailed ({detailed_units}) exceed the period ({period})"
+            )),
+        }
+    }
+
+    /// Parses the CLI grammar `warmup,detailed,period` (e.g. `64,64,256`).
+    ///
+    /// # Errors
+    /// A description of the malformed field or violated invariant.
+    pub fn parse(s: &str) -> Result<SamplePlan, String> {
+        let parts: Vec<&str> = s.split(',').collect();
+        if parts.len() != 3 {
+            return Err(format!(
+                "expected `warmup,detailed,period` (three comma-separated counts), got `{s}`"
+            ));
+        }
+        let field = |at: usize, name: &str| -> Result<u64, String> {
+            parts[at]
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| format!("{name} `{}` is not a count", parts[at]))
+        };
+        SamplePlan::new(
+            field(0, "warmup")?,
+            field(1, "detailed")?,
+            field(2, "period")?,
+        )
+    }
+
+    /// True when every unit is measured in detail — such a plan degenerates
+    /// to full replay, and [`ReplayMode::plan`] normalizes it away so the
+    /// result is bit-identical to [`ReplayMode::Full`].
+    #[must_use]
+    pub fn covers_everything(&self) -> bool {
+        self.detailed_units >= self.period
+    }
+
+    /// The fraction of stream units a full period measures in detail.
+    #[must_use]
+    pub fn planned_detail_frac(&self) -> f64 {
+        self.detailed_units as f64 / self.period as f64
+    }
+}
+
+impl fmt::Display for SamplePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{},{},{}",
+            self.warmup_units, self.detailed_units, self.period
+        )
+    }
+}
+
+/// How a replay entry point should treat the recorded stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplayMode {
+    /// Time every recorded unit (bit-exact; the pre-sampling behavior).
+    #[default]
+    Full,
+    /// Interval-sample per the plan.
+    Sampled(SamplePlan),
+}
+
+impl ReplayMode {
+    /// The effective plan: `None` for [`ReplayMode::Full`] *and* for
+    /// sampled plans that cover everything, so callers branching on this
+    /// get the bit-exact full path whenever the plan changes nothing.
+    #[must_use]
+    pub fn plan(&self) -> Option<&SamplePlan> {
+        match self {
+            ReplayMode::Full => None,
+            ReplayMode::Sampled(p) if p.covers_everything() => None,
+            ReplayMode::Sampled(p) => Some(p),
+        }
+    }
+
+    /// Builds the mode an optional plan implies.
+    #[must_use]
+    pub fn from_plan(plan: Option<SamplePlan>) -> ReplayMode {
+        match plan {
+            Some(p) => ReplayMode::Sampled(p),
+            None => ReplayMode::Full,
+        }
+    }
+}
+
+/// Extrapolates detailed-window cycles over the whole stream:
+/// `detailed_cycles × total_units / detailed_units`, in 128-bit
+/// intermediate precision. Degenerate inputs (nothing measured, or the
+/// whole stream measured) return `detailed_cycles` unchanged.
+#[must_use]
+pub fn extrapolate_cycles(detailed_cycles: u64, total_units: u64, detailed_units: u64) -> u64 {
+    if detailed_units == 0 || total_units <= detailed_units {
+        return detailed_cycles;
+    }
+    let est = u128::from(detailed_cycles) * u128::from(total_units) / u128::from(detailed_units);
+    u64::try_from(est).unwrap_or(u64::MAX)
+}
+
+/// Which stratum a measured unit belongs to (see [`Sampler`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stratum {
+    /// The fully measured startup stratum (leading periods).
+    First,
+    /// Steady-state measurement windows in the middle of the stream.
+    Mid,
+    /// The fully measured final period (teardown transient).
+    Last,
+}
+
+/// What one sampled replay measured (see [`Sampler::finish`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleSummary {
+    /// Stream units walked.
+    pub total_units: u64,
+    /// Units measured in detail (all strata).
+    pub measured_units: u64,
+    /// Cycles those measured units took (all strata).
+    pub measured_cycles: u64,
+    /// The stratified whole-run cycle estimate: boundary periods at weight
+    /// one, steady-state windows extrapolated over the middle.
+    pub est_cycles: u64,
+}
+
+/// The per-replay schedule driver of a [`SamplePlan`]: a timing core walks
+/// its recorded stream, asks [`Sampler::advance`] what to do with each
+/// unit, and reports its monotonic clock (commit or retirement time) as
+/// it goes.
+///
+/// The sampler owns the whole schedule:
+///
+/// * the first two periods and the final two periods are measured in
+///   full — the startup and teardown transient strata;
+/// * the middle is tiled with **variable-length mini-periods** (between
+///   `period/2` and `3·period/2` units, drawn from a deterministic
+///   golden-ratio sequence), each carrying one
+///   `[timed-warm × w][measure × d]` window at an offset drawn the same
+///   way. Fixed-length periods at a fixed in-window offset *resonate*
+///   with loop structure — a window that always lands on the same slice
+///   of an iteration pattern samples that slice, not the program — while
+///   the low-discrepancy draws spread placements evenly and remain pure
+///   functions of position, so replays stay exactly reproducible.
+///
+/// [`Sampler::finish`] folds the bookkeeping into the stratified
+/// whole-run estimate. Centralizing all of this here keeps the two timing
+/// cores' sampled paths structurally identical.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    plan: SamplePlan,
+    total: u64,
+    /// First unit past the startup stratum.
+    head_end: u64,
+    /// First unit of the teardown stratum.
+    tail_start: u64,
+    pos: u64,
+    window_mark: Option<u64>,
+    window_units: u64,
+    window_stratum: Stratum,
+    strata: [(u64, u64); 3], // (cycles, units) per Stratum
+    /// End of the current mid-region mini-period.
+    mini_end: u64,
+    /// Timed-warm start of the current mini-period's window (`u64::MAX`
+    /// when no window fits).
+    mini_win: u64,
+    /// Mini-periods begun (the low-discrepancy draw index).
+    minis: u64,
+}
+
+impl Sampler {
+    /// A sampler for one replay of a stream of `total_units` units. The
+    /// boundary strata span two nominal periods each; a stream too short
+    /// to leave a middle between them is simply measured in full (and
+    /// therefore estimated exactly).
+    #[must_use]
+    pub fn new(plan: SamplePlan, total_units: u64) -> Sampler {
+        let bound = 2 * plan.period;
+        let (head_end, tail_start) = if total_units > 2 * bound {
+            (bound, total_units - bound)
+        } else {
+            (total_units, total_units)
+        };
+        Sampler {
+            plan,
+            total: total_units,
+            head_end,
+            tail_start,
+            pos: 0,
+            window_mark: None,
+            window_units: 0,
+            window_stratum: Stratum::First,
+            strata: [(0, 0); 3],
+            mini_end: 0,
+            mini_win: u64::MAX,
+            minis: 0,
+        }
+    }
+
+    fn stratum_of(&self, unit: u64) -> Stratum {
+        if unit < self.head_end {
+            Stratum::First
+        } else if unit >= self.tail_start {
+            Stratum::Last
+        } else {
+            Stratum::Mid
+        }
+    }
+
+    fn close_window(&mut self, clock: u64) {
+        if let Some(mark) = self.window_mark.take() {
+            let bucket = &mut self.strata[self.window_stratum as usize];
+            bucket.0 += clock - mark;
+            bucket.1 += self.window_units;
+            self.window_units = 0;
+        }
+    }
+
+    /// Starts the mini-period beginning at `unit`: draws its length and
+    /// its window placement from the golden-ratio sequence.
+    fn begin_mini(&mut self, unit: u64) {
+        self.minis += 1;
+        let p = self.plan.period;
+        let timed = self.plan.warmup_units + self.plan.detailed_units;
+        let len = (p / 2 + weyl_offset(self.minis * 2, p)).max(timed);
+        self.mini_end = (unit + len).min(self.tail_start);
+        let span = self.mini_end - unit;
+        self.mini_win = if span >= timed {
+            unit + weyl_offset(self.minis * 2 + 1, span - timed)
+        } else {
+            // The sliver before the tail stratum is too small to host a
+            // window; it is covered by the pooled mid extrapolation.
+            u64::MAX
+        };
+    }
+
+    /// The phase of the next stream unit. `clock` is the replay's current
+    /// monotonic cycle count (commit/retirement time); the sampler uses it
+    /// to meter measurement windows.
+    pub fn advance(&mut self, clock: u64) -> Phase {
+        let unit = self.pos;
+        self.pos += 1;
+        let stratum = self.stratum_of(unit);
+        let phase = if stratum == Stratum::Mid {
+            if unit >= self.mini_end {
+                self.begin_mini(unit);
+            }
+            let w = self.plan.warmup_units;
+            let d = self.plan.detailed_units;
+            if unit < self.mini_win || unit >= self.mini_win + w + d {
+                Phase::Warm
+            } else if unit < self.mini_win + w {
+                Phase::TimedWarm
+            } else {
+                Phase::Detailed
+            }
+        } else {
+            Phase::Detailed
+        };
+        if phase == Phase::Detailed {
+            // Windows never span strata: a boundary period abutting a
+            // steady window closes one bucket and opens the next.
+            if self.window_mark.is_some() && self.window_stratum != stratum {
+                self.close_window(clock);
+            }
+            if self.window_mark.is_none() {
+                self.window_mark = Some(clock);
+                self.window_stratum = stratum;
+            }
+            self.window_units += 1;
+        } else {
+            self.close_window(clock);
+        }
+        phase
+    }
+
+    /// Closes the final window at `clock` and produces the stratified
+    /// estimate: the boundary periods (startup and teardown transients)
+    /// count their measured cycles exactly, and the pooled steady-state
+    /// windows are extrapolated over the middle of the stream. A stream
+    /// with no measurable middle is therefore estimated *exactly*.
+    #[must_use]
+    pub fn finish(mut self, clock: u64) -> SampleSummary {
+        self.close_window(clock);
+        let [first, mid, last] = self.strata;
+        let measured_units = first.1 + mid.1 + last.1;
+        let measured_cycles = first.0 + mid.0 + last.0;
+        let mid_extent = self.tail_start.saturating_sub(self.head_end);
+        let est_cycles = if mid.1 > 0 {
+            first
+                .0
+                .saturating_add(extrapolate_cycles(mid.0, mid_extent, mid.1))
+                .saturating_add(last.0)
+        } else if measured_units >= self.total {
+            measured_cycles
+        } else {
+            // Nothing sampled in the middle (stream barely longer than two
+            // periods): scale the boundary rate over the gap.
+            extrapolate_cycles(measured_cycles, self.total, measured_units)
+        };
+        SampleSummary {
+            total_units: self.total,
+            measured_units,
+            measured_cycles,
+            est_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invariants_are_enforced() {
+        assert!(SamplePlan::new(0, 0, 4).is_err());
+        assert!(SamplePlan::new(0, 1, 0).is_err());
+        assert!(SamplePlan::new(3, 2, 4).is_err());
+        assert!(SamplePlan::new(u64::MAX, 1, u64::MAX).is_err());
+        // Periods past MAX_PERIOD would overflow the schedule arithmetic
+        // (2x boundary strata, 3/2x mini-periods); they are rejected, and
+        // the largest accepted period drives a sampler without panicking.
+        assert!(SamplePlan::new(0, 1, SamplePlan::MAX_PERIOD + 1).is_err());
+        let huge = SamplePlan::new(0, 1, SamplePlan::MAX_PERIOD).unwrap();
+        let mut s = Sampler::new(huge, 10);
+        for _ in 0..10 {
+            let _ = s.advance(0);
+        }
+        assert_eq!(s.finish(70).est_cycles, 70);
+        assert!(SamplePlan::new(2, 2, 4).is_ok());
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_garbage() {
+        let p = SamplePlan::parse("64,32,256").unwrap();
+        assert_eq!(
+            p,
+            SamplePlan {
+                warmup_units: 64,
+                detailed_units: 32,
+                period: 256
+            }
+        );
+        assert_eq!(SamplePlan::parse(&p.to_string()).unwrap(), p);
+        assert!(SamplePlan::parse("64,32").is_err());
+        assert!(SamplePlan::parse("a,b,c").is_err());
+        assert!(SamplePlan::parse("4,8,8").is_err());
+    }
+
+    /// Collects the full phase schedule a sampler produces over a stream
+    /// (clock irrelevant to placement: a constant works).
+    fn schedule(plan: SamplePlan, total: u64) -> Vec<Phase> {
+        let mut s = Sampler::new(plan, total);
+        (0..total).map(|_| s.advance(0)).collect()
+    }
+
+    #[test]
+    fn schedule_is_structurally_sound_and_jittered() {
+        let plan = SamplePlan::new(2, 3, 8).unwrap();
+        let total = 512;
+        let phases = schedule(plan, total);
+        // Boundary strata: two periods at each end, measured end to end.
+        assert!(phases[..16].iter().all(|&x| x == Phase::Detailed));
+        assert!(phases[496..].iter().all(|&x| x == Phase::Detailed));
+        // The middle consists of warm stretches and contiguous
+        // [timed-warm × 2][measure × 3] windows — timed warmup always
+        // immediately precedes measurement, and windows never touch.
+        let mut at = 16;
+        let mut windows = 0;
+        while at < 496 {
+            match phases[at] {
+                Phase::Warm => at += 1,
+                Phase::TimedWarm => {
+                    assert_eq!(
+                        &phases[at..at + 5],
+                        &[
+                            Phase::TimedWarm,
+                            Phase::TimedWarm,
+                            Phase::Detailed,
+                            Phase::Detailed,
+                            Phase::Detailed,
+                        ],
+                        "window at {at} must be contiguous, warmup first"
+                    );
+                    windows += 1;
+                    at += 5;
+                }
+                Phase::Detailed => panic!("measurement without timed warmup at {at}"),
+            }
+        }
+        // Mini-periods average one window per nominal period.
+        let mid_periods = (496 - 16) / 8;
+        assert!(
+            windows >= mid_periods / 2 && windows <= mid_periods * 2,
+            "{windows} windows for {mid_periods} nominal periods"
+        );
+        // The schedule is deterministic and the jitter actually moves
+        // windows: window start offsets are not all congruent mod the
+        // nominal period.
+        assert_eq!(phases, schedule(plan, total));
+        let starts: std::collections::HashSet<u64> = {
+            let mut v = std::collections::HashSet::new();
+            let mut i = 16;
+            while i < 496 {
+                if phases[i] == Phase::TimedWarm {
+                    v.insert(i as u64 % 8);
+                    i += 5;
+                } else {
+                    i += 1;
+                }
+            }
+            v
+        };
+        assert!(starts.len() > 1, "window placement must vary: {starts:?}");
+    }
+
+    /// Drives a sampler over a synthetic stream where every unit costs
+    /// `cost` cycles *when timed* (warm units don't advance the clock),
+    /// returning the summary.
+    fn drive(plan: SamplePlan, total: u64, cost: u64) -> SampleSummary {
+        let mut s = Sampler::new(plan, total);
+        let mut clock = 0;
+        for _ in 0..total {
+            match s.advance(clock) {
+                Phase::Warm => {}
+                Phase::TimedWarm | Phase::Detailed => clock += cost,
+            }
+        }
+        s.finish(clock)
+    }
+
+    #[test]
+    fn sampler_measures_boundaries_and_extrapolates_the_middle() {
+        let plan = SamplePlan::new(2, 2, 8).unwrap();
+        // 160 units: 16-unit boundary strata at each end measured in
+        // full, the 128-unit middle sampled by mini-period windows.
+        let s = drive(plan, 160, 10);
+        assert_eq!(s.total_units, 160);
+        assert!(
+            s.measured_units > 32 && s.measured_units < 160,
+            "boundaries plus some windows: {}",
+            s.measured_units
+        );
+        // Uniform cost ⇒ the stratified estimate is exact.
+        assert_eq!(s.est_cycles, 160 * 10);
+    }
+
+    #[test]
+    fn sampler_is_exact_on_streams_without_a_middle() {
+        let plan = SamplePlan::new(2, 2, 8).unwrap();
+        for total in [1, 5, 8, 9, 16, 32] {
+            let s = drive(plan, total, 7);
+            assert_eq!(s.measured_units, total, "total {total}");
+            assert_eq!(s.est_cycles, total * 7, "total {total}");
+        }
+    }
+
+    #[test]
+    fn sampler_captures_boundary_transients_exactly() {
+        // Expensive start and end, cheap middle: the strata keep the
+        // transients at weight one.
+        let plan = SamplePlan::new(2, 2, 8).unwrap();
+        let total = 160u64;
+        let mut s = Sampler::new(plan, total);
+        let mut clock = 0;
+        let mut truth = 0;
+        for unit in 0..total {
+            let cost = if (16..144).contains(&unit) { 10 } else { 100 };
+            truth += cost;
+            match s.advance(clock) {
+                Phase::Warm => {}
+                Phase::TimedWarm | Phase::Detailed => clock += cost,
+            }
+        }
+        let sum = s.finish(clock);
+        assert_eq!(sum.est_cycles, truth, "uniform-middle stream is exact");
+    }
+
+    #[test]
+    fn covering_plans_normalize_to_full() {
+        let covering = SamplePlan::new(0, 8, 8).unwrap();
+        assert!(covering.covers_everything());
+        assert_eq!(ReplayMode::Sampled(covering).plan(), None);
+        assert_eq!(ReplayMode::Full.plan(), None);
+        let sampling = SamplePlan::new(0, 4, 8).unwrap();
+        assert_eq!(ReplayMode::Sampled(sampling).plan(), Some(&sampling));
+        assert_eq!(
+            ReplayMode::from_plan(Some(sampling)),
+            ReplayMode::Sampled(sampling)
+        );
+        assert_eq!(ReplayMode::from_plan(None), ReplayMode::Full);
+    }
+
+    #[test]
+    fn extrapolation_is_exact_and_total() {
+        assert_eq!(extrapolate_cycles(100, 1000, 100), 1000);
+        assert_eq!(extrapolate_cycles(7, 7, 7), 7);
+        assert_eq!(extrapolate_cycles(5, 3, 0), 5);
+        assert_eq!(extrapolate_cycles(0, 1000, 10), 0);
+        // 128-bit intermediate: no overflow on huge cycle counts.
+        assert_eq!(extrapolate_cycles(u64::MAX / 2, 4, 2), u64::MAX - 1,);
+    }
+
+    #[test]
+    fn steady_state_detail_rate_tracks_the_plan() {
+        let plan = SamplePlan::new(16, 16, 128).unwrap();
+        let phases = schedule(plan, 128 * 130);
+        // Census over the mid region only (boundary strata are fully
+        // measured by design): the realized detail rate stays near the
+        // planned 1/8 despite variable mini-periods.
+        let mid = &phases[256..128 * 130 - 256];
+        let detailed = mid.iter().filter(|&&x| x == Phase::Detailed).count();
+        let rate = detailed as f64 / mid.len() as f64;
+        let planned = plan.planned_detail_frac();
+        assert!(
+            (rate - planned).abs() < planned * 0.25,
+            "realized detail rate {rate:.4} vs planned {planned:.4}"
+        );
+    }
+}

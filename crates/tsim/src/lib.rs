@@ -32,4 +32,5 @@ pub mod timing;
 
 pub use config::TripsConfig;
 pub use stats::SimStats;
-pub use timing::{replay_trace, simulate, SimError, SimResult};
+pub use timing::{replay_trace, replay_trace_mode, simulate, SimError, SimResult};
+pub use trips_sample::{ReplayMode, SamplePlan};

@@ -6,6 +6,21 @@
 //! once the predictor names it, a window slot frees up, and the distributed
 //! fetch protocol's throughput allows (§5). Mispredictions and load-order
 //! violations flush and restart the pipeline at the offending point.
+//!
+//! The engine has two per-block paths, driven by a
+//! [`trips_sample::ReplayMode`]:
+//!
+//! * `Timing::time_block` — the full detailed model described above;
+//! * `Timing::warm_block` — functional warming only: the I-cache, data
+//!   hierarchy, next-block predictor and load-wait table see the block,
+//!   but no cycles are accounted.
+//!
+//! Full replay times every block. Sampled replay ([`replay_trace_mode`])
+//! walks the recorded stream through a [`trips_sample::SamplePlan`] —
+//! functionally warm most of each period, run the detailed model with
+//! discarded counters for a short timed warmup, measure the window at the
+//! period's end — and extrapolates the measured cycles over the whole
+//! stream, making a sweep point sublinear in trace length.
 
 use crate::cache::{BankPorts, Cache};
 use crate::config::TripsConfig;
@@ -20,6 +35,7 @@ use trips_ir::Program;
 use trips_isa::block::ExitTarget;
 use trips_isa::interp::{BlockTrace, TraceSrc, TripsExecError};
 use trips_isa::{TOpcode, TraceLog};
+use trips_sample::{Phase, ReplayMode, Sampler};
 
 /// Simulation failures (functional execution errors surface unchanged).
 #[derive(Debug)]
@@ -77,7 +93,7 @@ pub fn simulate_with_budget(
     let mut t = Timing::new(compiled, cfg);
     let outcome =
         trips_isa::interp::run_program_traced(tp, ir, mem_size, max_blocks, |b, trace| {
-            t.on_block(b, trace)
+            t.time_block(b, trace)
         })
         .map_err(SimError::Exec)?;
     let mut stats = t.finish();
@@ -105,11 +121,55 @@ pub fn replay_trace(
     cfg: &TripsConfig,
     log: &TraceLog,
 ) -> Result<SimResult, SimError> {
+    replay_trace_mode(compiled, cfg, log, &ReplayMode::Full)
+}
+
+/// [`replay_trace`] under an explicit [`ReplayMode`].
+///
+/// `Full` (and any sampled plan that measures every unit) is the bit-exact
+/// path above. A sampling plan walks the recorded block stream through its
+/// phases: most blocks are functionally warmed (long-lived state updated,
+/// no cycle accounting), a short timed warmup before each window runs the
+/// detailed model with its counters discarded (so the window starts on a
+/// busy pipeline), and the window itself is measured in full. The returned
+/// stats carry the measured-vs-total unit counts and the extrapolated
+/// whole-run estimate ([`SimStats::est_cycles`](crate::SimStats)).
+///
+/// # Errors
+/// [`SimError::Trace`] when the log's header or indices do not match
+/// `compiled`.
+pub fn replay_trace_mode(
+    compiled: &CompiledProgram,
+    cfg: &TripsConfig,
+    log: &TraceLog,
+    mode: &ReplayMode,
+) -> Result<SimResult, SimError> {
     log.validate(&compiled.trips).map_err(SimError::Trace)?;
     let mut t = Timing::new(compiled, cfg);
-    log.replay(|bidx, trace| t.on_block(bidx, trace));
+    let mut summary = None;
+    match mode.plan() {
+        None => log.replay(|bidx, trace| t.time_block(bidx, trace)),
+        Some(plan) => {
+            // The sampler meters measurement windows on the commit clock
+            // and keeps the strata bookkeeping.
+            let mut sampler = Sampler::new(*plan, log.seq.len() as u64);
+            log.replay(|bidx, trace| match sampler.advance(t.last_commit) {
+                Phase::Warm => t.warm_block(bidx, trace),
+                Phase::TimedWarm => t.time_block_discarded(bidx, trace),
+                Phase::Detailed => t.time_block(bidx, trace),
+            });
+            summary = Some(sampler.finish(t.last_commit));
+        }
+    }
     let mut stats = t.finish();
     stats.isa = log.stats.clone();
+    if let Some(s) = summary {
+        debug_assert_eq!(s.measured_units, stats.blocks);
+        stats.sampled = true;
+        stats.total_units = s.total_units;
+        stats.cycles = s.measured_cycles.max(u64::from(stats.blocks > 0));
+        stats.est_cycles = s.est_cycles.max(stats.cycles);
+    }
     Ok(SimResult {
         return_value: log.return_value,
         stats,
@@ -173,7 +233,105 @@ impl<'a> Timing<'a> {
         }
     }
 
-    fn on_block(&mut self, bidx: u32, trace: &BlockTrace) {
+    /// Runs the full detailed model on one block but discards every
+    /// counter it moves: the timed-warmup path. The machine state — clock,
+    /// window occupancy, bank reservations, predictor and cache contents —
+    /// advances exactly as [`Timing::time_block`] would advance it, so the
+    /// measurement window that follows starts on a busy, representative
+    /// pipeline; only the accounting is thrown away.
+    fn time_block_discarded(&mut self, bidx: u32, trace: &BlockTrace) {
+        let stats = self.stats.clone();
+        let predictor = self.predictor.stats;
+        let opn = self.opn.stats.clone();
+        let conflicts = self.dt_banks.conflict_cycles;
+        let violations = self.lwt.violations;
+        self.time_block(bidx, trace);
+        self.stats = stats;
+        self.predictor.stats = predictor;
+        self.opn.stats = opn;
+        self.dt_banks.conflict_cycles = conflicts;
+        self.lwt.violations = violations;
+    }
+
+    /// Functionally warms one block: the next-block predictor, I-cache,
+    /// data hierarchy and load-wait table observe it, but no cycles are
+    /// accounted and no counters move — warming keeps long-lived state
+    /// representative for the detailed window that follows.
+    fn warm_block(&mut self, bidx: u32, trace: &BlockTrace) {
+        let block = &self.cp.trips.blocks[bidx as usize];
+
+        // Train the predictor on the warmed control transfer. The detailed
+        // counters must only reflect detailed blocks, so the accounting is
+        // snapshotted around the update.
+        if let Some((pb, pexit, kind, cont, _)) = self.pending.take() {
+            let multi = self.cp.trips.blocks[pb as usize].exits.len() > 1;
+            let saved = self.predictor.stats;
+            let _ = self
+                .predictor
+                .predict_and_update(pb, pexit, kind, bidx, cont, multi);
+            self.predictor.stats = saved;
+        }
+
+        // I-cache (and L2) warming: the block image's lines.
+        let base_addr = bidx as u64 * 1024;
+        let lines = (trips_isa::encode::encoded_size_compressed(block) as u64).div_ceil(128);
+        for l in 0..lines {
+            if !self.icache.access(base_addr + l * 128) {
+                self.l2.access(base_addr + l * 128);
+            }
+        }
+
+        // Data-hierarchy and dependence-predictor warming. Without cycle
+        // accounting there is no bank-resolution order, so program (LSID +
+        // fire) order stands in: a load observing an overlapping older
+        // store that fires *after* it would have read the bank too early,
+        // and trains its wait bit exactly as the timed path would.
+        let stores: Vec<(u8, u64, u8, usize)> = trace
+            .fired
+            .iter()
+            .enumerate()
+            .filter_map(|(at, ti)| {
+                let mem = ti.mem.filter(|m| m.is_store)?;
+                let lsid = block.insts[ti.idx as usize].lsid.unwrap_or(0);
+                Some((lsid, mem.addr, mem.bytes, at))
+            })
+            .collect();
+        for (at, ti) in trace.fired.iter().enumerate() {
+            let Some(mem) = ti.mem else { continue };
+            let bank = ((mem.addr / self.cfg.line as u64) % TripsConfig::L1D_BANKS as u64) as usize;
+            // Mirror the timed path's fill policy exactly: loads allocate
+            // into L2 on an L1 miss, stores do not.
+            if !self.l1d[bank].access(mem.addr) && !mem.is_store {
+                self.l2.access(mem.addr);
+            }
+            if !mem.is_store && !self.lwt.should_wait(bidx, ti.idx) {
+                if let Some(l) = block.insts[ti.idx as usize].lsid {
+                    let would_violate = stores.iter().any(|&(l2, a2, b2, at2)| {
+                        l2 < l
+                            && at2 > at
+                            && a2 < mem.addr + mem.bytes as u64
+                            && mem.addr < a2 + b2 as u64
+                    });
+                    if would_violate {
+                        self.lwt.record_violation(bidx, ti.idx);
+                    }
+                }
+            }
+        }
+
+        // Dispatch bookkeeping for the next block's stream latency, and the
+        // transition the next block scores the predictor with.
+        self.prev_chunk = block.chunk_capacity();
+        let exit = block.exits[trace.exit as usize];
+        let (kind, cont) = match exit {
+            ExitTarget::Block(_) => (ExitKind::Jump, None),
+            ExitTarget::Call { cont, .. } => (ExitKind::Call, Some(cont)),
+            ExitTarget::Ret => (ExitKind::Ret, None),
+        };
+        self.pending = Some((bidx, trace.exit, kind, cont, 0));
+    }
+
+    fn time_block(&mut self, bidx: u32, trace: &BlockTrace) {
         let block = &self.cp.trips.blocks[bidx as usize];
         let placement = &self.cp.placements[bidx as usize];
 
@@ -402,6 +560,11 @@ impl<'a> Timing<'a> {
         self.stats.predictor = self.predictor.stats;
         self.stats.opn = std::mem::take(&mut self.opn.stats);
         self.stats.bank_conflict_cycles = self.dt_banks.conflict_cycles;
+        // Full-run defaults; a sampling replay overrides total_units and
+        // est_cycles after folding in the stream length.
+        self.stats.detailed_units = self.stats.blocks;
+        self.stats.total_units = self.stats.blocks;
+        self.stats.est_cycles = self.stats.cycles;
         self.stats
     }
 }
@@ -510,6 +673,70 @@ mod tests {
                 "replay must be bit-identical to direct simulation"
             );
         }
+    }
+
+    #[test]
+    fn covering_sample_plan_is_bit_identical_to_full_replay() {
+        let p = sum_program(2000);
+        let compiled = compile(&p, &CompileOptions::o1()).unwrap();
+        let log = TraceLog::capture(
+            &compiled.trips,
+            &compiled.opt_ir,
+            1 << 20,
+            u64::MAX,
+            Default::default(),
+        )
+        .unwrap();
+        let cfg = TripsConfig::prototype();
+        let full = replay_trace(&compiled, &cfg, &log).unwrap();
+        let plan = trips_sample::SamplePlan::new(0, 7, 7).unwrap();
+        let covered = replay_trace_mode(&compiled, &cfg, &log, &ReplayMode::Sampled(plan)).unwrap();
+        assert_eq!(covered.stats, full.stats, "sample-everything must be Full");
+        assert!(!covered.stats.sampled);
+        assert_eq!(full.stats.est_cycles, full.stats.cycles);
+        assert_eq!(full.stats.detailed_units, full.stats.blocks);
+    }
+
+    #[test]
+    fn sampled_replay_times_a_fraction_and_extrapolates() {
+        let p = sum_program(6000);
+        let compiled = compile(&p, &CompileOptions::o1()).unwrap();
+        let log = TraceLog::capture(
+            &compiled.trips,
+            &compiled.opt_ir,
+            1 << 20,
+            u64::MAX,
+            Default::default(),
+        )
+        .unwrap();
+        let cfg = TripsConfig::prototype();
+        let full = replay_trace(&compiled, &cfg, &log).unwrap();
+        let plan = trips_sample::SamplePlan::new(8, 8, 32).unwrap();
+        let s = replay_trace_mode(&compiled, &cfg, &log, &ReplayMode::Sampled(plan))
+            .unwrap()
+            .stats;
+        assert!(s.sampled);
+        assert_eq!(s.total_units, log.seq.len() as u64);
+        assert_eq!(s.detailed_units, s.blocks);
+        assert!(
+            s.detailed_units * 3 < s.total_units,
+            "a 1/4-detail plan must time a minority of blocks: {}/{}",
+            s.detailed_units,
+            s.total_units
+        );
+        assert!(s.cycles < full.stats.cycles);
+        // The extrapolated estimate lands near the full-replay truth on a
+        // steady-state loop.
+        let rel = (s.est_cycles as f64 - full.stats.cycles as f64).abs() / full.stats.cycles as f64;
+        assert!(
+            rel < 0.10,
+            "extrapolation off by {:.1}% (est {} vs full {})",
+            rel * 100.0,
+            s.est_cycles,
+            full.stats.cycles
+        );
+        // And the functional composition is untouched by sampling.
+        assert_eq!(s.isa, full.stats.isa);
     }
 
     #[test]

@@ -7,5 +7,6 @@ pub use trips_ir as ir;
 pub use trips_isa as isa;
 pub use trips_ooo as ooo;
 pub use trips_risc as risc;
+pub use trips_sample as sample;
 pub use trips_sim as sim;
 pub use trips_workloads as workloads;
