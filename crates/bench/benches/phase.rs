@@ -1,0 +1,79 @@
+//! Phase-classification overhead — the clustering pipeline's perf
+//! trajectory, tracked alongside the sampled-replay throughput bench.
+//! Phase plans amortize (one fit serves every configuration, persisted in
+//! the trace store), but the fit must stay cheap relative to the replays
+//! it accelerates: these benches time BBV extraction over the largest
+//! bundled streams, random projection, a k-means fit, and the end-to-end
+//! `trips_fit`/`risc_fit` paths the session tiers call.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trips_bench::MEM;
+use trips_compiler::{compile, CompileOptions};
+use trips_isa::{TraceLog, TraceMeta};
+use trips_phase::{fit_plan, kmeans, project, PhaseK, PhaseSpec, Rng};
+use trips_workloads::Scale;
+
+const SIM_BUDGET: u64 = 1_000_000;
+const RISC_BUDGET: u64 = 400_000_000;
+
+fn bench_trips_extraction_and_fit(c: &mut Criterion) {
+    // The largest bundled block stream (~65k dynamic blocks at Ref).
+    let w = trips_workloads::by_name("bzip2").unwrap();
+    let compiled = compile(&(w.build)(Scale::Ref), &CompileOptions::o2()).unwrap();
+    let log = TraceLog::capture(
+        &compiled.trips,
+        &compiled.opt_ir,
+        MEM,
+        SIM_BUDGET,
+        TraceMeta::default(),
+    )
+    .unwrap();
+    let spec = PhaseSpec::trips(PhaseK::Auto);
+    c.bench_function("phase/trips_bbv_extract/bzip2", |b| {
+        b.iter(|| log.interval_features(spec.interval).len())
+    });
+    let features = log.interval_features(spec.interval);
+    let total = log.seq.len() as u64;
+    c.bench_function("phase/project/bzip2", |b| {
+        b.iter(|| project(&features, 42).len())
+    });
+    let points = project(&features, 42);
+    c.bench_function("phase/kmeans_k8/bzip2", |b| {
+        b.iter(|| kmeans(&points, 8, &mut Rng::new(42)).sse)
+    });
+    // End to end: extraction + projection + BIC k-sweep + plan emission.
+    c.bench_function("phase/fit_auto/bzip2", |b| {
+        b.iter(|| fit_plan(&features, total, &spec, 42).windows.len())
+    });
+}
+
+fn bench_risc_extraction_and_fit(c: &mut Criterion) {
+    let w = trips_workloads::by_name("bzip2").unwrap();
+    let mut ir = (w.build)(Scale::Ref);
+    trips_compiler::opt::optimize(&mut ir, &CompileOptions::gcc_ref());
+    let rp = trips_risc::compile_program(&ir).unwrap();
+    let stream = trips_risc::RiscTrace::capture(
+        &rp,
+        &ir,
+        MEM,
+        RISC_BUDGET,
+        trips_risc::RiscTraceMeta::default(),
+    )
+    .unwrap();
+    let spec = PhaseSpec::ooo(PhaseK::Auto);
+    c.bench_function("phase/risc_bbv_extract/bzip2", |b| {
+        b.iter(|| stream.interval_features(&rp, spec.interval).unwrap().len())
+    });
+    let features = stream.interval_features(&rp, spec.interval).unwrap();
+    let total = stream.header.dynamic_insts;
+    c.bench_function("phase/fit_auto_risc/bzip2", |b| {
+        b.iter(|| fit_plan(&features, total, &spec, 7).windows.len())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_trips_extraction_and_fit,
+    bench_risc_extraction_and_fit
+);
+criterion_main!(benches);

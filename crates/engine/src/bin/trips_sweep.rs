@@ -49,6 +49,14 @@ options:
                        detail (the rest are skipped); cycles are
                        extrapolated and rows carry sampled/detailed_frac/
                        est_cycles. d=p reproduces full replay bit-exactly.
+  --phase k|auto       phase-classified sampling for the timing backends
+                       (mutually exclusive with --sample): each workload's
+                       stream is cut into intervals, clustered by BBV
+                       similarity (k clusters, or a BIC-chosen k with
+                       `auto`), and one representative window per cluster
+                       is timed and weighted by population; rows carry
+                       phase_k. Fitted plans are memoized (and persisted
+                       under --trace-dir), so N points cluster once.
   --list-workloads     print every registry workload name, one per line,
                        and exit
   --threads N          worker threads (default: one per core)
@@ -172,6 +180,13 @@ fn main() -> ExitCode {
                 },
                 Err(e) => return fail(&e),
             },
+            "--phase" => match value("--phase") {
+                Ok(v) => match trips_engine::PhaseK::parse(&v) {
+                    Ok(k) => spec.phase = Some(k),
+                    Err(e) => return fail(&format!("--phase: {e}")),
+                },
+                Err(e) => return fail(&e),
+            },
             "--threads" => match value("--threads").map(|v| v.parse::<usize>()) {
                 Ok(Ok(n)) => spec.threads = n,
                 _ => return fail("--threads needs a number"),
@@ -249,6 +264,18 @@ fn main() -> ExitCode {
         Some(dir) => match trips_engine::TraceStore::open(dir) {
             Ok(store) => {
                 if trace_gc {
+                    // Per-container-kind census first (one line per
+                    // payload kind, not one aggregate, so a shared
+                    // directory's composition is visible at a glance),
+                    // then the prune — the stale count is what the prune
+                    // is about to reclaim.
+                    match store.stats() {
+                        Ok(s) => eprintln!(
+                            "trips-sweep: trace-gc: {} containers ({} bytes): {} TRIPS traces, {} RISC traces, {} BBV plans, {} stale",
+                            s.containers, s.bytes, s.block_traces, s.risc_traces, s.bbv_plans, s.stale
+                        ),
+                        Err(e) => return fail(&format!("scanning trace store `{dir}`: {e}")),
+                    }
                     match store.prune_stale() {
                         Ok(r) => eprintln!(
                             "trips-sweep: trace-gc: scanned {} containers, pruned {} stale ({} bytes reclaimed), kept {}",
@@ -305,6 +332,12 @@ fn main() -> ExitCode {
         eprintln!(
             "trips-sweep: sampling: plan {plan} ({:.1}% detail) on the timing backends; full replay results never alias",
             plan.planned_detail_frac() * 100.0,
+        );
+    }
+    if let Some(k) = &spec.phase {
+        eprintln!(
+            "trips-sweep: phase: k={k} on the timing backends; {} fits performed, {} served from memory, {} from disk",
+            c.phase_fits, c.phase_hits, c.phase_disk_hits,
         );
     }
     if trace_dir.is_some() {

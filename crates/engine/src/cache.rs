@@ -13,11 +13,17 @@
 //!   out-of-order timing configuration
 //!   ([`Session::ooo_replayed`]);
 //! * replayed timing results on both backends: the trace key plus a
-//!   configuration signature **and the sampling plan**
-//!   ([`trips_sample::SamplePlan`]), so a full and a sampled measurement of
-//!   the same point are distinct artifacts and can never alias (a plan
-//!   that times everything is normalized to the full key, because its
-//!   result is bit-identical by construction).
+//!   configuration signature **and the normalized replay mode** (full,
+//!   [`trips_sample::SamplePlan`], or fitted
+//!   [`trips_sample::PhasePlan`]), so full, sampled and phased
+//!   measurements of the same point are distinct artifacts and can never
+//!   alias (a plan that times everything is normalized to the full key,
+//!   because its result is bit-identical by construction);
+//! * fitted phase plans ([`Session::trips_phase_plan`] /
+//!   [`Session::ooo_phase_plan`]): the stream key plus the
+//!   [`trips_phase::PhaseSpec`], so BBV extraction and k-means run once
+//!   per process (and, with a store, once per *store* — artifacts persist
+//!   as a third container kind keyed off the parent trace).
 //!
 //! Entries hold an `Arc<OnceLock<...>>`, so the map's mutex is held only for
 //! the key lookup; the (expensive) compile or functional capture runs
@@ -46,9 +52,10 @@ use trips_compiler::{CompileOptions, CompiledProgram};
 use trips_isa::{TraceId, TraceLog, TraceMeta};
 use trips_workloads::{Scale, Workload};
 
-use crate::store::{LoadOutcome, RiscTraceId, TraceStore};
+use crate::store::{BbvId, LoadOutcome, RiscTraceId, TraceStore};
+use trips_phase::{PhaseArtifact, PhaseSpec};
 use trips_risc::{RiscTrace, RiscTraceMeta};
-use trips_sample::{ReplayMode, SamplePlan};
+use trips_sample::{PhasePlan, ReplayMode, SamplePlan};
 
 /// Engine failures (compile and functional-execution errors are carried as
 /// rendered strings so they can live in the cache).
@@ -159,15 +166,46 @@ struct TraceKey {
     budget: u64,
 }
 
+/// The normalized replay-mode component of a [`ReplayKey`]: covering
+/// plans of either kind collapse to `Full` before keying, so bit-identical
+/// results share one entry and genuinely different modes never alias.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum ModeKey {
+    Full,
+    Sampled(SamplePlan),
+    Phased(PhasePlan),
+}
+
+impl ModeKey {
+    fn of(mode: &ReplayMode) -> ModeKey {
+        if let Some(p) = mode.plan() {
+            ModeKey::Sampled(*p)
+        } else if let Some(p) = mode.phase() {
+            ModeKey::Phased(p.clone())
+        } else {
+            ModeKey::Full
+        }
+    }
+}
+
 /// Key of one memoized timing replay: the trace identity, the timing
-/// configuration, and the sampling plan (`None` = full replay; covering
-/// plans are normalized to `None` before keying, so equal results share
-/// one entry and full/sampled results never alias).
+/// configuration, and the normalized replay mode (full, systematic plan,
+/// or fitted phase plan).
 #[derive(Clone, PartialEq, Eq, Hash)]
 struct ReplayKey {
     trace: TraceKey,
     cfg: u64,
-    sample: Option<SamplePlan>,
+    mode: ModeKey,
+}
+
+/// Key of one memoized phase fit: the stream identity plus the fit
+/// parameters (`risc` separates the two stream kinds, which share the
+/// in-memory map).
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct PhaseKey {
+    trace: TraceKey,
+    risc: bool,
+    spec: PhaseSpec,
 }
 
 type Slot<T> = Arc<OnceLock<Result<Arc<T>, EngineError>>>;
@@ -219,6 +257,22 @@ pub struct CacheStats {
     pub risc_disk_rejects: u64,
     /// Fresh RISC captures persisted to the store.
     pub risc_store_writes: u64,
+    /// Phase-plan requests served from the memoized-fit tier.
+    pub phase_hits: u64,
+    /// Phase-plan requests that missed in memory.
+    pub phase_misses: u64,
+    /// Clusterings actually performed (a miss the disk tier could not
+    /// serve either): the number the warm-store gate asserts is zero.
+    pub phase_fits: u64,
+    /// Fitted plans served from the on-disk store.
+    pub phase_disk_hits: u64,
+    /// BBV store lookups that found no file.
+    pub phase_disk_misses: u64,
+    /// BBV store files rejected (corrupt or fitted to a different stream)
+    /// and re-clustered.
+    pub phase_disk_rejects: u64,
+    /// Fresh fits persisted to the store.
+    pub phase_store_writes: u64,
     /// TRIPS timing replays served from the memoized-result tier.
     pub replay_hits: u64,
     /// TRIPS timing replays actually performed.
@@ -239,6 +293,7 @@ pub struct Session {
     rtraces: Mutex<HashMap<TraceKey, Slot<RiscTrace>>>,
     replays: Mutex<HashMap<ReplayKey, Slot<trips_sim::SimResult>>>,
     ooo_replays: Mutex<HashMap<ReplayKey, Slot<trips_ooo::OooResult>>>,
+    phases: Mutex<HashMap<PhaseKey, Slot<PhasePlan>>>,
     compile_hits: AtomicU64,
     compile_misses: AtomicU64,
     trace_hits: AtomicU64,
@@ -263,6 +318,13 @@ pub struct Session {
     replay_misses: AtomicU64,
     ooo_replay_hits: AtomicU64,
     ooo_replay_misses: AtomicU64,
+    phase_hits: AtomicU64,
+    phase_misses: AtomicU64,
+    phase_fits: AtomicU64,
+    phase_disk_hits: AtomicU64,
+    phase_disk_misses: AtomicU64,
+    phase_disk_rejects: AtomicU64,
+    phase_store_writes: AtomicU64,
     store: OnceLock<TraceStore>,
 }
 
@@ -601,6 +663,167 @@ impl Session {
         .clone()
     }
 
+    /// The fitted phase plan for a workload's TRIPS block-trace stream
+    /// (memoized, store-backed): BBV extraction + clustering run **once
+    /// per store** — an in-memory miss consults the disk tier (a
+    /// verified, stream-validated [`PhaseArtifact`] stands in for a
+    /// fresh fit), and fresh fits are written back. The fit is seeded
+    /// from the trace's stable key, so every process derives the
+    /// byte-identical plan and N sweep points across N processes cluster
+    /// once.
+    ///
+    /// # Errors
+    /// Any cached artifact failure ([`EngineError::Compile`] /
+    /// [`EngineError::Capture`], both cached).
+    pub fn trips_phase_plan(
+        &self,
+        w: &Workload,
+        scale: Scale,
+        opts: &CompileOptions,
+        hand: bool,
+        mem: usize,
+        budget: u64,
+        spec: &PhaseSpec,
+    ) -> Result<Arc<PhasePlan>, EngineError> {
+        let key = PhaseKey {
+            trace: TraceKey {
+                compile: CompileKey {
+                    workload: w.name.to_string(),
+                    scale: scale_label(scale),
+                    opts: opts_sig(opts),
+                    hand,
+                },
+                mem,
+                budget,
+            },
+            risc: false,
+            spec: *spec,
+        };
+        let slot = Self::slot(&self.phases, &key, &self.phase_hits, &self.phase_misses);
+        slot.get_or_init(|| {
+            let compiled = self.compiled(w, scale, opts, hand)?;
+            let log = self.trace(w, scale, opts, hand, mem, budget)?;
+            let seed = TraceId {
+                workload: w.name.to_string(),
+                scale: scale_label(scale).to_string(),
+                opts_sig: opts_sig(opts),
+                hand,
+                code_sig: code_sig(&compiled),
+                mem_size: mem as u64,
+                max_blocks: budget,
+            }
+            .stable_hash();
+            let total = log.seq.len() as u64;
+            self.fit_phase(seed, total, spec, || {
+                Ok(trips_phase::trips_fit(&log, spec, seed))
+            })
+        })
+        .clone()
+    }
+
+    /// The RISC-side counterpart of [`Session::trips_phase_plan`]: the
+    /// fitted phase plan over a workload's recorded RISC event stream,
+    /// shared by every out-of-order platform that replays it.
+    ///
+    /// # Errors
+    /// Any cached artifact failure, or [`EngineError::Capture`] when the
+    /// stream walk fails.
+    pub fn ooo_phase_plan(
+        &self,
+        w: &Workload,
+        scale: Scale,
+        opts: &CompileOptions,
+        mem: usize,
+        budget: u64,
+        spec: &PhaseSpec,
+    ) -> Result<Arc<PhasePlan>, EngineError> {
+        let key = PhaseKey {
+            trace: TraceKey {
+                compile: CompileKey {
+                    workload: w.name.to_string(),
+                    scale: scale_label(scale),
+                    opts: opts_sig(opts),
+                    hand: false,
+                },
+                mem,
+                budget,
+            },
+            risc: true,
+            spec: *spec,
+        };
+        let slot = Self::slot(&self.phases, &key, &self.phase_hits, &self.phase_misses);
+        slot.get_or_init(|| {
+            let art = self.risc_program(w, scale, opts)?;
+            let trace = self.risc_trace(w, scale, opts, mem, budget)?;
+            let seed = RiscTraceId {
+                workload: w.name.to_string(),
+                scale: scale_label(scale).to_string(),
+                opts_sig: opts_sig(opts),
+                code_sig: risc_code_sig(&art),
+                mem_size: mem as u64,
+                max_steps: budget,
+            }
+            .stable_hash();
+            let total = trace.header.dynamic_insts;
+            self.fit_phase(seed, total, spec, || {
+                trips_phase::risc_fit(&trace, &art.program, spec, seed)
+                    .map_err(|e| EngineError::Capture(format!("{} (phase): {e}", w.name)))
+            })
+        })
+        .clone()
+    }
+
+    /// The disk-tier choreography both phase tiers share: consult the
+    /// store under the parent key, validate a hit against the spec and
+    /// stream extent (rejecting and re-fitting stale artifacts), and
+    /// persist fresh fits.
+    fn fit_phase(
+        &self,
+        parent_key: u64,
+        total_units: u64,
+        spec: &PhaseSpec,
+        fit: impl FnOnce() -> Result<PhaseArtifact, EngineError>,
+    ) -> Result<Arc<PhasePlan>, EngineError> {
+        let id = BbvId {
+            parent_key,
+            interval: spec.interval,
+            warmup: spec.warmup,
+            k_code: spec.k_code(),
+            floor: spec.floor,
+            rep_span: spec.rep_span,
+            boundary: spec.boundary,
+            tail: spec.tail,
+        };
+        if let Some(store) = self.store.get() {
+            match store.load_bbv(&id) {
+                LoadOutcome::Hit(art) => {
+                    if art.validate(spec, total_units).is_ok() {
+                        self.phase_disk_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Arc::new(art.plan));
+                    }
+                    // Container-valid but fitted to a different stream
+                    // (e.g. a stale build's capture): re-cluster over it.
+                    self.phase_disk_rejects.fetch_add(1, Ordering::Relaxed);
+                    store.remove_bbv(&id);
+                }
+                LoadOutcome::Miss => {
+                    self.phase_disk_misses.fetch_add(1, Ordering::Relaxed);
+                }
+                LoadOutcome::Reject(_) => {
+                    self.phase_disk_rejects.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.phase_fits.fetch_add(1, Ordering::Relaxed);
+        let art = fit()?;
+        if let Some(store) = self.store.get() {
+            if store.save_bbv(&id, &art).is_ok() {
+                self.phase_store_writes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(Arc::new(art.plan))
+    }
+
     /// Times one out-of-order configuration by replaying the (memoized)
     /// recorded RISC stream: the reference-platform hot path — one
     /// functional execution, N of these. Full mode is bit-identical to
@@ -633,7 +856,7 @@ impl Session {
                 budget,
             },
             cfg: ooo_cfg_sig(cfg),
-            sample: mode.plan().copied(),
+            mode: ModeKey::of(mode),
         };
         let slot = Self::slot(
             &self.ooo_replays,
@@ -681,7 +904,7 @@ impl Session {
                 budget,
             },
             cfg: trips_cfg_sig(cfg),
-            sample: mode.plan().copied(),
+            mode: ModeKey::of(mode),
         };
         let slot = Self::slot(&self.replays, &key, &self.replay_hits, &self.replay_misses);
         slot.get_or_init(|| {
@@ -717,6 +940,13 @@ impl Session {
             risc_disk_misses: self.risc_disk_misses.load(Ordering::Relaxed),
             risc_disk_rejects: self.risc_disk_rejects.load(Ordering::Relaxed),
             risc_store_writes: self.risc_store_writes.load(Ordering::Relaxed),
+            phase_hits: self.phase_hits.load(Ordering::Relaxed),
+            phase_misses: self.phase_misses.load(Ordering::Relaxed),
+            phase_fits: self.phase_fits.load(Ordering::Relaxed),
+            phase_disk_hits: self.phase_disk_hits.load(Ordering::Relaxed),
+            phase_disk_misses: self.phase_disk_misses.load(Ordering::Relaxed),
+            phase_disk_rejects: self.phase_disk_rejects.load(Ordering::Relaxed),
+            phase_store_writes: self.phase_store_writes.load(Ordering::Relaxed),
             replay_hits: self.replay_hits.load(Ordering::Relaxed),
             replay_misses: self.replay_misses.load(Ordering::Relaxed),
             ooo_replay_hits: self.ooo_replay_hits.load(Ordering::Relaxed),
@@ -836,6 +1066,62 @@ mod tests {
         assert!(Arc::ptr_eq(&full, &cov));
         let st = s.cache_stats();
         assert_eq!((st.replay_misses, st.replay_hits), (2, 2), "{st:?}");
+    }
+
+    #[test]
+    fn phase_plans_memoize_and_drive_phased_replay() {
+        let s = Session::new();
+        let w = by_name("vadd").unwrap();
+        // Interval 8 over vadd's ~170-block test stream: ~19 interior
+        // intervals, more than the auto sweep's k cap, so the fitted plan
+        // can never cover everything.
+        let spec = PhaseSpec {
+            interval: 8,
+            warmup: 4,
+            k: trips_phase::PhaseK::Auto,
+            floor: 0,
+            rep_span: 4,
+            boundary: 1,
+            tail: 1,
+        };
+        let args = (Scale::Test, CompileOptions::o1(), false, 1usize << 22);
+        let plan = s
+            .trips_phase_plan(&w, args.0, &args.1, args.2, args.3, 1_000_000, &spec)
+            .unwrap();
+        let again = s
+            .trips_phase_plan(&w, args.0, &args.1, args.2, args.3, 1_000_000, &spec)
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&plan, &again),
+            "second fit must come from cache"
+        );
+        plan.validate().unwrap();
+        let log = s
+            .trace(&w, args.0, &args.1, args.2, args.3, 1_000_000)
+            .unwrap();
+        assert_eq!(plan.total_units, log.seq.len() as u64);
+        assert!(!plan.covers_everything(), "stream long enough to classify");
+
+        // Phased replay is a distinct memoized artifact from full replay.
+        let cfg = trips_sim::TripsConfig::prototype();
+        let run = |mode: &ReplayMode| {
+            s.replayed(&w, args.0, &args.1, args.2, &cfg, args.3, 1_000_000, mode)
+                .unwrap()
+        };
+        let full = run(&ReplayMode::Full);
+        let phased = run(&ReplayMode::Phased((*plan).clone()));
+        assert!(
+            !Arc::ptr_eq(&full, &phased),
+            "full and phased must not alias"
+        );
+        assert!(phased.stats.sampled && !full.stats.sampled);
+        assert!(phased.stats.detailed_units < phased.stats.total_units);
+        let hit = run(&ReplayMode::Phased((*plan).clone()));
+        assert!(Arc::ptr_eq(&phased, &hit), "same plan must memoize");
+
+        let st = s.cache_stats();
+        assert_eq!((st.phase_misses, st.phase_hits, st.phase_fits), (1, 1, 1));
+        assert_eq!((st.replay_misses, st.replay_hits), (2, 1), "{st:?}");
     }
 
     #[test]

@@ -55,10 +55,19 @@ pub mod sweep;
 /// a whole-run estimate.
 pub use trips_sample as sample;
 
+/// Phase classification (re-exported from `trips-phase`): BBV projection,
+/// deterministic k-means with a BIC k-sweep, and [`phase::PhaseSpec`] /
+/// [`phase::PhaseK`] fit parameters. The session memoizes fitted
+/// [`sample::PhasePlan`]s per stream and persists them in the
+/// [`TraceStore`] as a third container kind, so N sweep points across N
+/// processes cluster once.
+pub use trips_phase as phase;
+
 pub use cache::{CacheStats, EngineError, IsaOutcome, RiscArtifacts, Session};
+pub use phase::{PhaseK, PhaseSpec};
 pub use pool::parallel_map;
-pub use sample::{ReplayMode, SamplePlan};
-pub use store::{LoadOutcome, PruneReport, RiscTraceId, StoreStats, TraceStore};
+pub use sample::{PhasePlan, ReplayMode, SamplePlan};
+pub use store::{BbvId, LoadOutcome, PruneReport, RiscTraceId, StoreStats, TraceStore};
 pub use sweep::{
     run_sweep, BackendSpec, ConfigVariant, RowDetail, SweepReport, SweepRow, SweepSpec,
 };

@@ -15,6 +15,12 @@
 //!   [`RiscTraceId::stable_hash`] — the same discipline over the RISC-side
 //!   identity (and `RISC_TRACE_VERSION`), under a distinct hash domain so
 //!   the two key spaces cannot collide.
+//! * **BBV/phase-plan artifacts** ([`trips_phase::PhaseArtifact`]), keyed
+//!   by [`BbvId::stable_hash`] — the parent trace's key plus the fit
+//!   parameters (interval, warmup, cluster choice) and
+//!   [`trips_phase::BBV_VERSION`], under a third hash domain. Persisting
+//!   the fitted plan is what lets N processes sweeping the same point
+//!   cluster once per store instead of once per process.
 //!
 //! Each capture is written once to `<dir>/<key>.trace`. Equal identity ⇒
 //! equal file name ⇒ any process can reuse any other process's capture,
@@ -50,6 +56,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use trips_isa::{TraceId, TraceLog};
+use trips_phase::{PhaseArtifact, BBV_VERSION};
 use trips_risc::{RiscTrace, RiscTraceHeader, RISC_TRACE_VERSION};
 
 /// `b"TRST"` — identifies a store container file.
@@ -66,6 +73,10 @@ pub const KIND_BLOCK_TRACE: u32 = 1;
 
 /// Container kind: a RISC event stream ([`RiscTrace`] payload).
 pub const KIND_RISC_TRACE: u32 = 2;
+
+/// Container kind: a BBV/phase-plan artifact
+/// ([`trips_phase::PhaseArtifact`] payload).
+pub const KIND_BBV: u32 = 3;
 
 /// Container header: magic (4) + store version (4) + kind (4) + payload
 /// version (4) + key (8) + payload hash (8) + payload length (8).
@@ -175,6 +186,53 @@ impl RiscTraceId {
     }
 }
 
+/// The complete identity of one fitted phase plan: the key of the parent
+/// recorded stream (a [`TraceId`] or [`RiscTraceId`] stable hash — their
+/// domains are disjoint, so the parent kind rides along in the key) plus
+/// every fit parameter that, if changed, would change the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BbvId {
+    /// Stable key of the trace the BBVs were extracted from.
+    pub parent_key: u64,
+    /// Classification interval (stream units).
+    pub interval: u64,
+    /// Timed-warmup units per representative window.
+    pub warmup: u64,
+    /// Cluster-count choice (0 = automatic BIC sweep; see
+    /// [`trips_phase::PhaseSpec::k_code`]).
+    pub k_code: u64,
+    /// Covering-plan floor of the fit (it decides covering-vs-clustered,
+    /// so two floors are two different plans).
+    pub floor: u64,
+    /// Representative-span cap of the fit (0 = unlimited).
+    pub rep_span: u64,
+    /// Startup-stratum width of the fit (intervals).
+    pub boundary: u64,
+    /// Teardown-stratum width of the fit (intervals).
+    pub tail: u64,
+}
+
+impl BbvId {
+    /// A stable 64-bit key under its own hash domain, folding in
+    /// [`BBV_VERSION`] so a fit-format bump retires every stored artifact
+    /// at once.
+    #[must_use]
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = trips_isa::hash::StableHasher::new();
+        h.write_str("trips.bbv");
+        h.write_u64(u64::from(BBV_VERSION));
+        h.write_u64(self.parent_key);
+        h.write_u64(self.interval);
+        h.write_u64(self.warmup);
+        h.write_u64(self.k_code);
+        h.write_u64(self.floor);
+        h.write_u64(self.rep_span);
+        h.write_u64(self.boundary);
+        h.write_u64(self.tail);
+        h.finish()
+    }
+}
+
 /// A census of one store directory (see [`TraceStore::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct StoreStats {
@@ -186,6 +244,8 @@ pub struct StoreStats {
     pub block_traces: u64,
     /// Containers holding a current-version RISC event stream.
     pub risc_traces: u64,
+    /// Containers holding a current-version BBV/phase-plan artifact.
+    pub bbv_plans: u64,
     /// Containers no current build will load: unreadable headers, old
     /// container layouts, unknown kinds, retired payload versions.
     pub stale: u64,
@@ -209,6 +269,7 @@ pub struct PruneReport {
 enum ContainerClass {
     CurrentBlock,
     CurrentRisc,
+    CurrentBbv,
     Stale,
 }
 
@@ -272,6 +333,12 @@ impl TraceStore {
         self.path_for_key(id.stable_hash())
     }
 
+    /// The file path a BBV/phase-plan identity is stored under.
+    #[must_use]
+    pub fn path_for_bbv(&self, id: &BbvId) -> PathBuf {
+        self.path_for_key(id.stable_hash())
+    }
+
     /// Looks up a TRIPS block trace, verifying the container (magic,
     /// versions, kind, key, payload hash) and the log's provenance header.
     /// Rejected files are deleted so the next writer replaces them.
@@ -288,6 +355,17 @@ impl TraceStore {
                 Ok(log)
             },
         )
+    }
+
+    /// Looks up a BBV/phase-plan artifact; same verification discipline
+    /// as [`TraceStore::load`] (the caller still validates the artifact
+    /// against the spec and stream it is about to serve).
+    pub fn load_bbv(&self, id: &BbvId) -> LoadOutcome<PhaseArtifact> {
+        self.load_kind(id.stable_hash(), KIND_BBV, BBV_VERSION, |payload| {
+            let art: PhaseArtifact =
+                serde::bin::from_bytes(payload).map_err(|e| format!("payload decode: {e}"))?;
+            Ok(art)
+        })
     }
 
     /// Looks up a RISC event stream; same verification discipline as
@@ -409,6 +487,27 @@ impl TraceStore {
         let _ = fs::remove_file(self.path_for_risc(id));
     }
 
+    /// Persists a BBV/phase-plan artifact under `id`; same discipline as
+    /// [`TraceStore::save`].
+    ///
+    /// # Errors
+    /// Any I/O error.
+    pub fn save_bbv(&self, id: &BbvId, art: &PhaseArtifact) -> io::Result<()> {
+        self.save_kind(
+            id.stable_hash(),
+            KIND_BBV,
+            BBV_VERSION,
+            &serde::bin::to_bytes(art),
+        )
+    }
+
+    /// Removes the file under a BBV/phase-plan identity (used when a
+    /// container-valid artifact fails validation against the stream it is
+    /// meant to describe).
+    pub fn remove_bbv(&self, id: &BbvId) {
+        let _ = fs::remove_file(self.path_for_key(id.stable_hash()));
+    }
+
     fn reject<T>(&self, path: &Path, why: String) -> LoadOutcome<T> {
         let _ = fs::remove_file(path);
         LoadOutcome::Reject(why)
@@ -495,6 +594,7 @@ impl TraceStore {
                 ContainerClass::CurrentBlock
             }
             (KIND_RISC_TRACE, v) if v == RISC_TRACE_VERSION => ContainerClass::CurrentRisc,
+            (KIND_BBV, v) if v == BBV_VERSION => ContainerClass::CurrentBbv,
             _ => ContainerClass::Stale,
         }
     }
@@ -544,6 +644,7 @@ impl TraceStore {
             match class {
                 ContainerClass::CurrentBlock => s.block_traces += 1,
                 ContainerClass::CurrentRisc => s.risc_traces += 1,
+                ContainerClass::CurrentBbv => s.bbv_plans += 1,
                 ContainerClass::Stale => s.stale += 1,
             }
         }
@@ -564,7 +665,9 @@ impl TraceStore {
         for (path, len, class) in self.containers()? {
             report.scanned += 1;
             match class {
-                ContainerClass::CurrentBlock | ContainerClass::CurrentRisc => report.kept += 1,
+                ContainerClass::CurrentBlock
+                | ContainerClass::CurrentRisc
+                | ContainerClass::CurrentBbv => report.kept += 1,
                 ContainerClass::Stale => {
                     if fs::remove_file(&path).is_ok() {
                         report.removed += 1;

@@ -12,6 +12,7 @@ use serde::{Serialize, Serializer, Value};
 use std::sync::Arc;
 use std::time::Instant;
 use trips_compiler::{CompileOptions, CompiledProgram};
+use trips_phase::{PhaseK, PhaseSpec};
 use trips_sample::{ReplayMode, SamplePlan};
 use trips_sim::TripsConfig;
 use trips_workloads::{by_name, Scale, Workload};
@@ -195,6 +196,13 @@ pub struct SweepSpec {
     /// backends (`isa`, `risc`) and the analytic `ideal` study have no
     /// cycle loop to sample and always run in full.
     pub sample: Option<SamplePlan>,
+    /// Phase-classified sampling for the timing backends (`None` = off;
+    /// mutually exclusive with [`SweepSpec::sample`]). Each timing point
+    /// fetches the fitted [`trips_sample::PhasePlan`] for its workload's
+    /// stream from the session (clustered once, store-backed) under the
+    /// per-backend default [`PhaseSpec`]s; streams below the floor replay
+    /// in full.
+    pub phase: Option<PhaseK>,
     /// Worker threads (0 = one per core).
     pub threads: usize,
 }
@@ -212,6 +220,7 @@ impl Default for SweepSpec {
             sim_budget: 1_000_000,
             risc_budget: 400_000_000,
             sample: None,
+            phase: None,
             threads: 0,
         }
     }
@@ -276,6 +285,10 @@ pub struct SweepRow {
     /// Whole-run cycle estimate (extrapolated when sampled; equals
     /// `cycles` otherwise).
     pub est_cycles: u64,
+    /// Behavior clusters of the phase plan this point measured under (0
+    /// for full replay, systematic sampling, and streams below the phase
+    /// floor).
+    pub phase_k: u32,
     /// Wall-clock milliseconds this point took (includes any cache misses
     /// it had to fill).
     pub wall_ms: f64,
@@ -310,6 +323,7 @@ impl Serialize for SweepRow {
                 serde::to_value(&self.detailed_frac),
             ),
             (Value::str("est_cycles"), serde::to_value(&self.est_cycles)),
+            (Value::str("phase_k"), serde::to_value(&self.phase_k)),
             (Value::str("wall_ms"), serde::to_value(&self.wall_ms)),
         ];
         serializer.serialize_value(Value::Map(m))
@@ -354,6 +368,11 @@ fn expand(spec: &SweepSpec) -> Result<Vec<Point>, EngineError> {
     }
     if spec.backends.is_empty() {
         return Err(EngineError::Spec("no backends".into()));
+    }
+    if spec.sample.is_some() && spec.phase.is_some() {
+        return Err(EngineError::Spec(
+            "--sample and --phase are mutually exclusive sampling strategies".into(),
+        ));
     }
     let mut points = Vec::new();
     for name in &spec.workloads {
@@ -405,12 +424,33 @@ fn measure(p: &Point, spec: &SweepSpec, session: &Session) -> Result<SweepRow, E
         sampled: false,
         detailed_frac: 1.0,
         est_cycles: 0,
+        phase_k: 0,
         wall_ms: 0.0,
         detail: RowDetail::None,
     };
     match &p.backend {
         BackendSpec::Trips => {
             let cfg = &p.config.as_ref().expect("trips point carries a config").cfg;
+            // Phase-classified points fetch the fitted plan for this
+            // workload's stream from the session (clustered once per
+            // process, once per store); short streams come back covering
+            // and normalize to full replay.
+            let mode = match spec.phase {
+                Some(k) => {
+                    let plan = session.trips_phase_plan(
+                        &p.workload,
+                        spec.scale,
+                        &spec.opts,
+                        spec.hand,
+                        spec.mem,
+                        spec.sim_budget,
+                        &PhaseSpec::trips(k),
+                    )?;
+                    row.phase_k = if plan.covers_everything() { 0 } else { plan.k };
+                    ReplayMode::Phased((*plan).clone())
+                }
+                None => mode,
+            };
             let r = session.replayed(
                 &p.workload,
                 spec.scale,
@@ -471,6 +511,21 @@ fn measure(p: &Point, spec: &SweepSpec, session: &Session) -> Result<SweepRow, E
                 "core2" => trips_ooo::core2(),
                 "p4" => trips_ooo::pentium4(),
                 _ => trips_ooo::pentium3(),
+            };
+            let mode = match spec.phase {
+                Some(k) => {
+                    let plan = session.ooo_phase_plan(
+                        &p.workload,
+                        spec.scale,
+                        &CompileOptions::gcc_ref(),
+                        spec.mem,
+                        spec.risc_budget,
+                        &PhaseSpec::ooo(k),
+                    )?;
+                    row.phase_k = if plan.covers_everything() { 0 } else { plan.k };
+                    ReplayMode::Phased((*plan).clone())
+                }
+                None => mode,
             };
             let out = session.ooo_replayed(
                 &p.workload,
@@ -549,11 +604,11 @@ pub fn run_sweep(spec: &SweepSpec, session: &Session) -> Result<SweepReport, Eng
 /// Renders rows as CSV (header + one line per row).
 pub fn to_csv(rows: &[SweepRow]) -> String {
     let mut out = String::from(
-        "workload,backend,config,cycles,ipc,blocks,mispredict_flushes,load_flushes,l1d_misses,avg_window,sampled,detailed_frac,est_cycles,wall_ms\n",
+        "workload,backend,config,cycles,ipc,blocks,mispredict_flushes,load_flushes,l1d_misses,avg_window,sampled,detailed_frac,est_cycles,phase_k,wall_ms\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{},{},{},{},{:.4},{},{},{},{},{:.2},{},{:.4},{},{:.3}\n",
+            "{},{},{},{},{:.4},{},{},{},{},{:.2},{},{:.4},{},{},{:.3}\n",
             r.workload,
             r.backend,
             r.config,
@@ -567,6 +622,7 @@ pub fn to_csv(rows: &[SweepRow]) -> String {
             r.sampled,
             r.detailed_frac,
             r.est_cycles,
+            r.phase_k,
             r.wall_ms
         ));
     }

@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use trips_compiler::CompileOptions;
 use trips_engine::cache::{code_sig, opts_sig, risc_code_sig};
-use trips_engine::{LoadOutcome, RiscTraceId, Session, TraceStore};
+use trips_engine::{BbvId, LoadOutcome, PhaseK, PhaseSpec, RiscTraceId, Session, TraceStore};
 use trips_isa::{TraceId, TraceLog, TraceMeta};
 use trips_risc::{RiscTrace, RiscTraceMeta};
 use trips_workloads::{by_name, Scale};
@@ -379,6 +379,8 @@ fn stats_census_and_prune_remove_only_stale_containers() {
     let (risc_id, trace) = captured_vadd_risc();
     store.save(&block_id, &log).unwrap();
     store.save_risc(&risc_id, &trace).unwrap();
+    let (bbv_id, art) = fitted_vadd_bbv(&block_id, &log);
+    store.save_bbv(&bbv_id, &art).unwrap();
     // Two stale files: pure garbage, and a PR-2-era container layout
     // (store version 1, 32-byte header) that no current build can load.
     std::fs::write(dir.join("feedfeedfeedfeed.trace"), b"not a container").unwrap();
@@ -394,8 +396,14 @@ fn stats_census_and_prune_remove_only_stale_containers() {
 
     let s = store.stats().unwrap();
     assert_eq!(
-        (s.containers, s.block_traces, s.risc_traces, s.stale),
-        (4, 1, 1, 2),
+        (
+            s.containers,
+            s.block_traces,
+            s.risc_traces,
+            s.bbv_plans,
+            s.stale
+        ),
+        (5, 1, 1, 1, 2),
         "{s:?}"
     );
     assert!(s.bytes > 0);
@@ -403,7 +411,7 @@ fn stats_census_and_prune_remove_only_stale_containers() {
     let report = store.prune_stale().unwrap();
     assert_eq!(
         (report.scanned, report.removed, report.kept),
-        (4, 2, 2),
+        (5, 2, 3),
         "{report:?}"
     );
     assert!(report.bytes_freed > 0);
@@ -412,8 +420,89 @@ fn stats_census_and_prune_remove_only_stale_containers() {
     // The current-version containers still load after the sweep.
     assert!(matches!(store.load(&block_id), LoadOutcome::Hit(_)));
     assert!(matches!(store.load_risc(&risc_id), LoadOutcome::Hit(_)));
+    assert!(matches!(store.load_bbv(&bbv_id), LoadOutcome::Hit(_)));
     let s = store.stats().unwrap();
-    assert_eq!((s.containers, s.stale), (2, 0));
+    assert_eq!((s.containers, s.stale), (3, 0));
+}
+
+/// A fitted phase artifact for the `vadd` capture plus its store identity.
+fn fitted_vadd_bbv(
+    block_id: &TraceId,
+    log: &TraceLog,
+) -> (BbvId, trips_engine::phase::PhaseArtifact) {
+    let spec = PhaseSpec {
+        interval: 8,
+        warmup: 2,
+        k: PhaseK::Auto,
+        floor: 0,
+        rep_span: 4,
+        boundary: 1,
+        tail: 1,
+    };
+    let seed = block_id.stable_hash();
+    let art = trips_engine::phase::trips_fit(log, &spec, seed);
+    (
+        BbvId {
+            parent_key: seed,
+            interval: spec.interval,
+            warmup: spec.warmup,
+            k_code: spec.k_code(),
+            floor: spec.floor,
+            rep_span: spec.rep_span,
+            boundary: spec.boundary,
+            tail: spec.tail,
+        },
+        art,
+    )
+}
+
+#[test]
+fn bbv_containers_round_trip_and_reject_corruption_and_kind_confusion() {
+    let dir = tmp_dir("bbv");
+    let store = TraceStore::open(&dir).unwrap();
+    let (block_id, log) = captured_vadd();
+    let (bbv_id, art) = fitted_vadd_bbv(&block_id, &log);
+    store.save_bbv(&bbv_id, &art).unwrap();
+    match store.load_bbv(&bbv_id) {
+        LoadOutcome::Hit(back) => {
+            assert_eq!(*back, art);
+            back.validate(
+                &PhaseSpec {
+                    interval: 8,
+                    warmup: 2,
+                    k: PhaseK::Auto,
+                    floor: 0,
+                    rep_span: 4,
+                    boundary: 1,
+                    tail: 1,
+                },
+                log.seq.len() as u64,
+            )
+            .unwrap();
+        }
+        other => panic!("expected a hit, got {other:?}"),
+    }
+    // A different fit parameter is a different key: miss, not a stale hit.
+    let other = BbvId {
+        rep_span: 8,
+        ..bbv_id
+    };
+    assert!(matches!(store.load_bbv(&other), LoadOutcome::Miss));
+    // A block-trace container renamed onto the BBV key must reject — kind
+    // confusion can never serve a wrong payload.
+    store.save(&block_id, &log).unwrap();
+    std::fs::copy(store.path_for(&block_id), store.path_for_bbv(&bbv_id)).unwrap();
+    assert!(matches!(store.load_bbv(&bbv_id), LoadOutcome::Reject(_)));
+    // The reject removed the impostor; a re-save restores service.
+    store.save_bbv(&bbv_id, &art).unwrap();
+    assert!(matches!(store.load_bbv(&bbv_id), LoadOutcome::Hit(_)));
+    // Bit-flips in the payload fail the content hash.
+    let path = store.path_for_bbv(&bbv_id);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let at = bytes.len() - 3;
+    bytes[at] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(store.load_bbv(&bbv_id), LoadOutcome::Reject(_)));
 }
 
 #[test]

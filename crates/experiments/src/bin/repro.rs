@@ -18,6 +18,15 @@
 //! stream instead of timing every unit; figures stay full-detail by
 //! default. The `sample_accuracy` experiment reports how close the
 //! estimates land.
+//!
+//! With `--phase k|auto` every timing measurement phase-classifies its
+//! stream instead: intervals are clustered by BBV similarity (once per
+//! stream, persisted in the trace store when one is configured) and one
+//! representative window per cluster is timed and population-weighted.
+//! Mutually exclusive with `--sample`. The `phase_accuracy` experiment
+//! compares both strategies against full replay, and writes the
+//! per-interval cluster assignments as CSV when `TRIPS_PHASE_CSV=path`
+//! is set.
 
 use std::env;
 
@@ -60,6 +69,26 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("[repro] sampling timing backends under plan {plan}");
+    }
+    if let Some(at) = args.iter().position(|a| a == "--phase") {
+        if at + 1 >= args.len() {
+            eprintln!("error: --phase needs k|auto");
+            std::process::exit(1);
+        }
+        let spec = args.remove(at + 1);
+        args.remove(at);
+        let k = match trips_engine::PhaseK::parse(&spec) {
+            Ok(k) => k,
+            Err(e) => {
+                eprintln!("error: --phase: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = trips_experiments::runner::set_phase_k(k) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[repro] phase-classifying timing backends (k={k})");
     }
     let what = args.first().map(String::as_str).unwrap_or("all");
 

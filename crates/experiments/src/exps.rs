@@ -828,6 +828,86 @@ pub fn sample_accuracy(scale: Scale) -> String {
     t.render()
 }
 
+/// Phase-classified sampling accuracy harness: full vs systematic vs
+/// phased IPC per workload on both timing backends, with the detailed-unit
+/// costs side by side. The footnotes aggregate the numbers the CI phase
+/// gate asserts on: per-workload phase error within the larger of the
+/// systematic error and 1%, at a fraction of the detailed units. With
+/// `TRIPS_PHASE_CSV=path` the per-interval cluster assignments are also
+/// written as CSV (the CI artifact).
+pub fn phase_accuracy(scale: Scale) -> String {
+    let mut ws = simple_set();
+    for name in ["bzip2", "equake"] {
+        if let Some(w) = trips_workloads::by_name(name) {
+            ws.push(w);
+        }
+    }
+    let rows = runner::phase_accuracy(&ws, scale);
+    let mut t = Table::new(
+        "Phase-classified vs systematic sampling accuracy",
+        &[
+            "backend",
+            "full IPC",
+            "sys IPC",
+            "phase IPC",
+            "sys err %",
+            "phase err %",
+            "sys units",
+            "phase units",
+            "units x",
+            "k",
+        ],
+    );
+    for r in &rows {
+        t.row(
+            r.workload.clone(),
+            vec![
+                r.backend.clone(),
+                format!("{:.4}", r.full_ipc),
+                format!("{:.4}", r.sys_ipc),
+                format!("{:.4}", r.phase_ipc),
+                format!("{:.2}", r.sys_err * 100.0),
+                format!("{:.2}", r.phase_err * 100.0),
+                r.sys_detailed.to_string(),
+                r.phase_detailed.to_string(),
+                if r.phase_detailed > 0 {
+                    format!("{:.1}", r.sys_detailed as f64 / r.phase_detailed as f64)
+                } else {
+                    "-".into()
+                },
+                r.k.to_string(),
+            ],
+        );
+    }
+    let max_phase = rows.iter().map(|r| r.phase_err).fold(0.0, f64::max);
+    let max_sys = rows.iter().map(|r| r.sys_err).fold(0.0, f64::max);
+    let sampled: Vec<&runner::PhaseAccuracy> = rows.iter().filter(|r| r.k > 0).collect();
+    t.note(format!(
+        "max phase err {:.2}% (systematic {:.2}%) over {} measurements; on the {} classified \
+         streams the phase plans time {:.1}x fewer detailed units than the systematic plans",
+        max_phase * 100.0,
+        max_sys * 100.0,
+        rows.len(),
+        sampled.len(),
+        mean(
+            sampled
+                .iter()
+                .map(|r| r.sys_detailed as f64 / r.phase_detailed.max(1) as f64)
+        ),
+    ));
+    if let Ok(path) = std::env::var("TRIPS_PHASE_CSV") {
+        if !path.is_empty() {
+            let csv = runner::phase_assignment_csv(&rows);
+            if let Err(e) = std::fs::write(&path, csv) {
+                eprintln!("[phase_accuracy] writing {path}: {e}");
+            } else {
+                eprintln!("[phase_accuracy] cluster assignments written to {path}");
+            }
+        }
+    }
+    t.render()
+}
+
 fn count_flops(c: &trips_compiler::CompiledProgram) -> u64 {
     let mut flops = 0u64;
     let _ = trips_isa::interp::run_program_traced(

@@ -34,6 +34,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "table3",
     "matmul_fpc",
     "sample_accuracy",
+    "phase_accuracy",
 ];
 
 /// Runs one experiment by name, returning its rendered report.
@@ -63,6 +64,7 @@ pub fn run_experiment(name: &str, quick: bool) -> Result<String, String> {
         "table3" => Ok(exps::table3(scale)),
         "matmul_fpc" => Ok(exps::matmul_fpc(scale)),
         "sample_accuracy" => Ok(exps::sample_accuracy(scale)),
+        "phase_accuracy" => Ok(exps::phase_accuracy(scale)),
         other => Err(format!(
             "unknown experiment {other}; known: {EXPERIMENTS:?}"
         )),

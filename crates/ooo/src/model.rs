@@ -26,7 +26,7 @@ use std::collections::HashMap;
 use trips_ir::Program;
 use trips_risc::exec::{CtrlKind, EventSource, MachineSource, RiscError};
 use trips_risc::{RCat, RProgram, RiscTrace};
-use trips_sample::{Phase, ReplayMode, Sampler};
+use trips_sample::{Phase, ReplayMode};
 
 /// Timing statistics of one run.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -322,14 +322,15 @@ pub fn time_events_mode(
     cfg: &OooConfig,
     mode: &ReplayMode,
 ) -> Result<OooResult, RiscError> {
-    let plan = mode.plan();
-    // The sampler meters measurement windows on the retirement clock and
-    // keeps the strata bookkeeping. It needs the stream extent up front
-    // (the teardown stratum is positioned from the end), which only a
-    // recorded source knows.
-    let mut sampler = match plan {
-        Some(p) => match src.len_hint() {
-            Some(total) => Some(Sampler::new(*p, total)),
+    // The schedule (systematic sampler or fitted phase plan) meters
+    // measurement windows and keeps the extrapolation bookkeeping. It
+    // needs the stream extent up front (windows are positioned from the
+    // end), which only a recorded source knows.
+    let mut sampler = if mode.is_full() {
+        None
+    } else {
+        match src.len_hint() {
+            Some(total) => mode.schedule(total).map_err(RiscError::Trace)?,
             None => {
                 return Err(RiscError::Trace(
                     "interval-sampled timing needs a recorded stream (live sources have no \
@@ -337,8 +338,7 @@ pub fn time_events_mode(
                         .into(),
                 ))
             }
-        },
-        None => None,
+        }
     };
     let mut total: u64 = 0;
     let mut stats = OooStats::default();
@@ -354,12 +354,29 @@ pub fn time_events_mode(
     let mut fetched_this_cycle: u32 = 0;
     let mut retire_ring: Vec<u64> = vec![0; cfg.rob];
     let mut last_retire: u64 = 0;
+    // The sampled paths meter windows on `acct`, a smoothed accounting
+    // clock, instead of the raw retirement clock. `last_retire` jumps by
+    // a full DRAM latency the moment a missing load is processed, even
+    // when nothing in the window ever waits on the data — in full replay
+    // that in-flight latency overlaps the execution of later (here:
+    // unmeasured) instructions, so charging it to the window that
+    // happened to be open when retirement landed is what made short OoO
+    // windows noisy (per-workload error bounded at ~±4%). `acct` instead
+    // advances to each instruction's *issue-side* completion horizon —
+    // the DRAM component of a miss only enters the clock once a
+    // dependent's operand wait, a full ROB, or an in-order fetch stall
+    // actually propagates it into some instruction's issue time — so
+    // spillover cycles stay attributed to the window that issued the miss
+    // and windows that merely inherit an in-flight tail are not charged
+    // for it. Full replay never consults `acct`, so the bit-exact path is
+    // untouched.
+    let mut acct: u64 = 0;
     let mut idx: u64 = 0;
 
     while let Some(ev) = src.next_event()? {
         let phase = sampler
             .as_mut()
-            .map_or(Phase::Detailed, |s| s.advance(last_retire));
+            .map_or(Phase::Detailed, |s| s.advance(acct));
         total += 1;
         let counting = phase == Phase::Detailed;
         if phase == Phase::Warm {
@@ -423,6 +440,9 @@ pub fn time_events_mode(
             RCat::Fp => issue_t = fp_ports.take(issue_t),
             _ => {}
         }
+        // DRAM portion of this instruction's latency (for the smoothed
+        // accounting clock: it is excluded from the issue-side horizon).
+        let mut dram_lat: u64 = 0;
         let lat = match ev.cat {
             RCat::Alu => 1,
             RCat::MulDiv => {
@@ -460,6 +480,7 @@ pub fn time_events_mode(
                         if counting {
                             stats.l2_misses += 1;
                         }
+                        dram_lat = cfg.mem_lat;
                         cfg.l1_lat + cfg.l2_lat + cfg.mem_lat
                     }
                 }
@@ -509,12 +530,15 @@ pub fn time_events_mode(
         last_retire = retire;
         retire_ring[slot] = retire;
         stats.cycles = stats.cycles.max(retire);
+        // Issue-side completion horizon: the DRAM tail of a miss stays
+        // out until some later instruction's issue time absorbs it.
+        acct = acct.max(done - dram_lat);
         idx += 1;
     }
 
     stats.total_insts = total;
     stats.est_cycles = if let Some(sampler) = sampler {
-        let s = sampler.finish(last_retire);
+        let s = sampler.finish(acct);
         debug_assert_eq!(s.measured_units, stats.insts);
         stats.sampled = true;
         // Measured-window cycles only: timed warmup advanced the clock but

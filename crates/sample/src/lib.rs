@@ -48,10 +48,26 @@
 //!
 //! [`ReplayMode`] is the knob threaded through the replay entry points:
 //! `Full` is the bit-exact everything-timed path, `Sampled(plan)` the
-//! interval-sampled one. A plan whose detailed window covers the whole
-//! period ([`SamplePlan::covers_everything`]) normalizes to `Full`, so
-//! "sample everything" is *bit-identical* to full replay by construction.
+//! interval-sampled one, and `Phased(plan)` the phase-classified one. A
+//! plan whose detailed window covers the whole period
+//! ([`SamplePlan::covers_everything`]) normalizes to `Full`, so "sample
+//! everything" is *bit-identical* to full replay by construction.
+//!
+//! ## Phase-classified plans
+//!
+//! Systematic sampling spends detailed windows uniformly across the
+//! stream regardless of program phase behavior. A [`PhasePlan`]
+//! (SimPoint-style) instead cuts the stream into fixed-size intervals,
+//! clusters the intervals by behavioral similarity offline (basic-block
+//! vectors + k-means, fitted by the `trips-phase` crate), and measures
+//! **one representative interval per cluster** — extrapolating each
+//! cluster's cycles by its population weight. Phase-repetitive streams
+//! need far fewer detailed units this way: each phase is timed once and
+//! weighted, instead of being re-measured every period. The
+//! [`PhasedSampler`] realizes a fitted plan over a replay; [`Schedule`]
+//! unifies the two drivers so the timing cores carry one sampled path.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Low-discrepancy offset for period `k` in `0..=slack`: the golden-ratio
@@ -184,27 +200,168 @@ impl fmt::Display for SamplePlan {
     }
 }
 
+/// One measured region of a [`PhasePlan`]: a timed-warmup prefix
+/// (`[warm_start, detail_start)`) followed by a detailed measured span
+/// (`[detail_start, end)`), representing `weight_units` stream units (its
+/// cluster's total population, or its own length for boundary windows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PhaseWindow {
+    /// First timed-warmup unit (equals `detail_start` when no warmup fits).
+    pub warm_start: u64,
+    /// First measured unit.
+    pub detail_start: u64,
+    /// First unit past the measured span.
+    pub end: u64,
+    /// Stream units this window's measured rate stands for.
+    pub weight_units: u64,
+}
+
+impl PhaseWindow {
+    /// Measured units in this window.
+    #[must_use]
+    pub fn detailed_units(&self) -> u64 {
+        self.end - self.detail_start
+    }
+}
+
+/// A fitted phase-classification sampling plan over one recorded stream.
+///
+/// The stream is cut into `interval`-unit intervals; the first and last
+/// intervals are always measured in full at weight one (startup and
+/// teardown transients, mirroring the systematic [`Sampler`]'s boundary
+/// strata), and each interior cluster contributes one representative
+/// window weighted by its population. Unlike a [`SamplePlan`], a
+/// `PhasePlan` is specific to the stream it was fitted to
+/// ([`PhasePlan::total_units`]); replaying it against a different-length
+/// stream is an error, not a silent misestimate.
+///
+/// Invariants (produced by `trips-phase::fit_plan`, checked by
+/// [`PhasePlan::validate`]): windows are sorted and disjoint, spans lie in
+/// `[0, total_units)`, and the weights sum to exactly `total_units`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PhasePlan {
+    /// Stream units per classification interval.
+    pub interval: u64,
+    /// Length of the stream the plan was fitted to.
+    pub total_units: u64,
+    /// Clusters the interior intervals were grouped into.
+    pub k: u32,
+    /// Measured windows, sorted by position, pairwise disjoint.
+    pub windows: Vec<PhaseWindow>,
+    /// Per-interval cluster assignment (`assignments[i]` for the interval
+    /// starting at `i × interval`); the boundary intervals carry the
+    /// pseudo-clusters `k` (startup) and `k + 1` (teardown).
+    pub assignments: Vec<u32>,
+}
+
+impl PhasePlan {
+    /// True when every stream unit falls in a measured span — the plan
+    /// degenerates to full replay and [`ReplayMode::phase`] normalizes it
+    /// away, so "measure every interval" (k ≥ interval count) is
+    /// bit-identical to [`ReplayMode::Full`].
+    #[must_use]
+    pub fn covers_everything(&self) -> bool {
+        let measured: u64 = self.windows.iter().map(PhaseWindow::detailed_units).sum();
+        measured >= self.total_units
+    }
+
+    /// Total units measured in detail across all windows.
+    #[must_use]
+    pub fn detailed_units(&self) -> u64 {
+        self.windows.iter().map(PhaseWindow::detailed_units).sum()
+    }
+
+    /// Structural validity: ordered disjoint windows inside the stream,
+    /// weights summing to the stream extent.
+    ///
+    /// # Errors
+    /// A description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut prev_end = 0u64;
+        let mut weight = 0u64;
+        for (i, w) in self.windows.iter().enumerate() {
+            if w.warm_start > w.detail_start || w.detail_start >= w.end {
+                return Err(format!("window {i} is not well-formed: {w:?}"));
+            }
+            if w.warm_start < prev_end {
+                return Err(format!("window {i} overlaps its predecessor"));
+            }
+            if w.end > self.total_units {
+                return Err(format!(
+                    "window {i} ends at {} past the stream ({})",
+                    w.end, self.total_units
+                ));
+            }
+            prev_end = w.end;
+            weight = weight
+                .checked_add(w.weight_units)
+                .ok_or_else(|| "weights overflow".to_string())?;
+        }
+        if weight != self.total_units {
+            return Err(format!(
+                "weights sum to {weight}, stream has {} units",
+                self.total_units
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PhasePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "phase(k={}, interval={}, windows={}, detail={}/{})",
+            self.k,
+            self.interval,
+            self.windows.len(),
+            self.detailed_units(),
+            self.total_units
+        )
+    }
+}
+
 /// How a replay entry point should treat the recorded stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub enum ReplayMode {
     /// Time every recorded unit (bit-exact; the pre-sampling behavior).
     #[default]
     Full,
     /// Interval-sample per the plan.
     Sampled(SamplePlan),
+    /// Phase-classified sampling per the fitted plan.
+    Phased(PhasePlan),
 }
 
 impl ReplayMode {
-    /// The effective plan: `None` for [`ReplayMode::Full`] *and* for
-    /// sampled plans that cover everything, so callers branching on this
-    /// get the bit-exact full path whenever the plan changes nothing.
+    /// The effective systematic plan: `None` for [`ReplayMode::Full`],
+    /// for sampled plans that cover everything, and for phased modes (see
+    /// [`ReplayMode::phase`]), so callers branching on this get the
+    /// bit-exact full path whenever the plan changes nothing.
     #[must_use]
     pub fn plan(&self) -> Option<&SamplePlan> {
         match self {
-            ReplayMode::Full => None,
-            ReplayMode::Sampled(p) if p.covers_everything() => None,
-            ReplayMode::Sampled(p) => Some(p),
+            ReplayMode::Sampled(p) if !p.covers_everything() => Some(p),
+            _ => None,
         }
+    }
+
+    /// The effective phase plan: `None` unless this is a phased mode whose
+    /// plan leaves something unmeasured (covering plans normalize to the
+    /// full path, exactly like covering [`SamplePlan`]s).
+    #[must_use]
+    pub fn phase(&self) -> Option<&PhasePlan> {
+        match self {
+            ReplayMode::Phased(p) if !p.covers_everything() => Some(p),
+            _ => None,
+        }
+    }
+
+    /// True when this mode times every unit (including normalized covering
+    /// plans of either kind).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.plan().is_none() && self.phase().is_none()
     }
 
     /// Builds the mode an optional plan implies.
@@ -214,6 +371,30 @@ impl ReplayMode {
             Some(p) => ReplayMode::Sampled(p),
             None => ReplayMode::Full,
         }
+    }
+
+    /// The schedule driver this mode implies for a stream of
+    /// `total_units`: `None` for the bit-exact full path (including
+    /// covering plans of either kind), a [`Schedule`] otherwise.
+    ///
+    /// # Errors
+    /// A phased plan fitted to a different stream length — replaying it
+    /// elsewhere would silently misweight every cluster, so it is
+    /// rejected instead.
+    pub fn schedule(&self, total_units: u64) -> Result<Option<Schedule>, String> {
+        if let Some(plan) = self.plan() {
+            return Ok(Some(Schedule::Sampled(Sampler::new(*plan, total_units))));
+        }
+        if let Some(plan) = self.phase() {
+            if plan.total_units != total_units {
+                return Err(format!(
+                    "phase plan was fitted to a {}-unit stream, replaying {} units",
+                    plan.total_units, total_units
+                ));
+            }
+            return Ok(Some(Schedule::Phased(PhasedSampler::new(plan.clone()))));
+        }
+        Ok(None)
     }
 }
 
@@ -438,6 +619,144 @@ impl Sampler {
     }
 }
 
+/// The per-replay schedule driver of a [`PhasePlan`]: the phased
+/// counterpart of [`Sampler`], consumed through the same
+/// [`Schedule::advance`]/[`Schedule::finish`] surface.
+///
+/// Units outside every window fast-forward with functional warming; a
+/// window's warmup prefix runs the detailed model with discarded counters
+/// (exactly like the systematic sampler's timed warmup); the measured
+/// span is metered on the replay's monotonic clock. [`PhasedSampler::finish`]
+/// extrapolates each window's measured cycles over its cluster's
+/// population: `est = Σ window_cycles × weight_units / window_units`.
+/// Boundary windows have `weight == units`, so the startup and teardown
+/// transients contribute exactly.
+#[derive(Debug, Clone)]
+pub struct PhasedSampler {
+    plan: PhasePlan,
+    pos: u64,
+    /// Index of the first window not yet past.
+    widx: usize,
+    window_mark: Option<u64>,
+    window_units: u64,
+    /// Closed windows: (cycles, measured units, weight units).
+    closed: Vec<(u64, u64, u64)>,
+}
+
+impl PhasedSampler {
+    /// A sampler realizing `plan` over one replay of its stream.
+    #[must_use]
+    pub fn new(plan: PhasePlan) -> PhasedSampler {
+        let n = plan.windows.len();
+        PhasedSampler {
+            plan,
+            pos: 0,
+            widx: 0,
+            window_mark: None,
+            window_units: 0,
+            closed: Vec::with_capacity(n),
+        }
+    }
+
+    fn close_window(&mut self, clock: u64, weight: u64) {
+        if let Some(mark) = self.window_mark.take() {
+            self.closed.push((clock - mark, self.window_units, weight));
+            self.window_units = 0;
+        }
+    }
+
+    /// The phase of the next stream unit; `clock` is the replay's current
+    /// monotonic cycle count.
+    pub fn advance(&mut self, clock: u64) -> Phase {
+        let unit = self.pos;
+        self.pos += 1;
+        // Step past windows that ended before this unit, closing the
+        // accounting of whichever one was open.
+        while let Some(w) = self.plan.windows.get(self.widx) {
+            if unit < w.end {
+                break;
+            }
+            let weight = w.weight_units;
+            self.close_window(clock, weight);
+            self.widx += 1;
+        }
+        let Some(w) = self.plan.windows.get(self.widx) else {
+            return Phase::Warm;
+        };
+        if unit < w.warm_start {
+            Phase::Warm
+        } else if unit < w.detail_start {
+            Phase::TimedWarm
+        } else {
+            if self.window_mark.is_none() {
+                self.window_mark = Some(clock);
+            }
+            self.window_units += 1;
+            Phase::Detailed
+        }
+    }
+
+    /// Closes the final window at `clock` and produces the
+    /// population-weighted whole-run estimate.
+    #[must_use]
+    pub fn finish(mut self, clock: u64) -> SampleSummary {
+        if let Some(w) = self.plan.windows.get(self.widx) {
+            let weight = w.weight_units;
+            self.close_window(clock, weight);
+        }
+        let mut measured_units = 0u64;
+        let mut measured_cycles = 0u64;
+        let mut est: u128 = 0;
+        for &(cycles, units, weight) in &self.closed {
+            measured_units += units;
+            measured_cycles += cycles;
+            if units > 0 {
+                est += u128::from(cycles) * u128::from(weight) / u128::from(units);
+            }
+        }
+        // A truncated replay (stream shorter than the plan's extent is
+        // rejected upstream, but a window that measured nothing keeps its
+        // weight out of the estimate) never divides by zero.
+        SampleSummary {
+            total_units: self.plan.total_units,
+            measured_units,
+            measured_cycles,
+            est_cycles: u64::try_from(est).unwrap_or(u64::MAX).max(measured_cycles),
+        }
+    }
+}
+
+/// The unified schedule driver behind a sampled [`ReplayMode`]: both
+/// timing cores walk their stream, call [`Schedule::advance`] per unit and
+/// [`Schedule::finish`] at the end, without caring whether the windows are
+/// systematic ([`Sampler`]) or phase-classified ([`PhasedSampler`]).
+#[derive(Debug, Clone)]
+pub enum Schedule {
+    /// Systematic interval sampling.
+    Sampled(Sampler),
+    /// Phase-classified sampling.
+    Phased(PhasedSampler),
+}
+
+impl Schedule {
+    /// The phase of the next stream unit (see [`Sampler::advance`]).
+    pub fn advance(&mut self, clock: u64) -> Phase {
+        match self {
+            Schedule::Sampled(s) => s.advance(clock),
+            Schedule::Phased(p) => p.advance(clock),
+        }
+    }
+
+    /// Closes the schedule and produces the whole-run estimate.
+    #[must_use]
+    pub fn finish(self, clock: u64) -> SampleSummary {
+        match self {
+            Schedule::Sampled(s) => s.finish(clock),
+            Schedule::Phased(p) => p.finish(clock),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -620,6 +939,152 @@ mod tests {
             ReplayMode::Sampled(sampling)
         );
         assert_eq!(ReplayMode::from_plan(None), ReplayMode::Full);
+    }
+
+    /// A hand-built plan: 40-unit stream, 8-unit intervals, head/tail
+    /// boundary windows plus one representative (interval 2) standing for
+    /// the three interior intervals.
+    fn tiny_phase_plan() -> PhasePlan {
+        PhasePlan {
+            interval: 8,
+            total_units: 40,
+            k: 1,
+            windows: vec![
+                PhaseWindow {
+                    warm_start: 0,
+                    detail_start: 0,
+                    end: 8,
+                    weight_units: 8,
+                },
+                PhaseWindow {
+                    warm_start: 14,
+                    detail_start: 16,
+                    end: 24,
+                    weight_units: 24,
+                },
+                PhaseWindow {
+                    warm_start: 30,
+                    detail_start: 32,
+                    end: 40,
+                    weight_units: 8,
+                },
+            ],
+            assignments: vec![1, 0, 0, 0, 2],
+        }
+    }
+
+    #[test]
+    fn phase_plan_validates_and_displays() {
+        let plan = tiny_phase_plan();
+        plan.validate().unwrap();
+        assert!(!plan.covers_everything());
+        assert_eq!(plan.detailed_units(), 24);
+        assert!(plan.to_string().contains("k=1"));
+        // Broken invariants are caught.
+        let mut bad = plan.clone();
+        bad.windows[1].weight_units = 5;
+        assert!(bad.validate().is_err(), "weights must sum to the stream");
+        let mut bad = plan.clone();
+        bad.windows[1].warm_start = 7;
+        assert!(bad.validate().is_err(), "windows must not overlap");
+        let mut bad = plan;
+        bad.windows[2].end = 41;
+        assert!(bad.validate().is_err(), "windows must fit the stream");
+    }
+
+    #[test]
+    fn phased_sampler_schedules_warmup_and_windows() {
+        let plan = tiny_phase_plan();
+        let mut s = PhasedSampler::new(plan);
+        let phases: Vec<Phase> = (0..40).map(|_| s.advance(0)).collect();
+        for (unit, phase) in phases.iter().enumerate() {
+            let want = match unit {
+                0..=7 | 16..=23 | 32..=39 => Phase::Detailed,
+                14 | 15 | 30 | 31 => Phase::TimedWarm,
+                _ => Phase::Warm,
+            };
+            assert_eq!(*phase, want, "unit {unit}");
+        }
+    }
+
+    #[test]
+    fn phased_estimate_weights_clusters_by_population() {
+        // Uniform 10-cycle units: every window measures rate 10, so the
+        // weighted estimate reproduces the whole stream exactly.
+        let plan = tiny_phase_plan();
+        let mut s = PhasedSampler::new(plan.clone());
+        let mut clock = 0;
+        for _ in 0..40 {
+            match s.advance(clock) {
+                Phase::Warm => {}
+                Phase::TimedWarm | Phase::Detailed => clock += 10,
+            }
+        }
+        let sum = s.finish(clock);
+        assert_eq!(sum.total_units, 40);
+        assert_eq!(sum.measured_units, 24);
+        assert_eq!(sum.est_cycles, 400);
+        // Phase-dependent cost: the representative's rate is scaled by its
+        // cluster population, the boundaries count at weight one.
+        let mut s = PhasedSampler::new(plan);
+        let mut clock = 0;
+        let mut truth = 0u64;
+        for unit in 0u64..40 {
+            let cost = if (8..32).contains(&unit) { 7 } else { 100 };
+            truth += cost;
+            match s.advance(clock) {
+                Phase::Warm => {}
+                Phase::TimedWarm | Phase::Detailed => clock += cost,
+            }
+        }
+        let sum = s.finish(clock);
+        assert_eq!(sum.est_cycles, truth, "uniform-per-phase stream is exact");
+    }
+
+    #[test]
+    fn covering_phase_plans_normalize_to_full() {
+        // Every interval measured: detailed spans tile the stream.
+        let covering = PhasePlan {
+            interval: 8,
+            total_units: 16,
+            k: 2,
+            windows: vec![
+                PhaseWindow {
+                    warm_start: 0,
+                    detail_start: 0,
+                    end: 8,
+                    weight_units: 8,
+                },
+                PhaseWindow {
+                    warm_start: 8,
+                    detail_start: 8,
+                    end: 16,
+                    weight_units: 8,
+                },
+            ],
+            assignments: vec![0, 1],
+        };
+        covering.validate().unwrap();
+        assert!(covering.covers_everything());
+        let mode = ReplayMode::Phased(covering);
+        assert!(mode.phase().is_none());
+        assert!(mode.is_full());
+        assert!(mode.schedule(16).unwrap().is_none());
+        // A real plan drives a phased schedule, but only over the stream
+        // it was fitted to.
+        let plan = tiny_phase_plan();
+        let mode = ReplayMode::Phased(plan.clone());
+        assert_eq!(mode.phase(), Some(&plan));
+        assert!(!mode.is_full());
+        assert!(matches!(mode.schedule(40), Ok(Some(Schedule::Phased(_)))));
+        assert!(mode.schedule(39).is_err(), "foreign stream length rejected");
+        // Sampled modes route through the same surface.
+        let sampled = ReplayMode::Sampled(SamplePlan::new(2, 2, 8).unwrap());
+        assert!(matches!(
+            sampled.schedule(100),
+            Ok(Some(Schedule::Sampled(_)))
+        ));
+        assert!(ReplayMode::Full.schedule(100).unwrap().is_none());
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //! discarded counters for a short timed warmup, measure the window at the
 //! period's end — and extrapolates the measured cycles over the whole
 //! stream, making a sweep point sublinear in trace length.
+//! Phase-classified replay ([`trips_sample::PhasePlan`], fitted by the
+//! `trips-phase` crate) drives the same three per-block paths, but places
+//! one measured window per behavior cluster and extrapolates by cluster
+//! population instead of sampling every period.
 
 use crate::cache::{BankPorts, Cache};
 use crate::config::TripsConfig;
@@ -35,7 +39,7 @@ use trips_ir::Program;
 use trips_isa::block::ExitTarget;
 use trips_isa::interp::{BlockTrace, TraceSrc, TripsExecError};
 use trips_isa::{TOpcode, TraceLog};
-use trips_sample::{Phase, ReplayMode, Sampler};
+use trips_sample::{Phase, ReplayMode};
 
 /// Simulation failures (functional execution errors surface unchanged).
 #[derive(Debug)]
@@ -147,18 +151,21 @@ pub fn replay_trace_mode(
     log.validate(&compiled.trips).map_err(SimError::Trace)?;
     let mut t = Timing::new(compiled, cfg);
     let mut summary = None;
-    match mode.plan() {
+    match mode
+        .schedule(log.seq.len() as u64)
+        .map_err(SimError::Trace)?
+    {
         None => log.replay(|bidx, trace| t.time_block(bidx, trace)),
-        Some(plan) => {
-            // The sampler meters measurement windows on the commit clock
-            // and keeps the strata bookkeeping.
-            let mut sampler = Sampler::new(*plan, log.seq.len() as u64);
-            log.replay(|bidx, trace| match sampler.advance(t.last_commit) {
+        Some(mut sched) => {
+            // The schedule (systematic sampler or fitted phase plan)
+            // meters measurement windows on the commit clock and keeps
+            // the extrapolation bookkeeping.
+            log.replay(|bidx, trace| match sched.advance(t.last_commit) {
                 Phase::Warm => t.warm_block(bidx, trace),
                 Phase::TimedWarm => t.time_block_discarded(bidx, trace),
                 Phase::Detailed => t.time_block(bidx, trace),
             });
-            summary = Some(sampler.finish(t.last_commit));
+            summary = Some(sched.finish(t.last_commit));
         }
     }
     let mut stats = t.finish();

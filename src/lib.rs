@@ -6,6 +6,7 @@ pub use trips_ideal as ideal;
 pub use trips_ir as ir;
 pub use trips_isa as isa;
 pub use trips_ooo as ooo;
+pub use trips_phase as phase;
 pub use trips_risc as risc;
 pub use trips_sample as sample;
 pub use trips_sim as sim;

@@ -202,7 +202,10 @@ fn sampled_ipc_tracks_full_replay_on_ref_workloads() {
     );
     assert_eq!(rows.len(), 6);
     for r in &rows {
-        let bound = if r.backend == "trips" { 0.02 } else { 0.05 };
+        // The OoO bound tightened from 5% to 4% when window metering
+        // moved to the issue-attributed smoothed clock (worst measured
+        // workload: 3.24%).
+        let bound = if r.backend == "trips" { 0.02 } else { 0.04 };
         assert!(
             r.rel_err <= bound,
             "{}/{}: sampled {:.4} vs full {:.4} ({:+.2}%)",
@@ -222,9 +225,10 @@ fn sampled_ipc_tracks_full_replay_on_ref_workloads() {
 }
 
 /// The full accuracy gate (every simple benchmark plus the two largest
-/// bundled streams): TRIPS within 2% per workload, OoO within 5% per
-/// workload and 2% in aggregate. Run by the `sampled-accuracy` CI job in
-/// release (`cargo test --release -- --ignored`).
+/// bundled streams): TRIPS within 2% per workload, OoO within 4% per
+/// workload (tightened from 5% by the issue-attributed window clock) and
+/// 2% in aggregate. Run by the `sampled-accuracy` CI job in release
+/// (`cargo test --release -- --ignored`).
 #[test]
 #[ignore = "release-built CI gate (slow under the debug profile)"]
 fn sampled_accuracy_gate_full_set() {
@@ -234,7 +238,7 @@ fn sampled_accuracy_gate_full_set() {
     let rows = trips::experiments::runner::sample_accuracy(&ws, Scale::Ref);
     let mut sum = std::collections::HashMap::new();
     for r in &rows {
-        let bound = if r.backend == "trips" { 0.02 } else { 0.05 };
+        let bound = if r.backend == "trips" { 0.02 } else { 0.04 };
         assert!(
             r.rel_err <= bound,
             "{}/{}: {:+.2}% exceeds {:.0}%",
