@@ -15,6 +15,12 @@
 //! every configuration; points run in parallel on a work-stealing pool. The
 //! summary (stderr) reports throughput in measurements/second and the
 //! artifact-cache hit rates that make the number what it is.
+//!
+//! Observability: `--obs-trace FILE` journals every engine span to JSONL,
+//! `--obs-report FILE` folds such a journal into a self-profile,
+//! `--metrics FILE` snapshots the metrics registry after the sweep, and
+//! `TRIPS_LOG` filters the stderr diagnostics (all routed through
+//! `trips_obs::log!`).
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -22,6 +28,7 @@ use std::process::ExitCode;
 use trips_compiler::CompileOptions;
 use trips_engine::sweep::{to_csv, to_json_lines};
 use trips_engine::{run_sweep, BackendSpec, ConfigVariant, SamplePlan, Session, SweepSpec};
+use trips_obs::Level;
 use trips_sim::TripsConfig;
 use trips_workloads::Scale;
 
@@ -68,9 +75,26 @@ options:
   --trace-gc           with --trace-dir: delete stale-version containers
                        (old formats this build will never load) before
                        sweeping
+  --gc-format text|json
+                       how --trace-gc reports the census and prune (text
+                       lines on stderr, or one machine-readable JSON
+                       object with `census` and `prune` keys)
+  --obs-trace FILE     journal every engine span (sweep, pool, session,
+                       store, replay) to FILE as JSONL; fold it later
+                       with --obs-report
+  --obs-report FILE    fold a span journal into a self-profile (call
+                       counts, inclusive/exclusive time per label,
+                       wall-clock coverage), print it, and exit
+  --metrics FILE       write a Prometheus-style snapshot of the metrics
+                       registry (cache tiers, store I/O, pool workers,
+                       replay throughput) to FILE after the sweep
   --format json|csv    row output format (default json)
   --out FILE           write rows to FILE instead of stdout
-  -h, --help           this text";
+  -h, --help           this text
+
+environment:
+  TRIPS_LOG=error|warn|info|debug|trace|off
+                       stderr diagnostic level (default info)";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("trips-sweep: {msg}");
@@ -92,6 +116,10 @@ fn main() -> ExitCode {
     let mut out_path: Option<String> = None;
     let mut trace_dir: Option<String> = None;
     let mut trace_gc = false;
+    let mut gc_format = "text".to_string();
+    let mut obs_trace: Option<String> = None;
+    let mut obs_report: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut default_demo = true;
 
     let mut it = args.iter();
@@ -213,9 +241,84 @@ fn main() -> ExitCode {
                 Err(e) => return fail(&e),
             },
             "--trace-gc" => trace_gc = true,
+            "--gc-format" => match value("--gc-format") {
+                Ok(v) if v == "text" || v == "json" => gc_format = v,
+                Ok(other) => return fail(&format!("unknown gc format `{other}`")),
+                Err(e) => return fail(&e),
+            },
+            "--obs-trace" => match value("--obs-trace") {
+                Ok(v) => obs_trace = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--obs-report" => match value("--obs-report") {
+                Ok(v) => obs_report = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--metrics" => match value("--metrics") {
+                Ok(v) => metrics_path = Some(v),
+                Err(e) => return fail(&e),
+            },
             other => return fail(&format!("unknown option `{other}`")),
         }
     }
+
+    // Report mode folds an existing journal and exits: no sweep runs.
+    if let Some(journal) = &obs_report {
+        let text = match std::fs::read_to_string(journal) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("reading span journal `{journal}`: {e}")),
+        };
+        let records = match trips_obs::report::parse_journal(&text) {
+            Ok(r) => r,
+            Err(e) => return fail(&format!("parsing span journal `{journal}`: {e}")),
+        };
+        let rendered = trips_obs::fold_report(&records).render();
+        let _ = std::io::stdout().lock().write_all(rendered.as_bytes());
+        return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &obs_trace {
+        if let Err(e) = trips_obs::enable_trace(std::path::Path::new(path)) {
+            return fail(&format!("opening span journal `{path}`: {e}"));
+        }
+    }
+    let code = run(
+        spec,
+        base_configs,
+        sweeps,
+        backends,
+        format,
+        out_path,
+        trace_dir,
+        trace_gc,
+        gc_format,
+        metrics_path,
+        default_demo,
+    );
+    // The cli.main span (dropped inside `run`) must land in the journal
+    // before the sink is flushed.
+    if obs_trace.is_some() {
+        trips_obs::flush_trace();
+    }
+    code
+}
+
+/// Everything after argument parsing, wrapped so the `cli.main` root span
+/// closes (and journals) before `main` flushes the trace sink.
+#[allow(clippy::too_many_arguments)]
+fn run(
+    mut spec: SweepSpec,
+    base_configs: Vec<String>,
+    sweeps: Vec<(String, String)>,
+    backends: Vec<String>,
+    format: String,
+    out_path: Option<String>,
+    trace_dir: Option<String>,
+    trace_gc: bool,
+    gc_format: String,
+    metrics_path: Option<String>,
+    default_demo: bool,
+) -> ExitCode {
+    let _main = trips_obs::span("cli.main");
 
     // Build the config list: named bases plus one variant per sweep value.
     for name in &base_configs {
@@ -269,19 +372,36 @@ fn main() -> ExitCode {
                     // directory's composition is visible at a glance),
                     // then the prune — the stale count is what the prune
                     // is about to reclaim.
-                    match store.stats() {
-                        Ok(s) => eprintln!(
-                            "trips-sweep: trace-gc: {} containers ({} bytes): {} TRIPS traces, {} RISC traces, {} BBV plans, {} stale",
-                            s.containers, s.bytes, s.block_traces, s.risc_traces, s.bbv_plans, s.stale
-                        ),
+                    let census = match store.stats() {
+                        Ok(s) => s,
                         Err(e) => return fail(&format!("scanning trace store `{dir}`: {e}")),
-                    }
-                    match store.prune_stale() {
-                        Ok(r) => eprintln!(
-                            "trips-sweep: trace-gc: scanned {} containers, pruned {} stale ({} bytes reclaimed), kept {}",
-                            r.scanned, r.removed, r.bytes_freed, r.kept
-                        ),
+                    };
+                    let prune = match store.prune_stale() {
+                        Ok(r) => r,
                         Err(e) => return fail(&format!("pruning trace store `{dir}`: {e}")),
+                    };
+                    if gc_format == "json" {
+                        // One machine-readable object on stderr, keeping
+                        // stdout free for the sweep rows.
+                        let obj = serde::Value::Map(vec![
+                            (serde::Value::Str("census".into()), serde::to_value(&census)),
+                            (serde::Value::Str("prune".into()), serde::to_value(&prune)),
+                        ]);
+                        eprintln!("{}", serde::json::to_string(&obj));
+                    } else {
+                        trips_obs::log!(
+                            Level::Info,
+                            "trips-sweep",
+                            "trace-gc: {} containers ({} bytes): {} TRIPS traces, {} RISC traces, {} BBV plans, {} stale",
+                            census.containers, census.bytes, census.block_traces,
+                            census.risc_traces, census.bbv_plans, census.stale
+                        );
+                        trips_obs::log!(
+                            Level::Info,
+                            "trips-sweep",
+                            "trace-gc: scanned {} containers, pruned {} stale ({} bytes reclaimed), kept {}",
+                            prune.scanned, prune.removed, prune.bytes_freed, prune.kept
+                        );
                     }
                 }
                 Session::with_store(store)
@@ -302,7 +422,7 @@ fn main() -> ExitCode {
     match &out_path {
         Some(path) => {
             if let Err(e) = std::fs::write(path, rendered) {
-                eprintln!("trips-sweep: writing {path}: {e}");
+                trips_obs::log!(Level::Error, "trips-sweep", "writing {path}: {e}");
                 return ExitCode::FAILURE;
             }
         }
@@ -313,10 +433,24 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(path) = &metrics_path {
+        // Snapshot after the sweep so every series — including per-worker
+        // pool gauges recorded at worker exit — is present.
+        if let Err(e) = std::fs::write(path, trips_obs::snapshot_text()) {
+            trips_obs::log!(
+                Level::Error,
+                "trips-sweep",
+                "writing metrics snapshot {path}: {e}"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
 
     let c = &report.cache;
-    eprintln!(
-        "trips-sweep: {} points ({} ok, {} failed) on {} threads in {:.2}s -> {:.1} measurements/sec",
+    trips_obs::log!(
+        Level::Info,
+        "trips-sweep",
+        "{} points ({} ok, {} failed) on {} threads in {:.2}s -> {:.1} measurements/sec",
         report.points,
         report.rows.len(),
         report.errors.len(),
@@ -324,30 +458,61 @@ fn main() -> ExitCode {
         report.wall_s,
         report.measurements_per_sec,
     );
-    eprintln!(
-        "trips-sweep: cache: {} compiles ({} reused), {} captures, {} in-memory trace reuses",
-        c.compile_misses, c.compile_hits, c.captures, c.trace_hits,
+    trips_obs::log!(
+        Level::Info,
+        "trips-sweep",
+        "cache: {} compiles ({} reused), {} captures, {} in-memory trace reuses",
+        c.compile_misses,
+        c.compile_hits,
+        c.captures,
+        c.trace_hits,
+    );
+    let t = &report.cost_totals;
+    trips_obs::log!(
+        Level::Info,
+        "trips-sweep",
+        "cost: capture={:.1}ms fit={:.1}ms warm={:.1}ms detailed={:.1}ms extrapolate={:.1}ms queue={:.1}ms store_read={}B store_write={}B",
+        t.capture_ns as f64 / 1e6,
+        t.fit_ns as f64 / 1e6,
+        t.warm_ns as f64 / 1e6,
+        t.detailed_ns as f64 / 1e6,
+        t.extrapolate_ns as f64 / 1e6,
+        t.queue_ns as f64 / 1e6,
+        t.store_read_bytes,
+        t.store_write_bytes,
     );
     if let Some(plan) = &spec.sample {
-        eprintln!(
-            "trips-sweep: sampling: plan {plan} ({:.1}% detail) on the timing backends; full replay results never alias",
+        trips_obs::log!(
+            Level::Info,
+            "trips-sweep",
+            "sampling: plan {plan} ({:.1}% detail) on the timing backends; full replay results never alias",
             plan.planned_detail_frac() * 100.0,
         );
     }
     if let Some(k) = &spec.phase {
-        eprintln!(
-            "trips-sweep: phase: k={k} on the timing backends; {} fits performed, {} served from memory, {} from disk",
+        trips_obs::log!(
+            Level::Info,
+            "trips-sweep",
+            "phase: k={k} on the timing backends; {} fits performed, {} served from memory, {} from disk",
             c.phase_fits, c.phase_hits, c.phase_disk_hits,
         );
     }
     if trace_dir.is_some() {
-        eprintln!(
-            "trips-sweep: store: disk_hits={} disk_misses={} disk_rejects={} writes={} captures={}",
-            c.disk_hits, c.disk_misses, c.disk_rejects, c.store_writes, c.captures,
+        trips_obs::log!(
+            Level::Info,
+            "trips-sweep",
+            "store: disk_hits={} disk_misses={} disk_rejects={} writes={} captures={}",
+            c.disk_hits,
+            c.disk_misses,
+            c.disk_rejects,
+            c.store_writes,
+            c.captures,
         );
         if c.rtrace_misses > 0 {
-            eprintln!(
-                "trips-sweep: risc store: disk_hits={} disk_misses={} disk_rejects={} writes={} captures={}",
+            trips_obs::log!(
+                Level::Info,
+                "trips-sweep",
+                "risc store: disk_hits={} disk_misses={} disk_rejects={} writes={} captures={}",
                 c.risc_disk_hits,
                 c.risc_disk_misses,
                 c.risc_disk_rejects,
@@ -357,13 +522,15 @@ fn main() -> ExitCode {
         }
     }
     if c.risc_misses > 0 {
-        eprintln!(
-            "trips-sweep: cache: {} RISC compiles ({} reused across reference backends), {} executions, {} stream reuses",
+        trips_obs::log!(
+            Level::Info,
+            "trips-sweep",
+            "cache: {} RISC compiles ({} reused across reference backends), {} executions, {} stream reuses",
             c.risc_misses, c.risc_hits, c.risc_captures, c.rtrace_hits,
         );
     }
     for e in &report.errors {
-        eprintln!("trips-sweep: point failed: {e}");
+        trips_obs::log!(Level::Error, "trips-sweep", "point failed: {e}");
     }
     if report.rows.is_empty() && !report.errors.is_empty() {
         return ExitCode::FAILURE;

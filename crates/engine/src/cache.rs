@@ -348,6 +348,13 @@ pub struct RiscArtifacts {
     pub ir: trips_ir::Program,
 }
 
+/// One registry touch for a session-tier event. Artifact-granularity
+/// (per compile/capture/disk probe, never per replayed unit), so the
+/// registry lock is uncontended in practice.
+fn m(name: &str) {
+    trips_obs::counter(name).inc(1);
+}
+
 impl Session {
     /// A fresh, empty session.
     pub fn new() -> Session {
@@ -425,6 +432,9 @@ impl Session {
             &self.compile_misses,
         );
         slot.get_or_init(|| {
+            let _span = trips_obs::span_with("session.compile", || w.name.to_string());
+            let _cost = trips_obs::cost::Timed::start(trips_obs::CostKind::Capture);
+            m("session_compiles_total{side=\"trips\"}");
             let program = if hand {
                 w.build_hand(scale)
             } else {
@@ -463,6 +473,7 @@ impl Session {
             budget,
         };
         let slot = Self::slot(&self.traces, &key, &self.trace_hits, &self.trace_misses);
+        trips_obs::cost::set_tier("mem");
         slot.get_or_init(|| {
             let compiled = self.compiled(w, scale, opts, hand)?;
             let id = TraceId {
@@ -480,22 +491,31 @@ impl Session {
                     LoadOutcome::Hit(log) => {
                         if log.validate(&compiled.trips).is_ok() {
                             self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                            m("session_disk_hits");
+                            trips_obs::cost::set_tier("disk");
                             return Ok(Arc::new(*log));
                         }
                         // Container-valid but structurally foreign (e.g. a
                         // stale build's capture): recapture over it.
                         self.disk_rejects.fetch_add(1, Ordering::Relaxed);
+                        m("session_disk_rejects");
                         store.remove(&id);
                     }
                     LoadOutcome::Miss => {
                         self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                        m("session_disk_misses");
                     }
                     LoadOutcome::Reject(_) => {
                         self.disk_rejects.fetch_add(1, Ordering::Relaxed);
+                        m("session_disk_rejects");
                     }
                 }
             }
             self.captures.fetch_add(1, Ordering::Relaxed);
+            m("session_captures");
+            trips_obs::cost::set_tier("capture");
+            let _span = trips_obs::span_with("session.capture_trace", || w.name.to_string());
+            let _cost = trips_obs::cost::Timed::start(trips_obs::CostKind::Capture);
             let meta = TraceMeta {
                 workload: id.workload.clone(),
                 scale: id.scale.clone(),
@@ -506,6 +526,7 @@ impl Session {
             if let Some(store) = self.store.get() {
                 if store.save(&id, &log).is_ok() {
                     self.store_writes.fetch_add(1, Ordering::Relaxed);
+                    m("session_store_writes");
                 }
             }
             Ok(Arc::new(log))
@@ -540,8 +561,13 @@ impl Session {
             budget,
         };
         let slot = Self::slot(&self.isa, &key, &self.isa_hits, &self.isa_misses);
+        trips_obs::cost::set_tier("mem");
         slot.get_or_init(|| {
             let compiled = self.compiled(w, scale, opts, hand)?;
+            trips_obs::cost::set_tier("capture");
+            let _span = trips_obs::span_with("session.capture_isa", || w.name.to_string());
+            let _cost = trips_obs::cost::Timed::start(trips_obs::CostKind::Capture);
+            m("session_isa_runs_total");
             trips_isa::interp::run_program_with(&compiled.trips, &compiled.opt_ir, mem, budget)
                 .map(|out| {
                     Arc::new(IsaOutcome {
@@ -574,6 +600,9 @@ impl Session {
         };
         let slot = Self::slot(&self.risc, &key, &self.risc_hits, &self.risc_misses);
         slot.get_or_init(|| {
+            let _span = trips_obs::span_with("session.compile", || format!("{} (risc)", w.name));
+            let _cost = trips_obs::cost::Timed::start(trips_obs::CostKind::Capture);
+            m("session_compiles_total{side=\"risc\"}");
             let mut ir = (w.build)(scale);
             trips_compiler::opt::optimize(&mut ir, opts);
             trips_risc::compile_program(&ir)
@@ -613,6 +642,7 @@ impl Session {
             budget,
         };
         let slot = Self::slot(&self.rtraces, &key, &self.rtrace_hits, &self.rtrace_misses);
+        trips_obs::cost::set_tier("mem");
         slot.get_or_init(|| {
             let art = self.risc_program(w, scale, opts)?;
             let id = RiscTraceId {
@@ -630,22 +660,31 @@ impl Session {
                     LoadOutcome::Hit(trace) => {
                         if trace.validate(&art.program).is_ok() {
                             self.risc_disk_hits.fetch_add(1, Ordering::Relaxed);
+                            m("session_risc_disk_hits");
+                            trips_obs::cost::set_tier("disk");
                             return Ok(Arc::new(*trace));
                         }
                         // Container-valid but structurally foreign (e.g. a
                         // stale build's capture): recapture over it.
                         self.risc_disk_rejects.fetch_add(1, Ordering::Relaxed);
+                        m("session_risc_disk_rejects");
                         store.remove_risc(&id);
                     }
                     LoadOutcome::Miss => {
                         self.risc_disk_misses.fetch_add(1, Ordering::Relaxed);
+                        m("session_risc_disk_misses");
                     }
                     LoadOutcome::Reject(_) => {
                         self.risc_disk_rejects.fetch_add(1, Ordering::Relaxed);
+                        m("session_risc_disk_rejects");
                     }
                 }
             }
             self.risc_captures.fetch_add(1, Ordering::Relaxed);
+            m("session_risc_captures");
+            trips_obs::cost::set_tier("capture");
+            let _span = trips_obs::span_with("session.capture_risc", || w.name.to_string());
+            let _cost = trips_obs::cost::Timed::start(trips_obs::CostKind::Capture);
             let meta = RiscTraceMeta {
                 workload: id.workload.clone(),
                 scale: id.scale.clone(),
@@ -656,6 +695,7 @@ impl Session {
             if let Some(store) = self.store.get() {
                 if store.save_risc(&id, &trace).is_ok() {
                     self.risc_store_writes.fetch_add(1, Ordering::Relaxed);
+                    m("session_risc_store_writes");
                 }
             }
             Ok(Arc::new(trace))
@@ -799,26 +839,37 @@ impl Session {
                 LoadOutcome::Hit(art) => {
                     if art.validate(spec, total_units).is_ok() {
                         self.phase_disk_hits.fetch_add(1, Ordering::Relaxed);
+                        m("session_phase_disk_hits");
+                        trips_obs::cost::set_tier("disk");
                         return Ok(Arc::new(art.plan));
                     }
                     // Container-valid but fitted to a different stream
                     // (e.g. a stale build's capture): re-cluster over it.
                     self.phase_disk_rejects.fetch_add(1, Ordering::Relaxed);
+                    m("session_phase_disk_rejects");
                     store.remove_bbv(&id);
                 }
                 LoadOutcome::Miss => {
                     self.phase_disk_misses.fetch_add(1, Ordering::Relaxed);
+                    m("session_phase_disk_misses");
                 }
                 LoadOutcome::Reject(_) => {
                     self.phase_disk_rejects.fetch_add(1, Ordering::Relaxed);
+                    m("session_phase_disk_rejects");
                 }
             }
         }
         self.phase_fits.fetch_add(1, Ordering::Relaxed);
-        let art = fit()?;
+        m("session_phase_fits");
+        let art = {
+            let _span = trips_obs::span("session.fit_phase");
+            let _cost = trips_obs::cost::Timed::start(trips_obs::CostKind::Fit);
+            fit()?
+        };
         if let Some(store) = self.store.get() {
             if store.save_bbv(&id, &art).is_ok() {
                 self.phase_store_writes.fetch_add(1, Ordering::Relaxed);
+                m("session_phase_store_writes");
             }
         }
         Ok(Arc::new(art.plan))
@@ -864,9 +915,12 @@ impl Session {
             &self.ooo_replay_hits,
             &self.ooo_replay_misses,
         );
+        trips_obs::cost::set_tier("memo");
         slot.get_or_init(|| {
             let art = self.risc_program(w, scale, opts)?;
             let trace = self.risc_trace(w, scale, opts, mem, budget)?;
+            let _span =
+                trips_obs::span_with("session.replay_ooo", || format!("{} {}", w.name, cfg.name));
             trips_ooo::run_timed_trace_mode(&art.program, &trace, cfg, mode)
                 .map(Arc::new)
                 .map_err(|e| EngineError::Replay(format!("{} ({}): {e}", w.name, cfg.name)))
@@ -907,9 +961,13 @@ impl Session {
             mode: ModeKey::of(mode),
         };
         let slot = Self::slot(&self.replays, &key, &self.replay_hits, &self.replay_misses);
+        trips_obs::cost::set_tier("memo");
         slot.get_or_init(|| {
             let compiled = self.compiled(w, scale, opts, hand)?;
             let log = self.trace(w, scale, opts, hand, mem, budget)?;
+            let _span = trips_obs::span_with("session.replay_trips", || {
+                format!("{} cfg={:016x}", w.name, trips_cfg_sig(cfg))
+            });
             trips_sim::timing::replay_trace_mode(&compiled, cfg, &log, mode)
                 .map(Arc::new)
                 .map_err(|e| EngineError::Replay(e.to_string()))

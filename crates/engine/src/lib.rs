@@ -41,6 +41,16 @@
 //! --sample`): the timing cores fast-forward most of the stream with
 //! functional warming and extrapolate from stratified measurement
 //! windows, with full and sampled results memoized under distinct keys.
+//!
+//! Every layer is instrumented through [`obs`] (`trips-obs`): session tier
+//! lookups and store I/O count into the metrics registry, pool workers and
+//! replay loops open tracing spans, and each sweep point carries an
+//! [`obs::RowCost`] attributing its wall-clock to capture / fit / warm /
+//! detailed / extrapolate work plus store bytes and queue latency. All of
+//! it is pay-for-use: with no trace sink installed and no snapshot taken,
+//! the hot loops see only a relaxed atomic load, and timings never enter
+//! memoized or persisted artifacts, so sweep outputs are byte-identical
+//! with observability on or off.
 
 pub mod cache;
 pub mod pool;
@@ -62,6 +72,14 @@ pub use trips_sample as sample;
 /// [`TraceStore`] as a third container kind, so N sweep points across N
 /// processes cluster once.
 pub use trips_phase as phase;
+
+/// Observability (re-exported from `trips-obs`): tracing spans
+/// ([`obs::span()`], journaled by `trips-sweep --obs-trace` and folded by
+/// `--obs-report`), the process-global metrics registry ([`obs::counter`]
+/// / [`obs::gauge`] / [`obs::histogram`], snapshotted by `--metrics`),
+/// per-row cost attribution ([`obs::RowCost`] on every [`SweepRow`]), and
+/// the `TRIPS_LOG`-filtered [`obs::log!`] diagnostics macro.
+pub use trips_obs as obs;
 
 pub use cache::{CacheStats, EngineError, IsaOutcome, RiscArtifacts, Session};
 pub use phase::{PhaseK, PhaseSpec};

@@ -8,10 +8,23 @@
 //! off the same end (cf. McKenney's work-distribution chapters). Results
 //! flow back over an `mpsc` channel tagged with their index, so output
 //! order matches input order regardless of who executed what.
+//!
+//! ## Telemetry
+//!
+//! The pool registers `pool_jobs_total`, `pool_steals_total`, a
+//! `pool_queue_ns` histogram (enqueue → dequeue latency, also surfaced
+//! per-row as `RowCost::queue_ns`), and per-worker
+//! `pool_worker_busy_ns{worker="i"}` / `pool_worker_idle_ns{worker="i"}`
+//! gauges for the last `parallel_map` run. With tracing enabled each
+//! worker's whole loop is a `pool.worker` span and each job a `pool.job`
+//! child, so the `--obs-report` self-profile attributes worker wall-clock
+//! to jobs vs steal/idle time. All per-job costs are O(1) registry-free
+//! atomics plus one `Instant` read on each side of the job.
 
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Applies `f` to every item on `threads` workers (0 = one per core),
 /// returning results in input order.
@@ -27,18 +40,32 @@ where
 {
     let n = items.len();
     let threads = effective_threads(threads, n);
+    // Register the pool series up front so a snapshot taken after any
+    // sweep contains them even when no steal ever happened.
+    let jobs_total = trips_obs::counter("pool_jobs_total");
+    let steals_total = trips_obs::counter("pool_steals_total");
+    let queue_ns_hist = trips_obs::histogram("pool_queue_ns");
     if threads <= 1 {
-        return items.into_iter().map(f).collect();
+        return items
+            .into_iter()
+            .map(|item| {
+                jobs_total.inc(1);
+                trips_obs::cost::note_queue_ns(0);
+                let _job = trips_obs::span("pool.job");
+                f(item)
+            })
+            .collect();
     }
 
-    // Seed per-worker deques round-robin.
-    let queues: Vec<Mutex<VecDeque<(usize, T)>>> =
+    // Seed per-worker deques round-robin, stamping enqueue time.
+    let seeded = Instant::now();
+    let queues: Vec<Mutex<VecDeque<(usize, Instant, T)>>> =
         (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
     for (i, item) in items.into_iter().enumerate() {
         queues[i % threads]
             .lock()
             .expect("queue mutex")
-            .push_back((i, item));
+            .push_back((i, seeded, item));
     }
 
     let (tx, rx) = mpsc::channel::<(usize, R)>();
@@ -47,7 +74,13 @@ where
             let tx = tx.clone();
             let queues = &queues;
             let f = &f;
+            let jobs_total = &jobs_total;
+            let steals_total = &steals_total;
+            let queue_ns_hist = &queue_ns_hist;
             scope.spawn(move || {
+                let _worker = trips_obs::span_with("pool.worker", || format!("worker={me}"));
+                let loop_start = Instant::now();
+                let mut busy_ns: u64 = 0;
                 loop {
                     // Own work first: take from the front.
                     let mine = queues[me].lock().expect("queue mutex").pop_front();
@@ -65,21 +98,38 @@ where
                                     break;
                                 }
                             }
+                            if stolen.is_some() {
+                                steals_total.inc(1);
+                            }
                             stolen
                         }
                     };
                     match job {
-                        Some((idx, item)) => {
-                            let r = f(item);
+                        Some((idx, enqueued, item)) => {
+                            let started = Instant::now();
+                            let queue_ns = started.duration_since(enqueued).as_nanos() as u64;
+                            jobs_total.inc(1);
+                            queue_ns_hist.observe(queue_ns);
+                            trips_obs::cost::note_queue_ns(queue_ns);
+                            let r = {
+                                let _job =
+                                    trips_obs::span_with("pool.job", || format!("idx={idx}"));
+                                f(item)
+                            };
+                            busy_ns += started.elapsed().as_nanos() as u64;
                             if tx.send((idx, r)).is_err() {
-                                return; // receiver gone: nothing left to report to
+                                break; // receiver gone: nothing left to report to
                             }
                         }
                         // All deques empty. Items never re-enter a deque, so
                         // this worker is done.
-                        None => return,
+                        None => break,
                     }
                 }
+                let total_ns = loop_start.elapsed().as_nanos() as u64;
+                trips_obs::gauge(&format!("pool_worker_busy_ns{{worker=\"{me}\"}}")).set(busy_ns);
+                trips_obs::gauge(&format!("pool_worker_idle_ns{{worker=\"{me}\"}}"))
+                    .set(total_ns.saturating_sub(busy_ns));
             });
         }
         drop(tx);
@@ -153,5 +203,25 @@ mod tests {
         assert_eq!(effective_threads(16, 2), 2);
         assert!(effective_threads(0, 64) >= 1);
         assert_eq!(effective_threads(0, 0), 1);
+    }
+
+    #[test]
+    fn pool_series_register_even_without_steals() {
+        let before = trips_obs::counter("pool_jobs_total").get();
+        let _ = parallel_map(vec![1u8, 2, 3], 2, |x| x);
+        assert!(trips_obs::counter("pool_jobs_total").get() >= before + 3);
+        let snap = trips_obs::snapshot_text();
+        assert!(snap.contains("pool_steals_total"));
+        assert!(snap.contains("pool_queue_ns"));
+    }
+
+    #[test]
+    fn queue_latency_reaches_cost_scope() {
+        // Single-threaded path: queue latency is defined as zero.
+        let costs = parallel_map(vec![(), ()], 1, |()| {
+            let scope = trips_obs::cost::begin_row();
+            scope.finish().queue_ns
+        });
+        assert_eq!(costs, vec![0, 0]);
     }
 }

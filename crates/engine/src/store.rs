@@ -392,6 +392,7 @@ impl TraceStore {
         payload_version: u32,
         decode_payload: impl FnOnce(&[u8]) -> Result<T, String>,
     ) -> LoadOutcome<T> {
+        let _span = trips_obs::span("store.load");
         let path = self.path_for_key(key);
         let bytes = match fs::read(&path) {
             Ok(b) => b,
@@ -401,6 +402,8 @@ impl TraceStore {
             // but leave the file for other processes.
             Err(e) => return LoadOutcome::Reject(format!("read failed: {e}")),
         };
+        trips_obs::counter("store_read_bytes_total").inc(bytes.len() as u64);
+        trips_obs::cost::add_store_read(bytes.len() as u64);
         let payload = match Self::verify_container(key, kind, payload_version, &bytes) {
             Ok(p) => p,
             Err(why) => return self.reject(&path, why),
@@ -448,6 +451,7 @@ impl TraceStore {
         payload_version: u32,
         payload: &[u8],
     ) -> io::Result<()> {
+        let _span = trips_obs::span("store.save");
         let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
         bytes.extend_from_slice(&STORE_MAGIC);
         bytes.extend_from_slice(&STORE_VERSION.to_le_bytes());
@@ -468,6 +472,10 @@ impl TraceStore {
         ));
         fs::write(&tmp, &bytes)
             .and_then(|()| fs::rename(&tmp, self.path_for_key(key)))
+            .inspect(|()| {
+                trips_obs::counter("store_write_bytes_total").inc(bytes.len() as u64);
+                trips_obs::cost::add_store_write(bytes.len() as u64);
+            })
             .inspect_err(|_| {
                 // A failed write (e.g. ENOSPC) leaves a partial temp file;
                 // a failed rename leaves a complete one. Neither may stay.

@@ -292,6 +292,12 @@ pub struct SweepRow {
     /// Wall-clock milliseconds this point took (includes any cache misses
     /// it had to fill).
     pub wall_ms: f64,
+    /// Where the wall-clock and I/O went: per-row cost attribution
+    /// (tier hit path, capture/fit/warm/detailed/extrapolate nanos, store
+    /// bytes, pool queue latency). Collected thread-locally around this
+    /// point's measurement — never from memoized artifacts, so rows stay
+    /// byte-identical (timing fields aside) with observability on or off.
+    pub cost: trips_obs::RowCost,
     /// Full backend statistics (not serialized).
     pub detail: RowDetail,
 }
@@ -325,6 +331,30 @@ impl Serialize for SweepRow {
             (Value::str("est_cycles"), serde::to_value(&self.est_cycles)),
             (Value::str("phase_k"), serde::to_value(&self.phase_k)),
             (Value::str("wall_ms"), serde::to_value(&self.wall_ms)),
+            (Value::str("tier"), serde::to_value(&self.cost.tier)),
+            (
+                Value::str("capture_ns"),
+                serde::to_value(&self.cost.capture_ns),
+            ),
+            (Value::str("fit_ns"), serde::to_value(&self.cost.fit_ns)),
+            (Value::str("warm_ns"), serde::to_value(&self.cost.warm_ns)),
+            (
+                Value::str("detailed_ns"),
+                serde::to_value(&self.cost.detailed_ns),
+            ),
+            (
+                Value::str("extrapolate_ns"),
+                serde::to_value(&self.cost.extrapolate_ns),
+            ),
+            (Value::str("queue_ns"), serde::to_value(&self.cost.queue_ns)),
+            (
+                Value::str("store_read_bytes"),
+                serde::to_value(&self.cost.store_read_bytes),
+            ),
+            (
+                Value::str("store_write_bytes"),
+                serde::to_value(&self.cost.store_write_bytes),
+            ),
         ];
         serializer.serialize_value(Value::Map(m))
     }
@@ -347,6 +377,9 @@ pub struct SweepReport {
     pub measurements_per_sec: f64,
     /// Artifact-cache effectiveness.
     pub cache: crate::cache::CacheStats,
+    /// Sum of every row's [`SweepRow::cost`] (tier = the deepest any row
+    /// went): the sweep's cost-attribution roll-up.
+    pub cost_totals: trips_obs::RowCost,
 }
 
 struct Point {
@@ -406,6 +439,8 @@ fn expand(spec: &SweepSpec) -> Result<Vec<Point>, EngineError> {
 
 fn measure(p: &Point, spec: &SweepSpec, session: &Session) -> Result<SweepRow, EngineError> {
     let t0 = Instant::now();
+    let _span = trips_obs::span_with("sweep.point", || point_label(p));
+    let cost_scope = trips_obs::cost::begin_row();
     let mode = ReplayMode::from_plan(spec.sample);
     let mut row = SweepRow {
         workload: p.workload.name.to_string(),
@@ -426,6 +461,7 @@ fn measure(p: &Point, spec: &SweepSpec, session: &Session) -> Result<SweepRow, E
         est_cycles: 0,
         phase_k: 0,
         wall_ms: 0.0,
+        cost: trips_obs::RowCost::default(),
         detail: RowDetail::None,
     };
     match &p.backend {
@@ -557,6 +593,7 @@ fn measure(p: &Point, spec: &SweepSpec, session: &Session) -> Result<SweepRow, E
             row.est_cycles = r.cycles;
         }
     }
+    row.cost = cost_scope.finish();
     row.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     Ok(row)
 }
@@ -568,6 +605,22 @@ fn measure(p: &Point, spec: &SweepSpec, session: &Session) -> Result<SweepRow, E
 /// spec. Per-point failures do not abort the sweep; they are collected in
 /// [`SweepReport::errors`].
 pub fn run_sweep(spec: &SweepSpec, session: &Session) -> Result<SweepReport, EngineError> {
+    let _span = trips_obs::span("sweep.run");
+    // Pre-register the headline series so a `--metrics` snapshot contains
+    // them even when this particular run never exercised the event
+    // (e.g. a cold run has zero disk hits, a store-less run writes no
+    // bytes). The pool registers its own series the same way.
+    for series in [
+        "session_disk_hits",
+        "session_disk_misses",
+        "session_captures",
+        "store_read_bytes_total",
+        "store_write_bytes_total",
+        "replay_events_total{core=\"trips\"}",
+        "replay_events_total{core=\"ooo\"}",
+    ] {
+        let _ = trips_obs::counter(series);
+    }
     let points = expand(spec)?;
     let n = points.len();
     let threads = effective_threads(spec.threads, n);
@@ -579,9 +632,13 @@ pub fn run_sweep(spec: &SweepSpec, session: &Session) -> Result<SweepReport, Eng
     let wall_s = t0.elapsed().as_secs_f64();
     let mut rows = Vec::with_capacity(n);
     let mut errors = Vec::new();
+    let mut cost_totals = trips_obs::RowCost::default();
     for r in results {
         match r {
-            Ok(row) => rows.push(row),
+            Ok(row) => {
+                cost_totals.absorb(&row.cost);
+                rows.push(row);
+            }
             Err(e) => errors.push(e),
         }
     }
@@ -596,6 +653,7 @@ pub fn run_sweep(spec: &SweepSpec, session: &Session) -> Result<SweepReport, Eng
         wall_s,
         measurements_per_sec,
         cache: session.cache_stats(),
+        cost_totals,
         rows,
         errors,
     })
@@ -603,12 +661,15 @@ pub fn run_sweep(spec: &SweepSpec, session: &Session) -> Result<SweepReport, Eng
 
 /// Renders rows as CSV (header + one line per row).
 pub fn to_csv(rows: &[SweepRow]) -> String {
+    // Columns 1..=14 are deterministic; `wall_ms` and the cost columns
+    // after it may differ between otherwise identical runs (timings, and
+    // tier/store-bytes between cold and warm stores).
     let mut out = String::from(
-        "workload,backend,config,cycles,ipc,blocks,mispredict_flushes,load_flushes,l1d_misses,avg_window,sampled,detailed_frac,est_cycles,phase_k,wall_ms\n",
+        "workload,backend,config,cycles,ipc,blocks,mispredict_flushes,load_flushes,l1d_misses,avg_window,sampled,detailed_frac,est_cycles,phase_k,wall_ms,tier,capture_ns,fit_ns,warm_ns,detailed_ns,extrapolate_ns,queue_ns,store_read_bytes,store_write_bytes\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{},{},{},{},{:.4},{},{},{},{},{:.2},{},{:.4},{},{},{:.3}\n",
+            "{},{},{},{},{:.4},{},{},{},{},{:.2},{},{:.4},{},{},{:.3},{},{},{},{},{},{},{},{},{}\n",
             r.workload,
             r.backend,
             r.config,
@@ -623,7 +684,16 @@ pub fn to_csv(rows: &[SweepRow]) -> String {
             r.detailed_frac,
             r.est_cycles,
             r.phase_k,
-            r.wall_ms
+            r.wall_ms,
+            r.cost.tier,
+            r.cost.capture_ns,
+            r.cost.fit_ns,
+            r.cost.warm_ns,
+            r.cost.detailed_ns,
+            r.cost.extrapolate_ns,
+            r.cost.queue_ns,
+            r.cost.store_read_bytes,
+            r.cost.store_write_bytes
         ));
     }
     out

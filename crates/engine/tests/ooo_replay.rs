@@ -94,14 +94,15 @@ fn sweep(store: &Path, out: &Path) -> String {
     stderr
 }
 
-/// CSV rows without the header and the wall-clock column (the one field
-/// allowed to differ between runs).
+/// CSV rows without the header, truncated to the 14 deterministic
+/// measurement columns (wall_ms and the RowCost columns after it may
+/// legitimately differ between runs — e.g. cold-capture vs warm-disk).
 fn stable_rows(csv_path: &Path) -> Vec<String> {
     let text = std::fs::read_to_string(csv_path).unwrap();
     let mut rows: Vec<String> = text
         .lines()
         .skip(1)
-        .map(|l| l.rsplit_once(',').expect("wall_ms column").0.to_string())
+        .map(|l| l.split(',').take(14).collect::<Vec<_>>().join(","))
         .collect();
     rows.sort();
     rows

@@ -30,6 +30,8 @@
 
 use std::env;
 
+use trips_obs::Level;
+
 fn main() {
     let mut args: Vec<String> = env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -37,7 +39,7 @@ fn main() {
     let mut trace_dir = env::var("TRIPS_TRACE_DIR").ok().filter(|v| !v.is_empty());
     if let Some(at) = args.iter().position(|a| a == "--trace-dir") {
         if at + 1 >= args.len() {
-            eprintln!("error: --trace-dir needs a value");
+            trips_obs::log!(Level::Error, "repro", "--trace-dir needs a value");
             std::process::exit(1);
         }
         trace_dir = Some(args.remove(at + 1));
@@ -45,14 +47,18 @@ fn main() {
     }
     if let Some(dir) = &trace_dir {
         if let Err(e) = trips_experiments::runner::init_trace_store(std::path::Path::new(dir)) {
-            eprintln!("error: {e}");
+            trips_obs::log!(Level::Error, "repro", "{e}");
             std::process::exit(1);
         }
-        eprintln!("[repro] trace store: {dir}");
+        trips_obs::log!(Level::Info, "repro", "trace store: {dir}");
     }
     if let Some(at) = args.iter().position(|a| a == "--sample") {
         if at + 1 >= args.len() {
-            eprintln!("error: --sample needs warmup,detailed,period");
+            trips_obs::log!(
+                Level::Error,
+                "repro",
+                "--sample needs warmup,detailed,period"
+            );
             std::process::exit(1);
         }
         let spec = args.remove(at + 1);
@@ -60,19 +66,23 @@ fn main() {
         let plan = match trips_engine::SamplePlan::parse(&spec) {
             Ok(p) => p,
             Err(e) => {
-                eprintln!("error: --sample: {e}");
+                trips_obs::log!(Level::Error, "repro", "--sample: {e}");
                 std::process::exit(1);
             }
         };
         if let Err(e) = trips_experiments::runner::set_sample_plan(plan) {
-            eprintln!("error: {e}");
+            trips_obs::log!(Level::Error, "repro", "{e}");
             std::process::exit(1);
         }
-        eprintln!("[repro] sampling timing backends under plan {plan}");
+        trips_obs::log!(
+            Level::Info,
+            "repro",
+            "sampling timing backends under plan {plan}"
+        );
     }
     if let Some(at) = args.iter().position(|a| a == "--phase") {
         if at + 1 >= args.len() {
-            eprintln!("error: --phase needs k|auto");
+            trips_obs::log!(Level::Error, "repro", "--phase needs k|auto");
             std::process::exit(1);
         }
         let spec = args.remove(at + 1);
@@ -80,15 +90,19 @@ fn main() {
         let k = match trips_engine::PhaseK::parse(&spec) {
             Ok(k) => k,
             Err(e) => {
-                eprintln!("error: --phase: {e}");
+                trips_obs::log!(Level::Error, "repro", "--phase: {e}");
                 std::process::exit(1);
             }
         };
         if let Err(e) = trips_experiments::runner::set_phase_k(k) {
-            eprintln!("error: {e}");
+            trips_obs::log!(Level::Error, "repro", "{e}");
             std::process::exit(1);
         }
-        eprintln!("[repro] phase-classifying timing backends (k={k})");
+        trips_obs::log!(
+            Level::Info,
+            "repro",
+            "phase-classifying timing backends (k={k})"
+        );
     }
     let what = args.first().map(String::as_str).unwrap_or("all");
 
@@ -98,23 +112,31 @@ fn main() {
         vec![what]
     };
     for name in names {
-        eprintln!("[repro] running {name} ...");
+        trips_obs::log!(Level::Info, "repro", "running {name} ...");
         match trips_experiments::run_experiment(name, quick) {
             Ok(report) => println!("{report}"),
             Err(e) => {
-                eprintln!("error: {e}");
+                trips_obs::log!(Level::Error, "repro", "{e}");
                 std::process::exit(1);
             }
         }
     }
     if trace_dir.is_some() {
         let c = trips_engine::Session::global().cache_stats();
-        eprintln!(
-            "[repro] store: disk_hits={} disk_misses={} disk_rejects={} writes={} captures={}",
-            c.disk_hits, c.disk_misses, c.disk_rejects, c.store_writes, c.captures,
+        trips_obs::log!(
+            Level::Info,
+            "repro",
+            "store: disk_hits={} disk_misses={} disk_rejects={} writes={} captures={}",
+            c.disk_hits,
+            c.disk_misses,
+            c.disk_rejects,
+            c.store_writes,
+            c.captures,
         );
-        eprintln!(
-            "[repro] risc store: disk_hits={} disk_misses={} disk_rejects={} writes={} captures={}",
+        trips_obs::log!(
+            Level::Info,
+            "repro",
+            "risc store: disk_hits={} disk_misses={} disk_rejects={} writes={} captures={}",
             c.risc_disk_hits,
             c.risc_disk_misses,
             c.risc_disk_rejects,

@@ -899,9 +899,17 @@ pub fn phase_accuracy(scale: Scale) -> String {
         if !path.is_empty() {
             let csv = runner::phase_assignment_csv(&rows);
             if let Err(e) = std::fs::write(&path, csv) {
-                eprintln!("[phase_accuracy] writing {path}: {e}");
+                trips_obs::log!(
+                    trips_obs::Level::Error,
+                    "phase_accuracy",
+                    "writing {path}: {e}"
+                );
             } else {
-                eprintln!("[phase_accuracy] cluster assignments written to {path}");
+                trips_obs::log!(
+                    trips_obs::Level::Info,
+                    "phase_accuracy",
+                    "cluster assignments written to {path}"
+                );
             }
         }
     }

@@ -1,0 +1,191 @@
+//! Structured spans with a thread-local stack, journaled as JSONL.
+//!
+//! A [`Span`] is an RAII guard: [`span()`] pushes, dropping pops and emits
+//! one JSON line `{"thread":…,"depth":…,"label":…,"detail":…,"start_ns":…,
+//! "dur_ns":…}` to the installed sink. Timestamps are nanoseconds on the
+//! monotonic clock relative to a process-wide epoch, so records from all
+//! threads share one timeline. With no sink installed ([`enable_trace`]
+//! never called — the default), [`span()`] is a single relaxed atomic load
+//! and the guard is inert: the hot loops pay nothing.
+//!
+//! Spans on one thread are properly nested (guards drop in reverse
+//! creation order), so the journal reconstructs the call tree from
+//! `(thread, start_ns, dur_ns, depth)` alone — see [`crate::report`].
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static TRACE_ON: AtomicBool = AtomicBool::new(false);
+
+fn sink() -> &'static Mutex<Option<BufWriter<File>>> {
+    static SINK: OnceLock<Mutex<Option<BufWriter<File>>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Process-wide monotonic epoch: all span timestamps are relative to the
+/// first observability event in the process.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Small dense thread ordinal (0, 1, 2, …) assigned on first use per
+/// thread; stable for the thread's lifetime and cheaper to journal than
+/// `std::thread::ThreadId`. Also used by the metrics shard selector.
+pub(crate) fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ORDINAL.with(|o| *o)
+}
+
+thread_local! {
+    static DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Install a JSONL trace sink at `path` and turn span journaling on for
+/// the rest of the process. Call once, early (e.g. from the CLI when
+/// `--obs-trace` is given). Remember to [`flush_trace`] before exit.
+pub fn enable_trace(path: &std::path::Path) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    *sink().lock().unwrap() = Some(BufWriter::new(file));
+    epoch(); // pin the epoch before any span is emitted
+    TRACE_ON.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// True when a trace sink is installed (spans are being journaled).
+#[inline]
+pub fn trace_enabled() -> bool {
+    TRACE_ON.load(Ordering::Relaxed)
+}
+
+/// Flush buffered journal records to disk. Harmless when tracing is off.
+pub fn flush_trace() {
+    if let Some(w) = sink().lock().unwrap().as_mut() {
+        let _ = w.flush();
+    }
+}
+
+struct ActiveSpan {
+    label: &'static str,
+    detail: Option<String>,
+    start: Instant,
+    start_ns: u64,
+    depth: u32,
+}
+
+/// RAII span guard; the span ends (and is journaled) when this drops.
+/// Inert when tracing is disabled.
+pub struct Span(Option<ActiveSpan>);
+
+/// Open a span named `label` (see the crate-level naming convention).
+#[inline]
+pub fn span(label: &'static str) -> Span {
+    if !trace_enabled() {
+        return Span(None);
+    }
+    Span(Some(open(label, None)))
+}
+
+/// Open a span with a lazily-built per-instance detail string (workload
+/// name, config axis, …). `detail` is only invoked when tracing is on.
+#[inline]
+pub fn span_with<F: FnOnce() -> String>(label: &'static str, detail: F) -> Span {
+    if !trace_enabled() {
+        return Span(None);
+    }
+    Span(Some(open(label, Some(detail()))))
+}
+
+fn open(label: &'static str, detail: Option<String>) -> ActiveSpan {
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    let start = Instant::now();
+    ActiveSpan {
+        label,
+        detail,
+        start,
+        start_ns: start.duration_since(epoch()).as_nanos() as u64,
+        depth,
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(s) = self.0.take() else { return };
+        let dur_ns = s.start.elapsed().as_nanos() as u64;
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"thread\":");
+        line.push_str(&thread_ordinal().to_string());
+        line.push_str(",\"depth\":");
+        line.push_str(&s.depth.to_string());
+        line.push_str(",\"label\":\"");
+        push_escaped(&mut line, s.label);
+        line.push('"');
+        if let Some(detail) = &s.detail {
+            line.push_str(",\"detail\":\"");
+            push_escaped(&mut line, detail);
+            line.push('"');
+        }
+        line.push_str(",\"start_ns\":");
+        line.push_str(&s.start_ns.to_string());
+        line.push_str(",\"dur_ns\":");
+        line.push_str(&dur_ns.to_string());
+        line.push_str("}\n");
+        if let Some(w) = sink().lock().unwrap().as_mut() {
+            let _ = w.write_all(line.as_bytes());
+        }
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_is_inert() {
+        assert!(!trace_enabled());
+        let g = span("test.inert");
+        assert!(g.0.is_none());
+        drop(g);
+        let g = span_with("test.inert", || unreachable!("detail built while disabled"));
+        assert!(g.0.is_none());
+    }
+
+    #[test]
+    fn thread_ordinals_are_distinct() {
+        let here = thread_ordinal();
+        let there = std::thread::spawn(thread_ordinal).join().unwrap();
+        assert_ne!(here, there);
+        assert_eq!(here, thread_ordinal());
+    }
+
+    #[test]
+    fn escaping_produces_valid_json_fragments() {
+        let mut s = String::new();
+        push_escaped(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

@@ -1,0 +1,80 @@
+//! Property test: histogram bucket counts and sums are conserved under
+//! concurrent sharded increments — no sample is lost or double-counted
+//! when many threads observe into the same histogram at once, and the
+//! sharded counter likewise conserves its total.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn histogram_conserves_under_concurrency(
+        per_thread in proptest::prop::collection::vec(
+            proptest::prop::collection::vec(any::<u32>(), 1..200),
+            1..6,
+        )
+    ) {
+        // A fresh registry name per case so cases don't accumulate.
+        let name = format!("prop_hist_{}", next_case());
+        let h = trips_obs::histogram(&name);
+        let expected_count: u64 = per_thread.iter().map(|v| v.len() as u64).sum();
+        let expected_sum: u64 = per_thread
+            .iter()
+            .flat_map(|v| v.iter().map(|&x| x as u64))
+            .sum();
+
+        let handles: Vec<_> = per_thread
+            .into_iter()
+            .map(|vals| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for v in vals {
+                        h.observe(v as u64);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+
+        prop_assert_eq!(h.count(), expected_count);
+        prop_assert_eq!(h.sum(), expected_sum);
+        prop_assert_eq!(h.buckets().iter().sum::<u64>(), expected_count);
+    }
+
+    #[test]
+    fn counter_conserves_under_concurrency(
+        per_thread in proptest::prop::collection::vec(
+            proptest::prop::collection::vec(1u64..1000, 1..200),
+            1..6,
+        )
+    ) {
+        let name = format!("prop_counter_{}", next_case());
+        let c = trips_obs::counter(&name);
+        let expected: u64 = per_thread.iter().flatten().sum();
+        let handles: Vec<_> = per_thread
+            .into_iter()
+            .map(|vals| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for v in vals {
+                        c.inc(v);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        prop_assert_eq!(c.get(), expected);
+    }
+}
+
+fn next_case() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}

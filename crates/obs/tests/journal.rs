@@ -1,0 +1,71 @@
+//! End-to-end span journal test: enable a sink, emit nested spans from
+//! several threads, flush, parse, fold — the profile must agree with the
+//! structure we emitted.
+//!
+//! This binary owns the process-global trace sink; keep any test that
+//! does *not* want journaling out of this file.
+
+use std::path::PathBuf;
+
+#[test]
+fn journal_round_trips_through_report() {
+    let path = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("obs-journal-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    trips_obs::enable_trace(&path).unwrap();
+    assert!(trips_obs::trace_enabled());
+
+    {
+        let _root = trips_obs::span("test.root");
+        let handles: Vec<_> = (0..3)
+            .map(|w| {
+                std::thread::spawn(move || {
+                    let _worker = trips_obs::span_with("test.worker", || format!("w{w}"));
+                    for _ in 0..4 {
+                        let _job = trips_obs::span("test.job");
+                        std::hint::black_box(0u64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+    trips_obs::flush_trace();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let records = trips_obs::report::parse_journal(&text).unwrap();
+    assert_eq!(
+        records.len(),
+        1 + 3 + 12,
+        "one root, three workers, 12 jobs"
+    );
+
+    let profile = trips_obs::fold_report(&records);
+    let get = |l: &str| {
+        profile
+            .labels
+            .iter()
+            .find(|s| s.label == l)
+            .unwrap_or_else(|| panic!("missing label {l}"))
+    };
+    assert_eq!(get("test.root").count, 1);
+    assert_eq!(get("test.worker").count, 3);
+    assert_eq!(get("test.job").count, 12);
+    // worker details survived
+    assert!(get("test.worker")
+        .max_detail
+        .as_deref()
+        .unwrap()
+        .starts_with('w'));
+    // jobs nest inside workers: worker exclusive <= worker inclusive
+    assert!(get("test.worker").excl_ns <= get("test.worker").incl_ns);
+    // every thread's roots are depth 0: coverage is positive and sane
+    assert!(profile.coverage > 0.0 && profile.coverage <= 1.0 + 1e-9);
+    assert_eq!(profile.threads, 4);
+
+    let rendered = profile.render();
+    assert!(rendered.contains("test.job"));
+    assert!(rendered.contains("span coverage"));
+}

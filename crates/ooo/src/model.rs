@@ -372,11 +372,20 @@ pub fn time_events_mode(
     // untouched.
     let mut acct: u64 = 0;
     let mut idx: u64 = 0;
+    // Per-row cost segments are timed on phase transitions only: when a
+    // sweep cost scope is active this is one enum compare per event,
+    // otherwise a single predictable branch (see trips_obs::SegmentTimer).
+    let replay_start = std::time::Instant::now();
+    let mut seg = trips_obs::SegmentTimer::new();
 
     while let Some(ev) = src.next_event()? {
         let phase = sampler
             .as_mut()
             .map_or(Phase::Detailed, |s| s.advance(acct));
+        seg.switch(match phase {
+            Phase::Detailed => trips_obs::CostKind::Detailed,
+            _ => trips_obs::CostKind::Warm,
+        });
         total += 1;
         let counting = phase == Phase::Detailed;
         if phase == Phase::Warm {
@@ -536,9 +545,19 @@ pub fn time_events_mode(
         idx += 1;
     }
 
+    seg.finish();
+    // Per-backend replay throughput telemetry: O(1) per replay call.
+    trips_obs::counter("replay_events_total{core=\"ooo\"}").inc(total);
+    let elapsed_ns = replay_start.elapsed().as_nanos() as u64;
+    if elapsed_ns > 0 && total > 0 {
+        trips_obs::histogram("replay_events_per_sec{core=\"ooo\"}")
+            .observe(total.saturating_mul(1_000_000_000) / elapsed_ns);
+    }
     stats.total_insts = total;
     stats.est_cycles = if let Some(sampler) = sampler {
+        let timed = trips_obs::cost::Timed::start(trips_obs::CostKind::Extrapolate);
         let s = sampler.finish(acct);
+        drop(timed);
         debug_assert_eq!(s.measured_units, stats.insts);
         stats.sampled = true;
         // Measured-window cycles only: timed warmup advanced the clock but

@@ -750,10 +750,31 @@ impl Schedule {
     /// Closes the schedule and produces the whole-run estimate.
     #[must_use]
     pub fn finish(self, clock: u64) -> SampleSummary {
-        match self {
+        let kind = match &self {
+            Schedule::Sampled(_) => "interval",
+            Schedule::Phased(_) => "phase",
+        };
+        let summary = match self {
             Schedule::Sampled(s) => s.finish(clock),
             Schedule::Phased(p) => p.finish(clock),
+        };
+        // One registry touch per replay: how much of each stream the
+        // sampling schedules actually measured, per schedule kind.
+        match kind {
+            "interval" => {
+                trips_obs::counter("sample_measured_units_total{kind=\"interval\"}")
+                    .inc(summary.measured_units);
+                trips_obs::counter("sample_stream_units_total{kind=\"interval\"}")
+                    .inc(summary.total_units);
+            }
+            _ => {
+                trips_obs::counter("sample_measured_units_total{kind=\"phase\"}")
+                    .inc(summary.measured_units);
+                trips_obs::counter("sample_stream_units_total{kind=\"phase\"}")
+                    .inc(summary.total_units);
+            }
         }
+        summary
     }
 }
 

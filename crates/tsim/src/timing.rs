@@ -149,23 +149,54 @@ pub fn replay_trace_mode(
     mode: &ReplayMode,
 ) -> Result<SimResult, SimError> {
     log.validate(&compiled.trips).map_err(SimError::Trace)?;
+    let replay_start = std::time::Instant::now();
     let mut t = Timing::new(compiled, cfg);
     let mut summary = None;
     match mode
         .schedule(log.seq.len() as u64)
         .map_err(SimError::Trace)?
     {
-        None => log.replay(|bidx, trace| t.time_block(bidx, trace)),
+        // Full replay: the untouched hot path — per-row cost attribution
+        // (when a sweep scope is active) brackets the whole loop, adding
+        // nothing per block.
+        None => {
+            let timed = trips_obs::cost::Timed::start(trips_obs::CostKind::Detailed);
+            log.replay(|bidx, trace| t.time_block(bidx, trace));
+            drop(timed);
+        }
         Some(mut sched) => {
             // The schedule (systematic sampler or fitted phase plan)
             // meters measurement windows on the commit clock and keeps
-            // the extrapolation bookkeeping.
-            log.replay(|bidx, trace| match sched.advance(t.last_commit) {
-                Phase::Warm => t.warm_block(bidx, trace),
-                Phase::TimedWarm => t.time_block_discarded(bidx, trace),
-                Phase::Detailed => t.time_block(bidx, trace),
-            });
+            // the extrapolation bookkeeping. Cost segments are timed on
+            // phase *transitions* only (one enum compare per block when
+            // a sweep cost scope is active, nothing otherwise).
+            let mut seg = trips_obs::SegmentTimer::new();
+            if seg.enabled() {
+                log.replay(|bidx, trace| match sched.advance(t.last_commit) {
+                    Phase::Warm => {
+                        seg.switch(trips_obs::CostKind::Warm);
+                        t.warm_block(bidx, trace);
+                    }
+                    Phase::TimedWarm => {
+                        seg.switch(trips_obs::CostKind::Warm);
+                        t.time_block_discarded(bidx, trace);
+                    }
+                    Phase::Detailed => {
+                        seg.switch(trips_obs::CostKind::Detailed);
+                        t.time_block(bidx, trace);
+                    }
+                });
+            } else {
+                log.replay(|bidx, trace| match sched.advance(t.last_commit) {
+                    Phase::Warm => t.warm_block(bidx, trace),
+                    Phase::TimedWarm => t.time_block_discarded(bidx, trace),
+                    Phase::Detailed => t.time_block(bidx, trace),
+                });
+            }
+            seg.finish();
+            let timed = trips_obs::cost::Timed::start(trips_obs::CostKind::Extrapolate);
             summary = Some(sched.finish(t.last_commit));
+            drop(timed);
         }
     }
     let mut stats = t.finish();
@@ -176,6 +207,14 @@ pub fn replay_trace_mode(
         stats.total_units = s.total_units;
         stats.cycles = s.measured_cycles.max(u64::from(stats.blocks > 0));
         stats.est_cycles = s.est_cycles.max(stats.cycles);
+    }
+    // Per-backend replay throughput telemetry: O(1) per replay call.
+    let units = log.seq.len() as u64;
+    trips_obs::counter("replay_events_total{core=\"trips\"}").inc(units);
+    let elapsed_ns = replay_start.elapsed().as_nanos() as u64;
+    if elapsed_ns > 0 && units > 0 {
+        trips_obs::histogram("replay_events_per_sec{core=\"trips\"}")
+            .observe(units.saturating_mul(1_000_000_000) / elapsed_ns);
     }
     Ok(SimResult {
         return_value: log.return_value,
