@@ -64,6 +64,14 @@ options:
                        is timed and weighted by population; rows carry
                        phase_k. Fitted plans are memoized (and persisted
                        under --trace-dir), so N points cluster once.
+  --live-points        with --phase: checkpoint the warmed machine state at
+                       each measured-window boundary (once per stream/plan/
+                       config, persisted under --trace-dir) and replay the
+                       measured windows as parallel jobs from the restored
+                       states — bit-identical to fast-forward-then-replay,
+                       paying the O(stream) warming prefix once instead of
+                       per run; a warm store serves any sweep point with
+                       zero stream-prefix replay
   --list-workloads     print every registry workload name, one per line,
                        and exit
   --threads N          worker threads (default: one per core)
@@ -85,6 +93,10 @@ options:
   --obs-report FILE    fold a span journal into a self-profile (call
                        counts, inclusive/exclusive time per label,
                        wall-clock coverage), print it, and exit
+  --fold               with --obs-report: emit flamegraph folded stacks
+                       (`root;child;leaf exclusive_ns`, one line per span
+                       path) instead of the profile table — pipe straight
+                       into flamegraph.pl / inferno-flamegraph
   --metrics FILE       write a Prometheus-style snapshot of the metrics
                        registry (cache tiers, store I/O, pool workers,
                        replay throughput) to FILE after the sweep
@@ -119,6 +131,7 @@ fn main() -> ExitCode {
     let mut gc_format = "text".to_string();
     let mut obs_trace: Option<String> = None;
     let mut obs_report: Option<String> = None;
+    let mut fold = false;
     let mut metrics_path: Option<String> = None;
     let mut default_demo = true;
 
@@ -215,6 +228,7 @@ fn main() -> ExitCode {
                 },
                 Err(e) => return fail(&e),
             },
+            "--live-points" => spec.live_points = true,
             "--threads" => match value("--threads").map(|v| v.parse::<usize>()) {
                 Ok(Ok(n)) => spec.threads = n,
                 _ => return fail("--threads needs a number"),
@@ -254,6 +268,7 @@ fn main() -> ExitCode {
                 Ok(v) => obs_report = Some(v),
                 Err(e) => return fail(&e),
             },
+            "--fold" => fold = true,
             "--metrics" => match value("--metrics") {
                 Ok(v) => metrics_path = Some(v),
                 Err(e) => return fail(&e),
@@ -272,9 +287,16 @@ fn main() -> ExitCode {
             Ok(r) => r,
             Err(e) => return fail(&format!("parsing span journal `{journal}`: {e}")),
         };
-        let rendered = trips_obs::fold_report(&records).render();
+        let rendered = if fold {
+            trips_obs::fold_stacks(&records)
+        } else {
+            trips_obs::fold_report(&records).render()
+        };
         let _ = std::io::stdout().lock().write_all(rendered.as_bytes());
         return ExitCode::SUCCESS;
+    }
+    if fold {
+        return fail("--fold needs --obs-report");
     }
     if let Some(path) = &obs_trace {
         if let Err(e) = trips_obs::enable_trace(std::path::Path::new(path)) {
@@ -392,15 +414,18 @@ fn run(
                         trips_obs::log!(
                             Level::Info,
                             "trips-sweep",
-                            "trace-gc: {} containers ({} bytes): {} TRIPS traces, {} RISC traces, {} BBV plans, {} stale",
+                            "trace-gc: {} containers ({} bytes): {} TRIPS traces, {} RISC traces, {} BBV plans, {} live-point sets, {} stale",
                             census.containers, census.bytes, census.block_traces,
-                            census.risc_traces, census.bbv_plans, census.stale
+                            census.risc_traces, census.bbv_plans, census.live_points,
+                            census.stale
                         );
                         trips_obs::log!(
                             Level::Info,
                             "trips-sweep",
-                            "trace-gc: scanned {} containers, pruned {} stale ({} bytes reclaimed), kept {}",
-                            prune.scanned, prune.removed, prune.bytes_freed, prune.kept
+                            "trace-gc: scanned {} containers, pruned {} ({} stale-version, {} orphaned live-points, {} bytes reclaimed), kept {}",
+                            prune.scanned, prune.removed,
+                            prune.removed - prune.orphaned, prune.orphaned,
+                            prune.bytes_freed, prune.kept
                         );
                     }
                 }
@@ -471,12 +496,14 @@ fn run(
     trips_obs::log!(
         Level::Info,
         "trips-sweep",
-        "cost: capture={:.1}ms fit={:.1}ms warm={:.1}ms detailed={:.1}ms extrapolate={:.1}ms queue={:.1}ms store_read={}B store_write={}B",
+        "cost: capture={:.1}ms fit={:.1}ms warm={:.1}ms detailed={:.1}ms extrapolate={:.1}ms ckpt_save={:.1}ms ckpt_restore={:.1}ms queue={:.1}ms store_read={}B store_write={}B",
         t.capture_ns as f64 / 1e6,
         t.fit_ns as f64 / 1e6,
         t.warm_ns as f64 / 1e6,
         t.detailed_ns as f64 / 1e6,
         t.extrapolate_ns as f64 / 1e6,
+        t.checkpoint_save_ns as f64 / 1e6,
+        t.checkpoint_restore_ns as f64 / 1e6,
         t.queue_ns as f64 / 1e6,
         t.store_read_bytes,
         t.store_write_bytes,
@@ -495,6 +522,19 @@ fn run(
             "trips-sweep",
             "phase: k={k} on the timing backends; {} fits performed, {} served from memory, {} from disk",
             c.phase_fits, c.phase_hits, c.phase_disk_hits,
+        );
+    }
+    if spec.live_points {
+        trips_obs::log!(
+            Level::Info,
+            "trips-sweep",
+            "live-points: captures={} memo_hits={} disk_hits={} disk_misses={} disk_rejects={} writes={}",
+            c.livepoint_captures,
+            c.livepoint_hits,
+            c.livepoint_disk_hits,
+            c.livepoint_disk_misses,
+            c.livepoint_disk_rejects,
+            c.livepoint_store_writes,
         );
     }
     if trace_dir.is_some() {

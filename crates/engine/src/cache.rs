@@ -23,7 +23,20 @@
 //!   [`Session::ooo_phase_plan`]): the stream key plus the
 //!   [`trips_phase::PhaseSpec`], so BBV extraction and k-means run once
 //!   per process (and, with a store, once per *store* — artifacts persist
-//!   as a third container kind keyed off the parent trace).
+//!   as a third container kind keyed off the parent trace);
+//! * live-point checkpoint sets ([`Session::set_live_points`]): the
+//!   parent stream key plus the fitted plan's signature, the timing
+//!   configuration's signature and the core discriminant. When the tier
+//!   is enabled, a phased replay whose plan skips work first resolves
+//!   its checkpoint set (memo → store → one capture pass that *is* the
+//!   sequential replay), then serves every later request by restoring
+//!   each window's warmed state and replaying only the measured windows
+//!   — as independent jobs on the work-stealing pool
+//!   ([`crate::pool::parallel_map`]), so one long stream replays in
+//!   parallel and a warm store serves any sweep point with zero
+//!   stream-prefix replay. Restored window replay is bit-identical to
+//!   fast-forward-then-replay on every backend (enforced by tests in
+//!   both timing crates).
 //!
 //! Entries hold an `Arc<OnceLock<...>>`, so the map's mutex is held only for
 //! the key lookup; the (expensive) compile or functional capture runs
@@ -52,7 +65,10 @@ use trips_compiler::{CompileOptions, CompiledProgram};
 use trips_isa::{TraceId, TraceLog, TraceMeta};
 use trips_workloads::{Scale, Workload};
 
-use crate::store::{BbvId, LoadOutcome, RiscTraceId, TraceStore};
+use crate::store::{
+    plan_sig, BbvId, LivePointId, LivePointSet, LivePointStates, LoadOutcome, RiscTraceId,
+    TraceStore, KIND_BLOCK_TRACE, KIND_RISC_TRACE,
+};
 use trips_phase::{PhaseArtifact, PhaseSpec};
 use trips_risc::{RiscTrace, RiscTraceMeta};
 use trips_sample::{PhasePlan, ReplayMode, SamplePlan};
@@ -273,6 +289,23 @@ pub struct CacheStats {
     pub phase_disk_rejects: u64,
     /// Fresh fits persisted to the store.
     pub phase_store_writes: u64,
+    /// Live-point set requests served from the in-memory tier.
+    pub livepoint_hits: u64,
+    /// Live-point set requests that missed in memory.
+    pub livepoint_misses: u64,
+    /// Checkpoint-capture passes actually run (a miss the disk tier could
+    /// not serve either): the number the warm-sweep CI gate asserts is
+    /// zero on a second pass.
+    pub livepoint_captures: u64,
+    /// Live-point sets served from the on-disk store.
+    pub livepoint_disk_hits: u64,
+    /// Live-point store lookups that found no file.
+    pub livepoint_disk_misses: u64,
+    /// Live-point store files rejected (corrupt, foreign identity, or the
+    /// wrong shape for the plan) and recaptured.
+    pub livepoint_disk_rejects: u64,
+    /// Fresh checkpoint sets persisted to the store.
+    pub livepoint_store_writes: u64,
     /// TRIPS timing replays served from the memoized-result tier.
     pub replay_hits: u64,
     /// TRIPS timing replays actually performed.
@@ -294,6 +327,7 @@ pub struct Session {
     replays: Mutex<HashMap<ReplayKey, Slot<trips_sim::SimResult>>>,
     ooo_replays: Mutex<HashMap<ReplayKey, Slot<trips_ooo::OooResult>>>,
     phases: Mutex<HashMap<PhaseKey, Slot<PhasePlan>>>,
+    livepoints: Mutex<HashMap<LivePointId, Slot<LivePointSet>>>,
     compile_hits: AtomicU64,
     compile_misses: AtomicU64,
     trace_hits: AtomicU64,
@@ -325,6 +359,17 @@ pub struct Session {
     phase_disk_misses: AtomicU64,
     phase_disk_rejects: AtomicU64,
     phase_store_writes: AtomicU64,
+    livepoint_hits: AtomicU64,
+    livepoint_misses: AtomicU64,
+    livepoint_captures: AtomicU64,
+    livepoint_disk_hits: AtomicU64,
+    livepoint_disk_misses: AtomicU64,
+    livepoint_disk_rejects: AtomicU64,
+    livepoint_store_writes: AtomicU64,
+    /// Live-point tier switch: 0 = disabled, `threads + 1` otherwise
+    /// (so a stored 1 means "one worker per core", matching the pool's
+    /// `threads = 0` convention).
+    live_points: AtomicU64,
     store: OnceLock<TraceStore>,
 }
 
@@ -381,6 +426,24 @@ impl Session {
     /// The on-disk trace store, if one is installed.
     pub fn store(&self) -> Option<&TraceStore> {
         self.store.get()
+    }
+
+    /// Enables the live-point tier: phased replays whose plan skips work
+    /// capture (or load) persisted per-window checkpoints and replay each
+    /// measured window as its own job on `threads` pool workers (0 = one
+    /// per core). Off by default — sweeps opt in (`--live-points`).
+    pub fn set_live_points(&self, threads: usize) {
+        self.live_points
+            .store(threads as u64 + 1, Ordering::Relaxed);
+    }
+
+    /// The live-point worker count, when the tier is enabled (0 = one
+    /// per core).
+    pub fn live_points(&self) -> Option<usize> {
+        match self.live_points.load(Ordering::Relaxed) {
+            0 => None,
+            v => Some((v - 1) as usize),
+        }
     }
 
     /// The process-wide session used by the experiment harness, so separate
@@ -875,6 +938,209 @@ impl Session {
         Ok(Arc::new(art.plan))
     }
 
+    /// Disk tier of the live-point choreography: a verified stored set
+    /// whose shape can seed `plan` stands in for a capture pass. Sets of
+    /// the wrong shape (window count, stream extent, or core variant) are
+    /// rejected and deleted so the caller recaptures over them.
+    fn load_live_points(&self, id: &LivePointId, plan: &PhasePlan) -> Option<LivePointSet> {
+        let store = self.store.get()?;
+        match store.load_livepoint(id) {
+            LoadOutcome::Hit(set) => {
+                let right_core = match &set.states {
+                    LivePointStates::Trips(_) => id.core == KIND_BLOCK_TRACE,
+                    LivePointStates::Ooo(_) => id.core == KIND_RISC_TRACE,
+                };
+                if right_core
+                    && set.total_units == plan.total_units
+                    && set.states.len() == plan.windows.len()
+                {
+                    self.livepoint_disk_hits.fetch_add(1, Ordering::Relaxed);
+                    m("session_livepoint_disk_hits");
+                    trips_obs::cost::set_tier("disk");
+                    return Some(*set);
+                }
+                self.livepoint_disk_rejects.fetch_add(1, Ordering::Relaxed);
+                m("session_livepoint_disk_rejects");
+                store.remove_livepoint(id);
+            }
+            LoadOutcome::Miss => {
+                self.livepoint_disk_misses.fetch_add(1, Ordering::Relaxed);
+                m("session_livepoint_disk_misses");
+            }
+            LoadOutcome::Reject(_) => {
+                self.livepoint_disk_rejects.fetch_add(1, Ordering::Relaxed);
+                m("session_livepoint_disk_rejects");
+            }
+        }
+        None
+    }
+
+    /// Persists a fresh checkpoint set, counting the write.
+    fn save_live_points(&self, id: &LivePointId, set: &LivePointSet) {
+        if let Some(store) = self.store.get() {
+            if store.save_livepoint(id, set).is_ok() {
+                self.livepoint_store_writes.fetch_add(1, Ordering::Relaxed);
+                m("session_livepoint_store_writes");
+            }
+        }
+    }
+
+    /// The live-point tier for one TRIPS phased replay. Resolves the
+    /// checkpoint set memo → store → capture; a capture pass *is* a
+    /// sequential phased replay, so its result is returned directly and
+    /// nothing runs twice. With a resolved set, each measured window
+    /// replays from its restored state as an independent pool job and the
+    /// per-window measurements assemble into the same estimate the
+    /// sequential replay produces (bit-identical; see
+    /// `trips_sim::timing`'s live-point tests).
+    fn replay_trips_live(
+        &self,
+        compiled: &CompiledProgram,
+        log: &TraceLog,
+        cfg: &trips_sim::TripsConfig,
+        plan: &PhasePlan,
+        parent_key: u64,
+        threads: usize,
+    ) -> Result<trips_sim::SimResult, EngineError> {
+        let id = LivePointId {
+            parent_key,
+            plan_sig: plan_sig(plan),
+            cfg_sig: trips_cfg_sig(cfg),
+            core: KIND_BLOCK_TRACE,
+        };
+        let slot = Self::slot(
+            &self.livepoints,
+            &id,
+            &self.livepoint_hits,
+            &self.livepoint_misses,
+        );
+        let mut fresh: Option<trips_sim::SimResult> = None;
+        let set = slot
+            .get_or_init(|| {
+                if let Some(set) = self.load_live_points(&id, plan) {
+                    return Ok(Arc::new(set));
+                }
+                self.livepoint_captures.fetch_add(1, Ordering::Relaxed);
+                m("session_livepoint_captures");
+                trips_obs::cost::set_tier("capture");
+                let _span = trips_obs::span_with("session.capture_livepoints", || {
+                    format!("trips cfg={:016x}", id.cfg_sig)
+                });
+                let (res, snaps) =
+                    trips_sim::timing::replay_trace_phased_capture(compiled, cfg, log, plan)
+                        .map_err(|e| EngineError::Replay(e.to_string()))?;
+                fresh = Some(res);
+                let set = LivePointSet {
+                    parent_key: id.parent_key,
+                    plan_sig: id.plan_sig,
+                    cfg_sig: id.cfg_sig,
+                    core: id.core,
+                    total_units: plan.total_units,
+                    states: LivePointStates::Trips(snaps),
+                };
+                self.save_live_points(&id, &set);
+                Ok(Arc::new(set))
+            })
+            .clone()?;
+        if let Some(res) = fresh {
+            return Ok(res);
+        }
+        let LivePointStates::Trips(snaps) = &set.states else {
+            return Err(EngineError::Replay(
+                "live-point set holds foreign-core state".into(),
+            ));
+        };
+        let _span = trips_obs::span_with("session.replay_windows", || {
+            format!("trips n={}", snaps.len())
+        });
+        let jobs: Vec<(trips_sample::PhaseWindow, &trips_sim::TsimSnapshot)> =
+            plan.windows.iter().copied().zip(snaps.iter()).collect();
+        let measures = crate::pool::parallel_map(jobs, threads, |(window, snap)| {
+            trips_sim::replay_trips_window(compiled, cfg, log, &window, snap)
+        });
+        let mut windows = Vec::with_capacity(measures.len());
+        for res in measures {
+            windows.push(res.map_err(|e| EngineError::Replay(e.to_string()))?);
+        }
+        trips_sim::assemble_trips_phased(log, plan, &windows)
+            .map_err(|e| EngineError::Replay(e.to_string()))
+    }
+
+    /// The out-of-order counterpart of [`Session::replay_trips_live`]:
+    /// same memo → store → capture choreography over the recorded RISC
+    /// stream, shared by every reference-platform configuration.
+    fn replay_ooo_live(
+        &self,
+        rp: &trips_risc::RProgram,
+        trace: &RiscTrace,
+        cfg: &trips_ooo::OooConfig,
+        plan: &PhasePlan,
+        parent_key: u64,
+        threads: usize,
+    ) -> Result<trips_ooo::OooResult, EngineError> {
+        let id = LivePointId {
+            parent_key,
+            plan_sig: plan_sig(plan),
+            cfg_sig: ooo_cfg_sig(cfg),
+            core: KIND_RISC_TRACE,
+        };
+        let slot = Self::slot(
+            &self.livepoints,
+            &id,
+            &self.livepoint_hits,
+            &self.livepoint_misses,
+        );
+        let mut fresh: Option<trips_ooo::OooResult> = None;
+        let set = slot
+            .get_or_init(|| {
+                if let Some(set) = self.load_live_points(&id, plan) {
+                    return Ok(Arc::new(set));
+                }
+                self.livepoint_captures.fetch_add(1, Ordering::Relaxed);
+                m("session_livepoint_captures");
+                trips_obs::cost::set_tier("capture");
+                let _span = trips_obs::span_with("session.capture_livepoints", || {
+                    format!("{} cfg={:016x}", cfg.name, id.cfg_sig)
+                });
+                let (res, snaps) = trips_ooo::run_ooo_phased_capture(rp, trace, cfg, plan)
+                    .map_err(|e| EngineError::Replay(e.to_string()))?;
+                fresh = Some(res);
+                let set = LivePointSet {
+                    parent_key: id.parent_key,
+                    plan_sig: id.plan_sig,
+                    cfg_sig: id.cfg_sig,
+                    core: id.core,
+                    total_units: plan.total_units,
+                    states: LivePointStates::Ooo(snaps),
+                };
+                self.save_live_points(&id, &set);
+                Ok(Arc::new(set))
+            })
+            .clone()?;
+        if let Some(res) = fresh {
+            return Ok(res);
+        }
+        let LivePointStates::Ooo(snaps) = &set.states else {
+            return Err(EngineError::Replay(
+                "live-point set holds foreign-core state".into(),
+            ));
+        };
+        let _span = trips_obs::span_with("session.replay_windows", || {
+            format!("ooo n={}", snaps.len())
+        });
+        let jobs: Vec<(trips_sample::PhaseWindow, &trips_ooo::OooSnapshot)> =
+            plan.windows.iter().copied().zip(snaps.iter()).collect();
+        let measures = crate::pool::parallel_map(jobs, threads, |(window, snap)| {
+            trips_ooo::replay_ooo_window(rp, trace, cfg, &window, snap)
+        });
+        let mut windows = Vec::with_capacity(measures.len());
+        for res in measures {
+            windows.push(res.map_err(|e| EngineError::Replay(e.to_string()))?);
+        }
+        trips_ooo::assemble_ooo_phased(trace, plan, &windows)
+            .map_err(|e| EngineError::Replay(e.to_string()))
+    }
+
     /// Times one out-of-order configuration by replaying the (memoized)
     /// recorded RISC stream: the reference-platform hot path — one
     /// functional execution, N of these. Full mode is bit-identical to
@@ -921,6 +1187,28 @@ impl Session {
             let trace = self.risc_trace(w, scale, opts, mem, budget)?;
             let _span =
                 trips_obs::span_with("session.replay_ooo", || format!("{} {}", w.name, cfg.name));
+            if let (Some(threads), Some(plan)) = (self.live_points(), mode.phase()) {
+                if !plan.covers_everything() {
+                    let parent_key = RiscTraceId {
+                        workload: w.name.to_string(),
+                        scale: scale_label(scale).to_string(),
+                        opts_sig: opts_sig(opts),
+                        code_sig: risc_code_sig(&art),
+                        mem_size: mem as u64,
+                        max_steps: budget,
+                    }
+                    .stable_hash();
+                    return self
+                        .replay_ooo_live(&art.program, &trace, cfg, plan, parent_key, threads)
+                        .map(Arc::new)
+                        .map_err(|e| match e {
+                            EngineError::Replay(msg) => {
+                                EngineError::Replay(format!("{} ({}): {msg}", w.name, cfg.name))
+                            }
+                            other => other,
+                        });
+                }
+            }
             trips_ooo::run_timed_trace_mode(&art.program, &trace, cfg, mode)
                 .map(Arc::new)
                 .map_err(|e| EngineError::Replay(format!("{} ({}): {e}", w.name, cfg.name)))
@@ -968,6 +1256,23 @@ impl Session {
             let _span = trips_obs::span_with("session.replay_trips", || {
                 format!("{} cfg={:016x}", w.name, trips_cfg_sig(cfg))
             });
+            if let (Some(threads), Some(plan)) = (self.live_points(), mode.phase()) {
+                if !plan.covers_everything() {
+                    let parent_key = TraceId {
+                        workload: w.name.to_string(),
+                        scale: scale_label(scale).to_string(),
+                        opts_sig: opts_sig(opts),
+                        hand,
+                        code_sig: code_sig(&compiled),
+                        mem_size: mem as u64,
+                        max_blocks: budget,
+                    }
+                    .stable_hash();
+                    return self
+                        .replay_trips_live(&compiled, &log, cfg, plan, parent_key, threads)
+                        .map(Arc::new);
+                }
+            }
             trips_sim::timing::replay_trace_mode(&compiled, cfg, &log, mode)
                 .map(Arc::new)
                 .map_err(|e| EngineError::Replay(e.to_string()))
@@ -1005,6 +1310,13 @@ impl Session {
             phase_disk_misses: self.phase_disk_misses.load(Ordering::Relaxed),
             phase_disk_rejects: self.phase_disk_rejects.load(Ordering::Relaxed),
             phase_store_writes: self.phase_store_writes.load(Ordering::Relaxed),
+            livepoint_hits: self.livepoint_hits.load(Ordering::Relaxed),
+            livepoint_misses: self.livepoint_misses.load(Ordering::Relaxed),
+            livepoint_captures: self.livepoint_captures.load(Ordering::Relaxed),
+            livepoint_disk_hits: self.livepoint_disk_hits.load(Ordering::Relaxed),
+            livepoint_disk_misses: self.livepoint_disk_misses.load(Ordering::Relaxed),
+            livepoint_disk_rejects: self.livepoint_disk_rejects.load(Ordering::Relaxed),
+            livepoint_store_writes: self.livepoint_store_writes.load(Ordering::Relaxed),
             replay_hits: self.replay_hits.load(Ordering::Relaxed),
             replay_misses: self.replay_misses.load(Ordering::Relaxed),
             ooo_replay_hits: self.ooo_replay_hits.load(Ordering::Relaxed),
@@ -1180,6 +1492,71 @@ mod tests {
         let st = s.cache_stats();
         assert_eq!((st.phase_misses, st.phase_hits, st.phase_fits), (1, 1, 1));
         assert_eq!((st.replay_misses, st.replay_hits), (2, 1), "{st:?}");
+    }
+
+    #[test]
+    fn live_point_tier_is_bit_identical_and_captures_once() {
+        let s = Session::new();
+        s.set_live_points(2);
+        let w = by_name("vadd").unwrap();
+        let spec = PhaseSpec {
+            interval: 8,
+            warmup: 4,
+            k: trips_phase::PhaseK::Auto,
+            floor: 0,
+            rep_span: 4,
+            boundary: 1,
+            tail: 1,
+        };
+        let (scale, opts, hand) = (Scale::Test, CompileOptions::o1(), false);
+        let (mem, budget) = (1usize << 22, 1_000_000u64);
+        let plan = s
+            .trips_phase_plan(&w, scale, &opts, hand, mem, budget, &spec)
+            .unwrap();
+        assert!(!plan.covers_everything());
+        let cfg = trips_sim::TripsConfig::prototype();
+        let mode = ReplayMode::Phased((*plan).clone());
+        // Sequential reference from a live-point-free session.
+        let seq = Session::new()
+            .replayed(&w, scale, &opts, hand, &cfg, mem, budget, &mode)
+            .unwrap();
+        // The first request runs the capture pass, which *is* a
+        // sequential phased replay.
+        let first = s
+            .replayed(&w, scale, &opts, hand, &cfg, mem, budget, &mode)
+            .unwrap();
+        assert_eq!(first.stats, seq.stats);
+        assert_eq!(first.return_value, seq.return_value);
+        let st = s.cache_stats();
+        assert_eq!((st.livepoint_misses, st.livepoint_captures), (1, 1));
+        // A repeat under the same key is served by the replay memo, so
+        // drive the tier directly to exercise restore + parallel replay
+        // from the memoized checkpoint set.
+        let compiled = s.compiled(&w, scale, &opts, hand).unwrap();
+        let log = s.trace(&w, scale, &opts, hand, mem, budget).unwrap();
+        let parent_key = TraceId {
+            workload: w.name.to_string(),
+            scale: "test".to_string(),
+            opts_sig: opts_sig(&opts),
+            hand,
+            code_sig: code_sig(&compiled),
+            mem_size: mem as u64,
+            max_blocks: budget,
+        }
+        .stable_hash();
+        let par = s
+            .replay_trips_live(&compiled, &log, &cfg, &plan, parent_key, 2)
+            .unwrap();
+        assert_eq!(
+            par.stats, seq.stats,
+            "restored parallel replay must be bit-identical"
+        );
+        let st = s.cache_stats();
+        assert_eq!(
+            (st.livepoint_hits, st.livepoint_captures),
+            (1, 1),
+            "second resolve must hit the memo tier without recapturing: {st:?}"
+        );
     }
 
     #[test]

@@ -17,8 +17,9 @@
 //! * [`TraceStore`] — an optional persistent tier under the session: a
 //!   content-addressed directory of `<key>.trace` files
 //!   ([`trips_isa::TraceId::stable_hash`] / [`RiscTraceId::stable_hash`]
-//!   keys, verified atomic-rename containers in two kinds), so captures of
-//!   both stream kinds survive the process and CI runs share them via a
+//!   keys, verified atomic-rename containers in four kinds: block traces,
+//!   RISC streams, fitted phase plans, and live-point checkpoint sets), so
+//!   captures survive the process and CI runs share them via a
 //!   cached directory (`trips-sweep --trace-dir`), with
 //!   [`TraceStore::stats`]/[`TraceStore::prune_stale`] keeping long-lived
 //!   directories free of version-bump debris.
@@ -41,6 +42,13 @@
 //! --sample`): the timing cores fast-forward most of the stream with
 //! functional warming and extrapolate from stratified measurement
 //! windows, with full and sampled results memoized under distinct keys.
+//! With live-points enabled (`Session::set_live_points`, `trips-sweep
+//! --live-points`), the warmed machine state at each measured-window
+//! boundary is checkpointed into the store as a fourth container kind, so
+//! later sweep points — in this process or any other sharing the store —
+//! replay only the detailed windows, in parallel, without ever touching
+//! the stream prefix again, and remain bit-identical to the sequential
+//! phased replay.
 //!
 //! Every layer is instrumented through [`obs`] (`trips-obs`): session tier
 //! lookups and store I/O count into the metrics registry, pool workers and
@@ -85,7 +93,10 @@ pub use cache::{CacheStats, EngineError, IsaOutcome, RiscArtifacts, Session};
 pub use phase::{PhaseK, PhaseSpec};
 pub use pool::parallel_map;
 pub use sample::{PhasePlan, ReplayMode, SamplePlan};
-pub use store::{BbvId, LoadOutcome, PruneReport, RiscTraceId, StoreStats, TraceStore};
+pub use store::{
+    BbvId, LivePointId, LivePointSet, LivePointStates, LoadOutcome, PruneReport, RiscTraceId,
+    StoreStats, TraceStore,
+};
 pub use sweep::{
     run_sweep, BackendSpec, ConfigVariant, RowDetail, SweepReport, SweepRow, SweepSpec,
 };

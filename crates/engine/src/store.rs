@@ -21,6 +21,13 @@
 //!   [`trips_phase::BBV_VERSION`], under a third hash domain. Persisting
 //!   the fitted plan is what lets N processes sweeping the same point
 //!   cluster once per store instead of once per process.
+//! * **Live-point checkpoint sets** ([`LivePointSet`]), keyed by
+//!   [`LivePointId::stable_hash`] — the parent trace's key plus the
+//!   fitted plan's signature, the timing config's signature, and the
+//!   core discriminant, under a fourth hash domain. One set holds the
+//!   warmed microarchitectural state at every phase-window boundary, so
+//!   a warm store serves any sweep point at that config with zero
+//!   stream-prefix replay (and the windows replay in parallel).
 //!
 //! Each capture is written once to `<dir>/<key>.trace`. Equal identity ⇒
 //! equal file name ⇒ any process can reuse any other process's capture,
@@ -77,6 +84,16 @@ pub const KIND_RISC_TRACE: u32 = 2;
 /// Container kind: a BBV/phase-plan artifact
 /// ([`trips_phase::PhaseArtifact`] payload).
 pub const KIND_BBV: u32 = 3;
+
+/// Container kind: a live-point checkpoint set ([`LivePointSet`] payload).
+pub const KIND_LIVEPOINT: u32 = 4;
+
+/// Payload-format version of [`LivePointSet`] containers. Bump whenever
+/// any snapshot layout changes ([`trips_sim::TsimSnapshot`],
+/// [`trips_ooo::OooSnapshot`], the cursor state, or this wrapper): old
+/// keys then simply never match again and the census/prune path retires
+/// the files.
+pub const LIVEPOINT_VERSION: u32 = 1;
 
 /// Container header: magic (4) + store version (4) + kind (4) + payload
 /// version (4) + key (8) + payload hash (8) + payload length (8).
@@ -233,6 +250,133 @@ impl BbvId {
     }
 }
 
+/// A stable signature of a fitted phase plan: the content hash of its
+/// serialized bytes. Part of a [`LivePointId`] — any change to the plan
+/// (window boundaries, weights, interval) moves the signature and retires
+/// the checkpoints fitted under the old plan.
+#[must_use]
+pub fn plan_sig(plan: &trips_sample::PhasePlan) -> u64 {
+    trips_isa::hash::content_hash(&serde::bin::to_bytes(plan))
+}
+
+/// The complete identity of one live-point checkpoint set: everything
+/// that, if changed, would change the captured machine state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LivePointId {
+    /// Stable key of the recorded stream the checkpoints were captured
+    /// over (a [`TraceId`] or [`RiscTraceId`] stable hash).
+    pub parent_key: u64,
+    /// [`plan_sig`] of the fitted phase plan whose window boundaries the
+    /// checkpoints sit at.
+    pub plan_sig: u64,
+    /// Signature of the timing configuration (cache geometry, predictor
+    /// sizes, …) the machine state was warmed under.
+    pub cfg_sig: u64,
+    /// Core discriminant: [`KIND_BLOCK_TRACE`] for the TRIPS core,
+    /// [`KIND_RISC_TRACE`] for the OoO cores (reusing the parent stream's
+    /// container kind keeps the two state layouts in disjoint key spaces
+    /// even if the signatures ever collided).
+    pub core: u32,
+}
+
+impl LivePointId {
+    /// A stable 64-bit key under its own hash domain, folding in
+    /// [`LIVEPOINT_VERSION`] so a snapshot-format bump retires every
+    /// stored set at once.
+    #[must_use]
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = trips_isa::hash::StableHasher::new();
+        h.write_str("trips.livepoint");
+        h.write_u64(u64::from(LIVEPOINT_VERSION));
+        h.write_u64(self.parent_key);
+        h.write_u64(self.plan_sig);
+        h.write_u64(self.cfg_sig);
+        h.write_u64(u64::from(self.core));
+        h.finish()
+    }
+}
+
+/// The warmed machine states of one checkpoint-capture pass, one per
+/// phase-plan window, in window order.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum LivePointStates {
+    /// TRIPS-core snapshots.
+    Trips(Vec<trips_sim::TsimSnapshot>),
+    /// OoO-core snapshots.
+    Ooo(Vec<trips_ooo::OooSnapshot>),
+}
+
+impl LivePointStates {
+    /// Number of checkpoints (must equal the plan's window count).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            LivePointStates::Trips(v) => v.len(),
+            LivePointStates::Ooo(v) => v.len(),
+        }
+    }
+
+    /// True when no checkpoints are present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Persisted live-point checkpoint set: the identity fields ride inside
+/// the payload so a loaded set can be cross-checked against the requested
+/// [`LivePointId`] (kind-confusion and renamed files reject rather than
+/// serve a foreign machine state).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LivePointSet {
+    /// Stable key of the parent recorded stream.
+    pub parent_key: u64,
+    /// [`plan_sig`] of the fitted plan.
+    pub plan_sig: u64,
+    /// Timing-config signature.
+    pub cfg_sig: u64,
+    /// Core discriminant (see [`LivePointId::core`]).
+    pub core: u32,
+    /// Stream extent the plan was fitted over (cheap sanity anchor).
+    pub total_units: u64,
+    /// One warmed machine state per plan window, in window order.
+    pub states: LivePointStates,
+}
+
+impl LivePointSet {
+    /// Checks a loaded set against the identity it was looked up under.
+    ///
+    /// # Errors
+    /// A description of the first mismatching field.
+    pub fn matches_id(&self, id: &LivePointId) -> Result<(), String> {
+        if self.parent_key != id.parent_key {
+            return Err(format!(
+                "live-points for parent {:#018x}, wanted {:#018x}",
+                self.parent_key, id.parent_key
+            ));
+        }
+        if self.plan_sig != id.plan_sig {
+            return Err(format!(
+                "live-points for plan {:#018x}, wanted {:#018x}",
+                self.plan_sig, id.plan_sig
+            ));
+        }
+        if self.cfg_sig != id.cfg_sig {
+            return Err(format!(
+                "live-points for config {:#018x}, wanted {:#018x}",
+                self.cfg_sig, id.cfg_sig
+            ));
+        }
+        if self.core != id.core {
+            return Err(format!(
+                "live-points for core {}, wanted {}",
+                self.core, id.core
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// A census of one store directory (see [`TraceStore::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct StoreStats {
@@ -246,6 +390,8 @@ pub struct StoreStats {
     pub risc_traces: u64,
     /// Containers holding a current-version BBV/phase-plan artifact.
     pub bbv_plans: u64,
+    /// Containers holding a current-version live-point checkpoint set.
+    pub live_points: u64,
     /// Containers no current build will load: unreadable headers, old
     /// container layouts, unknown kinds, retired payload versions.
     pub stale: u64,
@@ -263,6 +409,9 @@ pub struct PruneReport {
     /// Current-version containers left in place (including stale files a
     /// deletion error kept alive).
     pub kept: u64,
+    /// Of the removals, live-point sets collected because their parent
+    /// stream was gone or no current fitted plan produces their boundaries.
+    pub orphaned: u64,
 }
 
 /// How a container header classifies against the current build.
@@ -270,6 +419,7 @@ enum ContainerClass {
     CurrentBlock,
     CurrentRisc,
     CurrentBbv,
+    CurrentLivePoint,
     Stale,
 }
 
@@ -339,6 +489,12 @@ impl TraceStore {
         self.path_for_key(id.stable_hash())
     }
 
+    /// The file path a live-point identity is stored under.
+    #[must_use]
+    pub fn path_for_livepoint(&self, id: &LivePointId) -> PathBuf {
+        self.path_for_key(id.stable_hash())
+    }
+
     /// Looks up a TRIPS block trace, verifying the container (magic,
     /// versions, kind, key, payload hash) and the log's provenance header.
     /// Rejected files are deleted so the next writer replaces them.
@@ -366,6 +522,25 @@ impl TraceStore {
                 serde::bin::from_bytes(payload).map_err(|e| format!("payload decode: {e}"))?;
             Ok(art)
         })
+    }
+
+    /// Looks up a live-point checkpoint set; same verification discipline
+    /// as [`TraceStore::load`], plus the payload's embedded identity must
+    /// match `id` (the caller still checks the window count against the
+    /// plan it is about to schedule).
+    pub fn load_livepoint(&self, id: &LivePointId) -> LoadOutcome<LivePointSet> {
+        self.load_kind(
+            id.stable_hash(),
+            KIND_LIVEPOINT,
+            LIVEPOINT_VERSION,
+            |payload| {
+                let set: LivePointSet =
+                    serde::bin::from_bytes(payload).map_err(|e| format!("payload decode: {e}"))?;
+                set.matches_id(id)
+                    .map_err(|e| format!("identity mismatch: {e}"))?;
+                Ok(set)
+            },
+        )
     }
 
     /// Looks up a RISC event stream; same verification discipline as
@@ -516,6 +691,27 @@ impl TraceStore {
         let _ = fs::remove_file(self.path_for_key(id.stable_hash()));
     }
 
+    /// Persists a live-point checkpoint set under `id`; same discipline as
+    /// [`TraceStore::save`].
+    ///
+    /// # Errors
+    /// Any I/O error.
+    pub fn save_livepoint(&self, id: &LivePointId, set: &LivePointSet) -> io::Result<()> {
+        self.save_kind(
+            id.stable_hash(),
+            KIND_LIVEPOINT,
+            LIVEPOINT_VERSION,
+            &serde::bin::to_bytes(set),
+        )
+    }
+
+    /// Removes the file under a live-point identity (used when a
+    /// container-valid set fails validation against the plan it is meant
+    /// to seed — e.g. a wrong window count).
+    pub fn remove_livepoint(&self, id: &LivePointId) {
+        let _ = fs::remove_file(self.path_for_key(id.stable_hash()));
+    }
+
     fn reject<T>(&self, path: &Path, why: String) -> LoadOutcome<T> {
         let _ = fs::remove_file(path);
         LoadOutcome::Reject(why)
@@ -603,6 +799,7 @@ impl TraceStore {
             }
             (KIND_RISC_TRACE, v) if v == RISC_TRACE_VERSION => ContainerClass::CurrentRisc,
             (KIND_BBV, v) if v == BBV_VERSION => ContainerClass::CurrentBbv,
+            (KIND_LIVEPOINT, v) if v == LIVEPOINT_VERSION => ContainerClass::CurrentLivePoint,
             _ => ContainerClass::Stale,
         }
     }
@@ -653,6 +850,7 @@ impl TraceStore {
                 ContainerClass::CurrentBlock => s.block_traces += 1,
                 ContainerClass::CurrentRisc => s.risc_traces += 1,
                 ContainerClass::CurrentBbv => s.bbv_plans += 1,
+                ContainerClass::CurrentLivePoint => s.live_points += 1,
                 ContainerClass::Stale => s.stale += 1,
             }
         }
@@ -665,27 +863,87 @@ impl TraceStore {
     /// dead files in shared directories (CI caches) forever, since bumped
     /// keys never match the old names again.
     ///
+    /// Live-point sets are additionally checked for *orphanhood*: a set
+    /// whose parent stream container is gone, or whose plan signature no
+    /// current fitted artifact in this store produces (the fit parameters
+    /// changed), can never be served again — its key will simply never be
+    /// asked for — so it is collected too.
+    ///
     /// # Errors
     /// Any error listing the directory (individual deletions are
     /// best-effort).
     pub fn prune_stale(&self) -> io::Result<PruneReport> {
         let mut report = PruneReport::default();
-        for (path, len, class) in self.containers()? {
-            report.scanned += 1;
+        let containers = self.containers()?;
+        // Keys of current parent-capable containers (traces/streams), for
+        // live-point parentage, read off the file names.
+        let mut parents: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        // Plan signatures a current fitted artifact still produces.
+        let mut live_plans: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for (path, _, class) in &containers {
             match class {
-                ContainerClass::CurrentBlock
-                | ContainerClass::CurrentRisc
-                | ContainerClass::CurrentBbv => report.kept += 1,
-                ContainerClass::Stale => {
-                    if fs::remove_file(&path).is_ok() {
-                        report.removed += 1;
-                        report.bytes_freed += len;
-                    } else {
-                        report.kept += 1;
+                ContainerClass::CurrentBlock | ContainerClass::CurrentRisc => {
+                    if let Some(key) = Self::key_from_path(path) {
+                        parents.insert(key);
                     }
                 }
+                ContainerClass::CurrentBbv => {
+                    if let Ok(bytes) = fs::read(path) {
+                        if bytes.len() >= HEADER_LEN {
+                            if let Ok(art) =
+                                serde::bin::from_bytes::<PhaseArtifact>(&bytes[HEADER_LEN..])
+                            {
+                                live_plans.insert(plan_sig(&art.plan));
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (path, len, class) in &containers {
+            report.scanned += 1;
+            let (collect, orphan) = match class {
+                ContainerClass::CurrentBlock
+                | ContainerClass::CurrentRisc
+                | ContainerClass::CurrentBbv => (false, false),
+                ContainerClass::Stale => (true, false),
+                ContainerClass::CurrentLivePoint => {
+                    match fs::read(path).ok().and_then(|bytes| {
+                        (bytes.len() >= HEADER_LEN)
+                            .then(|| {
+                                serde::bin::from_bytes::<LivePointSet>(&bytes[HEADER_LEN..]).ok()
+                            })
+                            .flatten()
+                    }) {
+                        Some(set) => {
+                            let orphan = !parents.contains(&set.parent_key)
+                                || !live_plans.contains(&set.plan_sig);
+                            (orphan, orphan)
+                        }
+                        // Unreadable or undecodable right now: leave it for
+                        // load() to adjudicate (same policy as elsewhere —
+                        // an I/O hiccup is not evidence of staleness).
+                        None => (false, false),
+                    }
+                }
+            };
+            if collect && fs::remove_file(path).is_ok() {
+                report.removed += 1;
+                report.bytes_freed += len;
+                if orphan {
+                    report.orphaned += 1;
+                }
+            } else {
+                report.kept += 1;
             }
         }
         Ok(report)
+    }
+
+    /// Parses the content key back out of a `<key:016x>.trace` file name.
+    fn key_from_path(path: &Path) -> Option<u64> {
+        let stem = path.file_stem()?.to_str()?;
+        u64::from_str_radix(stem, 16).ok()
     }
 }

@@ -203,6 +203,14 @@ pub struct SweepSpec {
     /// per-backend default [`PhaseSpec`]s; streams below the floor replay
     /// in full.
     pub phase: Option<PhaseK>,
+    /// Live-point checkpoints for phased timing points (needs
+    /// [`SweepSpec::phase`] to have any effect): the session captures the
+    /// warmed machine state at each measured-window boundary once per
+    /// (stream, plan, config), persists the set when a store is
+    /// installed, and replays the measured windows as parallel jobs from
+    /// the restored states — bit-identical to fast-forward-then-replay,
+    /// with the O(stream) warming prefix paid once instead of per run.
+    pub live_points: bool,
     /// Worker threads (0 = one per core).
     pub threads: usize,
 }
@@ -221,6 +229,7 @@ impl Default for SweepSpec {
             risc_budget: 400_000_000,
             sample: None,
             phase: None,
+            live_points: false,
             threads: 0,
         }
     }
@@ -345,6 +354,14 @@ impl Serialize for SweepRow {
             (
                 Value::str("extrapolate_ns"),
                 serde::to_value(&self.cost.extrapolate_ns),
+            ),
+            (
+                Value::str("checkpoint_save_ns"),
+                serde::to_value(&self.cost.checkpoint_save_ns),
+            ),
+            (
+                Value::str("checkpoint_restore_ns"),
+                serde::to_value(&self.cost.checkpoint_restore_ns),
             ),
             (Value::str("queue_ns"), serde::to_value(&self.cost.queue_ns)),
             (
@@ -614,12 +631,20 @@ pub fn run_sweep(spec: &SweepSpec, session: &Session) -> Result<SweepReport, Eng
         "session_disk_hits",
         "session_disk_misses",
         "session_captures",
+        "session_livepoint_captures",
+        "session_livepoint_disk_hits",
         "store_read_bytes_total",
         "store_write_bytes_total",
         "replay_events_total{core=\"trips\"}",
         "replay_events_total{core=\"ooo\"}",
     ] {
         let _ = trips_obs::counter(series);
+    }
+    if spec.live_points {
+        // Window jobs run on a nested pool inside each point's job; give
+        // them the sweep's own thread budget (the pool clamps to the
+        // window count, so small plans do not over-spawn).
+        session.set_live_points(spec.threads);
     }
     let points = expand(spec)?;
     let n = points.len();
@@ -665,11 +690,11 @@ pub fn to_csv(rows: &[SweepRow]) -> String {
     // after it may differ between otherwise identical runs (timings, and
     // tier/store-bytes between cold and warm stores).
     let mut out = String::from(
-        "workload,backend,config,cycles,ipc,blocks,mispredict_flushes,load_flushes,l1d_misses,avg_window,sampled,detailed_frac,est_cycles,phase_k,wall_ms,tier,capture_ns,fit_ns,warm_ns,detailed_ns,extrapolate_ns,queue_ns,store_read_bytes,store_write_bytes\n",
+        "workload,backend,config,cycles,ipc,blocks,mispredict_flushes,load_flushes,l1d_misses,avg_window,sampled,detailed_frac,est_cycles,phase_k,wall_ms,tier,capture_ns,fit_ns,warm_ns,detailed_ns,extrapolate_ns,checkpoint_save_ns,checkpoint_restore_ns,queue_ns,store_read_bytes,store_write_bytes\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{},{},{},{},{:.4},{},{},{},{},{:.2},{},{:.4},{},{},{:.3},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{:.4},{},{},{},{},{:.2},{},{:.4},{},{},{:.3},{},{},{},{},{},{},{},{},{},{},{}\n",
             r.workload,
             r.backend,
             r.config,
@@ -691,6 +716,8 @@ pub fn to_csv(rows: &[SweepRow]) -> String {
             r.cost.warm_ns,
             r.cost.detailed_ns,
             r.cost.extrapolate_ns,
+            r.cost.checkpoint_save_ns,
+            r.cost.checkpoint_restore_ns,
             r.cost.queue_ns,
             r.cost.store_read_bytes,
             r.cost.store_write_bytes
@@ -909,6 +936,50 @@ mod tests {
             .unwrap()
             .contains("sampled,detailed_frac,est_cycles"));
         assert!(to_json_lines(&report.rows).contains("\"sampled\":true"));
+    }
+
+    #[test]
+    fn live_point_sweep_is_identical_and_captures_checkpoints() {
+        // `conv` at Ref scale is the smallest bundled stream whose fitted
+        // plan actually classifies (k > 0) under the default TRIPS spec.
+        let base = SweepSpec {
+            workloads: vec!["conv".into()],
+            scale: Scale::Ref,
+            configs: vec![ConfigVariant::prototype()],
+            backends: vec![BackendSpec::Trips],
+            phase: Some(PhaseK::Auto),
+            threads: 2,
+            ..SweepSpec::default()
+        };
+        let plain = run_sweep(&base, &Session::new()).unwrap();
+        assert!(plain.errors.is_empty(), "{:?}", plain.errors);
+        let session = Session::new();
+        let live = run_sweep(
+            &SweepSpec {
+                live_points: true,
+                ..base
+            },
+            &session,
+        )
+        .unwrap();
+        assert!(live.errors.is_empty(), "{:?}", live.errors);
+        let (a, b) = (&plain.rows[0], &live.rows[0]);
+        assert!(b.phase_k > 0, "Ref-scale stream must classify: {b:?}");
+        assert_eq!(
+            (a.cycles, a.est_cycles, a.blocks, a.phase_k),
+            (b.cycles, b.est_cycles, b.blocks, b.phase_k),
+            "live-point capture must be bit-identical to the plain phased replay"
+        );
+        let c = session.cache_stats();
+        assert_eq!(c.livepoint_captures, 1, "{c:?}");
+        // Renderings carry the checkpoint cost columns.
+        let csv = to_csv(&live.rows);
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .contains("extrapolate_ns,checkpoint_save_ns,checkpoint_restore_ns,queue_ns"));
+        assert!(to_json_lines(&live.rows).contains("\"checkpoint_save_ns\""));
     }
 
     #[test]

@@ -3,12 +3,15 @@
 //! must degrade to a recapture, never to a panic, a torn read, or a wrong
 //! trace.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use trips_compiler::CompileOptions;
-use trips_engine::cache::{code_sig, opts_sig, risc_code_sig};
-use trips_engine::{BbvId, LoadOutcome, PhaseK, PhaseSpec, RiscTraceId, Session, TraceStore};
+use trips_engine::cache::{code_sig, opts_sig, risc_code_sig, trips_cfg_sig};
+use trips_engine::store::{plan_sig, LivePointId, LivePointSet, LivePointStates, KIND_BLOCK_TRACE};
+use trips_engine::{
+    BbvId, LoadOutcome, PhaseK, PhaseSpec, ReplayMode, RiscTraceId, Session, TraceStore,
+};
 use trips_isa::{TraceId, TraceLog, TraceMeta};
 use trips_risc::{RiscTrace, RiscTraceMeta};
 use trips_workloads::{by_name, Scale};
@@ -381,6 +384,8 @@ fn stats_census_and_prune_remove_only_stale_containers() {
     store.save_risc(&risc_id, &trace).unwrap();
     let (bbv_id, art) = fitted_vadd_bbv(&block_id, &log);
     store.save_bbv(&bbv_id, &art).unwrap();
+    let (lp_id, lp_set) = captured_vadd_livepoints(&block_id, &log, &art);
+    store.save_livepoint(&lp_id, &lp_set).unwrap();
     // Two stale files: pure garbage, and a PR-2-era container layout
     // (store version 1, 32-byte header) that no current build can load.
     std::fs::write(dir.join("feedfeedfeedfeed.trace"), b"not a container").unwrap();
@@ -401,17 +406,18 @@ fn stats_census_and_prune_remove_only_stale_containers() {
             s.block_traces,
             s.risc_traces,
             s.bbv_plans,
+            s.live_points,
             s.stale
         ),
-        (5, 1, 1, 1, 2),
+        (6, 1, 1, 1, 1, 2),
         "{s:?}"
     );
     assert!(s.bytes > 0);
 
     let report = store.prune_stale().unwrap();
     assert_eq!(
-        (report.scanned, report.removed, report.kept),
-        (5, 2, 3),
+        (report.scanned, report.removed, report.kept, report.orphaned),
+        (6, 2, 4, 0),
         "{report:?}"
     );
     assert!(report.bytes_freed > 0);
@@ -421,8 +427,9 @@ fn stats_census_and_prune_remove_only_stale_containers() {
     assert!(matches!(store.load(&block_id), LoadOutcome::Hit(_)));
     assert!(matches!(store.load_risc(&risc_id), LoadOutcome::Hit(_)));
     assert!(matches!(store.load_bbv(&bbv_id), LoadOutcome::Hit(_)));
+    assert!(matches!(store.load_livepoint(&lp_id), LoadOutcome::Hit(_)));
     let s = store.stats().unwrap();
-    assert_eq!((s.containers, s.stale), (3, 0));
+    assert_eq!((s.containers, s.stale), (4, 0));
 }
 
 /// A fitted phase artifact for the `vadd` capture plus its store identity.
@@ -535,4 +542,275 @@ fn risc_disk_tier_serves_a_fresh_session_without_execution() {
         *a, *b,
         "stream must survive the disk round trip bit-exactly"
     );
+}
+
+/// A real checkpoint capture over the `vadd` trace under its fitted plan,
+/// plus the identity the engine would key it by.
+fn captured_vadd_livepoints(
+    block_id: &TraceId,
+    log: &TraceLog,
+    art: &trips_engine::phase::PhaseArtifact,
+) -> (LivePointId, LivePointSet) {
+    let opts = CompileOptions::o1();
+    let w = by_name("vadd").unwrap();
+    let compiled = trips_compiler::compile(&(w.build)(Scale::Test), &opts).unwrap();
+    let cfg = trips_sim::TripsConfig::prototype();
+    let (_, snaps) =
+        trips_sim::timing::replay_trace_phased_capture(&compiled, &cfg, log, &art.plan).unwrap();
+    assert_eq!(
+        snaps.len(),
+        art.plan.windows.len(),
+        "one checkpoint per measured window"
+    );
+    let id = LivePointId {
+        parent_key: block_id.stable_hash(),
+        plan_sig: plan_sig(&art.plan),
+        cfg_sig: trips_cfg_sig(&cfg),
+        core: KIND_BLOCK_TRACE,
+    };
+    let set = LivePointSet {
+        parent_key: id.parent_key,
+        plan_sig: id.plan_sig,
+        cfg_sig: id.cfg_sig,
+        core: id.core,
+        total_units: art.plan.total_units,
+        states: LivePointStates::Trips(snaps),
+    };
+    (id, set)
+}
+
+#[test]
+fn livepoint_containers_round_trip() {
+    let store = TraceStore::open(tmp_dir("lp-roundtrip")).unwrap();
+    let (block_id, log) = captured_vadd();
+    let (_, art) = fitted_vadd_bbv(&block_id, &log);
+    let (id, set) = captured_vadd_livepoints(&block_id, &log, &art);
+    assert!(
+        !set.states.is_empty(),
+        "the fitted plan must sample for the round trip to carry state"
+    );
+    assert!(matches!(store.load_livepoint(&id), LoadOutcome::Miss));
+    store.save_livepoint(&id, &set).unwrap();
+    match store.load_livepoint(&id) {
+        LoadOutcome::Hit(back) => assert_eq!(*back, set),
+        other => panic!("expected a hit, got {other:?}"),
+    }
+}
+
+#[test]
+fn livepoint_corruption_rejects_and_a_recapture_restores_service() {
+    let store = TraceStore::open(tmp_dir("lp-corrupt")).unwrap();
+    let (block_id, log) = captured_vadd();
+    let (_, art) = fitted_vadd_bbv(&block_id, &log);
+    let (id, set) = captured_vadd_livepoints(&block_id, &log, &art);
+    store.save_livepoint(&id, &set).unwrap();
+    let path = store.path_for_livepoint(&id);
+    let full = std::fs::read(&path).unwrap();
+    // Truncations at several depths — inside the header, right after it,
+    // mid-payload — all reject and remove the file.
+    for cut in [0, 7, 32, full.len() / 2, full.len() - 1] {
+        std::fs::write(&path, &full[..cut]).unwrap();
+        match store.load_livepoint(&id) {
+            LoadOutcome::Reject(why) => {
+                assert!(!path.exists(), "rejected file (cut={cut}) must be removed");
+                assert!(
+                    why.contains("truncated") || why.contains("decode") || why.contains("hash"),
+                    "cut={cut}: {why}"
+                );
+            }
+            other => panic!("cut at {cut}: expected a reject, got {other:?}"),
+        }
+    }
+    // A mid-payload bit-flip fails the content hash.
+    let mut bytes = full.clone();
+    let mid = 32 + (bytes.len() - 32) / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    match store.load_livepoint(&id) {
+        LoadOutcome::Reject(why) => assert!(why.contains("hash"), "{why}"),
+        other => panic!("expected a reject, got {other:?}"),
+    }
+    // Reject-and-recapture: a fresh save restores service bit-exactly.
+    store.save_livepoint(&id, &set).unwrap();
+    match store.load_livepoint(&id) {
+        LoadOutcome::Hit(back) => assert_eq!(*back, set),
+        other => panic!("recapture must restore service, got {other:?}"),
+    }
+}
+
+#[test]
+fn livepoint_kind_confusion_rejects_in_both_directions() {
+    // A trace or BBV container renamed onto a live-point key (or the
+    // reverse) must reject on the recorded kind — machine state and
+    // stream payloads can never masquerade as each other.
+    let store = TraceStore::open(tmp_dir("lp-kinds")).unwrap();
+    let (block_id, log) = captured_vadd();
+    let (bbv_id, art) = fitted_vadd_bbv(&block_id, &log);
+    let (id, set) = captured_vadd_livepoints(&block_id, &log, &art);
+    store.save(&block_id, &log).unwrap();
+    std::fs::copy(store.path_for(&block_id), store.path_for_livepoint(&id)).unwrap();
+    match store.load_livepoint(&id) {
+        LoadOutcome::Reject(why) => assert!(why.contains("kind"), "{why}"),
+        other => panic!("expected a reject, got {other:?}"),
+    }
+    store.save_bbv(&bbv_id, &art).unwrap();
+    std::fs::copy(store.path_for_bbv(&bbv_id), store.path_for_livepoint(&id)).unwrap();
+    match store.load_livepoint(&id) {
+        LoadOutcome::Reject(why) => assert!(why.contains("kind"), "{why}"),
+        other => panic!("expected a reject, got {other:?}"),
+    }
+    store.save_livepoint(&id, &set).unwrap();
+    std::fs::copy(store.path_for_livepoint(&id), store.path_for_bbv(&bbv_id)).unwrap();
+    match store.load_bbv(&bbv_id) {
+        LoadOutcome::Reject(why) => assert!(why.contains("kind"), "{why}"),
+        other => panic!("expected a reject, got {other:?}"),
+    }
+}
+
+#[test]
+fn livepoint_identity_moves_the_key_and_renames_reject() {
+    let store = TraceStore::open(tmp_dir("lp-identity")).unwrap();
+    let (block_id, log) = captured_vadd();
+    let (_, art) = fitted_vadd_bbv(&block_id, &log);
+    let (id, set) = captured_vadd_livepoints(&block_id, &log, &art);
+    store.save_livepoint(&id, &set).unwrap();
+    // A different timing configuration is a different file name entirely:
+    // a clean miss, not a stale hit.
+    let other = LivePointId {
+        cfg_sig: id.cfg_sig ^ 1,
+        ..id
+    };
+    assert_ne!(id.stable_hash(), other.stable_hash());
+    assert!(matches!(store.load_livepoint(&other), LoadOutcome::Miss));
+    // Renamed onto that key, the container's recorded key disagrees with
+    // the requested one: reject, never a foreign machine state. (Behind
+    // that check the payload's embedded identity guards the same line via
+    // `LivePointSet::matches_id`.)
+    std::fs::rename(
+        store.path_for_livepoint(&id),
+        store.path_for_livepoint(&other),
+    )
+    .unwrap();
+    match store.load_livepoint(&other) {
+        LoadOutcome::Reject(why) => assert!(why.contains("key"), "{why}"),
+        other => panic!("expected a reject, got {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_livepoint_writers_leave_one_complete_file() {
+    let dir = tmp_dir("lp-writers");
+    let store = TraceStore::open(&dir).unwrap();
+    let (block_id, log) = captured_vadd();
+    let (_, art) = fitted_vadd_bbv(&block_id, &log);
+    let (id, set) = captured_vadd_livepoints(&block_id, &log, &art);
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let (store, id, set) = (&store, &id, &set);
+            scope.spawn(move || store.save_livepoint(id, set).unwrap());
+        }
+    });
+    let entries: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    assert_eq!(entries.len(), 1, "stray files: {entries:?}");
+    match store.load_livepoint(&id) {
+        LoadOutcome::Hit(back) => assert_eq!(*back, set),
+        other => panic!("expected a hit, got {other:?}"),
+    }
+}
+
+#[test]
+fn prune_collects_orphaned_livepoints() {
+    let dir = tmp_dir("lp-orphan");
+    let store = TraceStore::open(&dir).unwrap();
+    let (block_id, log) = captured_vadd();
+    let (bbv_id, art) = fitted_vadd_bbv(&block_id, &log);
+    let (id, set) = captured_vadd_livepoints(&block_id, &log, &art);
+    store.save(&block_id, &log).unwrap();
+    store.save_bbv(&bbv_id, &art).unwrap();
+    store.save_livepoint(&id, &set).unwrap();
+    // Fully parented — trace present, plan derivable — so the prune keeps
+    // everything.
+    let report = store.prune_stale().unwrap();
+    assert_eq!(
+        (report.removed, report.orphaned, report.kept),
+        (0, 0, 3),
+        "{report:?}"
+    );
+    // Parent stream gone: the set's key will never be asked for again.
+    std::fs::remove_file(store.path_for(&block_id)).unwrap();
+    let report = store.prune_stale().unwrap();
+    assert_eq!((report.removed, report.orphaned), (1, 1), "{report:?}");
+    assert!(matches!(store.load_livepoint(&id), LoadOutcome::Miss));
+    // Changed fit parameters: a plan signature no current artifact in the
+    // store produces is equally unreachable.
+    store.save(&block_id, &log).unwrap();
+    let foreign_id = LivePointId {
+        plan_sig: id.plan_sig ^ 1,
+        ..id
+    };
+    let foreign_set = LivePointSet {
+        plan_sig: set.plan_sig ^ 1,
+        ..set.clone()
+    };
+    store.save_livepoint(&foreign_id, &foreign_set).unwrap();
+    let report = store.prune_stale().unwrap();
+    assert_eq!((report.removed, report.orphaned), (1, 1), "{report:?}");
+}
+
+#[test]
+fn warm_store_serves_livepoints_to_a_fresh_session_without_rewarming() {
+    // The two-process contract, at the session level: a second session
+    // over a warm store must restore checkpoints from disk and replay
+    // only the measured windows — zero captures, zero re-warming of the
+    // stream prefix — and still produce the bit-identical result.
+    let dir = tmp_dir("lp-warm");
+    let w = by_name("vadd").unwrap();
+    let opts = CompileOptions::o1();
+    let spec = PhaseSpec {
+        interval: 8,
+        warmup: 4,
+        k: PhaseK::Auto,
+        floor: 0,
+        rep_span: 4,
+        boundary: 1,
+        tail: 1,
+    };
+    let cfg = trips_sim::TripsConfig::prototype();
+    let run = |dir: &Path| {
+        let s = Session::with_store(TraceStore::open(dir).unwrap());
+        s.set_live_points(2);
+        let plan = s
+            .trips_phase_plan(&w, Scale::Test, &opts, false, MEM, BUDGET, &spec)
+            .unwrap();
+        assert!(!plan.covers_everything());
+        let mode = ReplayMode::Phased((*plan).clone());
+        let res = s
+            .replayed(&w, Scale::Test, &opts, false, &cfg, MEM, BUDGET, &mode)
+            .unwrap();
+        (res, s.cache_stats())
+    };
+    let (a, st) = run(&dir);
+    assert_eq!(
+        (
+            st.livepoint_captures,
+            st.livepoint_disk_misses,
+            st.livepoint_store_writes
+        ),
+        (1, 1, 1),
+        "cold store must capture once and persist: {st:?}"
+    );
+    let (b, st2) = run(&dir);
+    assert_eq!(
+        (st2.livepoint_disk_hits, st2.livepoint_captures),
+        (1, 0),
+        "warm store must re-warm nothing: {st2:?}"
+    );
+    assert_eq!(
+        a.stats, b.stats,
+        "disk-restored replay must be bit-identical"
+    );
+    assert_eq!(a.return_value, b.return_value);
 }

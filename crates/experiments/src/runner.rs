@@ -246,6 +246,7 @@ pub fn isa_measurements(
         // Functional measurements: sampling has no cycle loop to shorten.
         sample: None,
         phase: None,
+        live_points: false,
         threads: 0,
     };
     let rows = sweep_rows(&spec);
@@ -303,6 +304,7 @@ pub fn trips_measurements(ws: &[Workload], scale: Scale, hand: bool) -> HashMap<
         risc_budget: RISC_BUDGET,
         sample: sample_plan(),
         phase: phase_k(),
+        live_points: false,
         threads: 0,
     };
     sweep_rows(&spec)

@@ -30,6 +30,10 @@ pub enum CostKind {
     Detailed,
     /// Extrapolating sampled windows to a whole-run estimate.
     Extrapolate,
+    /// Capturing + persisting live-point checkpoints at window boundaries.
+    CheckpointSave,
+    /// Restoring a live-point checkpoint into a timing core.
+    CheckpointRestore,
 }
 
 /// Per-row cost detail attached to every `SweepRow`.
@@ -52,6 +56,10 @@ pub struct RowCost {
     pub detailed_ns: u64,
     /// Nanoseconds extrapolating sampled windows.
     pub extrapolate_ns: u64,
+    /// Nanoseconds capturing + persisting live-point checkpoints.
+    pub checkpoint_save_ns: u64,
+    /// Nanoseconds restoring live-point checkpoints.
+    pub checkpoint_restore_ns: u64,
     /// Nanoseconds the point sat in the pool queue before a worker ran it.
     pub queue_ns: u64,
     /// Bytes read from the trace store on behalf of this row.
@@ -69,6 +77,8 @@ impl Default for RowCost {
             warm_ns: 0,
             detailed_ns: 0,
             extrapolate_ns: 0,
+            checkpoint_save_ns: 0,
+            checkpoint_restore_ns: 0,
             queue_ns: 0,
             store_read_bytes: 0,
             store_write_bytes: 0,
@@ -90,7 +100,13 @@ impl RowCost {
     /// Sum of all attributed nanoseconds (excludes queue wait, which
     /// overlaps other rows' work rather than adding to it).
     pub fn attributed_ns(&self) -> u64 {
-        self.capture_ns + self.fit_ns + self.warm_ns + self.detailed_ns + self.extrapolate_ns
+        self.capture_ns
+            + self.fit_ns
+            + self.warm_ns
+            + self.detailed_ns
+            + self.extrapolate_ns
+            + self.checkpoint_save_ns
+            + self.checkpoint_restore_ns
     }
 
     /// Accumulate another row's cost into this one (report roll-ups).
@@ -103,6 +119,8 @@ impl RowCost {
         self.warm_ns += other.warm_ns;
         self.detailed_ns += other.detailed_ns;
         self.extrapolate_ns += other.extrapolate_ns;
+        self.checkpoint_save_ns += other.checkpoint_save_ns;
+        self.checkpoint_restore_ns += other.checkpoint_restore_ns;
         self.queue_ns += other.queue_ns;
         self.store_read_bytes += other.store_read_bytes;
         self.store_write_bytes += other.store_write_bytes;
@@ -118,6 +136,8 @@ impl RowCost {
             warm_ns: 0,
             detailed_ns: 0,
             extrapolate_ns: 0,
+            checkpoint_save_ns: 0,
+            checkpoint_restore_ns: 0,
             queue_ns: 0,
             store_read_bytes: self.store_read_bytes,
             store_write_bytes: self.store_write_bytes,
@@ -173,6 +193,8 @@ pub fn add_ns(kind: CostKind, ns: u64) {
                 CostKind::Warm => c.warm_ns += ns,
                 CostKind::Detailed => c.detailed_ns += ns,
                 CostKind::Extrapolate => c.extrapolate_ns += ns,
+                CostKind::CheckpointSave => c.checkpoint_save_ns += ns,
+                CostKind::CheckpointRestore => c.checkpoint_restore_ns += ns,
             }
         }
     });

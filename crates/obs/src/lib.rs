@@ -44,7 +44,7 @@ pub mod span;
 
 pub use cost::{CostKind, RowCost, RowScope, SegmentTimer};
 pub use metrics::{counter, gauge, histogram, snapshot_text};
-pub use report::{fold_report, SpanProfile};
+pub use report::{fold_report, fold_stacks, SpanProfile};
 pub use span::{enable_trace, flush_trace, span, span_with, trace_enabled, Span};
 
 use std::io::Write as _;

@@ -202,6 +202,63 @@ pub fn fold_report(records: &[SpanRecord]) -> SpanProfile {
     }
 }
 
+/// Fold parsed records into flamegraph "folded stacks" lines — one
+/// `root;child;leaf <exclusive_ns>` line per distinct span path, summed
+/// across instances and threads, sorted lexically so the output is
+/// deterministic. The format is what `flamegraph.pl` / inferno consume
+/// directly; paths whose exclusive time is zero are dropped (standard
+/// folded-stack convention — they would render as invisible frames).
+pub fn fold_stacks(records: &[SpanRecord]) -> String {
+    use std::collections::BTreeMap;
+
+    // Same per-thread interval-containment walk as `fold_report`, but
+    // carrying each record's full ancestor path.
+    let mut order: Vec<usize> = (0..records.len()).collect();
+    order.sort_by_key(|&i| (records[i].thread, records[i].start_ns, records[i].depth));
+    let mut child_sum = vec![0u64; records.len()];
+    let mut paths: Vec<String> = vec![String::new(); records.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut cur_thread = None;
+    for &i in &order {
+        let r = &records[i];
+        if cur_thread != Some(r.thread) {
+            stack.clear();
+            cur_thread = Some(r.thread);
+        }
+        while let Some(&top) = stack.last() {
+            let t = &records[top];
+            let ended = t.start_ns + t.dur_ns <= r.start_ns
+                && !(t.dur_ns == 0 && t.start_ns == r.start_ns);
+            // Ended, or a sibling at equal start: either way it is closed.
+            if ended || t.depth >= r.depth {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(&parent) = stack.last() {
+            child_sum[parent] += r.dur_ns;
+            paths[i] = format!("{};{}", paths[parent], r.label);
+        } else {
+            paths[i] = r.label.clone();
+        }
+        stack.push(i);
+    }
+
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, r) in records.iter().enumerate() {
+        let excl = r.dur_ns.saturating_sub(child_sum[i]);
+        if excl > 0 {
+            *folded.entry(std::mem::take(&mut paths[i])).or_insert(0) += excl;
+        }
+    }
+    let mut out = String::new();
+    for (path, ns) in folded {
+        out.push_str(&format!("{path} {ns}\n"));
+    }
+    out
+}
+
 impl SpanProfile {
     /// Render the profile as an aligned text table, worst offenders
     /// (by exclusive time) first.
@@ -321,6 +378,30 @@ mod tests {
         ];
         let prof = fold_report(&recs);
         assert!((prof.coverage - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn folded_stacks_attribute_exclusive_time_per_path() {
+        let recs = vec![
+            rec(0, 0, "root", 0, 100),
+            rec(0, 1, "child", 10, 20),
+            rec(0, 1, "child", 40, 50),
+            rec(0, 2, "grand", 50, 10),
+            rec(1, 0, "root", 0, 30),
+        ];
+        let folded = fold_stacks(&recs);
+        let lines: Vec<&str> = folded.lines().collect();
+        // root: thread-0 exclusive (100 − 20 − 50) + thread-1 root (30).
+        assert!(lines.contains(&"root 60"), "{folded}");
+        // child: two instances, 70 inclusive − 10 grandchild.
+        assert!(lines.contains(&"root;child 60"), "{folded}");
+        assert!(lines.contains(&"root;child;grand 10"), "{folded}");
+        assert_eq!(lines.len(), 3);
+        // Deterministic: lexically sorted and stable across folds.
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+        assert_eq!(fold_stacks(&recs), folded);
     }
 
     #[test]

@@ -24,9 +24,9 @@ use crate::configs::OooConfig;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use trips_ir::Program;
-use trips_risc::exec::{CtrlKind, EventSource, MachineSource, RiscError};
-use trips_risc::{RCat, RProgram, RiscTrace};
-use trips_sample::{Phase, ReplayMode};
+use trips_risc::exec::{CtrlKind, EventSource, MachineSource, RiscError, StepEvent};
+use trips_risc::{CursorState, RCat, RProgram, RiscTrace};
+use trips_sample::{Phase, PhasePlan, PhaseWindow, ReplayMode};
 
 /// Timing statistics of one run.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -61,6 +61,21 @@ pub struct OooStats {
 }
 
 impl OooStats {
+    /// Adds another replay's *measured* (detailed-window) counters into
+    /// this one, field-wise — the reduction step of live-point parallel
+    /// replay. Clock-derived fields (`cycles`, `est_cycles`,
+    /// `total_insts`, `sampled`) are *not* summed; the assembler sets
+    /// them from the schedule summary.
+    pub fn absorb_measured(&mut self, w: &OooStats) {
+        self.insts += w.insts;
+        self.branches += w.branches;
+        self.br_mispredicts += w.br_mispredicts;
+        self.ras_mispredicts += w.ras_mispredicts;
+        self.l1_misses += w.l1_misses;
+        self.l2_misses += w.l2_misses;
+        self.l1_accesses += w.l1_accesses;
+    }
+
     /// Instructions per cycle. For a sampled run this is the whole-run
     /// estimate (total instructions over extrapolated cycles); for a full
     /// run the two formulations coincide.
@@ -239,6 +254,361 @@ impl IssueSlots {
             t += 1;
         }
     }
+
+    /// Captures the per-cycle issue counts at cycle ≥ `horizon` — slot
+    /// searches start at operand-ready times near the current clock, so
+    /// counts far enough behind it are dead weight in a live-point.
+    fn snapshot(&self, horizon: u64) -> Vec<(u64, u32)> {
+        let mut v: Vec<(u64, u32)> = self
+            .counts
+            .iter()
+            .filter(|&(&t, _)| t >= horizon)
+            .map(|(&t, &c)| (t, c))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn restore(&mut self, counts: &[(u64, u32)]) {
+        self.counts = counts.iter().copied().collect();
+    }
+}
+
+/// Serializable tag-array image of the local [`Cache`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct CacheSnap {
+    tags: Vec<Vec<(u64, u64)>>,
+    stamp: u64,
+}
+
+/// Serializable image of the local [`Predictor`] (tables + history; the
+/// geometry is re-derived from the config on restore and validated).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct PredSnap {
+    bim: Vec<u8>,
+    gsh: Vec<u8>,
+    chooser: Vec<u8>,
+    ghr: u32,
+    ras: Vec<(u32, u32)>,
+}
+
+/// One OoO core's complete warmed machine state at a live-point boundary,
+/// plus the trace-cursor position, so a restored replay resumes the event
+/// stream and the pipeline model bit-identically to a sequential
+/// fast-forward. Fields are private (the payload is an opaque checkpoint);
+/// [`OooSnapshot::unit`] exposes the boundary for validation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OooSnapshot {
+    unit: u64,
+    cursor: CursorState,
+    l1: CacheSnap,
+    l2: CacheSnap,
+    pred: PredSnap,
+    issue: Vec<(u64, u32)>,
+    mem_ports: Vec<(u64, u32)>,
+    fp_ports: Vec<(u64, u32)>,
+    reg_ready: [u64; 32],
+    fetch_cycle: u64,
+    fetched_this_cycle: u32,
+    retire_ring: Vec<u64>,
+    last_retire: u64,
+    acct: u64,
+    idx: u64,
+}
+
+impl OooSnapshot {
+    /// The stream unit this snapshot was captured at (a window's
+    /// `warm_start`).
+    pub fn unit(&self) -> u64 {
+        self.unit
+    }
+}
+
+/// The complete mutable state of the timing core, factored out so the
+/// sequential replay loop, the checkpoint-capture pass, and restored
+/// window replays all drive the *same* per-event code paths — bit-identity
+/// between them is by construction, not by parallel maintenance.
+struct OooState {
+    l1: Cache,
+    l2: Cache,
+    pred: Predictor,
+    issue: IssueSlots,
+    mem_ports: IssueSlots,
+    fp_ports: IssueSlots,
+    reg_ready: [u64; 32],
+    fetch_cycle: u64,
+    fetched_this_cycle: u32,
+    retire_ring: Vec<u64>,
+    last_retire: u64,
+    /// The smoothed accounting clock sampled windows are metered on (see
+    /// the comment in [`time_events_mode`]).
+    acct: u64,
+    idx: u64,
+}
+
+impl OooState {
+    fn new(cfg: &OooConfig) -> OooState {
+        OooState {
+            l1: Cache::new(cfg.l1_bytes, 4, cfg.line),
+            l2: Cache::new(cfg.l2_bytes, 8, cfg.line),
+            pred: Predictor::new(cfg.predictor_entries, cfg.ras_depth),
+            issue: IssueSlots::new(cfg.issue_width),
+            mem_ports: IssueSlots::new(cfg.mem_ports),
+            fp_ports: IssueSlots::new(cfg.fp_ports),
+            reg_ready: [0u64; 32],
+            fetch_cycle: 0,
+            fetched_this_cycle: 0,
+            retire_ring: vec![0; cfg.rob],
+            last_retire: 0,
+            acct: 0,
+            idx: 0,
+        }
+    }
+
+    /// Fast-forward with functional warming: caches and the branch
+    /// predictor observe the instruction; the pipeline model never runs
+    /// and no counters move.
+    fn warm(&mut self, ev: &StepEvent) {
+        if let Some((addr, _)) = ev.mem {
+            if !self.l1.access(addr) {
+                self.l2.access(addr);
+            }
+        }
+        match ev.ctrl_kind {
+            CtrlKind::Cond => {
+                let taken = ev.cond.unwrap_or(false);
+                let pc_hash = (ev.func << 16) ^ ev.idx;
+                let _ = self.pred.branch(pc_hash, taken);
+            }
+            CtrlKind::Call => self.pred.call((ev.func, ev.idx + 1)),
+            CtrlKind::Ret => {
+                if let Some(t) = ev.transfer {
+                    let _ = self.pred.ret(t);
+                }
+            }
+            CtrlKind::Jump | CtrlKind::None => {}
+        }
+    }
+
+    /// One instruction through the full pipeline model. `counting` gates
+    /// every statistics update; machine state advances identically either
+    /// way (the timed-warmup path is exactly this with `counting` off).
+    fn step(
+        &mut self,
+        rp: &RProgram,
+        cfg: &OooConfig,
+        ev: &StepEvent,
+        counting: bool,
+        stats: &mut OooStats,
+    ) {
+        // Indices are valid: both sources bounds-check before emitting.
+        let inst = &rp.funcs[ev.func as usize].insts[ev.idx as usize];
+        if counting {
+            stats.insts += 1;
+        }
+
+        // Fetch bandwidth.
+        if self.fetched_this_cycle >= cfg.fetch_width {
+            self.fetch_cycle += 1;
+            self.fetched_this_cycle = 0;
+        }
+        // ROB window: can't fetch past a full window.
+        let slot = (self.idx as usize) % cfg.rob;
+        if self.retire_ring[slot] > self.fetch_cycle {
+            self.fetch_cycle = self.retire_ring[slot];
+            self.fetched_this_cycle = 0;
+        }
+        let fetch_t = self.fetch_cycle;
+        self.fetched_this_cycle += 1;
+
+        // Operand readiness.
+        let mut ready = fetch_t + cfg.frontend;
+        for r in inst.reads() {
+            ready = ready.max(self.reg_ready[r.0 as usize]);
+        }
+        let mut issue_t = self.issue.take(ready);
+        // Structural ports: memory and FP pipes are narrower than the
+        // overall issue width on all three reference machines.
+        match ev.cat {
+            RCat::Load | RCat::Store => issue_t = self.mem_ports.take(issue_t),
+            RCat::Fp => issue_t = self.fp_ports.take(issue_t),
+            _ => {}
+        }
+        // DRAM portion of this instruction's latency (for the smoothed
+        // accounting clock: it is excluded from the issue-side horizon).
+        let mut dram_lat: u64 = 0;
+        let lat = match ev.cat {
+            RCat::Alu => 1,
+            RCat::MulDiv => {
+                if matches!(
+                    inst,
+                    trips_risc::RInst::Alu {
+                        op: trips_ir::Opcode::Div
+                            | trips_ir::Opcode::Udiv
+                            | trips_ir::Opcode::Rem
+                            | trips_ir::Opcode::Urem,
+                        ..
+                    }
+                ) {
+                    cfg.div_lat
+                } else {
+                    cfg.mul_lat
+                }
+            }
+            RCat::Fp => cfg.fp_lat,
+            RCat::Control => 1,
+            RCat::Load | RCat::Store => {
+                let addr = ev.mem.map(|(a, _)| a).unwrap_or(0);
+                if counting {
+                    stats.l1_accesses += 1;
+                }
+                if self.l1.access(addr) {
+                    cfg.l1_lat
+                } else {
+                    if counting {
+                        stats.l1_misses += 1;
+                    }
+                    if self.l2.access(addr) {
+                        cfg.l1_lat + cfg.l2_lat
+                    } else {
+                        if counting {
+                            stats.l2_misses += 1;
+                        }
+                        dram_lat = cfg.mem_lat;
+                        cfg.l1_lat + cfg.l2_lat + cfg.mem_lat
+                    }
+                }
+            }
+        };
+        let done = issue_t + lat;
+        if let Some(d) = inst.writes() {
+            self.reg_ready[d.0 as usize] = done;
+        }
+
+        // Control flow.
+        match ev.ctrl_kind {
+            CtrlKind::Cond => {
+                if counting {
+                    stats.branches += 1;
+                }
+                let taken = ev.cond.unwrap_or(false);
+                let pc_hash = (ev.func << 16) ^ ev.idx;
+                let predicted = self.pred.branch(pc_hash, taken);
+                if predicted != taken {
+                    if counting {
+                        stats.br_mispredicts += 1;
+                    }
+                    self.fetch_cycle = self.fetch_cycle.max(done + cfg.br_penalty);
+                    self.fetched_this_cycle = 0;
+                }
+            }
+            CtrlKind::Call => {
+                self.pred.call((ev.func, ev.idx + 1));
+            }
+            CtrlKind::Ret => {
+                if let Some(t) = ev.transfer {
+                    if !self.pred.ret(t) {
+                        if counting {
+                            stats.ras_mispredicts += 1;
+                        }
+                        self.fetch_cycle = self.fetch_cycle.max(done + cfg.br_penalty);
+                        self.fetched_this_cycle = 0;
+                    }
+                }
+            }
+            CtrlKind::Jump | CtrlKind::None => {}
+        }
+
+        // In-order retirement.
+        let retire = done.max(self.last_retire);
+        self.last_retire = retire;
+        self.retire_ring[slot] = retire;
+        stats.cycles = stats.cycles.max(retire);
+        // Issue-side completion horizon: the DRAM tail of a miss stays
+        // out until some later instruction's issue time absorbs it.
+        self.acct = self.acct.max(done - dram_lat);
+        self.idx += 1;
+    }
+
+    fn snapshot(&self, unit: u64, cursor: CursorState) -> OooSnapshot {
+        // Port/issue counts ~1M cycles behind the clock can never be
+        // probed again; keep them out of the snapshot (the tracker's own
+        // opportunistic pruning already assumes 1024-cycle recency). The
+        // anchor is the most conservative of the machine's clocks.
+        let horizon = self
+            .acct
+            .min(self.fetch_cycle)
+            .min(self.last_retire)
+            .saturating_sub(1 << 20);
+        OooSnapshot {
+            unit,
+            cursor,
+            l1: CacheSnap {
+                tags: self.l1.tags.clone(),
+                stamp: self.l1.stamp,
+            },
+            l2: CacheSnap {
+                tags: self.l2.tags.clone(),
+                stamp: self.l2.stamp,
+            },
+            pred: PredSnap {
+                bim: self.pred.bim.clone(),
+                gsh: self.pred.gsh.clone(),
+                chooser: self.pred.chooser.clone(),
+                ghr: self.pred.ghr,
+                ras: self.pred.ras.clone(),
+            },
+            issue: self.issue.snapshot(horizon),
+            mem_ports: self.mem_ports.snapshot(horizon),
+            fp_ports: self.fp_ports.snapshot(horizon),
+            reg_ready: self.reg_ready,
+            fetch_cycle: self.fetch_cycle,
+            fetched_this_cycle: self.fetched_this_cycle,
+            retire_ring: self.retire_ring.clone(),
+            last_retire: self.last_retire,
+            acct: self.acct,
+            idx: self.idx,
+        }
+    }
+
+    /// Builds a machine in exactly the captured state, validating that the
+    /// snapshot's geometry matches `cfg` (a live-point only fits the
+    /// configuration that captured it).
+    fn restore(cfg: &OooConfig, s: &OooSnapshot) -> Result<OooState, String> {
+        let mut st = OooState::new(cfg);
+        if st.l1.tags.len() != s.l1.tags.len() || st.l2.tags.len() != s.l2.tags.len() {
+            return Err("live-point cache geometry does not match this config".into());
+        }
+        if st.pred.bim.len() != s.pred.bim.len()
+            || st.pred.gsh.len() != s.pred.gsh.len()
+            || st.pred.chooser.len() != s.pred.chooser.len()
+        {
+            return Err("live-point predictor geometry does not match this config".into());
+        }
+        if st.retire_ring.len() != s.retire_ring.len() {
+            return Err("live-point ROB depth does not match this config".into());
+        }
+        st.l1.tags.clone_from(&s.l1.tags);
+        st.l1.stamp = s.l1.stamp;
+        st.l2.tags.clone_from(&s.l2.tags);
+        st.l2.stamp = s.l2.stamp;
+        st.pred.bim.clone_from(&s.pred.bim);
+        st.pred.gsh.clone_from(&s.pred.gsh);
+        st.pred.chooser.clone_from(&s.pred.chooser);
+        st.pred.ghr = s.pred.ghr;
+        st.pred.ras.clone_from(&s.pred.ras);
+        st.issue.restore(&s.issue);
+        st.mem_ports.restore(&s.mem_ports);
+        st.fp_ports.restore(&s.fp_ports);
+        st.reg_ready = s.reg_ready;
+        st.fetch_cycle = s.fetch_cycle;
+        st.fetched_this_cycle = s.fetched_this_cycle;
+        st.retire_ring.clone_from(&s.retire_ring);
+        st.last_retire = s.last_retire;
+        st.acct = s.acct;
+        st.idx = s.idx;
+        Ok(st)
+    }
 }
 
 /// Runs `rp` on the configured reference machine, driving the timing model
@@ -342,19 +712,8 @@ pub fn time_events_mode(
     };
     let mut total: u64 = 0;
     let mut stats = OooStats::default();
-    let mut l1 = Cache::new(cfg.l1_bytes, 4, cfg.line);
-    let mut l2 = Cache::new(cfg.l2_bytes, 8, cfg.line);
-    let mut pred = Predictor::new(cfg.predictor_entries, cfg.ras_depth);
-    let mut issue = IssueSlots::new(cfg.issue_width);
-    let mut mem_ports = IssueSlots::new(cfg.mem_ports);
-    let mut fp_ports = IssueSlots::new(cfg.fp_ports);
-
-    let mut reg_ready = [0u64; 32];
-    let mut fetch_cycle: u64 = 0;
-    let mut fetched_this_cycle: u32 = 0;
-    let mut retire_ring: Vec<u64> = vec![0; cfg.rob];
-    let mut last_retire: u64 = 0;
-    // The sampled paths meter windows on `acct`, a smoothed accounting
+    let mut st = OooState::new(cfg);
+    // The sampled paths meter windows on `st.acct`, a smoothed accounting
     // clock, instead of the raw retirement clock. `last_retire` jumps by
     // a full DRAM latency the moment a missing load is processed, even
     // when nothing in the window ever waits on the data — in full replay
@@ -370,8 +729,7 @@ pub fn time_events_mode(
     // and windows that merely inherit an in-flight tail are not charged
     // for it. Full replay never consults `acct`, so the bit-exact path is
     // untouched.
-    let mut acct: u64 = 0;
-    let mut idx: u64 = 0;
+    //
     // Per-row cost segments are timed on phase transitions only: when a
     // sweep cost scope is active this is one enum compare per event,
     // otherwise a single predictable branch (see trips_obs::SegmentTimer).
@@ -381,168 +739,20 @@ pub fn time_events_mode(
     while let Some(ev) = src.next_event()? {
         let phase = sampler
             .as_mut()
-            .map_or(Phase::Detailed, |s| s.advance(acct));
+            .map_or(Phase::Detailed, |s| s.advance(st.acct));
         seg.switch(match phase {
             Phase::Detailed => trips_obs::CostKind::Detailed,
             _ => trips_obs::CostKind::Warm,
         });
         total += 1;
-        let counting = phase == Phase::Detailed;
         if phase == Phase::Warm {
-            // Fast-forward with functional warming: caches and the branch
-            // predictor observe the instruction; the pipeline model never
-            // runs and the counters stay untouched.
-            if let Some((addr, _)) = ev.mem {
-                if !l1.access(addr) {
-                    l2.access(addr);
-                }
-            }
-            match ev.ctrl_kind {
-                CtrlKind::Cond => {
-                    let taken = ev.cond.unwrap_or(false);
-                    let pc_hash = (ev.func << 16) ^ ev.idx;
-                    let _ = pred.branch(pc_hash, taken);
-                }
-                CtrlKind::Call => pred.call((ev.func, ev.idx + 1)),
-                CtrlKind::Ret => {
-                    if let Some(t) = ev.transfer {
-                        let _ = pred.ret(t);
-                    }
-                }
-                CtrlKind::Jump | CtrlKind::None => {}
-            }
+            st.warm(&ev);
             continue;
         }
-        // TimedWarm and Detailed both run the full pipeline model below;
+        // TimedWarm and Detailed both run the full pipeline model;
         // TimedWarm discards the counters (`counting` is false), refilling
         // in-flight state so the next window measures a busy machine.
-        // Indices are valid: both sources bounds-check before emitting.
-        let inst = &rp.funcs[ev.func as usize].insts[ev.idx as usize];
-        if counting {
-            stats.insts += 1;
-        }
-
-        // Fetch bandwidth.
-        if fetched_this_cycle >= cfg.fetch_width {
-            fetch_cycle += 1;
-            fetched_this_cycle = 0;
-        }
-        // ROB window: can't fetch past a full window.
-        let slot = (idx as usize) % cfg.rob;
-        if retire_ring[slot] > fetch_cycle {
-            fetch_cycle = retire_ring[slot];
-            fetched_this_cycle = 0;
-        }
-        let fetch_t = fetch_cycle;
-        fetched_this_cycle += 1;
-
-        // Operand readiness.
-        let mut ready = fetch_t + cfg.frontend;
-        for r in inst.reads() {
-            ready = ready.max(reg_ready[r.0 as usize]);
-        }
-        let mut issue_t = issue.take(ready);
-        // Structural ports: memory and FP pipes are narrower than the
-        // overall issue width on all three reference machines.
-        match ev.cat {
-            RCat::Load | RCat::Store => issue_t = mem_ports.take(issue_t),
-            RCat::Fp => issue_t = fp_ports.take(issue_t),
-            _ => {}
-        }
-        // DRAM portion of this instruction's latency (for the smoothed
-        // accounting clock: it is excluded from the issue-side horizon).
-        let mut dram_lat: u64 = 0;
-        let lat = match ev.cat {
-            RCat::Alu => 1,
-            RCat::MulDiv => {
-                if matches!(
-                    inst,
-                    trips_risc::RInst::Alu {
-                        op: trips_ir::Opcode::Div
-                            | trips_ir::Opcode::Udiv
-                            | trips_ir::Opcode::Rem
-                            | trips_ir::Opcode::Urem,
-                        ..
-                    }
-                ) {
-                    cfg.div_lat
-                } else {
-                    cfg.mul_lat
-                }
-            }
-            RCat::Fp => cfg.fp_lat,
-            RCat::Control => 1,
-            RCat::Load | RCat::Store => {
-                let addr = ev.mem.map(|(a, _)| a).unwrap_or(0);
-                if counting {
-                    stats.l1_accesses += 1;
-                }
-                if l1.access(addr) {
-                    cfg.l1_lat
-                } else {
-                    if counting {
-                        stats.l1_misses += 1;
-                    }
-                    if l2.access(addr) {
-                        cfg.l1_lat + cfg.l2_lat
-                    } else {
-                        if counting {
-                            stats.l2_misses += 1;
-                        }
-                        dram_lat = cfg.mem_lat;
-                        cfg.l1_lat + cfg.l2_lat + cfg.mem_lat
-                    }
-                }
-            }
-        };
-        let done = issue_t + lat;
-        if let Some(d) = inst.writes() {
-            reg_ready[d.0 as usize] = done;
-        }
-
-        // Control flow.
-        match ev.ctrl_kind {
-            CtrlKind::Cond => {
-                if counting {
-                    stats.branches += 1;
-                }
-                let taken = ev.cond.unwrap_or(false);
-                let pc_hash = (ev.func << 16) ^ ev.idx;
-                let predicted = pred.branch(pc_hash, taken);
-                if predicted != taken {
-                    if counting {
-                        stats.br_mispredicts += 1;
-                    }
-                    fetch_cycle = fetch_cycle.max(done + cfg.br_penalty);
-                    fetched_this_cycle = 0;
-                }
-            }
-            CtrlKind::Call => {
-                pred.call((ev.func, ev.idx + 1));
-            }
-            CtrlKind::Ret => {
-                if let Some(t) = ev.transfer {
-                    if !pred.ret(t) {
-                        if counting {
-                            stats.ras_mispredicts += 1;
-                        }
-                        fetch_cycle = fetch_cycle.max(done + cfg.br_penalty);
-                        fetched_this_cycle = 0;
-                    }
-                }
-            }
-            CtrlKind::Jump | CtrlKind::None => {}
-        }
-
-        // In-order retirement.
-        let retire = done.max(last_retire);
-        last_retire = retire;
-        retire_ring[slot] = retire;
-        stats.cycles = stats.cycles.max(retire);
-        // Issue-side completion horizon: the DRAM tail of a miss stays
-        // out until some later instruction's issue time absorbs it.
-        acct = acct.max(done - dram_lat);
-        idx += 1;
+        st.step(rp, cfg, &ev, phase == Phase::Detailed, &mut stats);
     }
 
     seg.finish();
@@ -556,7 +766,7 @@ pub fn time_events_mode(
     stats.total_insts = total;
     stats.est_cycles = if let Some(sampler) = sampler {
         let timed = trips_obs::cost::Timed::start(trips_obs::CostKind::Extrapolate);
-        let s = sampler.finish(acct);
+        let s = sampler.finish(st.acct);
         drop(timed);
         debug_assert_eq!(s.measured_units, stats.insts);
         stats.sampled = true;
@@ -569,6 +779,197 @@ pub fn time_events_mode(
     };
     Ok(OooResult {
         return_value: src.return_value(),
+        stats,
+    })
+}
+
+/// One restored window's measurement: the inputs the phased-estimate
+/// assembly needs from each parallel replay job.
+#[derive(Debug, Clone)]
+pub struct OooWindowMeasure {
+    /// Accounting-clock cycles the detailed span took.
+    pub cycles: u64,
+    /// Detailed units measured (`window.detailed_units()`).
+    pub units: u64,
+    /// Counters accumulated over the detailed span only.
+    pub stats: OooStats,
+}
+
+/// Sequential phased replay that additionally captures a live-point at
+/// every window's `warm_start` boundary — machine state plus trace-cursor
+/// position — so later sweeps can [`replay_ooo_window`] each window
+/// independently. The returned result is bit-identical to
+/// [`run_timed_trace_mode`] under the same plan.
+///
+/// # Errors
+/// [`RiscError::Trace`] on a malformed stream, or if `plan` covers the
+/// whole stream (nothing is fast-forwarded, so checkpoints buy nothing —
+/// callers should use the plain replay path).
+pub fn run_ooo_phased_capture(
+    rp: &RProgram,
+    trace: &RiscTrace,
+    cfg: &OooConfig,
+    plan: &PhasePlan,
+) -> Result<(OooResult, Vec<OooSnapshot>), RiscError> {
+    let total_units = trace.header.dynamic_insts;
+    let mode = ReplayMode::Phased(plan.clone());
+    let Some(mut sched) = mode.schedule(total_units).map_err(RiscError::Trace)? else {
+        return Err(RiscError::Trace(
+            "phase plan covers everything: no warmed prefix to checkpoint".into(),
+        ));
+    };
+    let replay_start = std::time::Instant::now();
+    let mut cursor = trace.cursor(rp);
+    let mut st = OooState::new(cfg);
+    let mut stats = OooStats::default();
+    let mut snaps: Vec<OooSnapshot> = Vec::with_capacity(plan.windows.len());
+    let mut total: u64 = 0;
+    let mut seg = trips_obs::SegmentTimer::new();
+    loop {
+        if snaps.len() < plan.windows.len() && total == plan.windows[snaps.len()].warm_start {
+            let timed = trips_obs::cost::Timed::start(trips_obs::CostKind::CheckpointSave);
+            snaps.push(st.snapshot(total, cursor.state()));
+            drop(timed);
+        }
+        let Some(ev) = cursor.next_event()? else {
+            break;
+        };
+        total += 1;
+        match sched.advance(st.acct) {
+            Phase::Warm => {
+                seg.switch(trips_obs::CostKind::Warm);
+                st.warm(&ev);
+            }
+            Phase::TimedWarm => {
+                seg.switch(trips_obs::CostKind::Warm);
+                st.step(rp, cfg, &ev, false, &mut stats);
+            }
+            Phase::Detailed => {
+                seg.switch(trips_obs::CostKind::Detailed);
+                st.step(rp, cfg, &ev, true, &mut stats);
+            }
+        }
+    }
+    seg.finish();
+    debug_assert_eq!(snaps.len(), plan.windows.len());
+    trips_obs::counter("replay_events_total{core=\"ooo\"}").inc(total);
+    let elapsed_ns = replay_start.elapsed().as_nanos() as u64;
+    if elapsed_ns > 0 && total > 0 {
+        trips_obs::histogram("replay_events_per_sec{core=\"ooo\"}")
+            .observe(total.saturating_mul(1_000_000_000) / elapsed_ns);
+    }
+    stats.total_insts = total;
+    let timed = trips_obs::cost::Timed::start(trips_obs::CostKind::Extrapolate);
+    let s = sched.finish(st.acct);
+    drop(timed);
+    debug_assert_eq!(s.measured_units, stats.insts);
+    stats.sampled = true;
+    // Measured-window cycles only: timed warmup advanced the clock but is
+    // not part of the sample.
+    stats.cycles = s.measured_cycles.max(u64::from(stats.insts > 0));
+    stats.est_cycles = s.est_cycles.max(stats.cycles);
+    Ok((
+        OooResult {
+            return_value: cursor.return_value(),
+            stats,
+        },
+        snaps,
+    ))
+}
+
+/// Replays one phase window from its live-point: restore, run the
+/// timed-warmup span with counters discarded, then measure the detailed
+/// span — bit-identical to the same span inside a sequential phased
+/// replay, with no dependence on the stream prefix.
+///
+/// # Errors
+/// [`RiscError::Trace`] if the snapshot does not belong to this window's
+/// boundary or config, or the stream ends inside the window.
+pub fn replay_ooo_window(
+    rp: &RProgram,
+    trace: &RiscTrace,
+    cfg: &OooConfig,
+    window: &PhaseWindow,
+    snap: &OooSnapshot,
+) -> Result<OooWindowMeasure, RiscError> {
+    if snap.unit != window.warm_start {
+        return Err(RiscError::Trace(format!(
+            "live-point at unit {} cannot seed a window warming from {}",
+            snap.unit, window.warm_start
+        )));
+    }
+    if window.end > trace.header.dynamic_insts {
+        return Err(RiscError::Trace(format!(
+            "window end {} past stream extent {}",
+            window.end, trace.header.dynamic_insts
+        )));
+    }
+    let timed = trips_obs::cost::Timed::start(trips_obs::CostKind::CheckpointRestore);
+    let mut st = OooState::restore(cfg, snap).map_err(RiscError::Trace)?;
+    let mut cursor = trace.cursor_at(rp, &snap.cursor);
+    drop(timed);
+    let mut stats = OooStats::default();
+    let mut seg = trips_obs::SegmentTimer::new();
+    let ended = || RiscError::Trace("stream ended inside a live-point window".into());
+    for _ in window.warm_start..window.detail_start {
+        seg.switch(trips_obs::CostKind::Warm);
+        let ev = cursor.next_event()?.ok_or_else(ended)?;
+        st.step(rp, cfg, &ev, false, &mut stats);
+    }
+    let mark = st.acct;
+    for _ in window.detail_start..window.end {
+        seg.switch(trips_obs::CostKind::Detailed);
+        let ev = cursor.next_event()?.ok_or_else(ended)?;
+        st.step(rp, cfg, &ev, true, &mut stats);
+    }
+    seg.finish();
+    trips_obs::counter("replay_events_total{core=\"ooo\"}").inc(window.end - window.warm_start);
+    Ok(OooWindowMeasure {
+        cycles: st.acct - mark,
+        units: window.detailed_units(),
+        stats,
+    })
+}
+
+/// Folds independently measured windows into the whole-run result a
+/// sequential phased replay would have produced: counters sum field-wise,
+/// and the cycle estimate comes from the same weighted extrapolation the
+/// sequential sampler computes ([`trips_sample::assemble_phased`]).
+///
+/// # Errors
+/// [`RiscError::Trace`] if the measurement count does not match the plan.
+pub fn assemble_ooo_phased(
+    trace: &RiscTrace,
+    plan: &PhasePlan,
+    windows: &[OooWindowMeasure],
+) -> Result<OooResult, RiscError> {
+    if windows.len() != plan.windows.len() {
+        return Err(RiscError::Trace(format!(
+            "phase plan has {} windows but {} were measured",
+            plan.windows.len(),
+            windows.len()
+        )));
+    }
+    let timed = trips_obs::cost::Timed::start(trips_obs::CostKind::Extrapolate);
+    let closed: Vec<(u64, u64, u64)> = plan
+        .windows
+        .iter()
+        .zip(windows)
+        .map(|(w, m)| (m.cycles, m.units, w.weight_units))
+        .collect();
+    let summary = trips_sample::assemble_phased(plan.total_units, &closed);
+    let mut stats = OooStats::default();
+    for m in windows {
+        stats.absorb_measured(&m.stats);
+    }
+    drop(timed);
+    debug_assert_eq!(summary.measured_units, stats.insts);
+    stats.sampled = true;
+    stats.total_insts = summary.total_units;
+    stats.cycles = summary.measured_cycles.max(u64::from(stats.insts > 0));
+    stats.est_cycles = summary.est_cycles.max(stats.cycles);
+    Ok(OooResult {
+        return_value: trace.return_value,
         stats,
     })
 }
@@ -728,6 +1129,124 @@ mod tests {
             s.est_cycles,
             full.cycles
         );
+    }
+
+    /// A hand-built phase plan over a stream of `total` units: boundary
+    /// windows plus one weighted interior representative.
+    fn handmade_plan(total: u64) -> trips_sample::PhasePlan {
+        let interval = (total / 5).max(1);
+        let head = interval.min(total);
+        let tail_start = total - interval;
+        let mid_extent = tail_start - head;
+        let rep_start = head + mid_extent / 2;
+        let rep_end = (rep_start + interval / 2)
+            .min(tail_start)
+            .max(rep_start + 1);
+        let warm = rep_start.saturating_sub(interval / 4).max(head);
+        trips_sample::PhasePlan {
+            interval,
+            total_units: total,
+            k: 1,
+            windows: vec![
+                trips_sample::PhaseWindow {
+                    warm_start: 0,
+                    detail_start: 0,
+                    end: head,
+                    weight_units: head,
+                },
+                trips_sample::PhaseWindow {
+                    warm_start: warm,
+                    detail_start: rep_start,
+                    end: rep_end,
+                    weight_units: mid_extent,
+                },
+                trips_sample::PhaseWindow {
+                    warm_start: tail_start,
+                    detail_start: tail_start,
+                    end: total,
+                    weight_units: interval,
+                },
+            ],
+            assignments: vec![],
+        }
+    }
+
+    #[test]
+    fn livepoint_window_replay_is_bit_identical_to_sequential_phased() {
+        let p = sum_program(6000);
+        let rp = compile_program(&p).unwrap();
+        let trace = trips_risc::RiscTrace::capture(
+            &rp,
+            &p,
+            1 << 20,
+            100_000_000,
+            trips_risc::RiscTraceMeta::default(),
+        )
+        .unwrap();
+        let plan = handmade_plan(trace.header.dynamic_insts);
+        plan.validate().unwrap();
+        assert!(!plan.covers_everything());
+        for cfg in [configs::core2(), configs::pentium4(), configs::pentium3()] {
+            let sequential =
+                run_timed_trace_mode(&rp, &trace, &cfg, &ReplayMode::Phased(plan.clone())).unwrap();
+            let (captured, snaps) = run_ooo_phased_capture(&rp, &trace, &cfg, &plan).unwrap();
+            assert_eq!(
+                captured.stats, sequential.stats,
+                "{}: capture pass must match the plain phased replay",
+                cfg.name
+            );
+            assert_eq!(snaps.len(), plan.windows.len());
+            // Snapshots round-trip through bytes (the store's discipline).
+            let measures: Vec<OooWindowMeasure> = plan
+                .windows
+                .iter()
+                .zip(&snaps)
+                .map(|(w, s)| {
+                    let bytes = serde::bin::to_bytes(s);
+                    let back: OooSnapshot = serde::bin::from_bytes(&bytes).unwrap();
+                    assert_eq!(&back, s);
+                    replay_ooo_window(&rp, &trace, &cfg, w, &back).unwrap()
+                })
+                .collect();
+            let assembled = assemble_ooo_phased(&trace, &plan, &measures).unwrap();
+            assert_eq!(
+                assembled.stats, sequential.stats,
+                "{}: restore-then-replay must match fast-forward-then-replay",
+                cfg.name
+            );
+            assert_eq!(assembled.return_value, sequential.return_value);
+        }
+    }
+
+    #[test]
+    fn livepoint_window_rejects_a_foreign_snapshot() {
+        let p = sum_program(3000);
+        let rp = compile_program(&p).unwrap();
+        let trace = trips_risc::RiscTrace::capture(
+            &rp,
+            &p,
+            1 << 20,
+            100_000_000,
+            trips_risc::RiscTraceMeta::default(),
+        )
+        .unwrap();
+        let plan = handmade_plan(trace.header.dynamic_insts);
+        let (_, snaps) = run_ooo_phased_capture(&rp, &trace, &configs::core2(), &plan).unwrap();
+        // Wrong boundary.
+        assert!(
+            replay_ooo_window(&rp, &trace, &configs::core2(), &plan.windows[1], &snaps[0]).is_err()
+        );
+        // Wrong machine geometry (snapshot captured under Core2).
+        assert!(replay_ooo_window(
+            &rp,
+            &trace,
+            &configs::pentium3(),
+            &plan.windows[1],
+            &snaps[1]
+        )
+        .is_err());
+        // Wrong measurement count.
+        assert!(assemble_ooo_phased(&trace, &plan, &[]).is_err());
     }
 
     #[test]

@@ -168,6 +168,23 @@ impl RiscTrace {
         }
     }
 
+    /// A cursor resumed at a previously captured [`CursorState`]: emits
+    /// exactly the events a fresh cursor would emit after stepping (or
+    /// fast-forwarding) to the same position — the live-point restore
+    /// primitive.
+    pub fn cursor_at<'a>(&'a self, rp: &'a RProgram, state: &CursorState) -> TraceCursor<'a> {
+        TraceCursor {
+            trace: self,
+            rp,
+            pc: state.pc,
+            call_stack: state.call_stack.clone(),
+            emitted: state.emitted,
+            cond_at: state.cond_at,
+            mem_at: state.mem_at,
+            done: state.done,
+        }
+    }
+
     /// Per-interval basic-block vectors over the recorded instruction
     /// stream: the stream is cut into `interval`-instruction intervals
     /// (the last may be short), and each yields the frequency of every
@@ -283,6 +300,26 @@ impl RiscTrace {
     }
 }
 
+/// Serializable position of a [`TraceCursor`]: everything the program walk
+/// needs to resume — program counter, replay call stack, and the read
+/// offsets into the branch-bit and address streams. Captured by
+/// [`TraceCursor::state`], resumed by [`RiscTrace::cursor_at`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CursorState {
+    /// Program counter as `(function, instruction)`.
+    pub pc: (u32, u32),
+    /// Replay-side call stack of return sites.
+    pub call_stack: Vec<(u32, u32)>,
+    /// Instructions emitted so far.
+    pub emitted: u64,
+    /// Branch-outcome bits consumed so far.
+    pub cond_at: u64,
+    /// Memory addresses consumed so far.
+    pub mem_at: u64,
+    /// Whether the walk has parked past the final return.
+    pub done: bool,
+}
+
 /// Replays a [`RiscTrace`] as an [`EventSource`] by walking the program:
 /// the recorded bits steer conditional branches, the recorded addresses
 /// fill memory events, and a replay-side call stack resolves returns.
@@ -299,6 +336,19 @@ pub struct TraceCursor<'a> {
 }
 
 impl TraceCursor<'_> {
+    /// Captures the cursor's position for later resumption via
+    /// [`RiscTrace::cursor_at`].
+    pub fn state(&self) -> CursorState {
+        CursorState {
+            pc: self.pc,
+            call_stack: self.call_stack.clone(),
+            emitted: self.emitted,
+            cond_at: self.cond_at,
+            mem_at: self.mem_at,
+            done: self.done,
+        }
+    }
+
     fn take_cond(&mut self) -> Result<bool, RiscError> {
         if self.cond_at >= self.trace.header.cond_count {
             return Err(RiscError::Trace(format!(

@@ -704,26 +704,48 @@ impl PhasedSampler {
             let weight = w.weight_units;
             self.close_window(clock, weight);
         }
-        let mut measured_units = 0u64;
-        let mut measured_cycles = 0u64;
-        let mut est: u128 = 0;
-        for &(cycles, units, weight) in &self.closed {
-            measured_units += units;
-            measured_cycles += cycles;
-            if units > 0 {
-                est += u128::from(cycles) * u128::from(weight) / u128::from(units);
-            }
-        }
-        // A truncated replay (stream shorter than the plan's extent is
-        // rejected upstream, but a window that measured nothing keeps its
-        // weight out of the estimate) never divides by zero.
-        SampleSummary {
-            total_units: self.plan.total_units,
-            measured_units,
-            measured_cycles,
-            est_cycles: u64::try_from(est).unwrap_or(u64::MAX).max(measured_cycles),
+        phased_summary(self.plan.total_units, &self.closed)
+    }
+}
+
+/// The [`PhasedSampler::finish`] math over explicit per-window
+/// measurements: extrapolate each `(cycles, measured units, weight units)`
+/// triple by its population and sum, in window order.
+///
+/// A truncated replay (stream shorter than the plan's extent is rejected
+/// upstream, but a window that measured nothing keeps its weight out of
+/// the estimate) never divides by zero.
+fn phased_summary(total_units: u64, closed: &[(u64, u64, u64)]) -> SampleSummary {
+    let mut measured_units = 0u64;
+    let mut measured_cycles = 0u64;
+    let mut est: u128 = 0;
+    for &(cycles, units, weight) in closed {
+        measured_units += units;
+        measured_cycles += cycles;
+        if units > 0 {
+            est += u128::from(cycles) * u128::from(weight) / u128::from(units);
         }
     }
+    SampleSummary {
+        total_units,
+        measured_units,
+        measured_cycles,
+        est_cycles: u64::try_from(est).unwrap_or(u64::MAX).max(measured_cycles),
+    }
+}
+
+/// Assembles independently measured phase windows into the whole-run
+/// summary a sequential [`PhasedSampler`] drive would have produced — the
+/// reduction step of live-point parallel replay. `closed` holds one
+/// `(cycles, measured units, weight units)` triple per plan window, in
+/// window order; the math (and the sampling telemetry it bumps) is shared
+/// with [`PhasedSampler::finish`], so the two paths cannot drift.
+#[must_use]
+pub fn assemble_phased(total_units: u64, closed: &[(u64, u64, u64)]) -> SampleSummary {
+    let summary = phased_summary(total_units, closed);
+    trips_obs::counter("sample_measured_units_total{kind=\"phase\"}").inc(summary.measured_units);
+    trips_obs::counter("sample_stream_units_total{kind=\"phase\"}").inc(summary.total_units);
+    summary
 }
 
 /// The unified schedule driver behind a sampled [`ReplayMode`]: both
@@ -1060,6 +1082,36 @@ mod tests {
         }
         let sum = s.finish(clock);
         assert_eq!(sum.est_cycles, truth, "uniform-per-phase stream is exact");
+    }
+
+    #[test]
+    fn assemble_phased_matches_sequential_finish() {
+        // Independently measured per-window triples (the parallel replay's
+        // view) must assemble into exactly the summary a sequential drive
+        // produces, for a phase-dependent cost model.
+        let plan = tiny_phase_plan();
+        let cost = |u: u64| if u.is_multiple_of(3) { 12 } else { 5 };
+        let mut s = PhasedSampler::new(plan.clone());
+        let mut clock = 0;
+        for unit in 0..plan.total_units {
+            match s.advance(clock) {
+                Phase::Warm => {}
+                Phase::TimedWarm | Phase::Detailed => clock += cost(unit),
+            }
+        }
+        let sequential = s.finish(clock);
+        let closed: Vec<(u64, u64, u64)> = plan
+            .windows
+            .iter()
+            .map(|w| {
+                (
+                    (w.detail_start..w.end).map(cost).sum(),
+                    w.detailed_units(),
+                    w.weight_units,
+                )
+            })
+            .collect();
+        assert_eq!(assemble_phased(plan.total_units, &closed), sequential);
     }
 
     #[test]

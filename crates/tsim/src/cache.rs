@@ -1,5 +1,25 @@
 //! Set-associative LRU cache tag arrays and bank-occupancy tracking.
 
+use serde::{Deserialize, Serialize};
+
+/// Serializable image of a [`Cache`]'s replacement state: tag arrays and
+/// the LRU stamp. The accounting counters (`accesses`, `misses`) are *not*
+/// captured — a restored replay baselines them itself, so live-point
+/// snapshots stay pure machine state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheSnapshot {
+    tags: Vec<Vec<(u64, u64)>>,
+    stamp: u64,
+}
+
+/// Serializable image of a [`BankPorts`]' claimed-cycle sets, with each
+/// bank's claims sorted so identical occupancy always serializes to
+/// identical bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankPortsSnapshot {
+    busy: Vec<Vec<u64>>,
+}
+
 /// A set-associative cache model (tags only; data values live in the
 /// functional memory).
 #[derive(Debug, Clone)]
@@ -60,6 +80,23 @@ impl Cache {
         false
     }
 
+    /// Captures the replacement state (tags + stamp) for a live-point.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            tags: self.tags.clone(),
+            stamp: self.stamp,
+        }
+    }
+
+    /// Restores replacement state captured by [`Cache::snapshot`]. The
+    /// geometry (sets × ways) must match the snapshot's — live-point keys
+    /// carry a config signature precisely so this cannot be violated.
+    pub fn restore(&mut self, s: &CacheSnapshot) {
+        debug_assert_eq!(self.tags.len(), s.tags.len(), "set count mismatch");
+        self.tags.clone_from(&s.tags);
+        self.stamp = s.stamp;
+    }
+
     /// Miss ratio so far.
     pub fn miss_rate(&self) -> f64 {
         if self.accesses == 0 {
@@ -70,6 +107,39 @@ impl Cache {
     }
 }
 
+/// A splitmix64 [`std::hash::Hasher`] for the claimed-cycle sets here and
+/// in the operand network ([`crate::opn`]). Cycle numbers are dense small
+/// integers; the default SipHash dominates both the reservation hot loops
+/// and live-point restores (hundreds of thousands of inserts per restore),
+/// while one multiply-xor round hashes a `u64` in a few cycles.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ClaimHasher(u64);
+
+impl std::hash::Hasher for ClaimHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        }
+    }
+    fn write_u64(&mut self, x: u64) {
+        let mut v = self.0 ^ x;
+        v ^= v >> 30;
+        v = v.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        v ^= v >> 27;
+        self.0 = v;
+    }
+    fn finish(&self) -> u64 {
+        let mut v = self.0;
+        v = v.wrapping_mul(0x94d0_49bb_1331_11eb);
+        v ^= v >> 31;
+        v
+    }
+}
+
+/// A claimed-cycle set keyed by the fast [`ClaimHasher`].
+pub(crate) type ClaimSet =
+    std::collections::HashSet<u64, std::hash::BuildHasherDefault<ClaimHasher>>;
+
 /// Tracks single-ported bank occupancy with exact per-cycle claims.
 ///
 /// Requests arrive with out-of-order timestamps (overlapping blocks), so
@@ -77,7 +147,7 @@ impl Cache {
 /// next-free-cycle counter.
 #[derive(Debug, Clone, Default)]
 pub struct BankPorts {
-    busy: Vec<std::collections::HashSet<u64>>,
+    busy: Vec<ClaimSet>,
     /// Total accesses routed through the banks.
     pub accesses: u64,
     /// Cycles lost to bank conflicts.
@@ -112,12 +182,42 @@ impl BankPorts {
         for k in 0..busy {
             set.insert(start + k);
         }
-        if set.len() > 8192 {
-            let horizon = start.saturating_sub(4096);
+        if set.len() > 2048 {
+            let horizon = start.saturating_sub(1024);
             set.retain(|&c| c >= horizon);
         }
         self.conflict_cycles += start - t;
         start
+    }
+
+    /// Captures the claimed-cycle occupancy (counters excluded; see
+    /// [`CacheSnapshot`]), keeping only claims at cycle ≥ `horizon` —
+    /// reservation searches start at request times near the current clock,
+    /// so claims far enough behind it can never be probed again and would
+    /// only bloat the snapshot (see [`crate::opn::Opn::snapshot`]).
+    pub fn snapshot(&self, horizon: u64) -> BankPortsSnapshot {
+        BankPortsSnapshot {
+            busy: self
+                .busy
+                .iter()
+                .map(|set| {
+                    let mut v: Vec<u64> = set.iter().copied().filter(|&c| c >= horizon).collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores occupancy captured by [`BankPorts::snapshot`]; the bank
+    /// count must match.
+    pub fn restore(&mut self, s: &BankPortsSnapshot) {
+        debug_assert_eq!(self.busy.len(), s.busy.len(), "bank count mismatch");
+        for (set, claims) in self.busy.iter_mut().zip(&s.busy) {
+            set.clear();
+            set.reserve(claims.len());
+            set.extend(claims.iter().copied());
+        }
     }
 }
 

@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A node on the 5×5 mesh, as (row, col) with `0 ≤ row, col ≤ 4`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Node {
     /// Mesh row.
     pub row: u8,
@@ -77,6 +77,20 @@ pub struct OpnStats {
 }
 
 impl OpnStats {
+    /// Adds another run's traffic into this one (the live-point
+    /// parallel-replay reduction).
+    pub fn absorb(&mut self, o: &OpnStats) {
+        for (class, h) in &o.hist {
+            let e = self.hist.entry(*class).or_default();
+            for (a, b) in e.iter_mut().zip(h) {
+                *a += b;
+            }
+        }
+        self.packets += o.packets;
+        self.total_hops += o.total_hops;
+        self.contention_cycles += o.contention_cycles;
+    }
+
     /// Average hops per packet.
     pub fn avg_hops(&self) -> f64 {
         if self.packets == 0 {
@@ -99,6 +113,16 @@ impl OpnStats {
     }
 }
 
+/// Serializable image of the mesh's link occupancy: one `(from, to,
+/// claimed cycles)` entry per busy directed link, sorted by endpoints with
+/// sorted claims, so identical traffic always serializes to identical
+/// bytes. Statistics are excluded (live-point snapshots are pure machine
+/// state).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpnSnapshot {
+    links: Vec<(Node, Node, Vec<u64>)>,
+}
+
 /// The mesh with exact per-link, per-cycle occupancy.
 ///
 /// Timestamps arrive out of order (in-flight blocks overlap), so the model
@@ -107,8 +131,9 @@ impl OpnStats {
 /// on each hop.
 #[derive(Debug, Default)]
 pub struct Opn {
-    /// Per-directed-link set of claimed cycles.
-    link_busy: HashMap<(Node, Node), std::collections::HashSet<u64>>,
+    /// Per-directed-link set of claimed cycles, fast-hashed: restores and
+    /// the routing hot loop both churn through these sets.
+    link_busy: HashMap<(Node, Node), crate::cache::ClaimSet>,
     /// Aggregate statistics.
     pub stats: OpnStats,
 }
@@ -159,8 +184,8 @@ impl Opn {
                 depart += 1;
             }
             busy.insert(depart);
-            if busy.len() > 8192 {
-                let horizon = depart.saturating_sub(4096);
+            if busy.len() > 2048 {
+                let horizon = depart.saturating_sub(1024);
                 busy.retain(|&c| c >= horizon);
             }
             self.stats.contention_cycles += depart - now;
@@ -168,6 +193,40 @@ impl Opn {
             cur = next;
         }
         now
+    }
+
+    /// Captures the link occupancy for a live-point, keeping only claims
+    /// at cycle ≥ `horizon`. Claims far enough in the past can never be
+    /// probed again (departure searches start at operand-ready times near
+    /// the current clock, and the model's own opportunistic pruning
+    /// already discards anything 1024+ cycles stale on hot links), so
+    /// dropping them keeps cold links from pinning dead cycles into every
+    /// snapshot without perturbing the replay.
+    pub fn snapshot(&self, horizon: u64) -> OpnSnapshot {
+        let mut links: Vec<(Node, Node, Vec<u64>)> = self
+            .link_busy
+            .iter()
+            .filter_map(|(&(from, to), busy)| {
+                let mut v: Vec<u64> = busy.iter().copied().filter(|&c| c >= horizon).collect();
+                if v.is_empty() {
+                    return None;
+                }
+                v.sort_unstable();
+                Some((from, to, v))
+            })
+            .collect();
+        links.sort_unstable_by_key(|&(a, b, _)| (a.row, a.col, b.row, b.col));
+        OpnSnapshot { links }
+    }
+
+    /// Restores link occupancy captured by [`Opn::snapshot`]; statistics
+    /// are left untouched (the caller baselines them).
+    pub fn restore(&mut self, s: &OpnSnapshot) {
+        self.link_busy.clear();
+        for (from, to, claims) in &s.links {
+            self.link_busy
+                .insert((*from, *to), claims.iter().copied().collect());
+        }
     }
 }
 

@@ -17,6 +17,29 @@ fn mix(block: u32, hist: u32) -> u32 {
     (block.wrapping_mul(0x9e37_79b9) >> 8) ^ hist
 }
 
+/// Serializable image of a [`NextBlockPredictor`]'s learned state: every
+/// table of both components plus the histories and the return-address
+/// stack. Masks and depth limits are geometry (reconstructed from the
+/// config at restore), and [`PredictorStats`] is accounting — neither is
+/// captured, keeping live-point snapshots pure machine state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorSnapshot {
+    lht: Vec<u16>,
+    lpt: Vec<(u8, u8)>,
+    gpt: Vec<(u8, u8)>,
+    chooser: Vec<u8>,
+    ghr: u32,
+    btb: Vec<Option<(u64, u32)>>,
+    ras: Vec<u32>,
+}
+
+/// Serializable image of a [`LoadWaitTable`]'s learned wait bits
+/// (`violations` is accounting and excluded).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadWaitSnapshot {
+    bits: Vec<bool>,
+}
+
 /// Local/global tournament exit predictor.
 #[derive(Debug, Clone)]
 pub struct ExitPredictor {
@@ -201,6 +224,16 @@ pub struct PredictorStats {
 }
 
 impl PredictorStats {
+    /// Adds another run's counters into this one (the live-point
+    /// parallel-replay reduction).
+    pub fn absorb(&mut self, o: &PredictorStats) {
+        self.predictions += o.predictions;
+        self.exit_mispredicts += o.exit_mispredicts;
+        self.target_mispredicts += o.target_mispredicts;
+        self.callret_mispredicts += o.callret_mispredicts;
+        self.branch_mispredicts += o.branch_mispredicts;
+    }
+
     /// Total mispredictions.
     pub fn mispredicts(&self) -> u64 {
         self.exit_mispredicts + self.target_mispredicts
@@ -271,6 +304,35 @@ impl NextBlockPredictor {
         self.targets
             .update(block, actual_exit, kind, Some(actual_target), cont);
         (ptarget, correct)
+    }
+
+    /// Captures the learned tables for a live-point (statistics excluded).
+    pub fn snapshot(&self) -> PredictorSnapshot {
+        PredictorSnapshot {
+            lht: self.exits.lht.clone(),
+            lpt: self.exits.lpt.clone(),
+            gpt: self.exits.gpt.clone(),
+            chooser: self.exits.chooser.clone(),
+            ghr: self.exits.ghr,
+            btb: self.targets.btb.clone(),
+            ras: self.targets.ras.clone(),
+        }
+    }
+
+    /// Restores state captured by [`NextBlockPredictor::snapshot`]. Table
+    /// geometries must match (the live-point key's config signature
+    /// guarantees it); `stats` is left untouched for the caller to
+    /// baseline.
+    pub fn restore(&mut self, s: &PredictorSnapshot) {
+        debug_assert_eq!(self.exits.lht.len(), s.lht.len(), "table size mismatch");
+        debug_assert_eq!(self.targets.btb.len(), s.btb.len(), "BTB size mismatch");
+        self.exits.lht.clone_from(&s.lht);
+        self.exits.lpt.clone_from(&s.lpt);
+        self.exits.gpt.clone_from(&s.gpt);
+        self.exits.chooser.clone_from(&s.chooser);
+        self.exits.ghr = s.ghr;
+        self.targets.btb.clone_from(&s.btb);
+        self.targets.ras.clone_from(&s.ras);
     }
 }
 
@@ -379,6 +441,20 @@ impl LoadWaitTable {
         self.violations += 1;
         let i = (mix(block, inst as u32) as usize) & self.mask;
         self.bits[i] = true;
+    }
+
+    /// Captures the learned wait bits for a live-point.
+    pub fn snapshot(&self) -> LoadWaitSnapshot {
+        LoadWaitSnapshot {
+            bits: self.bits.clone(),
+        }
+    }
+
+    /// Restores bits captured by [`LoadWaitTable::snapshot`] (`violations`
+    /// is the caller's to baseline).
+    pub fn restore(&mut self, s: &LoadWaitSnapshot) {
+        debug_assert_eq!(self.bits.len(), s.bits.len(), "table size mismatch");
+        self.bits.clone_from(&s.bits);
     }
 }
 

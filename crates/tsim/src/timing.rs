@@ -26,11 +26,14 @@
 //! one measured window per behavior cluster and extrapolates by cluster
 //! population instead of sampling every period.
 
-use crate::cache::{BankPorts, Cache};
+use crate::cache::{BankPorts, BankPortsSnapshot, Cache, CacheSnapshot};
 use crate::config::TripsConfig;
-use crate::opn::{Node, Opn, TrafficClass};
-use crate::predictor::{ExitKind, LoadWaitTable, NextBlockPredictor};
+use crate::opn::{Node, Opn, OpnSnapshot, TrafficClass};
+use crate::predictor::{
+    ExitKind, LoadWaitSnapshot, LoadWaitTable, NextBlockPredictor, PredictorSnapshot,
+};
 use crate::stats::SimStats;
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
@@ -39,7 +42,7 @@ use trips_ir::Program;
 use trips_isa::block::ExitTarget;
 use trips_isa::interp::{BlockTrace, TraceSrc, TripsExecError};
 use trips_isa::{TOpcode, TraceLog};
-use trips_sample::{Phase, ReplayMode};
+use trips_sample::{Phase, PhasePlan, PhaseWindow, ReplayMode};
 
 /// Simulation failures (functional execution errors surface unchanged).
 #[derive(Debug)]
@@ -221,6 +224,255 @@ pub fn replay_trace_mode(
         stats,
     })
 }
+
+/// The pending control transfer awaiting the next block id, in
+/// serializable form (see [`TsimSnapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct PendingExit {
+    block: u32,
+    exit: u8,
+    kind: ExitKind,
+    cont: Option<u32>,
+    resolve: u64,
+}
+
+/// Serializable image of the whole TRIPS timing machine at a stream
+/// boundary — a **live-point**. Captures every piece of warmed state the
+/// detailed model reads (caches, predictor tables, network and bank
+/// occupancy, register-availability and commit horizons, the pending
+/// control transfer) and *none* of the accounting: a replay restored from
+/// a live-point starts all counters at zero, so its accounting is exactly
+/// the window's delta and per-window deltas sum to the sequential totals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TsimSnapshot {
+    /// Stream unit the snapshot was taken at (before processing it).
+    unit: u64,
+    opn: OpnSnapshot,
+    et_free: [u64; 16],
+    l1d: Vec<CacheSnapshot>,
+    dt_banks: BankPortsSnapshot,
+    l2: CacheSnapshot,
+    l2_banks: BankPortsSnapshot,
+    dram: BankPortsSnapshot,
+    icache: CacheSnapshot,
+    predictor: PredictorSnapshot,
+    lwt: LoadWaitSnapshot,
+    reg_avail: Vec<(u8, u64)>,
+    commits: Vec<u64>,
+    last_commit: u64,
+    prev_dispatch: u64,
+    prev_chunk: u64,
+    pending: Option<PendingExit>,
+}
+
+impl TsimSnapshot {
+    /// The stream unit this live-point resumes at.
+    #[must_use]
+    pub fn unit(&self) -> u64 {
+        self.unit
+    }
+}
+
+/// One plan window's accounting, measured by an independent restored
+/// replay ([`replay_trips_window`]); bit-identical to the same window's
+/// contribution in a sequential phased replay.
+#[derive(Debug, Clone)]
+pub struct TsimWindowMeasure {
+    /// Cycles the measured span took (commit-clock delta).
+    pub cycles: u64,
+    /// Units measured in detail.
+    pub units: u64,
+    /// Detailed-block counters this window contributed.
+    pub stats: SimStats,
+}
+
+/// Performs a full sequential phased replay while capturing a live-point
+/// at each window's warm-start boundary. The returned [`SimResult`] is
+/// bit-identical to `replay_trace_mode(.., Phased(plan))`; the snapshots
+/// seed [`replay_trips_window`] so later sweep points (or parallel window
+/// jobs) replay windows without touching the stream prefix.
+///
+/// # Errors
+/// [`SimError::Trace`] when the log fails validation, the plan was fitted
+/// to a different stream, or the plan covers everything (nothing to
+/// checkpoint — callers should take the full path instead).
+pub fn replay_trace_phased_capture(
+    compiled: &CompiledProgram,
+    cfg: &TripsConfig,
+    log: &TraceLog,
+    plan: &PhasePlan,
+) -> Result<(SimResult, Vec<TsimSnapshot>), SimError> {
+    log.validate(&compiled.trips).map_err(SimError::Trace)?;
+    let total = log.seq.len() as u64;
+    let mode = ReplayMode::Phased(plan.clone());
+    let Some(mut sched) = mode.schedule(total).map_err(SimError::Trace)? else {
+        return Err(SimError::Trace(
+            "phase plan covers everything: no warmed prefix to checkpoint".into(),
+        ));
+    };
+    let replay_start = std::time::Instant::now();
+    let mut t = Timing::new(compiled, cfg);
+    let mut snaps: Vec<TsimSnapshot> = Vec::with_capacity(plan.windows.len());
+    let mut unit: u64 = 0;
+    let mut seg = trips_obs::SegmentTimer::new();
+    log.replay(|bidx, trace| {
+        if snaps.len() < plan.windows.len() && unit == plan.windows[snaps.len()].warm_start {
+            let timed = trips_obs::cost::Timed::start(trips_obs::CostKind::CheckpointSave);
+            snaps.push(t.snapshot(unit));
+            drop(timed);
+        }
+        unit += 1;
+        match sched.advance(t.last_commit) {
+            Phase::Warm => {
+                seg.switch(trips_obs::CostKind::Warm);
+                t.warm_block(bidx, trace);
+            }
+            Phase::TimedWarm => {
+                seg.switch(trips_obs::CostKind::Warm);
+                t.time_block_discarded(bidx, trace);
+            }
+            Phase::Detailed => {
+                seg.switch(trips_obs::CostKind::Detailed);
+                t.time_block(bidx, trace);
+            }
+        }
+    });
+    seg.finish();
+    debug_assert_eq!(snaps.len(), plan.windows.len());
+    let timed = trips_obs::cost::Timed::start(trips_obs::CostKind::Extrapolate);
+    let summary = sched.finish(t.last_commit);
+    drop(timed);
+    let mut stats = t.finish();
+    stats.isa = log.stats.clone();
+    debug_assert_eq!(summary.measured_units, stats.blocks);
+    stats.sampled = true;
+    stats.total_units = summary.total_units;
+    stats.cycles = summary.measured_cycles.max(u64::from(stats.blocks > 0));
+    stats.est_cycles = summary.est_cycles.max(stats.cycles);
+    trips_obs::counter("replay_events_total{core=\"trips\"}").inc(total);
+    let elapsed_ns = replay_start.elapsed().as_nanos() as u64;
+    if elapsed_ns > 0 && total > 0 {
+        trips_obs::histogram("replay_events_per_sec{core=\"trips\"}")
+            .observe(total.saturating_mul(1_000_000_000) / elapsed_ns);
+    }
+    Ok((
+        SimResult {
+            return_value: log.return_value,
+            stats,
+        },
+        snaps,
+    ))
+}
+
+/// Replays one plan window from its live-point: restore, run the timed
+/// warmup span with discarded counters, then measure the detailed span.
+/// Because the restored machine state is bit-identical to the sequential
+/// replay's state at the same boundary, the measurement is too.
+///
+/// The caller is responsible for having validated `log` (the engine
+/// validates on capture and on store load); indices are still
+/// bounds-checked here so a mismatched log errors instead of panicking.
+///
+/// # Errors
+/// [`SimError::Trace`] when the snapshot does not belong to this window or
+/// the window lies outside the log.
+pub fn replay_trips_window(
+    compiled: &CompiledProgram,
+    cfg: &TripsConfig,
+    log: &TraceLog,
+    window: &PhaseWindow,
+    snap: &TsimSnapshot,
+) -> Result<TsimWindowMeasure, SimError> {
+    if snap.unit != window.warm_start {
+        return Err(SimError::Trace(format!(
+            "live-point captured at unit {} cannot seed the window warming from {}",
+            snap.unit, window.warm_start
+        )));
+    }
+    if window.end as usize > log.seq.len() {
+        return Err(SimError::Trace(format!(
+            "window ends at unit {} but the log has {}",
+            window.end,
+            log.seq.len()
+        )));
+    }
+    let timed = trips_obs::cost::Timed::start(trips_obs::CostKind::CheckpointRestore);
+    let mut t = Timing::new(compiled, cfg);
+    t.restore(snap).map_err(SimError::Trace)?;
+    drop(timed);
+    let shape = |sidx: u32| {
+        log.shapes
+            .get(sidx as usize)
+            .ok_or_else(|| SimError::Trace(format!("shape index {sidx} out of range")))
+    };
+    let mut seg = trips_obs::SegmentTimer::new();
+    seg.switch(trips_obs::CostKind::Warm);
+    for &(bidx, sidx) in &log.seq[window.warm_start as usize..window.detail_start as usize] {
+        t.time_block_discarded(bidx, shape(sidx)?);
+    }
+    let mark = t.last_commit;
+    seg.switch(trips_obs::CostKind::Detailed);
+    for &(bidx, sidx) in &log.seq[window.detail_start as usize..window.end as usize] {
+        t.time_block(bidx, shape(sidx)?);
+    }
+    seg.finish();
+    let cycles = t.last_commit - mark;
+    trips_obs::counter("replay_events_total{core=\"trips\"}").inc(window.end - window.warm_start);
+    Ok(TsimWindowMeasure {
+        cycles,
+        units: window.detailed_units(),
+        stats: t.into_window_stats(),
+    })
+}
+
+/// Assembles independently measured windows (one [`TsimWindowMeasure`] per
+/// plan window, in order) into the [`SimResult`] a sequential phased
+/// replay of the same plan produces: counters sum field-wise, and the
+/// whole-run estimate uses the shared [`trips_sample::assemble_phased`]
+/// math.
+///
+/// # Errors
+/// [`SimError::Trace`] when the measurement count does not match the plan.
+pub fn assemble_trips_phased(
+    log: &TraceLog,
+    plan: &PhasePlan,
+    windows: &[TsimWindowMeasure],
+) -> Result<SimResult, SimError> {
+    if windows.len() != plan.windows.len() {
+        return Err(SimError::Trace(format!(
+            "{} window measurements for a {}-window plan",
+            windows.len(),
+            plan.windows.len()
+        )));
+    }
+    let timed = trips_obs::cost::Timed::start(trips_obs::CostKind::Extrapolate);
+    let closed: Vec<(u64, u64, u64)> = windows
+        .iter()
+        .zip(&plan.windows)
+        .map(|(m, w)| (m.cycles, m.units, w.weight_units))
+        .collect();
+    let summary = trips_sample::assemble_phased(plan.total_units, &closed);
+    let mut stats = SimStats::default();
+    for m in windows {
+        stats.absorb_measured(&m.stats);
+    }
+    stats.isa = log.stats.clone();
+    stats.sampled = true;
+    stats.detailed_units = stats.blocks;
+    stats.total_units = summary.total_units;
+    stats.cycles = summary.measured_cycles.max(u64::from(stats.blocks > 0));
+    stats.est_cycles = summary.est_cycles.max(stats.cycles);
+    drop(timed);
+    Ok(SimResult {
+        return_value: log.return_value,
+        stats,
+    })
+}
+
+/// Cycles of bank/link occupancy history a live-point snapshot keeps
+/// behind the commit point. Generous by orders of magnitude: nothing in
+/// the model probes occupancy more than a few thousand cycles back.
+const CLAIM_SNAPSHOT_MARGIN: u64 = 1 << 20;
 
 struct Timing<'a> {
     cp: &'a CompiledProgram,
@@ -601,6 +853,89 @@ impl<'a> Timing<'a> {
         self.pending = Some((bidx, trace.exit, kind, cont, resolve));
     }
 
+    /// Captures the machine's live-point at stream `unit` (called before
+    /// the unit is processed). Pure machine state only — see
+    /// [`TsimSnapshot`].
+    fn snapshot(&self, unit: u64) -> TsimSnapshot {
+        let mut reg_avail: Vec<(u8, u64)> = self.reg_avail.iter().map(|(&r, &t)| (r, t)).collect();
+        reg_avail.sort_unstable();
+        // Occupancy claims this far behind the commit point are dead: no
+        // packet or bank request ever probes a cycle ~1M behind the clock
+        // (in-flight blocks span tens of cycles), so snapshots exclude
+        // them rather than pin every cold link's stale claims forever.
+        let horizon = self.last_commit.saturating_sub(CLAIM_SNAPSHOT_MARGIN);
+        TsimSnapshot {
+            unit,
+            opn: self.opn.snapshot(horizon),
+            et_free: self.et_free,
+            l1d: self.l1d.iter().map(Cache::snapshot).collect(),
+            dt_banks: self.dt_banks.snapshot(horizon),
+            l2: self.l2.snapshot(),
+            l2_banks: self.l2_banks.snapshot(horizon),
+            dram: self.dram.snapshot(horizon),
+            icache: self.icache.snapshot(),
+            predictor: self.predictor.snapshot(),
+            lwt: self.lwt.snapshot(),
+            reg_avail,
+            commits: self.commits.iter().copied().collect(),
+            last_commit: self.last_commit,
+            prev_dispatch: self.prev_dispatch,
+            prev_chunk: self.prev_chunk as u64,
+            pending: self
+                .pending
+                .map(|(block, exit, kind, cont, resolve)| PendingExit {
+                    block,
+                    exit,
+                    kind,
+                    cont,
+                    resolve,
+                }),
+        }
+    }
+
+    /// Restores a live-point into a freshly constructed machine. All
+    /// accounting stays at zero, so everything this replay subsequently
+    /// counts is the window's own delta.
+    fn restore(&mut self, s: &TsimSnapshot) -> Result<(), String> {
+        if self.l1d.len() != s.l1d.len() {
+            return Err(format!(
+                "live-point has {} L1D banks, config wants {}",
+                s.l1d.len(),
+                self.l1d.len()
+            ));
+        }
+        self.opn.restore(&s.opn);
+        self.et_free = s.et_free;
+        for (c, cs) in self.l1d.iter_mut().zip(&s.l1d) {
+            c.restore(cs);
+        }
+        self.dt_banks.restore(&s.dt_banks);
+        self.l2.restore(&s.l2);
+        self.l2_banks.restore(&s.l2_banks);
+        self.dram.restore(&s.dram);
+        self.icache.restore(&s.icache);
+        self.predictor.restore(&s.predictor);
+        self.lwt.restore(&s.lwt);
+        self.reg_avail = s.reg_avail.iter().copied().collect();
+        self.commits = s.commits.iter().copied().collect();
+        self.last_commit = s.last_commit;
+        self.prev_dispatch = s.prev_dispatch;
+        self.prev_chunk = s.prev_chunk as usize;
+        self.pending = s
+            .pending
+            .map(|p| (p.block, p.exit, p.kind, p.cont, p.resolve));
+        Ok(())
+    }
+
+    /// Folds the component accounting into the stats without the full-run
+    /// clock defaults: the per-window delta of a restored replay.
+    fn into_window_stats(mut self) -> SimStats {
+        self.stats.predictor = self.predictor.stats;
+        self.stats.opn = std::mem::take(&mut self.opn.stats);
+        self.stats.bank_conflict_cycles = self.dt_banks.conflict_cycles;
+        self.stats
+    }
+
     fn finish(mut self) -> SimStats {
         self.stats.cycles = self.last_commit.max(1);
         self.stats.predictor = self.predictor.stats;
@@ -783,6 +1118,120 @@ mod tests {
         );
         // And the functional composition is untouched by sampling.
         assert_eq!(s.isa, full.stats.isa);
+    }
+
+    /// A hand-built phase plan over a stream of `total` units: boundary
+    /// windows plus one weighted interior representative per `chunk`.
+    fn handmade_plan(total: u64) -> trips_sample::PhasePlan {
+        let interval = (total / 5).max(1);
+        let head = interval.min(total);
+        let tail_start = total - interval;
+        let mid_extent = tail_start - head;
+        let rep_start = head + mid_extent / 2;
+        let rep_end = (rep_start + interval / 2)
+            .min(tail_start)
+            .max(rep_start + 1);
+        let warm = rep_start.saturating_sub(interval / 4).max(head);
+        trips_sample::PhasePlan {
+            interval,
+            total_units: total,
+            k: 1,
+            windows: vec![
+                trips_sample::PhaseWindow {
+                    warm_start: 0,
+                    detail_start: 0,
+                    end: head,
+                    weight_units: head,
+                },
+                trips_sample::PhaseWindow {
+                    warm_start: warm,
+                    detail_start: rep_start,
+                    end: rep_end,
+                    weight_units: mid_extent,
+                },
+                trips_sample::PhaseWindow {
+                    warm_start: tail_start,
+                    detail_start: tail_start,
+                    end: total,
+                    weight_units: interval,
+                },
+            ],
+            assignments: vec![],
+        }
+    }
+
+    #[test]
+    fn livepoint_window_replay_is_bit_identical_to_sequential_phased() {
+        let p = sum_program(4000);
+        let compiled = compile(&p, &CompileOptions::o1()).unwrap();
+        let log = TraceLog::capture(
+            &compiled.trips,
+            &compiled.opt_ir,
+            1 << 20,
+            u64::MAX,
+            Default::default(),
+        )
+        .unwrap();
+        let plan = handmade_plan(log.seq.len() as u64);
+        plan.validate().unwrap();
+        assert!(!plan.covers_everything());
+        for cfg in [TripsConfig::prototype(), TripsConfig::improved_predictor()] {
+            let sequential =
+                replay_trace_mode(&compiled, &cfg, &log, &ReplayMode::Phased(plan.clone()))
+                    .unwrap();
+            let (captured, snaps) =
+                replay_trace_phased_capture(&compiled, &cfg, &log, &plan).unwrap();
+            assert_eq!(
+                captured.stats, sequential.stats,
+                "capture pass must be bit-identical to the plain phased replay"
+            );
+            assert_eq!(snaps.len(), plan.windows.len());
+            // Snapshots round-trip through bytes (the store's discipline).
+            let measures: Vec<TsimWindowMeasure> = plan
+                .windows
+                .iter()
+                .zip(&snaps)
+                .map(|(w, s)| {
+                    let bytes = serde::bin::to_bytes(s);
+                    let back: TsimSnapshot = serde::bin::from_bytes(&bytes).unwrap();
+                    assert_eq!(&back, s);
+                    replay_trips_window(&compiled, &cfg, &log, w, &back).unwrap()
+                })
+                .collect();
+            let assembled = assemble_trips_phased(&log, &plan, &measures).unwrap();
+            assert_eq!(
+                assembled.stats, sequential.stats,
+                "restore-then-replay must be bit-identical to fast-forward-then-replay"
+            );
+            assert_eq!(assembled.return_value, sequential.return_value);
+        }
+    }
+
+    #[test]
+    fn livepoint_window_rejects_a_foreign_snapshot() {
+        let p = sum_program(2000);
+        let compiled = compile(&p, &CompileOptions::o1()).unwrap();
+        let log = TraceLog::capture(
+            &compiled.trips,
+            &compiled.opt_ir,
+            1 << 20,
+            u64::MAX,
+            Default::default(),
+        )
+        .unwrap();
+        let plan = handmade_plan(log.seq.len() as u64);
+        let cfg = TripsConfig::prototype();
+        let (_, snaps) = replay_trace_phased_capture(&compiled, &cfg, &log, &plan).unwrap();
+        // A snapshot from one boundary cannot seed a different window.
+        assert!(matches!(
+            replay_trips_window(&compiled, &cfg, &log, &plan.windows[1], &snaps[0]),
+            Err(SimError::Trace(_))
+        ));
+        // A wrong-count assembly is rejected.
+        assert!(matches!(
+            assemble_trips_phased(&log, &plan, &[]),
+            Err(SimError::Trace(_))
+        ));
     }
 
     #[test]

@@ -132,6 +132,15 @@ pub trait Deserializer<'de> {
     type Error: de::Error;
     /// Produces the value tree.
     fn deserialize_value(self) -> Result<Value, Self::Error>;
+    /// Borrowing fast path: a deserializer that already holds a [`Value`]
+    /// tree exposes it by reference so composite `Deserialize` impls can
+    /// walk it in place. Without this, every nesting level's
+    /// `deserialize_value` deep-clones its whole subtree, making decode
+    /// O(depth × size) — ruinous for megabyte-scale artifacts such as
+    /// live-point checkpoint sets.
+    fn value_ref(&self) -> Option<&Value> {
+        None
+    }
 }
 
 /// Types that can be serialized.
@@ -170,6 +179,9 @@ impl<'de, 'a> Deserializer<'de> for ValueDeserializer<'a> {
     type Error = Error;
     fn deserialize_value(self) -> Result<Value, Error> {
         Ok(self.0.clone())
+    }
+    fn value_ref(&self) -> Option<&Value> {
+        Some(self.0)
     }
 }
 
@@ -260,12 +272,16 @@ macro_rules! ser_de_int {
         }
         impl<'de> Deserialize<'de> for $t {
             fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-                let v = d.deserialize_value()?;
-                let out = match v {
-                    Value::I64(x) => <$t>::try_from(x).map_err(|_| ()),
-                    Value::U64(x) => <$t>::try_from(x).map_err(|_| ()),
-                    Value::U128(x) => <$t>::try_from(x).map_err(|_| ()),
+                let go = |v: &Value| match v {
+                    Value::I64(x) => <$t>::try_from(*x).map_err(|_| ()),
+                    Value::U64(x) => <$t>::try_from(*x).map_err(|_| ()),
+                    Value::U128(x) => <$t>::try_from(*x).map_err(|_| ()),
                     _ => Err(()),
+                };
+                let out = if let Some(v) = d.value_ref() {
+                    go(v)
+                } else {
+                    go(&d.deserialize_value()?)
                 };
                 out.map_err(|()| de::Error::custom(format!("expected {} number", stringify!($t))))
             }
@@ -288,12 +304,18 @@ impl Serialize for u128 {
 
 impl<'de> Deserialize<'de> for u128 {
     fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        match d.deserialize_value()? {
-            Value::U128(x) => Ok(x),
-            Value::U64(x) => Ok(u128::from(x)),
-            Value::I64(x) => u128::try_from(x).map_err(|_| de::Error::custom("negative u128")),
-            _ => Err(de::Error::custom("expected u128 number")),
-        }
+        let go = |v: &Value| match v {
+            Value::U128(x) => Ok(*x),
+            Value::U64(x) => Ok(u128::from(*x)),
+            Value::I64(x) => u128::try_from(*x).map_err(|_| Error::msg("negative u128")),
+            _ => Err(Error::msg("expected u128 number")),
+        };
+        let out = if let Some(v) = d.value_ref() {
+            go(v)
+        } else {
+            go(&d.deserialize_value()?)
+        };
+        out.map_err(de::Error::custom)
     }
 }
 
@@ -305,10 +327,16 @@ impl Serialize for bool {
 
 impl<'de> Deserialize<'de> for bool {
     fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        match d.deserialize_value()? {
-            Value::Bool(b) => Ok(b),
-            _ => Err(de::Error::custom("expected bool")),
-        }
+        let go = |v: &Value| match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::msg("expected bool")),
+        };
+        let out = if let Some(v) = d.value_ref() {
+            go(v)
+        } else {
+            go(&d.deserialize_value()?)
+        };
+        out.map_err(de::Error::custom)
     }
 }
 
@@ -320,14 +348,20 @@ impl Serialize for f64 {
 
 impl<'de> Deserialize<'de> for f64 {
     fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        match d.deserialize_value()? {
-            Value::F64(x) => Ok(x),
-            Value::I64(x) => Ok(x as f64),
-            Value::U64(x) => Ok(x as f64),
+        let go = |v: &Value| match v {
+            Value::F64(x) => Ok(*x),
+            Value::I64(x) => Ok(*x as f64),
+            Value::U64(x) => Ok(*x as f64),
             // The JSON writer renders non-finite floats as null.
             Value::Unit => Ok(f64::NAN),
-            _ => Err(de::Error::custom("expected f64 number")),
-        }
+            _ => Err(Error::msg("expected f64 number")),
+        };
+        let out = if let Some(v) = d.value_ref() {
+            go(v)
+        } else {
+            go(&d.deserialize_value()?)
+        };
+        out.map_err(de::Error::custom)
     }
 }
 
@@ -351,10 +385,16 @@ impl Serialize for String {
 
 impl<'de> Deserialize<'de> for String {
     fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        match d.deserialize_value()? {
-            Value::Str(s) => Ok(s),
-            _ => Err(de::Error::custom("expected string")),
-        }
+        let go = |v: &Value| match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::msg("expected string")),
+        };
+        let out = if let Some(v) = d.value_ref() {
+            go(v)
+        } else {
+            go(&d.deserialize_value()?)
+        };
+        out.map_err(de::Error::custom)
     }
 }
 
@@ -396,10 +436,15 @@ impl<T: Serialize> Serialize for Option<T> {
 
 impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
     fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        match d.deserialize_value()? {
+        let go = |v: &Value| match v {
             Value::Unit => Ok(None),
-            v => from_value(&v).map(Some).map_err(de::Error::custom),
+            v => from_value(v).map(Some),
+        };
+        if let Some(v) = d.value_ref() {
+            return go(v).map_err(de::Error::custom);
         }
+        let v = d.deserialize_value()?;
+        go(&v).map_err(de::Error::custom)
     }
 }
 
@@ -411,14 +456,18 @@ impl<T: Serialize> Serialize for Vec<T> {
 
 impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
     fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        match d.deserialize_value()? {
+        let go = |v: &Value| match v {
             Value::Seq(items) => items
                 .iter()
                 .map(|v| from_value(v))
-                .collect::<Result<Vec<T>, Error>>()
-                .map_err(de::Error::custom),
-            _ => Err(de::Error::custom("expected sequence")),
+                .collect::<Result<Vec<T>, Error>>(),
+            _ => Err(Error::msg("expected sequence")),
+        };
+        if let Some(v) = d.value_ref() {
+            return go(v).map_err(de::Error::custom);
         }
+        let v = d.deserialize_value()?;
+        go(&v).map_err(de::Error::custom)
     }
 }
 
@@ -465,10 +514,14 @@ macro_rules! ser_de_tuple {
         }
         impl<'de, $($t: DeserializeOwned),+> Deserialize<'de> for ($($t,)+) {
             fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let go = |v: &Value| -> Result<Self, Error> {
+                    Ok(($(from_value::<$t>(elem(v, $idx)?)?,)+))
+                };
+                if let Some(v) = d.value_ref() {
+                    return go(v).map_err(de::Error::custom);
+                }
                 let v = d.deserialize_value()?;
-                (|| -> Result<Self, Error> {
-                    Ok(($(from_value::<$t>(elem(&v, $idx)?)?,)+))
-                })().map_err(de::Error::custom)
+                go(&v).map_err(de::Error::custom)
             }
         }
     )*};
@@ -511,14 +564,18 @@ where
     H: std::hash::BuildHasher + Default,
 {
     fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        match d.deserialize_value()? {
+        let go = |v: &Value| match v {
             Value::Map(entries) => entries
                 .iter()
                 .map(|(k, v)| Ok((map_key(k)?, from_value(v)?)))
-                .collect::<Result<HashMap<K, V, H>, Error>>()
-                .map_err(de::Error::custom),
-            _ => Err(de::Error::custom("expected map")),
+                .collect::<Result<HashMap<K, V, H>, Error>>(),
+            _ => Err(Error::msg("expected map")),
+        };
+        if let Some(v) = d.value_ref() {
+            return go(v).map_err(de::Error::custom);
         }
+        let v = d.deserialize_value()?;
+        go(&v).map_err(de::Error::custom)
     }
 }
 
@@ -534,14 +591,18 @@ impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
 
 impl<'de, K: DeserializeOwned + Ord, V: DeserializeOwned> Deserialize<'de> for BTreeMap<K, V> {
     fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        match d.deserialize_value()? {
+        let go = |v: &Value| match v {
             Value::Map(entries) => entries
                 .iter()
                 .map(|(k, v)| Ok((map_key(k)?, from_value(v)?)))
-                .collect::<Result<BTreeMap<K, V>, Error>>()
-                .map_err(de::Error::custom),
-            _ => Err(de::Error::custom("expected map")),
+                .collect::<Result<BTreeMap<K, V>, Error>>(),
+            _ => Err(Error::msg("expected map")),
+        };
+        if let Some(v) = d.value_ref() {
+            return go(v).map_err(de::Error::custom);
         }
+        let v = d.deserialize_value()?;
+        go(&v).map_err(de::Error::custom)
     }
 }
 
@@ -559,14 +620,18 @@ where
     H: std::hash::BuildHasher + Default,
 {
     fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        match d.deserialize_value()? {
+        let go = |v: &Value| match v {
             Value::Seq(items) => items
                 .iter()
                 .map(|v| from_value(v))
-                .collect::<Result<HashSet<T, H>, Error>>()
-                .map_err(de::Error::custom),
-            _ => Err(de::Error::custom("expected sequence")),
+                .collect::<Result<HashSet<T, H>, Error>>(),
+            _ => Err(Error::msg("expected sequence")),
+        };
+        if let Some(v) = d.value_ref() {
+            return go(v).map_err(de::Error::custom);
         }
+        let v = d.deserialize_value()?;
+        go(&v).map_err(de::Error::custom)
     }
 }
 

@@ -361,12 +361,17 @@ fn gen_deserialize(item: &Item) -> String {
             )
         }
     };
+    // The borrowed fast path (`value_ref`) walks the deserializer's value
+    // tree in place; the owned fallback clones once at this node only.
     format!(
         "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
            fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+             let __build = |__v: &::serde::Value| -> ::core::result::Result<{name}, ::serde::Error> {{ {build_expr} }};\n\
+             if let ::core::option::Option::Some(__v) = ::serde::Deserializer::value_ref(&__d) {{\n\
+               return __build(__v).map_err(|__e| <__D::Error as ::serde::de::Error>::custom(__e));\n\
+             }}\n\
              let __v = __d.deserialize_value()?;\n\
-             let __r = (|| -> ::core::result::Result<{name}, ::serde::Error> {{ {build_expr} }})();\n\
-             __r.map_err(|__e| <__D::Error as ::serde::de::Error>::custom(__e))\n\
+             __build(&__v).map_err(|__e| <__D::Error as ::serde::de::Error>::custom(__e))\n\
            }}\n\
          }}"
     )
