@@ -1,0 +1,599 @@
+//! `trips-chaos` — deterministic fault injection for the TRIPS engine.
+//!
+//! The engine's recovery paths (store retries, quarantine, circuit
+//! breaker, pool panic containment, sweep-level retry) are only as good
+//! as the failures that exercise them. This crate injects those
+//! failures on purpose, deterministically, with the same design rules
+//! as `trips-obs`:
+//!
+//! - **Zero cost when disabled.** Every injection helper first reads
+//!   one relaxed [`AtomicBool`]; with no plan installed that is the
+//!   entire overhead, so production paths keep their performance and
+//!   tier-1 tests keep their byte-identical outputs.
+//! - **No dependencies** beyond `trips-obs` (for `chaos_*` counters and
+//!   leveled logging of each injection).
+//! - **Deterministic.** A [`FaultPlan`] is a seed plus a [`Profile`] of
+//!   parts-per-million rates. Each injection point draws from its own
+//!   splitmix64 sequence (`splitmix64(seed ^ point_tag ^ n)` for the
+//!   point's n-th draw), so a fixed seed and a fixed order of
+//!   operations (e.g. a `--threads 1` sweep) replays the exact same
+//!   fault schedule. CI pins a seed and asserts the engine survives it.
+//!
+//! Plans come from `trips-sweep --chaos seed[:profile]`, the
+//! `TRIPS_CHAOS` environment variable (same syntax), or [`install`] in
+//! tests. The `zero` profile arms the layer with every rate at zero —
+//! used to prove the instrumented code paths are behavior-preserving.
+//!
+//! Injection points:
+//!
+//! | helper | profile field | consumed by |
+//! |---|---|---|
+//! | [`read_fault`] | `read_err_ppm` | `TraceStore` container reads |
+//! | [`enospc_fault`] | `enospc_ppm` | `TraceStore` writes (device-full) |
+//! | [`short_write_fault`] | `short_write_ppm` | `TraceStore` temp-file writes |
+//! | [`bitflip_fault`] | `bitflip_ppm` | `TraceStore` post-rename corruption |
+//! | [`capture_fault`] | `capture_fail_ppm` | `Session` capture tiers |
+//! | [`fit_fault`] | `fit_fail_ppm` | `Session` phase-plan fits |
+//! | [`job_panic`] | `panic_budget` | pool job wrapper |
+//! | [`job_delay`] | `delay_ppm`/`delay_us` | pool job wrapper |
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use trips_obs::Level;
+
+/// One draw per million below which an injection point fires.
+const PPM: u64 = 1_000_000;
+
+/// The engine locations a plan can inject faults into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// Container read returns an I/O error.
+    StoreRead,
+    /// Container write fails as if the device were full.
+    StoreEnospc,
+    /// Container temp-file write persists only a prefix, then errors.
+    StoreShortWrite,
+    /// A bit of the payload is flipped after the atomic rename.
+    StoreBitflip,
+    /// A session capture tier fails before doing any work.
+    CaptureFail,
+    /// A session phase-plan fit fails before doing any work.
+    FitFail,
+    /// A pool job panics.
+    PoolPanic,
+    /// A pool job sleeps before running.
+    PoolDelay,
+}
+
+const POINT_COUNT: usize = 8;
+
+impl FaultPoint {
+    fn idx(self) -> usize {
+        match self {
+            FaultPoint::StoreRead => 0,
+            FaultPoint::StoreEnospc => 1,
+            FaultPoint::StoreShortWrite => 2,
+            FaultPoint::StoreBitflip => 3,
+            FaultPoint::CaptureFail => 4,
+            FaultPoint::FitFail => 5,
+            FaultPoint::PoolPanic => 6,
+            FaultPoint::PoolDelay => 7,
+        }
+    }
+
+    /// Stable label used in `chaos_injected_total{point="..."}`.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultPoint::StoreRead => "store_read",
+            FaultPoint::StoreEnospc => "store_enospc",
+            FaultPoint::StoreShortWrite => "store_short_write",
+            FaultPoint::StoreBitflip => "store_bitflip",
+            FaultPoint::CaptureFail => "capture_fail",
+            FaultPoint::FitFail => "fit_fail",
+            FaultPoint::PoolPanic => "pool_panic",
+            FaultPoint::PoolDelay => "pool_delay",
+        }
+    }
+
+    /// Domain-separation tag mixed into the point's draw sequence so
+    /// two points never share a fault schedule.
+    fn tag(self) -> u64 {
+        // splitmix64 of the point index, precomputed at runtime (cheap)
+        splitmix64(0x7472_6970_735f_6368 ^ self.idx() as u64)
+    }
+}
+
+/// Parts-per-million fault rates for every injection point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Profile {
+    /// Rate of injected container read errors.
+    pub read_err_ppm: u32,
+    /// Rate of injected device-full write errors.
+    pub enospc_ppm: u32,
+    /// Rate of injected short (truncated) temp-file writes.
+    pub short_write_ppm: u32,
+    /// Rate of post-rename payload bitflips.
+    pub bitflip_ppm: u32,
+    /// Rate of injected capture-tier failures.
+    pub capture_fail_ppm: u32,
+    /// Rate of injected phase-fit failures.
+    pub fit_fail_ppm: u32,
+    /// Rate of injected pool-job delays.
+    pub delay_ppm: u32,
+    /// Length of each injected delay in microseconds.
+    pub delay_us: u32,
+    /// Number of pool jobs that panic (the first N jobs submitted;
+    /// deterministic regardless of rates or thread count).
+    pub panic_budget: u32,
+}
+
+impl Profile {
+    /// All rates zero: the layer is armed but inert. Used to prove the
+    /// injection points are behavior-preserving when they do not fire.
+    pub fn zero() -> Profile {
+        Profile {
+            read_err_ppm: 0,
+            enospc_ppm: 0,
+            short_write_ppm: 0,
+            bitflip_ppm: 0,
+            capture_fail_ppm: 0,
+            fit_fail_ppm: 0,
+            delay_ppm: 0,
+            delay_us: 0,
+            panic_budget: 0,
+        }
+    }
+
+    /// Low-rate background noise across every point.
+    pub fn mild() -> Profile {
+        Profile {
+            read_err_ppm: 20_000,
+            enospc_ppm: 10_000,
+            short_write_ppm: 10_000,
+            bitflip_ppm: 10_000,
+            capture_fail_ppm: 10_000,
+            fit_fail_ppm: 10_000,
+            delay_ppm: 20_000,
+            delay_us: 500,
+            panic_budget: 0,
+        }
+    }
+
+    /// Store-focused: aggressive I/O faults, no pool interference.
+    pub fn io() -> Profile {
+        Profile {
+            read_err_ppm: 300_000,
+            enospc_ppm: 150_000,
+            short_write_ppm: 150_000,
+            bitflip_ppm: 300_000,
+            capture_fail_ppm: 0,
+            fit_fail_ppm: 0,
+            delay_ppm: 0,
+            delay_us: 0,
+            panic_budget: 0,
+        }
+    }
+
+    /// Pool-focused: panics and delays only.
+    pub fn pool() -> Profile {
+        Profile {
+            read_err_ppm: 0,
+            enospc_ppm: 0,
+            short_write_ppm: 0,
+            bitflip_ppm: 0,
+            capture_fail_ppm: 0,
+            fit_fail_ppm: 0,
+            delay_ppm: 300_000,
+            delay_us: 1_000,
+            panic_budget: 2,
+        }
+    }
+
+    /// The profile the chaos CI job pins: moderate I/O faults, a
+    /// guaranteed bitflip pressure, one forced job panic.
+    pub fn ci() -> Profile {
+        Profile {
+            read_err_ppm: 250_000,
+            enospc_ppm: 150_000,
+            short_write_ppm: 150_000,
+            bitflip_ppm: 400_000,
+            capture_fail_ppm: 100_000,
+            fit_fail_ppm: 0,
+            delay_ppm: 100_000,
+            delay_us: 1_000,
+            panic_budget: 1,
+        }
+    }
+
+    /// Looks a profile up by name. Returns the canonical name so plans
+    /// report it back consistently.
+    pub fn by_name(name: &str) -> Option<(&'static str, Profile)> {
+        match name {
+            "zero" => Some(("zero", Profile::zero())),
+            "mild" => Some(("mild", Profile::mild())),
+            "io" => Some(("io", Profile::io())),
+            "pool" => Some(("pool", Profile::pool())),
+            "ci" => Some(("ci", Profile::ci())),
+            _ => None,
+        }
+    }
+
+    /// Every named profile, for help text.
+    pub fn names() -> &'static [&'static str] {
+        &["zero", "mild", "io", "pool", "ci"]
+    }
+}
+
+/// A seeded fault schedule: which injections fire, in what order.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    profile_name: &'static str,
+    profile: Profile,
+    /// Per-point draw sequence numbers.
+    draws: [AtomicU64; POINT_COUNT],
+    /// Remaining forced pool panics.
+    panics_left: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Builds a plan from a seed and a profile.
+    pub fn new(seed: u64, profile_name: &'static str, profile: Profile) -> FaultPlan {
+        FaultPlan {
+            seed,
+            profile_name,
+            profile,
+            draws: Default::default(),
+            panics_left: AtomicU64::new(u64::from(profile.panic_budget)),
+        }
+    }
+
+    /// Parses `seed[:profile]` — seed decimal or `0x` hex; profile one
+    /// of [`Profile::names`] (default `mild`).
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let (seed_s, prof_s) = match s.split_once(':') {
+            Some((a, b)) => (a, b),
+            None => (s, "mild"),
+        };
+        let seed = if let Some(hex) = seed_s
+            .strip_prefix("0x")
+            .or_else(|| seed_s.strip_prefix("0X"))
+        {
+            u64::from_str_radix(hex, 16)
+        } else {
+            seed_s.parse::<u64>()
+        }
+        .map_err(|e| format!("bad chaos seed {seed_s:?}: {e}"))?;
+        let (name, profile) = Profile::by_name(prof_s).ok_or_else(|| {
+            format!(
+                "unknown chaos profile {prof_s:?} (expected one of {})",
+                Profile::names().join(", ")
+            )
+        })?;
+        Ok(FaultPlan::new(seed, name, profile))
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's profile name.
+    pub fn profile_name(&self) -> &'static str {
+        self.profile_name
+    }
+
+    /// The plan's rates.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// The point's next pseudo-random draw.
+    fn draw(&self, point: FaultPoint) -> u64 {
+        let n = self.draws[point.idx()].fetch_add(1, Ordering::Relaxed);
+        splitmix64(self.seed ^ point.tag() ^ n)
+    }
+
+    /// Whether the point fires this draw; on fire, returns one more
+    /// splitmix64 step of entropy for the fault's parameters (bit
+    /// position, truncation offset, ...).
+    fn fires(&self, point: FaultPoint, ppm: u32) -> Option<u64> {
+        if ppm == 0 {
+            // Still consume a draw so `zero` exercises the same
+            // sequence bookkeeping as live profiles.
+            let _ = self.draw(point);
+            return None;
+        }
+        let r = self.draw(point);
+        if r % PPM < u64::from(ppm) {
+            Some(splitmix64(r))
+        } else {
+            None
+        }
+    }
+}
+
+/// SplitMix64: the standard 64-bit finalizer-style PRNG step.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn plan_cell() -> &'static Mutex<Option<Arc<FaultPlan>>> {
+    static CELL: OnceLock<Mutex<Option<Arc<FaultPlan>>>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs a plan process-wide and arms the injection points.
+pub fn install(plan: FaultPlan) {
+    trips_obs::log!(
+        Level::Info,
+        "chaos",
+        "armed: seed=0x{:016x} profile={}",
+        plan.seed(),
+        plan.profile_name()
+    );
+    let mut guard = plan_cell().lock().unwrap_or_else(|e| e.into_inner());
+    *guard = Some(Arc::new(plan));
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Disarms injection and drops the plan. Existing draws are kept only
+/// by the dropped plan, so a later [`install`] starts a fresh schedule.
+pub fn disarm() {
+    ENABLED.store(false, Ordering::Release);
+    let mut guard = plan_cell().lock().unwrap_or_else(|e| e.into_inner());
+    *guard = None;
+}
+
+/// Whether a plan is armed.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The armed plan, if any.
+pub fn active_plan() -> Option<Arc<FaultPlan>> {
+    if !enabled() {
+        return None;
+    }
+    plan_cell()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+}
+
+/// Arms from the `TRIPS_CHAOS` environment variable (`seed[:profile]`)
+/// if set. Returns whether a plan was installed.
+pub fn init_from_env() -> Result<bool, String> {
+    match std::env::var("TRIPS_CHAOS") {
+        Ok(v) if !v.is_empty() => {
+            install(FaultPlan::parse(&v).map_err(|e| format!("TRIPS_CHAOS: {e}"))?);
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// Records one injection: `chaos_injected_total` plus a per-point
+/// labeled series, and a debug log line.
+fn record(point: FaultPoint) {
+    trips_obs::counter("chaos_injected_total").inc(1);
+    trips_obs::counter(&format!(
+        "chaos_injected_total{{point=\"{}\"}}",
+        point.label()
+    ))
+    .inc(1);
+    trips_obs::log!(Level::Debug, "chaos", "injected {}", point.label());
+}
+
+/// Injected container-read error, if the plan fires.
+pub fn read_fault() -> Option<io::Error> {
+    if !enabled() {
+        return None;
+    }
+    let plan = active_plan()?;
+    plan.fires(FaultPoint::StoreRead, plan.profile.read_err_ppm)
+        .map(|_| {
+            record(FaultPoint::StoreRead);
+            io::Error::other("injected read error (chaos)")
+        })
+}
+
+/// Injected device-full write error, if the plan fires.
+pub fn enospc_fault() -> Option<io::Error> {
+    if !enabled() {
+        return None;
+    }
+    let plan = active_plan()?;
+    plan.fires(FaultPoint::StoreEnospc, plan.profile.enospc_ppm)
+        .map(|_| {
+            record(FaultPoint::StoreEnospc);
+            io::Error::other("injected ENOSPC (chaos)")
+        })
+}
+
+/// Injected short write, if the plan fires: returns entropy the caller
+/// uses to pick how many prefix bytes actually land on disk.
+pub fn short_write_fault() -> Option<u64> {
+    if !enabled() {
+        return None;
+    }
+    let plan = active_plan()?;
+    plan.fires(FaultPoint::StoreShortWrite, plan.profile.short_write_ppm)
+        .inspect(|_| record(FaultPoint::StoreShortWrite))
+}
+
+/// Injected post-rename bitflip, if the plan fires: returns entropy the
+/// caller uses to pick which payload bit to flip.
+pub fn bitflip_fault() -> Option<u64> {
+    if !enabled() {
+        return None;
+    }
+    let plan = active_plan()?;
+    plan.fires(FaultPoint::StoreBitflip, plan.profile.bitflip_ppm)
+        .inspect(|_| record(FaultPoint::StoreBitflip))
+}
+
+/// Injected capture-tier failure, if the plan fires.
+pub fn capture_fault() -> Option<String> {
+    if !enabled() {
+        return None;
+    }
+    let plan = active_plan()?;
+    plan.fires(FaultPoint::CaptureFail, plan.profile.capture_fail_ppm)
+        .map(|_| {
+            record(FaultPoint::CaptureFail);
+            "injected capture failure (chaos)".to_string()
+        })
+}
+
+/// Injected phase-fit failure, if the plan fires.
+pub fn fit_fault() -> Option<String> {
+    if !enabled() {
+        return None;
+    }
+    let plan = active_plan()?;
+    plan.fires(FaultPoint::FitFail, plan.profile.fit_fail_ppm)
+        .map(|_| {
+            record(FaultPoint::FitFail);
+            "injected fit failure (chaos)".to_string()
+        })
+}
+
+/// Forced pool-job panic while the plan's budget lasts. The first
+/// `panic_budget` jobs that ask are told to panic, which makes "exactly
+/// one forced panic" deterministic even under a multi-threaded pool.
+pub fn job_panic() -> Option<String> {
+    if !enabled() {
+        return None;
+    }
+    let plan = active_plan()?;
+    if plan.profile.panic_budget == 0 {
+        return None;
+    }
+    plan.panics_left
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+        .ok()
+        .map(|_| {
+            record(FaultPoint::PoolPanic);
+            "injected job panic (chaos)".to_string()
+        })
+}
+
+/// Injected pool-job delay, if the plan fires.
+pub fn job_delay() -> Option<Duration> {
+    if !enabled() {
+        return None;
+    }
+    let plan = active_plan()?;
+    plan.fires(FaultPoint::PoolDelay, plan.profile.delay_ppm)
+        .map(|_| {
+            record(FaultPoint::PoolDelay);
+            Duration::from_micros(u64::from(plan.profile.delay_us))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Chaos state is process-global; every test that arms it holds
+    /// this lock.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn splitmix64_is_stable() {
+        // Reference values from the canonical SplitMix64 sequence.
+        assert_eq!(splitmix64(0), 0xe220a8397b1dcdaf);
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+
+    #[test]
+    fn parse_accepts_seed_and_profile() {
+        let p = FaultPlan::parse("42").unwrap();
+        assert_eq!((p.seed(), p.profile_name()), (42, "mild"));
+        let p = FaultPlan::parse("0xdeadbeef:ci").unwrap();
+        assert_eq!((p.seed(), p.profile_name()), (0xdead_beef, "ci"));
+        let p = FaultPlan::parse("7:zero").unwrap();
+        assert_eq!(p.profile(), &Profile::zero());
+        assert!(FaultPlan::parse("notanumber").is_err());
+        assert!(FaultPlan::parse("1:unknown")
+            .unwrap_err()
+            .contains("profile"));
+    }
+
+    #[test]
+    fn disabled_layer_injects_nothing() {
+        let _g = guard();
+        disarm();
+        assert!(!enabled());
+        assert!(read_fault().is_none());
+        assert!(enospc_fault().is_none());
+        assert!(short_write_fault().is_none());
+        assert!(bitflip_fault().is_none());
+        assert!(capture_fault().is_none());
+        assert!(fit_fault().is_none());
+        assert!(job_panic().is_none());
+        assert!(job_delay().is_none());
+    }
+
+    #[test]
+    fn zero_profile_arms_but_never_fires() {
+        let _g = guard();
+        install(FaultPlan::new(99, "zero", Profile::zero()));
+        assert!(enabled());
+        for _ in 0..1000 {
+            assert!(read_fault().is_none());
+            assert!(bitflip_fault().is_none());
+            assert!(job_panic().is_none());
+        }
+        disarm();
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn full_rate_always_fires_and_counts() {
+        let _g = guard();
+        let mut p = Profile::zero();
+        p.read_err_ppm = 1_000_000;
+        install(FaultPlan::new(7, "zero", p));
+        for _ in 0..10 {
+            assert!(read_fault().is_some());
+        }
+        disarm();
+        assert!(trips_obs::counter("chaos_injected_total").get() >= 10);
+    }
+
+    #[test]
+    fn panic_budget_is_exact() {
+        let _g = guard();
+        let mut p = Profile::zero();
+        p.panic_budget = 3;
+        install(FaultPlan::new(1, "zero", p));
+        let fired: usize = (0..100).filter(|_| job_panic().is_some()).count();
+        disarm();
+        assert_eq!(fired, 3);
+    }
+
+    #[test]
+    fn schedules_are_seed_deterministic() {
+        let seq = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::new(seed, "io", Profile::io());
+            (0..64)
+                .map(|_| plan.fires(FaultPoint::StoreRead, 300_000).is_some())
+                .collect()
+        };
+        assert_eq!(seq(123), seq(123));
+        assert_ne!(seq(123), seq(124));
+    }
+}

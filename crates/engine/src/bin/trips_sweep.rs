@@ -86,7 +86,22 @@ options:
   --gc-format text|json
                        how --trace-gc reports the census and prune (text
                        lines on stderr, or one machine-readable JSON
-                       object with `census` and `prune` keys)
+                       object with `census` and `prune` keys); also
+                       selects the --store-fsck report format
+  --store-fsck         with --trace-dir: verify every container end to end
+                       (header, filename-vs-key, payload hash), move
+                       damaged files to DIR/quarantine/ with a `.reason`
+                       sidecar, remove orphaned `.tmp-` write debris,
+                       report what happened, and exit without sweeping
+  --chaos seed[:profile]
+                       arm deterministic fault injection: store I/O
+                       errors, short writes, post-write bit flips,
+                       capture/fit failures, pool job panics and delays
+                       fire on a schedule derived only from the seed.
+                       Profiles: zero, mild (default), io, pool, ci.
+                       Exercises the recovery paths (retries, quarantine,
+                       circuit breaker, caught jobs); `--chaos N:zero`
+                       arms the layer without firing anything
   --obs-trace FILE     journal every engine span (sweep, pool, session,
                        store, replay) to FILE as JSONL; fold it later
                        with --obs-report
@@ -106,7 +121,10 @@ options:
 
 environment:
   TRIPS_LOG=error|warn|info|debug|trace|off
-                       stderr diagnostic level (default info)";
+                       stderr diagnostic level (default info)
+  TRIPS_CHAOS=seed[:profile]
+                       arm fault injection when --chaos is absent (the
+                       flag wins when both are given)";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("trips-sweep: {msg}");
@@ -128,6 +146,8 @@ fn main() -> ExitCode {
     let mut out_path: Option<String> = None;
     let mut trace_dir: Option<String> = None;
     let mut trace_gc = false;
+    let mut store_fsck = false;
+    let mut chaos_arg: Option<String> = None;
     let mut gc_format = "text".to_string();
     let mut obs_trace: Option<String> = None;
     let mut obs_report: Option<String> = None;
@@ -255,6 +275,11 @@ fn main() -> ExitCode {
                 Err(e) => return fail(&e),
             },
             "--trace-gc" => trace_gc = true,
+            "--store-fsck" => store_fsck = true,
+            "--chaos" => match value("--chaos") {
+                Ok(v) => chaos_arg = Some(v),
+                Err(e) => return fail(&e),
+            },
             "--gc-format" => match value("--gc-format") {
                 Ok(v) if v == "text" || v == "json" => gc_format = v,
                 Ok(other) => return fail(&format!("unknown gc format `{other}`")),
@@ -303,6 +328,19 @@ fn main() -> ExitCode {
             return fail(&format!("opening span journal `{path}`: {e}"));
         }
     }
+    // Arm fault injection before anything touches the store or the pool:
+    // the flag wins over TRIPS_CHAOS when both are given.
+    match &chaos_arg {
+        Some(s) => match trips_engine::chaos::FaultPlan::parse(s) {
+            Ok(plan) => trips_engine::chaos::install(plan),
+            Err(e) => return fail(&format!("--chaos: {e}")),
+        },
+        None => {
+            if let Err(e) = trips_engine::chaos::init_from_env() {
+                return fail(&format!("TRIPS_CHAOS: {e}"));
+            }
+        }
+    }
     let code = run(
         spec,
         base_configs,
@@ -312,6 +350,7 @@ fn main() -> ExitCode {
         out_path,
         trace_dir,
         trace_gc,
+        store_fsck,
         gc_format,
         metrics_path,
         default_demo,
@@ -336,6 +375,7 @@ fn run(
     out_path: Option<String>,
     trace_dir: Option<String>,
     trace_gc: bool,
+    store_fsck: bool,
     gc_format: String,
     metrics_path: Option<String>,
     default_demo: bool,
@@ -385,6 +425,39 @@ fn run(
         return fail("--trace-gc needs --trace-dir");
     }
 
+    // Fsck mode verifies (and self-heals) the store, reports, and exits:
+    // no sweep runs, so a repair pass never perturbs measurement caches.
+    if store_fsck {
+        let Some(dir) = &trace_dir else {
+            return fail("--store-fsck needs --trace-dir");
+        };
+        let store = match trips_engine::TraceStore::open(dir) {
+            Ok(s) => s,
+            Err(e) => return fail(&format!("opening trace store `{dir}`: {e}")),
+        };
+        let report = match store.fsck() {
+            Ok(r) => r,
+            Err(e) => return fail(&format!("fsck of trace store `{dir}`: {e}")),
+        };
+        if gc_format == "json" {
+            let obj = serde::Value::Map(vec![(
+                serde::Value::Str("fsck".into()),
+                serde::to_value(&report),
+            )]);
+            println!("{}", serde::json::to_string(&obj));
+        } else {
+            trips_obs::log!(
+                Level::Info,
+                "trips-sweep",
+                "store-fsck: scanned {} containers: {} ok, {} stale, {} quarantined, {} unreadable, {} tmp files repaired; quarantine holds {} containers ({} bytes)",
+                report.scanned, report.ok, report.stale, report.quarantined,
+                report.unreadable, report.repaired_tmp,
+                report.quarantine_containers, report.quarantine_bytes
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
     let session = match &trace_dir {
         Some(dir) => match trips_engine::TraceStore::open(dir) {
             Ok(store) => {
@@ -414,10 +487,10 @@ fn run(
                         trips_obs::log!(
                             Level::Info,
                             "trips-sweep",
-                            "trace-gc: {} containers ({} bytes): {} TRIPS traces, {} RISC traces, {} BBV plans, {} live-point sets, {} stale",
+                            "trace-gc: {} containers ({} bytes): {} TRIPS traces, {} RISC traces, {} BBV plans, {} live-point sets, {} stale, {} quarantined ({} bytes)",
                             census.containers, census.bytes, census.block_traces,
                             census.risc_traces, census.bbv_plans, census.live_points,
-                            census.stale
+                            census.stale, census.quarantined, census.quarantine_bytes
                         );
                         trips_obs::log!(
                             Level::Info,
@@ -472,12 +545,13 @@ fn run(
     }
 
     let c = &report.cache;
+    let ok_rows = report.rows.iter().filter(|r| r.status != "failed").count();
     trips_obs::log!(
         Level::Info,
         "trips-sweep",
         "{} points ({} ok, {} failed) on {} threads in {:.2}s -> {:.1} measurements/sec",
         report.points,
-        report.rows.len(),
+        ok_rows,
         report.errors.len(),
         report.threads,
         report.wall_s,
@@ -569,10 +643,25 @@ fn run(
             c.risc_misses, c.risc_hits, c.risc_captures, c.rtrace_hits,
         );
     }
+    if let Some(plan) = trips_engine::chaos::active_plan() {
+        let retried = report.rows.iter().filter(|r| r.status == "retried").count();
+        trips_obs::log!(
+            Level::Info,
+            "trips-sweep",
+            "chaos: seed={:#x} profile={} injected={} store_retries={} quarantined={} job_panics={} rows_retried={}",
+            plan.seed(),
+            plan.profile_name(),
+            trips_obs::counter("chaos_injected_total").get(),
+            trips_obs::counter("store_retries_total").get(),
+            trips_obs::counter("store_quarantined_total").get(),
+            trips_obs::counter("pool_job_panics_total").get(),
+            retried,
+        );
+    }
     for e in &report.errors {
         trips_obs::log!(Level::Error, "trips-sweep", "point failed: {e}");
     }
-    if report.rows.is_empty() && !report.errors.is_empty() {
+    if ok_rows == 0 && !report.errors.is_empty() {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -87,6 +87,20 @@ pub enum EngineError {
     Replay(String),
     /// A malformed sweep specification.
     Spec(String),
+    /// A failure that is *not* a property of the inputs — an injected
+    /// chaos fault, a disk having a moment — and may well succeed on
+    /// retry. Unlike every other variant, transient failures are evicted
+    /// from the memo instead of cached, so the sweep layer's retries can
+    /// re-resolve the artifact.
+    Transient(String),
+}
+
+impl EngineError {
+    /// True for failures a retry may fix (see [`EngineError::Transient`]).
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EngineError::Transient(_))
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -97,6 +111,7 @@ impl fmt::Display for EngineError {
             EngineError::Capture(e) => write!(f, "trace capture failed: {e}"),
             EngineError::Replay(e) => write!(f, "trace replay failed: {e}"),
             EngineError::Spec(e) => write!(f, "bad sweep spec: {e}"),
+            EngineError::Transient(e) => write!(f, "transient failure: {e}"),
         }
     }
 }
@@ -314,6 +329,21 @@ pub struct CacheStats {
     pub ooo_replay_hits: u64,
     /// OoO timing replays actually performed.
     pub ooo_replay_misses: u64,
+    /// Trace-tier store lookups that failed with a read I/O error (after
+    /// the store's own retries). Unlike a reject, the file was *not*
+    /// proven bad; unlike a miss, the disk is flaky — counted apart so
+    /// neither signal hides the other.
+    pub disk_io_errors: u64,
+    /// RISC-tier store lookups that failed with a read I/O error.
+    pub risc_disk_io_errors: u64,
+    /// Phase-tier store lookups that failed with a read I/O error.
+    pub phase_disk_io_errors: u64,
+    /// Live-point-tier store lookups that failed with a read I/O error.
+    pub livepoint_disk_io_errors: u64,
+    /// Requests that skipped the disk tier entirely because the store's
+    /// circuit breaker is open (the session is degraded to memory-only
+    /// tiers).
+    pub degraded: u64,
 }
 
 /// A memoizing measurement session shared by all sweep workers.
@@ -366,6 +396,11 @@ pub struct Session {
     livepoint_disk_misses: AtomicU64,
     livepoint_disk_rejects: AtomicU64,
     livepoint_store_writes: AtomicU64,
+    disk_io_errors: AtomicU64,
+    risc_disk_io_errors: AtomicU64,
+    phase_disk_io_errors: AtomicU64,
+    livepoint_disk_io_errors: AtomicU64,
+    degraded: AtomicU64,
     /// Live-point tier switch: 0 = disabled, `threads + 1` otherwise
     /// (so a stored 1 means "one worker per core", matching the pool's
     /// `threads = 0` convention).
@@ -459,7 +494,9 @@ impl Session {
         hits: &AtomicU64,
         misses: &AtomicU64,
     ) -> Slot<T> {
-        let mut guard = map.lock().expect("cache mutex");
+        let mut guard = map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(slot) = guard.get(key) {
             hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(slot);
@@ -468,6 +505,43 @@ impl Session {
         let slot: Slot<T> = Arc::new(OnceLock::new());
         guard.insert(key.clone(), Arc::clone(&slot));
         slot
+    }
+
+    /// Transient failures must not poison the memo ("failures are cached
+    /// too" is for *deterministic* failures — a workload that cannot
+    /// compile fails every time; an injected I/O fault does not). The
+    /// slot is evicted so the next request re-resolves the artifact,
+    /// which is what makes sweep-level retries effective.
+    fn evict_transient<K: Clone + Eq + std::hash::Hash, T>(
+        map: &Mutex<HashMap<K, Slot<T>>>,
+        key: &K,
+        slot: &Slot<T>,
+        res: &Result<Arc<T>, EngineError>,
+    ) {
+        if matches!(res, Err(e) if e.is_transient()) {
+            let mut guard = map
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // Only evict our own slot — a racing retry may already have
+            // installed a fresh one.
+            if guard.get(key).is_some_and(|cur| Arc::ptr_eq(cur, slot)) {
+                guard.remove(key);
+            }
+        }
+    }
+
+    /// The disk tier, unless the store's circuit breaker has tripped —
+    /// then the request counts as degraded and is served memory-only
+    /// (recapture instead of read, skip the write-back) rather than
+    /// paying retry backoffs against a disk that is plainly gone.
+    fn healthy_store(&self) -> Option<&TraceStore> {
+        let store = self.store.get()?;
+        if store.degraded() {
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+            m("session_degraded");
+            return None;
+        }
+        Some(store)
     }
 
     /// Compiles `workload` (memoized). `hand` selects the hand-optimized IR
@@ -537,64 +611,77 @@ impl Session {
         };
         let slot = Self::slot(&self.traces, &key, &self.trace_hits, &self.trace_misses);
         trips_obs::cost::set_tier("mem");
-        slot.get_or_init(|| {
-            let compiled = self.compiled(w, scale, opts, hand)?;
-            let id = TraceId {
-                workload: w.name.to_string(),
-                scale: scale_label(scale).to_string(),
-                opts_sig: opts_sig(opts),
-                hand,
-                code_sig: code_sig(&compiled),
-                mem_size: mem as u64,
-                max_blocks: budget,
-            };
-            // Disk tier: a verified stored capture stands in for a fresh one.
-            if let Some(store) = self.store.get() {
-                match store.load(&id) {
-                    LoadOutcome::Hit(log) => {
-                        if log.validate(&compiled.trips).is_ok() {
-                            self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                            m("session_disk_hits");
-                            trips_obs::cost::set_tier("disk");
-                            return Ok(Arc::new(*log));
+        let res = slot
+            .get_or_init(|| {
+                let compiled = self.compiled(w, scale, opts, hand)?;
+                let id = TraceId {
+                    workload: w.name.to_string(),
+                    scale: scale_label(scale).to_string(),
+                    opts_sig: opts_sig(opts),
+                    hand,
+                    code_sig: code_sig(&compiled),
+                    mem_size: mem as u64,
+                    max_blocks: budget,
+                };
+                // Disk tier: a verified stored capture stands in for a fresh one.
+                if let Some(store) = self.healthy_store() {
+                    match store.load(&id) {
+                        LoadOutcome::Hit(log) => {
+                            if log.validate(&compiled.trips).is_ok() {
+                                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                                m("session_disk_hits");
+                                trips_obs::cost::set_tier("disk");
+                                return Ok(Arc::new(*log));
+                            }
+                            // Container-valid but structurally foreign (e.g. a
+                            // stale build's capture): recapture over it.
+                            self.disk_rejects.fetch_add(1, Ordering::Relaxed);
+                            m("session_disk_rejects");
+                            store.quarantine(
+                                &id,
+                                "deep validation failed: log does not match the compiled program",
+                            );
                         }
-                        // Container-valid but structurally foreign (e.g. a
-                        // stale build's capture): recapture over it.
-                        self.disk_rejects.fetch_add(1, Ordering::Relaxed);
-                        m("session_disk_rejects");
-                        store.remove(&id);
-                    }
-                    LoadOutcome::Miss => {
-                        self.disk_misses.fetch_add(1, Ordering::Relaxed);
-                        m("session_disk_misses");
-                    }
-                    LoadOutcome::Reject(_) => {
-                        self.disk_rejects.fetch_add(1, Ordering::Relaxed);
-                        m("session_disk_rejects");
+                        LoadOutcome::Miss => {
+                            self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                            m("session_disk_misses");
+                        }
+                        LoadOutcome::Reject(_) => {
+                            self.disk_rejects.fetch_add(1, Ordering::Relaxed);
+                            m("session_disk_rejects");
+                        }
+                        LoadOutcome::IoError(_) => {
+                            self.disk_io_errors.fetch_add(1, Ordering::Relaxed);
+                            m("session_disk_io_errors");
+                        }
                     }
                 }
-            }
-            self.captures.fetch_add(1, Ordering::Relaxed);
-            m("session_captures");
-            trips_obs::cost::set_tier("capture");
-            let _span = trips_obs::span_with("session.capture_trace", || w.name.to_string());
-            let _cost = trips_obs::cost::Timed::start(trips_obs::CostKind::Capture);
-            let meta = TraceMeta {
-                workload: id.workload.clone(),
-                scale: id.scale.clone(),
-                opts_sig: id.opts_sig,
-            };
-            let log = TraceLog::capture(&compiled.trips, &compiled.opt_ir, mem, budget, meta)
-                .map_err(|e| EngineError::Capture(format!("{}: {e}", w.name)))?;
-            if let Some(store) = self.store.get() {
-                if store.save(&id, &log).is_ok() {
-                    self.store_writes.fetch_add(1, Ordering::Relaxed);
-                    m("session_store_writes");
+                if let Some(why) = trips_chaos::capture_fault() {
+                    return Err(EngineError::Transient(format!("{}: {why}", w.name)));
                 }
-            }
-            Ok(Arc::new(log))
-        })
-        .clone()
+                self.captures.fetch_add(1, Ordering::Relaxed);
+                m("session_captures");
+                trips_obs::cost::set_tier("capture");
+                let _span = trips_obs::span_with("session.capture_trace", || w.name.to_string());
+                let _cost = trips_obs::cost::Timed::start(trips_obs::CostKind::Capture);
+                let meta = TraceMeta {
+                    workload: id.workload.clone(),
+                    scale: id.scale.clone(),
+                    opts_sig: id.opts_sig,
+                };
+                let log = TraceLog::capture(&compiled.trips, &compiled.opt_ir, mem, budget, meta)
+                    .map_err(|e| EngineError::Capture(format!("{}: {e}", w.name)))?;
+                if let Some(store) = self.healthy_store() {
+                    if store.save(&id, &log).is_ok() {
+                        self.store_writes.fetch_add(1, Ordering::Relaxed);
+                        m("session_store_writes");
+                    }
+                }
+                Ok(Arc::new(log))
+            })
+            .clone();
+        Self::evict_transient(&self.traces, &key, &slot, &res);
+        res
     }
 
     /// Runs (memoized) the functional interpreter for ISA-level statistics
@@ -706,64 +793,74 @@ impl Session {
         };
         let slot = Self::slot(&self.rtraces, &key, &self.rtrace_hits, &self.rtrace_misses);
         trips_obs::cost::set_tier("mem");
-        slot.get_or_init(|| {
-            let art = self.risc_program(w, scale, opts)?;
-            let id = RiscTraceId {
-                workload: w.name.to_string(),
-                scale: scale_label(scale).to_string(),
-                opts_sig: opts_sig(opts),
-                code_sig: risc_code_sig(&art),
-                mem_size: mem as u64,
-                max_steps: budget,
-            };
-            // Disk tier: a verified stored stream stands in for a fresh
-            // execution.
-            if let Some(store) = self.store.get() {
-                match store.load_risc(&id) {
-                    LoadOutcome::Hit(trace) => {
-                        if trace.validate(&art.program).is_ok() {
-                            self.risc_disk_hits.fetch_add(1, Ordering::Relaxed);
-                            m("session_risc_disk_hits");
-                            trips_obs::cost::set_tier("disk");
-                            return Ok(Arc::new(*trace));
+        let res = slot
+            .get_or_init(|| {
+                let art = self.risc_program(w, scale, opts)?;
+                let id = RiscTraceId {
+                    workload: w.name.to_string(),
+                    scale: scale_label(scale).to_string(),
+                    opts_sig: opts_sig(opts),
+                    code_sig: risc_code_sig(&art),
+                    mem_size: mem as u64,
+                    max_steps: budget,
+                };
+                // Disk tier: a verified stored stream stands in for a fresh
+                // execution.
+                if let Some(store) = self.healthy_store() {
+                    match store.load_risc(&id) {
+                        LoadOutcome::Hit(trace) => {
+                            if trace.validate(&art.program).is_ok() {
+                                self.risc_disk_hits.fetch_add(1, Ordering::Relaxed);
+                                m("session_risc_disk_hits");
+                                trips_obs::cost::set_tier("disk");
+                                return Ok(Arc::new(*trace));
+                            }
+                            // Container-valid but structurally foreign (e.g. a
+                            // stale build's capture): recapture over it.
+                            self.risc_disk_rejects.fetch_add(1, Ordering::Relaxed);
+                            m("session_risc_disk_rejects");
+                            store.quarantine_risc(&id, "deep validation failed: stream does not match the compiled program");
                         }
-                        // Container-valid but structurally foreign (e.g. a
-                        // stale build's capture): recapture over it.
-                        self.risc_disk_rejects.fetch_add(1, Ordering::Relaxed);
-                        m("session_risc_disk_rejects");
-                        store.remove_risc(&id);
-                    }
-                    LoadOutcome::Miss => {
-                        self.risc_disk_misses.fetch_add(1, Ordering::Relaxed);
-                        m("session_risc_disk_misses");
-                    }
-                    LoadOutcome::Reject(_) => {
-                        self.risc_disk_rejects.fetch_add(1, Ordering::Relaxed);
-                        m("session_risc_disk_rejects");
+                        LoadOutcome::Miss => {
+                            self.risc_disk_misses.fetch_add(1, Ordering::Relaxed);
+                            m("session_risc_disk_misses");
+                        }
+                        LoadOutcome::Reject(_) => {
+                            self.risc_disk_rejects.fetch_add(1, Ordering::Relaxed);
+                            m("session_risc_disk_rejects");
+                        }
+                        LoadOutcome::IoError(_) => {
+                            self.risc_disk_io_errors.fetch_add(1, Ordering::Relaxed);
+                            m("session_disk_io_errors");
+                        }
                     }
                 }
-            }
-            self.risc_captures.fetch_add(1, Ordering::Relaxed);
-            m("session_risc_captures");
-            trips_obs::cost::set_tier("capture");
-            let _span = trips_obs::span_with("session.capture_risc", || w.name.to_string());
-            let _cost = trips_obs::cost::Timed::start(trips_obs::CostKind::Capture);
-            let meta = RiscTraceMeta {
-                workload: id.workload.clone(),
-                scale: id.scale.clone(),
-                opts_sig: id.opts_sig,
-            };
-            let trace = RiscTrace::capture(&art.program, &art.ir, mem, budget, meta)
-                .map_err(|e| EngineError::Capture(format!("{} (risc): {e}", w.name)))?;
-            if let Some(store) = self.store.get() {
-                if store.save_risc(&id, &trace).is_ok() {
-                    self.risc_store_writes.fetch_add(1, Ordering::Relaxed);
-                    m("session_risc_store_writes");
+                if let Some(why) = trips_chaos::capture_fault() {
+                    return Err(EngineError::Transient(format!("{} (risc): {why}", w.name)));
                 }
-            }
-            Ok(Arc::new(trace))
-        })
-        .clone()
+                self.risc_captures.fetch_add(1, Ordering::Relaxed);
+                m("session_risc_captures");
+                trips_obs::cost::set_tier("capture");
+                let _span = trips_obs::span_with("session.capture_risc", || w.name.to_string());
+                let _cost = trips_obs::cost::Timed::start(trips_obs::CostKind::Capture);
+                let meta = RiscTraceMeta {
+                    workload: id.workload.clone(),
+                    scale: id.scale.clone(),
+                    opts_sig: id.opts_sig,
+                };
+                let trace = RiscTrace::capture(&art.program, &art.ir, mem, budget, meta)
+                    .map_err(|e| EngineError::Capture(format!("{} (risc): {e}", w.name)))?;
+                if let Some(store) = self.healthy_store() {
+                    if store.save_risc(&id, &trace).is_ok() {
+                        self.risc_store_writes.fetch_add(1, Ordering::Relaxed);
+                        m("session_risc_store_writes");
+                    }
+                }
+                Ok(Arc::new(trace))
+            })
+            .clone();
+        Self::evict_transient(&self.rtraces, &key, &slot, &res);
+        res
     }
 
     /// The fitted phase plan for a workload's TRIPS block-trace stream
@@ -803,25 +900,28 @@ impl Session {
             spec: *spec,
         };
         let slot = Self::slot(&self.phases, &key, &self.phase_hits, &self.phase_misses);
-        slot.get_or_init(|| {
-            let compiled = self.compiled(w, scale, opts, hand)?;
-            let log = self.trace(w, scale, opts, hand, mem, budget)?;
-            let seed = TraceId {
-                workload: w.name.to_string(),
-                scale: scale_label(scale).to_string(),
-                opts_sig: opts_sig(opts),
-                hand,
-                code_sig: code_sig(&compiled),
-                mem_size: mem as u64,
-                max_blocks: budget,
-            }
-            .stable_hash();
-            let total = log.seq.len() as u64;
-            self.fit_phase(seed, total, spec, || {
-                Ok(trips_phase::trips_fit(&log, spec, seed))
+        let res = slot
+            .get_or_init(|| {
+                let compiled = self.compiled(w, scale, opts, hand)?;
+                let log = self.trace(w, scale, opts, hand, mem, budget)?;
+                let seed = TraceId {
+                    workload: w.name.to_string(),
+                    scale: scale_label(scale).to_string(),
+                    opts_sig: opts_sig(opts),
+                    hand,
+                    code_sig: code_sig(&compiled),
+                    mem_size: mem as u64,
+                    max_blocks: budget,
+                }
+                .stable_hash();
+                let total = log.seq.len() as u64;
+                self.fit_phase(seed, total, spec, || {
+                    Ok(trips_phase::trips_fit(&log, spec, seed))
+                })
             })
-        })
-        .clone()
+            .clone();
+        Self::evict_transient(&self.phases, &key, &slot, &res);
+        res
     }
 
     /// The RISC-side counterpart of [`Session::trips_phase_plan`]: the
@@ -855,25 +955,28 @@ impl Session {
             spec: *spec,
         };
         let slot = Self::slot(&self.phases, &key, &self.phase_hits, &self.phase_misses);
-        slot.get_or_init(|| {
-            let art = self.risc_program(w, scale, opts)?;
-            let trace = self.risc_trace(w, scale, opts, mem, budget)?;
-            let seed = RiscTraceId {
-                workload: w.name.to_string(),
-                scale: scale_label(scale).to_string(),
-                opts_sig: opts_sig(opts),
-                code_sig: risc_code_sig(&art),
-                mem_size: mem as u64,
-                max_steps: budget,
-            }
-            .stable_hash();
-            let total = trace.header.dynamic_insts;
-            self.fit_phase(seed, total, spec, || {
-                trips_phase::risc_fit(&trace, &art.program, spec, seed)
-                    .map_err(|e| EngineError::Capture(format!("{} (phase): {e}", w.name)))
+        let res = slot
+            .get_or_init(|| {
+                let art = self.risc_program(w, scale, opts)?;
+                let trace = self.risc_trace(w, scale, opts, mem, budget)?;
+                let seed = RiscTraceId {
+                    workload: w.name.to_string(),
+                    scale: scale_label(scale).to_string(),
+                    opts_sig: opts_sig(opts),
+                    code_sig: risc_code_sig(&art),
+                    mem_size: mem as u64,
+                    max_steps: budget,
+                }
+                .stable_hash();
+                let total = trace.header.dynamic_insts;
+                self.fit_phase(seed, total, spec, || {
+                    trips_phase::risc_fit(&trace, &art.program, spec, seed)
+                        .map_err(|e| EngineError::Capture(format!("{} (phase): {e}", w.name)))
+                })
             })
-        })
-        .clone()
+            .clone();
+        Self::evict_transient(&self.phases, &key, &slot, &res);
+        res
     }
 
     /// The disk-tier choreography both phase tiers share: consult the
@@ -897,7 +1000,7 @@ impl Session {
             boundary: spec.boundary,
             tail: spec.tail,
         };
-        if let Some(store) = self.store.get() {
+        if let Some(store) = self.healthy_store() {
             match store.load_bbv(&id) {
                 LoadOutcome::Hit(art) => {
                     if art.validate(spec, total_units).is_ok() {
@@ -910,7 +1013,10 @@ impl Session {
                     // (e.g. a stale build's capture): re-cluster over it.
                     self.phase_disk_rejects.fetch_add(1, Ordering::Relaxed);
                     m("session_phase_disk_rejects");
-                    store.remove_bbv(&id);
+                    store.quarantine_bbv(
+                        &id,
+                        "deep validation failed: artifact fitted to a different stream",
+                    );
                 }
                 LoadOutcome::Miss => {
                     self.phase_disk_misses.fetch_add(1, Ordering::Relaxed);
@@ -920,7 +1026,14 @@ impl Session {
                     self.phase_disk_rejects.fetch_add(1, Ordering::Relaxed);
                     m("session_phase_disk_rejects");
                 }
+                LoadOutcome::IoError(_) => {
+                    self.phase_disk_io_errors.fetch_add(1, Ordering::Relaxed);
+                    m("session_disk_io_errors");
+                }
             }
+        }
+        if let Some(why) = trips_chaos::fit_fault() {
+            return Err(EngineError::Transient(format!("phase fit: {why}")));
         }
         self.phase_fits.fetch_add(1, Ordering::Relaxed);
         m("session_phase_fits");
@@ -929,7 +1042,7 @@ impl Session {
             let _cost = trips_obs::cost::Timed::start(trips_obs::CostKind::Fit);
             fit()?
         };
-        if let Some(store) = self.store.get() {
+        if let Some(store) = self.healthy_store() {
             if store.save_bbv(&id, &art).is_ok() {
                 self.phase_store_writes.fetch_add(1, Ordering::Relaxed);
                 m("session_phase_store_writes");
@@ -943,7 +1056,7 @@ impl Session {
     /// the wrong shape (window count, stream extent, or core variant) are
     /// rejected and deleted so the caller recaptures over them.
     fn load_live_points(&self, id: &LivePointId, plan: &PhasePlan) -> Option<LivePointSet> {
-        let store = self.store.get()?;
+        let store = self.healthy_store()?;
         match store.load_livepoint(id) {
             LoadOutcome::Hit(set) => {
                 let right_core = match &set.states {
@@ -961,7 +1074,7 @@ impl Session {
                 }
                 self.livepoint_disk_rejects.fetch_add(1, Ordering::Relaxed);
                 m("session_livepoint_disk_rejects");
-                store.remove_livepoint(id);
+                store.quarantine_livepoint(id, "deep validation failed: wrong shape for the plan");
             }
             LoadOutcome::Miss => {
                 self.livepoint_disk_misses.fetch_add(1, Ordering::Relaxed);
@@ -971,13 +1084,18 @@ impl Session {
                 self.livepoint_disk_rejects.fetch_add(1, Ordering::Relaxed);
                 m("session_livepoint_disk_rejects");
             }
+            LoadOutcome::IoError(_) => {
+                self.livepoint_disk_io_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                m("session_disk_io_errors");
+            }
         }
         None
     }
 
     /// Persists a fresh checkpoint set, counting the write.
     fn save_live_points(&self, id: &LivePointId, set: &LivePointSet) {
-        if let Some(store) = self.store.get() {
+        if let Some(store) = self.healthy_store() {
             if store.save_livepoint(id, set).is_ok() {
                 self.livepoint_store_writes.fetch_add(1, Ordering::Relaxed);
                 m("session_livepoint_store_writes");
@@ -1182,38 +1300,42 @@ impl Session {
             &self.ooo_replay_misses,
         );
         trips_obs::cost::set_tier("memo");
-        slot.get_or_init(|| {
-            let art = self.risc_program(w, scale, opts)?;
-            let trace = self.risc_trace(w, scale, opts, mem, budget)?;
-            let _span =
-                trips_obs::span_with("session.replay_ooo", || format!("{} {}", w.name, cfg.name));
-            if let (Some(threads), Some(plan)) = (self.live_points(), mode.phase()) {
-                if !plan.covers_everything() {
-                    let parent_key = RiscTraceId {
-                        workload: w.name.to_string(),
-                        scale: scale_label(scale).to_string(),
-                        opts_sig: opts_sig(opts),
-                        code_sig: risc_code_sig(&art),
-                        mem_size: mem as u64,
-                        max_steps: budget,
+        let res = slot
+            .get_or_init(|| {
+                let art = self.risc_program(w, scale, opts)?;
+                let trace = self.risc_trace(w, scale, opts, mem, budget)?;
+                let _span = trips_obs::span_with("session.replay_ooo", || {
+                    format!("{} {}", w.name, cfg.name)
+                });
+                if let (Some(threads), Some(plan)) = (self.live_points(), mode.phase()) {
+                    if !plan.covers_everything() {
+                        let parent_key = RiscTraceId {
+                            workload: w.name.to_string(),
+                            scale: scale_label(scale).to_string(),
+                            opts_sig: opts_sig(opts),
+                            code_sig: risc_code_sig(&art),
+                            mem_size: mem as u64,
+                            max_steps: budget,
+                        }
+                        .stable_hash();
+                        return self
+                            .replay_ooo_live(&art.program, &trace, cfg, plan, parent_key, threads)
+                            .map(Arc::new)
+                            .map_err(|e| match e {
+                                EngineError::Replay(msg) => {
+                                    EngineError::Replay(format!("{} ({}): {msg}", w.name, cfg.name))
+                                }
+                                other => other,
+                            });
                     }
-                    .stable_hash();
-                    return self
-                        .replay_ooo_live(&art.program, &trace, cfg, plan, parent_key, threads)
-                        .map(Arc::new)
-                        .map_err(|e| match e {
-                            EngineError::Replay(msg) => {
-                                EngineError::Replay(format!("{} ({}): {msg}", w.name, cfg.name))
-                            }
-                            other => other,
-                        });
                 }
-            }
-            trips_ooo::run_timed_trace_mode(&art.program, &trace, cfg, mode)
-                .map(Arc::new)
-                .map_err(|e| EngineError::Replay(format!("{} ({}): {e}", w.name, cfg.name)))
-        })
-        .clone()
+                trips_ooo::run_timed_trace_mode(&art.program, &trace, cfg, mode)
+                    .map(Arc::new)
+                    .map_err(|e| EngineError::Replay(format!("{} ({}): {e}", w.name, cfg.name)))
+            })
+            .clone();
+        Self::evict_transient(&self.ooo_replays, &key, &slot, &res);
+        res
     }
 
     /// Replays the (memoized) trace against one timing configuration: the
@@ -1250,34 +1372,37 @@ impl Session {
         };
         let slot = Self::slot(&self.replays, &key, &self.replay_hits, &self.replay_misses);
         trips_obs::cost::set_tier("memo");
-        slot.get_or_init(|| {
-            let compiled = self.compiled(w, scale, opts, hand)?;
-            let log = self.trace(w, scale, opts, hand, mem, budget)?;
-            let _span = trips_obs::span_with("session.replay_trips", || {
-                format!("{} cfg={:016x}", w.name, trips_cfg_sig(cfg))
-            });
-            if let (Some(threads), Some(plan)) = (self.live_points(), mode.phase()) {
-                if !plan.covers_everything() {
-                    let parent_key = TraceId {
-                        workload: w.name.to_string(),
-                        scale: scale_label(scale).to_string(),
-                        opts_sig: opts_sig(opts),
-                        hand,
-                        code_sig: code_sig(&compiled),
-                        mem_size: mem as u64,
-                        max_blocks: budget,
+        let res = slot
+            .get_or_init(|| {
+                let compiled = self.compiled(w, scale, opts, hand)?;
+                let log = self.trace(w, scale, opts, hand, mem, budget)?;
+                let _span = trips_obs::span_with("session.replay_trips", || {
+                    format!("{} cfg={:016x}", w.name, trips_cfg_sig(cfg))
+                });
+                if let (Some(threads), Some(plan)) = (self.live_points(), mode.phase()) {
+                    if !plan.covers_everything() {
+                        let parent_key = TraceId {
+                            workload: w.name.to_string(),
+                            scale: scale_label(scale).to_string(),
+                            opts_sig: opts_sig(opts),
+                            hand,
+                            code_sig: code_sig(&compiled),
+                            mem_size: mem as u64,
+                            max_blocks: budget,
+                        }
+                        .stable_hash();
+                        return self
+                            .replay_trips_live(&compiled, &log, cfg, plan, parent_key, threads)
+                            .map(Arc::new);
                     }
-                    .stable_hash();
-                    return self
-                        .replay_trips_live(&compiled, &log, cfg, plan, parent_key, threads)
-                        .map(Arc::new);
                 }
-            }
-            trips_sim::timing::replay_trace_mode(&compiled, cfg, &log, mode)
-                .map(Arc::new)
-                .map_err(|e| EngineError::Replay(e.to_string()))
-        })
-        .clone()
+                trips_sim::timing::replay_trace_mode(&compiled, cfg, &log, mode)
+                    .map(Arc::new)
+                    .map_err(|e| EngineError::Replay(e.to_string()))
+            })
+            .clone();
+        Self::evict_transient(&self.replays, &key, &slot, &res);
+        res
     }
 
     /// Current hit/miss counters.
@@ -1321,6 +1446,11 @@ impl Session {
             replay_misses: self.replay_misses.load(Ordering::Relaxed),
             ooo_replay_hits: self.ooo_replay_hits.load(Ordering::Relaxed),
             ooo_replay_misses: self.ooo_replay_misses.load(Ordering::Relaxed),
+            disk_io_errors: self.disk_io_errors.load(Ordering::Relaxed),
+            risc_disk_io_errors: self.risc_disk_io_errors.load(Ordering::Relaxed),
+            phase_disk_io_errors: self.phase_disk_io_errors.load(Ordering::Relaxed),
+            livepoint_disk_io_errors: self.livepoint_disk_io_errors.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
         }
     }
 }

@@ -89,13 +89,23 @@ pub use trips_phase as phase;
 /// the `TRIPS_LOG`-filtered [`obs::log!`] diagnostics macro.
 pub use trips_obs as obs;
 
+/// Deterministic fault injection (re-exported from `trips-chaos`): a
+/// seeded [`chaos::FaultPlan`] armed process-globally (`trips-sweep
+/// --chaos seed[:profile]` / `TRIPS_CHAOS`) makes the store, the session
+/// tiers, and the pool inject I/O errors, short writes, bit flips,
+/// capture/fit failures, job panics, and delays on a reproducible
+/// schedule — the harness the recovery paths (retries, quarantine,
+/// circuit breaker, caught jobs) are tested under. Disarmed, every hook
+/// is a single relaxed atomic load.
+pub use trips_chaos as chaos;
+
 pub use cache::{CacheStats, EngineError, IsaOutcome, RiscArtifacts, Session};
 pub use phase::{PhaseK, PhaseSpec};
-pub use pool::parallel_map;
+pub use pool::{parallel_map, parallel_map_catch, JobPanic};
 pub use sample::{PhasePlan, ReplayMode, SamplePlan};
 pub use store::{
-    BbvId, LivePointId, LivePointSet, LivePointStates, LoadOutcome, PruneReport, RiscTraceId,
-    StoreStats, TraceStore,
+    BbvId, FsckReport, LivePointId, LivePointSet, LivePointStates, LoadOutcome, PruneReport,
+    RiscTraceId, StoreStats, TraceStore,
 };
 pub use sweep::{
     run_sweep, BackendSpec, ConfigVariant, RowDetail, SweepReport, SweepRow, SweepSpec,

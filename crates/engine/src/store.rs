@@ -46,10 +46,25 @@
 //!   and a content hash of the payload; the payload must deserialize, and
 //!   the log's own header must match the requested identity. Any mismatch —
 //!   truncation, corruption, a stale format, a renamed file — classifies as
-//!   [`LoadOutcome::Reject`]: the bad file is removed (best effort) and the
-//!   caller recaptures. A *read error* also rejects but leaves the file
-//!   alone — it is not evidence the bytes are bad. No failure mode panics
-//!   or returns a wrong trace.
+//!   [`LoadOutcome::Reject`]: the bad file is moved into the store's
+//!   `quarantine/` subdirectory with a `.reason` sidecar (evidence is
+//!   preserved, never unlinked) and the caller recaptures. A *read error*
+//!   is retried with bounded exponential backoff and, if persistent,
+//!   classifies as [`LoadOutcome::IoError`] leaving the file alone — it is
+//!   not evidence the bytes are bad. No failure mode panics or returns a
+//!   wrong trace.
+//! * **Failures are survived.** Writes retry transient errors with the
+//!   same bounded backoff (`store_retries_total`). A per-store health
+//!   tracker counts *consecutive* I/O failures (verification rejects do
+//!   not count — the disk delivered the bytes it had) and trips a circuit
+//!   breaker after [`BREAKER_TRIP_AFTER`] of them; [`TraceStore::degraded`]
+//!   then reads true and the owning [`Session`](crate::Session) falls back
+//!   to memory-only tiers instead of hammering a dead disk. The
+//!   `trips-chaos` fault-injection layer drives these paths determin-
+//!   istically (injected read/write errors, short writes, post-rename
+//!   bitflips, ENOSPC) so they stay tested, and [`TraceStore::fsck`]
+//!   audits every container on demand (`trips-sweep --store-fsck`),
+//!   quarantining any that fail verification.
 //! * **Garbage is collectable.** Because each container records its kind
 //!   and payload version, [`TraceStore::stats`] can census a shared
 //!   directory and [`TraceStore::prune_stale`] can delete containers no
@@ -60,9 +75,11 @@
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
 
 use trips_isa::{TraceId, TraceLog};
+use trips_obs::Level;
 use trips_phase::{PhaseArtifact, BBV_VERSION};
 use trips_risc::{RiscTrace, RiscTraceHeader, RISC_TRACE_VERSION};
 
@@ -99,6 +116,20 @@ pub const LIVEPOINT_VERSION: u32 = 1;
 /// version (4) + key (8) + payload hash (8) + payload length (8).
 const HEADER_LEN: usize = 40;
 
+/// Subdirectory rejected containers are moved into (with a `.reason`
+/// sidecar each). Created lazily on the first quarantine.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// Total attempts for one store read or write before the error is
+/// surfaced (the first try plus bounded-backoff retries).
+const IO_ATTEMPTS: u32 = 3;
+
+/// Consecutive I/O failures (reads or writes, after their own retries)
+/// that trip the store's circuit breaker. Verification rejects do not
+/// count — they mean the disk served bytes fine and the *content* was
+/// bad, which recapture fixes.
+pub const BREAKER_TRIP_AFTER: u64 = 4;
+
 /// What one store lookup produced (`T` is the payload type of the
 /// container kind that was asked for).
 #[derive(Debug)]
@@ -107,11 +138,16 @@ pub enum LoadOutcome<T = TraceLog> {
     Hit(Box<T>),
     /// No file under this key.
     Miss,
-    /// A file existed but could not be served: failed verification
-    /// (truncated, corrupt, wrong version, foreign identity — the file has
-    /// been removed) or an I/O error reading it (the file is left in
-    /// place). Either way the caller should recapture.
+    /// A file existed but failed verification (truncated, corrupt, wrong
+    /// version, foreign identity); it has been moved into `quarantine/`
+    /// with a reason sidecar. The caller should recapture.
     Reject(String),
+    /// The file could not be *read* even after bounded retries. That is
+    /// not evidence the bytes are bad, so the file is left in place; the
+    /// caller should recapture, and sessions count it separately
+    /// (`disk_io_errors`) so a flaky disk is visible rather than folded
+    /// into miss/reject accounting.
+    IoError(String),
 }
 
 /// The complete identity of one RISC event-stream capture: everything that,
@@ -395,6 +431,35 @@ pub struct StoreStats {
     /// Containers no current build will load: unreadable headers, old
     /// container layouts, unknown kinds, retired payload versions.
     pub stale: u64,
+    /// Containers sitting in the `quarantine/` subdirectory (rejected
+    /// corrupt files, preserved as evidence).
+    pub quarantined: u64,
+    /// Their total size in bytes (sidecars not counted).
+    pub quarantine_bytes: u64,
+}
+
+/// What one [`TraceStore::fsck`] pass found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct FsckReport {
+    /// Container files examined.
+    pub scanned: u64,
+    /// Containers that passed full verification (header, filename-vs-key,
+    /// payload length and content hash).
+    pub ok: u64,
+    /// Cleanly versioned-out containers (old layouts, retired payload
+    /// versions) — left for [`TraceStore::prune_stale`].
+    pub stale: u64,
+    /// Corrupt containers moved into `quarantine/` this pass.
+    pub quarantined: u64,
+    /// Containers that could not be read (left in place; a read error is
+    /// not evidence of corruption).
+    pub unreadable: u64,
+    /// Orphaned `.tmp-` files from writers that died mid-write, removed.
+    pub repaired_tmp: u64,
+    /// Containers resident in `quarantine/` after the pass.
+    pub quarantine_containers: u64,
+    /// Their total size in bytes.
+    pub quarantine_bytes: u64,
 }
 
 /// What one [`TraceStore::prune_stale`] pass did.
@@ -425,13 +490,20 @@ enum ContainerClass {
 
 /// A directory of content-addressed `<key>.trace` files.
 ///
-/// The store itself is stateless apart from a temp-name counter; hit/miss
-/// accounting lives in the [`Session`](crate::Session) that owns it, next
-/// to the in-memory tiers' counters.
+/// The store itself is stateless apart from a temp-name counter and its
+/// health tracker; hit/miss accounting lives in the
+/// [`Session`](crate::Session) that owns it, next to the in-memory tiers'
+/// counters.
 #[derive(Debug)]
 pub struct TraceStore {
     dir: PathBuf,
     tmp_seq: AtomicU64,
+    /// Consecutive I/O failures (each already past its own retries).
+    /// Any I/O success resets it.
+    io_failures: AtomicU64,
+    /// Latched once `io_failures` reaches [`BREAKER_TRIP_AFTER`]; the
+    /// owning session then stops consulting the disk tier.
+    breaker_open: AtomicBool,
 }
 
 impl TraceStore {
@@ -458,7 +530,42 @@ impl TraceStore {
         Ok(TraceStore {
             dir,
             tmp_seq: AtomicU64::new(0),
+            io_failures: AtomicU64::new(0),
+            breaker_open: AtomicBool::new(false),
         })
+    }
+
+    /// True once the circuit breaker has tripped: [`BREAKER_TRIP_AFTER`]
+    /// consecutive I/O failures with no intervening success. The owning
+    /// [`Session`](crate::Session) then degrades to memory-only tiers for
+    /// the rest of the process instead of paying retry backoffs on a disk
+    /// that is plainly gone.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.breaker_open.load(Ordering::Relaxed)
+    }
+
+    fn record_io_ok(&self) {
+        self.io_failures.store(0, Ordering::Relaxed);
+    }
+
+    fn record_io_failure(&self) {
+        let n = self.io_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= BREAKER_TRIP_AFTER && !self.breaker_open.swap(true, Ordering::Relaxed) {
+            trips_obs::counter("store_breaker_trips_total").inc(1);
+            trips_obs::log!(
+                Level::Warn,
+                "store",
+                "circuit breaker open after {n} consecutive I/O failures on {}; \
+                 degrading to memory-only tiers",
+                self.dir.display()
+            );
+        }
+    }
+
+    /// Bounded exponential backoff before retry `attempt` (1-based).
+    fn backoff(attempt: u32) -> Duration {
+        Duration::from_micros(500u64 << attempt.min(4))
     }
 
     /// The directory this store lives in.
@@ -497,7 +604,8 @@ impl TraceStore {
 
     /// Looks up a TRIPS block trace, verifying the container (magic,
     /// versions, kind, key, payload hash) and the log's provenance header.
-    /// Rejected files are deleted so the next writer replaces them.
+    /// Rejected files are quarantined so the next writer replaces them
+    /// (and the evidence survives for post-mortems).
     pub fn load(&self, id: &TraceId) -> LoadOutcome<TraceLog> {
         self.load_kind(
             id.stable_hash(),
@@ -569,14 +677,42 @@ impl TraceStore {
     ) -> LoadOutcome<T> {
         let _span = trips_obs::span("store.load");
         let path = self.path_for_key(key);
-        let bytes = match fs::read(&path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return LoadOutcome::Miss,
-            // A read error is not evidence of corruption — the file may be
-            // perfectly good on a filesystem having a moment. Recapture,
-            // but leave the file for other processes.
-            Err(e) => return LoadOutcome::Reject(format!("read failed: {e}")),
+        let mut attempt = 0u32;
+        let bytes = loop {
+            let read = match trips_chaos::read_fault() {
+                Some(e) => Err(e),
+                None => fs::read(&path),
+            };
+            match read {
+                Ok(b) => break b,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    self.record_io_ok();
+                    return LoadOutcome::Miss;
+                }
+                // A read error is not evidence of corruption — the file may
+                // be perfectly good on a filesystem having a moment. Retry
+                // briefly; if it persists, recapture but leave the file for
+                // other processes and count the failure against the breaker.
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= IO_ATTEMPTS {
+                        self.record_io_failure();
+                        return LoadOutcome::IoError(format!(
+                            "read failed after {attempt} attempts: {e}"
+                        ));
+                    }
+                    trips_obs::counter("store_retries_total").inc(1);
+                    trips_obs::log!(
+                        Level::Debug,
+                        "store",
+                        "read {} failed ({e}); retry {attempt}",
+                        path.display()
+                    );
+                    std::thread::sleep(Self::backoff(attempt));
+                }
+            }
         };
+        self.record_io_ok();
         trips_obs::counter("store_read_bytes_total").inc(bytes.len() as u64);
         trips_obs::cost::add_store_read(bytes.len() as u64);
         let payload = match Self::verify_container(key, kind, payload_version, &bytes) {
@@ -637,6 +773,43 @@ impl TraceStore {
         bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         bytes.extend_from_slice(payload);
 
+        // Transient write errors (a filesystem having a moment, injected
+        // ENOSPC/short writes) retry with bounded backoff; only a
+        // persistent failure surfaces, and counts against the breaker.
+        let mut attempt = 0u32;
+        loop {
+            match self.write_container(key, &bytes) {
+                Ok(()) => {
+                    self.record_io_ok();
+                    trips_obs::counter("store_write_bytes_total").inc(bytes.len() as u64);
+                    trips_obs::cost::add_store_write(bytes.len() as u64);
+                    return Ok(());
+                }
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= IO_ATTEMPTS {
+                        self.record_io_failure();
+                        return Err(e);
+                    }
+                    trips_obs::counter("store_retries_total").inc(1);
+                    trips_obs::log!(
+                        Level::Debug,
+                        "store",
+                        "write of {key:016x} failed ({e}); retry {attempt}"
+                    );
+                    std::thread::sleep(Self::backoff(attempt));
+                }
+            }
+        }
+    }
+
+    /// One atomic write attempt: temp file in the store directory, rename
+    /// into place. The `trips-chaos` faults model a full device (error
+    /// before any byte lands), a torn write (a prefix lands, then an
+    /// error — exactly what a crash mid-`write` leaves), and silent media
+    /// corruption (a payload bit flips *after* the rename, so only a
+    /// later verified load can catch it).
+    fn write_container(&self, key: u64, bytes: &[u8]) -> io::Result<()> {
         // Unique within the process via the counter, across processes via
         // the pid; rename within one directory is atomic, so a concurrent
         // reader sees either the old complete file or the new one.
@@ -645,11 +818,23 @@ impl TraceStore {
             std::process::id(),
             self.tmp_seq.fetch_add(1, Ordering::Relaxed),
         ));
-        fs::write(&tmp, &bytes)
+        if let Some(e) = trips_chaos::enospc_fault() {
+            return Err(e);
+        }
+        let written = match trips_chaos::short_write_fault() {
+            Some(entropy) => {
+                let cut = (entropy as usize) % bytes.len().max(1);
+                let _ = fs::write(&tmp, &bytes[..cut]);
+                Err(io::Error::other("injected short write (chaos)"))
+            }
+            None => fs::write(&tmp, bytes),
+        };
+        written
             .and_then(|()| fs::rename(&tmp, self.path_for_key(key)))
             .inspect(|()| {
-                trips_obs::counter("store_write_bytes_total").inc(bytes.len() as u64);
-                trips_obs::cost::add_store_write(bytes.len() as u64);
+                if let Some(entropy) = trips_chaos::bitflip_fault() {
+                    self.flip_payload_bit(key, entropy);
+                }
             })
             .inspect_err(|_| {
                 // A failed write (e.g. ENOSPC) leaves a partial temp file;
@@ -658,16 +843,33 @@ impl TraceStore {
             })
     }
 
-    /// Removes the file under a TRIPS block-trace identity (used when a
-    /// verified-at-container-level log still fails deeper validation
-    /// against the program).
-    pub fn remove(&self, id: &TraceId) {
-        let _ = fs::remove_file(self.path_for(id));
+    /// Chaos-only: flips one payload bit of the just-renamed container,
+    /// modeling silent media corruption. The damage is invisible until a
+    /// verified load computes the content hash — which must then reject
+    /// and quarantine, never serve.
+    fn flip_payload_bit(&self, key: u64, entropy: u64) {
+        let path = self.path_for_key(key);
+        if let Ok(mut bytes) = fs::read(&path) {
+            if bytes.len() > HEADER_LEN {
+                let payload_bits = (bytes.len() - HEADER_LEN) as u64 * 8;
+                let bit = entropy % payload_bits;
+                let at = HEADER_LEN + (bit / 8) as usize;
+                bytes[at] ^= 1 << (bit % 8);
+                let _ = fs::write(&path, &bytes);
+            }
+        }
     }
 
-    /// Removes the file under a RISC event-stream identity.
-    pub fn remove_risc(&self, id: &RiscTraceId) {
-        let _ = fs::remove_file(self.path_for_risc(id));
+    /// Quarantines the file under a TRIPS block-trace identity (used when
+    /// a verified-at-container-level log still fails deeper validation
+    /// against the program).
+    pub fn quarantine(&self, id: &TraceId, why: &str) {
+        self.quarantine_file(&self.path_for(id), why);
+    }
+
+    /// Quarantines the file under a RISC event-stream identity.
+    pub fn quarantine_risc(&self, id: &RiscTraceId, why: &str) {
+        self.quarantine_file(&self.path_for_risc(id), why);
     }
 
     /// Persists a BBV/phase-plan artifact under `id`; same discipline as
@@ -684,11 +886,11 @@ impl TraceStore {
         )
     }
 
-    /// Removes the file under a BBV/phase-plan identity (used when a
+    /// Quarantines the file under a BBV/phase-plan identity (used when a
     /// container-valid artifact fails validation against the stream it is
     /// meant to describe).
-    pub fn remove_bbv(&self, id: &BbvId) {
-        let _ = fs::remove_file(self.path_for_key(id.stable_hash()));
+    pub fn quarantine_bbv(&self, id: &BbvId, why: &str) {
+        self.quarantine_file(&self.path_for_key(id.stable_hash()), why);
     }
 
     /// Persists a live-point checkpoint set under `id`; same discipline as
@@ -705,16 +907,139 @@ impl TraceStore {
         )
     }
 
-    /// Removes the file under a live-point identity (used when a
+    /// Quarantines the file under a live-point identity (used when a
     /// container-valid set fails validation against the plan it is meant
     /// to seed — e.g. a wrong window count).
-    pub fn remove_livepoint(&self, id: &LivePointId) {
-        let _ = fs::remove_file(self.path_for_key(id.stable_hash()));
+    pub fn quarantine_livepoint(&self, id: &LivePointId, why: &str) {
+        self.quarantine_file(&self.path_for_key(id.stable_hash()), why);
     }
 
     fn reject<T>(&self, path: &Path, why: String) -> LoadOutcome<T> {
-        let _ = fs::remove_file(path);
+        self.quarantine_file(path, &why);
         LoadOutcome::Reject(why)
+    }
+
+    /// Moves a rejected container into `quarantine/` with a `.reason`
+    /// sidecar, preserving the evidence while making sure no load can
+    /// ever serve it again. The subdirectory is created lazily. If the
+    /// move itself fails the file is removed instead — a corrupt
+    /// container must never stay where lookups find it.
+    fn quarantine_file(&self, path: &Path, why: &str) {
+        let Some(name) = path.file_name() else { return };
+        let qdir = self.dir.join(QUARANTINE_DIR);
+        let dest = qdir.join(name);
+        match fs::create_dir_all(&qdir).and_then(|()| fs::rename(path, &dest)) {
+            Ok(()) => {
+                let reason = qdir.join(format!("{}.reason", name.to_string_lossy()));
+                let _ = fs::write(&reason, format!("{why}\n"));
+                trips_obs::counter("store_quarantined_total").inc(1);
+                trips_obs::log!(
+                    Level::Warn,
+                    "store",
+                    "quarantined {}: {why}",
+                    dest.display()
+                );
+            }
+            // Already gone: a racing rejecter beat us to it.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => {
+                trips_obs::log!(
+                    Level::Warn,
+                    "store",
+                    "quarantine of {} failed ({e}); removing instead: {why}",
+                    path.display()
+                );
+                let _ = fs::remove_file(path);
+            }
+        }
+    }
+
+    /// Census of the `quarantine/` subdirectory: container count, bytes.
+    fn quarantine_census(&self) -> (u64, u64) {
+        let (mut n, mut bytes) = (0u64, 0u64);
+        if let Ok(entries) = fs::read_dir(self.dir.join(QUARANTINE_DIR)) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension() == Some(std::ffi::OsStr::new("trace")) {
+                    n += 1;
+                    bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
+                }
+            }
+        }
+        (n, bytes)
+    }
+
+    /// Verifies every container in the store — header sanity, key vs
+    /// file name, payload length and content hash — quarantining any that
+    /// fail, removing orphaned `.tmp-` debris, and reporting the result
+    /// (wired to `trips-sweep --store-fsck`).
+    ///
+    /// Cleanly versioned-out containers count as `stale` and stay put
+    /// (that is [`TraceStore::prune_stale`]'s job); unreadable files stay
+    /// put too (a read error is not evidence of corruption). A second
+    /// pass over an undisturbed store therefore quarantines nothing: the
+    /// census converges.
+    ///
+    /// # Errors
+    /// Any error listing the directory.
+    pub fn fsck(&self) -> io::Result<FsckReport> {
+        let _span = trips_obs::span("store.fsck");
+        let mut r = FsckReport::default();
+        let mut paths = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if entry.file_name().to_string_lossy().starts_with(".tmp-") {
+                if fs::remove_file(&path).is_ok() {
+                    r.repaired_tmp += 1;
+                }
+                continue;
+            }
+            if path.extension() == Some(std::ffi::OsStr::new("trace")) {
+                paths.push(path);
+            }
+        }
+        for path in paths {
+            r.scanned += 1;
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(_) => {
+                    r.unreadable += 1;
+                    continue;
+                }
+            };
+            if matches!(Self::classify(&bytes), ContainerClass::Stale) {
+                // Distinguish "cleanly from another era" (intact magic, a
+                // version we no longer speak — prune's domain) from
+                // damage (too short for a header, garbage magic).
+                let versioned_out = bytes.len() >= HEADER_LEN && bytes[..4] == STORE_MAGIC;
+                if versioned_out {
+                    r.stale += 1;
+                } else {
+                    self.quarantine_file(&path, "fsck: not a container (truncated or bad magic)");
+                    r.quarantined += 1;
+                }
+                continue;
+            }
+            // Current-version container: full verification against the
+            // kind/payload-version it claims and the key its name claims.
+            let kind = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+            let payload_version = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+            let Some(key) = Self::key_from_path(&path) else {
+                self.quarantine_file(&path, "fsck: file name is not a container key");
+                r.quarantined += 1;
+                continue;
+            };
+            match Self::verify_container(key, kind, payload_version, &bytes) {
+                Ok(_) => r.ok += 1,
+                Err(why) => {
+                    self.quarantine_file(&path, &format!("fsck: {why}"));
+                    r.quarantined += 1;
+                }
+            }
+        }
+        (r.quarantine_containers, r.quarantine_bytes) = self.quarantine_census();
+        Ok(r)
     }
 
     /// Full container verification; returns the payload slice.
@@ -854,6 +1179,7 @@ impl TraceStore {
                 ContainerClass::Stale => s.stale += 1,
             }
         }
+        (s.quarantined, s.quarantine_bytes) = self.quarantine_census();
         Ok(s)
     }
 

@@ -7,7 +7,7 @@
 //! [`SweepRow`]s plus a throughput summary.
 
 use crate::cache::{EngineError, Session};
-use crate::pool::{effective_threads, parallel_map};
+use crate::pool::{effective_threads, parallel_map_catch};
 use serde::{Serialize, Serializer, Value};
 use std::sync::Arc;
 use std::time::Instant;
@@ -298,6 +298,12 @@ pub struct SweepRow {
     /// for full replay, systematic sampling, and streams below the phase
     /// floor).
     pub phase_k: u32,
+    /// How this point resolved: `ok` (first attempt), `retried`
+    /// (succeeded after at least one failed attempt — fault injection,
+    /// a job panic, or a transient store error), or `failed` (all
+    /// attempts exhausted; the measurement columns are zero and the
+    /// error text is in [`SweepReport::errors`]).
+    pub status: String,
     /// Wall-clock milliseconds this point took (includes any cache misses
     /// it had to fill).
     pub wall_ms: f64,
@@ -339,6 +345,7 @@ impl Serialize for SweepRow {
             ),
             (Value::str("est_cycles"), serde::to_value(&self.est_cycles)),
             (Value::str("phase_k"), serde::to_value(&self.phase_k)),
+            (Value::str("status"), serde::to_value(&self.status)),
             (Value::str("wall_ms"), serde::to_value(&self.wall_ms)),
             (Value::str("tier"), serde::to_value(&self.cost.tier)),
             (
@@ -380,7 +387,10 @@ impl Serialize for SweepRow {
 /// Everything a sweep produced.
 #[derive(Debug, Clone, Serialize)]
 pub struct SweepReport {
-    /// Successful measurements.
+    /// Per-point measurements, in point order. Every attempted point has
+    /// a row; points whose every attempt failed come back as zeroed rows
+    /// with [`SweepRow::status`] `failed` so downstream tooling sees the
+    /// full cross product.
     pub rows: Vec<SweepRow>,
     /// Failed points, as `point-label: error` strings.
     pub errors: Vec<String>,
@@ -409,6 +419,35 @@ fn point_label(p: &Point) -> String {
     match &p.config {
         Some(c) => format!("{}/{}/{}", p.workload.name, p.backend.label(), c.name),
         None => format!("{}/{}", p.workload.name, p.backend.label()),
+    }
+}
+
+/// The zeroed stand-in row for a point whose every attempt failed: the
+/// cross product stays complete and the failure is visible in-band
+/// (`status` column) as well as in [`SweepReport::errors`].
+fn failed_row(p: &Point) -> SweepRow {
+    SweepRow {
+        workload: p.workload.name.to_string(),
+        backend: p.backend.label(),
+        config: p
+            .config
+            .as_ref()
+            .map_or_else(|| "-".into(), |c| c.name.clone()),
+        cycles: 0,
+        ipc: 0.0,
+        blocks: 0,
+        mispredict_flushes: 0,
+        load_flushes: 0,
+        l1d_misses: 0,
+        avg_window: 0.0,
+        sampled: false,
+        detailed_frac: 0.0,
+        est_cycles: 0,
+        phase_k: 0,
+        status: "failed".into(),
+        wall_ms: 0.0,
+        cost: trips_obs::RowCost::default(),
+        detail: RowDetail::None,
     }
 }
 
@@ -477,6 +516,7 @@ fn measure(p: &Point, spec: &SweepSpec, session: &Session) -> Result<SweepRow, E
         detailed_frac: 1.0,
         est_cycles: 0,
         phase_k: 0,
+        status: "ok".into(),
         wall_ms: 0.0,
         cost: trips_obs::RowCost::default(),
         detail: RowDetail::None,
@@ -637,6 +677,10 @@ pub fn run_sweep(spec: &SweepSpec, session: &Session) -> Result<SweepReport, Eng
         "store_write_bytes_total",
         "replay_events_total{core=\"trips\"}",
         "replay_events_total{core=\"ooo\"}",
+        "chaos_injected_total",
+        "store_retries_total",
+        "store_quarantined_total",
+        "pool_job_panics_total",
     ] {
         let _ = trips_obs::counter(series);
     }
@@ -650,25 +694,76 @@ pub fn run_sweep(spec: &SweepSpec, session: &Session) -> Result<SweepReport, Eng
     let n = points.len();
     let threads = effective_threads(spec.threads, n);
     let t0 = Instant::now();
-    let results = parallel_map(points, threads, |p| {
-        let label = point_label(&p);
-        measure(&p, spec, session).map_err(|e| format!("{label}: {e}"))
-    });
-    let wall_s = t0.elapsed().as_secs_f64();
-    let mut rows = Vec::with_capacity(n);
-    let mut errors = Vec::new();
-    let mut cost_totals = trips_obs::RowCost::default();
-    for r in results {
-        match r {
-            Ok(row) => {
-                cost_totals.absorb(&row.cost);
-                rows.push(row);
+    // Points run caught (a panicking job fails its point, not the sweep)
+    // and failed points get up to two more attempts: chaos-injected
+    // faults and other transient store errors are evicted from the memo
+    // maps on failure, so a retry re-derives the artifact instead of
+    // replaying the cached error.
+    const ATTEMPTS: usize = 3;
+    let mut slots: Vec<Option<SweepRow>> = (0..n).map(|_| None).collect();
+    let mut failures: Vec<(usize, String)> = Vec::new();
+    let mut pending: Vec<usize> = (0..n).collect();
+    for attempt in 0..ATTEMPTS {
+        if pending.is_empty() {
+            break;
+        }
+        if attempt > 0 {
+            trips_obs::log!(
+                trips_obs::Level::Warn,
+                "sweep",
+                "retrying {} failed point(s), attempt {}/{ATTEMPTS}",
+                pending.len(),
+                attempt + 1
+            );
+        }
+        let points_ref = &points;
+        let results = parallel_map_catch(pending.clone(), threads, move |i| {
+            let p = &points_ref[i];
+            let label = point_label(p);
+            measure(p, spec, session).map_err(|e| format!("{label}: {e}"))
+        });
+        failures.clear();
+        let mut next = Vec::new();
+        for (idx, res) in pending.iter().copied().zip(results) {
+            match res {
+                Ok(Ok(mut row)) => {
+                    if attempt > 0 {
+                        row.status = "retried".into();
+                    }
+                    slots[idx] = Some(row);
+                }
+                Ok(Err(e)) => {
+                    failures.push((idx, e));
+                    next.push(idx);
+                }
+                Err(panic) => {
+                    failures.push((idx, format!("{}: {panic}", point_label(&points[idx]))));
+                    next.push(idx);
+                }
             }
-            Err(e) => errors.push(e),
+        }
+        pending = next;
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let mut errors = Vec::new();
+    for (idx, e) in failures.drain(..) {
+        errors.push(e);
+        slots[idx] = Some(failed_row(&points[idx]));
+    }
+    let rows: Vec<SweepRow> = slots
+        .into_iter()
+        .map(|s| s.expect("every point resolves to a row"))
+        .collect();
+    let mut cost_totals = trips_obs::RowCost::default();
+    let mut ok = 0usize;
+    for row in &rows {
+        if row.status != "failed" {
+            ok += 1;
+            cost_totals.absorb(&row.cost);
         }
     }
     let measurements_per_sec = if wall_s > 0.0 {
-        rows.len() as f64 / wall_s
+        ok as f64 / wall_s
     } else {
         0.0
     };
@@ -686,15 +781,15 @@ pub fn run_sweep(spec: &SweepSpec, session: &Session) -> Result<SweepReport, Eng
 
 /// Renders rows as CSV (header + one line per row).
 pub fn to_csv(rows: &[SweepRow]) -> String {
-    // Columns 1..=14 are deterministic; `wall_ms` and the cost columns
+    // Columns 1..=15 are deterministic; `wall_ms` and the cost columns
     // after it may differ between otherwise identical runs (timings, and
     // tier/store-bytes between cold and warm stores).
     let mut out = String::from(
-        "workload,backend,config,cycles,ipc,blocks,mispredict_flushes,load_flushes,l1d_misses,avg_window,sampled,detailed_frac,est_cycles,phase_k,wall_ms,tier,capture_ns,fit_ns,warm_ns,detailed_ns,extrapolate_ns,checkpoint_save_ns,checkpoint_restore_ns,queue_ns,store_read_bytes,store_write_bytes\n",
+        "workload,backend,config,cycles,ipc,blocks,mispredict_flushes,load_flushes,l1d_misses,avg_window,sampled,detailed_frac,est_cycles,phase_k,status,wall_ms,tier,capture_ns,fit_ns,warm_ns,detailed_ns,extrapolate_ns,checkpoint_save_ns,checkpoint_restore_ns,queue_ns,store_read_bytes,store_write_bytes\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{},{},{},{},{:.4},{},{},{},{},{:.2},{},{:.4},{},{},{:.3},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{:.4},{},{},{},{},{:.2},{},{:.4},{},{},{},{:.3},{},{},{},{},{},{},{},{},{},{},{}\n",
             r.workload,
             r.backend,
             r.config,
@@ -709,6 +804,7 @@ pub fn to_csv(rows: &[SweepRow]) -> String {
             r.detailed_frac,
             r.est_cycles,
             r.phase_k,
+            r.status,
             r.wall_ms,
             r.cost.tier,
             r.cost.capture_ns,

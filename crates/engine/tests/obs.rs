@@ -10,12 +10,12 @@ use std::path::PathBuf;
 use trips_engine::sweep::to_csv;
 use trips_engine::{run_sweep, Session, SweepSpec};
 
-/// CSV rows truncated to the 14 deterministic measurement columns
-/// (wall_ms and the RowCost columns after it are timing-dependent).
+/// CSV rows truncated to the 15 deterministic columns (through `status`;
+/// wall_ms and the RowCost columns after it are timing-dependent).
 fn stable_rows(csv: &str) -> Vec<String> {
     csv.lines()
         .skip(1)
-        .map(|l| l.split(',').take(14).collect::<Vec<_>>().join(","))
+        .map(|l| l.split(',').take(15).collect::<Vec<_>>().join(","))
         .collect()
 }
 

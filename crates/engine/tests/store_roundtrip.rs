@@ -39,15 +39,15 @@ fn sweep(store: &Path, out: &Path) -> String {
     stderr
 }
 
-/// CSV rows without the header, truncated to the 14 deterministic
-/// measurement columns (wall_ms and the RowCost columns after it may
-/// legitimately differ between runs — e.g. cold-capture vs warm-disk).
+/// CSV rows without the header, truncated to the 15 deterministic
+/// columns through `status` (wall_ms and the RowCost columns after it
+/// may legitimately differ between runs — e.g. cold-capture vs warm-disk).
 fn stable_rows(csv_path: &Path) -> Vec<String> {
     let text = std::fs::read_to_string(csv_path).unwrap();
     let mut rows: Vec<String> = text
         .lines()
         .skip(1)
-        .map(|l| l.split(',').take(14).collect::<Vec<_>>().join(","))
+        .map(|l| l.split(',').take(15).collect::<Vec<_>>().join(","))
         .collect();
     rows.sort();
     rows

@@ -227,8 +227,8 @@ pub fn fold_stacks(records: &[SpanRecord]) -> String {
         }
         while let Some(&top) = stack.last() {
             let t = &records[top];
-            let ended = t.start_ns + t.dur_ns <= r.start_ns
-                && !(t.dur_ns == 0 && t.start_ns == r.start_ns);
+            let ended =
+                t.start_ns + t.dur_ns <= r.start_ns && !(t.dur_ns == 0 && t.start_ns == r.start_ns);
             // Ended, or a sibling at equal start: either way it is closed.
             if ended || t.depth >= r.depth {
                 stack.pop();
